@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the baseline algorithms: backward push,
+//! BiPPR pairwise queries, index construction (TPA, BePI, FORA+, HubPPR)
+//! and their query paths — the micro-scale companions of Table IV.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resacc::bepi::{BepiConfig, BepiIndex};
+use resacc::bippr::{bippr, BipprConfig};
+use resacc::fora_plus::{ForaPlusConfig, ForaPlusIndex};
+use resacc::hubppr::{HubPprConfig, HubPprIndex};
+use resacc::tpa::{TpaConfig, TpaIndex};
+use resacc::RwrParams;
+use resacc_graph::gen;
+
+fn bench_backward_push(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(8_192, 5, 0xBB);
+    let mut group = c.benchmark_group("backward_push");
+    group.sample_size(10);
+    for r_max in [1e-3f64, 1e-5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r_max:.0e}")),
+            &r_max,
+            |b, &r_max| b.iter(|| resacc::backward_push::backward_search(&graph, 0, 0.2, r_max)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_bippr(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(8_192, 5, 0xBC);
+    let params = RwrParams::for_graph(graph.num_nodes());
+    c.bench_function("bippr_pairwise", |b| {
+        b.iter(|| bippr(&graph, 0, 4_000, &params, &BipprConfig::default(), 7))
+    });
+}
+
+fn bench_index_builds(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(2_048, 5, 0xBD);
+    let params = RwrParams::for_graph(graph.num_nodes());
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("tpa", |b| {
+        b.iter(|| TpaIndex::build(&graph, 0.2, &TpaConfig::default()).unwrap())
+    });
+    group.bench_function("fora_plus", |b| {
+        b.iter(|| ForaPlusIndex::build(&graph, &params, &ForaPlusConfig::default(), 1).unwrap())
+    });
+    group.bench_function("hubppr", |b| {
+        b.iter(|| HubPprIndex::build(&graph, &params, &HubPprConfig::default(), 1).unwrap())
+    });
+    let bepi_cfg = BepiConfig {
+        hub_count: Some(32),
+        tolerance: 1e-8,
+        max_iterations: 200,
+        ..Default::default()
+    };
+    group.bench_function("bepi_32hubs", |b| {
+        b.iter(|| BepiIndex::build(&graph, 0.2, &bepi_cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_index_queries(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(2_048, 5, 0xBE);
+    let params = RwrParams::for_graph(graph.num_nodes());
+    let tpa = TpaIndex::build(&graph, 0.2, &TpaConfig::default()).unwrap();
+    let fp = ForaPlusIndex::build(&graph, &params, &ForaPlusConfig::default(), 1).unwrap();
+    let bepi = BepiIndex::build(
+        &graph,
+        0.2,
+        &BepiConfig {
+            hub_count: Some(32),
+            tolerance: 1e-8,
+            max_iterations: 200,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("index_query");
+    group.sample_size(10);
+    group.bench_function("tpa", |b| b.iter(|| tpa.query(&graph, 0)));
+    group.bench_function("fora_plus", |b| b.iter(|| fp.query(&graph, 0, &params)));
+    group.bench_function("bepi", |b| b.iter(|| bepi.query(&graph, 0).unwrap()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backward_push,
+    bench_bippr,
+    bench_index_builds,
+    bench_index_queries
+);
+criterion_main!(benches);

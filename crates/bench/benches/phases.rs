@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for ResAcc's phases and its ablations —
+//! the micro-scale companions of Table VII and Figure 24.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resacc::resacc::{h_hop_fwd, omfwd, ResAcc, ResAccConfig, Scope};
+use resacc::{ForwardState, RwrParams};
+use resacc_graph::gen;
+
+fn bench_phases(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(8_192, 5, 0x91);
+    let mut group = c.benchmark_group("resacc_phases");
+    group.sample_size(10);
+
+    group.bench_function("hhopfwd_h2", |b| {
+        let mut state = ForwardState::new(graph.num_nodes());
+        b.iter(|| {
+            h_hop_fwd(
+                &graph,
+                0,
+                0.2,
+                1e-11,
+                Scope::HopLimited(2),
+                true,
+                &mut state,
+            )
+        })
+    });
+    group.bench_function("hhopfwd_plus_omfwd", |b| {
+        let mut state = ForwardState::new(graph.num_nodes());
+        let r_max_f = 1.0 / (10.0 * graph.num_edges() as f64);
+        b.iter(|| {
+            let out = h_hop_fwd(
+                &graph,
+                0,
+                0.2,
+                1e-11,
+                Scope::HopLimited(2),
+                true,
+                &mut state,
+            );
+            omfwd(&graph, 0.2, r_max_f, &out.boundary, &mut state)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(8_192, 5, 0x92);
+    let params = RwrParams::for_graph(graph.num_nodes());
+    let mut group = c.benchmark_group("resacc_ablations");
+    group.sample_size(10);
+    let variants = [
+        ("full", ResAccConfig::default()),
+        ("no_loop", ResAccConfig::no_loop()),
+        ("no_subgraph", ResAccConfig::no_subgraph()),
+        ("no_omfwd", ResAccConfig::no_omfwd()),
+    ];
+    for (label, cfg) in variants {
+        group.bench_function(BenchmarkId::new("variant", label), |b| {
+            let engine = ResAcc::new(cfg);
+            let mut state = ForwardState::new(graph.num_nodes());
+            b.iter(|| engine.query_with_state(&graph, 0, &params, 5, &mut state))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: SSRWR query time per algorithm (the
+//! micro-scale companion of Table III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resacc::fora::{fora, ForaConfig};
+use resacc::monte_carlo::monte_carlo;
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::RwrParams;
+use resacc_graph::gen;
+
+fn bench_ssrwr(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(4_096, 5, 0xBE);
+    let params = RwrParams::for_graph(graph.num_nodes());
+    let mut group = c.benchmark_group("ssrwr_query_time");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("power", "ba4096"), |b| {
+        b.iter(|| resacc::power::power_iteration(&graph, 0, params.alpha, 1e-8, 400))
+    });
+    group.bench_function(BenchmarkId::new("fwd", "ba4096"), |b| {
+        b.iter(|| resacc::forward_push::forward_search_scores(&graph, 0, params.alpha, 1e-8))
+    });
+    group.bench_function(BenchmarkId::new("mc", "ba4096"), |b| {
+        b.iter(|| monte_carlo(&graph, 0, &params, 7))
+    });
+    group.bench_function(BenchmarkId::new("fora", "ba4096"), |b| {
+        b.iter(|| fora(&graph, 0, &params, &ForaConfig::default(), 7))
+    });
+    group.bench_function(BenchmarkId::new("resacc", "ba4096"), |b| {
+        let engine = ResAcc::new(ResAccConfig::default());
+        b.iter(|| engine.query(&graph, 0, &params, 7))
+    });
+    group.finish();
+}
+
+fn bench_graph_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resacc_vs_fora_scaling");
+    group.sample_size(10);
+    for n in [1_024usize, 4_096, 16_384] {
+        let graph = gen::barabasi_albert(n, 5, 0x5C);
+        let params = RwrParams::for_graph(n);
+        group.bench_with_input(BenchmarkId::new("resacc", n), &n, |b, _| {
+            let engine = ResAcc::new(ResAccConfig::default());
+            b.iter(|| engine.query(&graph, 0, &params, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("fora", n), &n, |b, _| {
+            b.iter(|| fora(&graph, 0, &params, &ForaConfig::default(), 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssrwr, bench_graph_size_scaling);
+criterion_main!(benches);

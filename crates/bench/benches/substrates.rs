@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the substrates: CSR construction, BFS
+//! hop layers, the random-walk engine and forward push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resacc::walker::Walker;
+use resacc::ForwardState;
+use resacc_graph::{gen, GraphBuilder, HopLayers};
+
+fn bench_builder(c: &mut Criterion) {
+    let edges: Vec<(u32, u32)> = gen::barabasi_albert(8_192, 5, 1).edges().collect();
+    c.bench_function("csr_build_80k_edges", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::new(8_192).with_edge_capacity(edges.len());
+            for &(u, v) in &edges {
+                builder.add_edge(u, v);
+            }
+            builder.build()
+        })
+    });
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(16_384, 5, 2);
+    let mut group = c.benchmark_group("hop_layers");
+    for h in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| HopLayers::compute(&graph, 0, h))
+        });
+    }
+    group.finish();
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(16_384, 5, 3);
+    c.bench_function("walks_10k", |b| {
+        let mut scores = vec![0.0f64; graph.num_nodes()];
+        b.iter(|| {
+            let mut w = Walker::new(&graph, 0.2, 7);
+            w.walk_and_credit(0, 10_000, 1e-4, &mut scores);
+            w.walks_taken()
+        })
+    });
+}
+
+fn bench_forward_push(c: &mut Criterion) {
+    let graph = gen::barabasi_albert(16_384, 5, 4);
+    let mut group = c.benchmark_group("forward_push");
+    for r_max in [1e-4f64, 1e-6, 1e-8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r_max:.0e}")),
+            &r_max,
+            |b, &r_max| {
+                let mut state = ForwardState::new(graph.num_nodes());
+                b.iter(|| resacc::forward_push::forward_search(&graph, 0, 0.2, r_max, &mut state))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_builder,
+    bench_traversal,
+    bench_walker,
+    bench_forward_push
+);
+criterion_main!(benches);

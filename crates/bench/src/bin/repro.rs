@@ -1,0 +1,76 @@
+//! `repro` — regenerate any table or figure of the ResAcc paper.
+//!
+//! ```text
+//! repro <experiment>... [--sources N] [--seed S]
+//! repro all
+//! repro list
+//! ```
+//!
+//! Set `RESACC_SCALE=full` for 4× dataset sizes.
+
+use resacc_bench::harness::{self, Opts, EXPERIMENTS, EXTRA};
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment>... [--sources N] [--seed S]");
+    eprintln!("       repro all | list");
+    eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+    eprintln!("extras:      {}", EXTRA.join(", "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut opts = Opts {
+        scale: resacc_bench::Scale::from_env(),
+        ..Opts::default()
+    };
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sources" => {
+                opts.sources = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "list" => {
+                for e in EXPERIMENTS.iter().chain(EXTRA.iter()) {
+                    println!("{e}");
+                }
+                return;
+            }
+            "all" => {
+                experiments.extend(EXPERIMENTS.iter().map(|s| s.to_string()));
+                experiments.extend(EXTRA.iter().map(|s| s.to_string()));
+            }
+            other if other.starts_with('-') => usage(),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    for id in &experiments {
+        let start = std::time::Instant::now();
+        match harness::run(id, &opts) {
+            Some(report) => {
+                print!("{report}");
+                eprintln!("[{id} completed in {:.1}s]", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                usage();
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Synthetic analogues of the paper's Table II datasets.
+//!
+//! The paper evaluates on seven SNAP graphs (DBLP … Friendster, 0.3M–65.7M
+//! nodes). Those are not redistributable and exceed laptop memory, so each
+//! analogue matches the *shape* knobs that drive the algorithms under test —
+//! average degree `m/n`, heavy-tailed vs flat degree distribution,
+//! undirected (symmetrized) vs directed — at a laptop-scale node count.
+//! `DESIGN.md` §4 records the substitution rationale; the `table2` harness
+//! prints target-vs-generated statistics.
+//!
+//! All generators are seeded, so every figure harness sees byte-identical
+//! graphs across runs.
+
+use resacc_graph::{gen, CsrGraph};
+
+/// Harness scale: `Small` keeps `repro all` in the minutes range; `Full`
+/// quadruples node counts for shape checks at larger scale
+/// (`RESACC_SCALE=full`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Default laptop scale.
+    Small,
+    /// 4× node counts.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `RESACC_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("RESACC_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    fn multiplier(self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Full => 4,
+        }
+    }
+}
+
+/// A named dataset: the graph plus the paper's per-dataset `h` (Table II
+/// last column) and the Table II row it substitutes for.
+pub struct Dataset {
+    /// Analogue name (`dblp`, `web-stan`, …).
+    pub name: &'static str,
+    /// The Table II dataset this stands in for.
+    pub paper_name: &'static str,
+    /// The paper's `h` for this dataset.
+    pub h: usize,
+    /// Target `m/n` from Table II.
+    pub target_avg_degree: f64,
+    /// The generated graph.
+    pub graph: CsrGraph,
+}
+
+/// Builds one dataset by name. Panics on unknown names (the harness CLI
+/// validates first).
+pub fn build(name: &str, scale: Scale) -> Dataset {
+    let k = scale.multiplier();
+    match name {
+        // DBLP: undirected co-authorship, m/n = 6.6, h = 3.
+        "dblp" => Dataset {
+            name: "dblp",
+            paper_name: "DBLP (317K/2.1M)",
+            h: 3,
+            target_avg_degree: 6.6,
+            graph: gen::barabasi_albert(8_192 * k, 3, 0xD81),
+        },
+        // Web-Stanford: directed web graph, m/n = 8.2, h = 2.
+        "web-stan" => Dataset {
+            name: "web-stan",
+            paper_name: "Web-Stan (282K/2.3M)",
+            h: 2,
+            target_avg_degree: 8.2,
+            graph: gen::powerlaw_configuration(4_096 * k, 1.72, 512, 0x3EB),
+        },
+        // Pokec: directed social network, m/n = 18.8, h = 2.
+        "pokec" => Dataset {
+            name: "pokec",
+            paper_name: "Pokec (1.63M/30.6M)",
+            h: 2,
+            target_avg_degree: 18.8,
+            graph: gen::barabasi_albert(8_192 * k, 9, 0x70C),
+        },
+        // LiveJournal: m/n = 17.4, h = 2.
+        "lj" => Dataset {
+            name: "lj",
+            paper_name: "LJ (4.8M/69.0M)",
+            h: 2,
+            target_avg_degree: 17.4,
+            graph: gen::barabasi_albert(16_384 * k, 9, 0x11),
+        },
+        // Orkut: m/n = 38.1, h = 2.
+        "orkut" => Dataset {
+            name: "orkut",
+            paper_name: "Orkut (3.1M/117.2M)",
+            h: 2,
+            target_avg_degree: 38.1,
+            graph: gen::barabasi_albert(12_288 * k, 19, 0x0AC),
+        },
+        // Twitter: directed follower graph, m/n = 35.3, h = 2.
+        "twitter" => Dataset {
+            name: "twitter",
+            paper_name: "Twitter (41.7M/1.5B)",
+            h: 2,
+            target_avg_degree: 35.3,
+            graph: gen::powerlaw_configuration(16_384 * k, 1.45, 2_048, 0x7A1),
+        },
+        // Friendster: the largest graph — exists mainly to trigger the
+        // index-oriented methods' budget failures, as in the paper.
+        "friendster" => Dataset {
+            name: "friendster",
+            paper_name: "Friendster (65.7M/2.1B)",
+            h: 2,
+            target_avg_degree: 38.1,
+            graph: gen::barabasi_albert(32_768 * k, 19, 0xF12),
+        },
+        other => panic!("unknown dataset {other:?}"),
+    }
+}
+
+/// The Table II roster in paper order.
+pub const ALL: [&str; 7] = [
+    "dblp",
+    "web-stan",
+    "pokec",
+    "lj",
+    "orkut",
+    "twitter",
+    "friendster",
+];
+
+/// The subset used by the accuracy figures (the paper plots 5–6 datasets,
+/// skipping Friendster where most baselines fail).
+pub const ACCURACY_SET: [&str; 4] = ["dblp", "web-stan", "pokec", "twitter"];
+
+/// Builds every dataset in [`ALL`].
+pub fn build_all(scale: Scale) -> Vec<Dataset> {
+    ALL.iter().map(|n| build(n, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_build_and_roughly_match_degree() {
+        for name in ALL {
+            let d = build(name, Scale::Small);
+            let avg = d.graph.avg_degree();
+            assert!(
+                avg > 0.3 * d.target_avg_degree && avg < 3.0 * d.target_avg_degree,
+                "{name}: avg degree {avg} vs target {}",
+                d.target_avg_degree
+            );
+            assert!(d.h >= 2);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build("dblp", Scale::Small);
+        let b = build("dblp", Scale::Small);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn full_scale_is_larger() {
+        let s = build("web-stan", Scale::Small);
+        let f = build("web-stan", Scale::Full);
+        assert_eq!(f.graph.num_nodes(), 4 * s.graph.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_name_panics() {
+        let _ = build("nope", Scale::Small);
+    }
+}

@@ -1,0 +1,144 @@
+//! Figures 4, 5 and 11: absolute error at the k-th largest RWR value and
+//! NDCG@k, per algorithm per dataset.
+
+use super::common::*;
+use crate::datasets;
+use resacc::bepi::{BepiConfig, BepiIndex};
+use resacc::tpa::{TpaConfig, TpaIndex};
+use resacc_eval::ascii::{render, AxisScale, Series};
+use resacc_eval::{abs_error_at_k, ndcg_at_k, GroundTruthCache};
+use std::fmt::Write as _;
+
+/// The paper's `k` grid, scaled: it plots `k ∈ {1, 10, …, 10⁵}` on graphs
+/// of 0.3M–42M nodes; at our sizes the same fractional reach is
+/// `{1, 10, 100, 1000, n/8}`.
+pub fn k_grid(n: usize) -> Vec<usize> {
+    let mut ks = vec![1, 10, 100, 1000, (n / 8).max(100)];
+    ks.retain(|&k| k <= n);
+    ks.sort_unstable();
+    ks.dedup();
+    ks
+}
+
+enum Metric {
+    AbsError,
+    Ndcg,
+}
+
+fn accuracy_figure(opts: &Opts, metric: Metric, title: &str) -> String {
+    let cache = GroundTruthCache::new(0.2);
+    let mut out = String::new();
+    for name in datasets::ACCURACY_SET {
+        let d = datasets::build(name, opts.scale);
+        let n = d.graph.num_nodes();
+        let ks = k_grid(n);
+        let mut cols = vec!["algorithm".to_string()];
+        cols.extend(ks.iter().map(|k| format!("k={k}")));
+        out.push_str(&header(
+            &format!("{title} — {name}"),
+            &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+        ));
+        let sources = random_sources(&d.graph, opts.sources.min(6), opts.seed);
+
+        // Index-free roster minus Power (Power *is* the ground truth here)
+        // plus BePI where it fits, matching the paper's Figure 4 line-up.
+        let mut results: Vec<(String, Vec<f64>)> = Vec::new();
+        for (label, kernel) in index_free_roster(&d) {
+            if label == "Power" || label == "FWD" {
+                continue; // the paper's accuracy plots omit these
+            }
+            let mut per_k = vec![0.0f64; ks.len()];
+            for (i, &s) in sources.iter().enumerate() {
+                let est = kernel(s, opts.seed ^ (0xACC + i as u64));
+                let truth = cache.get(name, &d.graph, s);
+                for (j, &k) in ks.iter().enumerate() {
+                    per_k[j] += match metric {
+                        Metric::AbsError => abs_error_at_k(&truth, &est, k),
+                        Metric::Ndcg => ndcg_at_k(&truth, &est, k),
+                    };
+                }
+            }
+            per_k.iter_mut().for_each(|x| *x /= sources.len() as f64);
+            results.push((label.to_string(), per_k));
+        }
+        // BePI (solver-accurate but heuristic hub split; o.o.m on larger
+        // sets, exactly as the paper plots it only where it fits).
+        let bepi_cfg = BepiConfig {
+            hub_count: Some(super::tables::bepi_hubs(d.graph.num_edges())),
+            tolerance: 1e-10,
+            max_iterations: 300,
+            memory_budget: super::tables::budgets::BEPI,
+        };
+        if let Ok(idx) = BepiIndex::build(&d.graph, 0.2, &bepi_cfg) {
+            let mut per_k = vec![0.0f64; ks.len()];
+            for &s in &sources {
+                let est = idx.query(&d.graph, s).expect("bepi query");
+                let truth = cache.get(name, &d.graph, s);
+                for (j, &k) in ks.iter().enumerate() {
+                    per_k[j] += match metric {
+                        Metric::AbsError => abs_error_at_k(&truth, &est, k),
+                        Metric::Ndcg => ndcg_at_k(&truth, &est, k),
+                    };
+                }
+            }
+            per_k.iter_mut().for_each(|x| *x /= sources.len() as f64);
+            results.push(("BePI".into(), per_k));
+        } else {
+            out.push_str("BePI: o.o.m (omitted, as in the paper)\n");
+        }
+        // TPA (heuristic far field: the paper's Figure 5 shows its NDCG
+        // collapse on large graphs).
+        let tpa_cfg = TpaConfig {
+            memory_budget: super::tables::budgets::TPA,
+            ..Default::default()
+        };
+        if let Ok(idx) = TpaIndex::build(&d.graph, 0.2, &tpa_cfg) {
+            let mut per_k = vec![0.0f64; ks.len()];
+            for &s in &sources {
+                let est = idx.query(&d.graph, s);
+                let truth = cache.get(name, &d.graph, s);
+                for (j, &k) in ks.iter().enumerate() {
+                    per_k[j] += match metric {
+                        Metric::AbsError => abs_error_at_k(&truth, &est, k),
+                        Metric::Ndcg => ndcg_at_k(&truth, &est, k),
+                    };
+                }
+            }
+            per_k.iter_mut().for_each(|x| *x /= sources.len() as f64);
+            results.push(("tpa".into(), per_k));
+        } else {
+            out.push_str("TPA: o.o.m (omitted)\n");
+        }
+
+        let mut plot = Vec::new();
+        for (label, per_k) in results {
+            plot.push(Series::new(
+                label.clone(),
+                ks.iter()
+                    .zip(per_k.iter())
+                    .map(|(&k, &v)| (k as f64, v))
+                    .collect(),
+            ));
+            let mut cells = vec![label];
+            cells.extend(per_k.iter().map(|v| format!("{v:.3e}")));
+            let _ = writeln!(out, "{}", row(&cells));
+        }
+        let y_scale = match metric {
+            Metric::AbsError => AxisScale::Log,
+            Metric::Ndcg => AxisScale::Linear,
+        };
+        out.push_str(&render(&plot, 64, 12, AxisScale::Log, y_scale));
+    }
+    out
+}
+
+/// Figure 4 (and Appendix A Figure 11): average absolute error of the k-th
+/// largest RWR value.
+pub fn fig4(opts: &Opts) -> String {
+    accuracy_figure(opts, Metric::AbsError, "Fig 4: abs error @ k")
+}
+
+/// Figure 5: NDCG of the top-k nodes returned by each method.
+pub fn fig5(opts: &Opts) -> String {
+    accuracy_figure(opts, Metric::Ndcg, "Fig 5: NDCG @ k")
+}

@@ -1,0 +1,114 @@
+//! Figures 12–13 (Particle Filtering comparison) and 14–15 (high
+//! out-degree query nodes).
+
+use super::common::*;
+use crate::datasets;
+use resacc::monte_carlo::monte_carlo;
+use resacc::particle_filter::particle_filter;
+use resacc::resacc::ResAcc;
+use resacc_eval::metrics::{mean_abs_error, ndcg_at_k};
+use resacc_eval::timing::time_it;
+use resacc_eval::GroundTruthCache;
+use std::fmt::Write as _;
+
+/// Figures 12–13 (Appendix B): MC vs PF vs ResAcc in query time, absolute
+/// error and NDCG. Per the paper's protocol PF gets the same walk budget as
+/// MC; `w_min` scales with that budget the way the paper's `10⁴` relates to
+/// its `n_r` on Twitter.
+pub fn fig12(opts: &Opts) -> String {
+    let cache = GroundTruthCache::new(0.2);
+    let mut out = String::new();
+    for name in ["dblp", "twitter"] {
+        let d = datasets::build(name, opts.scale);
+        let params = paper_params(&d.graph);
+        let sources = random_sources(&d.graph, opts.sources.min(6), opts.seed);
+        let eval_k = (d.graph.num_nodes() / 8).max(100);
+        let total_walks = params.walk_coefficient();
+        let w_min = (total_walks / 1e4).max(2.0); // paper: 1e4 of ~1e8 walks
+        out.push_str(&header(
+            &format!(
+                "Figs 12-13: PF comparison — {name} (walks {total_walks:.2e}, w_min {w_min:.1})"
+            ),
+            &["method", "time(s)", "abs err", "NDCG"],
+        ));
+        let engine = ResAcc::new(paper_resacc(&d));
+        type Kernel<'a> = Box<dyn Fn(u32, u64) -> Vec<f64> + 'a>;
+        let methods: Vec<(&str, Kernel)> = vec![
+            (
+                "MC",
+                Box::new(|s, seed| monte_carlo(&d.graph, s, &params, seed).scores),
+            ),
+            (
+                "PF",
+                Box::new(|s, seed| {
+                    particle_filter(&d.graph, s, params.alpha, total_walks, w_min, seed).scores
+                }),
+            ),
+            (
+                "ResAcc",
+                Box::new(|s, seed| engine.query(&d.graph, s, &params, seed).scores),
+            ),
+        ];
+        for (label, kernel) in methods {
+            let mut t_sum = std::time::Duration::ZERO;
+            let (mut err, mut ndcg) = (0.0, 0.0);
+            for (i, &s) in sources.iter().enumerate() {
+                let truth = cache.get(name, &d.graph, s);
+                let (est, t) = time_it(|| kernel(s, opts.seed + i as u64));
+                t_sum += t;
+                err += mean_abs_error(&truth, &est);
+                ndcg += ndcg_at_k(&truth, &est, eval_k);
+            }
+            let c = sources.len() as f64;
+            let _ = writeln!(
+                out,
+                "{}",
+                row(&[
+                    label.into(),
+                    fmt_secs(t_sum / sources.len() as u32),
+                    format!("{:.3e}", err / c),
+                    format!("{:.4}", ndcg / c),
+                ])
+            );
+        }
+    }
+    out
+}
+
+/// Figures 14–15 (Appendix C): the 20 highest out-degree nodes as query
+/// sources — the "hub source" stress case.
+pub fn fig14(opts: &Opts) -> String {
+    let cache = GroundTruthCache::new(0.2);
+    let mut out = String::new();
+    for name in ["dblp", "twitter"] {
+        let d = datasets::build(name, opts.scale);
+        let sources = resacc_graph::stats::top_out_degree_nodes(&d.graph, opts.sources.min(20));
+        out.push_str(&header(
+            &format!("Figs 14-15: highest-out-degree sources — {name}"),
+            &["algorithm", "avg time(s)", "avg abs err"],
+        ));
+        for (label, kernel) in index_free_roster(&d) {
+            if label == "Power" || label == "FWD" {
+                continue; // paper compares MC, FORA, TopPPR, ResAcc here
+            }
+            let mut t_sum = std::time::Duration::ZERO;
+            let mut err = 0.0;
+            for (i, &s) in sources.iter().enumerate() {
+                let truth = cache.get(name, &d.graph, s);
+                let (est, t) = time_it(|| kernel(s, opts.seed + i as u64));
+                t_sum += t;
+                err += mean_abs_error(&truth, &est);
+            }
+            let _ = writeln!(
+                out,
+                "{}",
+                row(&[
+                    label.into(),
+                    fmt_secs(t_sum / sources.len() as u32),
+                    format!("{:.3e}", err / sources.len() as f64),
+                ])
+            );
+        }
+    }
+    out
+}

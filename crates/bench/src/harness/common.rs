@@ -1,0 +1,179 @@
+//! Shared plumbing for the figure harnesses: source selection, the
+//! index-free algorithm roster, and table formatting.
+
+use crate::datasets::Dataset;
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use resacc::fora::{fora, ForaConfig};
+use resacc::monte_carlo::monte_carlo;
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::topppr::{topppr, TopPprConfig};
+use resacc::RwrParams;
+use resacc_graph::{CsrGraph, NodeId};
+use std::time::Duration;
+
+/// Harness options shared by all experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    /// Number of query sources per dataset (the paper uses 50).
+    pub sources: usize,
+    /// Dataset scale.
+    pub scale: crate::Scale,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            sources: 12,
+            scale: crate::Scale::Small,
+            seed: 2020,
+        }
+    }
+}
+
+/// Uniformly random query sources (the paper's protocol: "we chose 50
+/// source nodes uniformly at random").
+pub fn random_sources(graph: &CsrGraph, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    nodes.shuffle(&mut SmallRng::seed_from_u64(seed));
+    nodes.truncate(count.min(graph.num_nodes()));
+    nodes
+}
+
+/// The paper's standard parameters for a dataset (`α=0.2`, `ε=0.5`,
+/// `δ=p_f=1/n`).
+pub fn paper_params(graph: &CsrGraph) -> RwrParams {
+    RwrParams::for_graph(graph.num_nodes())
+}
+
+/// ResAcc configured per the paper for a dataset (its `h` from Table II,
+/// `r_max_hop = 10⁻¹¹`, `r_max^f = 1/(10m)`).
+pub fn paper_resacc(d: &Dataset) -> ResAccConfig {
+    ResAccConfig::default().with_h(d.h)
+}
+
+/// An SSRWR kernel: `(source, seed) → scores`.
+pub type Kernel<'g> = Box<dyn Fn(NodeId, u64) -> Vec<f64> + 'g>;
+
+/// The index-free roster of Table III, as `(label, kernel)` pairs. `FWD`
+/// uses `r_max = 10⁻⁸` (a scaled-down stand-in for the paper's 10⁻¹², which
+/// at our graph sizes would push far past double precision's useful range);
+/// `TopPPR` uses `K ≈ 0.25% of n` like the paper's `K = 10⁵` on Twitter.
+pub fn index_free_roster(d: &Dataset) -> Vec<(&'static str, Kernel<'_>)> {
+    let g = &d.graph;
+    let params = paper_params(g);
+    let resacc_cfg = paper_resacc(d);
+    let topppr_cfg = TopPprConfig {
+        k: (g.num_nodes() / 400).max(8),
+        r_max: None,
+        refine: Some(16),
+        backward_r_max: 1e-4,
+    };
+    vec![
+        (
+            "Power",
+            Box::new(move |s, _| {
+                resacc::power::power_iteration(g, s, params.alpha, 1e-8, 400).scores
+            }),
+        ),
+        (
+            "FWD",
+            Box::new(move |s, _| {
+                resacc::forward_push::forward_search_scores(g, s, params.alpha, 1e-8)
+            }),
+        ),
+        (
+            "MC",
+            Box::new(move |s, seed| monte_carlo(g, s, &params, seed).scores),
+        ),
+        (
+            "FORA",
+            Box::new(move |s, seed| fora(g, s, &params, &ForaConfig::default(), seed).scores),
+        ),
+        (
+            "TopPPR",
+            Box::new(move |s, seed| topppr(g, s, &params, &topppr_cfg, seed).scores),
+        ),
+        (
+            "ResAcc",
+            Box::new(move |s, seed| ResAcc::new(resacc_cfg).query(g, s, &params, seed).scores),
+        ),
+    ]
+}
+
+/// Formats seconds the way the paper's tables do.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:9.4}", d.as_secs_f64())
+}
+
+/// Formats a byte count as a human-readable index size.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2}GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.1}MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1}KB", b / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Prints a row of columns padded to width 11.
+pub fn row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>11}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Prints a header line followed by a rule.
+pub fn header(title: &str, cols: &[&str]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n=== {title} ===\n"));
+    out.push_str(&row(&cols
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&"-".repeat(12 * cols.len()));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_deterministic_and_unique() {
+        let d = crate::build("web-stan", crate::Scale::Small);
+        let a = random_sources(&d.graph, 10, 1);
+        let b = random_sources(&d.graph, 10, 1);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn roster_has_six_algorithms() {
+        let d = crate::build("web-stan", crate::Scale::Small);
+        let roster = index_free_roster(&d);
+        assert_eq!(roster.len(), 6);
+        let labels: Vec<_> = roster.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["Power", "FWD", "MC", "FORA", "TopPPR", "ResAcc"]);
+    }
+
+    #[test]
+    fn fmt_bytes_ranges() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert!(fmt_bytes(3 << 20).ends_with("MB"));
+        assert!(fmt_bytes(5 << 30).ends_with("GB"));
+    }
+}

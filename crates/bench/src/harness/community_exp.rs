@@ -1,0 +1,121 @@
+//! Tables V and VI: overlapping community detection with NISE.
+
+use super::common::*;
+use crate::datasets;
+use resacc::fora::{fora, ForaConfig};
+use resacc::resacc::ResAcc;
+use resacc_community::ground_truth::average_f1;
+use resacc_community::{nise, NiseConfig, RankingStrategy};
+use resacc_graph::gen;
+use std::fmt::Write as _;
+
+/// The community study runs on planted-community graphs standing in for the
+/// paper's Facebook (4K nodes) and DBLP (317K nodes): same protocol —
+/// detect `|C|` overlapping communities, score by ANC and AC.
+type CommunityDataset = (
+    &'static str,
+    resacc_graph::CsrGraph,
+    usize,
+    Option<Vec<Vec<resacc_graph::NodeId>>>,
+);
+
+fn community_datasets(scale: crate::Scale) -> Vec<CommunityDataset> {
+    let k = match scale {
+        crate::Scale::Small => 1,
+        crate::Scale::Full => 2,
+    };
+    let facebook = gen::planted_partition(8 * k, 160, 0.12, 0.002, 0xFB);
+    let dblp = datasets::build("dblp", scale).graph;
+    vec![
+        (
+            "facebook",
+            facebook.graph,
+            8 * k,
+            Some(facebook.communities),
+        ),
+        ("dblp", dblp, 16 * k, None),
+    ]
+}
+
+/// Table V: NISE with SSRWR ranking vs NISE-without-SSRWR (distance
+/// ranking). Smaller ANC/AC = better communities.
+pub fn table5(opts: &Opts) -> String {
+    let mut out = header(
+        "Table V: SSRWR's effect inside NISE",
+        &["dataset", "method", "ANC", "AC", "F1(truth)"],
+    );
+    for (name, graph, communities, truth) in community_datasets(opts.scale) {
+        let params = paper_params(&graph);
+        let engine = ResAcc::new(resacc::resacc::ResAccConfig::default());
+        let with = nise(&graph, &NiseConfig::new(communities), |s, i| {
+            engine
+                .query(&graph, s, &params, opts.seed + i as u64)
+                .scores
+        });
+        let cfg_without = NiseConfig {
+            ranking: RankingStrategy::Distance(4),
+            ..NiseConfig::new(communities)
+        };
+        let without = nise(&graph, &cfg_without, |_, _| unreachable!());
+        for (label, r) in [("NISE", &with), ("NISE-w/o-SSRWR", &without)] {
+            let f1 = truth
+                .as_ref()
+                .map(|t| format!("{:.4}", average_f1(&r.communities, t)))
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "{}",
+                row(&[
+                    name.into(),
+                    label.into(),
+                    format!("{:.4}", r.average_normalized_cut),
+                    format!("{:.4}", r.average_conductance),
+                    f1,
+                ])
+            );
+        }
+    }
+    out
+}
+
+/// Table VI: FORA vs ResAcc as the SSRWR kernel inside NISE — total time
+/// and community quality.
+pub fn table6(opts: &Opts) -> String {
+    let mut out = header(
+        "Table VI: NISE kernel comparison",
+        &["dataset", "kernel", "total(s)", "ANC", "AC"],
+    );
+    for (name, graph, communities, _truth) in community_datasets(opts.scale) {
+        let params = paper_params(&graph);
+        let engine = ResAcc::new(resacc::resacc::ResAccConfig::default());
+        let with_resacc = nise(&graph, &NiseConfig::new(communities), |s, i| {
+            engine
+                .query(&graph, s, &params, opts.seed + i as u64)
+                .scores
+        });
+        let with_fora = nise(&graph, &NiseConfig::new(communities), |s, i| {
+            fora(
+                &graph,
+                s,
+                &params,
+                &ForaConfig::default(),
+                opts.seed + i as u64,
+            )
+            .scores
+        });
+        for (label, r) in [("FORA", &with_fora), ("ResAcc", &with_resacc)] {
+            let _ = writeln!(
+                out,
+                "{}",
+                row(&[
+                    name.into(),
+                    label.into(),
+                    fmt_secs(r.total_time),
+                    format!("{:.4}", r.average_normalized_cut),
+                    format!("{:.4}", r.average_conductance),
+                ])
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,79 @@
+//! Figure 23 (Appendix I): index update cost per node deletion on a
+//! dynamic graph. Index-oriented methods rebuild from scratch; ResAcc,
+//! being index-free, pays **zero**.
+
+use super::common::*;
+use crate::datasets;
+use resacc::bepi::{BepiConfig, BepiIndex};
+use resacc::fora_plus::{ForaPlusConfig, ForaPlusIndex};
+use resacc::tpa::{TpaConfig, TpaIndex};
+use resacc_eval::timing::time_it;
+use resacc_graph::dynamic::delete_node;
+use std::fmt::Write as _;
+
+/// Deletes random nodes and measures each index's rebuild time
+/// (the paper deletes 50 nodes and reports the average per deletion).
+pub fn fig23(opts: &Opts) -> String {
+    let mut out = header(
+        "Fig 23: index update time per node deletion (s)",
+        &["dataset", "BePI", "TPA", "FORA+", "ResAcc"],
+    );
+    let deletions = opts.sources.clamp(2, 5); // each deletion = full rebuild
+    for name in ["dblp", "web-stan", "pokec"] {
+        let d = datasets::build(name, opts.scale);
+        let victims = random_sources(&d.graph, deletions, opts.seed ^ 0xDEAD);
+        let params = paper_params(&d.graph);
+        let bepi_cfg = BepiConfig {
+            hub_count: Some(super::tables::bepi_hubs(d.graph.num_edges())),
+            tolerance: 1e-10,
+            max_iterations: 300,
+            memory_budget: super::tables::budgets::BEPI,
+        };
+        let tpa_cfg = TpaConfig {
+            memory_budget: super::tables::budgets::TPA,
+            ..Default::default()
+        };
+        let fp_cfg = ForaPlusConfig {
+            memory_budget: super::tables::budgets::FORA_PLUS,
+            ..Default::default()
+        };
+        let (mut bepi_t, mut tpa_t, mut fp_t) = (Vec::new(), Vec::new(), Vec::new());
+        let mut bepi_oom = false;
+        for &v in &victims {
+            let g2 = delete_node(&d.graph, v);
+            let (r, t) = time_it(|| BepiIndex::build(&g2, 0.2, &bepi_cfg));
+            match r {
+                Ok(_) => bepi_t.push(t),
+                Err(_) => bepi_oom = true,
+            }
+            let (r, t) = time_it(|| TpaIndex::build(&g2, 0.2, &tpa_cfg));
+            if r.is_ok() {
+                tpa_t.push(t);
+            }
+            let (r, t) = time_it(|| ForaPlusIndex::build(&g2, &params, &fp_cfg, opts.seed));
+            if r.is_ok() {
+                fp_t.push(t);
+            }
+        }
+        let cell = |times: &[std::time::Duration], oom: bool| -> String {
+            if oom || times.is_empty() {
+                "o.o.m".into()
+            } else {
+                fmt_secs(resacc_eval::timing::mean_duration(times))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            row(&[
+                name.into(),
+                cell(&bepi_t, bepi_oom),
+                cell(&tpa_t, false),
+                cell(&fp_t, false),
+                fmt_secs(std::time::Duration::ZERO), // index-free: nothing to rebuild
+            ])
+        );
+    }
+    out.push_str("\nResAcc column is identically zero: no index exists to update.\n");
+    out
+}

@@ -1,0 +1,211 @@
+//! "Fair comparison" experiments: Figure 6 (vs FORA) and Figures 18–20
+//! (vs TopPPR).
+
+use super::common::*;
+use crate::datasets;
+use resacc::fora::{fora, ForaConfig};
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::topppr::{topppr, TopPprConfig};
+use resacc_eval::metrics::{abs_error_at_k, mean_abs_error};
+use resacc_eval::timing::time_it;
+use resacc_eval::GroundTruthCache;
+use std::fmt::Write as _;
+
+/// Figure 6(a): absolute error when FORA is stopped at ResAcc's query time
+/// (equal-time comparison, on the twitter analogue), and
+/// Figure 6(b)/Appendix F: ResAcc's time to reach FORA's empirical error by
+/// sweeping `n_scale ∈ {0, 0.2, …, 1.0}`.
+pub fn fig6(opts: &Opts) -> String {
+    let cache = GroundTruthCache::new(0.2);
+    let mut out = String::new();
+
+    // (a) equal time on the twitter analogue.
+    let d = datasets::build("twitter", opts.scale);
+    let params = paper_params(&d.graph);
+    let engine = ResAcc::new(paper_resacc(&d));
+    let sources = random_sources(&d.graph, opts.sources.min(6), opts.seed);
+    let ks = super::accuracy::k_grid(d.graph.num_nodes());
+    let mut cols = vec!["method".to_string()];
+    cols.extend(ks.iter().map(|k| format!("k={k}")));
+    out.push_str(&header(
+        "Fig 6(a): abs error at equal query time — twitter analogue",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    ));
+    let mut res_err = vec![0.0f64; ks.len()];
+    let mut fora_err = vec![0.0f64; ks.len()];
+    for (i, &s) in sources.iter().enumerate() {
+        let seed = opts.seed + i as u64;
+        let (r, t) = time_it(|| engine.query(&d.graph, s, &params, seed));
+        let truth = cache.get("twitter", &d.graph, s);
+        // FORA with ResAcc's time budget.
+        let f = fora(
+            &d.graph,
+            s,
+            &params,
+            &ForaConfig {
+                time_budget: Some(t),
+                ..Default::default()
+            },
+            seed,
+        );
+        for (j, &k) in ks.iter().enumerate() {
+            res_err[j] += abs_error_at_k(&truth, &r.scores, k);
+            fora_err[j] += abs_error_at_k(&truth, &f.scores, k);
+        }
+    }
+    let n = sources.len() as f64;
+    for (label, errs) in [("ResAcc", &res_err), ("FORA(cut)", &fora_err)] {
+        let mut cells = vec![label.to_string()];
+        cells.extend(errs.iter().map(|e| format!("{:.3e}", e / n)));
+        let _ = writeln!(out, "{}", row(&cells));
+    }
+
+    // (b) equal error: find the smallest n_scale whose mean abs error is
+    // within 10% of FORA's, and compare query times (paper Appendix F).
+    out.push_str(&header(
+        "Fig 6(b): ResAcc time to match FORA's empirical error",
+        &[
+            "dataset",
+            "FORA err",
+            "FORA t",
+            "n_scale",
+            "ResAcc err",
+            "ResAcc t",
+        ],
+    ));
+    for name in ["dblp", "pokec", "twitter"] {
+        let d = datasets::build(name, opts.scale);
+        let params = paper_params(&d.graph);
+        let sources = random_sources(&d.graph, opts.sources.min(4), opts.seed);
+        let mut fora_e = 0.0;
+        let mut fora_t = std::time::Duration::ZERO;
+        for (i, &s) in sources.iter().enumerate() {
+            let truth = cache.get(name, &d.graph, s);
+            let (f, t) = time_it(|| {
+                fora(
+                    &d.graph,
+                    s,
+                    &params,
+                    &ForaConfig::default(),
+                    opts.seed + i as u64,
+                )
+            });
+            fora_e += mean_abs_error(&truth, &f.scores);
+            fora_t += t;
+        }
+        fora_e /= sources.len() as f64;
+        let mut chosen = (1.0f64, fora_e, std::time::Duration::ZERO);
+        for scale in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let cfg = ResAccConfig {
+                walk_scale: scale,
+                ..paper_resacc(&d)
+            };
+            let engine = ResAcc::new(cfg);
+            let mut err = 0.0;
+            let mut t_total = std::time::Duration::ZERO;
+            for (i, &s) in sources.iter().enumerate() {
+                let truth = cache.get(name, &d.graph, s);
+                let (r, t) = time_it(|| engine.query(&d.graph, s, &params, opts.seed + i as u64));
+                err += mean_abs_error(&truth, &r.scores);
+                t_total += t;
+            }
+            err /= sources.len() as f64;
+            chosen = (scale, err, t_total / sources.len() as u32);
+            if (err - fora_e).abs() < 0.1 * fora_e || err < fora_e {
+                break;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            row(&[
+                name.into(),
+                format!("{fora_e:.3e}"),
+                fmt_secs(fora_t / sources.len() as u32),
+                format!("{:.1}", chosen.0),
+                format!("{:.3e}", chosen.1),
+                fmt_secs(chosen.2),
+            ])
+        );
+    }
+    out
+}
+
+/// Figures 18–20 (Appendix E): TopPPR K-sweep — query time, absolute error
+/// and NDCG at `k = n/8` as `K` varies — plus ResAcc's line for reference.
+pub fn fig18(opts: &Opts) -> String {
+    let cache = GroundTruthCache::new(0.2);
+    let mut out = String::new();
+    for name in ["dblp", "twitter"] {
+        let d = datasets::build(name, opts.scale);
+        let n = d.graph.num_nodes();
+        let params = paper_params(&d.graph);
+        let sources = random_sources(&d.graph, opts.sources.min(4), opts.seed);
+        let eval_k = (n / 8).max(100);
+        out.push_str(&header(
+            &format!("Fig 18-20: TopPPR K-sweep — {name} (eval k = {eval_k})"),
+            &["method", "K", "time(s)", "abs err", "NDCG"],
+        ));
+        // The paper sweeps K ∈ {5e3 … 5e5} on 41.7M nodes; same fractions.
+        let mut k_fracs: Vec<usize> = [n / 8192, n / 4096, n / 820, n / 410, n / 82]
+            .into_iter()
+            .map(|k| k.max(4))
+            .collect();
+        k_fracs.dedup();
+        for kk in k_fracs {
+            let cfg = TopPprConfig {
+                k: kk,
+                r_max: None,
+                refine: Some(kk.min(48)),
+                backward_r_max: 1e-4,
+            };
+            let mut t_sum = std::time::Duration::ZERO;
+            let mut err = 0.0;
+            let mut ndcg = 0.0;
+            for (i, &s) in sources.iter().enumerate() {
+                let truth = cache.get(name, &d.graph, s);
+                let (r, t) = time_it(|| topppr(&d.graph, s, &params, &cfg, opts.seed + i as u64));
+                t_sum += t;
+                err += abs_error_at_k(&truth, &r.scores, eval_k);
+                ndcg += resacc_eval::ndcg_at_k(&truth, &r.scores, eval_k);
+            }
+            let c = sources.len() as f64;
+            let _ = writeln!(
+                out,
+                "{}",
+                row(&[
+                    "TopPPR".into(),
+                    kk.to_string(),
+                    fmt_secs(t_sum / sources.len() as u32),
+                    format!("{:.3e}", err / c),
+                    format!("{:.4}", ndcg / c),
+                ])
+            );
+        }
+        // ResAcc reference line.
+        let engine = ResAcc::new(paper_resacc(&d));
+        let mut t_sum = std::time::Duration::ZERO;
+        let mut err = 0.0;
+        let mut ndcg = 0.0;
+        for (i, &s) in sources.iter().enumerate() {
+            let truth = cache.get(name, &d.graph, s);
+            let (r, t) = time_it(|| engine.query(&d.graph, s, &params, opts.seed + i as u64));
+            t_sum += t;
+            err += abs_error_at_k(&truth, &r.scores, eval_k);
+            ndcg += resacc_eval::ndcg_at_k(&truth, &r.scores, eval_k);
+        }
+        let c = sources.len() as f64;
+        let _ = writeln!(
+            out,
+            "{}",
+            row(&[
+                "ResAcc".into(),
+                "-".into(),
+                fmt_secs(t_sum / sources.len() as u32),
+                format!("{:.3e}", err / c),
+                format!("{:.4}", ndcg / c),
+            ])
+        );
+    }
+    out
+}

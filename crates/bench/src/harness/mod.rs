@@ -1,0 +1,53 @@
+//! Experiment registry: one function per paper table/figure, dispatched by
+//! id (see `DESIGN.md` §5 for the experiment index).
+
+pub mod accuracy;
+pub mod baselines;
+pub mod common;
+pub mod community_exp;
+pub mod dynamic;
+pub mod fairness;
+pub mod msrwr;
+pub mod outliers;
+pub mod sweeps;
+pub mod table1;
+pub mod tables;
+
+pub use common::Opts;
+
+/// All experiment ids in paper order.
+pub const EXPERIMENTS: [&str; 16] = [
+    "table1", "table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig12", "fig14",
+    "fig16", "fig18", "fig21", "fig22", "fig23", "table7",
+];
+
+/// Ablation and application experiments (run by `all`, addressable alone).
+pub const EXTRA: [&str; 3] = ["fig24", "table5", "table6"];
+
+/// Runs a single experiment by id, returning its printed report.
+///
+/// Returns `None` for unknown ids.
+pub fn run(id: &str, opts: &Opts) -> Option<String> {
+    Some(match id {
+        "table1" => table1::table1(opts),
+        "table2" => tables::table2(opts),
+        "table3" => tables::table3(opts),
+        "table4" => tables::table4(opts),
+        "table5" => community_exp::table5(opts),
+        "table6" => community_exp::table6(opts),
+        "table7" => tables::table7(opts),
+        "fig4" | "fig11" => accuracy::fig4(opts),
+        "fig5" => accuracy::fig5(opts),
+        "fig6" => fairness::fig6(opts),
+        "fig7" | "fig8" | "fig9" | "fig10" => outliers::fig7_10(opts),
+        "fig12" | "fig13" => baselines::fig12(opts),
+        "fig14" | "fig15" => baselines::fig14(opts),
+        "fig16" | "fig17" => msrwr::fig16(opts),
+        "fig18" | "fig19" | "fig20" => fairness::fig18(opts),
+        "fig21" => sweeps::fig21(opts),
+        "fig22" => sweeps::fig22(opts),
+        "fig23" => dynamic::fig23(opts),
+        "fig24" => sweeps::fig24(opts),
+        _ => return None,
+    })
+}

@@ -1,0 +1,76 @@
+//! Figures 16–17 (Appendix D): Multiple-Sources RWR — query time and
+//! absolute error as the source-set size grows.
+
+use super::common::*;
+use crate::datasets;
+use resacc::msrwr::{msrwr_resacc_parallel, msrwr_with};
+use resacc_eval::metrics::mean_abs_error;
+use resacc_eval::timing::time_it;
+use resacc_eval::GroundTruthCache;
+use std::fmt::Write as _;
+
+/// Sweeps `|S| ∈ {25, 50, 75, 100}` (scaled to dataset size) over the
+/// index-free roster plus the parallel ResAcc driver.
+pub fn fig16(opts: &Opts) -> String {
+    let cache = GroundTruthCache::new(0.2);
+    let mut out = String::new();
+    for name in ["dblp", "twitter"] {
+        let d = datasets::build(name, opts.scale);
+        let params = paper_params(&d.graph);
+        out.push_str(&header(
+            &format!("Figs 16-17: MSRWR — {name}"),
+            &["method", "|S|", "total time(s)", "avg abs err"],
+        ));
+        for set_size in [25usize, 50, 75, 100] {
+            let sources = random_sources(&d.graph, set_size, opts.seed ^ set_size as u64);
+            // Index-free roster (each runs once per source, as the paper
+            // extends SSRWR methods to MSRWR).
+            for (label, kernel) in index_free_roster(&d) {
+                if label == "Power" || label == "FWD" {
+                    continue;
+                }
+                // Cap per-method work: evaluate error on a fixed sample of
+                // sources but time the full set.
+                let (results, t) = time_it(|| msrwr_with(&sources, opts.seed, kernel));
+                let mut err = 0.0;
+                let err_sample = sources.len().min(5);
+                for i in 0..err_sample {
+                    let truth = cache.get(name, &d.graph, sources[i]);
+                    err += mean_abs_error(&truth, &results[i]);
+                }
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    row(&[
+                        label.into(),
+                        set_size.to_string(),
+                        fmt_secs(t),
+                        format!("{:.3e}", err / err_sample as f64),
+                    ])
+                );
+            }
+            // Parallel ResAcc (engineering extension; same results, less
+            // wall-clock).
+            let cfg = paper_resacc(&d);
+            let (results, t) =
+                time_it(|| msrwr_resacc_parallel(&d.graph, &sources, &params, &cfg, opts.seed, 4));
+            let mut err = 0.0;
+            let err_sample = sources.len().min(5);
+            for i in 0..err_sample {
+                let truth = cache.get(name, &d.graph, sources[i]);
+                err += mean_abs_error(&truth, &results[i]);
+            }
+            let _ = writeln!(
+                out,
+                "{}",
+                row(&[
+                    "ResAcc(4t)".into(),
+                    set_size.to_string(),
+                    fmt_secs(t),
+                    format!("{:.3e}", err / err_sample as f64),
+                ])
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,47 @@
+//! Figures 7–10: per-query performance *distributions* (boxplots and
+//! error bars) rather than averages, on the DBLP and Twitter analogues.
+
+use super::common::*;
+use crate::datasets;
+use resacc_eval::metrics::{mean_abs_error, ndcg_at_k};
+use resacc_eval::timing::time_it;
+use resacc_eval::{BoxplotStats, ErrorBar, GroundTruthCache};
+use std::fmt::Write as _;
+
+/// Runs the distribution study: query time, absolute error and NDCG per
+/// source, summarized as boxplot five-number summaries (Figs 7–8) and
+/// mean ± std error bars (Figs 9–10).
+pub fn fig7_10(opts: &Opts) -> String {
+    let cache = GroundTruthCache::new(0.2);
+    let mut out = String::new();
+    for name in ["dblp", "twitter"] {
+        let d = datasets::build(name, opts.scale);
+        let sources = random_sources(&d.graph, opts.sources, opts.seed);
+        let eval_k = (d.graph.num_nodes() / 8).max(100);
+        out.push_str(&header(
+            &format!("Figs 7-10: per-query distributions — {name}"),
+            &["algorithm", "metric", "boxplot / error-bar"],
+        ));
+        for (label, kernel) in index_free_roster(&d) {
+            if label == "Power" || label == "FWD" {
+                continue; // the paper's outlier study covers the 6 headline methods
+            }
+            let mut times = Vec::new();
+            let mut errs = Vec::new();
+            let mut ndcgs = Vec::new();
+            for (i, &s) in sources.iter().enumerate() {
+                let (est, t) = time_it(|| kernel(s, opts.seed + 31 * i as u64));
+                let truth = cache.get(name, &d.graph, s);
+                times.push(t.as_secs_f64());
+                errs.push(mean_abs_error(&truth, &est));
+                ndcgs.push(ndcg_at_k(&truth, &est, eval_k));
+            }
+            for (metric, samples) in [("time(s)", &times), ("abs err", &errs), ("NDCG", &ndcgs)] {
+                let bp = BoxplotStats::of(samples).expect("non-empty");
+                let eb = ErrorBar::of(samples).expect("non-empty");
+                let _ = writeln!(out, "{:>8} {:>8}  {bp}  |  {eb}", label, metric);
+            }
+        }
+    }
+    out
+}

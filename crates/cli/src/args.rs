@@ -1,0 +1,183 @@
+//! Minimal, dependency-free argument parsing for `rwr`.
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  rwr query   --graph <file> --source <id> [options]
+  rwr pair    --graph <file> --source <id> --target <id> [options]
+  rwr stats   --graph <file> [--symmetric]
+  rwr convert --graph <file> --out <file.racg> [--symmetric]
+
+options:
+  --algo <resacc|fora|mc|power|fwd>   algorithm (default resacc)
+  --top <k>                           print top-k nodes (default 10)
+  --alpha <f>                         restart probability (default 0.2)
+  --epsilon <f>                       relative error target (default 0.5)
+  --seed <n>                          RNG seed (default 1)
+  --symmetric                         treat each edge as undirected
+  --out <file>                        output path (convert)";
+
+/// Subcommands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Single-source query, print top-k.
+    Query,
+    /// Pairwise query via BiPPR.
+    Pair,
+    /// Print graph statistics.
+    Stats,
+    /// Convert text edge list to binary.
+    Convert,
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    pub command: Command,
+    pub graph: String,
+    pub out: Option<String>,
+    pub source: u32,
+    pub target: u32,
+    pub algo: String,
+    pub top: usize,
+    pub alpha: f64,
+    pub epsilon: f64,
+    pub seed: u64,
+    pub symmetric: bool,
+}
+
+impl Cli {
+    /// Parses arguments (already stripped of the program name).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+        let mut args = args.peekable();
+        let command = match args.next().as_deref() {
+            Some("query") => Command::Query,
+            Some("pair") => Command::Pair,
+            Some("stats") => Command::Stats,
+            Some("convert") => Command::Convert,
+            Some(other) => return Err(format!("unknown command {other:?}")),
+            None => return Err("missing command".into()),
+        };
+        let mut cli = Cli {
+            command,
+            graph: String::new(),
+            out: None,
+            source: 0,
+            target: 0,
+            algo: "resacc".into(),
+            top: 10,
+            alpha: 0.2,
+            epsilon: 0.5,
+            seed: 1,
+            symmetric: false,
+        };
+        let mut have_source = false;
+        let mut have_target = false;
+        while let Some(flag) = args.next() {
+            let mut value =
+                |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+            match flag.as_str() {
+                "--graph" => cli.graph = value("--graph")?,
+                "--out" => cli.out = Some(value("--out")?),
+                "--source" => {
+                    cli.source = parse_num(&value("--source")?, "--source")?;
+                    have_source = true;
+                }
+                "--target" => {
+                    cli.target = parse_num(&value("--target")?, "--target")?;
+                    have_target = true;
+                }
+                "--algo" => cli.algo = value("--algo")?,
+                "--top" => cli.top = parse_num(&value("--top")?, "--top")?,
+                "--alpha" => cli.alpha = parse_num(&value("--alpha")?, "--alpha")?,
+                "--epsilon" => cli.epsilon = parse_num(&value("--epsilon")?, "--epsilon")?,
+                "--seed" => cli.seed = parse_num(&value("--seed")?, "--seed")?,
+                "--symmetric" | "--undirected" => cli.symmetric = true,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if cli.graph.is_empty() {
+            return Err("--graph is required".into());
+        }
+        if matches!(command, Command::Query | Command::Pair) && !have_source {
+            return Err("--source is required".into());
+        }
+        if command == Command::Pair && !have_target {
+            return Err("--target is required".into());
+        }
+        if command == Command::Convert && cli.out.is_none() {
+            return Err("--out is required for convert".into());
+        }
+        if !(cli.alpha > 0.0 && cli.alpha < 1.0) {
+            return Err("--alpha must be in (0,1)".into());
+        }
+        if cli.epsilon <= 0.0 {
+            return Err("--epsilon must be positive".into());
+        }
+        const ALGOS: [&str; 5] = ["resacc", "fora", "mc", "power", "fwd"];
+        if !ALGOS.contains(&cli.algo.as_str()) {
+            return Err(format!(
+                "unknown --algo {:?} (expected one of {ALGOS:?})",
+                cli.algo
+            ));
+        }
+        Ok(cli)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Cli, String> {
+        Cli::parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn full_query_line() {
+        let cli = parse(
+            "query --graph g.txt --source 5 --algo fora --top 3 --alpha 0.3 --epsilon 0.2 --seed 9 --symmetric",
+        )
+        .unwrap();
+        assert_eq!(cli.command, Command::Query);
+        assert_eq!(cli.graph, "g.txt");
+        assert_eq!(cli.source, 5);
+        assert_eq!(cli.algo, "fora");
+        assert_eq!(cli.top, 3);
+        assert!((cli.alpha - 0.3).abs() < 1e-12);
+        assert!(cli.symmetric);
+        assert_eq!(cli.seed, 9);
+    }
+
+    #[test]
+    fn missing_required_flags() {
+        assert!(parse("query --graph g.txt").is_err()); // no source
+        assert!(parse("query --source 1").is_err()); // no graph
+        assert!(parse("pair --graph g.txt --source 1").is_err()); // no target
+        assert!(parse("convert --graph g.txt").is_err()); // no out
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse("query --graph g --source x").is_err());
+        assert!(parse("query --graph g --source 1 --alpha 1.5").is_err());
+        assert!(parse("query --graph g --source 1 --epsilon 0").is_err());
+        assert!(parse("query --graph g --source 1 --algo nope").is_err());
+        assert!(parse("blah --graph g").is_err());
+        assert!(parse("query --graph g --source 1 --wat 2").is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse("stats --graph g.txt").unwrap();
+        assert_eq!(cli.algo, "resacc");
+        assert_eq!(cli.top, 10);
+        assert!((cli.alpha - 0.2).abs() < 1e-12);
+        assert!(!cli.symmetric);
+    }
+}

@@ -1,0 +1,214 @@
+//! `rwr` subcommand implementations.
+
+use crate::args::Cli;
+use resacc::bippr::{bippr, BipprConfig};
+use resacc::engine::{ForaEngine, ForwardSearchEngine, MonteCarloEngine, PowerEngine};
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::{RwrParams, SsrwrEngine};
+use resacc_eval::timing::time_it;
+use resacc_graph::CsrGraph;
+
+/// Loads the graph: binary if the path ends in `.racg`, else text edge list.
+fn load_graph(cli: &Cli) -> Result<CsrGraph, String> {
+    let graph = if cli.graph.ends_with(".racg") {
+        resacc_graph::binary::load(&cli.graph)
+    } else {
+        resacc_graph::edgelist::load_edge_list(&cli.graph, None, cli.symmetric)
+    }
+    .map_err(|e| format!("loading {}: {e}", cli.graph))?;
+    if graph.num_nodes() == 0 {
+        return Err("graph is empty".into());
+    }
+    Ok(graph)
+}
+
+fn params_for(cli: &Cli, graph: &CsrGraph) -> RwrParams {
+    let n = graph.num_nodes().max(2) as f64;
+    RwrParams::new(cli.alpha, cli.epsilon, 1.0 / n, 1.0 / n)
+}
+
+fn engine_for(cli: &Cli) -> Box<dyn SsrwrEngine> {
+    match cli.algo.as_str() {
+        "fora" => Box::new(ForaEngine::default()),
+        "mc" => Box::new(MonteCarloEngine::default()),
+        "power" => Box::new(PowerEngine::default()),
+        "fwd" => Box::new(ForwardSearchEngine { r_max: 1e-8 }),
+        _ => Box::new(ResAcc::new(ResAccConfig::default())),
+    }
+}
+
+/// `rwr query`: single-source query, print the top-k nodes.
+pub fn query(cli: &Cli) -> Result<(), String> {
+    let graph = load_graph(cli)?;
+    if cli.source as usize >= graph.num_nodes() {
+        return Err(format!(
+            "source {} out of range (graph has {} nodes)",
+            cli.source,
+            graph.num_nodes()
+        ));
+    }
+    let params = params_for(cli, &graph);
+    let engine = engine_for(cli);
+    let (top, elapsed) =
+        time_it(|| engine.ssrwr_top_k(&graph, cli.source, &params, cli.top, cli.seed));
+    println!(
+        "# {} query from node {} on {} nodes / {} edges ({:.4}s)",
+        engine.name(),
+        cli.source,
+        graph.num_nodes(),
+        graph.num_edges(),
+        elapsed.as_secs_f64()
+    );
+    println!("{:>6} {:>10} {:>14}", "rank", "node", "pi");
+    for (rank, (node, score)) in top.iter().enumerate() {
+        println!("{:>6} {:>10} {:>14.8}", rank + 1, node, score);
+    }
+    Ok(())
+}
+
+/// `rwr pair`: pairwise proximity via BiPPR.
+pub fn pair(cli: &Cli) -> Result<(), String> {
+    let graph = load_graph(cli)?;
+    for (label, id) in [("source", cli.source), ("target", cli.target)] {
+        if id as usize >= graph.num_nodes() {
+            return Err(format!("{label} {id} out of range"));
+        }
+    }
+    let params = params_for(cli, &graph);
+    let (r, elapsed) = time_it(|| {
+        bippr(
+            &graph,
+            cli.source,
+            cli.target,
+            &params,
+            &BipprConfig::default(),
+            cli.seed,
+        )
+    });
+    println!(
+        "pi({}, {}) ≈ {:.8}   (backward reserve {:.8}, {} walks, {} backward pushes, {:.4}s)",
+        cli.source,
+        cli.target,
+        r.estimate,
+        r.backward_reserve,
+        r.walks,
+        r.backward_pushes,
+        elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `rwr stats`: graph summary.
+pub fn stats(cli: &Cli) -> Result<(), String> {
+    let graph = load_graph(cli)?;
+    let s = resacc_graph::stats::GraphStats::of(&graph);
+    let wcc = resacc_graph::components::weakly_connected(&graph);
+    println!("{s}");
+    println!(
+        "weak components: {} (largest {})",
+        wcc.count,
+        wcc.sizes().into_iter().max().unwrap_or(0)
+    );
+    let hubs = resacc_graph::stats::top_out_degree_nodes(&graph, 5);
+    print!("top out-degree nodes:");
+    for h in hubs {
+        print!(" {h}({})", graph.out_degree(h));
+    }
+    println!();
+    Ok(())
+}
+
+/// `rwr convert`: text edge list → binary `.racg`.
+pub fn convert(cli: &Cli) -> Result<(), String> {
+    let graph = load_graph(cli)?;
+    let out = cli.out.as_deref().expect("validated by parser");
+    resacc_graph::binary::save(&graph, out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+
+    fn cli_for(graph_path: &str, command: Command) -> Cli {
+        Cli {
+            command,
+            graph: graph_path.into(),
+            out: None,
+            source: 0,
+            target: 2,
+            algo: "resacc".into(),
+            top: 5,
+            alpha: 0.2,
+            epsilon: 0.5,
+            seed: 1,
+            symmetric: false,
+        }
+    }
+
+    fn temp_edge_list() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("resacc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("g-{}.txt", std::process::id()));
+        let g = resacc_graph::gen::cycle(6);
+        resacc_graph::edgelist::save_edge_list(&g, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn query_pair_stats_run_end_to_end() {
+        let path = temp_edge_list();
+        let p = path.to_string_lossy().to_string();
+        assert!(query(&cli_for(&p, Command::Query)).is_ok());
+        assert!(pair(&cli_for(&p, Command::Pair)).is_ok());
+        assert!(stats(&cli_for(&p, Command::Stats)).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        let path = temp_edge_list();
+        let out = path.with_extension("racg");
+        let mut cli = cli_for(&path.to_string_lossy(), Command::Convert);
+        cli.out = Some(out.to_string_lossy().to_string());
+        convert(&cli).unwrap();
+        // Query the binary file directly.
+        let cli2 = cli_for(&out.to_string_lossy(), Command::Query);
+        assert!(query(&cli2).is_ok());
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn out_of_range_source_rejected() {
+        let path = temp_edge_list();
+        let mut cli = cli_for(&path.to_string_lossy(), Command::Query);
+        cli.source = 999;
+        assert!(query(&cli).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_rejected() {
+        let cli = cli_for("/nonexistent/file.txt", Command::Stats);
+        assert!(stats(&cli).is_err());
+    }
+
+    #[test]
+    fn every_algo_flag_works() {
+        let path = temp_edge_list();
+        for algo in ["resacc", "fora", "mc", "power", "fwd"] {
+            let mut cli = cli_for(&path.to_string_lossy(), Command::Query);
+            cli.algo = algo.into();
+            assert!(query(&cli).is_ok(), "algo {algo}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+}

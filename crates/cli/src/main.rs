@@ -1,0 +1,39 @@
+//! `rwr` — single-source RWR queries from the command line.
+//!
+//! ```text
+//! rwr query   --graph g.txt --source 5 [--algo resacc|fora|mc|power|fwd]
+//!             [--top 10] [--alpha 0.2] [--epsilon 0.5] [--seed 7]
+//!             [--symmetric] [--undirected]
+//! rwr pair    --graph g.txt --source 5 --target 9 [...]
+//! rwr stats   --graph g.txt [--symmetric]
+//! rwr convert --graph g.txt --out g.racg [--symmetric]   # text → binary
+//! ```
+//!
+//! `--graph` accepts a whitespace edge list (SNAP style, `#` comments) or a
+//! `.racg` binary file produced by `convert`.
+
+mod args;
+mod commands;
+
+use args::{Cli, Command};
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let outcome = match cli.command {
+        Command::Query => commands::query(&cli),
+        Command::Pair => commands::pair(&cli),
+        Command::Stats => commands::stats(&cli),
+        Command::Convert => commands::convert(&cli),
+    };
+    if let Err(msg) = outcome {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

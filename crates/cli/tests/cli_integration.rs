@@ -1,0 +1,112 @@
+//! End-to-end tests driving the compiled `rwr` binary over real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rwr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rwr"))
+}
+
+fn temp_graph() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rwr-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.txt");
+    let g = resacc_graph::gen::barabasi_albert(500, 4, 33);
+    resacc_graph::edgelist::save_edge_list(&g, &path).unwrap();
+    path
+}
+
+#[test]
+fn query_prints_topk_with_source_first() {
+    let graph = temp_graph();
+    let out = rwr()
+        .args(["query", "--graph"])
+        .arg(&graph)
+        .args(["--source", "7", "--top", "3", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("ResAcc query from node 7"), "{stdout}");
+    // Rank 1 is the source itself.
+    let rank1 = stdout.lines().find(|l| l.trim_start().starts_with('1')).unwrap();
+    assert!(rank1.split_whitespace().nth(1) == Some("7"), "{rank1}");
+}
+
+#[test]
+fn query_is_deterministic_per_seed() {
+    let graph = temp_graph();
+    let run = |seed: &str| {
+        let out = rwr()
+            .args(["query", "--graph"])
+            .arg(&graph)
+            .args(["--source", "0", "--seed", seed])
+            .output()
+            .unwrap();
+        // Strip the timing header line (wall clock varies).
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(run("9"), run("9"));
+    assert_ne!(run("9"), run("10"));
+}
+
+#[test]
+fn pair_and_stats_succeed() {
+    let graph = temp_graph();
+    let out = rwr()
+        .args(["pair", "--graph"])
+        .arg(&graph)
+        .args(["--source", "0", "--target", "42"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pi(0, 42)"));
+
+    let out = rwr().args(["stats", "--graph"]).arg(&graph).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("n=500"), "{stdout}");
+    assert!(stdout.contains("weak components"), "{stdout}");
+}
+
+#[test]
+fn convert_then_query_binary() {
+    let graph = temp_graph();
+    let racg = graph.with_extension("racg");
+    let out = rwr()
+        .args(["convert", "--graph"])
+        .arg(&graph)
+        .arg("--out")
+        .arg(&racg)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = rwr()
+        .args(["query", "--graph"])
+        .arg(&racg)
+        .args(["--source", "3", "--algo", "fora"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FORA query from node 3"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage_text() {
+    let out = rwr().args(["query"]).output().unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = rwr()
+        .args(["query", "--graph", "/no/such/file", "--source", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,29 @@
+//! # resacc-community
+//!
+//! Overlapping community detection in the style of **NISE**
+//! (Neighborhood-Inflated Seed Expansion, Whang, Gleich & Dhillon, TKDE
+//! 2016 \[30\]) — the application study of the ResAcc paper (Section VII-H,
+//! Tables V–VI, Appendix L).
+//!
+//! The pipeline is *seed-and-expand*:
+//!
+//! 1. [`seeding`] — pick `|C|` "spread hub" seeds: high-degree nodes whose
+//!    neighbourhoods do not overlap.
+//! 2. [`expansion`] — for each seed, run an SSRWR query (any kernel: FORA,
+//!    ResAcc, …), order nodes by their degree-normalized RWR score and take
+//!    the prefix with minimum conductance (a sweep cut). The paper's
+//!    "NISE-without-SSRWR" variant orders by BFS distance instead.
+//! 3. [`quality`] — score the resulting cover by Average Normalized Cut and
+//!    Average Conductance (the paper's two metrics; smaller is better).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expansion;
+pub mod ground_truth;
+pub mod nise;
+pub mod quality;
+pub mod seeding;
+
+pub use nise::{nise, NiseConfig, NiseResult, RankingStrategy};
+pub use quality::{average_conductance, average_normalized_cut, conductance, normalized_cut};

@@ -1,0 +1,139 @@
+//! Community-quality metrics (paper Appendix L).
+//!
+//! For a community `C` in graph `G`:
+//!
+//! * `cut(C)` — number of edges crossing between `C` and `V∖C`,
+//! * `links(C, V)` — total edge endpoints incident to `C` (its volume),
+//! * normalized cut `ncut(C) = cut(C)/links(C, V)`,
+//! * conductance `cond(C) = cut(C)/min(links(C,V), links(V∖C,V))`.
+//!
+//! The aggregate scores are plain averages over the detected communities;
+//! smaller is better for both.
+
+use resacc_graph::{CsrGraph, NodeId};
+
+/// Returns `(cut, volume)` of a node set: crossing edges and total degree.
+fn cut_and_volume(graph: &CsrGraph, members: &[NodeId]) -> (u64, u64) {
+    let mut inside = vec![false; graph.num_nodes()];
+    for &v in members {
+        inside[v as usize] = true;
+    }
+    let mut cut = 0u64;
+    let mut volume = 0u64;
+    for &v in members {
+        for &u in graph.out_neighbors(v) {
+            volume += 1;
+            if !inside[u as usize] {
+                cut += 1;
+            }
+        }
+    }
+    (cut, volume)
+}
+
+/// Normalized cut `ncut(C) = cut(C) / links(C, V)`. Returns 0 for a set
+/// with zero volume (an isolated set cuts nothing).
+pub fn normalized_cut(graph: &CsrGraph, members: &[NodeId]) -> f64 {
+    let (cut, volume) = cut_and_volume(graph, members);
+    if volume == 0 {
+        0.0
+    } else {
+        cut as f64 / volume as f64
+    }
+}
+
+/// Conductance `cond(C) = cut(C) / min(links(C,V), links(V∖C,V))`.
+/// Returns 0 when either side has zero volume.
+pub fn conductance(graph: &CsrGraph, members: &[NodeId]) -> f64 {
+    let (cut, volume) = cut_and_volume(graph, members);
+    let complement_volume = graph.num_edges() as u64 - volume;
+    let denom = volume.min(complement_volume);
+    if denom == 0 {
+        0.0
+    } else {
+        cut as f64 / denom as f64
+    }
+}
+
+/// Average normalized cut over a community cover (paper's ANC).
+pub fn average_normalized_cut(graph: &CsrGraph, communities: &[Vec<NodeId>]) -> f64 {
+    if communities.is_empty() {
+        return 0.0;
+    }
+    communities
+        .iter()
+        .map(|c| normalized_cut(graph, c))
+        .sum::<f64>()
+        / communities.len() as f64
+}
+
+/// Average conductance over a community cover (paper's AC).
+pub fn average_conductance(graph: &CsrGraph, communities: &[Vec<NodeId>]) -> f64 {
+    if communities.is_empty() {
+        return 0.0;
+    }
+    communities
+        .iter()
+        .map(|c| conductance(graph, c))
+        .sum::<f64>()
+        / communities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn whole_graph_has_zero_cut() {
+        let g = gen::complete(6);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(normalized_cut(&g, &all), 0.0);
+        assert_eq!(conductance(&g, &all), 0.0);
+    }
+
+    #[test]
+    fn single_node_in_clique() {
+        // One node of K4: cut = 3 of its 3 out-edges, volume 3 → ncut = 1.
+        let g = gen::complete(4);
+        assert_eq!(normalized_cut(&g, &[0]), 1.0);
+        assert_eq!(conductance(&g, &[0]), 1.0);
+    }
+
+    #[test]
+    fn planted_block_scores_well() {
+        let pp = gen::planted_partition(2, 40, 0.4, 0.02, 3);
+        let block = &pp.communities[0];
+        let nc = normalized_cut(&pp.graph, block);
+        assert!(nc < 0.2, "planted block ncut {nc}");
+        // A random half-block straddling both communities scores worse.
+        let straddle: Vec<NodeId> = (20..60).collect();
+        assert!(normalized_cut(&pp.graph, &straddle) > nc);
+    }
+
+    #[test]
+    fn averages() {
+        let g = gen::complete(4);
+        let cover = vec![vec![0], vec![0, 1, 2, 3]];
+        assert!((average_normalized_cut(&g, &cover) - 0.5).abs() < 1e-12);
+        assert_eq!(average_normalized_cut(&g, &[]), 0.0);
+        assert_eq!(average_conductance(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn conductance_uses_smaller_side() {
+        // A 10-cycle's single node: cut=1 (out-edge), volume=1, complement 9.
+        let g = gen::cycle(10);
+        assert_eq!(conductance(&g, &[0]), 1.0);
+        // 5 consecutive nodes: out-cut = 1, volume = 5, min(5, 5) = 5.
+        let half: Vec<NodeId> = (0..5).collect();
+        assert!((conductance(&g, &half) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_set_scores_zero() {
+        let g = resacc_graph::GraphBuilder::new(3).edge(1, 2).build();
+        assert_eq!(normalized_cut(&g, &[0]), 0.0);
+        assert_eq!(conductance(&g, &[0]), 0.0);
+    }
+}

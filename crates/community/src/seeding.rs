@@ -1,0 +1,105 @@
+//! Spread-hub seeding (NISE's seeding strategy).
+//!
+//! Seeds are chosen greedily by descending degree, skipping any candidate
+//! whose closed neighbourhood intersects an already-chosen seed's closed
+//! neighbourhood — "spread hubs": locally dominant nodes spread across the
+//! graph, each likely to sit inside a different community.
+
+use resacc_graph::{CsrGraph, NodeId};
+
+/// Picks up to `count` spread-hub seeds.
+///
+/// If the non-overlap constraint exhausts the graph before `count` seeds
+/// are found, the constraint is relaxed to "not already a seed" so the
+/// requested count is still met where possible (NISE does the same when
+/// asked for many communities on a small graph).
+pub fn spread_hubs(graph: &CsrGraph, count: usize) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let count = count.min(n);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(graph.out_degree(v)), v));
+
+    let mut blocked = vec![false; n];
+    let mut chosen = Vec::with_capacity(count);
+    for &v in &order {
+        if chosen.len() == count {
+            break;
+        }
+        if blocked[v as usize] {
+            continue;
+        }
+        chosen.push(v);
+        blocked[v as usize] = true;
+        for &u in graph.out_neighbors(v) {
+            blocked[u as usize] = true;
+        }
+    }
+    // Relaxation pass if the constraint ran out of candidates.
+    if chosen.len() < count {
+        let mut is_seed = vec![false; n];
+        for &s in &chosen {
+            is_seed[s as usize] = true;
+        }
+        for &v in &order {
+            if chosen.len() == count {
+                break;
+            }
+            if !is_seed[v as usize] {
+                is_seed[v as usize] = true;
+                chosen.push(v);
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn picks_highest_degree_first() {
+        let g = gen::star(20);
+        let seeds = spread_hubs(&g, 1);
+        assert_eq!(seeds, vec![0]);
+    }
+
+    #[test]
+    fn seeds_do_not_neighbour_each_other() {
+        let pp = gen::planted_partition(4, 30, 0.4, 0.01, 5);
+        let seeds = spread_hubs(&pp.graph, 4);
+        assert_eq!(seeds.len(), 4);
+        for (i, &a) in seeds.iter().enumerate() {
+            for &b in &seeds[i + 1..] {
+                assert!(!pp.graph.has_edge(a, b), "seeds {a},{b} adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_blocks_get_distinct_seeds() {
+        let pp = gen::planted_partition(3, 40, 0.5, 0.005, 9);
+        let seeds = spread_hubs(&pp.graph, 3);
+        let blocks: std::collections::HashSet<u32> =
+            seeds.iter().map(|&s| pp.membership[s as usize]).collect();
+        assert_eq!(blocks.len(), 3, "seeds {seeds:?} blocks {blocks:?}");
+    }
+
+    #[test]
+    fn relaxation_meets_requested_count() {
+        // A star blocks everything after the hub; relaxation must fill in.
+        let g = gen::star(10);
+        let seeds = spread_hubs(&g, 5);
+        assert_eq!(seeds.len(), 5);
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn count_clamped_to_n() {
+        let g = gen::cycle(3);
+        let seeds = spread_hubs(&g, 10);
+        assert_eq!(seeds.len(), 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Executable cost models: the complexity formulas the paper states,
+//! as functions — so the test suite can check the *implementations* against
+//! the *theory* (push counts against `O(1/(α·r_max))`, walk counts against
+//! `r_sum·c`, FORA's balance point, Lemma 4's residue bound).
+
+use crate::params::RwrParams;
+
+/// Upper bound on Forward Search push work for threshold `r_max`
+/// (Andersen et al.: total pushed residue ≥ `α·r_max` per push, total
+/// mass 1 ⇒ at most `1/(α·r_max)` pushes).
+pub fn forward_push_bound(alpha: f64, r_max: f64) -> f64 {
+    assert!(alpha > 0.0 && r_max > 0.0);
+    1.0 / (alpha * r_max)
+}
+
+/// The paper's FORA query-cost model
+/// `O(1/(α·r_max) + m·r_max·c/α)` (Section II-C), returned as
+/// `(push_term, walk_term)`.
+pub fn fora_cost_model(params: &RwrParams, m: usize, r_max: f64) -> (f64, f64) {
+    let c = params.walk_coefficient();
+    (
+        1.0 / (params.alpha * r_max),
+        m as f64 * r_max * c / params.alpha,
+    )
+}
+
+/// Expected remedy walk count for a residue mass `r_sum`
+/// (`n_r = r_sum·c`, Algorithm 2 line 7).
+pub fn remedy_walks(params: &RwrParams, r_sum: f64) -> f64 {
+    assert!(r_sum >= 0.0);
+    r_sum * params.walk_coefficient()
+}
+
+/// Lemma 4's bound on the residue mass after h-HopFWD: `(1−α)^h`,
+/// valid when `r_max^hop` is small enough that every hop-set node pushes
+/// at least once.
+pub fn lemma4_bound(alpha: f64, h: usize) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0);
+    (1.0 - alpha).powi(h as i32)
+}
+
+/// Number of accumulating phases `T` the updating phase applies for a
+/// returned source residue `r1` (paper Section IV-B):
+/// `T = ⌈ln(r_max·d_s)/ln r1⌉`, at least 1.
+pub fn loop_count(r1: f64, r_max_hop: f64, d_out_source: usize) -> u32 {
+    assert!((0.0..1.0).contains(&r1));
+    let d = d_out_source.max(1) as f64;
+    if r1 == 0.0 || r1 / d < r_max_hop {
+        return 1;
+    }
+    ((r_max_hop * d).ln() / r1.ln()).ceil().clamp(1.0, 1e6) as u32
+}
+
+/// The geometric scaler `S = (1 − r1^T)/(1 − r1)` (the corrected closed
+/// form of Algorithm 3 line 10; see the crate-level erratum note).
+pub fn update_scaler(r1: f64, t: u32) -> f64 {
+    assert!((0.0..1.0).contains(&r1));
+    if r1 == 0.0 {
+        1.0
+    } else {
+        (1.0 - r1.powi(t as i32)) / (1.0 - r1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward_push::forward_search;
+    use crate::resacc::{h_hop_fwd, ResAcc, ResAccConfig, Scope};
+    use crate::ForwardState;
+    use resacc_graph::gen;
+
+    #[test]
+    fn push_counts_respect_theory() {
+        let g = gen::barabasi_albert(1_000, 4, 3);
+        for r_max in [1e-3, 1e-4, 1e-5] {
+            let mut st = ForwardState::new(g.num_nodes());
+            let stats = forward_search(&g, 0, 0.2, r_max, &mut st);
+            let bound = forward_push_bound(0.2, r_max);
+            assert!(
+                (stats.pushes as f64) <= bound,
+                "r_max {r_max}: {} pushes > bound {bound}",
+                stats.pushes
+            );
+        }
+    }
+
+    #[test]
+    fn fora_balance_point_equalizes_terms() {
+        let params = RwrParams::for_graph(10_000);
+        let m = 120_000;
+        let r_max = params.fora_r_max(m);
+        let (push, walk) = fora_cost_model(&params, m, r_max);
+        assert!((push - walk).abs() / push < 1e-9);
+    }
+
+    #[test]
+    fn measured_walks_match_remedy_model() {
+        let g = gen::erdos_renyi(400, 2_800, 5);
+        let params = RwrParams::for_graph(400);
+        let r = ResAcc::new(ResAccConfig::default()).query(&g, 0, &params, 2);
+        let model = remedy_walks(&params, r.residue_sum_final);
+        // ceil() per node inflates the total by at most the number of
+        // residue-carrying nodes.
+        assert!(r.walks as f64 >= model);
+        assert!(
+            (r.walks as f64) <= model + g.num_nodes() as f64,
+            "walks {} vs model {model}",
+            r.walks
+        );
+    }
+
+    #[test]
+    fn measured_loops_match_loop_count_model() {
+        let g = gen::cycle(3);
+        for r_max_hop in [1e-2, 1e-4, 1e-8] {
+            let mut st = ForwardState::new(3);
+            let out = h_hop_fwd(&g, 0, 0.2, r_max_hop, Scope::HopLimited(3), true, &mut st);
+            let model = loop_count(out.r1, r_max_hop, g.out_degree(0));
+            assert_eq!(out.loops, model, "r_max_hop {r_max_hop}");
+            assert!((out.scaler - update_scaler(out.r1, out.loops)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lemma4_bound_monotone_in_h() {
+        let b: Vec<f64> = (0..5).map(|h| lemma4_bound(0.2, h)).collect();
+        assert_eq!(b[0], 1.0);
+        assert!(b.windows(2).all(|w| w[1] < w[0]));
+        assert!((b[2] - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loop_count_edge_cases() {
+        assert_eq!(loop_count(0.0, 1e-9, 5), 1);
+        assert_eq!(loop_count(0.5, 0.9, 1), 1); // below push condition
+        assert!(loop_count(0.999_999, 1e-12, 1) <= 1_000_000); // clamped
+    }
+}

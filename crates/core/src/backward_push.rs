@@ -1,0 +1,223 @@
+//! Backward Search — local push over *in*-edges (Andersen et al. \[1\]).
+//!
+//! Where forward push approximates the row `π(s,·)`, backward push
+//! approximates the *column* `π(·,t)`: for a fixed target `t` it maintains a
+//! backward reserve `π^b(v,t)` and backward residue `r^b(v,t)` per node `v`
+//! satisfying the invariant
+//!
+//! ```text
+//! π(v,t) = π^b(v,t) + Σ_u r^b(u,t) · π(v,u)
+//! ```
+//!
+//! and guarantees `|π^b(v,t) − π(v,t)| ≤ r_max^b` for every `v` on exit.
+//! A backward push at `u` adds `α·r^b(u,t)` to the reserve of `u` and
+//! forwards `(1−α)·r^b(u,t)/d_out(w)` to each *in*-neighbour `w` of `u`
+//! (the `1/d_out(w)` factor is what makes the adjoint recursion work).
+//!
+//! The paper uses Backward Search inside BiPPR/HubPPR/TopPPR; this crate
+//! uses it for the TopPPR-style refinement phase. As the paper notes
+//! (Section VI-A), answering a *single-source* query with it requires a
+//! backward run per node and is therefore not competitive for SSRWR.
+
+use resacc_graph::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a backward-push run for a single target.
+#[derive(Clone, Debug)]
+pub struct BackwardResult {
+    /// `reserve[v] = π^b(v, t)`, an additive `r_max` under-approximation of
+    /// `π(v, t)`.
+    pub reserve: Vec<f64>,
+    /// `residue[v] = r^b(v, t)` on exit (all below `r_max`).
+    pub residue: Vec<f64>,
+    /// Number of backward pushes.
+    pub pushes: u64,
+}
+
+/// Runs Backward Search for `target` with additive threshold `r_max`.
+pub fn backward_search(graph: &CsrGraph, target: NodeId, alpha: f64, r_max: f64) -> BackwardResult {
+    assert!(alpha > 0.0 && alpha < 1.0);
+    assert!(r_max > 0.0);
+    let n = graph.num_nodes();
+    assert!((target as usize) < n);
+
+    let mut reserve = vec![0.0f64; n];
+    let mut residue = vec![0.0f64; n];
+    let mut in_queue = vec![false; n];
+    let mut queue = VecDeque::new();
+    residue[target as usize] = 1.0;
+    queue.push_back(target);
+    in_queue[target as usize] = true;
+    let mut pushes = 0u64;
+
+    while let Some(u) = queue.pop_front() {
+        in_queue[u as usize] = false;
+        let r = residue[u as usize];
+        if r < r_max {
+            continue;
+        }
+        pushes += 1;
+        // Adjoint push rule. For an ordinary node u:
+        //   π(v,u) = α·δ_vu + (1−α)·Σ_{w→u} π(v,w)/d_out(w).
+        // A dead-end u absorbs the walk fully (π(u,u) = 1), so its adjoint
+        // identity carries a 1/α on the propagated term instead:
+        //   π(v,u) = δ_vu + (1−α)/α·Σ_{w→u} π(v,w)/d_out(w).
+        let (settle, propagate) = if graph.out_degree(u) == 0 {
+            (r, (1.0 - alpha) * r / alpha)
+        } else {
+            (alpha * r, (1.0 - alpha) * r)
+        };
+        reserve[u as usize] += settle;
+        residue[u as usize] = 0.0;
+        for &w in graph.in_neighbors(u) {
+            let d_w = graph.out_degree(w);
+            debug_assert!(d_w > 0, "in-neighbour must have an out-edge");
+            residue[w as usize] += propagate / d_w as f64;
+            if residue[w as usize] >= r_max && !in_queue[w as usize] {
+                in_queue[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    BackwardResult {
+        reserve,
+        residue,
+        pushes,
+    }
+}
+
+/// Answers a **single-source** query with backward pushes only — one run
+/// per target node.
+///
+/// This exists to demonstrate the paper's Section VI-A point, not for
+/// production use: Backward Search must run once per node for SSRWR, which
+/// costs `O(n)` backward searches and is why BiPPR/HubPPR/TopPPR are
+/// "time-consuming ... for the SSRWR query". The returned scores carry the
+/// per-target additive bound of [`backward_search`].
+pub fn ssrwr_via_backward(
+    graph: &CsrGraph,
+    source: NodeId,
+    alpha: f64,
+    r_max: f64,
+) -> (Vec<f64>, u64) {
+    let mut scores = vec![0.0f64; graph.num_nodes()];
+    let mut total_pushes = 0u64;
+    for t in graph.nodes() {
+        let back = backward_search(graph, t, alpha, r_max);
+        scores[t as usize] = back.reserve[source as usize];
+        total_pushes += back.pushes;
+    }
+    (scores, total_pushes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn additive_error_bound_vs_exact() {
+        let g = gen::erdos_renyi(60, 420, 3);
+        let alpha = 0.2;
+        let r_max = 1e-4;
+        let target: NodeId = 7;
+        let back = backward_search(&g, target, alpha, r_max);
+        for s in g.nodes() {
+            // Note: the dead-end convention differs for π(v,t) columns only
+            // at dead ends; this ER graph at m/n = 7 has none.
+            let exact = crate::exact::exact_rwr(&g, s, alpha);
+            let err = (back.reserve[s as usize] - exact[target as usize]).abs();
+            assert!(
+                err <= r_max * 60.0, // residues sum over ≤ n nodes
+                "source {s}: err {err}"
+            );
+            // Reserve is a lower bound.
+            assert!(back.reserve[s as usize] <= exact[target as usize] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tight_threshold_converges_to_exact() {
+        let g = gen::cycle(5);
+        let alpha = 0.2;
+        let back = backward_search(&g, 0, alpha, 1e-12);
+        for s in g.nodes() {
+            let exact = crate::exact::exact_rwr(&g, s, alpha);
+            assert!(
+                (back.reserve[s as usize] - exact[0]).abs() < 1e-8,
+                "source {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn residues_below_threshold_on_exit() {
+        let g = gen::barabasi_albert(200, 3, 5);
+        let r_max = 1e-5;
+        let back = backward_search(&g, 3, 0.2, r_max);
+        for v in g.nodes() {
+            assert!(back.residue[v as usize] < r_max);
+        }
+    }
+
+    #[test]
+    fn unreachable_target_gets_nothing() {
+        // 0→1; target 0 is unreachable from 1.
+        let g = resacc_graph::GraphBuilder::new(2).edge(0, 1).build();
+        let back = backward_search(&g, 0, 0.2, 1e-9);
+        assert!((back.reserve[0] - 0.2).abs() < 1e-12); // π(0,0) = α
+        assert_eq!(back.reserve[1], 0.0);
+    }
+
+    #[test]
+    fn dead_end_target_handled() {
+        // 0→1, 1 is a dead end: π(0,1) = 1−α, π(1,1) = 1.
+        let g = gen::path(2);
+        let alpha = 0.2;
+        let back = backward_search(&g, 1, alpha, 1e-12);
+        assert!((back.reserve[1] - 1.0).abs() < 1e-12);
+        assert!((back.reserve[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_end_target_matches_exact_on_random_graph() {
+        let g = gen::powerlaw_configuration(80, 2.2, 20, 4);
+        let dead: Vec<_> = g.dead_ends().collect();
+        if let Some(&t) = dead.first() {
+            let back = backward_search(&g, t, 0.2, 1e-10);
+            for s in g.nodes().take(20) {
+                let exact = crate::exact::exact_rwr(&g, s, 0.2);
+                assert!(
+                    (back.reserve[s as usize] - exact[t as usize]).abs() < 1e-6,
+                    "source {s} target {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ssrwr_via_backward_matches_exact_but_costs_more() {
+        let g = gen::erdos_renyi(50, 300, 8);
+        let (scores, total_pushes) = ssrwr_via_backward(&g, 0, 0.2, 1e-8);
+        let exact = crate::exact::exact_rwr(&g, 0, 0.2);
+        for v in 0..50usize {
+            assert!((scores[v] - exact[v]).abs() < 1e-4, "node {v}");
+        }
+        // The whole point: n backward runs dwarf one forward run.
+        let mut st = crate::state::ForwardState::new(50);
+        let fwd = crate::forward_push::forward_search(&g, 0, 0.2, 1e-8, &mut st);
+        assert!(
+            total_pushes > 10 * fwd.pushes,
+            "backward {total_pushes} vs forward {}",
+            fwd.pushes
+        );
+    }
+
+    #[test]
+    fn pushes_grow_as_threshold_shrinks() {
+        let g = gen::barabasi_albert(300, 3, 2);
+        let coarse = backward_search(&g, 0, 0.2, 1e-3).pushes;
+        let fine = backward_search(&g, 0, 0.2, 1e-6).pushes;
+        assert!(fine >= coarse);
+    }
+}

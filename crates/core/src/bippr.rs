@@ -1,0 +1,212 @@
+//! BiPPR — bidirectional pairwise PPR estimation (Lofgren, Banerjee &
+//! Goel, WSDM 2016 \[17\]).
+//!
+//! BiPPR answers the *pairwise* query `π(s,t)` by meeting in the middle:
+//! a **backward push** from the target `t` (threshold `r_max^b`) leaves the
+//! invariant
+//!
+//! ```text
+//! π(s,t) = π^b(s,t) + Σ_u r^b(u,t)·π(s,u)
+//! ```
+//!
+//! and the second term is estimated by **forward random walks** from `s`:
+//! each walk contributes the backward residue at its terminal node, so the
+//! estimator `π̂(s,t) = π^b(s,t) + (1/W)·Σ_walks r^b(endpoint, t)` is
+//! unbiased with every sample bounded by `r_max^b`, which is what gives
+//! BiPPR its relative-error guarantee with only
+//! `W = O(r_max^b·c)` walks (`c` = the usual walk coefficient).
+//!
+//! As the paper notes (Section VI-A), adapting BiPPR to the *single-source*
+//! query needs a backward run per target and is not competitive — which is
+//! why this module exposes only the pairwise API the algorithm was designed
+//! for, plus [`bippr_many_targets`] that amortizes the forward walks.
+
+use crate::backward_push::{backward_search, BackwardResult};
+use crate::params::RwrParams;
+use crate::walker::Walker;
+use resacc_graph::{CsrGraph, NodeId};
+
+/// Tunables for a BiPPR query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BipprConfig {
+    /// Backward-push threshold `r_max^b`; `None` = the cost-balancing
+    /// `√(m/(n·c))`-style default (clamped to `[1e-10, 0.1]`).
+    pub backward_r_max: Option<f64>,
+    /// Forward-walk count; `None` = `⌈r_max^b·c⌉` per the guarantee.
+    pub walks: Option<u64>,
+}
+
+/// Result of a pairwise BiPPR query.
+#[derive(Clone, Debug)]
+pub struct BipprResult {
+    /// The estimate `π̂(s,t)`.
+    pub estimate: f64,
+    /// Deterministic part `π^b(s,t)` (a lower bound on the true value).
+    pub backward_reserve: f64,
+    /// Forward walks simulated.
+    pub walks: u64,
+    /// Backward pushes performed.
+    pub backward_pushes: u64,
+}
+
+fn default_r_max_b(graph: &CsrGraph, params: &RwrParams) -> f64 {
+    // Balance: backward cost ~ d_avg/r_max^b vs walk cost ~ r_max^b·c/α.
+    let c = params.walk_coefficient();
+    let d_avg = graph.avg_degree().max(1.0);
+    (d_avg * params.alpha / c).sqrt().clamp(1e-10, 0.1)
+}
+
+/// Estimates the single pair `π(s, t)`.
+pub fn bippr(
+    graph: &CsrGraph,
+    source: NodeId,
+    target: NodeId,
+    params: &RwrParams,
+    config: &BipprConfig,
+    seed: u64,
+) -> BipprResult {
+    let r_max_b = config
+        .backward_r_max
+        .unwrap_or_else(|| default_r_max_b(graph, params));
+    let back = backward_search(graph, target, params.alpha, r_max_b);
+    let walks = config
+        .walks
+        .unwrap_or_else(|| (r_max_b * params.walk_coefficient()).ceil().max(1.0) as u64);
+    let mut walker = Walker::new(graph, params.alpha, seed);
+    let mut acc = 0.0f64;
+    for _ in 0..walks {
+        let end = walker.walk(source);
+        acc += back.residue[end as usize];
+    }
+    BipprResult {
+        estimate: back.reserve[source as usize] + acc / walks as f64,
+        backward_reserve: back.reserve[source as usize],
+        walks,
+        backward_pushes: back.pushes,
+    }
+}
+
+/// Estimates `π(s, t)` for several targets, sharing one set of forward
+/// walks across all targets (the walks are target-independent; only the
+/// backward structures differ). Returns estimates in target order.
+pub fn bippr_many_targets(
+    graph: &CsrGraph,
+    source: NodeId,
+    targets: &[NodeId],
+    params: &RwrParams,
+    config: &BipprConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let r_max_b = config
+        .backward_r_max
+        .unwrap_or_else(|| default_r_max_b(graph, params));
+    let walks = config
+        .walks
+        .unwrap_or_else(|| (r_max_b * params.walk_coefficient()).ceil().max(1.0) as u64);
+    // Endpoint histogram from one shared batch of walks.
+    let mut walker = Walker::new(graph, params.alpha, seed);
+    let mut endpoint_counts = vec![0u32; graph.num_nodes()];
+    for _ in 0..walks {
+        endpoint_counts[walker.walk(source) as usize] += 1;
+    }
+    targets
+        .iter()
+        .map(|&t| {
+            let back: BackwardResult = backward_search(graph, t, params.alpha, r_max_b);
+            let acc: f64 = endpoint_counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &cnt)| cnt > 0)
+                .map(|(v, &cnt)| cnt as f64 * back.residue[v])
+                .sum();
+            back.reserve[source as usize] + acc / walks as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn pairwise_close_to_exact() {
+        let g = gen::erdos_renyi(100, 700, 5);
+        let params = RwrParams::new(0.2, 0.5, 1.0 / 100.0, 1.0 / 100.0);
+        let exact = crate::exact::exact_rwr(&g, 0, 0.2);
+        for t in [0u32, 3, 50, 99] {
+            let r = bippr(&g, 0, t, &params, &BipprConfig::default(), 7);
+            if exact[t as usize] > params.delta {
+                let rel = (r.estimate - exact[t as usize]).abs() / exact[t as usize];
+                assert!(rel <= params.epsilon, "target {t}: rel {rel}");
+            }
+            assert!(r.backward_reserve <= exact[t as usize] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiny_backward_threshold_is_deterministic() {
+        // With r_max^b pushed to exhaustion, the backward reserve IS the
+        // answer and the walk part contributes ~nothing.
+        let g = gen::cycle(8);
+        let params = RwrParams::for_graph(8);
+        let cfg = BipprConfig {
+            backward_r_max: Some(1e-12),
+            walks: Some(1),
+        };
+        let exact = crate::exact::exact_rwr(&g, 0, 0.2);
+        let r = bippr(&g, 0, 3, &params, &cfg, 1);
+        assert!((r.estimate - exact[3]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pure_monte_carlo_limit() {
+        // With a huge r_max^b the backward phase does (almost) nothing and
+        // BiPPR degenerates to endpoint sampling of the raw residue.
+        let g = gen::complete(6);
+        let params = RwrParams::new(0.2, 0.5, 0.05, 0.05);
+        let cfg = BipprConfig {
+            backward_r_max: Some(10.0), // nothing qualifies: residue stays at t
+            walks: Some(200_000),
+        };
+        let exact = crate::exact::exact_rwr(&g, 0, 0.2);
+        let r = bippr(&g, 0, 2, &params, &cfg, 3);
+        assert_eq!(r.backward_pushes, 0);
+        assert!((r.estimate - exact[2]).abs() < 0.01, "{}", r.estimate);
+    }
+
+    #[test]
+    fn many_targets_matches_exact() {
+        let g = gen::barabasi_albert(150, 3, 9);
+        let params = RwrParams::new(0.2, 0.5, 1.0 / 150.0, 1.0 / 150.0);
+        let exact = crate::exact::exact_rwr(&g, 4, 0.2);
+        let targets = [0u32, 4, 10, 77];
+        let est = bippr_many_targets(&g, 4, &targets, &params, &BipprConfig::default(), 11);
+        for (i, &t) in targets.iter().enumerate() {
+            if exact[t as usize] > params.delta {
+                let rel = (est[i] - exact[t as usize]).abs() / exact[t as usize];
+                assert!(rel <= params.epsilon, "target {t}: rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_pair_is_zero() {
+        let g = resacc_graph::GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(2, 3)
+            .build();
+        let params = RwrParams::for_graph(4);
+        let r = bippr(&g, 0, 3, &params, &BipprConfig::default(), 2);
+        assert_eq!(r.estimate, 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::erdos_renyi(80, 480, 3);
+        let params = RwrParams::for_graph(80);
+        let a = bippr(&g, 1, 5, &params, &BipprConfig::default(), 42);
+        let b = bippr(&g, 1, 5, &params, &BipprConfig::default(), 42);
+        assert_eq!(a.estimate, b.estimate);
+    }
+}

@@ -1,0 +1,173 @@
+//! Exact RWR by dense linear solve — the paper's "Inverse" baseline \[23\].
+//!
+//! The RWR vector solves `(I − (1−α)·Pᵀ)·ν = e_s` where `P` is the
+//! out-transition matrix (dead-end rows zero under this crate's dead-end
+//! convention), with `π(t) = α·ν(t)` at ordinary nodes and `π(t) = ν(t)`
+//! at dead ends. Gaussian elimination costs `O(n³)` — the paper's second
+//! challenge (`O(n^2.373)` with fast matrix multiplication) — so this is an
+//! *oracle for tests* on small graphs, not a production path.
+
+use resacc_graph::{CsrGraph, NodeId};
+
+/// Maximum node count the dense solver accepts (beyond this the O(n³) cost
+/// and O(n²) memory stop being test-friendly).
+pub const MAX_DENSE_NODES: usize = 4_096;
+
+/// Computes exact RWR scores of every node w.r.t. `source`.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`MAX_DENSE_NODES`] nodes.
+pub fn exact_rwr(graph: &CsrGraph, source: NodeId, alpha: f64) -> Vec<f64> {
+    let n = graph.num_nodes();
+    assert!(
+        n <= MAX_DENSE_NODES,
+        "dense solver limited to {MAX_DENSE_NODES} nodes, got {n}"
+    );
+    assert!(alpha > 0.0 && alpha < 1.0);
+    assert!((source as usize) < n);
+
+    // Build A = I − (1−α)·Pᵀ row-major: A[t][v] = δ_{tv} − (1−α)/d_out(v)
+    // for each edge v→t.
+    let mut a = vec![0.0f64; n * n];
+    for t in 0..n {
+        a[t * n + t] = 1.0;
+    }
+    for v in 0..n {
+        let d = graph.out_degree(v as NodeId);
+        if d == 0 {
+            continue;
+        }
+        let w = (1.0 - alpha) / d as f64;
+        for &t in graph.out_neighbors(v as NodeId) {
+            a[t as usize * n + v] -= w;
+        }
+    }
+    let mut b = vec![0.0f64; n];
+    b[source as usize] = 1.0;
+
+    solve_dense(&mut a, &mut b, n);
+
+    // ν = b; convert visit counts into termination probabilities.
+    let mut pi = b;
+    for (v, p) in pi.iter_mut().enumerate() {
+        if graph.out_degree(v as NodeId) > 0 {
+            *p *= alpha;
+        }
+    }
+    pi
+}
+
+/// In-place Gaussian elimination with partial pivoting: solves `A·x = b`,
+/// leaving `x` in `b`. `a` is row-major `n × n`. Shared with the BePI-like
+/// index's dense Schur-complement solve.
+pub(crate) fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) {
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        assert!(best > 1e-300, "singular system (column {col})");
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut x = b[col];
+        for k in (col + 1)..n {
+            x -= a[col * n + k] * b[k];
+        }
+        b[col] = x / a[col * n + col];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn matches_power_iteration() {
+        for (g, label) in [
+            (gen::cycle(12), "cycle"),
+            (gen::star(9), "star"),
+            (gen::complete(7), "complete"),
+            (gen::erdos_renyi(40, 200, 3), "er"),
+        ] {
+            let exact = exact_rwr(&g, 0, 0.2);
+            let power = crate::power::ground_truth(&g, 0, 0.2);
+            for v in 0..g.num_nodes() {
+                assert!(
+                    (exact[v] - power[v]).abs() < 1e-9,
+                    "{label}: node {v}: exact {} vs power {}",
+                    exact[v],
+                    power[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sums_to_one() {
+        let g = gen::erdos_renyi(30, 120, 8);
+        let pi = exact_rwr(&g, 5, 0.3);
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dead_end_handling() {
+        let g = gen::path(3);
+        let pi = exact_rwr(&g, 0, 0.2);
+        assert!((pi[0] - 0.2).abs() < 1e-12);
+        assert!((pi[2] - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_with_alpha_varies() {
+        let g = gen::cycle(4);
+        for alpha in [0.1, 0.2, 0.5, 0.9] {
+            let pi = exact_rwr(&g, 0, alpha);
+            let q = 1.0 - alpha;
+            // π(0,0) = α / (1 − q⁴) on a 4-cycle.
+            let expect = alpha / (1.0 - q.powi(4));
+            assert!((pi[0] - expect).abs() < 1e-12, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn isolated_source() {
+        let g = resacc_graph::GraphBuilder::new(3).edge(1, 2).build();
+        let pi = exact_rwr(&g, 0, 0.2);
+        assert_eq!(pi[0], 1.0);
+        assert_eq!(pi[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense solver limited")]
+    fn rejects_large_graph() {
+        let g = resacc_graph::GraphBuilder::new(MAX_DENSE_NODES + 1).build();
+        let _ = exact_rwr(&g, 0, 0.2);
+    }
+}

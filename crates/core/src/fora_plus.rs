@@ -1,0 +1,223 @@
+//! FORA+ — the index-oriented variant of FORA \[28\].
+//!
+//! FORA+ moves the remedy walks offline: for every node `v` it pre-generates
+//! the worst-case number of walks a query could need from `v`
+//! (`⌈r_max·d_out(v)·c⌉`, since a forward-push phase with threshold `r_max`
+//! leaves `r^f(s,v) ≤ r_max·d_out(v)`) and stores only their terminal nodes.
+//! The query phase replays stored endpoints instead of walking.
+//!
+//! This reproduces the trade-off the paper's Table IV measures: the fastest
+//! query times of any method, bought with heavy preprocessing time and an
+//! index that grows with `m·r_max·c` — and runs *out of memory* on large
+//! graphs. The index must be rebuilt from scratch after every graph update
+//! (Fig 23). A [`memory_budget`](ForaPlusConfig::memory_budget) models the
+//! paper's "o.o.m" entries as a clean [`RwrError::OutOfBudget`].
+
+use crate::params::RwrParams;
+use crate::walker::Walker;
+use crate::RwrError;
+use resacc_graph::{CsrGraph, NodeId};
+use std::time::{Duration, Instant};
+
+/// Configuration for building a [`ForaPlusIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct ForaPlusConfig {
+    /// Forward-push threshold the queries will use; `None` = the
+    /// cost-balancing `1/√(m·c)`.
+    pub r_max: Option<f64>,
+    /// Maximum bytes the stored walk endpoints may occupy. Exceeding it
+    /// aborts preprocessing with [`RwrError::OutOfBudget`] — the analogue of
+    /// the paper's "o.o.m" on Friendster.
+    pub memory_budget: u64,
+}
+
+impl Default for ForaPlusConfig {
+    fn default() -> Self {
+        ForaPlusConfig {
+            r_max: None,
+            memory_budget: 4 << 30, // 4 GiB
+        }
+    }
+}
+
+/// The FORA+ walk index.
+#[derive(Clone, Debug)]
+pub struct ForaPlusIndex {
+    /// CSR layout over nodes: `offsets[v]..offsets[v+1]` slices `endpoints`.
+    offsets: Vec<u64>,
+    /// Pre-generated walk terminal nodes.
+    endpoints: Vec<NodeId>,
+    r_max: f64,
+    alpha: f64,
+    /// Wall-clock preprocessing time.
+    pub preprocessing_time: Duration,
+}
+
+impl ForaPlusIndex {
+    /// Builds the index: pre-generates worst-case walks per node.
+    pub fn build(
+        graph: &CsrGraph,
+        params: &RwrParams,
+        config: &ForaPlusConfig,
+        seed: u64,
+    ) -> Result<Self, RwrError> {
+        let start = Instant::now();
+        let r_max = config
+            .r_max
+            .unwrap_or_else(|| params.fora_r_max(graph.num_edges()));
+        let c = params.walk_coefficient();
+
+        // Budget check before generating anything.
+        let mut total_walks: u64 = 0;
+        for v in graph.nodes() {
+            let cap = (r_max * graph.out_degree(v) as f64 * c).ceil() as u64;
+            // A node always needs at least one stored walk: its residue can
+            // be non-zero even when its out-degree keeps it un-pushed.
+            total_walks += cap.max(1);
+        }
+        let needed = total_walks * std::mem::size_of::<NodeId>() as u64
+            + (graph.num_nodes() as u64 + 1) * std::mem::size_of::<u64>() as u64;
+        if needed > config.memory_budget {
+            return Err(RwrError::OutOfBudget {
+                needed,
+                budget: config.memory_budget,
+            });
+        }
+
+        let mut offsets = Vec::with_capacity(graph.num_nodes() + 1);
+        let mut endpoints = Vec::with_capacity(total_walks as usize);
+        let mut walker = Walker::new(graph, params.alpha, seed);
+        offsets.push(0u64);
+        for v in graph.nodes() {
+            let cap = ((r_max * graph.out_degree(v) as f64 * c).ceil() as u64).max(1);
+            for _ in 0..cap {
+                endpoints.push(walker.walk(v));
+            }
+            offsets.push(endpoints.len() as u64);
+        }
+        Ok(ForaPlusIndex {
+            offsets,
+            endpoints,
+            r_max,
+            alpha: params.alpha,
+            preprocessing_time: start.elapsed(),
+        })
+    }
+
+    /// Index size in bytes (the paper's Table IV "index size" column).
+    pub fn size_bytes(&self) -> u64 {
+        (self.endpoints.len() * std::mem::size_of::<NodeId>()
+            + self.offsets.len() * std::mem::size_of::<u64>()) as u64
+    }
+
+    /// Total stored walks.
+    pub fn stored_walks(&self) -> u64 {
+        self.endpoints.len() as u64
+    }
+
+    /// The push threshold the index was built for.
+    pub fn r_max(&self) -> f64 {
+        self.r_max
+    }
+
+    /// Answers an SSRWR query: forward push, then replay stored endpoints.
+    ///
+    /// If a node's residue demands more walks than were stored (possible
+    /// only when query `params` are tighter than the build-time ones), the
+    /// stored endpoints are cycled — the estimate stays unbiased over the
+    /// index's own randomness but loses independence; build-time and query
+    /// parameters should match, as in the paper.
+    pub fn query(&self, graph: &CsrGraph, source: NodeId, params: &RwrParams) -> Vec<f64> {
+        assert_eq!(
+            self.offsets.len(),
+            graph.num_nodes() + 1,
+            "index built for a different graph"
+        );
+        let mut state = crate::state::ForwardState::new(graph.num_nodes());
+        crate::forward_push::forward_search(graph, source, self.alpha, self.r_max, &mut state);
+        let c = params.walk_coefficient();
+        let mut scores = state.scores();
+        for (v, r) in state.nonzero_residues() {
+            let walks = (r * c).ceil() as u64;
+            if walks == 0 {
+                continue;
+            }
+            let lo = self.offsets[v as usize] as usize;
+            let hi = self.offsets[v as usize + 1] as usize;
+            let stored = &self.endpoints[lo..hi];
+            debug_assert!(!stored.is_empty());
+            let credit = r / walks as f64;
+            for i in 0..walks as usize {
+                let t = stored[i % stored.len()];
+                scores[t as usize] += credit;
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn query_sums_to_one() {
+        let g = gen::barabasi_albert(300, 3, 1);
+        let params = RwrParams::for_graph(300);
+        let idx = ForaPlusIndex::build(&g, &params, &ForaPlusConfig::default(), 7).unwrap();
+        let scores = idx.query(&g, 0, &params);
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_close_to_exact() {
+        let g = gen::erdos_renyi(60, 360, 2);
+        let params = RwrParams::new(0.2, 0.5, 1.0 / 60.0, 1.0 / 60.0);
+        let idx = ForaPlusIndex::build(&g, &params, &ForaPlusConfig::default(), 3).unwrap();
+        let scores = idx.query(&g, 0, &params);
+        let exact = crate::exact::exact_rwr(&g, 0, 0.2);
+        for v in 0..60usize {
+            if exact[v] > params.delta {
+                let rel = (scores[v] - exact[v]).abs() / exact[v];
+                assert!(rel <= 2.0 * params.epsilon, "node {v}: rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let g = gen::barabasi_albert(500, 4, 2);
+        let params = RwrParams::for_graph(500);
+        let cfg = ForaPlusConfig {
+            memory_budget: 1024,
+            ..Default::default()
+        };
+        match ForaPlusIndex::build(&g, &params, &cfg, 1) {
+            Err(RwrError::OutOfBudget { needed, budget }) => {
+                assert!(needed > budget);
+            }
+            other => panic!("expected OutOfBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_size_accounts_endpoints() {
+        let g = gen::cycle(50);
+        let params = RwrParams::for_graph(50);
+        let idx = ForaPlusIndex::build(&g, &params, &ForaPlusConfig::default(), 5).unwrap();
+        assert_eq!(idx.size_bytes(), idx.stored_walks() * 4 + 51 * 8);
+        assert!(idx.preprocessing_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn queries_are_deterministic_given_index() {
+        let g = gen::erdos_renyi(100, 600, 9);
+        let params = RwrParams::for_graph(100);
+        let idx = ForaPlusIndex::build(&g, &params, &ForaPlusConfig::default(), 2).unwrap();
+        let a = idx.query(&g, 4, &params);
+        let b = idx.query(&g, 4, &params);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,333 @@
+//! HubPPR — the indexed variant of BiPPR (Wang, Tang, Xiao, Yang & Li,
+//! VLDB 2016 \[25\]).
+//!
+//! HubPPR accelerates pairwise queries by precomputing, for a set of
+//! high-degree **hub** nodes, the structures the two BiPPR phases would
+//! build online: pre-generated forward-walk endpoints for hub *sources*
+//! and backward push results for hub *targets*. Queries whose endpoints
+//! hit the hub set replay stored data; others fall back to online BiPPR.
+//!
+//! The trade-offs the paper's Table I records all reproduce: faster
+//! queries than BiPPR when hubs are hit, bought with preprocessing time and
+//! an index that must be rebuilt on graph change; a memory budget models
+//! the storage appetite.
+
+use crate::backward_push::backward_search;
+use crate::bippr::{bippr, BipprConfig, BipprResult};
+use crate::params::RwrParams;
+use crate::walker::Walker;
+use crate::RwrError;
+use resacc_graph::{CsrGraph, NodeId};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`HubPprIndex::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct HubPprConfig {
+    /// Number of hub nodes (selected by descending out-degree);
+    /// `None` = `⌈√n⌉` clamped to `[4, 1024]`.
+    pub hub_count: Option<usize>,
+    /// Backward threshold used both offline and online; `None` = BiPPR's
+    /// default.
+    pub backward_r_max: Option<f64>,
+    /// Forward walks stored per hub source; `None` = the BiPPR guarantee
+    /// count.
+    pub walks_per_hub: Option<u64>,
+    /// Byte budget for the stored structures.
+    pub memory_budget: u64,
+}
+
+impl Default for HubPprConfig {
+    fn default() -> Self {
+        HubPprConfig {
+            hub_count: None,
+            backward_r_max: None,
+            walks_per_hub: None,
+            memory_budget: 4 << 30,
+        }
+    }
+}
+
+/// Sparse backward snapshot for one hub target.
+#[derive(Clone, Debug)]
+struct BackwardSnapshot {
+    reserve: Vec<(NodeId, f64)>,
+    residue: Vec<(NodeId, f64)>,
+    pushes: u64,
+}
+
+/// The HubPPR index.
+pub struct HubPprIndex {
+    alpha: f64,
+    r_max_b: f64,
+    walks: u64,
+    /// Pre-generated walk endpoints per hub source.
+    forward: HashMap<NodeId, Vec<NodeId>>,
+    /// Backward snapshots per hub target.
+    backward: HashMap<NodeId, BackwardSnapshot>,
+    /// Wall-clock preprocessing time.
+    pub preprocessing_time: Duration,
+}
+
+impl HubPprIndex {
+    /// Builds the index over the top-degree hubs.
+    pub fn build(
+        graph: &CsrGraph,
+        params: &RwrParams,
+        config: &HubPprConfig,
+        seed: u64,
+    ) -> Result<Self, RwrError> {
+        let start = Instant::now();
+        let n = graph.num_nodes();
+        let hub_count = config
+            .hub_count
+            .unwrap_or_else(|| ((n as f64).sqrt().ceil() as usize).clamp(4, 1024))
+            .min(n);
+        let hubs = resacc_graph::stats::top_out_degree_nodes(graph, hub_count);
+        let c = params.walk_coefficient();
+        let r_max_b = config.backward_r_max.unwrap_or_else(|| {
+            (graph.avg_degree().max(1.0) * params.alpha / c)
+                .sqrt()
+                .clamp(1e-10, 0.1)
+        });
+        let walks = config
+            .walks_per_hub
+            .unwrap_or_else(|| (r_max_b * c).ceil().max(1.0) as u64);
+
+        let mut index = HubPprIndex {
+            alpha: params.alpha,
+            r_max_b,
+            walks,
+            forward: HashMap::with_capacity(hub_count),
+            backward: HashMap::with_capacity(hub_count),
+            preprocessing_time: Duration::ZERO,
+        };
+
+        let mut walker = Walker::new(graph, params.alpha, seed);
+        let mut used_bytes = 0u64;
+        for &hub in &hubs {
+            // Forward endpoints.
+            let endpoints: Vec<NodeId> = (0..walks).map(|_| walker.walk(hub)).collect();
+            used_bytes += endpoints.len() as u64 * 4 + 16;
+            // Backward snapshot (sparse).
+            let back = backward_search(graph, hub, params.alpha, r_max_b);
+            let reserve: Vec<(NodeId, f64)> = back
+                .reserve
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x > 0.0)
+                .map(|(v, &x)| (v as NodeId, x))
+                .collect();
+            let residue: Vec<(NodeId, f64)> = back
+                .residue
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x > 0.0)
+                .map(|(v, &x)| (v as NodeId, x))
+                .collect();
+            used_bytes += (reserve.len() + residue.len()) as u64 * 12 + 32;
+            if used_bytes > config.memory_budget {
+                return Err(RwrError::OutOfBudget {
+                    needed: used_bytes,
+                    budget: config.memory_budget,
+                });
+            }
+            index.forward.insert(hub, endpoints);
+            index.backward.insert(
+                hub,
+                BackwardSnapshot {
+                    reserve,
+                    residue,
+                    pushes: back.pushes,
+                },
+            );
+        }
+        index.preprocessing_time = start.elapsed();
+        Ok(index)
+    }
+
+    /// Number of indexed hubs.
+    pub fn hub_count(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True iff both phases of a query `(source, target)` would be served
+    /// from the index.
+    pub fn fully_indexed(&self, source: NodeId, target: NodeId) -> bool {
+        self.forward.contains_key(&source) && self.backward.contains_key(&target)
+    }
+
+    /// Approximate index size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        let fwd: u64 = self.forward.values().map(|v| v.len() as u64 * 4 + 16).sum();
+        let bwd: u64 = self
+            .backward
+            .values()
+            .map(|b| (b.reserve.len() + b.residue.len()) as u64 * 12 + 32)
+            .sum();
+        fwd + bwd
+    }
+
+    /// Answers the pairwise query `π(s, t)`, reusing stored structures
+    /// where available and falling back to online BiPPR otherwise.
+    pub fn query(
+        &self,
+        graph: &CsrGraph,
+        source: NodeId,
+        target: NodeId,
+        params: &RwrParams,
+        seed: u64,
+    ) -> BipprResult {
+        let snapshot = self.backward.get(&target);
+        let endpoints = self.forward.get(&source);
+        match (snapshot, endpoints) {
+            (Some(back), Some(ends)) => {
+                // Fully indexed: pure lookups.
+                let reserve_at = |v: NodeId, list: &[(NodeId, f64)]| {
+                    list.binary_search_by_key(&v, |&(node, _)| node)
+                        .map(|i| list[i].1)
+                        .unwrap_or(0.0)
+                };
+                let residue: HashMap<NodeId, f64> = back.residue.iter().copied().collect();
+                let acc: f64 = ends
+                    .iter()
+                    .map(|e| residue.get(e).copied().unwrap_or(0.0))
+                    .sum();
+                BipprResult {
+                    estimate: reserve_at(source, &back.reserve) + acc / ends.len() as f64,
+                    backward_reserve: reserve_at(source, &back.reserve),
+                    walks: 0, // replayed, not simulated
+                    backward_pushes: 0,
+                }
+            }
+            (Some(back), None) => {
+                // Stored backward phase + fresh walks.
+                let mut walker = Walker::new(graph, self.alpha, seed);
+                let residue: HashMap<NodeId, f64> = back.residue.iter().copied().collect();
+                let mut acc = 0.0;
+                for _ in 0..self.walks {
+                    let e = walker.walk(source);
+                    acc += residue.get(&e).copied().unwrap_or(0.0);
+                }
+                let reserve = back
+                    .reserve
+                    .iter()
+                    .find(|&&(v, _)| v == source)
+                    .map_or(0.0, |&(_, x)| x);
+                BipprResult {
+                    estimate: reserve + acc / self.walks as f64,
+                    backward_reserve: reserve,
+                    walks: self.walks,
+                    backward_pushes: 0,
+                }
+            }
+            (None, Some(ends)) => {
+                // Stored forward endpoints + fresh backward push.
+                let back = backward_search(graph, target, self.alpha, self.r_max_b);
+                let acc: f64 = ends.iter().map(|&e| back.residue[e as usize]).sum();
+                BipprResult {
+                    estimate: back.reserve[source as usize] + acc / ends.len() as f64,
+                    backward_reserve: back.reserve[source as usize],
+                    walks: 0,
+                    backward_pushes: back.pushes,
+                }
+            }
+            (None, None) => {
+                // Full fallback to online BiPPR with matching parameters.
+                let cfg = BipprConfig {
+                    backward_r_max: Some(self.r_max_b),
+                    walks: Some(self.walks),
+                };
+                bippr(graph, source, target, params, &cfg, seed)
+            }
+        }
+    }
+
+    /// Total backward pushes stored in the index (preprocessing work
+    /// accounting).
+    pub fn stored_backward_pushes(&self) -> u64 {
+        self.backward.values().map(|b| b.pushes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    fn build_default(graph: &CsrGraph) -> (HubPprIndex, RwrParams) {
+        let params = RwrParams::new(
+            0.2,
+            0.5,
+            1.0 / graph.num_nodes() as f64,
+            1.0 / graph.num_nodes() as f64,
+        );
+        let idx = HubPprIndex::build(graph, &params, &HubPprConfig::default(), 3).unwrap();
+        (idx, params)
+    }
+
+    #[test]
+    fn indexed_query_close_to_exact() {
+        let g = gen::barabasi_albert(200, 4, 7);
+        let (idx, params) = build_default(&g);
+        // Query between the top two hubs: both phases served by the index.
+        let hubs = resacc_graph::stats::top_out_degree_nodes(&g, 2);
+        let (s, t) = (hubs[0], hubs[1]);
+        assert!(idx.fully_indexed(s, t));
+        let exact = crate::exact::exact_rwr(&g, s, 0.2);
+        let r = idx.query(&g, s, t, &params, 5);
+        if exact[t as usize] > params.delta {
+            let rel = (r.estimate - exact[t as usize]).abs() / exact[t as usize];
+            assert!(rel <= params.epsilon, "s={s} t={t} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn fallback_path_works() {
+        let g = gen::barabasi_albert(300, 3, 2);
+        let (idx, params) = build_default(&g);
+        // A low-degree node is unlikely to be a hub: find one.
+        let non_hub = g
+            .nodes()
+            .find(|&v| !idx.fully_indexed(v, v))
+            .expect("some non-hub");
+        let exact = crate::exact::exact_rwr(&g, non_hub, 0.2);
+        let r = idx.query(&g, non_hub, non_hub, &params, 9);
+        let rel = (r.estimate - exact[non_hub as usize]).abs() / exact[non_hub as usize];
+        assert!(rel <= params.epsilon, "rel {rel}");
+    }
+
+    #[test]
+    fn fully_indexed_queries_do_no_online_work() {
+        let g = gen::star(50);
+        let (idx, params) = build_default(&g);
+        assert!(idx.fully_indexed(0, 0));
+        let r = idx.query(&g, 0, 0, &params, 1);
+        assert_eq!(r.walks, 0);
+        assert_eq!(r.backward_pushes, 0);
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let g = gen::barabasi_albert(2_000, 5, 1);
+        let params = RwrParams::for_graph(2_000);
+        let cfg = HubPprConfig {
+            memory_budget: 256,
+            ..Default::default()
+        };
+        assert!(matches!(
+            HubPprIndex::build(&g, &params, &cfg, 1),
+            Err(RwrError::OutOfBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn size_and_prep_reported() {
+        let g = gen::erdos_renyi(150, 900, 4);
+        let (idx, _) = build_default(&g);
+        assert!(idx.size_bytes() > 0);
+        assert!(idx.hub_count() > 0);
+        assert!(idx.preprocessing_time > Duration::ZERO);
+        assert!(idx.stored_backward_pushes() > 0);
+    }
+}

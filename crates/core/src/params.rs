@@ -1,0 +1,148 @@
+//! Query parameters shared by every SSRWR algorithm.
+
+/// Parameters of an approximate SSRWR query (paper Definition 1).
+///
+/// The defaults follow the paper's experimental setup (Section VII-A):
+/// `α = 0.2`, `ε = 0.5`, and — via [`RwrParams::for_graph`] — `δ = 1/n`,
+/// `p_f = 1/n`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RwrParams {
+    /// Restart (termination) probability `α ∈ (0, 1)`.
+    pub alpha: f64,
+    /// Relative error bound `ε > 0`.
+    pub epsilon: f64,
+    /// RWR-value threshold `δ ∈ (0, 1]`: the guarantee applies to nodes with
+    /// `π(s,t) > δ`.
+    pub delta: f64,
+    /// Failure probability `p_f ∈ (0, 1)`.
+    pub p_f: f64,
+}
+
+impl RwrParams {
+    /// Creates validated parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any parameter is outside its domain.
+    pub fn new(alpha: f64, epsilon: f64, delta: f64, p_f: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1]");
+        assert!(p_f > 0.0 && p_f < 1.0, "p_f must be in (0,1)");
+        RwrParams {
+            alpha,
+            epsilon,
+            delta,
+            p_f,
+        }
+    }
+
+    /// The paper's standard setting for a graph with `n` nodes:
+    /// `α = 0.2`, `ε = 0.5`, `δ = 1/n`, `p_f = 1/n`.
+    pub fn for_graph(n: usize) -> Self {
+        let n = n.max(2) as f64;
+        RwrParams::new(0.2, 0.5, 1.0 / n, 1.0 / n)
+    }
+
+    /// Returns a copy with a different `alpha`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Returns a copy with a different `epsilon`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// The walk-count coefficient
+    /// `c = (2ε/3 + 2)·ln(2/p_f) / (ε²·δ)`
+    /// from Theorem 3: an algorithm holding residue mass `r_sum` needs
+    /// `n_r = r_sum · c` remedy walks to meet the accuracy guarantee.
+    pub fn walk_coefficient(&self) -> f64 {
+        (2.0 * self.epsilon / 3.0 + 2.0) * (2.0 / self.p_f).ln()
+            / (self.epsilon * self.epsilon * self.delta)
+    }
+
+    /// FORA's cost-balancing residue threshold `r_max = 1/sqrt(m·c)`,
+    /// which equalizes the `O(1/(α·r_max))` push cost and the
+    /// `O(m·r_max·c/α)` walk cost (paper Section II-C).
+    pub fn fora_r_max(&self, num_edges: usize) -> f64 {
+        let c = self.walk_coefficient();
+        1.0 / ((num_edges.max(1) as f64) * c).sqrt()
+    }
+}
+
+impl Default for RwrParams {
+    /// `α = 0.2`, `ε = 0.5`, `δ = p_f = 10⁻³` (a graph-size-independent
+    /// fallback; prefer [`RwrParams::for_graph`]).
+    fn default() -> Self {
+        RwrParams::new(0.2, 0.5, 1e-3, 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_graph_matches_paper_setting() {
+        let p = RwrParams::for_graph(1000);
+        assert_eq!(p.alpha, 0.2);
+        assert_eq!(p.epsilon, 0.5);
+        assert!((p.delta - 1e-3).abs() < 1e-15);
+        assert!((p.p_f - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn walk_coefficient_formula() {
+        let p = RwrParams::new(0.2, 0.5, 0.01, 0.01);
+        let expected = (2.0 * 0.5 / 3.0 + 2.0) * (200.0f64).ln() / (0.25 * 0.01);
+        assert!((p.walk_coefficient() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walk_coefficient_grows_with_tighter_eps() {
+        let loose = RwrParams::new(0.2, 0.5, 0.01, 0.01).walk_coefficient();
+        let tight = RwrParams::new(0.2, 0.1, 0.01, 0.01).walk_coefficient();
+        assert!(tight > loose * 10.0);
+    }
+
+    #[test]
+    fn fora_r_max_balances_costs() {
+        let p = RwrParams::for_graph(10_000);
+        let m = 100_000;
+        let r = p.fora_r_max(m);
+        let c = p.walk_coefficient();
+        // push cost 1/r_max should equal walk cost m·r_max·c
+        assert!(((1.0 / r) - m as f64 * r * c).abs() / (1.0 / r) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_validated() {
+        let _ = RwrParams::new(1.5, 0.5, 0.1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn delta_validated() {
+        let _ = RwrParams::new(0.2, 0.5, 0.0, 0.1);
+    }
+
+    #[test]
+    fn builders() {
+        let p = RwrParams::default().with_alpha(0.15).with_epsilon(0.3);
+        assert_eq!(p.alpha, 0.15);
+        assert_eq!(p.epsilon, 0.3);
+    }
+
+    #[test]
+    fn tiny_graph_clamped() {
+        let p = RwrParams::for_graph(0);
+        assert!(p.delta > 0.0 && p.delta <= 1.0);
+    }
+}

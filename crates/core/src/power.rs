@@ -1,0 +1,159 @@
+//! Power iteration — the paper's ground-truth generator \[20\].
+//!
+//! Implemented as synchronized full-graph residue propagation: starting from
+//! a unit residue at the source, every iteration settles `α·r(v)` into the
+//! reserve of `v` (all of `r(v)` at dead ends) and forwards
+//! `(1−α)·r(v)/d_out(v)` to each out-neighbour.  After `k` iterations the
+//! un-settled mass is at most `(1−α)^k`, so the additive error of every
+//! score is bounded by the `tolerance` parameter on exit.
+//!
+//! The cost is `O(m)` per iteration — `O(m·log(1/tol)/α)` total — which is
+//! exactly why the paper classifies Power as accurate but slow (Table I).
+
+use resacc_graph::{CsrGraph, NodeId};
+
+/// Result of a [`power_iteration`] run.
+#[derive(Clone, Debug)]
+pub struct PowerResult {
+    /// Estimated RWR scores, `scores[t] ≈ π(s,t)`.
+    pub scores: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Residual (un-settled) mass on exit; the additive error bound.
+    pub residual_mass: f64,
+}
+
+/// Runs power iteration from `source` until the un-settled mass drops below
+/// `tolerance` (or `max_iterations` is hit, whichever is first).
+pub fn power_iteration(
+    graph: &CsrGraph,
+    source: NodeId,
+    alpha: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> PowerResult {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+
+    let mut scores = vec![0.0f64; n];
+    let mut residue = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    residue[source as usize] = 1.0;
+    let mut remaining = 1.0f64;
+    let mut iterations = 0usize;
+
+    while remaining > tolerance && iterations < max_iterations {
+        let mut carried = 0.0f64;
+        for v in 0..n {
+            let r = residue[v];
+            if r == 0.0 {
+                continue;
+            }
+            let neighbors = graph.out_neighbors(v as NodeId);
+            if neighbors.is_empty() {
+                scores[v] += r;
+            } else {
+                scores[v] += alpha * r;
+                let share = (1.0 - alpha) * r / neighbors.len() as f64;
+                for &u in neighbors {
+                    next[u as usize] += share;
+                }
+                carried += (1.0 - alpha) * r;
+            }
+            residue[v] = 0.0;
+        }
+        std::mem::swap(&mut residue, &mut next);
+        remaining = carried;
+        iterations += 1;
+    }
+    // Distribute whatever mass remains as reserve so scores still sum to 1
+    // (additive error per node stays below `remaining`).
+    for v in 0..n {
+        if residue[v] > 0.0 {
+            scores[v] += residue[v];
+        }
+    }
+    PowerResult {
+        scores,
+        iterations,
+        residual_mass: remaining,
+    }
+}
+
+/// Convenience wrapper with a tolerance suitable for ground truth
+/// (`1e-12`, iteration cap scaled to `α`).
+pub fn ground_truth(graph: &CsrGraph, source: NodeId, alpha: f64) -> Vec<f64> {
+    let max_iter = (40.0 / alpha).ceil() as usize + 200;
+    power_iteration(graph, source, alpha, 1e-12, max_iter).scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn scores_sum_to_one() {
+        for g in [gen::cycle(20), gen::star(15), gen::path(10)] {
+            let r = power_iteration(&g, 0, 0.2, 1e-12, 500);
+            let sum: f64 = r.scores.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        }
+    }
+
+    #[test]
+    fn two_cycle_closed_form() {
+        // Graph 0⇄1: π(0,0) = α·Σ (1-α)^{2k} = α/(1-(1-α)²).
+        let g = resacc_graph::GraphBuilder::new(2)
+            .edge(0, 1)
+            .edge(1, 0)
+            .build();
+        let alpha = 0.2f64;
+        let r = power_iteration(&g, 0, alpha, 1e-14, 1000);
+        let q = 1.0 - alpha;
+        let expect0 = alpha / (1.0 - q * q);
+        let expect1 = alpha * q / (1.0 - q * q);
+        assert!((r.scores[0] - expect0).abs() < 1e-10);
+        assert!((r.scores[1] - expect1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn path_closed_form() {
+        // 0→1→2 (2 is a dead end): π(0,0)=α, π(0,1)=(1−α)α, π(0,2)=(1−α)².
+        let g = gen::path(3);
+        let alpha = 0.2f64;
+        let r = power_iteration(&g, 0, alpha, 1e-14, 100);
+        assert!((r.scores[0] - alpha).abs() < 1e-12);
+        assert!((r.scores[1] - (1.0 - alpha) * alpha).abs() < 1e-12);
+        assert!((r.scores[2] - (1.0 - alpha) * (1.0 - alpha)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_end_source() {
+        let g = gen::path(3);
+        let r = power_iteration(&g, 2, 0.2, 1e-12, 100);
+        assert_eq!(r.scores[2], 1.0);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn residual_mass_decreases_geometrically() {
+        let g = gen::cycle(8);
+        let r5 = power_iteration(&g, 0, 0.2, 0.0, 5);
+        let r10 = power_iteration(&g, 0, 0.2, 0.0, 10);
+        assert!((r5.residual_mass - 0.8f64.powi(5)).abs() < 1e-12);
+        assert!((r10.residual_mass - 0.8f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_is_tight() {
+        let g = gen::barabasi_albert(200, 3, 5);
+        let gt = ground_truth(&g, 0, 0.2);
+        let sum: f64 = gt.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Source should hold at least alpha.
+        assert!(gt[0] >= 0.2);
+    }
+}

@@ -1,0 +1,164 @@
+//! A stateful query session over a mutable graph.
+//!
+//! The paper's central systems argument is that index-free algorithms suit
+//! *dynamic* graphs: there is nothing to rebuild when edges change.
+//! [`RwrSession`] packages that workflow — it owns the graph, a configured
+//! ResAcc engine and a reusable push workspace; mutations rebuild the CSR
+//! (an explicit `O(n + m)` cost, amortized over queries) and bump a version
+//! counter, and queries are immediately correct against the new topology.
+//! Contrast with the index-oriented types ([`crate::fora_plus`],
+//! [`crate::bepi`], [`crate::tpa`], [`crate::hubppr`]), whose indexes a
+//! caller must rebuild by hand after every change (Fig 23's cost).
+
+use crate::params::RwrParams;
+use crate::resacc::{ResAcc, ResAccConfig, ResAccResult};
+use crate::state::ForwardState;
+use crate::topk::top_k;
+use resacc_graph::{dynamic, CsrGraph, NodeId};
+
+/// An owned graph plus a ready-to-query ResAcc engine.
+pub struct RwrSession {
+    graph: CsrGraph,
+    params: RwrParams,
+    engine: ResAcc,
+    workspace: ForwardState,
+    version: u64,
+}
+
+impl RwrSession {
+    /// Opens a session with the paper's standard parameters for the graph
+    /// size and a default-configured ResAcc engine.
+    pub fn new(graph: CsrGraph) -> Self {
+        let params = RwrParams::for_graph(graph.num_nodes());
+        Self::with_config(graph, params, ResAccConfig::default())
+    }
+
+    /// Opens a session with explicit parameters and engine configuration.
+    pub fn with_config(graph: CsrGraph, params: RwrParams, config: ResAccConfig) -> Self {
+        let workspace = ForwardState::new(graph.num_nodes());
+        RwrSession {
+            graph,
+            params,
+            engine: ResAcc::new(config),
+            workspace,
+            version: 0,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The session parameters.
+    pub fn params(&self) -> &RwrParams {
+        &self.params
+    }
+
+    /// Number of mutations applied so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Answers an SSRWR query against the current graph.
+    pub fn query(&mut self, source: NodeId, seed: u64) -> ResAccResult {
+        self.engine
+            .query_with_state(&self.graph, source, &self.params, seed, &mut self.workspace)
+    }
+
+    /// The `k` most relevant nodes w.r.t. `source`.
+    pub fn top_k(&mut self, source: NodeId, k: usize, seed: u64) -> Vec<(NodeId, f64)> {
+        top_k(&self.query(source, seed).scores, k)
+    }
+
+    fn replace_graph(&mut self, graph: CsrGraph) {
+        if graph.num_nodes() != self.graph.num_nodes() {
+            self.workspace = ForwardState::new(graph.num_nodes());
+            self.params = RwrParams::for_graph(graph.num_nodes());
+        }
+        self.graph = graph;
+        self.version += 1;
+    }
+
+    /// Inserts directed edges (existing edges are deduplicated).
+    pub fn insert_edges(&mut self, edges: &[(NodeId, NodeId)]) {
+        self.replace_graph(dynamic::insert_edges(&self.graph, edges));
+    }
+
+    /// Deletes directed edges (absent edges are ignored).
+    pub fn delete_edges(&mut self, edges: &[(NodeId, NodeId)]) {
+        self.replace_graph(dynamic::delete_edges(&self.graph, edges));
+    }
+
+    /// Isolates a node (removes all its in- and out-edges; ids stay stable).
+    pub fn delete_node(&mut self, node: NodeId) {
+        self.replace_graph(dynamic::delete_node(&self.graph, node));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn query_reflects_mutations_immediately() {
+        let mut session = RwrSession::new(gen::cycle(6));
+        let before = session.query(0, 1);
+        assert!(before.scores[3] > 0.0);
+        // Cut the cycle between 2 and 3: node 3 becomes unreachable from 0.
+        session.delete_edges(&[(2, 3)]);
+        assert_eq!(session.version(), 1);
+        let after = session.query(0, 1);
+        assert_eq!(after.scores[3], 0.0);
+        let sum: f64 = after.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_creates_reachability() {
+        let mut session = RwrSession::new(gen::path(4)); // 0→1→2→3
+        session.insert_edges(&[(3, 0)]); // close the loop
+        assert!(session.graph().has_edge(3, 0));
+        let r = session.query(3, 2);
+        assert!(r.scores[0] > 0.0);
+    }
+
+    #[test]
+    fn node_deletion_isolates() {
+        let mut session = RwrSession::new(gen::complete(5));
+        session.delete_node(2);
+        let r = session.query(0, 3);
+        assert_eq!(r.scores[2], 0.0);
+        assert_eq!(session.graph().out_degree(2), 0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn top_k_and_guarantee_after_updates() {
+        let mut session = RwrSession::new(gen::barabasi_albert(200, 3, 9));
+        session.delete_node(5);
+        session.insert_edges(&[(0, 100), (100, 0)]);
+        assert_eq!(session.version(), 2);
+        let top = session.top_k(0, 5, 7);
+        assert_eq!(top[0].0, 0);
+        // Guarantee still holds on the mutated graph.
+        let exact = crate::exact::exact_rwr(session.graph(), 0, session.params().alpha);
+        let r = session.query(0, 11);
+        for v in 0..200usize {
+            if exact[v] > session.params().delta {
+                let rel = (r.scores[v] - exact[v]).abs() / exact[v];
+                assert!(rel <= session.params().epsilon, "node {v}: {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_reuse_workspace() {
+        let mut session = RwrSession::new(gen::erdos_renyi(100, 600, 4));
+        let a = session.query(0, 5).scores;
+        let _ = session.query(7, 6);
+        let b = session.query(0, 5).scores;
+        assert_eq!(a, b, "workspace reuse must not leak state");
+    }
+}

@@ -1,0 +1,90 @@
+//! Top-k extraction utilities shared by the evaluation harness and the
+//! TopPPR-style query.
+
+use resacc_graph::NodeId;
+
+/// Returns the `k` nodes with the largest scores as `(node, score)` pairs,
+/// descending by score with ties broken by smaller node id (so results are
+/// deterministic across runs).
+pub fn top_k(scores: &[f64], k: usize) -> Vec<(NodeId, f64)> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // Partial selection: a full sort is O(n log n); select_nth is O(n).
+    let mut idx: Vec<NodeId> = (0..scores.len() as NodeId).collect();
+    let cmp = |&a: &NodeId, &b: &NodeId| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must be finite")
+            .then(a.cmp(&b))
+    };
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_by(cmp);
+    idx.into_iter().map(|v| (v, scores[v as usize])).collect()
+}
+
+/// The `k`-th largest score (1-indexed: `kth_score(s, 1)` is the maximum).
+/// Returns 0.0 when `k` exceeds the node count, matching how the paper's
+/// error-at-k plots handle `k > n`.
+pub fn kth_score(scores: &[f64], k: usize) -> f64 {
+    if k == 0 || k > scores.len() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("scores must be finite"));
+    sorted[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest() {
+        let scores = [0.1, 0.5, 0.2, 0.4];
+        let top = top_k(&scores, 2);
+        assert_eq!(top, vec![(1, 0.5), (3, 0.4)]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let scores = [0.3, 0.3, 0.3];
+        let top = top_k(&scores, 2);
+        assert_eq!(top, vec![(0, 0.3), (1, 0.3)]);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let scores = [0.2, 0.8];
+        let top = top_k(&scores, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1);
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        assert!(top_k(&[0.5], 0).is_empty());
+        assert!(top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn kth_score_values() {
+        let scores = [0.1, 0.5, 0.2];
+        assert_eq!(kth_score(&scores, 1), 0.5);
+        assert_eq!(kth_score(&scores, 3), 0.1);
+        assert_eq!(kth_score(&scores, 4), 0.0);
+        assert_eq!(kth_score(&scores, 0), 0.0);
+    }
+
+    #[test]
+    fn full_k_is_sorted() {
+        let scores = [0.4, 0.1, 0.9, 0.3];
+        let top = top_k(&scores, 4);
+        let vals: Vec<f64> = top.iter().map(|p| p.1).collect();
+        assert_eq!(vals, vec![0.9, 0.4, 0.3, 0.1]);
+    }
+}

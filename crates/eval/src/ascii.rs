@@ -1,0 +1,188 @@
+//! ASCII line charts for the figure harnesses.
+//!
+//! The paper's figures are log-log line plots; the `repro` binary renders
+//! the same series as terminal charts so the *shape* claims (who is lower,
+//! where curves cross) are visible without a plotting stack.
+
+/// A named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (first character doubles as the plot glyph).
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Axis scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxisScale {
+    /// Linear mapping.
+    Linear,
+    /// Log10 mapping; non-positive values are clamped to the smallest
+    /// positive value in the data.
+    Log,
+}
+
+/// Renders series into a `width × height` character grid with y-axis
+/// labels, suitable for printing under a figure title.
+pub fn render(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_scale: AxisScale,
+    y_scale: AxisScale,
+) -> String {
+    let width = width.clamp(16, 160);
+    let height = height.clamp(4, 48);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let min_pos = |vals: &dyn Fn(&(f64, f64)) -> f64| {
+        all.iter()
+            .map(vals)
+            .filter(|&v| v > 0.0)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let tx = |v: f64| match x_scale {
+        AxisScale::Linear => v,
+        AxisScale::Log => v.max(min_pos(&|p: &(f64, f64)| p.0)).log10(),
+    };
+    let ty = |v: f64| match y_scale {
+        AxisScale::Linear => v,
+        AxisScale::Log => v.max(min_pos(&|p: &(f64, f64)| p.1)).log10(),
+    };
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(tx(x));
+        x_hi = x_hi.max(tx(x));
+        y_lo = y_lo.min(ty(y));
+        y_hi = y_hi.max(ty(y));
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            let cx = (((tx(x) - x_lo) / (x_hi - x_lo)) * (width - 1) as f64).round() as usize;
+            let cy = (((ty(y) - y_lo) / (y_hi - y_lo)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let fmt_val = |t: f64, scale: AxisScale| match scale {
+        AxisScale::Linear => format!("{t:.3}"),
+        AxisScale::Log => format!("1e{t:.1}"),
+    };
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (height - 1) as f64;
+        let yv = y_lo + frac * (y_hi - y_lo);
+        out.push_str(&format!("{:>8} |", fmt_val(yv, y_scale)));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>8}  {}{:>w$}\n",
+        "",
+        fmt_val(x_lo, x_scale),
+        fmt_val(x_hi, x_scale),
+        w = width - fmt_val(x_lo, x_scale).len()
+    ));
+    out.push_str("legend: ");
+    for s in series {
+        out.push_str(&format!(
+            "[{}] {}  ",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_glyphs() {
+        let s = vec![
+            Series::new("alpha", vec![(1.0, 1.0), (10.0, 0.1)]),
+            Series::new("beta", vec![(1.0, 0.5), (10.0, 0.05)]),
+        ];
+        let out = render(&s, 40, 10, AxisScale::Log, AxisScale::Log);
+        assert!(out.contains('a'));
+        assert!(out.contains('b'));
+        assert!(out.contains("legend"));
+    }
+
+    #[test]
+    fn empty_series_ok() {
+        assert_eq!(
+            render(&[], 40, 10, AxisScale::Linear, AxisScale::Linear),
+            "(no data)\n"
+        );
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = vec![Series::new("c", vec![(1.0, 2.0), (2.0, 2.0)])];
+        let out = render(&s, 30, 6, AxisScale::Linear, AxisScale::Linear);
+        assert!(out.contains('c'));
+    }
+
+    #[test]
+    fn log_scale_clamps_zeros() {
+        let s = vec![Series::new("z", vec![(1.0, 0.0), (10.0, 1.0)])];
+        let out = render(&s, 30, 6, AxisScale::Log, AxisScale::Log);
+        assert!(out.contains('z'));
+    }
+
+    #[test]
+    fn extreme_dimensions_clamped() {
+        let s = vec![Series::new("x", vec![(0.0, 0.0), (1.0, 1.0)])];
+        let out = render(&s, 1, 1, AxisScale::Linear, AxisScale::Linear);
+        assert!(out.lines().count() >= 4 + 2); // min height 4 + axes + legend
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        // Descending y values must appear in descending rows left→right.
+        let s = vec![Series::new("m", vec![(0.0, 10.0), (1.0, 5.0), (2.0, 1.0)])];
+        let out = render(&s, 21, 9, AxisScale::Linear, AxisScale::Linear);
+        // Only the plot body rows (which carry the " |" axis), not the
+        // legend/axis footer.
+        let rows: Vec<&str> = out.lines().filter(|r| r.contains(" |")).collect();
+        let pos = |ch_row: &str| ch_row.find('m');
+        // First data row containing 'm' should be above the last.
+        let first = rows.iter().position(|r| pos(r).is_some()).unwrap();
+        let last = rows.iter().rposition(|r| pos(r).is_some()).unwrap();
+        assert!(first < last);
+        let first_col = pos(rows[first]).unwrap();
+        let last_col = pos(rows[last]).unwrap();
+        assert!(first_col < last_col, "high point left, low point right");
+    }
+}

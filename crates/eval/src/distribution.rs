@@ -1,0 +1,166 @@
+//! Distribution summaries for per-query results: the "boxplot" and
+//! "error-bar" visualizations of the paper's outlier analysis
+//! (Section VII-B4, Figures 7–10).
+
+/// Five-number summary (min, Q1, median, Q3, max) — what the paper's
+/// boxplots report per method.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxplotStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxplotStats {
+    /// Computes the summary. Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must be finite"));
+        Some(BoxplotStats {
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Interquartile range `Q3 − Q1` — the paper's "variability" criterion
+    /// ("ResAcc has the lowest variability ... in terms of query time").
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl std::fmt::Display for BoxplotStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[min {:.3e} | q1 {:.3e} | med {:.3e} | q3 {:.3e} | max {:.3e}]",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Mean ± standard deviation — the paper's "error-bar" plots.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorBar {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single sample).
+    pub std_dev: f64,
+}
+
+impl ErrorBar {
+    /// Computes mean and standard deviation. Returns `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let std_dev = if samples.len() < 2 {
+            0.0
+        } else {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        };
+        Some(ErrorBar { mean, std_dev })
+    }
+}
+
+impl std::fmt::Display for ErrorBar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4e} ± {:.4e}", self.mean, self.std_dev)
+    }
+}
+
+/// Linear-interpolated quantile of pre-sorted data.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_numbers_of_known_sample() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxplotStats::of(&s).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.iqr(), 2.0);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(
+            BoxplotStats::of(&s),
+            BoxplotStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0])
+        );
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let b = BoxplotStats::of(&s).unwrap();
+        assert!((b.q1 - 1.75).abs() < 1e-12);
+        assert!((b.median - 2.5).abs() < 1e-12);
+        assert!((b.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_bar_known_values() {
+        let s = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let e = ErrorBar::of(&s).unwrap();
+        assert!((e.mean - 5.0).abs() < 1e-12);
+        // sample std dev with n-1 = sqrt(32/7)
+        assert!((e.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let b = BoxplotStats::of(&[3.0]).unwrap();
+        assert_eq!(b.min, 3.0);
+        assert_eq!(b.max, 3.0);
+        assert_eq!(b.median, 3.0);
+        let e = ErrorBar::of(&[3.0]).unwrap();
+        assert_eq!(e.std_dev, 0.0);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(BoxplotStats::of(&[]).is_none());
+        assert!(ErrorBar::of(&[]).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let b = BoxplotStats::of(&[1.0, 2.0]).unwrap();
+        assert!(format!("{b}").contains("med"));
+        let e = ErrorBar::of(&[1.0, 2.0]).unwrap();
+        assert!(format!("{e}").contains('±'));
+    }
+}

@@ -1,0 +1,121 @@
+//! Ground-truth caching.
+//!
+//! Every accuracy figure compares 5–6 algorithms against the same Power-
+//! iteration ground truth for the same 50 sources; recomputing it per
+//! algorithm would dominate harness runtime. The cache is keyed by
+//! `(dataset_label, source)` and is thread-safe (parking_lot RwLock) so the
+//! MSRWR and fleet-style harnesses can share one instance.
+
+use parking_lot::RwLock;
+use resacc_graph::{CsrGraph, NodeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: `(dataset label, source node)`.
+type Key = (String, NodeId);
+
+/// Thread-safe memoized ground truths.
+pub struct GroundTruthCache {
+    map: RwLock<HashMap<Key, Arc<Vec<f64>>>>,
+    alpha: f64,
+}
+
+impl GroundTruthCache {
+    /// Creates a cache for a fixed restart probability.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0);
+        GroundTruthCache {
+            map: RwLock::new(HashMap::new()),
+            alpha,
+        }
+    }
+
+    /// Returns the ground truth for `(dataset, source)`, computing it via
+    /// Power iteration on a miss.
+    pub fn get(&self, dataset: &str, graph: &CsrGraph, source: NodeId) -> Arc<Vec<f64>> {
+        let key = (dataset.to_owned(), source);
+        if let Some(hit) = self.map.read().get(&key) {
+            return Arc::clone(hit);
+        }
+        let truth = Arc::new(resacc::power::ground_truth(graph, source, self.alpha));
+        self.map.write().entry(key).or_insert(truth).clone()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached entries (e.g. after mutating a dataset).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    #[test]
+    fn caches_and_reuses() {
+        let g = gen::cycle(10);
+        let cache = GroundTruthCache::new(0.2);
+        let a = cache.get("cycle", &g, 0);
+        let b = cache.get("cycle", &g, 0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let _ = cache.get("cycle", &g, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_datasets_distinct_entries() {
+        let g1 = gen::cycle(10);
+        let g2 = gen::star(10);
+        let cache = GroundTruthCache::new(0.2);
+        let a = cache.get("cycle", &g1, 0);
+        let b = cache.get("star", &g2, 0);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn values_match_direct_power() {
+        let g = gen::barabasi_albert(100, 3, 4);
+        let cache = GroundTruthCache::new(0.2);
+        let cached = cache.get("ba", &g, 5);
+        let direct = resacc::power::ground_truth(&g, 5, 0.2);
+        assert_eq!(cached.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let g = gen::cycle(5);
+        let cache = GroundTruthCache::new(0.2);
+        let _ = cache.get("c", &g, 0);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let g = gen::erdos_renyi(80, 400, 1);
+        let cache = GroundTruthCache::new(0.2);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for src in 0..10u32 {
+                        let _ = cache.get("er", &g, src);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 10);
+    }
+}

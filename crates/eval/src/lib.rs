@@ -1,0 +1,26 @@
+//! # resacc-eval
+//!
+//! Evaluation kit for the ResAcc reproduction: the metrics and statistics
+//! the paper's experiment section uses.
+//!
+//! * [`metrics`] — absolute error at the k-th largest RWR value (Fig 4),
+//!   NDCG@k (Fig 5), relative error, precision@k.
+//! * [`distribution`] — boxplot five-number summaries and mean/std error
+//!   bars for per-query distributions (Figs 7–10).
+//! * [`ground_truth`] — a thread-safe cache of Power-iteration ground
+//!   truths keyed by `(dataset, source)`, so figure harnesses don't
+//!   recompute them per algorithm.
+//! * [`timing`] — simple wall-clock measurement helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod distribution;
+pub mod ground_truth;
+pub mod metrics;
+pub mod timing;
+
+pub use distribution::{BoxplotStats, ErrorBar};
+pub use ground_truth::GroundTruthCache;
+pub use metrics::{abs_error_at_k, max_relative_error, ndcg_at_k, precision_at_k};

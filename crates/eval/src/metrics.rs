@@ -1,0 +1,177 @@
+//! Accuracy metrics from the paper's evaluation (Section VII-A):
+//! absolute error of the k-th largest RWR value, NDCG@k, plus relative
+//! error and precision@k used by the test-suite's guarantee checks.
+
+use resacc::topk::top_k;
+
+/// Absolute error at the `k`-th largest RWR value (paper Figure 4):
+/// `|π̂_k − π_k|` where `π_k` is the k-th largest *true* value and `π̂_k`
+/// the k-th largest *estimated* value. Following TopPPR's protocol the two
+/// ranks are taken independently in each vector, so a method that ranks a
+/// wrong node k-th is penalized by its value gap.
+pub fn abs_error_at_k(truth: &[f64], estimate: &[f64], k: usize) -> f64 {
+    (resacc::topk::kth_score(truth, k) - resacc::topk::kth_score(estimate, k)).abs()
+}
+
+/// Mean absolute error over the top-`k` ranks (the smoother variant some of
+/// the paper's plots average over `k' ≤ k`).
+pub fn mean_abs_error_top_k(truth: &[f64], estimate: &[f64], k: usize) -> f64 {
+    let k = k.clamp(1, truth.len().max(1));
+    (1..=k)
+        .map(|i| abs_error_at_k(truth, estimate, i))
+        .sum::<f64>()
+        / k as f64
+}
+
+/// NDCG@k (paper Figure 5): the estimate's top-k node *ordering* is scored
+/// by the true values with logarithmic rank discounting and normalized by
+/// the ideal ordering's score:
+///
+/// `NDCG@k = Σ_i truth[rank_est(i)]/log2(i+1) ÷ Σ_i truth[rank_true(i)]/log2(i+1)`.
+pub fn ndcg_at_k(truth: &[f64], estimate: &[f64], k: usize) -> f64 {
+    let k = k.min(truth.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let ideal = top_k(truth, k);
+    let got = top_k(estimate, k);
+    let discount = |i: usize| 1.0 / ((i + 2) as f64).log2();
+    let idcg: f64 = ideal
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, gain))| gain * discount(i))
+        .sum();
+    if idcg == 0.0 {
+        return 1.0;
+    }
+    let dcg: f64 = got
+        .iter()
+        .enumerate()
+        .map(|(i, &(v, _))| truth[v as usize] * discount(i))
+        .sum();
+    dcg / idcg
+}
+
+/// Precision@k: fraction of the estimate's top-k nodes that belong to the
+/// true top-k set.
+pub fn precision_at_k(truth: &[f64], estimate: &[f64], k: usize) -> f64 {
+    let k = k.min(truth.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let ideal: std::collections::HashSet<u32> =
+        top_k(truth, k).into_iter().map(|(v, _)| v).collect();
+    let hits = top_k(estimate, k)
+        .into_iter()
+        .filter(|(v, _)| ideal.contains(v))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Maximum relative error over nodes with `truth > delta` — the quantity
+/// Definition 1 bounds by `ε`.
+pub fn max_relative_error(truth: &[f64], estimate: &[f64], delta: f64) -> f64 {
+    truth
+        .iter()
+        .zip(estimate.iter())
+        .filter(|(&t, _)| t > delta)
+        .map(|(&t, &e)| (e - t).abs() / t)
+        .fold(0.0, f64::max)
+}
+
+/// Mean absolute error over all nodes (used by the Appendix F equal-error
+/// protocol: `err_res` vs `err_f`).
+pub fn mean_abs_error(truth: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(truth.len(), estimate.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth
+        .iter()
+        .zip(estimate.iter())
+        .map(|(t, e)| (t - e).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_error_at_k_basics() {
+        let truth = [0.5, 0.3, 0.2];
+        let est = [0.5, 0.25, 0.25];
+        assert_eq!(abs_error_at_k(&truth, &est, 1), 0.0);
+        assert!((abs_error_at_k(&truth, &est, 2) - 0.05).abs() < 1e-15);
+        assert!((abs_error_at_k(&truth, &est, 3) - 0.05).abs() < 1e-15);
+        assert_eq!(abs_error_at_k(&truth, &est, 7), 0.0); // beyond n
+    }
+
+    #[test]
+    fn perfect_estimate_scores_perfectly() {
+        let truth = [0.4, 0.1, 0.3, 0.2];
+        assert_eq!(ndcg_at_k(&truth, &truth, 4), 1.0);
+        assert_eq!(precision_at_k(&truth, &truth, 2), 1.0);
+        assert_eq!(max_relative_error(&truth, &truth, 0.0), 0.0);
+        assert_eq!(mean_abs_error(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn ndcg_penalizes_swaps() {
+        let truth = [0.6, 0.3, 0.1];
+        let swapped = [0.3, 0.6, 0.1]; // top-2 order inverted
+        let score = ndcg_at_k(&truth, &swapped, 2);
+        assert!(score < 1.0 && score > 0.5, "ndcg {score}");
+    }
+
+    #[test]
+    fn ndcg_order_only() {
+        // NDCG depends on the estimated ordering, not magnitudes.
+        let truth = [0.6, 0.3, 0.1];
+        let scaled = [6.0, 3.0, 1.0];
+        assert_eq!(ndcg_at_k(&truth, &scaled, 3), 1.0);
+    }
+
+    #[test]
+    fn precision_counts_overlap() {
+        let truth = [0.4, 0.3, 0.2, 0.1];
+        let est = [0.4, 0.1, 0.2, 0.3]; // top-2 of est = {0, 3}; truth {0, 1}
+        assert_eq!(precision_at_k(&truth, &est, 2), 0.5);
+    }
+
+    #[test]
+    fn relative_error_respects_delta() {
+        let truth = [0.5, 0.001];
+        let est = [0.55, 0.01];
+        // Only node 0 exceeds delta = 0.01.
+        let rel = max_relative_error(&truth, &est, 0.01);
+        assert!((rel - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_abs_error_averages() {
+        let truth = [0.5, 0.5];
+        let est = [0.4, 0.7];
+        assert!((mean_abs_error(&truth, &est) - 0.15).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mean_abs_error_top_k_monotone_window() {
+        let truth = [0.5, 0.3, 0.2];
+        let est = [0.5, 0.3, 0.0];
+        let e1 = mean_abs_error_top_k(&truth, &est, 1);
+        let e3 = mean_abs_error_top_k(&truth, &est, 3);
+        assert_eq!(e1, 0.0);
+        assert!(e3 > 0.0);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(ndcg_at_k(&[], &[], 5), 1.0);
+        assert_eq!(precision_at_k(&[0.1], &[0.1], 0), 1.0);
+        assert_eq!(mean_abs_error(&[], &[]), 0.0);
+        let zeros = [0.0, 0.0];
+        assert_eq!(ndcg_at_k(&zeros, &[0.1, 0.2], 2), 1.0); // idcg = 0
+    }
+}

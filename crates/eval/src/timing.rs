@@ -1,0 +1,70 @@
+//! Wall-clock measurement helpers for the figure harnesses.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning `(result, elapsed)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs `f` once per item in `inputs`, returning results and per-run times.
+pub fn time_each<I, T>(
+    inputs: impl IntoIterator<Item = I>,
+    mut f: impl FnMut(I) -> T,
+) -> (Vec<T>, Vec<Duration>) {
+    let mut results = Vec::new();
+    let mut times = Vec::new();
+    for input in inputs {
+        let (r, t) = time_it(|| f(input));
+        results.push(r);
+        times.push(t);
+    }
+    (results, times)
+}
+
+/// Mean of a set of durations (zero for an empty set).
+pub fn mean_duration(times: &[Duration]) -> Duration {
+    if times.is_empty() {
+        return Duration::ZERO;
+    }
+    times.iter().sum::<Duration>() / times.len() as u32
+}
+
+/// Converts durations to seconds as `f64`, the unit the paper's tables use.
+pub fn as_secs(times: &[Duration]) -> Vec<f64> {
+    times.iter().map(Duration::as_secs_f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value_and_duration() {
+        let (v, t) = time_it(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn time_each_counts_runs() {
+        let (vals, times) = time_each(0..5, |x| x * x);
+        assert_eq!(vals, vec![0, 1, 4, 9, 16]);
+        assert_eq!(times.len(), 5);
+    }
+
+    #[test]
+    fn mean_duration_averages() {
+        let times = [Duration::from_millis(10), Duration::from_millis(30)];
+        assert_eq!(mean_duration(&times), Duration::from_millis(20));
+        assert_eq!(mean_duration(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn as_secs_converts() {
+        let secs = as_secs(&[Duration::from_millis(1500)]);
+        assert!((secs[0] - 1.5).abs() < 1e-12);
+    }
+}

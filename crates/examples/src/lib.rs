@@ -1,0 +1,4 @@
+//! Host crate for the workspace's runnable examples.
+//!
+//! The example sources live in the repository-root `examples/` directory;
+//! run them with, e.g., `cargo run -p resacc-examples --example quickstart`.

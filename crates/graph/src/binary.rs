@@ -1,0 +1,193 @@
+//! Compact binary graph serialization.
+//!
+//! Re-parsing multi-million-edge text edge lists dominates experiment
+//! start-up, so the harness caches graphs in a little-endian binary format:
+//!
+//! ```text
+//! magic "RACG" | version u16 | n u64 | m u64 | offsets (n+1)×u64 | targets m×u32
+//! ```
+//!
+//! Only the out-adjacency is stored; the in-adjacency is rebuilt on load
+//! (it is derived data). The format is versioned and validated on read —
+//! truncated or corrupted input yields a [`GraphError::Parse`], never a
+//! panic or a mis-shapen graph.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::{GraphBuilder, GraphError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RACG";
+const VERSION: u16 = 1;
+
+/// Serializes a graph into a binary buffer.
+pub fn to_bytes(graph: &CsrGraph) -> Bytes {
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let mut buf = BytesMut::with_capacity(4 + 2 + 16 + (n + 1) * 8 + m * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    let mut acc = 0u64;
+    buf.put_u64_le(0);
+    for v in graph.nodes() {
+        acc += graph.out_degree(v) as u64;
+        buf.put_u64_le(acc);
+    }
+    for (_, t) in graph.edges() {
+        buf.put_u32_le(t);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from a binary buffer.
+pub fn from_bytes(mut buf: impl Buf) -> Result<CsrGraph, GraphError> {
+    let err = |msg: &str| GraphError::Parse {
+        line: 0,
+        msg: msg.to_string(),
+    };
+    if buf.remaining() < 4 + 2 + 16 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic (not a RACG file)"));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(err(&format!("unsupported version {version}")));
+    }
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    if n > NodeId::MAX as usize {
+        return Err(err("node count exceeds u32"));
+    }
+    if buf.remaining() != (n + 1) * 8 + m * 4 {
+        return Err(err("body length mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le());
+    }
+    if offsets[0] != 0 || offsets[n] as usize != m || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(err("non-monotonic offsets"));
+    }
+    // Rebuild through the builder so invariants (sortedness, no self-loops,
+    // in-adjacency) are re-established even for hostile input.
+    let mut b = GraphBuilder::new(n).with_edge_capacity(m);
+    for u in 0..n {
+        let degree = (offsets[u + 1] - offsets[u]) as usize;
+        for _ in 0..degree {
+            let t = buf.get_u32_le();
+            if t as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: t as u64, n });
+            }
+            b.add_edge(u as NodeId, t);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Saves a graph to a binary file.
+pub fn save<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), GraphError> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&to_bytes(graph))?;
+    Ok(())
+}
+
+/// Loads a graph from a binary file.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        for g in [
+            gen::cycle(10),
+            gen::barabasi_albert(300, 4, 9),
+            gen::powerlaw_configuration(100, 2.2, 30, 2),
+            GraphBuilder::new(0).build(),
+            GraphBuilder::new(5).build(), // isolated nodes only
+        ] {
+            let bytes = to_bytes(&g);
+            let g2 = from_bytes(bytes).unwrap();
+            assert_eq!(g.num_nodes(), g2.num_nodes());
+            assert_eq!(
+                g.edges().collect::<Vec<_>>(),
+                g2.edges().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = gen::star(20);
+        let dir = std::env::temp_dir().join("resacc-binary-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("star.racg");
+        save(&g, &path).unwrap();
+        let g2 = load(&path).unwrap();
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&gen::cycle(4)).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            from_bytes(Bytes::from(bytes)),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = to_bytes(&gen::cycle(4));
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            let sliced = bytes.slice(0..cut);
+            assert!(from_bytes(sliced).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = to_bytes(&gen::cycle(4)).to_vec();
+        bytes[4] = 99;
+        assert!(from_bytes(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let mut bytes = to_bytes(&gen::cycle(4)).to_vec();
+        let last = bytes.len() - 4;
+        bytes[last..].copy_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(
+            from_bytes(Bytes::from(bytes)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_monotonic_offsets() {
+        let g = gen::cycle(4);
+        let mut bytes = to_bytes(&g).to_vec();
+        // Corrupt the second offset (first is at header+0).
+        let off = 4 + 2 + 16 + 8;
+        bytes[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(from_bytes(Bytes::from(bytes)).is_err());
+    }
+}

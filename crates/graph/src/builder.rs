@@ -1,0 +1,211 @@
+//! Incremental graph construction.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphError;
+
+/// Builds a [`CsrGraph`] from an edge stream.
+///
+/// The builder:
+/// * drops self-loops (the paper's model assumes none),
+/// * deduplicates parallel edges,
+/// * sorts each adjacency list (so neighbour slices support binary search),
+/// * optionally symmetrizes (treats each input edge as two directed edges —
+///   the paper's convention for undirected graphs).
+///
+/// # Examples
+///
+/// ```
+/// use resacc_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(2).symmetric(true).edge(0, 1).build();
+/// assert_eq!(g.num_edges(), 2); // 0→1 and 1→0
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with exactly `num_nodes` nodes
+    /// (ids `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes <= NodeId::MAX as usize,
+            "node count {num_nodes} exceeds NodeId capacity"
+        );
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            symmetric: false,
+        }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_edge_capacity(mut self, m: usize) -> Self {
+        self.edges.reserve(m);
+        self
+    }
+
+    /// When `true`, every added edge `(u, v)` also adds `(v, u)`.
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Adds a directed edge, consuming and returning `self` (chainable form).
+    #[must_use]
+    pub fn edge(mut self, u: NodeId, v: NodeId) -> Self {
+        self.add_edge(u, v);
+        self
+    }
+
+    /// Adds a directed edge in place. Self-loops are ignored. Panics if a
+    /// node id is out of range; use [`GraphBuilder::try_add_edge`] for
+    /// untrusted input.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.try_add_edge(u, v).expect("edge endpoint out of range");
+    }
+
+    /// Adds a directed edge, validating node ids.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        for node in [u, v] {
+            if node as usize >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: node as u64,
+                    n: self.num_nodes,
+                });
+            }
+        }
+        if u != v {
+            self.edges.push((u, v));
+            if self.symmetric {
+                self.edges.push((v, u));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of edges staged so far (before dedup).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR graph: counting-sort by source, per-list sort,
+    /// dedup. `O(n + m log d_max)`.
+    pub fn build(mut self) -> CsrGraph {
+        let n = self.num_nodes;
+        // Counting sort by source node for cache-friendly CSR fill.
+        let mut degree = vec![0u64; n];
+        for &(u, _) in &self.edges {
+            degree[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut acc = 0u64;
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as NodeId; self.edges.len()];
+        for &(u, v) in &self.edges {
+            let slot = cursor[u as usize];
+            targets[slot as usize] = v;
+            cursor[u as usize] += 1;
+        }
+        self.edges = Vec::new(); // free staging memory before dedup pass
+
+        // Sort + dedup each adjacency list, compacting in place.
+        let mut write = 0usize;
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0u64);
+        let mut read_lo = 0usize;
+        for u in 0..n {
+            let read_hi = offsets[u + 1] as usize;
+            let list = &mut targets[read_lo..read_hi];
+            list.sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            // Manual dedup-compact into the write cursor.
+            for i in 0..list.len() {
+                let v = targets[read_lo + i];
+                if prev != Some(v) {
+                    targets[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            new_offsets.push(write as u64);
+            read_lo = read_hi;
+        }
+        targets.truncate(write);
+        CsrGraph::from_parts(n, new_offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1); // duplicate
+        b.add_edge(1, 1); // self loop
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_degree(1), 0);
+    }
+
+    #[test]
+    fn symmetric_doubles_edges() {
+        let g = GraphBuilder::new(3)
+            .symmetric(true)
+            .edge(0, 1)
+            .edge(1, 2)
+            .build();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn symmetric_dedups_reciprocal_input() {
+        let g = GraphBuilder::new(2)
+            .symmetric(true)
+            .edge(0, 1)
+            .edge(1, 0)
+            .build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.try_add_edge(0, 5).is_err());
+        assert!(b.try_add_edge(7, 0).is_err());
+        assert!(b.try_add_edge(0, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn add_edge_panics_out_of_range() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 3);
+    }
+
+    #[test]
+    fn unsorted_input_yields_sorted_lists() {
+        let g = GraphBuilder::new(5)
+            .edge(0, 4)
+            .edge(0, 2)
+            .edge(0, 3)
+            .edge(0, 1)
+            .build();
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3, 4]);
+    }
+}

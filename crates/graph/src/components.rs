@@ -1,0 +1,229 @@
+//! Connected components.
+//!
+//! Weakly connected components partition RWR mass exactly (a walk can never
+//! leave its source's weak component — the test suite uses this as an
+//! invariant), and strongly connected components identify where the
+//! *looping phenomenon* of the paper's Section IV-A can occur at all: a
+//! source outside any non-trivial SCC never sees its residue return.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Weakly connected components: `labels[v]` is a component id in
+/// `0..count`, assigned in order of first discovery.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Per-node component label.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Nodes of the component containing `v`.
+    pub fn members_of(&self, v: NodeId) -> Vec<NodeId> {
+        let label = self.labels[v as usize];
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == label)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    /// True iff `u` and `v` are in the same component.
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+}
+
+/// Computes weakly connected components (edges treated as undirected) with
+/// an iterative BFS in `O(n + m)`.
+pub fn weakly_connected(graph: &CsrGraph) -> Components {
+    let n = graph.num_nodes();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = count;
+        queue.push_back(start as NodeId);
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        labels,
+        count: count as usize,
+    }
+}
+
+/// Computes strongly connected components with an iterative Tarjan
+/// algorithm (explicit stack; safe on deep graphs). Labels are in reverse
+/// topological order of the condensation.
+pub fn strongly_connected(graph: &CsrGraph) -> Components {
+    let n = graph.num_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut labels = vec![u32::MAX; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    // Explicit DFS frame: (node, next-child position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let neighbors = graph.out_neighbors(v);
+            if *child < neighbors.len() {
+                let w = neighbors[*child];
+                *child += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v roots an SCC; pop it.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        labels[w as usize] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+    Components {
+        labels,
+        count: count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, GraphBuilder};
+
+    #[test]
+    fn single_weak_component_on_cycle() {
+        let g = gen::cycle(8);
+        let c = weakly_connected(&g);
+        assert_eq!(c.count, 1);
+        assert!(c.same(0, 7));
+    }
+
+    #[test]
+    fn disjoint_pieces_counted() {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        let g = b.build(); // {0,1}, {2,3,4}, {5}, {6}
+        let c = weakly_connected(&g);
+        assert_eq!(c.count, 4);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 3]);
+        assert!(c.same(2, 4));
+        assert!(!c.same(0, 2));
+        assert_eq!(c.members_of(3), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn weak_ignores_direction() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(2, 1).build();
+        let c = weakly_connected(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn scc_of_cycle_is_whole() {
+        let g = gen::cycle(6);
+        let c = strongly_connected(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn scc_of_path_is_singletons() {
+        let g = gen::path(5);
+        let c = strongly_connected(&g);
+        assert_eq!(c.count, 5);
+    }
+
+    #[test]
+    fn scc_mixed() {
+        // 0⇄1 is an SCC; 2 hangs off it; 3⇄4 another SCC.
+        let g = GraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(1, 0)
+            .edge(1, 2)
+            .edge(3, 4)
+            .edge(4, 3)
+            .build();
+        let c = strongly_connected(&g);
+        assert_eq!(c.count, 3);
+        assert!(c.same(0, 1));
+        assert!(c.same(3, 4));
+        assert!(!c.same(0, 2));
+        assert!(!c.same(0, 3));
+    }
+
+    #[test]
+    fn tarjan_handles_deep_paths_iteratively() {
+        // A 50k-node path would blow a recursive Tarjan's stack.
+        let g = gen::path(50_000);
+        let c = strongly_connected(&g);
+        assert_eq!(c.count, 50_000);
+    }
+
+    #[test]
+    fn symmetric_graph_scc_equals_wcc() {
+        let g = gen::barabasi_albert(200, 3, 4);
+        let s = strongly_connected(&g);
+        let w = weakly_connected(&g);
+        assert_eq!(s.count, w.count);
+    }
+}

@@ -1,0 +1,283 @@
+//! Immutable compressed-sparse-row graph representation.
+//!
+//! All RWR algorithms in this workspace are read-only graph traversals over
+//! out-adjacency (forward push, random walks) and occasionally in-adjacency
+//! (backward push).  CSR gives contiguous, cache-friendly neighbour slices
+//! and `u32` node ids keep the arrays half the size of a `usize`
+//! representation — the structure mirrors what FORA's and TopPPR's reference
+//! implementations use.
+
+use serde::{Deserialize, Serialize};
+
+/// Node identifier. 32 bits suffice for every graph this library targets
+/// (the paper's largest dataset, Friendster, has 65.7 M nodes) and halve the
+/// memory traffic of the hot adjacency arrays.
+pub type NodeId = u32;
+
+/// An immutable directed graph in CSR form with both adjacency directions.
+///
+/// Self-loops are disallowed (the paper assumes graphs without them);
+/// [`crate::GraphBuilder`] silently drops them.  Parallel edges are likewise
+/// deduplicated by the builder.
+///
+/// # Examples
+///
+/// ```
+/// use resacc_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(3)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(2, 0)
+///     .build();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.out_neighbors(0), &[1]);
+/// assert_eq!(g.in_neighbors(0), &[2]);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    /// `out_offsets[v]..out_offsets[v+1]` indexes `out_targets`.
+    out_offsets: Vec<u64>,
+    out_targets: Vec<NodeId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources`.
+    in_offsets: Vec<u64>,
+    in_sources: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from pre-sorted adjacency arrays.
+    ///
+    /// Intended for use by [`crate::GraphBuilder`]; offsets must be
+    /// monotonically non-decreasing with `offsets.len() == num_nodes + 1`,
+    /// and every target/source id must be `< num_nodes`. Violations panic —
+    /// this is an internal construction invariant, not an input-validation
+    /// path.
+    pub(crate) fn from_parts(
+        num_nodes: usize,
+        out_offsets: Vec<u64>,
+        out_targets: Vec<NodeId>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), num_nodes + 1);
+        debug_assert_eq!(*out_offsets.last().unwrap() as usize, out_targets.len());
+
+        // Derive in-adjacency with a counting pass (stable and O(n + m)).
+        let m = out_targets.len();
+        let mut in_degree = vec![0u64; num_nodes];
+        for &t in &out_targets {
+            in_degree[t as usize] += 1;
+        }
+        let mut in_offsets = Vec::with_capacity(num_nodes + 1);
+        in_offsets.push(0u64);
+        let mut acc = 0u64;
+        for d in &in_degree {
+            acc += d;
+            in_offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = in_offsets[..num_nodes].to_vec();
+        let mut in_sources = vec![0 as NodeId; m];
+        for u in 0..num_nodes {
+            let (lo, hi) = (out_offsets[u] as usize, out_offsets[u + 1] as usize);
+            for &t in &out_targets[lo..hi] {
+                let slot = cursor[t as usize];
+                in_sources[slot as usize] = u as NodeId;
+                cursor[t as usize] += 1;
+            }
+        }
+        CsrGraph {
+            num_nodes,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as usize
+    }
+
+    /// Out-neighbours of `v` as a contiguous sorted slice.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.out_offsets[v as usize] as usize;
+        let hi = self.out_offsets[v as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbours of `v` (nodes `u` with an edge `u → v`) as a contiguous
+    /// slice, sorted by source id.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Whether the directed edge `u → v` exists (binary search, `O(log d)`).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all directed edges `(u, v)` in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes as NodeId
+    }
+
+    /// Average out-degree `m / n` (the `m/n` column of the paper's Table II).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Nodes with zero out-degree ("dead ends").
+    ///
+    /// Random walks that reach a dead end restart at the walk's origin in
+    /// this library (matching the standard RWR convention used by FORA's
+    /// implementation); forward push at a dead end converts the whole residue
+    /// into reserve.
+    pub fn dead_ends(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&v| self.out_degree(v) == 0)
+    }
+
+    /// Returns the transposed graph (every edge reversed).
+    pub fn transpose(&self) -> CsrGraph {
+        let mut builder = crate::GraphBuilder::new(self.num_nodes);
+        for (u, v) in self.edges() {
+            builder.add_edge(v, u);
+        }
+        builder.build()
+    }
+
+    /// Approximate heap size in bytes of the adjacency structure, used by
+    /// the Table IV "index size vs graph size" accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<u64>()
+            + self.out_targets.len() * std::mem::size_of::<NodeId>()
+            + self.in_offsets.len() * std::mem::size_of::<u64>()
+            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn diamond() -> crate::CsrGraph {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3, 3 → 0
+        GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(2, 3)
+            .edge(3, 0)
+            .build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert!((g.avg_degree() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_slices_sorted() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[3]);
+        assert_eq!(g.out_neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn has_edge_works() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_iterator_matches_count() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.num_edges());
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(3, 0)));
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(t.has_edge(v, u), "missing reversed edge {v}->{u}");
+        }
+        assert_eq!(t.out_neighbors(3), g.in_neighbors(3));
+    }
+
+    #[test]
+    fn dead_ends_detected() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(0, 2).build();
+        let dead: Vec<_> = g.dead_ends().collect();
+        assert_eq!(dead, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = GraphBuilder::new(5).edge(0, 1).build();
+        assert_eq!(g.out_degree(4), 0);
+        assert_eq!(g.in_degree(4), 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        let g = diamond();
+        assert!(g.heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Graph mutation by reconstruction.
+//!
+//! The paper's dynamic-graph experiment (Appendix I / Fig 23) deletes nodes
+//! and measures how long each *index-oriented* method takes to restore its
+//! index (BePI and FORA+ rebuild from scratch; ResAcc, being index-free,
+//! pays nothing). `CsrGraph` is immutable, so deletion produces a fresh
+//! graph — which is exactly the cost model those rebuild experiments need.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+
+/// Returns a new graph with `node` isolated: all its in- and out-edges
+/// removed. The node id space is preserved (ids stay stable), matching how
+/// the paper's deletion experiment keeps the remaining index addressable.
+pub fn delete_node(graph: &CsrGraph, node: NodeId) -> CsrGraph {
+    let mut b = GraphBuilder::new(graph.num_nodes()).with_edge_capacity(graph.num_edges());
+    for (u, v) in graph.edges() {
+        if u != node && v != node {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Returns a new graph with the given directed edges removed (edges not
+/// present are ignored).
+pub fn delete_edges(graph: &CsrGraph, edges: &[(NodeId, NodeId)]) -> CsrGraph {
+    let dead: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    let mut b = GraphBuilder::new(graph.num_nodes()).with_edge_capacity(graph.num_edges());
+    for e in graph.edges() {
+        if !dead.contains(&e) {
+            b.add_edge(e.0, e.1);
+        }
+    }
+    b.build()
+}
+
+/// Returns a new graph with extra directed edges inserted.
+pub fn insert_edges(graph: &CsrGraph, edges: &[(NodeId, NodeId)]) -> CsrGraph {
+    let mut b =
+        GraphBuilder::new(graph.num_nodes()).with_edge_capacity(graph.num_edges() + edges.len());
+    for e in graph.edges() {
+        b.add_edge(e.0, e.1);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delete_node_isolates() {
+        let g = crate::gen::complete(4);
+        let g2 = delete_node(&g, 2);
+        assert_eq!(g2.num_nodes(), 4);
+        assert_eq!(g2.out_degree(2), 0);
+        assert_eq!(g2.in_degree(2), 0);
+        assert_eq!(g2.num_edges(), 6); // K3 among {0,1,3}
+    }
+
+    #[test]
+    fn delete_edges_removes_only_listed() {
+        let g = crate::gen::cycle(4);
+        let g2 = delete_edges(&g, &[(0, 1), (9, 9)]); // second edge absent: ignored
+        assert_eq!(g2.num_edges(), 3);
+        assert!(!g2.has_edge(0, 1));
+        assert!(g2.has_edge(1, 2));
+    }
+
+    #[test]
+    fn insert_edges_adds_and_dedups() {
+        let g = crate::gen::path(3);
+        let g2 = insert_edges(&g, &[(2, 0), (0, 1)]); // (0,1) already exists
+        assert_eq!(g2.num_edges(), 3);
+        assert!(g2.has_edge(2, 0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: one `u v` pair of whitespace-separated node ids per line; `#`
+//! starts a comment (SNAP convention, so the paper's original datasets load
+//! unchanged if available). The node count is `max id + 1` unless given.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::{GraphBuilder, GraphError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an edge list from any reader.
+///
+/// If `num_nodes` is `None`, the node count is inferred as `max id + 1`.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    num_nodes: Option<usize>,
+    symmetric: bool,
+) -> Result<CsrGraph, GraphError> {
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut line = String::new();
+    let mut buf = BufReader::new(reader);
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                msg: "expected two node ids".into(),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                msg: format!("bad node id: {e}"),
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                msg: "trailing tokens after edge".into(),
+            });
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = num_nodes.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
+    let mut b = GraphBuilder::new(n)
+        .symmetric(symmetric)
+        .with_edge_capacity(edges.len());
+    for (u, v) in edges {
+        if u >= n as u64 || v >= n as u64 {
+            return Err(GraphError::NodeOutOfRange { node: u.max(v), n });
+        }
+        b.add_edge(u as NodeId, v as NodeId);
+    }
+    Ok(b.build())
+}
+
+/// Loads an edge list from a file path. See [`read_edge_list`].
+pub fn load_edge_list<P: AsRef<Path>>(
+    path: P,
+    num_nodes: Option<usize>,
+    symmetric: bool,
+) -> Result<CsrGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, num_nodes, symmetric)
+}
+
+/// Writes a graph as an edge list (with a SNAP-style header comment).
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# directed edge list: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a graph to a file path. See [`write_edge_list`].
+pub fn save_edge_list<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::gen::cycle(6);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], None, false).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let input = "# header\n\n0 1\n  # another\n1 2\n";
+        let g = read_edge_list(input.as_bytes(), None, false).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn symmetric_load() {
+        let g = read_edge_list("0 1\n".as_bytes(), None, true).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn explicit_node_count() {
+        let g = read_edge_list("0 1\n".as_bytes(), Some(10), false).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn node_out_of_declared_range_is_error() {
+        let err = read_edge_list("0 5\n".as_bytes(), Some(3), false).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(read_edge_list("0\n".as_bytes(), None, false).is_err());
+        assert!(read_edge_list("a b\n".as_bytes(), None, false).is_err());
+        assert!(read_edge_list("0 1 2\n".as_bytes(), None, false).is_err());
+        // Error carries the line number.
+        match read_edge_list("0 1\nbogus\n".as_bytes(), None, false) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes(), None, false).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Planted-partition graphs with known community structure.
+//!
+//! The community-detection experiments (paper Tables V–VI) need graphs where
+//! community quality (normalized cut, conductance) is meaningful. The
+//! planted-partition / stochastic-block model generates exactly that: dense
+//! blocks with sparse inter-block edges, plus ground-truth membership for
+//! sanity checks.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A planted-partition graph together with its ground-truth communities.
+#[derive(Clone, Debug)]
+pub struct PlantedPartition {
+    /// The (symmetrized) graph.
+    pub graph: CsrGraph,
+    /// `membership[v]` = community index of node `v`.
+    pub membership: Vec<u32>,
+    /// Ground-truth communities as node lists.
+    pub communities: Vec<Vec<NodeId>>,
+}
+
+/// Generates a symmetric planted-partition graph with `k` equal-sized
+/// blocks of `block_size` nodes; each intra-block pair is connected with
+/// probability `p_in` and each inter-block pair with probability `p_out`.
+///
+/// Sampling uses geometric skipping so the cost is proportional to the
+/// number of edges generated, not to `n²`.
+pub fn planted_partition(
+    k: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> PlantedPartition {
+    assert!(k >= 1 && block_size >= 2);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    assert!(
+        p_in > p_out,
+        "communities need p_in > p_out to be detectable"
+    );
+    let n = k * block_size;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    let membership: Vec<u32> = (0..n).map(|v| (v / block_size) as u32).collect();
+
+    // Iterate over unordered pairs (u < v) with geometric skipping per
+    // probability regime. For simplicity we iterate blocks pairwise.
+    let mut sample_pairs = |lo_a: usize, hi_a: usize, lo_b: usize, hi_b: usize, p: f64| {
+        if p <= 0.0 {
+            return;
+        }
+        // Enumerate pair index space lazily with geometric jumps.
+        let width = hi_b - lo_b;
+        let total = (hi_a - lo_a) * width;
+        let mut idx = 0usize;
+        let log1mp = (1.0 - p).ln();
+        loop {
+            // Draw skip ~ Geometric(p).
+            let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = if p >= 1.0 {
+                0
+            } else {
+                (r.ln() / log1mp) as usize
+            };
+            idx += skip;
+            if idx >= total {
+                break;
+            }
+            let u = lo_a + idx / width;
+            let v = lo_b + idx % width;
+            if u != v && u < v {
+                b.add_edge(u as NodeId, v as NodeId);
+            } else if u > v {
+                // Inter-block enumeration can produce u > v; still a valid
+                // unordered pair — keep it (dedup happens in the builder).
+                b.add_edge(v as NodeId, u as NodeId);
+            }
+            idx += 1;
+        }
+    };
+
+    for a in 0..k {
+        let (lo, hi) = (a * block_size, (a + 1) * block_size);
+        sample_pairs(lo, hi, lo, hi, p_in);
+        for c in (a + 1)..k {
+            let (lo2, hi2) = (c * block_size, (c + 1) * block_size);
+            sample_pairs(lo, hi, lo2, hi2, p_out);
+        }
+    }
+
+    let graph = b.build();
+    let mut communities = vec![Vec::with_capacity(block_size); k];
+    for (v, &c) in membership.iter().enumerate() {
+        communities[c as usize].push(v as NodeId);
+    }
+    PlantedPartition {
+        graph,
+        membership,
+        communities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_denser_than_background() {
+        let pp = planted_partition(4, 50, 0.3, 0.01, 11);
+        let g = &pp.graph;
+        assert_eq!(g.num_nodes(), 200);
+        // Count intra vs inter edges.
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if pp.membership[u as usize] == pp.membership[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(
+            intra > 4 * inter,
+            "expected dense blocks: intra={intra} inter={inter}"
+        );
+    }
+
+    #[test]
+    fn membership_consistent_with_communities() {
+        let pp = planted_partition(3, 20, 0.4, 0.02, 2);
+        for (c, comm) in pp.communities.iter().enumerate() {
+            assert_eq!(comm.len(), 20);
+            for &v in comm {
+                assert_eq!(pp.membership[v as usize], c as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_output() {
+        let pp = planted_partition(2, 30, 0.5, 0.05, 3);
+        for (u, v) in pp.graph.edges() {
+            assert!(pp.graph.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_partition(2, 25, 0.3, 0.02, 7);
+        let b = planted_partition(2, 25, 0.3, 0.02, 7);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_block_is_er_like() {
+        let pp = planted_partition(1, 40, 0.2, 0.0, 5);
+        assert_eq!(pp.communities.len(), 1);
+        assert!(pp.graph.num_edges() > 0);
+    }
+}

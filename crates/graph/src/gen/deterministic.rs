@@ -1,0 +1,130 @@
+//! Deterministic topologies: fixtures for unit/property tests and for
+//! worst/best-case analyses (e.g. the paper's Lemma 4 tightness case is a
+//! layered DAG; a cycle maximizes the looping phenomenon of Section IV-A).
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+
+/// Directed cycle `0 → 1 → … → n−1 → 0`.
+///
+/// A cycle through the source maximizes the *looping phenomenon* the paper's
+/// Section IV-A describes (Figure 3 is the 3-cycle), which makes it the
+/// canonical stress test for h-HopFWD's accumulating/updating phases.
+pub fn cycle(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n);
+    for i in 0..n {
+        b.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// Directed path `0 → 1 → … → n−1`.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n.saturating_sub(1));
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId);
+    }
+    b.build()
+}
+
+/// Complete directed graph on `n` nodes (no self-loops).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n.saturating_sub(1) * n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Undirected star: hub `0` connected to every leaf (both directions).
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(2 * n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge(0, v as NodeId);
+        b.add_edge(v as NodeId, 0);
+    }
+    b.build()
+}
+
+/// Undirected 2-D grid of `rows × cols` nodes with 4-neighbour connectivity
+/// (each undirected edge becomes two directed edges).
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols).symmetric(true);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+        assert!(g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.in_degree(0), 5);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 3);
+        assert_eq!(g.num_nodes(), 9);
+        // 12 undirected edges → 24 directed.
+        assert_eq!(g.num_edges(), 24);
+        assert_eq!(g.out_degree(4), 4); // center
+        assert_eq!(g.out_degree(0), 2); // corner
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(cycle(1).num_edges(), 0); // 0→0 dropped as self-loop
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+        assert_eq!(star(1).num_edges(), 0);
+        assert_eq!(grid(1, 1).num_edges(), 0);
+    }
+}

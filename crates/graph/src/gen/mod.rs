@@ -1,0 +1,17 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on seven SNAP graphs (Table II). Those datasets are
+//! not redistributable here, so the benchmark harness builds *scaled-down
+//! analogues* from these generators, matching average degree `m/n` and
+//! degree skew (see `DESIGN.md` §4). All generators take an explicit RNG
+//! seed and are deterministic for a given seed.
+
+mod communities;
+mod deterministic;
+mod random;
+
+pub use communities::{planted_partition, PlantedPartition};
+pub use deterministic::{complete, cycle, grid, path, star};
+pub use random::{
+    barabasi_albert, erdos_renyi, forest_fire, powerlaw_configuration, watts_strogatz,
+};

@@ -1,0 +1,333 @@
+//! Seeded random graph models.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Directed Erdős–Rényi `G(n, m)`: `m` directed edges sampled uniformly
+/// (self-loops and duplicates retried, so the edge count is exact as long as
+/// `m ≤ n(n−1)`).
+///
+/// ER graphs have light-tailed degree distributions; the harness uses them
+/// as the "flat" contrast to the heavy-tailed social-graph analogues.
+///
+/// # Panics
+///
+/// Panics if `m > n(n−1)` (more edges than a simple digraph can hold).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max, "requested {m} edges but only {max} possible");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::new(n).with_edge_capacity(m);
+    // Dense fallback avoids rejection-sampling livelock when m is close to
+    // the maximum possible edge count.
+    if m * 3 >= max * 2 {
+        let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(max);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    all.push((u as NodeId, v as NodeId));
+                }
+            }
+        }
+        // Partial Fisher–Yates: draw m edges without replacement.
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+            b.add_edge(all[i].0, all[i].1);
+        }
+        return b.build();
+    }
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u != v && seen.insert((u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment, symmetrized.
+///
+/// Starts from a directed clique on `m0 = attach + 1` nodes; each new node
+/// attaches to `attach` distinct existing nodes chosen proportionally to
+/// degree (implemented with the standard repeated-endpoint trick: sampling a
+/// uniform endpoint of an existing edge is degree-proportional). Every
+/// undirected edge becomes two directed edges, matching the paper's
+/// treatment of undirected datasets (DBLP, LJ, Orkut, Friendster).
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CsrGraph {
+    assert!(attach >= 1, "attach must be ≥ 1");
+    let m0 = attach + 1;
+    assert!(n >= m0, "need at least attach+1 = {m0} nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // endpoint pool: every inserted undirected edge contributes both ends,
+    // so uniform sampling from the pool is degree-proportional.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * n * attach);
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            b.add_edge(u as NodeId, v as NodeId);
+            pool.push(u as NodeId);
+            pool.push(v as NodeId);
+        }
+    }
+    let mut chosen = Vec::with_capacity(attach);
+    for u in m0..n {
+        chosen.clear();
+        let mut guard = 0usize;
+        while chosen.len() < attach {
+            let cand = pool[rng.gen_range(0..pool.len())];
+            if !chosen.contains(&cand) {
+                chosen.push(cand);
+            }
+            guard += 1;
+            if guard > 64 * attach {
+                // Extremely skewed pools can make distinct sampling slow;
+                // fall back to a uniform fresh node to guarantee progress.
+                let cand = rng.gen_range(0..u as NodeId);
+                if !chosen.contains(&cand) {
+                    chosen.push(cand);
+                }
+            }
+        }
+        for &v in &chosen {
+            b.add_edge(u as NodeId, v);
+            pool.push(u as NodeId);
+            pool.push(v);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world (symmetrized): ring lattice with `k` nearest
+/// neighbours per side, each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k >= 1 && 2 * k < n, "need 1 ≤ k and 2k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    for u in 0..n {
+        for j in 1..=k {
+            let mut v = ((u + j) % n) as NodeId;
+            if rng.gen::<f64>() < beta {
+                // rewire to a uniform non-self target
+                loop {
+                    let cand = rng.gen_range(0..n as NodeId);
+                    if cand as usize != u {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            b.add_edge(u as NodeId, v);
+        }
+    }
+    b.build()
+}
+
+/// Directed power-law configuration model.
+///
+/// Draws an out-degree for every node from a discrete power law
+/// `P(d) ∝ d^(−gamma)` truncated to `[1, d_max]`, then wires each stub to a
+/// uniformly random target (duplicates/self-loops dropped by the builder).
+/// This produces the heavy-tailed out-degree distribution characteristic of
+/// the paper's web/social datasets while keeping in-degrees near-uniform —
+/// the regime where FORA's push phase stalls on hub nodes and ResAcc's
+/// residue accumulation pays off.
+pub fn powerlaw_configuration(n: usize, gamma: f64, d_max: usize, seed: u64) -> CsrGraph {
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    assert!(d_max >= 1 && d_max < n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Inverse-CDF table for the truncated zeta distribution.
+    let weights: Vec<f64> = (1..=d_max).map(|d| (d as f64).powf(-gamma)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(d_max);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        let x: f64 = rng.gen();
+        let d = cdf.partition_point(|&c| c < x) + 1;
+        for _ in 0..d.min(d_max) {
+            let v = rng.gen_range(0..n as NodeId);
+            if v as usize != u {
+                b.add_edge(u as NodeId, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Forest-fire model (Leskovec et al.): each new node picks a random
+/// "ambassador", links to it, then recursively "burns" through the
+/// ambassador's neighbourhood, linking to every burned node. Produces
+/// densifying, heavy-tailed, small-diameter *directed* graphs — a good
+/// web-graph analogue complementary to preferential attachment.
+///
+/// `forward_p ∈ [0, 1)` is the burning probability; values around
+/// 0.3–0.45 give realistic sparse graphs, higher values densify rapidly.
+pub fn forest_fire(n: usize, forward_p: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 1);
+    assert!(
+        (0.0..1.0).contains(&forward_p),
+        "forward_p must be in [0,1)"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Adjacency grows as we go; store out-lists locally.
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut burned = vec![u32::MAX; n]; // epoch marker
+    for u in 1..n {
+        let ambassador = rng.gen_range(0..u as NodeId);
+        // Burn outward from the ambassador with geometric fan-out.
+        let mut frontier = vec![ambassador];
+        burned[u] = u as u32; // never link to self
+        burned[ambassador as usize] = u as u32;
+        let mut links: Vec<NodeId> = vec![ambassador];
+        while let Some(w) = frontier.pop() {
+            // Geometric(1 - forward_p) many out-links of w catch fire.
+            let mut burn_count = 0usize;
+            while rng.gen::<f64>() < forward_p {
+                burn_count += 1;
+            }
+            let candidates: Vec<NodeId> = adj[w as usize]
+                .iter()
+                .copied()
+                .filter(|&x| burned[x as usize] != u as u32)
+                .collect();
+            for &x in candidates.iter().take(burn_count) {
+                burned[x as usize] = u as u32;
+                links.push(x);
+                frontier.push(x);
+            }
+        }
+        adj[u] = links;
+    }
+    let mut b = GraphBuilder::new(n);
+    for (u, targets) in adj.iter().enumerate() {
+        for &v in targets {
+            b.add_edge(u as NodeId, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_exact_edge_count_and_determinism() {
+        let g1 = erdos_renyi(100, 500, 7);
+        let g2 = erdos_renyi(100, 500, 7);
+        assert_eq!(g1.num_edges(), 500);
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        let g3 = erdos_renyi(100, 500, 8);
+        assert_ne!(
+            g1.edges().collect::<Vec<_>>(),
+            g3.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn er_dense_path() {
+        let g = erdos_renyi(10, 85, 3); // 85 of max 90 → dense fallback
+        assert_eq!(g.num_edges(), 85);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn er_rejects_impossible_m() {
+        let _ = erdos_renyi(3, 7, 0);
+    }
+
+    #[test]
+    fn ba_heavy_tail() {
+        let g = barabasi_albert(2000, 3, 42);
+        // Symmetric: every node's out-degree ≥ attach (new nodes) and the
+        // max degree should be far above the average — heavy tail.
+        let max_d = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        assert!((5.0..=7.0).contains(&avg), "avg {avg}");
+        assert!(
+            max_d as f64 > 6.0 * avg,
+            "expected hub: max {max_d} vs avg {avg}"
+        );
+        // Symmetry check.
+        for (u, v) in g.edges().take(500) {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn ws_shape() {
+        let g = watts_strogatz(100, 2, 0.0, 1);
+        // beta = 0: pure lattice, degree exactly 2k both ways.
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+        let g = watts_strogatz(100, 2, 0.3, 1);
+        assert!(g.num_edges() >= 350); // some rewired edges may collide
+    }
+
+    #[test]
+    fn powerlaw_skew() {
+        let g = powerlaw_configuration(5000, 2.1, 400, 9);
+        let mut degs: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
+        degs.sort_unstable();
+        let median = degs[degs.len() / 2];
+        let max = *degs.last().unwrap();
+        assert!(median <= 3, "power-law median should be tiny, got {median}");
+        assert!(max >= 50, "expected a hub, max {max}");
+    }
+
+    #[test]
+    fn forest_fire_shape() {
+        let g = forest_fire(1500, 0.35, 7);
+        assert_eq!(g.num_nodes(), 1500);
+        // Every non-root node links to at least its ambassador.
+        for v in 1..1500u32 {
+            assert!(g.out_degree(v) >= 1, "node {v} has no links");
+        }
+        // Heavy in-degree tail: early nodes accumulate burns.
+        let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap();
+        assert!(max_in >= 10, "max in-degree {max_in}");
+        // All edges point "backwards" to older nodes.
+        for (u, v) in g.edges() {
+            assert!(v < u, "edge {u}->{v} not backward");
+        }
+    }
+
+    #[test]
+    fn forest_fire_densifies_with_p() {
+        let sparse = forest_fire(800, 0.1, 3);
+        let dense = forest_fire(800, 0.5, 3);
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+
+    #[test]
+    fn generators_deterministic_across_calls() {
+        for (a, b) in [
+            (barabasi_albert(300, 2, 5), barabasi_albert(300, 2, 5)),
+            (
+                powerlaw_configuration(300, 2.2, 50, 5),
+                powerlaw_configuration(300, 2.2, 50, 5),
+            ),
+            (
+                watts_strogatz(300, 3, 0.2, 5),
+                watts_strogatz(300, 3, 0.2, 5),
+            ),
+            (forest_fire(300, 0.3, 5), forest_fire(300, 0.3, 5)),
+        ] {
+            assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        }
+    }
+}

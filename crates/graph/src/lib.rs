@@ -1,0 +1,91 @@
+//! # resacc-graph
+//!
+//! Compressed-sparse-row (CSR) directed-graph substrate for the [ResAcc]
+//! random-walk-with-restart library.
+//!
+//! The crate provides:
+//!
+//! * [`CsrGraph`] — an immutable, cache-friendly CSR representation of a
+//!   directed graph with both out- and in-adjacency (the in-adjacency is
+//!   needed by backward-push style algorithms).
+//! * [`GraphBuilder`] — incremental construction from edges, with
+//!   deduplication, self-loop removal (the paper assumes no self-loops) and
+//!   optional symmetrization (undirected input).
+//! * [`gen`] — seeded synthetic generators used to build laptop-scale
+//!   analogues of the paper's SNAP datasets (Erdős–Rényi, Barabási–Albert,
+//!   Watts–Strogatz, power-law configuration model, planted partitions, and
+//!   a family of deterministic topologies for tests).
+//! * [`traversal`] — BFS hop layers, `h`-hop sets and `h`-hop induced
+//!   subgraphs (Definitions 2–5 of the paper).
+//! * [`edgelist`] — plain-text edge-list reading/writing.
+//! * [`dynamic`] — node/edge deletion producing fresh CSR graphs, used by the
+//!   dynamic-update experiment (paper Appendix I / Fig 23).
+//! * [`stats`] — degree statistics and summaries (paper Table II).
+//!
+//! [ResAcc]: https://doi.org/10.1109/ICDE48307.2020.00089
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod dynamic;
+pub mod edgelist;
+pub mod gen;
+pub mod permute;
+pub mod stats;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, NodeId};
+pub use traversal::{HopLayers, InducedSubgraph};
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id ≥ the declared node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The declared number of nodes.
+        n: usize,
+    },
+    /// The edge-list input could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}

@@ -1,0 +1,103 @@
+//! Node relabeling.
+//!
+//! RWR values are invariant under node permutation — a property the test
+//! suite exploits (property tests permute a graph and check every algorithm
+//! returns permuted-but-equal scores). Hub-first orderings are also what the
+//! BePI-like index uses to partition hubs from spokes.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// Applies a permutation: node `v` in the input becomes `perm[v]` in the
+/// output.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n`.
+pub fn relabel(graph: &CsrGraph, perm: &[NodeId]) -> CsrGraph {
+    let n = graph.num_nodes();
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(
+            (p as usize) < n && !std::mem::replace(&mut seen[p as usize], true),
+            "perm is not a bijection on 0..{n}"
+        );
+    }
+    let mut b = GraphBuilder::new(n).with_edge_capacity(graph.num_edges());
+    for (u, v) in graph.edges() {
+        b.add_edge(perm[u as usize], perm[v as usize]);
+    }
+    b.build()
+}
+
+/// Generates a uniformly random permutation of `0..n`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<NodeId> {
+    let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+    perm.shuffle(&mut SmallRng::seed_from_u64(seed));
+    perm
+}
+
+/// Permutation that places nodes in descending out-degree order (hubs
+/// first): the returned `perm[v]` is the new id of node `v`.
+pub fn degree_descending(graph: &CsrGraph) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.out_degree(v)));
+    let mut perm = vec![0 as NodeId; graph.num_nodes()];
+    for (new_id, &old) in order.iter().enumerate() {
+        perm[old as usize] = new_id as NodeId;
+    }
+    perm
+}
+
+/// Inverts a permutation.
+pub fn invert(perm: &[NodeId]) -> Vec<NodeId> {
+    let mut inv = vec![0 as NodeId; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as NodeId;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = crate::gen::cycle(5);
+        let perm = random_permutation(5, 3);
+        let g2 = relabel(&g, &perm);
+        assert_eq!(g2.num_edges(), 5);
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(perm[u as usize], perm[v as usize]));
+        }
+    }
+
+    #[test]
+    fn degree_descending_puts_hub_first() {
+        let g = crate::gen::star(10);
+        let perm = degree_descending(&g);
+        assert_eq!(perm[0], 0, "hub keeps id 0 under degree ordering");
+        let g2 = relabel(&g, &perm);
+        assert_eq!(g2.out_degree(0), 9);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let perm = random_permutation(20, 9);
+        let inv = invert(&perm);
+        for v in 0..20u32 {
+            assert_eq!(inv[perm[v as usize] as usize], v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn non_bijection_rejected() {
+        let g = crate::gen::path(3);
+        let _ = relabel(&g, &[0, 0, 1]);
+    }
+}

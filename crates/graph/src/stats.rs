@@ -1,0 +1,118 @@
+//! Degree statistics and dataset summaries (paper Table II).
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Summary statistics for a graph, in the shape of the paper's Table II row
+/// (`n`, `m`, `m/n`) plus degree-distribution descriptors used to validate
+/// the synthetic analogues.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of directed edges.
+    pub m: usize,
+    /// Average out-degree `m/n`.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Median out-degree.
+    pub median_out_degree: usize,
+    /// Number of dead-end nodes (zero out-degree).
+    pub dead_ends: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics in `O(n)`.
+    pub fn of(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let mut degs: Vec<usize> = graph.nodes().map(|v| graph.out_degree(v)).collect();
+        degs.sort_unstable();
+        GraphStats {
+            n,
+            m: graph.num_edges(),
+            avg_degree: graph.avg_degree(),
+            max_out_degree: degs.last().copied().unwrap_or(0),
+            median_out_degree: if n == 0 { 0 } else { degs[n / 2] },
+            dead_ends: degs.iter().take_while(|&&d| d == 0).count(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} m/n={:.1} max_d={} med_d={} dead={}",
+            self.n,
+            self.m,
+            self.avg_degree,
+            self.max_out_degree,
+            self.median_out_degree,
+            self.dead_ends
+        )
+    }
+}
+
+/// Out-degree histogram: `hist[d]` = number of nodes with out-degree `d`,
+/// truncated at `max_bucket` (the final bucket aggregates the tail).
+pub fn degree_histogram(graph: &CsrGraph, max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 1];
+    for v in graph.nodes() {
+        let d = graph.out_degree(v).min(max_bucket);
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// The `k` nodes with the largest out-degree, descending (ties broken by
+/// smaller id first). Used by the paper's "query nodes with highest
+/// out-degrees" experiment (Appendix C / Figs 14–15).
+pub fn top_out_degree_nodes(graph: &CsrGraph, k: usize) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    nodes.sort_by_key(|&v| (std::cmp::Reverse(graph.out_degree(v)), v));
+    nodes.truncate(k);
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_star() {
+        let g = crate::gen::star(10);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 18);
+        assert_eq!(s.max_out_degree, 9);
+        assert_eq!(s.median_out_degree, 1);
+        assert_eq!(s.dead_ends, 0);
+        assert!(format!("{s}").contains("n=10"));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = crate::gen::star(5);
+        let hist = degree_histogram(&g, 2);
+        // 4 leaves with degree 1, hub degree 4 truncated to bucket 2.
+        assert_eq!(hist, vec![0, 4, 1]);
+    }
+
+    #[test]
+    fn top_degree_nodes() {
+        let g = crate::gen::star(8);
+        let top = top_out_degree_nodes(&g, 3);
+        assert_eq!(top[0], 0);
+        assert_eq!(top.len(), 3);
+        // Ties among leaves resolve by id.
+        assert_eq!(&top[1..], &[1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::GraphBuilder::new(0).build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.max_out_degree, 0);
+    }
+}

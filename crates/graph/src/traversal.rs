@@ -1,0 +1,244 @@
+//! BFS hop layers, hop sets and induced subgraphs (paper Definitions 2–5).
+//!
+//! `h`-HopFWD (paper Algorithm 3) confines forward pushes to the `h`-hop
+//! induced subgraph `G'_{h-hop}(s)` and treats the `(h+1)`-hop layer
+//! `L_{(h+1)-hop}(s)` specially (its residues accumulate and later seed
+//! OMFWD).  This module computes those sets with a single BFS over
+//! out-edges.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Sentinel for "not reached by the BFS".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// The result of a depth-limited BFS from a source: for every reached node,
+/// its shortest distance (Definition 2), grouped into layers
+/// (Definition 3).
+///
+/// Layers `0..=h` form the `h`-hop set `V_{h-hop}(s)` (Definition 4); layer
+/// `h+1` is kept separately because ResAcc's OMFWD phase seeds from it.
+#[derive(Clone, Debug)]
+pub struct HopLayers {
+    /// `layers[i]` = nodes at shortest distance exactly `i` from the source
+    /// (`L_{i-hop}(s)`), for `i ∈ 0..=h+1`. `layers[0] == [source]`.
+    layers: Vec<Vec<NodeId>>,
+    /// Distance of each node (`UNREACHED` if beyond `h+1` hops).
+    dist: Vec<u32>,
+    h: usize,
+}
+
+impl HopLayers {
+    /// BFS from `source` over out-edges, recording layers `0..=h+1`.
+    ///
+    /// Runs in `O(|V_{(h+1)-hop}| + edges touched)`.
+    pub fn compute(graph: &CsrGraph, source: NodeId, h: usize) -> Self {
+        assert!(
+            (source as usize) < graph.num_nodes(),
+            "source {source} out of range"
+        );
+        let mut dist = vec![UNREACHED; graph.num_nodes()];
+        let mut layers: Vec<Vec<NodeId>> = vec![Vec::new(); h + 2];
+        dist[source as usize] = 0;
+        layers[0].push(source);
+        let mut frontier = vec![source];
+        let mut next = Vec::new();
+        for depth in 1..=(h as u32 + 1) {
+            for &u in &frontier {
+                for &v in graph.out_neighbors(u) {
+                    if dist[v as usize] == UNREACHED {
+                        dist[v as usize] = depth;
+                        next.push(v);
+                    }
+                }
+            }
+            layers[depth as usize] = next.clone();
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        HopLayers { layers, dist, h }
+    }
+
+    /// The `h` this BFS was limited to.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Nodes at distance exactly `i` (`L_{i-hop}(s)`), `i ≤ h+1`.
+    pub fn layer(&self, i: usize) -> &[NodeId] {
+        &self.layers[i]
+    }
+
+    /// `L_{(h+1)-hop}(s)` — the boundary layer that OMFWD seeds from.
+    pub fn boundary(&self) -> &[NodeId] {
+        &self.layers[self.h + 1]
+    }
+
+    /// Iterates over `V_{h-hop}(s)` — all nodes within `h` hops, in BFS
+    /// (distance, then discovery) order.
+    pub fn hop_set(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.layers[..=self.h].iter().flatten().copied()
+    }
+
+    /// `|V_{h-hop}(s)|`.
+    pub fn hop_set_len(&self) -> usize {
+        self.layers[..=self.h].iter().map(Vec::len).sum()
+    }
+
+    /// Distance of `v` from the source, or `None` if `v` is farther than
+    /// `h+1` hops.
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        let d = self.dist[v as usize];
+        (d != UNREACHED).then_some(d)
+    }
+
+    /// True iff `v ∈ V_{h-hop}(s)`.
+    #[inline]
+    pub fn in_hop_set(&self, v: NodeId) -> bool {
+        self.dist[v as usize] <= self.h as u32
+    }
+
+    /// True iff `v ∈ L_{(h+1)-hop}(s)`.
+    #[inline]
+    pub fn in_boundary(&self, v: NodeId) -> bool {
+        self.dist[v as usize] == self.h as u32 + 1
+    }
+}
+
+/// The `h`-hop induced subgraph `G'_{h-hop}(s)` (Definition 5) as an explicit
+/// materialized graph plus the node-id mapping back to the parent graph.
+///
+/// ResAcc itself never materializes this (it works in place on the full
+/// graph, masking by hop distance); the explicit form exists for tests, for
+/// the `No-SG` ablation analysis, and as a general library facility.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The subgraph over locally renumbered ids `0..k`.
+    pub graph: CsrGraph,
+    /// `local_to_global[local] = global`.
+    pub local_to_global: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Materializes `G'_{h-hop}(source)`.
+    pub fn h_hop(graph: &CsrGraph, source: NodeId, h: usize) -> Self {
+        let layers = HopLayers::compute(graph, source, h);
+        let members: Vec<NodeId> = layers.hop_set().collect();
+        Self::from_nodes(graph, &members)
+    }
+
+    /// Materializes the subgraph induced by an arbitrary node set.
+    /// Node order in `members` defines the local numbering.
+    pub fn from_nodes(graph: &CsrGraph, members: &[NodeId]) -> Self {
+        let mut global_to_local = vec![UNREACHED; graph.num_nodes()];
+        for (local, &g) in members.iter().enumerate() {
+            global_to_local[g as usize] = local as u32;
+        }
+        let mut builder = crate::GraphBuilder::new(members.len());
+        for (local, &g) in members.iter().enumerate() {
+            for &t in graph.out_neighbors(g) {
+                let tl = global_to_local[t as usize];
+                if tl != UNREACHED {
+                    builder.add_edge(local as NodeId, tl);
+                }
+            }
+        }
+        InducedSubgraph {
+            graph: builder.build(),
+            local_to_global: members.to_vec(),
+        }
+    }
+
+    /// Local id of a global node, if present.
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        self.local_to_global
+            .iter()
+            .position(|&g| g == global)
+            .map(|i| i as NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Path 0→1→2→3→4 plus a chord 0→2 and an unreachable node 5.
+    fn path_graph() -> CsrGraph {
+        GraphBuilder::new(6)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(0, 2)
+            .build()
+    }
+
+    #[test]
+    fn layers_match_shortest_distance() {
+        let g = path_graph();
+        let l = HopLayers::compute(&g, 0, 2);
+        assert_eq!(l.layer(0), &[0]);
+        assert_eq!(l.layer(1), &[1, 2]); // chord pulls 2 into layer 1
+        assert_eq!(l.layer(2), &[3]);
+        assert_eq!(l.boundary(), &[4]);
+        assert_eq!(l.distance(2), Some(1));
+        assert_eq!(l.distance(5), None);
+    }
+
+    #[test]
+    fn hop_set_membership() {
+        let g = path_graph();
+        let l = HopLayers::compute(&g, 0, 2);
+        assert!(l.in_hop_set(0));
+        assert!(l.in_hop_set(3));
+        assert!(!l.in_hop_set(4));
+        assert!(l.in_boundary(4));
+        assert!(!l.in_boundary(3));
+        assert_eq!(l.hop_set_len(), 4);
+        let set: Vec<_> = l.hop_set().collect();
+        assert_eq!(set, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_hop_layers() {
+        let g = path_graph();
+        let l = HopLayers::compute(&g, 3, 0);
+        assert_eq!(l.layer(0), &[3]);
+        assert_eq!(l.boundary(), &[4]);
+        assert_eq!(l.hop_set_len(), 1);
+    }
+
+    #[test]
+    fn bfs_stops_at_empty_frontier() {
+        let g = GraphBuilder::new(3).edge(0, 1).build();
+        let l = HopLayers::compute(&g, 0, 5);
+        assert_eq!(l.layer(1), &[1]);
+        assert!(l.layer(2).is_empty());
+        assert!(l.boundary().is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = path_graph();
+        let sub = InducedSubgraph::h_hop(&g, 0, 1);
+        // members: {0, 1, 2}; internal edges 0→1, 0→2, 1→2.
+        assert_eq!(sub.graph.num_nodes(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+        let l0 = sub.to_local(0).unwrap();
+        let l2 = sub.to_local(2).unwrap();
+        assert!(sub.graph.has_edge(l0, l2));
+        assert_eq!(sub.to_local(4), None);
+    }
+
+    #[test]
+    fn induced_subgraph_roundtrip_ids() {
+        let g = path_graph();
+        let sub = InducedSubgraph::h_hop(&g, 0, 2);
+        for (local, &global) in sub.local_to_global.iter().enumerate() {
+            assert_eq!(sub.to_local(global), Some(local as NodeId));
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Host crate for the workspace's cross-crate integration tests.
+//!
+//! The test sources live in the repository-root `tests/` directory; run
+//! them with `cargo test -p resacc-testsuite`.

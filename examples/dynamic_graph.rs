@@ -1,0 +1,72 @@
+//! Dynamic graphs: why index-freedom matters — a miniature of the paper's
+//! Appendix I (Figure 23).
+//!
+//! The example repeatedly mutates a graph (node deletions) and answers an
+//! SSRWR query after each change, comparing ResAcc (no index: query
+//! immediately) against FORA+ (must rebuild its walk index first).
+//!
+//! ```text
+//! cargo run -p resacc-examples --release --example dynamic_graph
+//! ```
+
+use resacc::fora_plus::{ForaPlusConfig, ForaPlusIndex};
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::RwrParams;
+use resacc_eval::timing::time_it;
+use resacc_graph::{dynamic, gen};
+use std::time::Duration;
+
+fn main() {
+    let mut graph = gen::barabasi_albert(8_000, 5, 5);
+    let params = RwrParams::for_graph(graph.num_nodes());
+    let engine = ResAcc::new(ResAccConfig::default());
+    let fp_cfg = ForaPlusConfig::default();
+
+    println!(
+        "initial graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "\n{:>6} {:>16} {:>16} {:>16}",
+        "step", "ResAcc query(s)", "FORA+ rebuild(s)", "FORA+ query(s)"
+    );
+
+    let mut resacc_total = Duration::ZERO;
+    let mut foraplus_total = Duration::ZERO;
+    for step in 0..5 {
+        // A node disappears (account deleted, page removed, …).
+        let victim = (step * 997 + 13) as u32 % graph.num_nodes() as u32;
+        graph = dynamic::delete_node(&graph, victim);
+        let source = (victim + 1) % graph.num_nodes() as u32;
+
+        // ResAcc: nothing to maintain; query straight away.
+        let (_, t_resacc) = time_it(|| engine.query(&graph, source, &params, step as u64));
+        resacc_total += t_resacc;
+
+        // FORA+: the stored walks are stale; rebuild, then query.
+        let (idx, t_rebuild) =
+            time_it(|| ForaPlusIndex::build(&graph, &params, &fp_cfg, step as u64).unwrap());
+        let (_, t_query) = time_it(|| idx.query(&graph, source, &params));
+        foraplus_total += t_rebuild + t_query;
+
+        println!(
+            "{:>6} {:>16.4} {:>16.4} {:>16.4}",
+            step,
+            t_resacc.as_secs_f64(),
+            t_rebuild.as_secs_f64(),
+            t_query.as_secs_f64()
+        );
+    }
+
+    println!(
+        "\ntotals over 5 updates: ResAcc {:.3}s vs FORA+ {:.3}s ({}x)",
+        resacc_total.as_secs_f64(),
+        foraplus_total.as_secs_f64(),
+        (foraplus_total.as_secs_f64() / resacc_total.as_secs_f64()).round()
+    );
+    assert!(
+        foraplus_total > resacc_total,
+        "index maintenance must dominate on dynamic graphs"
+    );
+}

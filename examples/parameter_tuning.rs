@@ -1,0 +1,77 @@
+//! Parameter tuning: how `h`, `r_max^hop` and the accuracy knobs trade
+//! query time against error — a miniature of the paper's Appendices G–H.
+//!
+//! ```text
+//! cargo run -p resacc-examples --release --example parameter_tuning
+//! ```
+
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::RwrParams;
+use resacc_eval::metrics::{max_relative_error, mean_abs_error};
+use resacc_eval::timing::time_it;
+use resacc_graph::gen;
+
+fn main() {
+    let graph = gen::barabasi_albert(20_000, 6, 11);
+    let source = 0;
+    let params = RwrParams::for_graph(graph.num_nodes());
+    let truth = resacc::power::ground_truth(&graph, source, params.alpha);
+
+    println!("effect of h (hop count of the induced subgraph):");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "h", "time(s)", "abs err", "walks"
+    );
+    for h in 1..=5 {
+        let engine = ResAcc::new(ResAccConfig::default().with_h(h));
+        let (r, t) = time_it(|| engine.query(&graph, source, &params, 3));
+        println!(
+            "{:>4} {:>12.4} {:>12.3e} {:>12}",
+            h,
+            t.as_secs_f64(),
+            mean_abs_error(&truth, &r.scores),
+            r.walks
+        );
+    }
+
+    println!("\neffect of r_max^hop (h-HopFWD residue threshold):");
+    println!(
+        "{:>10} {:>12} {:>10} {:>14}",
+        "r_max^hop", "time(s)", "T loops", "r_sum to walk"
+    );
+    for exp in [6, 8, 10, 12, 14] {
+        let cfg = ResAccConfig::default().with_r_max_hop(10f64.powi(-exp));
+        let engine = ResAcc::new(cfg);
+        let (r, t) = time_it(|| engine.query(&graph, source, &params, 3));
+        println!(
+            "{:>10} {:>12.4} {:>10} {:>14.3e}",
+            format!("1e-{exp}"),
+            t.as_secs_f64(),
+            r.loops,
+            r.residue_sum_final
+        );
+    }
+
+    println!("\neffect of epsilon (accuracy target — drives remedy walks):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "epsilon", "time(s)", "walks", "max rel err"
+    );
+    for eps in [1.0, 0.5, 0.25, 0.125] {
+        let p = params.with_epsilon(eps);
+        let engine = ResAcc::new(ResAccConfig::default());
+        let (r, t) = time_it(|| engine.query(&graph, source, &p, 3));
+        println!(
+            "{:>8} {:>12.4} {:>12} {:>14.3e}",
+            eps,
+            t.as_secs_f64(),
+            r.walks,
+            max_relative_error(&truth, &r.scores, p.delta)
+        );
+    }
+
+    println!(
+        "\nrule of thumb (matches the paper): h = 2, r_max^hop around 1e-11, \
+         and epsilon set by your application's error tolerance."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: answer a single-source RWR query with ResAcc and inspect
+//! the top-10 most relevant nodes.
+//!
+//! ```text
+//! cargo run -p resacc-examples --release --example quickstart
+//! ```
+
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::{topk, RwrParams};
+use resacc_graph::gen;
+
+fn main() {
+    // A scale-free social-network-like graph: 10k nodes, preferential
+    // attachment with 5 undirected edges per new node.
+    let graph = gen::barabasi_albert(10_000, 5, 42);
+    println!(
+        "graph: {} nodes, {} directed edges, avg degree {:.1}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.avg_degree()
+    );
+
+    // The paper's standard query parameters: α = 0.2, ε = 0.5, δ = p_f = 1/n.
+    let params = RwrParams::for_graph(graph.num_nodes());
+    println!(
+        "params: alpha={} epsilon={} delta={:.1e} p_f={:.1e}",
+        params.alpha, params.epsilon, params.delta, params.p_f
+    );
+
+    // ResAcc with its default configuration (h = 2, r_max_hop = 1e-11,
+    // r_max_f = 1/(10m)).
+    let engine = ResAcc::new(ResAccConfig::default());
+    let source = 123;
+    let result = engine.query(&graph, source, &params, 7);
+
+    println!(
+        "\nquery from node {source}: {} h-HopFWD pushes, {} OMFWD pushes, {} remedy walks",
+        result.hhop_pushes, result.omfwd_pushes, result.walks
+    );
+    println!(
+        "phase times: h-HopFWD {:?}, OMFWD {:?}, remedy {:?}",
+        result.timings.hhop, result.timings.omfwd, result.timings.remedy
+    );
+    println!(
+        "residue mass: {:.3e} after h-HopFWD, {:.3e} entering remedy",
+        result.residue_sum_after_hhop, result.residue_sum_final
+    );
+
+    println!("\ntop-10 nodes by RWR value w.r.t. node {source}:");
+    for (rank, (node, score)) in topk::top_k(&result.scores, 10).iter().enumerate() {
+        println!(
+            "  #{:<2} node {:>6}  pi = {:.6}  (out-degree {})",
+            rank + 1,
+            node,
+            score,
+            graph.out_degree(*node)
+        );
+    }
+
+    let total: f64 = result.scores.iter().sum();
+    println!("\nsum of all RWR values: {total:.9} (must be 1)");
+}

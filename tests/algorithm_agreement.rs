@@ -1,0 +1,158 @@
+//! Cross-algorithm agreement: every SSRWR implementation in the workspace
+//! must estimate the *same* stationary distribution. The exact dense
+//! solver is the oracle; Power, FWD, BePI and TPA's near field must agree
+//! deterministically; the Monte-Carlo family (MC, FORA, FORA+, ResAcc)
+//! must agree within its statistical guarantee.
+
+use resacc::bepi::{BepiConfig, BepiIndex};
+use resacc::fora::{fora, ForaConfig};
+use resacc::fora_plus::{ForaPlusConfig, ForaPlusIndex};
+use resacc::monte_carlo::monte_carlo;
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::topppr::{topppr, TopPprConfig};
+use resacc::RwrParams;
+use resacc_graph::{gen, CsrGraph};
+
+fn test_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("er", gen::erdos_renyi(120, 840, 11)),
+        ("ba", gen::barabasi_albert(150, 4, 12)),
+        ("powerlaw", gen::powerlaw_configuration(100, 2.1, 30, 13)),
+        ("cycle", gen::cycle(60)),
+        ("grid", gen::grid(10, 12)),
+    ]
+}
+
+#[test]
+fn deterministic_solvers_match_exact() {
+    for (name, g) in test_graphs() {
+        let exact = resacc::exact::exact_rwr(&g, 0, 0.2);
+        let power = resacc::power::ground_truth(&g, 0, 0.2);
+        let fwd = resacc::forward_push::forward_search_scores(&g, 0, 0.2, 1e-12);
+        for v in 0..g.num_nodes() {
+            assert!(
+                (power[v] - exact[v]).abs() < 1e-8,
+                "{name}: power vs exact at {v}"
+            );
+            assert!(
+                (fwd[v] - exact[v]).abs() < 1e-6,
+                "{name}: fwd vs exact at {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bepi_matches_exact() {
+    for (name, g) in test_graphs() {
+        let idx = BepiIndex::build(&g, 0.2, &BepiConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for s in [0u32, 7] {
+            let got = idx.query(&g, s).unwrap();
+            let exact = resacc::exact::exact_rwr(&g, s, 0.2);
+            for v in 0..g.num_nodes() {
+                assert!(
+                    (got[v] - exact[v]).abs() < 1e-7,
+                    "{name}: bepi vs exact, source {s}, node {v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_family_agrees_within_guarantee() {
+    for (name, g) in test_graphs() {
+        let n = g.num_nodes();
+        let params = RwrParams::new(0.2, 0.5, 1.0 / n as f64, 1.0 / n as f64);
+        let exact = resacc::exact::exact_rwr(&g, 0, 0.2);
+        let estimates: Vec<(&str, Vec<f64>)> = vec![
+            ("mc", monte_carlo(&g, 0, &params, 21).scores),
+            (
+                "fora",
+                fora(&g, 0, &params, &ForaConfig::default(), 22).scores,
+            ),
+            (
+                "fora+",
+                ForaPlusIndex::build(&g, &params, &ForaPlusConfig::default(), 23)
+                    .unwrap()
+                    .query(&g, 0, &params),
+            ),
+            (
+                "resacc",
+                ResAcc::new(ResAccConfig::default())
+                    .query(&g, 0, &params, 24)
+                    .scores,
+            ),
+        ];
+        for (algo, est) in estimates {
+            for v in 0..n {
+                if exact[v] > params.delta {
+                    let rel = (est[v] - exact[v]).abs() / exact[v];
+                    assert!(
+                        rel <= params.epsilon,
+                        "{name}/{algo}: node {v} rel err {rel}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn topppr_top_k_agrees_with_exact_ranking() {
+    let g = gen::barabasi_albert(300, 4, 31);
+    let params = RwrParams::for_graph(300);
+    let exact = resacc::exact::exact_rwr(&g, 5, 0.2);
+    let res = topppr(&g, 5, &params, &TopPprConfig::for_k(10), 9);
+    let exact_top: Vec<u32> = resacc::topk::top_k(&exact, 10)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+    let got_top: Vec<u32> = res.top.iter().map(|&(v, _)| v).collect();
+    // Top-3 must match exactly; the rest allow near-tie swaps.
+    assert_eq!(&got_top[..3], &exact_top[..3]);
+    let overlap = got_top.iter().filter(|v| exact_top.contains(v)).count();
+    assert!(overlap >= 8, "top-10 overlap only {overlap}");
+}
+
+#[test]
+fn all_algorithms_mass_conserving() {
+    let g = gen::powerlaw_configuration(200, 2.0, 40, 41);
+    let params = RwrParams::for_graph(200);
+    let sums = [
+        monte_carlo(&g, 0, &params, 1).scores.iter().sum::<f64>(),
+        fora(&g, 0, &params, &ForaConfig::default(), 2)
+            .scores
+            .iter()
+            .sum::<f64>(),
+        ResAcc::new(ResAccConfig::default())
+            .query(&g, 0, &params, 3)
+            .scores
+            .iter()
+            .sum::<f64>(),
+        resacc::power::ground_truth(&g, 0, 0.2).iter().sum::<f64>(),
+        resacc::exact::exact_rwr(&g, 0, 0.2).iter().sum::<f64>(),
+    ];
+    for (i, s) in sums.iter().enumerate() {
+        assert!((s - 1.0).abs() < 1e-8, "algorithm {i}: sum {s}");
+    }
+}
+
+#[test]
+fn agreement_across_alphas() {
+    let g = gen::erdos_renyi(80, 560, 77);
+    for alpha in [0.1, 0.2, 0.35, 0.5, 0.85] {
+        let exact = resacc::exact::exact_rwr(&g, 3, alpha);
+        let power = resacc::power::ground_truth(&g, 3, alpha);
+        let params = RwrParams::new(alpha, 0.5, 1.0 / 80.0, 1.0 / 80.0);
+        let res = ResAcc::new(ResAccConfig::default()).query(&g, 3, &params, 5);
+        for v in 0..80 {
+            assert!((power[v] - exact[v]).abs() < 1e-8, "alpha {alpha} node {v}");
+            if exact[v] > params.delta {
+                let rel = (res.scores[v] - exact[v]).abs() / exact[v];
+                assert!(rel <= params.epsilon, "alpha {alpha} node {v} rel {rel}");
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the community-detection substrate: metric ranges,
+//! F1 symmetry, seeding determinism, and sweep-cut sanity.
+
+use proptest::prelude::*;
+use resacc_community::ground_truth::{average_f1, f1};
+use resacc_community::{conductance, normalized_cut};
+use resacc_graph::{CsrGraph, GraphBuilder, NodeId};
+
+fn arb_graph_and_set() -> impl Strategy<Value = (CsrGraph, Vec<NodeId>)> {
+    (3usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 1..(n * 3));
+        let members = proptest::collection::btree_set(0..n as u32, 1..n);
+        (edges, members).prop_map(move |(edges, members)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            (b.build(), members.into_iter().collect())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn metric_ranges((g, set) in arb_graph_and_set()) {
+        let nc = normalized_cut(&g, &set);
+        let cond = conductance(&g, &set);
+        prop_assert!((0.0..=1.0).contains(&nc), "ncut {nc}");
+        prop_assert!(cond >= 0.0, "cond {cond}");
+        // Conductance uses the smaller side, so it dominates ncut — except
+        // in the degenerate case where the complement has zero volume and
+        // the library's convention returns conductance 0 (see quality.rs).
+        prop_assert!(
+            cond + 1e-12 >= nc || cond == 0.0,
+            "cond {cond} < ncut {nc}"
+        );
+    }
+
+    #[test]
+    fn whole_node_set_has_zero_cut((g, _) in arb_graph_and_set()) {
+        let all: Vec<NodeId> = g.nodes().collect();
+        prop_assert_eq!(normalized_cut(&g, &all), 0.0);
+    }
+
+    #[test]
+    fn f1_is_symmetric_and_bounded(
+        a in proptest::collection::btree_set(0u32..50, 0..20),
+        b in proptest::collection::btree_set(0u32..50, 0..20),
+    ) {
+        let a: Vec<NodeId> = a.into_iter().collect();
+        let b: Vec<NodeId> = b.into_iter().collect();
+        let ab = f1(&a, &b);
+        let ba = f1(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(f1(&a, &a), 1.0); // self-F1 is 1 (empty sets included)
+    }
+
+    #[test]
+    fn average_f1_self_is_one(
+        cover in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..30, 1..10),
+            1..5,
+        ),
+    ) {
+        let cover: Vec<Vec<NodeId>> =
+            cover.into_iter().map(|s| s.into_iter().collect()).collect();
+        let score = average_f1(&cover, &cover);
+        prop_assert!((score - 1.0).abs() < 1e-12, "self F1 {score}");
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_unique(n in 4usize..60, k in 1usize..8) {
+        let g = resacc_graph::gen::barabasi_albert(n.max(5), 2, 7);
+        let a = resacc_community::seeding::spread_hubs(&g, k);
+        let b = resacc_community::seeding::spread_hubs(&g, k);
+        prop_assert_eq!(&a, &b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        prop_assert_eq!(set.len(), a.len(), "duplicate seeds");
+        prop_assert!(a.len() <= k.min(g.num_nodes()));
+    }
+
+    #[test]
+    fn sweep_cut_returns_nonempty_prefix((g, _) in arb_graph_and_set()) {
+        let ranked: Vec<NodeId> = g.nodes().collect();
+        let (members, cond) = resacc_community::expansion::sweep_cut(&g, &ranked, g.num_nodes());
+        prop_assert!(!members.is_empty());
+        prop_assert!(members.len() <= g.num_nodes());
+        prop_assert!(cond >= 0.0 || cond.is_infinite());
+        // The returned members are a prefix of the ranking.
+        prop_assert_eq!(&members[..], &ranked[..members.len()]);
+    }
+}

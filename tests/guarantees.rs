@@ -1,0 +1,144 @@
+//! Statistical-guarantee tests: Definition 1's `(ε, δ, p_f)` contract,
+//! Theorem 1's unbiasedness, and Lemma 4's residue bound, checked
+//! empirically across many seeds.
+
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::RwrParams;
+use resacc_eval::metrics::max_relative_error;
+use resacc_graph::gen;
+
+/// Definition 1: over many independent runs, the fraction violating the
+/// relative-error bound must stay below a generous multiple of `p_f`.
+/// (With p_f = 0.1 and 40 runs, ≥ 12 failures has probability < 1e-3 under
+/// the guarantee — the concentration bound is conservative in practice, so
+/// observed failures are typically zero.)
+#[test]
+fn relative_error_guarantee_holds_across_seeds() {
+    let g = gen::barabasi_albert(200, 4, 3);
+    let params = RwrParams::new(0.2, 0.5, 1.0 / 200.0, 0.1);
+    let exact = resacc::exact::exact_rwr(&g, 0, 0.2);
+    let engine = ResAcc::new(ResAccConfig::default());
+    let runs = 40;
+    let mut violations = 0;
+    for seed in 0..runs {
+        let r = engine.query(&g, 0, &params, seed);
+        if max_relative_error(&exact, &r.scores, params.delta) > params.epsilon {
+            violations += 1;
+        }
+    }
+    assert!(violations < 12, "{violations}/{runs} violations");
+}
+
+/// Theorem 1: the estimator is unbiased — averaging many independent runs
+/// converges to the exact value much closer than any single run.
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn estimates_are_unbiased() {
+    let g = gen::erdos_renyi(60, 420, 9);
+    let params = RwrParams::new(0.2, 1.0, 0.05, 0.2); // loose: few walks, real noise
+    let exact = resacc::exact::exact_rwr(&g, 0, 0.2);
+    let engine = ResAcc::new(ResAccConfig::default().with_r_max_f(1e-3));
+    let runs = 200;
+    let mut mean = vec![0.0f64; 60];
+    let mut single_err_sum = 0.0;
+    for seed in 0..runs {
+        let r = engine.query(&g, 0, &params, seed);
+        single_err_sum += max_relative_error(&exact, &r.scores, 0.01);
+        for v in 0..60 {
+            mean[v] += r.scores[v] / runs as f64;
+        }
+    }
+    let mean_err = max_relative_error(&exact, &mean, 0.01);
+    let avg_single_err = single_err_sum / runs as f64;
+    assert!(
+        mean_err < avg_single_err / 3.0 || mean_err < 0.01,
+        "mean err {mean_err} vs avg single {avg_single_err}"
+    );
+}
+
+/// Lemma 4: with r_max^hop small enough that every hop-set node pushes,
+/// the residue mass after h-HopFWD is at most (1−α)^h.
+#[test]
+fn lemma4_bound_across_graphs_and_h() {
+    for (g, label) in [
+        (gen::barabasi_albert(400, 4, 1), "ba"),
+        (gen::erdos_renyi(300, 3000, 2), "er"),
+        (gen::cycle(100), "cycle"),
+    ] {
+        let params = RwrParams::for_graph(g.num_nodes());
+        for h in 1..=4usize {
+            let cfg = ResAccConfig::default().with_h(h).with_r_max_hop(1e-14);
+            let r = ResAcc::new(cfg).query(&g, 0, &params, 7);
+            let bound = 0.8f64.powi(h as i32);
+            assert!(
+                r.residue_sum_after_hhop <= bound + 1e-9,
+                "{label} h={h}: {} > {bound}",
+                r.residue_sum_after_hhop
+            );
+        }
+    }
+}
+
+/// Walk-count accounting: the remedy phase must simulate exactly
+/// Σ_v ⌈r_v·c⌉ walks.
+#[test]
+fn remedy_walk_count_matches_formula() {
+    let g = gen::barabasi_albert(300, 3, 5);
+    let params = RwrParams::for_graph(300);
+    let engine = ResAcc::new(ResAccConfig::default());
+    let mut state = resacc::ForwardState::new(300);
+    // Re-run the push phases manually to know the residues.
+    let out = resacc::resacc::h_hop_fwd(
+        &g,
+        0,
+        params.alpha,
+        1e-11,
+        resacc::resacc::Scope::HopLimited(2),
+        true,
+        &mut state,
+    );
+    resacc::resacc::omfwd(
+        &g,
+        params.alpha,
+        1.0 / (10.0 * g.num_edges() as f64),
+        &out.boundary,
+        &mut state,
+    );
+    let c = params.walk_coefficient();
+    let expected: u64 = state
+        .nonzero_residues()
+        .map(|(_, r)| (r * c).ceil() as u64)
+        .filter(|&w| w > 0)
+        .sum();
+    let r = engine.query(&g, 0, &params, 9);
+    assert_eq!(r.walks, expected);
+}
+
+/// Tightening epsilon must increase walks and reduce error (monotone
+/// accuracy knob).
+#[test]
+fn epsilon_monotonicity() {
+    let g = gen::barabasi_albert(250, 4, 8);
+    let exact = resacc::exact::exact_rwr(&g, 0, 0.2);
+    let engine = ResAcc::new(ResAccConfig::default());
+    let mut last_walks = 0u64;
+    let mut errors = Vec::new();
+    for eps in [1.0, 0.5, 0.25] {
+        let params = RwrParams::new(0.2, eps, 1.0 / 250.0, 1.0 / 250.0);
+        // Average error across seeds to suppress per-seed noise.
+        let mut err = 0.0;
+        let mut walks = 0;
+        for seed in 0..5 {
+            let r = engine.query(&g, 0, &params, seed);
+            err += resacc_eval::metrics::mean_abs_error(&exact, &r.scores);
+            walks = r.walks;
+        }
+        assert!(walks > last_walks, "eps {eps}: walks must grow");
+        last_walks = walks;
+        errors.push(err / 5.0);
+    }
+    assert!(
+        errors[2] < errors[0],
+        "error must shrink as eps tightens: {errors:?}"
+    );
+}

@@ -1,0 +1,247 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! CSR structure, push-phase mass conservation, the h-HopFWD closed form,
+//! and permutation invariance of RWR values.
+
+use proptest::prelude::*;
+use resacc::forward_push::{forward_search, satisfies_push_condition};
+use resacc::resacc::{h_hop_fwd, omfwd, ResAcc, ResAccConfig, Scope};
+use resacc::{ForwardState, RwrParams};
+use resacc_graph::{gen, permute, CsrGraph, GraphBuilder, HopLayers};
+
+/// Strategy: a random directed graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..(n * 4)).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: a graph plus a valid source node.
+fn arb_graph_and_source() -> impl Strategy<Value = (CsrGraph, u32)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.num_nodes() as u32;
+        (Just(g), 0..n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_adjacency_is_sorted_and_consistent(g in arb_graph()) {
+        let mut total = 0usize;
+        for v in g.nodes() {
+            let out = g.out_neighbors(v);
+            prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated");
+            prop_assert!(out.iter().all(|&u| u != v), "self loop survived");
+            total += out.len();
+            for &u in out {
+                prop_assert!(g.in_neighbors(u).contains(&v));
+            }
+        }
+        prop_assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn transpose_is_involution(g in arb_graph()) {
+        let tt = g.transpose().transpose();
+        prop_assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            tt.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forward_push_conserves_mass((g, s) in arb_graph_and_source(), r_max in 1e-8f64..1e-2) {
+        let mut st = ForwardState::new(g.num_nodes());
+        forward_search(&g, s, 0.2, r_max, &mut st);
+        prop_assert!((st.mass() - 1.0).abs() < 1e-9, "mass {}", st.mass());
+        for v in g.nodes() {
+            prop_assert!(!satisfies_push_condition(&g, &st, v, r_max));
+        }
+    }
+
+    #[test]
+    fn hhop_closed_form_conserves_mass(
+        (g, s) in arb_graph_and_source(),
+        h in 0usize..4,
+        r_max in 1e-10f64..1e-2,
+    ) {
+        let mut st = ForwardState::new(g.num_nodes());
+        let out = h_hop_fwd(&g, s, 0.2, r_max, Scope::HopLimited(h), true, &mut st);
+        prop_assert!((st.mass() - 1.0).abs() < 1e-9, "mass {} (T={})", st.mass(), out.loops);
+        // Lemma 3: the source residue no longer satisfies the push condition.
+        prop_assert!(!satisfies_push_condition(&g, &st, s, r_max));
+    }
+
+    #[test]
+    fn hhop_then_omfwd_conserves_mass((g, s) in arb_graph_and_source()) {
+        let mut st = ForwardState::new(g.num_nodes());
+        let out = h_hop_fwd(&g, s, 0.2, 1e-9, Scope::HopLimited(2), true, &mut st);
+        omfwd(&g, 0.2, 1e-4, &out.boundary, &mut st);
+        prop_assert!((st.mass() - 1.0).abs() < 1e-9);
+        for v in g.nodes() {
+            prop_assert!(!satisfies_push_condition(&g, &st, v, 1e-4));
+        }
+    }
+
+    #[test]
+    fn residues_live_only_in_hop_set_or_boundary((g, s) in arb_graph_and_source()) {
+        let h = 2;
+        let mut st = ForwardState::new(g.num_nodes());
+        h_hop_fwd(&g, s, 0.2, 1e-9, Scope::HopLimited(h), true, &mut st);
+        let layers = HopLayers::compute(&g, s, h);
+        for v in g.nodes() {
+            if st.residue(v) > 0.0 {
+                prop_assert!(
+                    layers.in_hop_set(v) || layers.in_boundary(v),
+                    "residue escaped to node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rwr_invariant_under_permutation((g, s) in arb_graph_and_source(), seed in 0u64..1000) {
+        let exact = resacc::exact::exact_rwr(&g, s, 0.2);
+        let perm = permute::random_permutation(g.num_nodes(), seed);
+        let g2 = permute::relabel(&g, &perm);
+        let exact2 = resacc::exact::exact_rwr(&g2, perm[s as usize], 0.2);
+        for v in 0..g.num_nodes() {
+            let err = (exact[v] - exact2[perm[v] as usize]).abs();
+            prop_assert!(err < 1e-9, "node {v}: {err}");
+        }
+    }
+
+    #[test]
+    fn power_matches_exact_on_random_graphs((g, s) in arb_graph_and_source()) {
+        let exact = resacc::exact::exact_rwr(&g, s, 0.2);
+        let power = resacc::power::ground_truth(&g, s, 0.2);
+        for v in 0..g.num_nodes() {
+            prop_assert!((exact[v] - power[v]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn resacc_scores_sum_to_one_and_stay_nonnegative((g, s) in arb_graph_and_source(), seed in 0u64..100) {
+        let params = RwrParams::new(0.2, 0.5, 0.05, 0.05);
+        let r = ResAcc::new(ResAccConfig::default()).query(&g, s, &params, seed);
+        let sum: f64 = r.scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        prop_assert!(r.scores.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn walk_endpoints_are_reachable((g, s) in arb_graph_and_source(), seed in 0u64..50) {
+        let layers = HopLayers::compute(&g, s, g.num_nodes());
+        let mut w = resacc::walker::Walker::new(&g, 0.3, seed);
+        for _ in 0..50 {
+            let t = w.walk(s);
+            prop_assert!(layers.distance(t).is_some(), "unreachable endpoint {t}");
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip(g in arb_graph()) {
+        let bytes = resacc_graph::binary::to_bytes(&g);
+        let g2 = resacc_graph::binary::from_bytes(bytes).unwrap();
+        prop_assert_eq!(g.num_nodes(), g2.num_nodes());
+        prop_assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rwr_mass_stays_in_weak_component((g, s) in arb_graph_and_source()) {
+        let wcc = resacc_graph::components::weakly_connected(&g);
+        let exact = resacc::exact::exact_rwr(&g, s, 0.2);
+        let inside: f64 = (0..g.num_nodes())
+            .filter(|&v| wcc.same(s, v as u32))
+            .map(|v| exact[v])
+            .sum();
+        prop_assert!((inside - 1.0).abs() < 1e-9, "leaked mass: inside {inside}");
+        for (v, &pi) in exact.iter().enumerate() {
+            if !wcc.same(s, v as u32) {
+                prop_assert_eq!(pi, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scc_refines_wcc(g in arb_graph()) {
+        let scc = resacc_graph::components::strongly_connected(&g);
+        let wcc = resacc_graph::components::weakly_connected(&g);
+        prop_assert!(scc.count >= wcc.count);
+        // Nodes in the same SCC must share a weak component.
+        for u in 0..g.num_nodes() as u32 {
+            for v in 0..g.num_nodes() as u32 {
+                if scc.same(u, v) {
+                    prop_assert!(wcc.same(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        resacc_graph::edgelist::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = resacc_graph::edgelist::read_edge_list(&buf[..], Some(g.num_nodes()), false).unwrap();
+        prop_assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn boxplot_stats_ordered(samples in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let b = resacc_eval::BoxplotStats::of(&samples).unwrap();
+        prop_assert!(b.min <= b.q1 && b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3 && b.q3 <= b.max);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_complete(
+        scores in proptest::collection::vec(0.0f64..1.0, 1..100),
+        k in 1usize..120,
+    ) {
+        let top = resacc::topk::top_k(&scores, k);
+        prop_assert_eq!(top.len(), k.min(scores.len()));
+        prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        // The k-th entry dominates everything not selected.
+        if let Some(&(_, cutoff)) = top.last() {
+            let selected: std::collections::HashSet<u32> =
+                top.iter().map(|&(v, _)| v).collect();
+            for (v, &sc) in scores.iter().enumerate() {
+                if !selected.contains(&(v as u32)) {
+                    prop_assert!(sc <= cutoff);
+                }
+            }
+        }
+    }
+}
+
+/// The cycle graph triggers deep accumulation loops; sweep sizes and
+/// thresholds deterministically (proptest's shrinking is unhelpful here).
+#[test]
+fn hhop_deep_loops_on_cycles() {
+    for n in [2usize, 3, 5, 17] {
+        let g = gen::cycle(n);
+        for r_max in [1e-2, 1e-5, 1e-9, 1e-13] {
+            let mut st = ForwardState::new(n);
+            let out = h_hop_fwd(&g, 0, 0.2, r_max, Scope::HopLimited(n), true, &mut st);
+            assert!(
+                (st.mass() - 1.0).abs() < 1e-9,
+                "n={n} r_max={r_max} mass {} T={}",
+                st.mass(),
+                out.loops
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end pipeline tests spanning all crates: load/generate a graph,
+//! query it with several engines, evaluate with the metrics kit, and feed
+//! community detection — the way a downstream user composes the workspace.
+
+use resacc::fora::{fora, ForaConfig};
+use resacc::msrwr::msrwr_resacc;
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::RwrParams;
+use resacc_community::{nise, NiseConfig};
+use resacc_eval::{abs_error_at_k, ndcg_at_k, GroundTruthCache};
+use resacc_graph::{edgelist, gen};
+
+#[test]
+fn edge_list_to_query_to_metrics() {
+    // Serialize a generated graph, reload it, query it, evaluate it.
+    let original = gen::barabasi_albert(500, 4, 17);
+    let mut buf = Vec::new();
+    edgelist::write_edge_list(&original, &mut buf).unwrap();
+    let graph = edgelist::read_edge_list(&buf[..], None, false).unwrap();
+    assert_eq!(graph.num_edges(), original.num_edges());
+
+    let params = RwrParams::for_graph(graph.num_nodes());
+    let cache = GroundTruthCache::new(params.alpha);
+    let truth = cache.get("roundtrip", &graph, 0);
+    let result = ResAcc::new(ResAccConfig::default()).query(&graph, 0, &params, 5);
+    assert!(ndcg_at_k(&truth, &result.scores, 50) > 0.99);
+    assert!(abs_error_at_k(&truth, &result.scores, 1) < 0.01);
+}
+
+#[test]
+fn resacc_beats_mc_at_equal_walk_budget() {
+    // The headline claim at miniature scale: with the same number of
+    // remedy walks, ResAcc's push phases leave far less to sampling, so
+    // its error is much lower than raw Monte Carlo's.
+    let graph = gen::barabasi_albert(1_000, 5, 23);
+    let params = RwrParams::for_graph(1_000);
+    let cache = GroundTruthCache::new(params.alpha);
+    let truth = cache.get("ba1000", &graph, 0);
+
+    let res = ResAcc::new(ResAccConfig::default()).query(&graph, 0, &params, 9);
+    let mc =
+        resacc::monte_carlo::monte_carlo_with_walks(&graph, 0, params.alpha, res.walks.max(1), 9);
+    let err_res: f64 = truth
+        .iter()
+        .zip(res.scores.iter())
+        .map(|(t, e)| (t - e).abs())
+        .sum();
+    let err_mc: f64 = truth
+        .iter()
+        .zip(mc.scores.iter())
+        .map(|(t, e)| (t - e).abs())
+        .sum();
+    assert!(
+        err_res * 5.0 < err_mc,
+        "ResAcc {err_res:.3e} should be ≫ better than MC {err_mc:.3e}"
+    );
+}
+
+#[test]
+fn resacc_cheaper_than_fora_in_walks() {
+    // ResAcc's OMFWD leaves less residue than FORA's balanced push, so it
+    // needs fewer remedy walks at identical guarantees.
+    let graph = gen::barabasi_albert(2_000, 6, 29);
+    let params = RwrParams::for_graph(2_000);
+    let res = ResAcc::new(ResAccConfig::default()).query(&graph, 0, &params, 3);
+    let f = fora(&graph, 0, &params, &ForaConfig::default(), 3);
+    assert!(
+        res.walks < f.walks,
+        "ResAcc walks {} vs FORA walks {}",
+        res.walks,
+        f.walks
+    );
+}
+
+#[test]
+fn msrwr_feeds_community_detection() {
+    let pp = gen::planted_partition(4, 50, 0.3, 0.01, 31);
+    let graph = &pp.graph;
+    let params = RwrParams::for_graph(graph.num_nodes());
+
+    // MSRWR over the planted seeds...
+    let seeds: Vec<u32> = pp.communities.iter().map(|c| c[0]).collect();
+    let scores = msrwr_resacc(graph, &seeds, &params, &ResAccConfig::default(), 11);
+    assert_eq!(scores.len(), 4);
+
+    // ...and full NISE on the same graph.
+    let engine = ResAcc::new(ResAccConfig::default());
+    let result = nise(graph, &NiseConfig::new(4), |s, i| {
+        engine.query(graph, s, &params, 100 + i as u64).scores
+    });
+    assert_eq!(result.communities.len(), 4);
+    assert!(result.average_conductance < 0.35);
+}
+
+#[test]
+fn deletion_then_requery_consistent() {
+    // Mutate a graph and verify queries reflect the change: a deleted
+    // node's RWR drops to zero everywhere (no in-edges left).
+    let graph = gen::barabasi_albert(300, 3, 41);
+    let params = RwrParams::for_graph(300);
+    let victim = 7u32;
+    let engine = ResAcc::new(ResAccConfig::default());
+    let before = engine.query(&graph, 0, &params, 5);
+    assert!(before.scores[victim as usize] > 0.0);
+    let mutated = resacc_graph::dynamic::delete_node(&graph, victim);
+    let after = engine.query(&mutated, 0, &params, 5);
+    assert_eq!(after.scores[victim as usize], 0.0);
+    let sum: f64 = after.scores.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn source_in_tiny_components() {
+    // Disconnected fragments; every engine must localize mass correctly.
+    let mut b = resacc_graph::GraphBuilder::new(10).symmetric(true);
+    b.add_edge(0, 1); // component {0,1}
+    b.add_edge(2, 3); // component {2,3}
+    let graph = b.build(); // nodes 4..9 isolated
+    let params = RwrParams::for_graph(10);
+    let r = ResAcc::new(ResAccConfig::default()).query(&graph, 0, &params, 1);
+    assert!((r.scores[0] + r.scores[1] - 1.0).abs() < 1e-9);
+    assert_eq!(r.scores[2], 0.0);
+    let r = ResAcc::new(ResAccConfig::default()).query(&graph, 9, &params, 1);
+    assert_eq!(r.scores[9], 1.0);
+}

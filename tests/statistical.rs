@@ -1,0 +1,152 @@
+//! Statistical validation of the randomized components: the walker's
+//! terminal distribution, remedy-phase variance scaling, and seed
+//! independence. These are the tests that would catch a subtly biased RNG
+//! usage that point assertions cannot.
+
+use resacc::monte_carlo::monte_carlo_with_walks;
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::walker::Walker;
+use resacc::RwrParams;
+use resacc_graph::gen;
+
+/// Pearson chi-square statistic of observed counts against expected
+/// probabilities (over categories with expected count ≥ 5).
+fn chi_square(observed: &[u64], expected_p: &[f64], total: u64) -> (f64, usize) {
+    let mut stat = 0.0;
+    let mut dof: usize = 0;
+    for (o, p) in observed.iter().zip(expected_p.iter()) {
+        let e = p * total as f64;
+        if e >= 5.0 {
+            stat += (*o as f64 - e).powi(2) / e;
+            dof += 1;
+        }
+    }
+    (stat, dof.saturating_sub(1))
+}
+
+#[test]
+fn walker_terminal_distribution_matches_exact() {
+    let g = gen::erdos_renyi(30, 180, 5);
+    let exact = resacc::exact::exact_rwr(&g, 0, 0.2);
+    let mut w = Walker::new(&g, 0.2, 99);
+    let n_walks = 200_000u64;
+    let mut counts = vec![0u64; 30];
+    for _ in 0..n_walks {
+        counts[w.walk(0) as usize] += 1;
+    }
+    let (stat, dof) = chi_square(&counts, &exact, n_walks);
+    // chi2 critical value at p=0.001 for dof≈29 is ~58; use a wide margin
+    // to keep the test deterministic-given-seed but meaningful.
+    assert!(dof >= 10, "need enough categories, got {dof}");
+    assert!(
+        stat < 3.0 * dof as f64 + 60.0,
+        "chi-square {stat:.1} with {dof} dof — walker distribution is off"
+    );
+}
+
+#[test]
+fn mc_error_shrinks_like_sqrt_of_walks() {
+    let g = gen::barabasi_albert(200, 4, 8);
+    let exact = resacc::power::ground_truth(&g, 0, 0.2);
+    let l2 = |est: &[f64]| -> f64 {
+        est.iter()
+            .zip(exact.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    // Average over seeds to reduce variance of the variance estimate.
+    let avg_err = |walks: u64| -> f64 {
+        (0..8)
+            .map(|seed| l2(&monte_carlo_with_walks(&g, 0, 0.2, walks, seed).scores))
+            .sum::<f64>()
+            / 8.0
+    };
+    let e1 = avg_err(2_000);
+    let e16 = avg_err(32_000);
+    let ratio = e1 / e16;
+    // 16× walks should shrink L2 error ~4× (Monte-Carlo 1/√W scaling).
+    assert!(
+        (2.5..6.5).contains(&ratio),
+        "error ratio {ratio:.2}, expected ≈ 4"
+    );
+}
+
+#[test]
+fn resacc_seed_independence() {
+    // Estimates from different seeds must differ (no RNG reuse bug) yet all
+    // satisfy the guarantee; and correlation of errors across seeds should
+    // not be 1 (walks actually resampled).
+    let g = gen::barabasi_albert(150, 3, 4);
+    let params = RwrParams::for_graph(150);
+    let exact = resacc::exact::exact_rwr(&g, 0, 0.2);
+    let engine = ResAcc::new(ResAccConfig::default());
+    let a = engine.query(&g, 0, &params, 1).scores;
+    let b = engine.query(&g, 0, &params, 2).scores;
+    assert_ne!(a, b, "different seeds produced identical estimates");
+    let err =
+        |est: &[f64]| -> Vec<f64> { est.iter().zip(exact.iter()).map(|(x, t)| x - t).collect() };
+    let (ea, eb) = (err(&a), err(&b));
+    let dot: f64 = ea.iter().zip(eb.iter()).map(|(x, y)| x * y).sum();
+    let na: f64 = ea.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = eb.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let corr = dot / (na * nb).max(1e-300);
+    assert!(
+        corr < 0.9,
+        "error vectors nearly identical (corr {corr:.3})"
+    );
+}
+
+#[test]
+fn remedy_error_is_centered() {
+    // Signed error averaged over many seeds should be near zero for nodes
+    // with non-trivial mass (Theorem 1 unbiasedness, empirically).
+    let g = gen::erdos_renyi(80, 480, 11);
+    let params = RwrParams::new(0.2, 1.0, 0.05, 0.2);
+    let exact = resacc::exact::exact_rwr(&g, 0, 0.2);
+    let engine = ResAcc::new(ResAccConfig::default().with_r_max_f(1e-3));
+    let runs = 100;
+    let mut signed = vec![0.0f64; 80];
+    let mut abs = vec![0.0f64; 80];
+    for seed in 0..runs {
+        let est = engine.query(&g, 0, &params, seed).scores;
+        for v in 0..80 {
+            signed[v] += est[v] - exact[v];
+            abs[v] += (est[v] - exact[v]).abs();
+        }
+    }
+    for v in 0..80 {
+        if abs[v] / runs as f64 > 1e-4 {
+            // Bias should be a small fraction of the per-run noise.
+            let bias = (signed[v] / runs as f64).abs();
+            let noise = abs[v] / runs as f64;
+            assert!(
+                bias < 0.5 * noise,
+                "node {v}: bias {bias:.2e} vs noise {noise:.2e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fora_and_resacc_estimates_statistically_indistinguishable() {
+    // Both are unbiased estimators of the same quantity: their seed-mean
+    // difference should vanish.
+    let g = gen::barabasi_albert(120, 3, 6);
+    let params = RwrParams::for_graph(120);
+    let engine = ResAcc::new(ResAccConfig::default());
+    let runs = 30;
+    let mut diff = vec![0.0f64; 120];
+    for seed in 0..runs {
+        let a = engine.query(&g, 0, &params, seed).scores;
+        let b = resacc::fora::fora(&g, 0, &params, &Default::default(), seed + 1000).scores;
+        for v in 0..120 {
+            diff[v] += a[v] - b[v];
+        }
+    }
+    let max_mean_diff = diff
+        .iter()
+        .map(|d| (d / runs as f64).abs())
+        .fold(0.0, f64::max);
+    assert!(max_mean_diff < 2e-3, "mean diff {max_mean_diff:.2e}");
+}
