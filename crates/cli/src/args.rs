@@ -7,6 +7,8 @@ usage:
   rwr pair    --graph <file> --source <id> --target <id> [options]
   rwr stats   --graph <file> [--symmetric]
   rwr convert --graph <file> --out <file.racg> [--symmetric]
+  rwr serve   --graph <file> [--listen <addr>] [--workers <n>] [--cache <n>]
+  rwr loadgen --addr <addr> [--requests <n>] [--connections <n>] [--zipf <s>]
 
 options:
   --algo <resacc|fora|mc|power|fwd>   algorithm (default resacc)
@@ -15,7 +17,22 @@ options:
   --epsilon <f>                       relative error target (default 0.5)
   --seed <n>                          RNG seed (default 1)
   --symmetric                         treat each edge as undirected
-  --out <file>                        output path (convert)";
+  --out <file>                        output path (convert)
+
+serve options:
+  --listen <addr>                     bind address (default 127.0.0.1:7171;
+                                      port 0 picks an ephemeral port)
+  --workers <n>                       query worker threads (default 4)
+  --cache <n>                         result-cache capacity (default 1024)
+  --batch <n>                         dispatcher micro-batch cap (default 32)
+
+loadgen options:
+  --addr <addr>                       server to target (default 127.0.0.1:7171)
+  --requests <n>                      total queries (default 1000)
+  --connections <n>                   concurrent clients (default 4)
+  --zipf <s>                          source skew exponent (default 1.0)
+  --sources <n>                       distinct sources drawn (default 64)
+  --per-request-seeds                 unique seed per request (defeats cache)";
 
 /// Subcommands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +45,10 @@ pub enum Command {
     Stats,
     /// Convert text edge list to binary.
     Convert,
+    /// Run the NDJSON/TCP query server.
+    Serve,
+    /// Drive load against a running server.
+    Loadgen,
 }
 
 /// Parsed command line.
@@ -44,6 +65,16 @@ pub struct Cli {
     pub epsilon: f64,
     pub seed: u64,
     pub symmetric: bool,
+    pub listen: String,
+    pub addr: String,
+    pub workers: usize,
+    pub cache: usize,
+    pub batch: usize,
+    pub requests: u64,
+    pub connections: usize,
+    pub zipf: f64,
+    pub sources: u32,
+    pub per_request_seeds: bool,
 }
 
 impl Cli {
@@ -55,6 +86,8 @@ impl Cli {
             Some("pair") => Command::Pair,
             Some("stats") => Command::Stats,
             Some("convert") => Command::Convert,
+            Some("serve") => Command::Serve,
+            Some("loadgen") => Command::Loadgen,
             Some(other) => return Err(format!("unknown command {other:?}")),
             None => return Err("missing command".into()),
         };
@@ -70,6 +103,16 @@ impl Cli {
             epsilon: 0.5,
             seed: 1,
             symmetric: false,
+            listen: "127.0.0.1:7171".into(),
+            addr: "127.0.0.1:7171".into(),
+            workers: 4,
+            cache: 1024,
+            batch: 32,
+            requests: 1000,
+            connections: 4,
+            zipf: 1.0,
+            sources: 64,
+            per_request_seeds: false,
         };
         let mut have_source = false;
         let mut have_target = false;
@@ -93,11 +136,26 @@ impl Cli {
                 "--epsilon" => cli.epsilon = parse_num(&value("--epsilon")?, "--epsilon")?,
                 "--seed" => cli.seed = parse_num(&value("--seed")?, "--seed")?,
                 "--symmetric" | "--undirected" => cli.symmetric = true,
+                "--listen" => cli.listen = value("--listen")?,
+                "--addr" => cli.addr = value("--addr")?,
+                "--workers" => cli.workers = parse_num(&value("--workers")?, "--workers")?,
+                "--cache" => cli.cache = parse_num(&value("--cache")?, "--cache")?,
+                "--batch" => cli.batch = parse_num(&value("--batch")?, "--batch")?,
+                "--requests" => cli.requests = parse_num(&value("--requests")?, "--requests")?,
+                "--connections" => {
+                    cli.connections = parse_num(&value("--connections")?, "--connections")?
+                }
+                "--zipf" => cli.zipf = parse_num(&value("--zipf")?, "--zipf")?,
+                "--sources" => cli.sources = parse_num(&value("--sources")?, "--sources")?,
+                "--per-request-seeds" => cli.per_request_seeds = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        if cli.graph.is_empty() {
+        if cli.graph.is_empty() && command != Command::Loadgen {
             return Err("--graph is required".into());
+        }
+        if cli.zipf < 0.0 {
+            return Err("--zipf must be non-negative".into());
         }
         if matches!(command, Command::Query | Command::Pair) && !have_source {
             return Err("--source is required".into());
@@ -170,6 +228,33 @@ mod tests {
         assert!(parse("query --graph g --source 1 --algo nope").is_err());
         assert!(parse("blah --graph g").is_err());
         assert!(parse("query --graph g --source 1 --wat 2").is_err());
+    }
+
+    #[test]
+    fn serve_and_loadgen_lines() {
+        let cli = parse("serve --graph g.txt --listen 127.0.0.1:0 --workers 8 --cache 64 --batch 4")
+            .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.listen, "127.0.0.1:0");
+        assert_eq!(cli.workers, 8);
+        assert_eq!(cli.cache, 64);
+        assert_eq!(cli.batch, 4);
+
+        // loadgen needs no graph.
+        let cli = parse(
+            "loadgen --addr 127.0.0.1:9 --requests 50 --connections 2 --zipf 0.8 --sources 16 --per-request-seeds",
+        )
+        .unwrap();
+        assert_eq!(cli.command, Command::Loadgen);
+        assert_eq!(cli.addr, "127.0.0.1:9");
+        assert_eq!(cli.requests, 50);
+        assert_eq!(cli.connections, 2);
+        assert!((cli.zipf - 0.8).abs() < 1e-12);
+        assert_eq!(cli.sources, 16);
+        assert!(cli.per_request_seeds);
+
+        assert!(parse("serve --listen 127.0.0.1:0").is_err()); // no graph
+        assert!(parse("loadgen --zipf -1").is_err());
     }
 
     #[test]

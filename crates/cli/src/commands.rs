@@ -132,6 +132,66 @@ pub fn convert(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// `rwr serve`: run the NDJSON/TCP query service until a client sends
+/// `{"op":"shutdown"}`.
+///
+/// Prints `listening on <addr>` (flushed) before accepting, so a parent
+/// process using `--listen 127.0.0.1:0` can scrape the ephemeral port.
+pub fn serve(cli: &Cli) -> Result<(), String> {
+    use std::io::Write;
+    let graph = load_graph(cli)?;
+    let params = params_for(cli, &graph);
+    let session = std::sync::Arc::new(resacc::RwrSession::with_config(
+        graph,
+        params,
+        ResAccConfig::default(),
+    ));
+    let listener = std::net::TcpListener::bind(&cli.listen)
+        .map_err(|e| format!("binding {}: {e}", cli.listen))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    {
+        let g = session.graph();
+        println!(
+            "# serving {} nodes / {} edges with {} workers, cache {}",
+            g.num_nodes(),
+            g.num_edges(),
+            cli.workers,
+            cli.cache
+        );
+    }
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+    resacc_service::serve(
+        listener,
+        session,
+        resacc_service::ServerConfig {
+            workers: cli.workers,
+            cache_capacity: cli.cache,
+            batch_max: cli.batch,
+            default_k: cli.top,
+        },
+    )
+    .map_err(|e| format!("serve: {e}"))
+}
+
+/// `rwr loadgen`: drive Zipfian query load against a running server and
+/// print the latency/throughput/cache report.
+pub fn loadgen(cli: &Cli) -> Result<(), String> {
+    let report = resacc_service::loadgen::run(&resacc_service::loadgen::LoadgenConfig {
+        addr: cli.addr.clone(),
+        requests: cli.requests,
+        connections: cli.connections,
+        zipf_s: cli.zipf,
+        sources: cli.sources,
+        seed: cli.seed,
+        per_request_seeds: cli.per_request_seeds,
+        k: cli.top,
+    })
+    .map_err(|e| format!("loadgen against {}: {e}", cli.addr))?;
+    print!("{}", report.render_text());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +210,16 @@ mod tests {
             epsilon: 0.5,
             seed: 1,
             symmetric: false,
+            listen: "127.0.0.1:0".into(),
+            addr: String::new(),
+            workers: 2,
+            cache: 16,
+            batch: 8,
+            requests: 20,
+            connections: 2,
+            zipf: 1.0,
+            sources: 4,
+            per_request_seeds: false,
         }
     }
 

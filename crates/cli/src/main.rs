@@ -7,6 +7,8 @@
 //! rwr pair    --graph g.txt --source 5 --target 9 [...]
 //! rwr stats   --graph g.txt [--symmetric]
 //! rwr convert --graph g.txt --out g.racg [--symmetric]   # text → binary
+//! rwr serve   --graph g.txt [--listen 127.0.0.1:7171] [--workers 4]
+//! rwr loadgen --addr 127.0.0.1:7171 [--requests 1000] [--zipf 1.0]
 //! ```
 //!
 //! `--graph` accepts a whitespace edge list (SNAP style, `#` comments) or a
@@ -31,6 +33,8 @@ fn main() {
         Command::Pair => commands::pair(&cli),
         Command::Stats => commands::stats(&cli),
         Command::Convert => commands::convert(&cli),
+        Command::Serve => commands::serve(&cli),
+        Command::Loadgen => commands::loadgen(&cli),
     };
     if let Err(msg) = outcome {
         eprintln!("error: {msg}");

@@ -97,6 +97,133 @@ fn convert_then_query_binary() {
 }
 
 #[test]
+fn serve_answers_queries_matching_a_direct_session() {
+    use resacc_service::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let graph_path = temp_graph();
+
+    // The ground truth: the same graph, parameters, and seed, queried
+    // directly in-process. The server must reproduce this bit-for-bit.
+    let graph = resacc_graph::edgelist::load_edge_list(&graph_path, None, false).unwrap();
+    let n = graph.num_nodes().max(2) as f64;
+    let params = resacc::RwrParams::new(0.2, 0.5, 1.0 / n, 1.0 / n);
+    let session = resacc::RwrSession::with_config(
+        graph,
+        params,
+        resacc::resacc::ResAccConfig::default(),
+    );
+    let direct = session.query(7, 4242).scores;
+    let direct_top = session.top_k(7, 5, 4242);
+
+    let mut child = rwr()
+        .args(["serve", "--graph"])
+        .arg(&graph_path)
+        .args(["--listen", "127.0.0.1:0", "--workers", "3"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(child_out.read_line(&mut line).unwrap(), 0, "server exited early");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let mut roundtrip = |line: &str| -> Json {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim()).expect("server speaks json")
+    };
+
+    let r = roundtrip(r#"{"id":1,"op":"query","source":7,"seed":4242,"k":5,"full":true}"#);
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+    let scores: Vec<f64> = r
+        .get("scores")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    assert_eq!(scores.len(), direct.len());
+    for (served, local) in scores.iter().zip(direct.iter()) {
+        assert_eq!(served.to_bits(), local.to_bits(), "served scores must be bit-identical");
+    }
+    let top: Vec<(u32, f64)> = r
+        .get("top")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().unwrap();
+            (pair[0].as_u64().unwrap() as u32, pair[1].as_f64().unwrap())
+        })
+        .collect();
+    assert_eq!(top, direct_top, "top-k must match the direct session");
+
+    // Same request again: served from cache, same bits.
+    let again = roundtrip(r#"{"id":2,"op":"query","source":7,"seed":4242,"k":5}"#);
+    assert_eq!(again.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(again.get("top").unwrap().render(), r.get("top").unwrap().render());
+
+    let bye = roundtrip(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok").unwrap().as_bool(), Some(true));
+    drop(stream);
+    let status = child.wait().unwrap();
+    assert!(status.success(), "server must exit cleanly on shutdown");
+}
+
+#[test]
+fn loadgen_reports_against_live_server() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let graph_path = temp_graph();
+    let mut child = rwr()
+        .args(["serve", "--graph"])
+        .arg(&graph_path)
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(child_out.read_line(&mut line).unwrap(), 0, "server exited early");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    let out = rwr()
+        .args([
+            "loadgen", "--addr", &addr, "--requests", "60", "--connections", "2",
+            "--sources", "6", "--zipf", "1.2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("completed"), "{stdout}");
+    assert!(stdout.contains("60"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
+
+    child.kill().ok();
+    child.wait().ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero_with_usage_text() {
     let out = rwr().args(["query"]).output().unwrap();
     assert!(!out.status.success());

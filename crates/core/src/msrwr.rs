@@ -63,30 +63,25 @@ pub fn msrwr_resacc_parallel(
     if threads <= 1 {
         return msrwr_resacc(graph, sources, params, config, seed);
     }
-    let mut results: Vec<Option<Vec<f64>>> = vec![None; sources.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
+    // Pre-split the output into disjoint contiguous chunks, one per worker:
+    // each thread owns its slice outright, so no lock sits on the write path
+    // and the borrow checker proves the writes cannot alias. Seeds are
+    // derived from each source's *global* index, so the partition (and hence
+    // the thread count) cannot influence any result.
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(); sources.len()];
+    let chunk = sources.len().div_ceil(threads);
 
     crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
+        for (c, out) in results.chunks_mut(chunk).enumerate() {
+            let base = c * chunk;
+            scope.spawn(move |_| {
                 let engine = ResAcc::new(*config);
                 let mut state = crate::state::ForwardState::new(graph.num_nodes());
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= sources.len() {
-                        break;
-                    }
-                    let scores = engine
-                        .query_with_state(
-                            graph,
-                            sources[i],
-                            params,
-                            derive_seed(seed, i),
-                            &mut state,
-                        )
+                for (j, slot) in out.iter_mut().enumerate() {
+                    let i = base + j;
+                    *slot = engine
+                        .query_with_state(graph, sources[i], params, derive_seed(seed, i), &mut state)
                         .scores;
-                    results_mutex.lock()[i] = Some(scores);
                 }
             });
         }
@@ -94,9 +89,6 @@ pub fn msrwr_resacc_parallel(
     .expect("msrwr worker panicked");
 
     results
-        .into_iter()
-        .map(|r| r.expect("every source processed"))
-        .collect()
 }
 
 /// Derives the per-source RNG seed (splitmix64 step over `seed + index`).
@@ -144,6 +136,35 @@ mod tests {
             let par = msrwr_resacc_parallel(&g, &sources, &params, &cfg, 42, threads);
             assert_eq!(seq, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn one_thread_matches_four_threads_bitwise() {
+        let g = gen::barabasi_albert(250, 3, 5);
+        let params = RwrParams::for_graph(250);
+        let cfg = ResAccConfig::default();
+        // 13 sources across 4 threads: uneven chunks (4+4+4+1), so the test
+        // also covers the partition-boundary arithmetic.
+        let sources: Vec<u32> = (0..13).map(|i| i * 7 % 250).collect();
+        let one = msrwr_resacc_parallel(&g, &sources, &params, &cfg, 0xFEED, 1);
+        let four = msrwr_resacc_parallel(&g, &sources, &params, &cfg, 0xFEED, 4);
+        assert_eq!(one, four, "thread count must not affect results");
+        // Bitwise, not approximately: compare raw f64 bits.
+        for (a, b) in one.iter().zip(four.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_sources_is_fine() {
+        let g = gen::cycle(20);
+        let params = RwrParams::for_graph(20);
+        let cfg = ResAccConfig::default();
+        let seq = msrwr_resacc(&g, &[3, 8], &params, &cfg, 1);
+        let par = msrwr_resacc_parallel(&g, &[3, 8], &params, &cfg, 1, 16);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Versioned LRU cache for query results.
+//!
+//! Entries are keyed by the full **computation key** — `(source,
+//! params_hash, graph_version, seed)` — so cache correctness needs no
+//! explicit invalidation hook: a graph mutation bumps
+//! `RwrSession::version()`, every subsequent lookup carries the new
+//! version, and stale entries simply stop matching. They age out of the
+//! LRU like any other cold entry.
+//!
+//! Eviction is the classic *lazy* LRU: every touch pushes a `(key, stamp)`
+//! pair onto a recency queue and stamps the live entry; eviction pops the
+//! queue front and discards pairs whose stamp no longer matches (the entry
+//! was touched again later, or already evicted). Amortized O(1), no
+//! unsafe, no intrusive lists.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Identity of one deterministic computation.
+///
+/// Two requests with equal keys are guaranteed (by the engine's per-seed
+/// determinism) to produce bit-identical score vectors, which is what makes
+/// both caching and in-flight coalescing sound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CompKey {
+    /// Query source node.
+    pub source: u32,
+    /// Hash of `RwrParams` + `ResAccConfig` (see [`crate::params_hash`]).
+    pub params_hash: u64,
+    /// `RwrSession::version()` the result is valid for.
+    pub version: u64,
+    /// RNG seed of the remedy-walk phase.
+    pub seed: u64,
+}
+
+struct Entry {
+    scores: Arc<Vec<f64>>,
+    stamp: u64,
+}
+
+struct Inner {
+    map: HashMap<CompKey, Entry>,
+    recency: VecDeque<(CompKey, u64)>,
+    clock: u64,
+}
+
+/// Thread-safe LRU over [`CompKey`] → score vector.
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` results. Capacity 0
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                recency: VecDeque::new(),
+                clock: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of cached results.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a computation, refreshing its recency on a hit.
+    pub fn get(&self, key: &CompKey) -> Option<Arc<Vec<f64>>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let entry = inner.map.get_mut(key)?;
+        entry.stamp = stamp;
+        let scores = entry.scores.clone();
+        inner.recency.push_back((*key, stamp));
+        // A pure-hit workload never inserts, so the stale-pair drain must
+        // also run here or the queue grows without bound.
+        if inner.recency.len() > 4 * inner.map.len().max(4) {
+            Self::drain_stale(&mut inner);
+        }
+        Some(scores)
+    }
+
+    /// Inserts a computed result, evicting least-recently-used entries as
+    /// needed. Inserting an existing key refreshes it.
+    pub fn insert(&self, key: CompKey, scores: Arc<Vec<f64>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(key, Entry { scores, stamp });
+        inner.recency.push_back((key, stamp));
+        while inner.map.len() > self.capacity {
+            let (victim, stamp) = inner
+                .recency
+                .pop_front()
+                .expect("map larger than capacity implies pending recency pairs");
+            if inner.map.get(&victim).is_some_and(|e| e.stamp == stamp) {
+                inner.map.remove(&victim);
+            }
+            // Stale pair (entry touched later, or gone): skip.
+        }
+        Self::drain_stale(&mut inner);
+    }
+
+    /// Pops leading recency pairs that no longer identify a live entry.
+    fn drain_stale(inner: &mut Inner) {
+        while let Some(&(key, stamp)) = inner.recency.front() {
+            let live = inner.map.get(&key).is_some_and(|e| e.stamp == stamp);
+            if live {
+                break;
+            }
+            inner.recency.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(source: u32, version: u64, seed: u64) -> CompKey {
+        CompKey {
+            source,
+            params_hash: 0xABCD,
+            version,
+            seed,
+        }
+    }
+
+    fn val(v: f64) -> Arc<Vec<f64>> {
+        Arc::new(vec![v])
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(&key(1, 0, 7)).is_none());
+        cache.insert(key(1, 0, 7), val(0.5));
+        assert_eq!(cache.get(&key(1, 0, 7)).unwrap()[0], 0.5);
+        assert!(cache.get(&key(2, 0, 7)).is_none());
+    }
+
+    #[test]
+    fn version_bump_is_an_implicit_invalidation() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1, 0, 7), val(0.5));
+        // Same source, same seed — but the graph mutated underneath.
+        assert!(
+            cache.get(&key(1, 1, 7)).is_none(),
+            "post-mutation lookup must miss"
+        );
+        // The pre-mutation entry is still addressable (nothing actively
+        // purges it; it ages out by LRU).
+        assert!(cache.get(&key(1, 0, 7)).is_some());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1, 0, 0), val(1.0));
+        cache.insert(key(2, 0, 0), val(2.0));
+        let _ = cache.get(&key(1, 0, 0)); // 1 is now the most recent
+        cache.insert(key(3, 0, 0), val(3.0)); // evicts 2
+        assert!(cache.get(&key(2, 0, 0)).is_none());
+        assert!(cache.get(&key(1, 0, 0)).is_some());
+        assert!(cache.get(&key(3, 0, 0)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0);
+        cache.insert(key(1, 0, 0), val(1.0));
+        assert!(cache.get(&key(1, 0, 0)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1, 0, 0), val(1.0));
+        cache.insert(key(2, 0, 0), val(2.0));
+        cache.insert(key(1, 0, 0), val(1.5)); // refresh 1, now 2 is LRU
+        cache.insert(key(3, 0, 0), val(3.0));
+        assert!(cache.get(&key(2, 0, 0)).is_none());
+        assert_eq!(cache.get(&key(1, 0, 0)).unwrap()[0], 1.5);
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_hits() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1, 0, 0), val(1.0));
+        cache.insert(key(2, 0, 0), val(2.0));
+        for _ in 0..10_000 {
+            let _ = cache.get(&key(1, 0, 0));
+            let _ = cache.get(&key(2, 0, 0));
+        }
+        // The in-get drain keeps the queue near 4× the map size; it must
+        // never approach the 20k touches performed above.
+        cache.insert(key(1, 0, 0), val(1.0));
+        assert!(cache.inner.lock().recency.len() <= 20);
+    }
+}

@@ -1,0 +1,332 @@
+//! Closed-loop TCP load generator for the query server.
+//!
+//! Drives `connections` concurrent NDJSON clients, each issuing queries
+//! back-to-back (closed loop: next request leaves when the previous
+//! response lands). Sources follow a **Zipfian** distribution — the
+//! standard model for query popularity skew — so the server's result cache
+//! sees a realistic mix of hot repeats and cold tails.
+//!
+//! Two seed policies select what is being exercised:
+//!
+//! * `per_source` (default): a source's seed is a function of the source
+//!   alone, so repeated queries for a hot source are *identical
+//!   computations* — cache hits and coalescing light up.
+//! * `per_request`: every request gets a unique seed, defeating the cache
+//!   by construction — this measures raw engine throughput scaling.
+//!
+//! The request stream is fully determined by the config (ids, sources, and
+//! seeds derive from `seed` arithmetic), so a run is reproducible.
+
+use crate::json::Json;
+use crate::metrics::Histogram;
+use crate::scheduler::splitmix64;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Total queries to issue.
+    pub requests: u64,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Zipf exponent `s` (0 = uniform; ~1 = web-like skew).
+    pub zipf_s: f64,
+    /// Number of distinct sources drawn from (ranks are spread over the
+    /// graph by a multiplicative hash, so rank 0 is not always node 0).
+    pub sources: u32,
+    /// Master seed for the (deterministic) request stream.
+    pub seed: u64,
+    /// `true` → unique seed per request (cache-defeating);
+    /// `false` → seed per source (cache-exercising).
+    pub per_request_seeds: bool,
+    /// `k` sent with each query.
+    pub k: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7171".into(),
+            requests: 1000,
+            connections: 4,
+            zipf_s: 1.0,
+            sources: 64,
+            seed: 1,
+            per_request_seeds: false,
+            k: 10,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Queries completed successfully.
+    pub completed: u64,
+    /// Queries that failed (connection or protocol errors).
+    pub errors: u64,
+    /// Wall-clock run time, seconds.
+    pub elapsed_secs: f64,
+    /// Completed queries per second.
+    pub qps: f64,
+    /// Client-observed mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Client-observed median latency, milliseconds.
+    pub p50_ms: f64,
+    /// Client-observed p95 latency, milliseconds.
+    pub p95_ms: f64,
+    /// Client-observed p99 latency, milliseconds.
+    pub p99_ms: f64,
+    /// Server-reported cache hit rate at run end, in [0, 1].
+    pub server_hit_rate: f64,
+    /// Server-reported coalesced request count at run end.
+    pub server_coalesced: u64,
+}
+
+impl LoadgenReport {
+    /// Human-readable summary.
+    pub fn render_text(&self) -> String {
+        format!(
+            "completed   {:>10}  ({} errors)\n\
+             elapsed     {:>10.2} s\n\
+             throughput  {:>10.1} q/s\n\
+             latency     mean {:.3} ms · p50 {:.3} ms · p95 {:.3} ms · p99 {:.3} ms\n\
+             server      hit rate {:.1}% · {} coalesced\n",
+            self.completed,
+            self.errors,
+            self.elapsed_secs,
+            self.qps,
+            self.mean_ms,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.server_hit_rate * 100.0,
+            self.server_coalesced,
+        )
+    }
+}
+
+/// Zipfian sampler over ranks `0..k` via inverse-CDF binary search.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution `P(rank = i) ∝ 1/(i+1)^s` over `k` ranks.
+    pub fn new(k: u32, s: f64) -> Self {
+        let k = k.max(1);
+        let mut cdf = Vec::with_capacity(k as usize);
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank from a uniform `u ∈ [0, 1)`.
+    pub fn sample(&self, u: f64) -> u32 {
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// xorshift64* — small deterministic per-thread RNG for the request stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Maps a popularity rank to a node id, spreading ranks over the graph.
+fn rank_to_source(rank: u32, n: u64) -> u32 {
+    ((rank as u64).wrapping_mul(2654435761) % n.max(1)) as u32
+}
+
+/// Asks the server how many nodes the graph has (`stats` op).
+fn fetch_nodes(addr: &str) -> std::io::Result<u64> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"{\"op\":\"stats\"}\n")?;
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line)?;
+    Json::parse(line.trim())
+        .ok()
+        .and_then(|j| j.get("nodes").and_then(Json::as_u64))
+        .ok_or_else(|| std::io::Error::other("bad stats response"))
+}
+
+/// Fetches (hit_rate, coalesced) from the server.
+fn fetch_cache_stats(addr: &str) -> (f64, u64) {
+    let stats = || -> std::io::Result<(f64, u64)> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(b"{\"op\":\"stats\"}\n")?;
+        let mut line = String::new();
+        BufReader::new(&stream).read_line(&mut line)?;
+        let j = Json::parse(line.trim()).map_err(std::io::Error::other)?;
+        let s = j.get("stats").ok_or_else(|| std::io::Error::other("no stats"))?;
+        Ok((
+            s.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
+            s.get("coalesced").and_then(Json::as_u64).unwrap_or(0),
+        ))
+    };
+    stats().unwrap_or((0.0, 0))
+}
+
+/// Runs the load and reports client-side latency plus server-side cache
+/// effectiveness.
+pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    let n = fetch_nodes(&config.addr)?;
+    let zipf = Arc::new(Zipf::new(config.sources, config.zipf_s));
+    let latency = Arc::new(Histogram::new());
+    let errors = Arc::new(AtomicU64::new(0));
+    let connections = config.connections.max(1) as u64;
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for t in 0..connections {
+            let per = config.requests / connections
+                + u64::from(t < config.requests % connections);
+            let id_base = t * (config.requests / connections)
+                + t.min(config.requests % connections);
+            let zipf = zipf.clone();
+            let latency = latency.clone();
+            let errors = errors.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut rng = Rng(splitmix64(config.seed ^ (t + 1)));
+                let mut run = || -> std::io::Result<()> {
+                    let stream = TcpStream::connect(&config.addr)?;
+                    let mut reader = BufReader::new(stream.try_clone()?);
+                    let mut stream = stream;
+                    let mut line = String::new();
+                    for i in 0..per {
+                        let id = id_base + i;
+                        let rank = zipf.sample(rng.next_f64());
+                        let source = rank_to_source(rank, n);
+                        let seed = if config.per_request_seeds {
+                            splitmix64(config.seed ^ (id << 1 | 1))
+                        } else {
+                            splitmix64(config.seed ^ u64::from(source))
+                        };
+                        let request = format!(
+                            "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}}}\n",
+                            config.k
+                        );
+                        let sent = Instant::now();
+                        stream.write_all(request.as_bytes())?;
+                        line.clear();
+                        reader.read_line(&mut line)?;
+                        let ok = Json::parse(line.trim())
+                            .ok()
+                            .and_then(|j| j.get("ok").and_then(Json::as_bool))
+                            .unwrap_or(false);
+                        if ok {
+                            latency.record(sent.elapsed().as_nanos() as u64);
+                        } else {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ok(())
+                };
+                if let Err(e) = run() {
+                    // Count the whole remainder of this connection as failed.
+                    let _ = e;
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let completed = latency.count();
+    let (server_hit_rate, server_coalesced) = fetch_cache_stats(&config.addr);
+    const MS: f64 = 1e6;
+    Ok(LoadgenReport {
+        completed,
+        errors: errors.load(Ordering::Relaxed),
+        elapsed_secs: elapsed,
+        qps: completed as f64 / elapsed,
+        mean_ms: latency.mean() / MS,
+        p50_ms: latency.quantile(0.50) / MS,
+        p95_ms: latency.quantile(0.95) / MS,
+        p99_ms: latency.quantile(0.99) / MS,
+        server_hit_rate,
+        server_coalesced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{spawn, ServerConfig};
+    use resacc::RwrSession;
+    use resacc_graph::gen;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn zipf_is_skewed_and_normalized() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Rng(42);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(rng.next_f64()) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 must dominate rank 10");
+        assert!(counts[0] > counts[50] * 5, "skew must be strong at s=1");
+        assert_eq!(counts.iter().sum::<u32>(), 20_000);
+        // s = 0 degenerates to uniform.
+        let u = Zipf::new(4, 0.0);
+        let mut even = [0u32; 4];
+        for _ in 0..8000 {
+            even[u.sample(rng.next_f64()) as usize] += 1;
+        }
+        for c in even {
+            assert!((1500..2500).contains(&c), "uniform draw skewed: {even:?}");
+        }
+    }
+
+    #[test]
+    fn loadgen_end_to_end_exercises_cache() {
+        let session = StdArc::new(RwrSession::new(gen::barabasi_albert(200, 3, 8)));
+        let handle = spawn("127.0.0.1:0", session, ServerConfig::default()).unwrap();
+        let report = run(&LoadgenConfig {
+            addr: handle.addr().to_string(),
+            requests: 200,
+            connections: 3,
+            sources: 8,
+            zipf_s: 1.2,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.errors, 0);
+        assert!(report.qps > 0.0);
+        assert!(
+            report.server_hit_rate > 0.3,
+            "8 hot sources over 200 requests must mostly hit: {}",
+            report.server_hit_rate
+        );
+        assert!(report.p99_ms >= report.p50_ms);
+        handle.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,327 @@
+//! Lock-free service observability: counters + latency histograms.
+//!
+//! Everything on the record path is a relaxed atomic — recording a sample
+//! is a handful of `fetch_add`s, cheap enough to sit inside the per-query
+//! hot path without distorting what it measures. Reads ([`Metrics::snapshot`])
+//! are approximate under concurrency (counters may be mid-update), which is
+//! the standard trade for monitoring data.
+//!
+//! Latency uses a power-of-two-bucketed histogram over nanoseconds: bucket
+//! `i` holds samples in `[2^i, 2^(i+1))`. Percentile queries interpolate
+//! linearly inside the winning bucket — resolution is a factor of 2 at
+//! worst, plenty for p50/p95/p99 dashboards, and the whole structure is 64
+//! fixed counters (no allocation, no locks, no decay windows).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::json::Json;
+
+const BUCKETS: usize = 64;
+
+/// Power-of-two histogram over `u64` samples (nanoseconds by convention).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.max(1).leading_zeros() - 1) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`q ∈ [0, 1]`), 0 when empty.
+    ///
+    /// Finds the bucket containing the `q`-th sample and interpolates
+    /// linearly between its bounds by the sample's rank within the bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let here = bucket.load(Ordering::Relaxed);
+            if here == 0 {
+                continue;
+            }
+            if seen + here >= target {
+                let lo = (1u64 << i) as f64;
+                let hi = lo * 2.0;
+                let frac = (target - seen) as f64 / here as f64;
+                return lo + (hi - lo) * frac;
+            }
+            seen += here;
+        }
+        // Counters raced (count ahead of buckets): report the top edge.
+        (1u64 << (BUCKETS - 1)) as f64
+    }
+}
+
+/// Aggregate service counters. One instance lives in the scheduler; share
+/// it via `Arc`.
+pub struct Metrics {
+    started: Instant,
+    /// Queries answered (hits + computed).
+    pub queries: AtomicU64,
+    /// Lookups served from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Lookups that had to compute.
+    pub cache_misses: AtomicU64,
+    /// Requests merged onto an identical in-flight computation.
+    pub coalesced: AtomicU64,
+    /// Graph mutations applied.
+    pub mutations: AtomicU64,
+    /// Malformed or failed requests.
+    pub errors: AtomicU64,
+    /// End-to-end latency per query, nanoseconds (enqueue → response).
+    pub latency: Histogram,
+    /// Cumulative h-HopFWD phase time, nanoseconds (computed queries only).
+    pub phase_hhop_ns: AtomicU64,
+    /// Cumulative OMFWD phase time, nanoseconds.
+    pub phase_omfwd_ns: AtomicU64,
+    /// Cumulative remedy-walk phase time, nanoseconds.
+    pub phase_remedy_ns: AtomicU64,
+}
+
+/// Point-in-time view of [`Metrics`], plain values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Seconds since the metrics were created.
+    pub uptime_secs: f64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Coalesced (merged in-flight) requests.
+    pub coalesced: u64,
+    /// Graph mutations applied.
+    pub mutations: u64,
+    /// Errors.
+    pub errors: u64,
+    /// Queries per second over the whole uptime.
+    pub qps: f64,
+    /// Cache hit rate in [0, 1]; 0 when no lookups happened.
+    pub hit_rate: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Cumulative per-phase engine time, milliseconds.
+    pub phase_ms: [f64; 3],
+}
+
+impl Metrics {
+    /// Creates zeroed metrics with the uptime clock started.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Histogram::new(),
+            phase_hhop_ns: AtomicU64::new(0),
+            phase_omfwd_ns: AtomicU64::new(0),
+            phase_remedy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Captures a consistent-enough view of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        const MS: f64 = 1e6; // ns → ms
+        MetricsSnapshot {
+            uptime_secs: uptime,
+            queries,
+            cache_hits: hits,
+            cache_misses: misses,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            qps: queries as f64 / uptime,
+            hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            mean_ms: self.latency.mean() / MS,
+            p50_ms: self.latency.quantile(0.50) / MS,
+            p95_ms: self.latency.quantile(0.95) / MS,
+            p99_ms: self.latency.quantile(0.99) / MS,
+            phase_ms: [
+                self.phase_hhop_ns.load(Ordering::Relaxed) as f64 / MS,
+                self.phase_omfwd_ns.load(Ordering::Relaxed) as f64 / MS,
+                self.phase_remedy_ns.load(Ordering::Relaxed) as f64 / MS,
+            ],
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders as a JSON object (the `stats` wire response payload).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("uptime_secs".into(), Json::f64(self.uptime_secs)),
+            ("queries".into(), Json::u64(self.queries)),
+            ("cache_hits".into(), Json::u64(self.cache_hits)),
+            ("cache_misses".into(), Json::u64(self.cache_misses)),
+            ("coalesced".into(), Json::u64(self.coalesced)),
+            ("mutations".into(), Json::u64(self.mutations)),
+            ("errors".into(), Json::u64(self.errors)),
+            ("qps".into(), Json::f64(self.qps)),
+            ("hit_rate".into(), Json::f64(self.hit_rate)),
+            ("mean_ms".into(), Json::f64(self.mean_ms)),
+            ("p50_ms".into(), Json::f64(self.p50_ms)),
+            ("p95_ms".into(), Json::f64(self.p95_ms)),
+            ("p99_ms".into(), Json::f64(self.p99_ms)),
+            ("phase_hhop_ms".into(), Json::f64(self.phase_ms[0])),
+            ("phase_omfwd_ms".into(), Json::f64(self.phase_ms[1])),
+            ("phase_remedy_ms".into(), Json::f64(self.phase_ms[2])),
+        ])
+    }
+
+    /// Renders a human-readable multi-line dump (the `rwr serve` shutdown
+    /// report and `loadgen` summary).
+    pub fn render_text(&self) -> String {
+        format!(
+            "uptime      {:>10.1} s\n\
+             queries     {:>10}  ({:.1}/s)\n\
+             cache       {:>10} hits / {} misses  (hit rate {:.1}%)\n\
+             coalesced   {:>10}\n\
+             mutations   {:>10}\n\
+             errors      {:>10}\n\
+             latency     mean {:.3} ms · p50 {:.3} ms · p95 {:.3} ms · p99 {:.3} ms\n\
+             phase time  hhop {:.1} ms · omfwd {:.1} ms · remedy {:.1} ms\n",
+            self.uptime_secs,
+            self.queries,
+            self.qps,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate * 100.0,
+            self.coalesced,
+            self.mutations,
+            self.errors,
+            self.mean_ms,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.phase_ms[0],
+            self.phase_ms[1],
+            self.phase_ms[2],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        // True median is 500_500 ns; bucketed resolution is a factor of 2.
+        assert!((250_000.0..=1_100_000.0).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 500_000.0, "p99={p99}");
+        assert!(h.quantile(1.0) >= p99);
+        assert!((h.mean() - 500_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for v in [3u64, 17, 90, 1000, 5, 62, 900_000, 12] {
+            h.record(v);
+        }
+        let mut last = 0.0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn snapshot_rates() {
+        let m = Metrics::new();
+        m.queries.fetch_add(10, Ordering::Relaxed);
+        m.cache_hits.fetch_add(6, Ordering::Relaxed);
+        m.cache_misses.fetch_add(4, Ordering::Relaxed);
+        m.latency.record(1_000_000);
+        let s = m.snapshot();
+        assert_eq!(s.queries, 10);
+        assert!((s.hit_rate - 0.6).abs() < 1e-12);
+        assert!(s.qps > 0.0);
+        let text = s.render_text();
+        assert!(text.contains("hit rate 60.0%"), "{text}");
+        let json = s.to_json();
+        assert_eq!(json.get("queries").unwrap().as_u64(), Some(10));
+    }
+}

@@ -1,0 +1,558 @@
+//! Request queue, micro-batching dispatcher, and worker pool.
+//!
+//! ```text
+//!   submit() ──► request queue ──► dispatcher ──► job queue ──► workers
+//!                                     │                           │
+//!                                     ├─ cache hit → reply        ├─ session.query_versioned()
+//!                                     └─ coalesce onto in-flight  └─ fill cache, reply to all
+//! ```
+//!
+//! The dispatcher drains the request queue in micro-batches (one blocking
+//! `recv`, then up to `batch_max − 1` opportunistic `try_recv`s). Within a
+//! batch — and against the in-flight table — requests whose [`CompKey`]s
+//! are equal are **coalesced**: one computation runs, every waiter gets the
+//! (shared, `Arc`ed) result. This is sound because the key pins everything
+//! the engine's output depends on: source, parameters, graph version, and
+//! RNG seed.
+//!
+//! ## Determinism contract
+//!
+//! A request's effective seed is `seed` if the client provided one, else
+//! `splitmix64(id)`. Worker count, batch boundaries, and scheduling order
+//! affect only *when* a computation runs, never *what* it computes — so
+//! replaying the same request ids yields bit-identical score vectors on
+//! 1 worker or 16. (Graph mutations are the caller's to order; determinism
+//! is stated for a fixed graph version.)
+
+use crate::cache::{CompKey, ResultCache};
+use crate::metrics::Metrics;
+use crate::params_hash;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use resacc::RwrSession;
+use resacc_graph::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One SSRWR query to schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryRequest {
+    /// Client-chosen request id; also the default seed material.
+    pub id: u64,
+    /// Source node.
+    pub source: NodeId,
+    /// Explicit RNG seed; `None` derives one from `id`.
+    pub seed: Option<u64>,
+}
+
+/// A completed query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Echo of the source.
+    pub source: NodeId,
+    /// The seed actually used.
+    pub seed: u64,
+    /// Graph version the scores are valid for.
+    pub version: u64,
+    /// Estimated RWR scores (shared with the cache and coalesced peers).
+    pub scores: Arc<Vec<f64>>,
+    /// True when served from cache or coalesced onto an in-flight
+    /// computation (no fresh engine run for this request).
+    pub cached: bool,
+    /// Queue-to-reply latency, nanoseconds.
+    pub latency_ns: u64,
+}
+
+/// Handle to a submitted request; [`Ticket::wait`] blocks for the response.
+pub struct Ticket {
+    rx: Receiver<QueryResponse>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler shut down before answering — that is a bug,
+    /// not a load condition: shutdown drains the queues first.
+    pub fn wait(self) -> QueryResponse {
+        self.rx.recv().expect("scheduler dropped a pending request")
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Worker threads running engine queries.
+    pub workers: usize,
+    /// Result-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Maximum requests pulled per dispatch batch.
+    pub batch_max: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 4,
+            cache_capacity: 1024,
+            batch_max: 32,
+        }
+    }
+}
+
+struct Pending {
+    request: QueryRequest,
+    enqueued: Instant,
+    reply: Sender<QueryResponse>,
+}
+
+struct Job {
+    key: CompKey,
+}
+
+struct Waiter {
+    id: u64,
+    enqueued: Instant,
+    reply: Sender<QueryResponse>,
+    /// False for the request that triggered the computation, true for
+    /// coalesced followers (reported as `cached` in their responses).
+    follower: bool,
+}
+
+type InflightMap = Mutex<HashMap<CompKey, Vec<Waiter>>>;
+
+/// Multi-threaded query scheduler over a shared [`RwrSession`].
+pub struct Scheduler {
+    session: Arc<RwrSession>,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    submit_tx: Option<Sender<Pending>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawns the dispatcher and worker threads.
+    pub fn new(session: Arc<RwrSession>, config: SchedulerConfig) -> Self {
+        let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let (submit_tx, submit_rx) = channel::unbounded::<Pending>();
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        let inflight: Arc<InflightMap> = Arc::new(Mutex::new(HashMap::new()));
+        let hash = params_hash(&session.params(), &session.config());
+
+        let mut threads = Vec::new();
+        {
+            let cache = cache.clone();
+            let metrics = metrics.clone();
+            let inflight = inflight.clone();
+            let session = session.clone();
+            let batch_max = config.batch_max.max(1);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("rwr-dispatch".into())
+                    .spawn(move || {
+                        dispatch_loop(
+                            submit_rx, job_tx, inflight, cache, metrics, session, hash, batch_max,
+                        )
+                    })
+                    .expect("spawn dispatcher"),
+            );
+        }
+        for w in 0..config.workers.max(1) {
+            let job_rx = job_rx.clone();
+            let session = session.clone();
+            let cache = cache.clone();
+            let metrics = metrics.clone();
+            let inflight = inflight.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rwr-worker-{w}"))
+                    .spawn(move || worker_loop(job_rx, session, cache, metrics, inflight))
+                    .expect("spawn worker"),
+            );
+        }
+
+        Scheduler {
+            session,
+            cache,
+            metrics,
+            submit_tx: Some(submit_tx),
+            threads,
+        }
+    }
+
+    /// The shared session (for mutations and direct inspection).
+    pub fn session(&self) -> &Arc<RwrSession> {
+        &self.session
+    }
+
+    /// The service metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The result cache.
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// Enqueues a query; returns immediately with a [`Ticket`].
+    pub fn submit(&self, request: QueryRequest) -> Ticket {
+        let (reply, rx) = channel::unbounded();
+        let sent = self
+            .submit_tx
+            .as_ref()
+            .expect("scheduler already shut down")
+            .send(Pending {
+                request,
+                enqueued: Instant::now(),
+                reply,
+            });
+        assert!(sent.is_ok(), "dispatcher alive while scheduler exists");
+        Ticket { rx }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn query(&self, request: QueryRequest) -> QueryResponse {
+        self.submit(request).wait()
+    }
+
+    /// Applies a graph mutation through the session and counts it. The
+    /// version bump makes every cached result unreachable (see
+    /// [`crate::cache`]).
+    pub fn mutate(&self, apply: impl FnOnce(&RwrSession)) -> u64 {
+        apply(&self.session);
+        self.metrics
+            .mutations
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.session.version()
+    }
+}
+
+impl Drop for Scheduler {
+    /// Graceful shutdown: closing the submit channel stops the dispatcher
+    /// (after it drains queued requests), which closes the job channel,
+    /// which stops the workers (after they drain queued jobs). Every
+    /// submitted request is answered before the threads exit.
+    fn drop(&mut self) {
+        drop(self.submit_tx.take());
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The effective seed: explicit, or splitmix64 of the request id. The
+/// derivation is part of the wire contract (documented in DESIGN.md) so
+/// clients can reproduce server-side results locally.
+pub fn effective_seed(request: &QueryRequest) -> u64 {
+    match request.seed {
+        Some(s) => s,
+        None => splitmix64(request.id),
+    }
+}
+
+/// One splitmix64 step — the standard 64-bit bit-mixer.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_loop(
+    submit_rx: Receiver<Pending>,
+    job_tx: Sender<Job>,
+    inflight: Arc<InflightMap>,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    session: Arc<RwrSession>,
+    hash: u64,
+    batch_max: usize,
+) {
+    use std::sync::atomic::Ordering::Relaxed;
+    loop {
+        // Blocking head of the batch…
+        let first = match submit_rx.recv() {
+            Ok(p) => p,
+            Err(_) => return, // scheduler dropped; queue fully drained
+        };
+        let mut batch = vec![first];
+        // …then whatever else is already waiting, up to the cap.
+        while batch.len() < batch_max {
+            match submit_rx.try_recv() {
+                Ok(p) => batch.push(p),
+                Err(_) => break,
+            }
+        }
+
+        let version = session.version();
+        for pending in batch {
+            let seed = effective_seed(&pending.request);
+            let key = CompKey {
+                source: pending.request.source,
+                params_hash: hash,
+                version,
+                seed,
+            };
+            if let Some(scores) = cache.get(&key) {
+                metrics.cache_hits.fetch_add(1, Relaxed);
+                metrics.queries.fetch_add(1, Relaxed);
+                let latency = pending.enqueued.elapsed().as_nanos() as u64;
+                metrics.latency.record(latency);
+                let _ = pending.reply.send(QueryResponse {
+                    id: pending.request.id,
+                    source: pending.request.source,
+                    seed,
+                    version: key.version,
+                    scores,
+                    cached: true,
+                    latency_ns: latency,
+                });
+                continue;
+            }
+            metrics.cache_misses.fetch_add(1, Relaxed);
+            let mut inflight = inflight.lock();
+            match inflight.get_mut(&key) {
+                Some(waiters) => {
+                    // Identical computation already on its way: ride along.
+                    metrics.coalesced.fetch_add(1, Relaxed);
+                    waiters.push(Waiter {
+                        id: pending.request.id,
+                        enqueued: pending.enqueued,
+                        reply: pending.reply,
+                        follower: true,
+                    });
+                }
+                None => {
+                    inflight.insert(
+                        key,
+                        vec![Waiter {
+                            id: pending.request.id,
+                            enqueued: pending.enqueued,
+                            reply: pending.reply,
+                            follower: false,
+                        }],
+                    );
+                    drop(inflight);
+                    let _ = job_tx.send(Job { key });
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    job_rx: Receiver<Job>,
+    session: Arc<RwrSession>,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    inflight: Arc<InflightMap>,
+) {
+    use std::sync::atomic::Ordering::Relaxed;
+    while let Ok(job) = job_rx.recv() {
+        let (result, version) = session.query_versioned(job.key.source, job.key.seed);
+        metrics
+            .phase_hhop_ns
+            .fetch_add(result.timings.hhop.as_nanos() as u64, Relaxed);
+        metrics
+            .phase_omfwd_ns
+            .fetch_add(result.timings.omfwd.as_nanos() as u64, Relaxed);
+        metrics
+            .phase_remedy_ns
+            .fetch_add(result.timings.remedy.as_nanos() as u64, Relaxed);
+
+        let scores = Arc::new(result.scores);
+        // Stamp the cache entry with the version the query actually ran
+        // against. If a mutation raced in after dispatch, `version` is newer
+        // than `job.key.version` and the entry lands under the fresh key —
+        // never under a key that would serve stale scores.
+        cache.insert(
+            CompKey {
+                version,
+                ..job.key
+            },
+            scores.clone(),
+        );
+
+        let waiters = inflight.lock().remove(&job.key).unwrap_or_default();
+        for w in waiters {
+            metrics.queries.fetch_add(1, Relaxed);
+            let latency = w.enqueued.elapsed().as_nanos() as u64;
+            metrics.latency.record(latency);
+            let _ = w.reply.send(QueryResponse {
+                id: w.id,
+                source: job.key.source,
+                seed: job.key.seed,
+                version,
+                scores: scores.clone(),
+                cached: w.follower,
+                latency_ns: latency,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    fn mk(workers: usize, cache: usize) -> Scheduler {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(400, 4, 77)));
+        Scheduler::new(
+            session,
+            SchedulerConfig {
+                workers,
+                cache_capacity: cache,
+                batch_max: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn responses_are_worker_count_invariant() {
+        let requests: Vec<QueryRequest> = (0..24)
+            .map(|i| QueryRequest {
+                id: i,
+                source: (i % 7) as u32 * 3,
+                seed: None,
+            })
+            .collect();
+        let run = |workers: usize| -> Vec<Vec<f64>> {
+            let s = mk(workers, 0); // cache off: every request computes
+            let tickets: Vec<Ticket> = requests.iter().map(|r| s.submit(*r)).collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().scores.as_ref().clone())
+                .collect()
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one, eight, "worker count leaked into results");
+    }
+
+    #[test]
+    fn cache_hits_share_the_computation() {
+        let s = mk(2, 64);
+        let a = s.query(QueryRequest {
+            id: 1,
+            source: 5,
+            seed: Some(99),
+        });
+        let b = s.query(QueryRequest {
+            id: 2,
+            source: 5,
+            seed: Some(99),
+        });
+        assert!(!a.cached);
+        assert!(b.cached);
+        assert!(Arc::ptr_eq(&a.scores, &b.scores), "hit must share the Arc");
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.queries, 2);
+    }
+
+    #[test]
+    fn distinct_seeds_do_not_coalesce() {
+        let s = mk(2, 64);
+        // seed=None derives from id, so equal sources still differ.
+        let a = s.query(QueryRequest {
+            id: 10,
+            source: 3,
+            seed: None,
+        });
+        let b = s.query(QueryRequest {
+            id: 11,
+            source: 3,
+            seed: None,
+        });
+        assert_ne!(a.seed, b.seed);
+        assert!(!b.cached);
+    }
+
+    #[test]
+    fn mutation_invalidates_cache_via_version() {
+        let s = mk(2, 64);
+        let r = QueryRequest {
+            id: 1,
+            source: 0,
+            seed: Some(5),
+        };
+        let before = s.query(r);
+        assert_eq!(before.version, 0);
+        let v = s.mutate(|sess| sess.insert_edges(&[(0, 399)]));
+        assert_eq!(v, 1);
+        let after = s.query(QueryRequest { id: 2, ..r });
+        assert!(!after.cached, "post-mutation query must recompute");
+        assert_eq!(after.version, 1);
+        assert_ne!(before.scores, after.scores);
+        assert_eq!(s.metrics().snapshot().mutations, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        // One worker, blocked queue: stack 6 identical requests while the
+        // worker is busy with an unrelated one, then count computations.
+        let s = mk(1, 64);
+        let warm: Vec<Ticket> = (0..1)
+            .map(|_| {
+                s.submit(QueryRequest {
+                    id: 1000,
+                    source: 17,
+                    seed: Some(1),
+                })
+            })
+            .collect();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                s.submit(QueryRequest {
+                    id: i,
+                    source: 42,
+                    seed: Some(7),
+                })
+            })
+            .collect();
+        for t in warm {
+            t.wait();
+        }
+        let responses: Vec<QueryResponse> = tickets.into_iter().map(|t| t.wait()).collect();
+        let fresh = responses.iter().filter(|r| !r.cached).count();
+        assert_eq!(fresh, 1, "exactly one computation for 6 identical requests");
+        for pair in responses.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0].scores, &pair[1].scores));
+        }
+        let snap = s.metrics().snapshot();
+        assert!(
+            snap.coalesced + snap.cache_hits >= 5,
+            "coalesced={} hits={}",
+            snap.coalesced,
+            snap.cache_hits
+        );
+    }
+
+    #[test]
+    fn drop_answers_everything_in_flight() {
+        let s = mk(2, 0);
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|i| {
+                s.submit(QueryRequest {
+                    id: i,
+                    source: (i as u32) % 5,
+                    seed: None,
+                })
+            })
+            .collect();
+        drop(s); // must drain, not abandon
+        for t in tickets {
+            let r = t.wait(); // would panic if the scheduler dropped it
+            assert!(!r.scores.is_empty());
+        }
+    }
+}

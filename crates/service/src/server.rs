@@ -1,0 +1,411 @@
+//! Newline-delimited-JSON-over-TCP front end.
+//!
+//! One request per line, one response line per request, in order, per
+//! connection. The protocol is deliberately plain — `std::net` + the
+//! in-crate [`crate::json`] codec, no external frameworks — because the
+//! interesting machinery lives behind it in the [`crate::scheduler`].
+//!
+//! ## Wire protocol (see DESIGN.md for the full contract)
+//!
+//! ```text
+//! → {"id":1,"op":"query","source":5,"k":3}
+//! ← {"id":1,"ok":true,"version":0,"seed":…,"cached":false,"top":[[n,score],…]}
+//! → {"id":2,"op":"query","source":5,"seed":7,"full":true}
+//! ← {"id":2,"ok":true,…,"scores":[…n floats…]}
+//! → {"id":3,"op":"insert_edges","edges":[[0,1],[2,3]]}
+//! ← {"id":3,"ok":true,"version":1}
+//! → {"op":"stats"}
+//! ← {"ok":true,"stats":{…},"nodes":…,"edges":…,"version":…}
+//! ```
+//!
+//! Ops: `query`, `insert_edges`, `delete_edges`, `delete_node`, `stats`,
+//! `ping`, `shutdown`. Malformed lines get `{"ok":false,"error":…}` and the
+//! connection stays open.
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::scheduler::{QueryRequest, Scheduler, SchedulerConfig};
+use resacc::topk::top_k;
+use resacc::RwrSession;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Result-cache capacity (0 disables).
+    pub cache_capacity: usize,
+    /// Dispatcher micro-batch cap.
+    pub batch_max: usize,
+    /// `top` list length when a query does not say `k`.
+    pub default_k: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            cache_capacity: 1024,
+            batch_max: 32,
+            default_k: 10,
+        }
+    }
+}
+
+/// Serves on `listener` until a client sends `{"op":"shutdown"}`.
+///
+/// Blocking; connection handlers run on their own threads sharing one
+/// [`Scheduler`]. On shutdown the listener closes immediately; connections
+/// that are mid-request finish in the background.
+pub fn serve(listener: TcpListener, session: Arc<RwrSession>, config: ServerConfig) -> std::io::Result<()> {
+    let scheduler = Arc::new(Scheduler::new(
+        session,
+        SchedulerConfig {
+            workers: config.workers,
+            cache_capacity: config.cache_capacity,
+            batch_max: config.batch_max,
+        },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let local = listener.local_addr()?;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let scheduler = scheduler.clone();
+        let stop = stop.clone();
+        std::thread::Builder::new()
+            .name("rwr-conn".into())
+            .spawn(move || {
+                let requested_shutdown = handle_connection(stream, &scheduler, config.default_k);
+                if requested_shutdown {
+                    stop.store(true, Ordering::Release);
+                    // The accept loop is parked in `accept`; poke it awake.
+                    let _ = TcpStream::connect(local);
+                }
+            })?;
+    }
+    Ok(())
+}
+
+/// A server running on a background thread (in-process embedding).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends the shutdown op and joins the server thread.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.write_all(b"{\"op\":\"shutdown\"}\n")?;
+        let mut line = String::new();
+        let _ = BufReader::new(&stream).read_line(&mut line);
+        drop(stream);
+        match self.thread.take() {
+            Some(t) => t.join().expect("server thread panicked"),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves on a background thread.
+pub fn spawn(addr: &str, session: Arc<RwrSession>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let thread = std::thread::Builder::new()
+        .name("rwr-serve".into())
+        .spawn(move || serve(listener, session, config))?;
+    Ok(ServerHandle {
+        addr,
+        thread: Some(thread),
+    })
+}
+
+/// Handles one connection; returns true when the client asked to shut the
+/// server down.
+fn handle_connection(stream: TcpStream, scheduler: &Scheduler, default_k: usize) -> bool {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    });
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client gone
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(&line, scheduler, default_k);
+        if writeln!(writer, "{}", response.render()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+fn error_response(id: Option<u64>, message: &str) -> Json {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Json::u64(id)));
+    }
+    fields.push(("ok".to_string(), Json::Bool(false)));
+    fields.push(("error".to_string(), Json::Str(message.to_string())));
+    Json::Obj(fields)
+}
+
+/// Dispatches one request line; returns (response, shutdown_requested).
+fn handle_line(line: &str, scheduler: &Scheduler, default_k: usize) -> (Json, bool) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let request = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => {
+            scheduler.metrics().errors.fetch_add(1, Relaxed);
+            return (error_response(None, &format!("bad json: {e}")), false);
+        }
+    };
+    let id = request.get("id").and_then(Json::as_u64);
+    let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+    let result = match op {
+        "query" => op_query(&request, scheduler, default_k),
+        "insert_edges" => parse_edges(&request)
+            .map(|edges| mutation_response(id, scheduler.mutate(|s| s.insert_edges(&edges)))),
+        "delete_edges" => parse_edges(&request)
+            .map(|edges| mutation_response(id, scheduler.mutate(|s| s.delete_edges(&edges)))),
+        "delete_node" => request
+            .get("node")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing node".to_string())
+            .map(|node| mutation_response(id, scheduler.mutate(|s| s.delete_node(node as u32)))),
+        "stats" => Ok(stats_response(id, scheduler)),
+        "ping" => Ok(ok_response(id, vec![])),
+        "shutdown" => {
+            return (ok_response(id, vec![]), true);
+        }
+        other => Err(format!("unknown op {other:?}")),
+    };
+    match result {
+        Ok(json) => (json, false),
+        Err(e) => {
+            scheduler.metrics().errors.fetch_add(1, Relaxed);
+            (error_response(id, &e), false)
+        }
+    }
+}
+
+fn ok_response(id: Option<u64>, mut rest: Vec<(String, Json)>) -> Json {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Json::u64(id)));
+    }
+    fields.push(("ok".to_string(), Json::Bool(true)));
+    fields.append(&mut rest);
+    Json::Obj(fields)
+}
+
+fn mutation_response(id: Option<u64>, version: u64) -> Json {
+    ok_response(id, vec![("version".to_string(), Json::u64(version))])
+}
+
+fn stats_response(id: Option<u64>, scheduler: &Scheduler) -> Json {
+    let snapshot: MetricsSnapshot = scheduler.metrics().snapshot();
+    let session = scheduler.session();
+    let (nodes, edges) = {
+        let g = session.graph();
+        (g.num_nodes(), g.num_edges())
+    };
+    ok_response(
+        id,
+        vec![
+            ("stats".to_string(), snapshot.to_json()),
+            ("nodes".to_string(), Json::u64(nodes as u64)),
+            ("edges".to_string(), Json::u64(edges as u64)),
+            ("version".to_string(), Json::u64(session.version())),
+        ],
+    )
+}
+
+fn op_query(request: &Json, scheduler: &Scheduler, default_k: usize) -> Result<Json, String> {
+    let id = request.get("id").and_then(Json::as_u64);
+    let source = request
+        .get("source")
+        .and_then(Json::as_u64)
+        .ok_or("missing source")? as u32;
+    let n = scheduler.session().graph().num_nodes() as u64;
+    if source as u64 >= n {
+        return Err(format!("source {source} out of range (n = {n})"));
+    }
+    let seed = request.get("seed").and_then(Json::as_u64);
+    let k = request
+        .get("k")
+        .and_then(Json::as_u64)
+        .map(|k| k as usize)
+        .unwrap_or(default_k);
+    let full = request
+        .get("full")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+
+    let response = scheduler.query(QueryRequest {
+        id: id.unwrap_or(0),
+        source,
+        seed,
+    });
+    let top = top_k(&response.scores, k)
+        .into_iter()
+        .map(|(node, score)| Json::Arr(vec![Json::u64(node as u64), Json::f64(score)]))
+        .collect();
+    let mut rest = vec![
+        ("version".to_string(), Json::u64(response.version)),
+        ("seed".to_string(), Json::u64(response.seed)),
+        ("cached".to_string(), Json::Bool(response.cached)),
+        ("latency_ns".to_string(), Json::u64(response.latency_ns)),
+        ("top".to_string(), Json::Arr(top)),
+    ];
+    if full {
+        rest.push((
+            "scores".to_string(),
+            Json::Arr(response.scores.iter().map(|&s| Json::f64(s)).collect()),
+        ));
+    }
+    Ok(ok_response(id, rest))
+}
+
+fn parse_edges(request: &Json) -> Result<Vec<(u32, u32)>, String> {
+    let list = request
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or("missing edges")?;
+    list.iter()
+        .map(|pair| {
+            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or("edge must be [u,v]")?;
+            let u = pair[0].as_u64().ok_or("edge endpoint must be an integer")?;
+            let v = pair[1].as_u64().ok_or("edge endpoint must be an integer")?;
+            Ok((u as u32, v as u32))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    fn start() -> ServerHandle {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 3)));
+        spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> Json {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim()).expect("response is json")
+    }
+
+    #[test]
+    fn query_over_tcp_matches_direct_session() {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 3)));
+        let direct = session.query(7, 12345).scores;
+        let handle = spawn("127.0.0.1:0", session, ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let r = roundtrip(
+            &mut stream,
+            r#"{"id":1,"op":"query","source":7,"seed":12345,"full":true,"k":3}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("seed").unwrap().as_u64(), Some(12345));
+        let scores: Vec<f64> = r
+            .get("scores")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|s| s.as_f64().unwrap())
+            .collect();
+        assert_eq!(scores.len(), direct.len());
+        for (a, b) in scores.iter().zip(direct.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "wire round-trip must be bit-exact");
+        }
+        assert_eq!(r.get("top").unwrap().as_arr().unwrap().len(), 3);
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn mutations_and_stats_over_tcp() {
+        let handle = start();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let q = r#"{"id":1,"op":"query","source":0,"seed":9}"#;
+        let a = roundtrip(&mut stream, q);
+        assert_eq!(a.get("cached").unwrap().as_bool(), Some(false));
+        let b = roundtrip(&mut stream, &q.replace("\"id\":1", "\"id\":2"));
+        assert_eq!(b.get("cached").unwrap().as_bool(), Some(true));
+
+        let m = roundtrip(&mut stream, r#"{"id":3,"op":"insert_edges","edges":[[0,299]]}"#);
+        assert_eq!(m.get("version").unwrap().as_u64(), Some(1));
+        let c = roundtrip(&mut stream, &q.replace("\"id\":1", "\"id\":4"));
+        assert_eq!(
+            c.get("cached").unwrap().as_bool(),
+            Some(false),
+            "mutation must invalidate the cache"
+        );
+        assert_eq!(c.get("version").unwrap().as_u64(), Some(1));
+
+        let s = roundtrip(&mut stream, r#"{"op":"stats"}"#);
+        let stats = s.get("stats").unwrap();
+        assert_eq!(stats.get("queries").unwrap().as_u64(), Some(3));
+        assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(s.get("version").unwrap().as_u64(), Some(1));
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn bad_requests_keep_the_connection_alive() {
+        let handle = start();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let e1 = roundtrip(&mut stream, "not json at all");
+        assert_eq!(e1.get("ok").unwrap().as_bool(), Some(false));
+        let e2 = roundtrip(&mut stream, r#"{"id":5,"op":"query"}"#);
+        assert_eq!(e2.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(e2.get("id").unwrap().as_u64(), Some(5));
+        let e3 = roundtrip(&mut stream, r#"{"id":6,"op":"query","source":999999}"#);
+        assert!(e3.get("error").unwrap().as_str().unwrap().contains("out of range"));
+        let e4 = roundtrip(&mut stream, r#"{"id":7,"op":"frobnicate"}"#);
+        assert!(e4.get("error").unwrap().as_str().unwrap().contains("unknown op"));
+        // Still serving after four errors:
+        let ok = roundtrip(&mut stream, r#"{"id":8,"op":"ping"}"#);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must be green before a change lands.
+#   1. release build of the whole workspace
+#   2. full test suite
+#   3. clippy with warnings promoted to errors
+#
+# The workspace builds offline (external deps resolve to shims/*), so pin
+# CARGO_NET_OFFLINE to keep cargo from ever touching the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -1,0 +1,290 @@
+//! Offline stand-in for `crossbeam`: the two pieces this workspace uses.
+//!
+//! * [`scope`] — scoped threads, delegating to `std::thread::scope` (stable
+//!   since 1.63) behind crossbeam 0.8's callback signature.
+//! * [`channel`] — a multi-producer **multi-consumer** unbounded channel
+//!   (std's `mpsc` is single-consumer, so a worker pool can't share its
+//!   receiver; this one is a `Mutex<VecDeque>` + `Condvar`, which is plenty
+//!   for request queues at service scale).
+
+#![forbid(unsafe_code)]
+
+/// A handle for spawning scoped threads, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn siblings (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns.
+///
+/// Unlike crossbeam, a panicking child propagates as a panic out of `scope`
+/// (std semantics) rather than an `Err` — every call site in this workspace
+/// `expect`s the result, so the observable behaviour is identical.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Multi-producer multi-consumer FIFO channel.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half; cloneable (each message is delivered to exactly one
+    /// receiver).
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// The channel has no connected receivers; the value comes back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and has no connected senders.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a non-blocking receive attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue empty but senders remain.
+        Empty,
+        /// Queue empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Outcome of a bounded-wait receive attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with the queue still empty.
+        Timeout,
+        /// Queue empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails iff every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues, blocking until a message or total sender disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .0
+                    .ready
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking dequeue.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            match st.items.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Dequeue with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .0
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.queue.lock().unwrap_or_else(|e| e.into_inner()).receivers -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = [1, 2, 3];
+        let sum = super::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|_| data.len() as i32);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let n = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn channel_fifo_single_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn channel_multi_consumer_delivers_each_message_once() {
+        let (tx, rx) = unbounded();
+        let n = 1000;
+        let consumers: Vec<_> = (0..4).map(|_| rx.clone()).collect();
+        drop(rx);
+        let total: usize = super::scope(|s| {
+            let handles: Vec<_> = consumers
+                .into_iter()
+                .map(|rx| {
+                    s.spawn(move |_| {
+                        let mut count = 0;
+                        while rx.recv().is_ok() {
+                            count += 1;
+                        }
+                        count
+                    })
+                })
+                .collect();
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+        drop(rx);
+        assert!(tx.send(1).is_err(), "send to no receivers must fail");
+    }
+}

@@ -1,0 +1,395 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: range and
+//! tuple strategies, [`Just`], `prop_map`/`prop_flat_map`,
+//! `collection::{vec, btree_set}`, the [`proptest!`] macro (with
+//! `#![proptest_config(...)]`), and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **No shrinking.** A failing case panics with the `Debug` rendering of
+//!   the generated inputs instead of a minimized counterexample.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its own
+//!   name, so failures reproduce without a regressions file
+//!   (`*.proptest-regressions` files are ignored).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Runner configuration (`cases` only).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies (xorshift64*, seeded per test).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a nonzero-coerced seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed | 1)
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derived strategy applying `f` to every generated value.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derived strategy building a second strategy from every generated
+    /// value and sampling it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// `Vec` strategy: length drawn from `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// `BTreeSet` strategy: tries for a size in `len` (fewer when the value
+    /// domain is too small to reach it).
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.len.clone().generate(rng);
+            let mut set = BTreeSet::new();
+            // Bounded attempts: small value domains may not fill `target`.
+            for _ in 0..target.saturating_mul(8) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Derives the per-test RNG seed from the test's name.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Runs `cases` random cases of a property. Used by [`proptest!`]; exposed
+/// for the macro expansion only.
+pub fn run_cases<F: FnMut(&mut TestRng, u32) -> Result<(), String>>(
+    name: &str,
+    cfg: &ProptestConfig,
+    mut case: F,
+) {
+    let mut rng = TestRng::new(seed_for(name));
+    for i in 0..cfg.cases {
+        if let Err(msg) = case(&mut rng, i) {
+            panic!("property {name} failed on case {i}/{}: {msg}", cfg.cases);
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), &__cfg, |__rng, __case| {
+                    let mut __inputs: Vec<String> = Vec::new();
+                    $(
+                        let __generated = $crate::Strategy::generate(&($strat), __rng);
+                        __inputs.push(format!("{:?}", __generated));
+                        let $pat = __generated;
+                    )+
+                    let __outcome: ::std::result::Result<(), String> = (move || {
+                        $body
+                        Ok(())
+                    })();
+                    __outcome.map_err(|m| format!("{m}\n    inputs: {}", __inputs.join(" | ")))
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Property-test assertion: fails the current case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let x = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_respect_len() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = crate::collection::btree_set(0u32..3, 0..10).generate(&mut rng);
+            assert!(s.len() <= 3, "domain has only 3 values");
+        }
+    }
+
+    #[test]
+    fn seeding_is_stable() {
+        assert_eq!(seed_for("abc"), seed_for("abc"));
+        assert_ne!(seed_for("abc"), seed_for("abd"));
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    fn seed_for(s: &str) -> u64 {
+        crate::seed_for(s)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn macro_composition_works(
+            (n, v) in (1usize..10).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(0u32..100, 0..20))
+            }),
+            x in 0.0f64..1.0,
+        ) {
+            prop_assert!((1..10).contains(&n), "n out of range: {n}");
+            prop_assert!(v.len() < 20);
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_path_compiles(a in 0u8..5) {
+            prop_assert!(a < 5);
+        }
+    }
+}

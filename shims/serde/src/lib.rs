@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace marks types `Serialize`/`Deserialize` as API surface, but no
+//! in-tree code drives a serde serializer (the only wire format is
+//! hand-written NDJSON in `resacc-service`). These are therefore *marker*
+//! traits: zero methods, satisfied by the shim `serde_derive` macros. If a
+//! future change needs real serde data-model plumbing, replace this shim with
+//! the actual crate — every `derive` in the tree is already spelled the
+//! standard way.
+
+#![forbid(unsafe_code)]
+
+// Lets the derive-emitted `impl serde::... for ...` resolve inside this
+// crate's own tests.
+extern crate self as serde;
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(all(test, feature = "derive"))]
+mod tests {
+    #[derive(crate::Serialize, crate::Deserialize)]
+    struct Plain {
+        _a: u32,
+    }
+
+    #[derive(crate::Serialize, crate::Deserialize)]
+    struct Generic<T> {
+        _inner: Vec<T>,
+    }
+
+    fn assert_serialize<T: crate::Serialize>() {}
+
+    #[test]
+    fn derives_emit_marker_impls() {
+        assert_serialize::<Plain>();
+        assert_serialize::<Generic<u8>>();
+    }
+}

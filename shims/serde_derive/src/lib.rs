@@ -1,0 +1,82 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking API
+//! surface but never drives an actual serde serializer (the only wire format
+//! in-tree is hand-written NDJSON). These derives therefore emit the marker
+//! impls for the shim `serde` traits and nothing else. No `syn`/`quote`: we
+//! scrape the type name and generic parameter names out of the raw token
+//! stream by hand, which is sufficient for the `struct Name<T, ...>` shapes
+//! in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_header(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (#[...]) and visibility/keywords until struct/enum.
+    for t in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &t {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next()? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    // Collect simple generic parameter names out of `<...>`, if present.
+    let mut generics = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expect_param = false,
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let s = id.to_string();
+                    if s != "const" {
+                        generics.push(s);
+                        expect_param = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = type_header(input) else {
+        return TokenStream::new();
+    };
+    let impl_line = if generics.is_empty() {
+        format!("impl serde::{trait_name} for {name} {{}}")
+    } else {
+        let g = generics.join(", ");
+        format!("impl<{g}> serde::{trait_name} for {name}<{g}> {{}}")
+    };
+    impl_line.parse().unwrap_or_default()
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// Emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}
