@@ -53,6 +53,7 @@ fn start_server(session: Arc<RwrSession>, workers: usize, cache: usize) -> Serve
             cache_capacity: cache,
             batch_max: 32,
             default_k: 10,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback")
@@ -68,6 +69,7 @@ fn drive(handle: &ServerHandle, requests: u64, connections: usize, per_request: 
         seed: 7,
         per_request_seeds: per_request,
         k: 10,
+        ..LoadgenConfig::default()
     })
     .expect("loadgen run")
 }
@@ -81,6 +83,7 @@ fn replay(session: &Arc<RwrSession>, workers: usize, ids: &[u64]) -> Vec<Vec<f64
             workers,
             cache_capacity: 0,
             batch_max: 32,
+            ..SchedulerConfig::default()
         },
     );
     let tickets: Vec<_> = ids
@@ -90,12 +93,13 @@ fn replay(session: &Arc<RwrSession>, workers: usize, ids: &[u64]) -> Vec<Vec<f64
                 id,
                 source: (id % 911) as u32,
                 seed: None,
+                ..QueryRequest::default()
             })
         })
         .collect();
     tickets
         .into_iter()
-        .map(|t| t.wait().scores.as_ref().clone())
+        .map(|t| t.wait().expect("replay query").scores.as_ref().clone())
         .collect()
 }
 

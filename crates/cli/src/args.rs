@@ -25,6 +25,12 @@ serve options:
   --workers <n>                       query worker threads (default 4)
   --cache <n>                         result-cache capacity (default 1024)
   --batch <n>                         dispatcher micro-batch cap (default 32)
+  --deadline-ms <n>                   default per-query deadline (0 = none)
+  --queue-cap <n>                     shed load beyond this many in-flight
+                                      requests (default 4096; 0 = unbounded)
+  --max-conns <n>                     connection cap (default 256)
+  --chaos <spec>                      fault injection, e.g. panic=10,
+                                      delay=16:5,expire=7,seed=42
 
 loadgen options:
   --addr <addr>                       server to target (default 127.0.0.1:7171)
@@ -32,7 +38,12 @@ loadgen options:
   --connections <n>                   concurrent clients (default 4)
   --zipf <s>                          source skew exponent (default 1.0)
   --sources <n>                       distinct sources drawn (default 64)
-  --per-request-seeds                 unique seed per request (defeats cache)";
+  --per-request-seeds                 unique seed per request (defeats cache)
+  --deadline-ms <n>                   send a deadline with every query
+  --chaos                             expect typed fault errors (report,
+                                      don't fail, on shed/timeout/panic)
+  --shutdown                          shut the server down after the run and
+                                      report drain latency";
 
 /// Subcommands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +86,12 @@ pub struct Cli {
     pub zipf: f64,
     pub sources: u32,
     pub per_request_seeds: bool,
+    pub deadline_ms: u64,
+    pub queue_cap: usize,
+    pub max_conns: usize,
+    pub chaos_spec: Option<String>,
+    pub chaos: bool,
+    pub shutdown_after: bool,
 }
 
 impl Cli {
@@ -113,6 +130,12 @@ impl Cli {
             zipf: 1.0,
             sources: 64,
             per_request_seeds: false,
+            deadline_ms: 0,
+            queue_cap: 4096,
+            max_conns: 256,
+            chaos_spec: None,
+            chaos: false,
+            shutdown_after: false,
         };
         let mut have_source = false;
         let mut have_target = false;
@@ -148,6 +171,19 @@ impl Cli {
                 "--zipf" => cli.zipf = parse_num(&value("--zipf")?, "--zipf")?,
                 "--sources" => cli.sources = parse_num(&value("--sources")?, "--sources")?,
                 "--per-request-seeds" => cli.per_request_seeds = true,
+                "--deadline-ms" => {
+                    cli.deadline_ms = parse_num(&value("--deadline-ms")?, "--deadline-ms")?
+                }
+                "--queue-cap" => cli.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
+                "--max-conns" => cli.max_conns = parse_num(&value("--max-conns")?, "--max-conns")?,
+                // `--chaos` takes a fault spec for `serve` (which injects the
+                // faults) and is a bare flag for `loadgen` (which only
+                // classifies the resulting typed errors).
+                "--chaos" if command == Command::Serve => {
+                    cli.chaos_spec = Some(value("--chaos")?)
+                }
+                "--chaos" => cli.chaos = true,
+                "--shutdown" => cli.shutdown_after = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -255,6 +291,29 @@ mod tests {
 
         assert!(parse("serve --listen 127.0.0.1:0").is_err()); // no graph
         assert!(parse("loadgen --zipf -1").is_err());
+    }
+
+    #[test]
+    fn robustness_flags() {
+        let cli = parse(
+            "serve --graph g.txt --deadline-ms 250 --queue-cap 100 --max-conns 8 --chaos panic=10,seed=7",
+        )
+        .unwrap();
+        assert_eq!(cli.deadline_ms, 250);
+        assert_eq!(cli.queue_cap, 100);
+        assert_eq!(cli.max_conns, 8);
+        assert_eq!(cli.chaos_spec.as_deref(), Some("panic=10,seed=7"));
+        assert!(!cli.chaos, "serve --chaos carries a spec, not the flag");
+
+        let cli = parse("loadgen --chaos --shutdown --deadline-ms 50").unwrap();
+        assert!(cli.chaos);
+        assert!(cli.shutdown_after);
+        assert_eq!(cli.deadline_ms, 50);
+        assert!(cli.chaos_spec.is_none());
+
+        // serve --chaos wants a value.
+        assert!(parse("serve --graph g.txt --chaos").is_err());
+        assert!(parse("serve --graph g.txt --deadline-ms x").is_err());
     }
 
     #[test]

@@ -146,6 +146,10 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
         params,
         ResAccConfig::default(),
     ));
+    let faults = match cli.chaos_spec.as_deref() {
+        Some(spec) => resacc_service::FaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
+        None => resacc_service::FaultPlan::default(),
+    };
     let listener = std::net::TcpListener::bind(&cli.listen)
         .map_err(|e| format!("binding {}: {e}", cli.listen))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -159,6 +163,9 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             cli.cache
         );
     }
+    if !faults.is_empty() {
+        println!("# CHAOS fault plan active: {faults}");
+    }
     println!("listening on {addr}");
     std::io::stdout().flush().ok();
     resacc_service::serve(
@@ -169,6 +176,11 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             cache_capacity: cli.cache,
             batch_max: cli.batch,
             default_k: cli.top,
+            queue_cap: cli.queue_cap,
+            default_deadline_ms: cli.deadline_ms,
+            max_conns: cli.max_conns,
+            faults,
+            ..resacc_service::ServerConfig::default()
         },
     )
     .map_err(|e| format!("serve: {e}"))
@@ -186,9 +198,26 @@ pub fn loadgen(cli: &Cli) -> Result<(), String> {
         seed: cli.seed,
         per_request_seeds: cli.per_request_seeds,
         k: cli.top,
+        deadline_ms: cli.deadline_ms,
+        chaos: cli.chaos,
+        shutdown_after: cli.shutdown_after,
     })
     .map_err(|e| format!("loadgen against {}: {e}", cli.addr))?;
     print!("{}", report.render_text());
+    // Typed fault errors (shed / deadline / panic) are *expected* outcomes
+    // of a chaos run; anything beyond them is a transport or protocol
+    // failure and always fails the run.
+    let typed = report.shed + report.timeouts + report.panics;
+    let hard = report.errors.saturating_sub(typed);
+    if hard > 0 {
+        return Err(format!("{hard} untyped errors (connection or protocol)"));
+    }
+    if !cli.chaos && report.errors > 0 {
+        return Err(format!(
+            "{} errors without --chaos (shed {}, timeouts {}, panics {})",
+            report.errors, report.shed, report.timeouts, report.panics
+        ));
+    }
     Ok(())
 }
 
@@ -220,6 +249,12 @@ mod tests {
             zipf: 1.0,
             sources: 4,
             per_request_seeds: false,
+            deadline_ms: 0,
+            queue_cap: 4096,
+            max_conns: 256,
+            chaos_spec: None,
+            chaos: false,
+            shutdown_after: false,
         }
     }
 

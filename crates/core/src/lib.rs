@@ -54,6 +54,7 @@ pub mod analysis;
 pub mod backward_push;
 pub mod bepi;
 pub mod bippr;
+pub mod cancel;
 pub mod engine;
 pub mod exact;
 pub mod fora;
@@ -74,6 +75,7 @@ pub mod topppr;
 pub mod tpa;
 pub mod walker;
 
+pub use cancel::{Cancel, QueryError};
 pub use engine::SsrwrEngine;
 pub use params::RwrParams;
 pub use session::RwrSession;

@@ -18,6 +18,7 @@
 //! are identical.) Theorem 1 shows the estimate is unbiased; Theorem 3 shows
 //! this walk count meets the `(ε, δ, p_f)` guarantee.
 
+use crate::cancel::{Cancel, QueryError, CHECK_INTERVAL};
 use crate::params::RwrParams;
 use crate::state::ForwardState;
 use crate::walker::Walker;
@@ -72,21 +73,52 @@ pub fn remedy(
     seed: u64,
     scores: &mut [f64],
 ) -> u64 {
+    remedy_cancellable(graph, state, params, walk_scale, seed, scores, &Cancel::never())
+        .expect("never-cancel token cannot abort")
+}
+
+/// [`remedy`] with cooperative cancellation: checks `cancel` between
+/// [`CHECK_INTERVAL`]-sized walk chunks. Chunking consumes the RNG stream
+/// exactly as one large `walk_and_credit` call would, so a run that
+/// *completes* under a deadline is bit-identical to an uncancelled run.
+#[allow(clippy::too_many_arguments)]
+pub fn remedy_cancellable(
+    graph: &CsrGraph,
+    state: &ForwardState,
+    params: &RwrParams,
+    walk_scale: f64,
+    seed: u64,
+    scores: &mut [f64],
+    cancel: &Cancel,
+) -> Result<u64, QueryError> {
     debug_assert_eq!(scores.len(), graph.num_nodes());
     let c = params.walk_coefficient() * walk_scale;
     if c <= 0.0 {
-        return 0;
+        return Ok(0);
     }
     let mut walker = Walker::new(graph, params.alpha, seed);
+    // Amortized across nodes: one real check per CHECK_INTERVAL walks, even
+    // when every node only contributes a handful of walks.
+    let mut until_check = CHECK_INTERVAL as u64;
     for (v, r) in state.nonzero_residues() {
         let walks = (r * c).ceil() as u64;
         if walks == 0 {
             continue;
         }
         let credit = r / walks as f64;
-        walker.walk_and_credit(v, walks, credit, scores);
+        let mut remaining = walks;
+        while remaining > 0 {
+            if until_check == 0 {
+                cancel.check()?;
+                until_check = CHECK_INTERVAL as u64;
+            }
+            let chunk = remaining.min(until_check);
+            walker.walk_and_credit(v, chunk, credit, scores);
+            remaining -= chunk;
+            until_check -= chunk;
+        }
     }
-    walker.walks_taken()
+    Ok(walker.walks_taken())
 }
 
 #[cfg(test)]

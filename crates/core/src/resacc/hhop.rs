@@ -34,6 +34,7 @@
 //! `(h+1)`-hop layer `L_{(h+1)-hop}(s)` — deliberately large values that the
 //! OMFWD phase then settles cheaply (Section V).
 
+use crate::cancel::{Cancel, QueryError};
 use crate::forward_push::{push_at, satisfies_push_condition};
 use crate::state::ForwardState;
 use resacc_graph::{CsrGraph, HopLayers, NodeId};
@@ -82,6 +83,34 @@ pub fn h_hop_fwd(
     use_loop: bool,
     state: &mut ForwardState,
 ) -> HhopOutcome {
+    h_hop_fwd_cancellable(
+        graph,
+        source,
+        alpha,
+        r_max_hop,
+        scope,
+        use_loop,
+        state,
+        &Cancel::never(),
+    )
+    .expect("never-cancel token cannot abort")
+}
+
+/// [`h_hop_fwd`] with cooperative cancellation: the push loop checks
+/// `cancel` every [`crate::cancel::CHECK_INTERVAL`] pushes and aborts with
+/// the typed reason, leaving `state` in an unspecified (but resettable)
+/// condition.
+#[allow(clippy::too_many_arguments)]
+pub fn h_hop_fwd_cancellable(
+    graph: &CsrGraph,
+    source: NodeId,
+    alpha: f64,
+    r_max_hop: f64,
+    scope: Scope,
+    use_loop: bool,
+    state: &mut ForwardState,
+    cancel: &Cancel,
+) -> Result<HhopOutcome, QueryError> {
     assert!(alpha > 0.0 && alpha < 1.0);
     assert!(r_max_hop > 0.0);
     let n = graph.num_nodes();
@@ -98,6 +127,7 @@ pub fn h_hop_fwd(
 
     state.init_source(source);
     let mut pushes: u64 = 0;
+    let mut ticker = cancel.ticker();
 
     // Line 2: the single initial push at the source.
     push_at(graph, state, source, alpha);
@@ -128,6 +158,7 @@ pub fn h_hop_fwd(
         }
         push_at(graph, state, t, alpha);
         pushes += 1;
+        ticker.tick()?;
         for &v in graph.out_neighbors(t) {
             consider(v, state, &mut queue, &mut in_queue);
         }
@@ -168,14 +199,14 @@ pub fn h_hop_fwd(
         Some(l) => (l.boundary().to_vec(), l.hop_set_len()),
         None => (Vec::new(), n),
     };
-    HhopOutcome {
+    Ok(HhopOutcome {
         boundary,
         r1,
         loops,
         scaler,
         pushes,
         hop_set_size,
-    }
+    })
 }
 
 #[cfg(test)]

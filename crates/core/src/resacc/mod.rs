@@ -19,10 +19,11 @@
 pub mod hhop;
 pub mod omfwd;
 
-pub use hhop::{h_hop_fwd, HhopOutcome, Scope};
-pub use omfwd::omfwd;
+pub use hhop::{h_hop_fwd, h_hop_fwd_cancellable, HhopOutcome, Scope};
+pub use omfwd::{omfwd, omfwd_cancellable};
 
-use crate::monte_carlo::remedy;
+use crate::cancel::{Cancel, QueryError};
+use crate::monte_carlo::remedy_cancellable;
 use crate::params::RwrParams;
 use crate::state::ForwardState;
 use resacc_graph::{CsrGraph, NodeId};
@@ -201,6 +202,31 @@ impl ResAcc {
         seed: u64,
         state: &mut ForwardState,
     ) -> ResAccResult {
+        self.query_guarded(graph, source, params, seed, state, &Cancel::never())
+            .expect("never-cancel token cannot abort")
+    }
+
+    /// [`ResAcc::query_with_state`] with source validation and cooperative
+    /// cancellation. Returns [`QueryError::SourceOutOfRange`] without
+    /// touching `state` when `source` does not exist; aborts mid-phase with
+    /// [`QueryError::DeadlineExceeded`] / [`QueryError::Cancelled`] when
+    /// `cancel` fires. A query that *completes* under a cancel token is
+    /// bit-identical to an uncancelled run.
+    pub fn query_guarded(
+        &self,
+        graph: &CsrGraph,
+        source: NodeId,
+        params: &RwrParams,
+        seed: u64,
+        state: &mut ForwardState,
+        cancel: &Cancel,
+    ) -> Result<ResAccResult, QueryError> {
+        if (source as usize) >= graph.num_nodes() {
+            return Err(QueryError::SourceOutOfRange {
+                source,
+                nodes: graph.num_nodes(),
+            });
+        }
         let cfg = &self.config;
         let r_max_f = cfg
             .r_max_f
@@ -213,7 +239,7 @@ impl ResAcc {
         } else {
             Scope::WholeGraph
         };
-        let hhop_out = h_hop_fwd(
+        let hhop_out = h_hop_fwd_cancellable(
             graph,
             source,
             params.alpha,
@@ -221,14 +247,22 @@ impl ResAcc {
             scope,
             cfg.use_loop_accumulation,
             state,
-        );
+            cancel,
+        )?;
         let residue_sum_after_hhop = state.residue_sum();
         let t_hhop = t0.elapsed();
 
         // Phase 2: OMFWD (Algorithm 2 line 4).
         let t1 = Instant::now();
         let omfwd_stats = if cfg.use_omfwd {
-            omfwd(graph, params.alpha, r_max_f, &hhop_out.boundary, state)
+            omfwd_cancellable(
+                graph,
+                params.alpha,
+                r_max_f,
+                &hhop_out.boundary,
+                state,
+                cancel,
+            )?
         } else {
             crate::forward_push::PushStats::default()
         };
@@ -238,10 +272,18 @@ impl ResAcc {
         // Phase 3: remedy (Algorithm 2 lines 5–17).
         let t2 = Instant::now();
         let mut scores = state.scores();
-        let walks = remedy(graph, state, params, cfg.walk_scale, seed, &mut scores);
+        let walks = remedy_cancellable(
+            graph,
+            state,
+            params,
+            cfg.walk_scale,
+            seed,
+            &mut scores,
+            cancel,
+        )?;
         let t_remedy = t2.elapsed();
 
-        ResAccResult {
+        Ok(ResAccResult {
             scores,
             timings: PhaseTimings {
                 hhop: t_hhop,
@@ -256,7 +298,7 @@ impl ResAcc {
             loops: hhop_out.loops,
             scaler: hhop_out.scaler,
             hop_set_size: hhop_out.hop_set_size,
-        }
+        })
     }
 }
 

@@ -8,6 +8,7 @@
 //! shrinking the total residue `r_sum` — and therefore the number of remedy
 //! walks — by orders of magnitude.
 
+use crate::cancel::{Cancel, QueryError};
 use crate::forward_push::{push_at, satisfies_push_condition, PushStats};
 use crate::state::ForwardState;
 use resacc_graph::{CsrGraph, NodeId};
@@ -30,6 +31,20 @@ pub fn omfwd(
     boundary: &[NodeId],
     state: &mut ForwardState,
 ) -> PushStats {
+    omfwd_cancellable(graph, alpha, r_max_f, boundary, state, &Cancel::never())
+        .expect("never-cancel token cannot abort")
+}
+
+/// [`omfwd`] with cooperative cancellation: checks `cancel` every
+/// [`crate::cancel::CHECK_INTERVAL`] pushes and aborts with the typed error.
+pub fn omfwd_cancellable(
+    graph: &CsrGraph,
+    alpha: f64,
+    r_max_f: f64,
+    boundary: &[NodeId],
+    state: &mut ForwardState,
+    cancel: &Cancel,
+) -> Result<PushStats, QueryError> {
     assert!(alpha > 0.0 && alpha < 1.0);
     assert!(r_max_f > 0.0);
     let mut stats = PushStats::default();
@@ -61,12 +76,14 @@ pub fn omfwd(
     }
 
     // Lines 2–9.
+    let mut ticker = cancel.ticker();
     while let Some(t) = queue.pop_front() {
         in_queue[t as usize] = false;
         if state.residue(t) <= 0.0 {
             continue;
         }
         stats.pushes += 1;
+        ticker.tick()?;
         stats.edge_updates += push_at(graph, state, t, alpha);
         for &v in graph.out_neighbors(t) {
             if !in_queue[v as usize] && satisfies_push_condition(graph, state, v, r_max_f) {
@@ -75,7 +92,7 @@ pub fn omfwd(
             }
         }
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 //!   Downstream caches key results by `(source, params, version)` so a bump
 //!   implicitly invalidates every cached result (see `resacc-service`).
 
+use crate::cancel::{Cancel, QueryError};
 use crate::params::RwrParams;
 use crate::resacc::{ResAcc, ResAccConfig, ResAccResult};
 use crate::state::ForwardState;
@@ -133,15 +134,37 @@ impl RwrSession {
     /// thread is waiting — callers that cache results by version need this
     /// to avoid stamping a result with a neighbouring version.
     pub fn query_versioned(&self, source: NodeId, seed: u64) -> (ResAccResult, u64) {
+        self.try_query_versioned(source, seed, &Cancel::never())
+            .expect("never-cancel token cannot abort and sources are caller-validated")
+    }
+
+    /// The fallible query path: validates `source` against the node count
+    /// **under the same read lock the query runs under** (so a concurrent
+    /// [`RwrSession::delete_node`] / future node-removing mutation cannot
+    /// invalidate the check between validation and execution), and honours a
+    /// cooperative [`Cancel`] token. Returns the typed [`QueryError`] on
+    /// out-of-range sources, deadline expiry, or explicit cancellation; the
+    /// checked-out workspace is reset and returned to the pool either way.
+    pub fn try_query_versioned(
+        &self,
+        source: NodeId,
+        seed: u64,
+        cancel: &Cancel,
+    ) -> Result<(ResAccResult, u64), QueryError> {
         let state = self.state.read();
         let version = self.version.load(Ordering::Acquire);
         let mut ws = self.checkout(state.graph.num_nodes());
         let result = self
             .engine
-            .query_with_state(&state.graph, source, &state.params, seed, &mut ws);
+            .query_guarded(&state.graph, source, &state.params, seed, &mut ws, cancel);
         drop(state);
+        if result.is_err() {
+            // An aborted query leaves mid-phase residues behind; scrub them
+            // so the next checkout starts clean.
+            ws.reset();
+        }
         self.check_in(ws);
-        (result, version)
+        result.map(|r| (r, version))
     }
 
     /// The `k` most relevant nodes w.r.t. `source`.
@@ -303,6 +326,56 @@ mod tests {
         })
         .unwrap();
         assert_eq!(session.version(), 40);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_typed_error() {
+        let session = RwrSession::new(gen::barabasi_albert(5_000, 4, 2));
+        let already_expired = Cancel::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = session.try_query_versioned(0, 1, &already_expired).unwrap_err();
+        assert_eq!(err, QueryError::DeadlineExceeded);
+        // The session (and its workspace pool) is immediately reusable, and
+        // the aborted run leaves no residue behind to corrupt the result.
+        let clean = session.query(0, 1).scores;
+        let fresh = RwrSession::new(gen::barabasi_albert(5_000, 4, 2))
+            .query(0, 1)
+            .scores;
+        assert_eq!(clean, fresh, "abort must not leak workspace state");
+    }
+
+    #[test]
+    fn completing_under_deadline_is_bit_identical() {
+        let session = RwrSession::new(gen::barabasi_albert(400, 3, 6));
+        let (plain, v1) = session.query_versioned(9, 42);
+        let generous = Cancel::after(std::time::Duration::from_secs(3600));
+        let (guarded, v2) = session.try_query_versioned(9, 42, &generous).unwrap();
+        assert_eq!(plain.scores, guarded.scores);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn out_of_range_source_is_typed_not_panic() {
+        let session = RwrSession::new(gen::cycle(10));
+        let err = session
+            .try_query_versioned(10, 1, &Cancel::never())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::SourceOutOfRange {
+                source: 10,
+                nodes: 10
+            }
+        );
+        assert_eq!(err.to_string(), "source 10 out of range (n = 10)");
+    }
+
+    #[test]
+    fn manual_cancel_aborts_inflight_style_token() {
+        let session = RwrSession::new(gen::barabasi_albert(2_000, 4, 3));
+        let token = Cancel::manual();
+        token.cancel();
+        let err = session.try_query_versioned(0, 7, &token).unwrap_err();
+        assert_eq!(err, QueryError::Cancelled);
     }
 
     #[test]

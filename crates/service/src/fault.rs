@@ -1,0 +1,169 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] describes which requests the scheduler should sabotage,
+//! keyed purely by **request id** — the same id stream always produces the
+//! same faults, so a chaos run is replayable and its fault count is exactly
+//! predictable (the acceptance gate for the `panics` metric relies on
+//! this). Faults are injected at the scheduler boundary, *around* the
+//! engine: the engine itself is never modified, so a request that is not
+//! selected by the plan computes bit-identical results with or without
+//! chaos enabled.
+//!
+//! The plan is configuration, not code: it parses from a compact spec
+//! (`panic=10,delay=16:5,expire=7`) carried by `rwr serve --chaos` and is
+//! intended for tests, load generation, and benchmarks only — production
+//! deployments simply never pass the flag.
+
+use std::time::Duration;
+
+/// Which faults to inject, keyed by request id.
+///
+/// Each `*_every` field selects ids where `id % every == 0` (so id 0 is
+/// always selected when a fault is enabled — convenient for unit tests).
+/// `0` disables that fault class entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Replay label recorded in reports; does not affect fault selection.
+    pub seed: u64,
+    /// Panic inside the worker on every `panic_every`-th id.
+    pub panic_every: u64,
+    /// Sleep `delay_ms` before computing on every `delay_every`-th id.
+    pub delay_every: u64,
+    /// Artificial latency applied by `delay_every`.
+    pub delay_ms: u64,
+    /// Force the deadline already-expired on every `expire_every`-th id.
+    pub expire_every: u64,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panic_every == 0 && self.delay_every == 0 && self.expire_every == 0
+    }
+
+    /// Should this request panic inside the worker?
+    pub fn should_panic(&self, id: u64) -> bool {
+        self.panic_every != 0 && id.is_multiple_of(self.panic_every)
+    }
+
+    /// Artificial latency for this request, if any.
+    pub fn delay_for(&self, id: u64) -> Option<Duration> {
+        (self.delay_every != 0 && id.is_multiple_of(self.delay_every))
+            .then(|| Duration::from_millis(self.delay_ms))
+    }
+
+    /// Should this request's deadline be forced already-expired?
+    pub fn should_expire(&self, id: u64) -> bool {
+        self.expire_every != 0 && id.is_multiple_of(self.expire_every)
+    }
+
+    /// Parses a spec like `panic=10,delay=16:5,expire=7,seed=42`.
+    ///
+    /// * `panic=N` — panic every `N`-th id
+    /// * `delay=N:MS` — sleep `MS` ms every `N`-th id
+    /// * `expire=N` — force deadline expiry every `N`-th id
+    /// * `seed=S` — replay label
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec term missing '=': {part:?}"))?;
+            let int = |s: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("fault spec value not a number: {s:?}"))
+            };
+            match key {
+                "panic" => plan.panic_every = int(value)?,
+                "delay" => {
+                    let (every, ms) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("delay wants N:MS, got {value:?}"))?;
+                    plan.delay_every = int(every)?;
+                    plan.delay_ms = int(ms)?;
+                }
+                "expire" => plan.expire_every = int(value)?,
+                "seed" => plan.seed = int(value)?,
+                other => return Err(format!("unknown fault spec key: {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.panic_every != 0 {
+            parts.push(format!("panic={}", self.panic_every));
+        }
+        if self.delay_every != 0 {
+            parts.push(format!("delay={}:{}", self.delay_every, self.delay_ms));
+        }
+        if self.expire_every != 0 {
+            parts.push(format!("expire={}", self.expire_every));
+        }
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert!(p.is_empty());
+        for id in 0..100 {
+            assert!(!p.should_panic(id));
+            assert!(!p.should_expire(id));
+            assert!(p.delay_for(id).is_none());
+        }
+    }
+
+    #[test]
+    fn selection_is_modular_and_deterministic() {
+        let p = FaultPlan {
+            panic_every: 10,
+            delay_every: 4,
+            delay_ms: 7,
+            expire_every: 3,
+            ..Default::default()
+        };
+        assert!(p.should_panic(0) && p.should_panic(10) && !p.should_panic(11));
+        assert_eq!(p.delay_for(8), Some(Duration::from_millis(7)));
+        assert_eq!(p.delay_for(9), None);
+        assert!(p.should_expire(9) && !p.should_expire(10));
+        let faulted: Vec<u64> = (1..=100).filter(|&i| p.should_panic(i)).collect();
+        assert_eq!(faulted, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let p = FaultPlan::parse("panic=10,delay=16:5,expire=7,seed=42").unwrap();
+        assert_eq!(
+            p,
+            FaultPlan {
+                seed: 42,
+                panic_every: 10,
+                delay_every: 16,
+                delay_ms: 5,
+                expire_every: 7,
+            }
+        );
+        assert_eq!(FaultPlan::parse(&p.to_string()).unwrap(), p);
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("panic=x").is_err());
+        assert!(FaultPlan::parse("delay=10").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+    }
+}

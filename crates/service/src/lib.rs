@@ -21,14 +21,20 @@
 //!   the session version in the key.
 //! * [`metrics`] — lock-free counters and latency histograms with a
 //!   [`metrics::Metrics::snapshot`] API.
-//! * [`server`] — newline-delimited-JSON-over-TCP front end (std only).
-//! * [`loadgen`] — Zipfian closed-loop load generator for the server.
+//! * [`server`] — newline-delimited-JSON-over-TCP front end (std only),
+//!   with bounded reads, idle timeouts, a connection cap, and graceful
+//!   drain shutdown.
+//! * [`loadgen`] — Zipfian closed-loop load generator for the server,
+//!   including a chaos mode for fault-injection runs.
+//! * [`fault`] — deterministic, request-id-keyed fault injection
+//!   (panics, latency, forced expiry) for robustness testing.
 //! * [`json`] — the minimal JSON codec behind the wire format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
@@ -36,9 +42,11 @@ pub mod scheduler;
 pub mod server;
 
 pub use cache::{CompKey, ResultCache};
+pub use fault::FaultPlan;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use scheduler::{
-    effective_seed, splitmix64, QueryRequest, QueryResponse, Scheduler, SchedulerConfig,
+    effective_seed, splitmix64, ErrorKind, QueryRequest, QueryResponse, Scheduler,
+    SchedulerConfig, ServiceError,
 };
 pub use server::{serve, spawn, ServerConfig, ServerHandle};
 

@@ -47,6 +47,16 @@ pub struct LoadgenConfig {
     pub per_request_seeds: bool,
     /// `k` sent with each query.
     pub k: usize,
+    /// `deadline_ms` sent with each query (0 = none).
+    pub deadline_ms: u64,
+    /// Chaos mode: typed error responses (`overloaded`,
+    /// `deadline_exceeded`, `internal_panic`) are *expected* outcomes of a
+    /// fault-injection run — they are classified and reported rather than
+    /// treated as load-generator failures. Every request must still get
+    /// exactly one response; missing responses remain hard errors.
+    pub chaos: bool,
+    /// Send `{"op":"shutdown"}` after the run and measure the drain.
+    pub shutdown_after: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -60,6 +70,9 @@ impl Default for LoadgenConfig {
             seed: 1,
             per_request_seeds: false,
             k: 10,
+            deadline_ms: 0,
+            chaos: false,
+            shutdown_after: false,
         }
     }
 }
@@ -69,8 +82,18 @@ impl Default for LoadgenConfig {
 pub struct LoadgenReport {
     /// Queries completed successfully.
     pub completed: u64,
-    /// Queries that failed (connection or protocol errors).
+    /// Queries that failed (connection or protocol errors, plus typed
+    /// errors — the typed classes are also broken out below).
     pub errors: u64,
+    /// `overloaded` (shed) responses.
+    pub shed: u64,
+    /// `deadline_exceeded` responses.
+    pub timeouts: u64,
+    /// `internal_panic` responses.
+    pub panics: u64,
+    /// Time from sending `shutdown` to the listener going away,
+    /// milliseconds. Only set when `shutdown_after` was requested.
+    pub drain_ms: Option<f64>,
     /// Wall-clock run time, seconds.
     pub elapsed_secs: f64,
     /// Completed queries per second.
@@ -92,14 +115,18 @@ pub struct LoadgenReport {
 impl LoadgenReport {
     /// Human-readable summary.
     pub fn render_text(&self) -> String {
-        format!(
+        let mut out = format!(
             "completed   {:>10}  ({} errors)\n\
+             faults      {:>10} shed / {} timeouts / {} panics\n\
              elapsed     {:>10.2} s\n\
              throughput  {:>10.1} q/s\n\
              latency     mean {:.3} ms · p50 {:.3} ms · p95 {:.3} ms · p99 {:.3} ms\n\
              server      hit rate {:.1}% · {} coalesced\n",
             self.completed,
             self.errors,
+            self.shed,
+            self.timeouts,
+            self.panics,
             self.elapsed_secs,
             self.qps,
             self.mean_ms,
@@ -108,7 +135,11 @@ impl LoadgenReport {
             self.p99_ms,
             self.server_hit_rate * 100.0,
             self.server_coalesced,
-        )
+        );
+        if let Some(drain) = self.drain_ms {
+            out.push_str(&format!("drain       {drain:>10.1} ms\n"));
+        }
+        out
     }
 }
 
@@ -199,6 +230,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let zipf = Arc::new(Zipf::new(config.sources, config.zipf_s));
     let latency = Arc::new(Histogram::new());
     let errors = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let timeouts = Arc::new(AtomicU64::new(0));
+    let panics = Arc::new(AtomicU64::new(0));
     let connections = config.connections.max(1) as u64;
     let started = Instant::now();
 
@@ -211,6 +245,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             let zipf = zipf.clone();
             let latency = latency.clone();
             let errors = errors.clone();
+            let shed = shed.clone();
+            let timeouts = timeouts.clone();
+            let panics = panics.clone();
             let config = config.clone();
             scope.spawn(move || {
                 let mut rng = Rng(splitmix64(config.seed ^ (t + 1)));
@@ -228,22 +265,42 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                         } else {
                             splitmix64(config.seed ^ u64::from(source))
                         };
+                        let deadline = if config.deadline_ms > 0 {
+                            format!(",\"deadline_ms\":{}", config.deadline_ms)
+                        } else {
+                            String::new()
+                        };
                         let request = format!(
-                            "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}}}\n",
+                            "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}}}\n",
                             config.k
                         );
                         let sent = Instant::now();
                         stream.write_all(request.as_bytes())?;
                         line.clear();
-                        reader.read_line(&mut line)?;
-                        let ok = Json::parse(line.trim())
-                            .ok()
+                        if reader.read_line(&mut line)? == 0 {
+                            // A missing response is never acceptable, chaos
+                            // or not: surface it as a hard error.
+                            return Err(std::io::Error::other("connection closed mid-request"));
+                        }
+                        let response = Json::parse(line.trim()).ok();
+                        let ok = response
+                            .as_ref()
                             .and_then(|j| j.get("ok").and_then(Json::as_bool))
                             .unwrap_or(false);
                         if ok {
                             latency.record(sent.elapsed().as_nanos() as u64);
                         } else {
                             errors.fetch_add(1, Ordering::Relaxed);
+                            let code = response
+                                .as_ref()
+                                .and_then(|j| j.get("error").and_then(Json::as_str))
+                                .unwrap_or("");
+                            match code {
+                                "overloaded" => shed.fetch_add(1, Ordering::Relaxed),
+                                "deadline_exceeded" => timeouts.fetch_add(1, Ordering::Relaxed),
+                                "internal_panic" => panics.fetch_add(1, Ordering::Relaxed),
+                                _ => 0,
+                            };
                         }
                     }
                     Ok(())
@@ -260,10 +317,19 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     let completed = latency.count();
     let (server_hit_rate, server_coalesced) = fetch_cache_stats(&config.addr);
+    let drain_ms = if config.shutdown_after {
+        Some(shutdown_and_measure_drain(&config.addr)?)
+    } else {
+        None
+    };
     const MS: f64 = 1e6;
     Ok(LoadgenReport {
         completed,
         errors: errors.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        timeouts: timeouts.load(Ordering::Relaxed),
+        panics: panics.load(Ordering::Relaxed),
+        drain_ms,
         elapsed_secs: elapsed,
         qps: completed as f64 / elapsed,
         mean_ms: latency.mean() / MS,
@@ -273,6 +339,27 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         server_hit_rate,
         server_coalesced,
     })
+}
+
+/// Sends `{"op":"shutdown"}` (retrying if the connection cap races the
+/// just-closed load connections) and measures how long the server takes to
+/// finish draining (observed as the listener going away), in milliseconds.
+fn shutdown_and_measure_drain(addr: &str) -> std::io::Result<f64> {
+    let started = Instant::now();
+    crate::server::request_shutdown(addr)?;
+    // The listener closes when `serve` returns — i.e. once every connection
+    // handler has drained and been joined.
+    let cap = std::time::Duration::from_secs(10);
+    while started.elapsed() < cap {
+        match TcpStream::connect(addr) {
+            Ok(probe) => {
+                drop(probe);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(started.elapsed().as_secs_f64() * 1e3)
 }
 
 #[cfg(test)]

@@ -110,8 +110,22 @@ pub struct Metrics {
     pub mutations: AtomicU64,
     /// Malformed or failed requests.
     pub errors: AtomicU64,
+    /// Requests refused at admission because the submission queue was full.
+    pub shed: AtomicU64,
+    /// Queries aborted by deadline expiry (admission-time or in-engine).
+    pub timeouts: AtomicU64,
+    /// Worker panics caught and converted into error responses.
+    pub panics: AtomicU64,
+    /// Connections refused because the connection cap was reached.
+    pub rejected_conns: AtomicU64,
+    /// `accept()` failures observed by the listener loop.
+    pub accept_errors: AtomicU64,
     /// End-to-end latency per query, nanoseconds (enqueue → response).
     pub latency: Histogram,
+    /// End-to-end latency of *failed* queries (shed/timeout/panic),
+    /// nanoseconds — kept separate so overload spikes don't pollute the
+    /// success percentiles.
+    pub latency_err: Histogram,
     /// Cumulative h-HopFWD phase time, nanoseconds (computed queries only).
     pub phase_hhop_ns: AtomicU64,
     /// Cumulative OMFWD phase time, nanoseconds.
@@ -137,6 +151,16 @@ pub struct MetricsSnapshot {
     pub mutations: u64,
     /// Errors.
     pub errors: u64,
+    /// Load-shed requests.
+    pub shed: u64,
+    /// Deadline-exceeded queries.
+    pub timeouts: u64,
+    /// Caught worker panics.
+    pub panics: u64,
+    /// Connections refused at the cap.
+    pub rejected_conns: u64,
+    /// Listener accept failures.
+    pub accept_errors: u64,
     /// Queries per second over the whole uptime.
     pub qps: f64,
     /// Cache hit rate in [0, 1]; 0 when no lookups happened.
@@ -149,6 +173,10 @@ pub struct MetricsSnapshot {
     pub p95_ms: f64,
     /// 99th-percentile latency, milliseconds.
     pub p99_ms: f64,
+    /// Mean latency of failed requests, milliseconds.
+    pub err_mean_ms: f64,
+    /// 99th-percentile latency of failed requests, milliseconds.
+    pub err_p99_ms: f64,
     /// Cumulative per-phase engine time, milliseconds.
     pub phase_ms: [f64; 3],
 }
@@ -164,7 +192,13 @@ impl Metrics {
             coalesced: AtomicU64::new(0),
             mutations: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            rejected_conns: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
             latency: Histogram::new(),
+            latency_err: Histogram::new(),
             phase_hhop_ns: AtomicU64::new(0),
             phase_omfwd_ns: AtomicU64::new(0),
             phase_remedy_ns: AtomicU64::new(0),
@@ -187,6 +221,11 @@ impl Metrics {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             mutations: self.mutations.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            rejected_conns: self.rejected_conns.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
             qps: queries as f64 / uptime,
             hit_rate: if lookups == 0 {
                 0.0
@@ -197,6 +236,8 @@ impl Metrics {
             p50_ms: self.latency.quantile(0.50) / MS,
             p95_ms: self.latency.quantile(0.95) / MS,
             p99_ms: self.latency.quantile(0.99) / MS,
+            err_mean_ms: self.latency_err.mean() / MS,
+            err_p99_ms: self.latency_err.quantile(0.99) / MS,
             phase_ms: [
                 self.phase_hhop_ns.load(Ordering::Relaxed) as f64 / MS,
                 self.phase_omfwd_ns.load(Ordering::Relaxed) as f64 / MS,
@@ -223,12 +264,19 @@ impl MetricsSnapshot {
             ("coalesced".into(), Json::u64(self.coalesced)),
             ("mutations".into(), Json::u64(self.mutations)),
             ("errors".into(), Json::u64(self.errors)),
+            ("shed".into(), Json::u64(self.shed)),
+            ("timeouts".into(), Json::u64(self.timeouts)),
+            ("panics".into(), Json::u64(self.panics)),
+            ("rejected_conns".into(), Json::u64(self.rejected_conns)),
+            ("accept_errors".into(), Json::u64(self.accept_errors)),
             ("qps".into(), Json::f64(self.qps)),
             ("hit_rate".into(), Json::f64(self.hit_rate)),
             ("mean_ms".into(), Json::f64(self.mean_ms)),
             ("p50_ms".into(), Json::f64(self.p50_ms)),
             ("p95_ms".into(), Json::f64(self.p95_ms)),
             ("p99_ms".into(), Json::f64(self.p99_ms)),
+            ("err_mean_ms".into(), Json::f64(self.err_mean_ms)),
+            ("err_p99_ms".into(), Json::f64(self.err_p99_ms)),
             ("phase_hhop_ms".into(), Json::f64(self.phase_ms[0])),
             ("phase_omfwd_ms".into(), Json::f64(self.phase_ms[1])),
             ("phase_remedy_ms".into(), Json::f64(self.phase_ms[2])),
@@ -245,7 +293,10 @@ impl MetricsSnapshot {
              coalesced   {:>10}\n\
              mutations   {:>10}\n\
              errors      {:>10}\n\
+             overload    {:>10} shed / {} timeouts / {} panics\n\
+             listener    {:>10} rejected conns / {} accept errors\n\
              latency     mean {:.3} ms · p50 {:.3} ms · p95 {:.3} ms · p99 {:.3} ms\n\
+             err latency mean {:.3} ms · p99 {:.3} ms\n\
              phase time  hhop {:.1} ms · omfwd {:.1} ms · remedy {:.1} ms\n",
             self.uptime_secs,
             self.queries,
@@ -256,10 +307,17 @@ impl MetricsSnapshot {
             self.coalesced,
             self.mutations,
             self.errors,
+            self.shed,
+            self.timeouts,
+            self.panics,
+            self.rejected_conns,
+            self.accept_errors,
             self.mean_ms,
             self.p50_ms,
             self.p95_ms,
             self.p99_ms,
+            self.err_mean_ms,
+            self.err_p99_ms,
             self.phase_ms[0],
             self.phase_ms[1],
             self.phase_ms[2],

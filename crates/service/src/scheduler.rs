@@ -1,10 +1,12 @@
-//! Request queue, micro-batching dispatcher, and worker pool.
+//! Request queue, micro-batching dispatcher, and worker pool — with
+//! admission control, per-request deadlines, and panic isolation.
 //!
 //! ```text
-//!   submit() ──► request queue ──► dispatcher ──► job queue ──► workers
-//!                                     │                           │
-//!                                     ├─ cache hit → reply        ├─ session.query_versioned()
-//!                                     └─ coalesce onto in-flight  └─ fill cache, reply to all
+//!   submit() ─▷ admission ──► request queue ──► dispatcher ──► job queue ──► workers
+//!                  │                               │                           │
+//!                  └─ queue full → shed            ├─ expired → timeout        ├─ catch_unwind
+//!                                                  ├─ cache hit → reply        ├─ session.try_query_versioned(cancel)
+//!                                                  └─ coalesce onto in-flight  └─ fill cache, reply to all
 //! ```
 //!
 //! The dispatcher drains the request queue in micro-batches (one blocking
@@ -15,6 +17,36 @@
 //! the engine's output depends on: source, parameters, graph version, and
 //! RNG seed.
 //!
+//! ## Failure model
+//!
+//! Every submitted request receives **exactly one** response: a
+//! [`QueryResponse`] or a typed [`ServiceError`]. The error taxonomy:
+//!
+//! * [`ErrorKind::Overloaded`] — refused at admission: more than
+//!   `queue_cap` requests were already unanswered. Carries a
+//!   `retry_after_ms` backoff hint. Shedding at the door keeps queue wait
+//!   out of the latency distribution under overload.
+//! * [`ErrorKind::DeadlineExceeded`] — the request's deadline passed,
+//!   either while queued (checked at dispatch) or mid-computation (the
+//!   engine aborts cooperatively via [`resacc::Cancel`] within
+//!   [`resacc::cancel::CHECK_INTERVAL`] operations).
+//! * [`ErrorKind::InternalPanic`] — the computation panicked. The panic is
+//!   caught at the worker boundary (`catch_unwind`), every waiter is
+//!   answered, the `panics` counter is bumped, and the worker keeps
+//!   serving — one poisoned query can never wedge coalesced waiters or
+//!   shrink the pool.
+//! * [`ErrorKind::SourceOutOfRange`] — the source node does not exist at
+//!   execution time. Validated *inside* the session read lock, so a
+//!   concurrent `delete_node` between submission and execution is caught
+//!   (the classic TOCTOU the wire-level check cannot close).
+//!
+//! **Deadline semantics under coalescing:** a computation runs under the
+//! deadline of the request that *started* it (the leader). Followers share
+//! its outcome — including a timeout — and a follower with a stricter
+//! deadline than its leader is not aborted early. Workloads that need
+//! exact per-request deadlines should use per-request seeds, which make
+//! every request its own leader.
+//!
 //! ## Determinism contract
 //!
 //! A request's effective seed is `seed` if the client provided one, else
@@ -22,21 +54,27 @@
 //! affect only *when* a computation runs, never *what* it computes — so
 //! replaying the same request ids yields bit-identical score vectors on
 //! 1 worker or 16. (Graph mutations are the caller's to order; determinism
-//! is stated for a fixed graph version.)
+//! is stated for a fixed graph version.) Deadlines and fault injection
+//! preserve this: a query that completes computes exactly what it would
+//! have computed without a deadline, and faults select by request id, so a
+//! non-faulted id stream replays bit-identically under any [`FaultPlan`].
 
 use crate::cache::{CompKey, ResultCache};
+use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
 use crate::params_hash;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
-use resacc::RwrSession;
+use resacc::{Cancel, QueryError, RwrSession};
 use resacc_graph::NodeId;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One SSRWR query to schedule.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct QueryRequest {
     /// Client-chosen request id; also the default seed material.
     pub id: u64,
@@ -44,6 +82,8 @@ pub struct QueryRequest {
     pub source: NodeId,
     /// Explicit RNG seed; `None` derives one from `id`.
     pub seed: Option<u64>,
+    /// Absolute deadline; `None` falls back to the scheduler's default.
+    pub deadline: Option<Instant>,
 }
 
 /// A completed query.
@@ -66,19 +106,82 @@ pub struct QueryResponse {
     pub latency_ns: u64,
 }
 
-/// Handle to a submitted request; [`Ticket::wait`] blocks for the response.
+/// Machine-readable failure class (the wire `error` field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Refused at admission: the submission queue is full.
+    Overloaded,
+    /// The request's deadline passed before a result was produced.
+    DeadlineExceeded,
+    /// The computation panicked; caught and contained at the worker.
+    InternalPanic,
+    /// The source node does not exist (validated at execution time).
+    SourceOutOfRange,
+}
+
+impl ErrorKind {
+    /// The wire error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::InternalPanic => "internal_panic",
+            ErrorKind::SourceOutOfRange => "source out of range",
+        }
+    }
+}
+
+/// A typed failure response; every submitted request gets exactly one
+/// [`QueryResponse`] or one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Failure class.
+    pub kind: ErrorKind,
+    /// Human-oriented detail (may be empty).
+    pub detail: String,
+    /// Backoff hint, only for [`ErrorKind::Overloaded`].
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ServiceError {
+    fn new(id: u64, kind: ErrorKind, detail: impl Into<String>) -> Self {
+        ServiceError {
+            id,
+            kind,
+            detail: detail.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind.code())?;
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Handle to a submitted request; [`Ticket::wait`] blocks for the outcome.
 pub struct Ticket {
-    rx: Receiver<QueryResponse>,
+    rx: Receiver<Result<QueryResponse, ServiceError>>,
 }
 
 impl Ticket {
-    /// Blocks until the response arrives.
+    /// Blocks until the response (or typed error) arrives.
     ///
     /// # Panics
     ///
-    /// Panics if the scheduler shut down before answering — that is a bug,
-    /// not a load condition: shutdown drains the queues first.
-    pub fn wait(self) -> QueryResponse {
+    /// Panics if the scheduler shut down without answering — that is a bug,
+    /// not a load condition: shutdown drains the queues first, and worker
+    /// panics are caught and converted into [`ErrorKind::InternalPanic`].
+    pub fn wait(self) -> Result<QueryResponse, ServiceError> {
         self.rx.recv().expect("scheduler dropped a pending request")
     }
 }
@@ -92,6 +195,14 @@ pub struct SchedulerConfig {
     pub cache_capacity: usize,
     /// Maximum requests pulled per dispatch batch.
     pub batch_max: usize,
+    /// Maximum unanswered requests before admission sheds (0 = unbounded).
+    pub queue_cap: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Backoff hint attached to shed responses.
+    pub retry_after_ms: u64,
+    /// Fault-injection plan (tests / load generation only).
+    pub faults: FaultPlan,
 }
 
 impl Default for SchedulerConfig {
@@ -100,45 +211,116 @@ impl Default for SchedulerConfig {
             workers: 4,
             cache_capacity: 1024,
             batch_max: 32,
+            queue_cap: 4096,
+            default_deadline: None,
+            retry_after_ms: 50,
+            faults: FaultPlan::default(),
         }
     }
 }
 
+type Reply = Sender<Result<QueryResponse, ServiceError>>;
+
 struct Pending {
     request: QueryRequest,
+    deadline: Option<Instant>,
     enqueued: Instant,
-    reply: Sender<QueryResponse>,
-}
-
-struct Job {
-    key: CompKey,
+    reply: Reply,
 }
 
 struct Waiter {
     id: u64,
     enqueued: Instant,
-    reply: Sender<QueryResponse>,
+    reply: Reply,
     /// False for the request that triggered the computation, true for
     /// coalesced followers (reported as `cached` in their responses).
     follower: bool,
 }
 
+struct Job {
+    key: CompKey,
+    /// Cancellation token honouring the leader's deadline.
+    cancel: Cancel,
+    /// Artificial latency from the fault plan (leader-keyed).
+    delay: Option<Duration>,
+    /// Inject a panic instead of computing (leader-keyed).
+    fault_panic: bool,
+    /// Panic-fault jobs bypass cache and coalescing and carry their sole
+    /// waiter inline, so a sabotaged request can never poison a shared
+    /// computation.
+    direct: Option<Waiter>,
+}
+
 type InflightMap = Mutex<HashMap<CompKey, Vec<Waiter>>>;
+
+/// Book-keeping shared by every reply site: one decrement of the load
+/// gauge and one latency sample per answered request, success or not.
+struct ReplyCtx {
+    metrics: Arc<Metrics>,
+    load: Arc<AtomicU64>,
+}
+
+impl ReplyCtx {
+    fn send_ok(&self, waiter_reply: &Reply, response: QueryResponse) {
+        self.metrics.queries.fetch_add(1, Relaxed);
+        self.metrics.latency.record(response.latency_ns);
+        self.load.fetch_sub(1, Relaxed);
+        let _ = waiter_reply.send(Ok(response));
+    }
+
+    fn send_err(&self, waiter_reply: &Reply, enqueued: Instant, error: ServiceError) {
+        self.metrics.errors.fetch_add(1, Relaxed);
+        if error.kind == ErrorKind::DeadlineExceeded {
+            self.metrics.timeouts.fetch_add(1, Relaxed);
+        }
+        self.metrics
+            .latency_err
+            .record(enqueued.elapsed().as_nanos() as u64);
+        self.load.fetch_sub(1, Relaxed);
+        let _ = waiter_reply.send(Err(error));
+    }
+}
 
 /// Multi-threaded query scheduler over a shared [`RwrSession`].
 pub struct Scheduler {
     session: Arc<RwrSession>,
     cache: Arc<ResultCache>,
     metrics: Arc<Metrics>,
+    load: Arc<AtomicU64>,
+    config: SchedulerConfig,
     submit_tx: Option<Sender<Pending>>,
     threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Injected panics are expected and already contained by `catch_unwind`;
+/// don't let them spray backtraces over stderr — a chaos run's log must
+/// stay clean so *escaped* panics are detectable. Installed once,
+/// process-wide; every real panic still reaches the previous hook.
+fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("injected panic"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
 }
 
 impl Scheduler {
     /// Spawns the dispatcher and worker threads.
     pub fn new(session: Arc<RwrSession>, config: SchedulerConfig) -> Self {
+        if config.faults.panic_every != 0 {
+            silence_injected_panics();
+        }
         let cache = Arc::new(ResultCache::new(config.cache_capacity));
         let metrics = Arc::new(Metrics::new());
+        let load = Arc::new(AtomicU64::new(0));
         let (submit_tx, submit_rx) = channel::unbounded::<Pending>();
         let (job_tx, job_rx) = channel::unbounded::<Job>();
         let inflight: Arc<InflightMap> = Arc::new(Mutex::new(HashMap::new()));
@@ -147,16 +329,21 @@ impl Scheduler {
         let mut threads = Vec::new();
         {
             let cache = cache.clone();
-            let metrics = metrics.clone();
             let inflight = inflight.clone();
             let session = session.clone();
+            let ctx = ReplyCtx {
+                metrics: metrics.clone(),
+                load: load.clone(),
+            };
             let batch_max = config.batch_max.max(1);
+            let faults = config.faults;
             threads.push(
                 std::thread::Builder::new()
                     .name("rwr-dispatch".into())
                     .spawn(move || {
                         dispatch_loop(
-                            submit_rx, job_tx, inflight, cache, metrics, session, hash, batch_max,
+                            submit_rx, job_tx, inflight, cache, ctx, session, hash, batch_max,
+                            faults,
                         )
                     })
                     .expect("spawn dispatcher"),
@@ -166,12 +353,15 @@ impl Scheduler {
             let job_rx = job_rx.clone();
             let session = session.clone();
             let cache = cache.clone();
-            let metrics = metrics.clone();
             let inflight = inflight.clone();
+            let ctx = ReplyCtx {
+                metrics: metrics.clone(),
+                load: load.clone(),
+            };
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rwr-worker-{w}"))
-                    .spawn(move || worker_loop(job_rx, session, cache, metrics, inflight))
+                    .spawn(move || worker_loop(job_rx, session, cache, ctx, inflight))
                     .expect("spawn worker"),
             );
         }
@@ -180,6 +370,8 @@ impl Scheduler {
             session,
             cache,
             metrics,
+            load,
+            config,
             submit_tx: Some(submit_tx),
             threads,
         }
@@ -200,15 +392,44 @@ impl Scheduler {
         &self.cache
     }
 
+    /// Requests submitted but not yet answered (the admission gauge).
+    pub fn load(&self) -> u64 {
+        self.load.load(Relaxed)
+    }
+
     /// Enqueues a query; returns immediately with a [`Ticket`].
+    ///
+    /// Admission happens here: when more than `queue_cap` requests are
+    /// already unanswered the request is shed without ever touching the
+    /// queue, and the ticket resolves instantly to
+    /// [`ErrorKind::Overloaded`] with a `retry_after_ms` hint.
     pub fn submit(&self, request: QueryRequest) -> Ticket {
         let (reply, rx) = channel::unbounded();
+        let cap = self.config.queue_cap;
+        let load = self.load.fetch_add(1, Relaxed) + 1;
+        if cap != 0 && load > cap as u64 {
+            self.load.fetch_sub(1, Relaxed);
+            self.metrics.shed.fetch_add(1, Relaxed);
+            self.metrics.errors.fetch_add(1, Relaxed);
+            self.metrics.latency_err.record(1);
+            let _ = reply.send(Err(ServiceError {
+                id: request.id,
+                kind: ErrorKind::Overloaded,
+                detail: format!("{load} requests in flight (cap {cap})"),
+                retry_after_ms: Some(self.config.retry_after_ms),
+            }));
+            return Ticket { rx };
+        }
+        let deadline = request
+            .deadline
+            .or_else(|| self.config.default_deadline.map(|d| Instant::now() + d));
         let sent = self
             .submit_tx
             .as_ref()
             .expect("scheduler already shut down")
             .send(Pending {
                 request,
+                deadline,
                 enqueued: Instant::now(),
                 reply,
             });
@@ -217,7 +438,7 @@ impl Scheduler {
     }
 
     /// Convenience: submit and wait.
-    pub fn query(&self, request: QueryRequest) -> QueryResponse {
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, ServiceError> {
         self.submit(request).wait()
     }
 
@@ -226,9 +447,7 @@ impl Scheduler {
     /// [`crate::cache`]).
     pub fn mutate(&self, apply: impl FnOnce(&RwrSession)) -> u64 {
         apply(&self.session);
-        self.metrics
-            .mutations
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.mutations.fetch_add(1, Relaxed);
         self.session.version()
     }
 }
@@ -270,12 +489,12 @@ fn dispatch_loop(
     job_tx: Sender<Job>,
     inflight: Arc<InflightMap>,
     cache: Arc<ResultCache>,
-    metrics: Arc<Metrics>,
+    ctx: ReplyCtx,
     session: Arc<RwrSession>,
     hash: u64,
     batch_max: usize,
+    faults: FaultPlan,
 ) {
-    use std::sync::atomic::Ordering::Relaxed;
     loop {
         // Blocking head of the batch…
         let first = match submit_rx.recv() {
@@ -293,6 +512,20 @@ fn dispatch_loop(
 
         let version = session.version();
         for pending in batch {
+            let id = pending.request.id;
+            // Forced expiry (fault plan) and real queue-wait expiry are the
+            // same failure from the client's point of view.
+            let expired = faults.should_expire(id)
+                || pending.deadline.is_some_and(|d| Instant::now() >= d);
+            if expired {
+                ctx.send_err(
+                    &pending.reply,
+                    pending.enqueued,
+                    ServiceError::new(id, ErrorKind::DeadlineExceeded, "expired while queued"),
+                );
+                continue;
+            }
+
             let seed = effective_seed(&pending.request);
             let key = CompKey {
                 source: pending.request.source,
@@ -300,30 +533,55 @@ fn dispatch_loop(
                 version,
                 seed,
             };
-            if let Some(scores) = cache.get(&key) {
-                metrics.cache_hits.fetch_add(1, Relaxed);
-                metrics.queries.fetch_add(1, Relaxed);
-                let latency = pending.enqueued.elapsed().as_nanos() as u64;
-                metrics.latency.record(latency);
-                let _ = pending.reply.send(QueryResponse {
-                    id: pending.request.id,
-                    source: pending.request.source,
-                    seed,
-                    version: key.version,
-                    scores,
-                    cached: true,
-                    latency_ns: latency,
+            let cancel = match pending.deadline {
+                Some(d) => Cancel::at(d),
+                None => Cancel::never(),
+            };
+
+            if faults.should_panic(id) {
+                // Sabotaged requests get a private job: they must not serve
+                // from cache (the panic has to happen) and must not drag
+                // innocent coalesced waiters down with them.
+                let _ = job_tx.send(Job {
+                    key,
+                    cancel,
+                    delay: faults.delay_for(id),
+                    fault_panic: true,
+                    direct: Some(Waiter {
+                        id,
+                        enqueued: pending.enqueued,
+                        reply: pending.reply,
+                        follower: false,
+                    }),
                 });
                 continue;
             }
-            metrics.cache_misses.fetch_add(1, Relaxed);
+
+            if let Some(scores) = cache.get(&key) {
+                ctx.metrics.cache_hits.fetch_add(1, Relaxed);
+                let latency = pending.enqueued.elapsed().as_nanos() as u64;
+                ctx.send_ok(
+                    &pending.reply,
+                    QueryResponse {
+                        id,
+                        source: pending.request.source,
+                        seed,
+                        version: key.version,
+                        scores,
+                        cached: true,
+                        latency_ns: latency,
+                    },
+                );
+                continue;
+            }
+            ctx.metrics.cache_misses.fetch_add(1, Relaxed);
             let mut inflight = inflight.lock();
             match inflight.get_mut(&key) {
                 Some(waiters) => {
                     // Identical computation already on its way: ride along.
-                    metrics.coalesced.fetch_add(1, Relaxed);
+                    ctx.metrics.coalesced.fetch_add(1, Relaxed);
                     waiters.push(Waiter {
-                        id: pending.request.id,
+                        id,
                         enqueued: pending.enqueued,
                         reply: pending.reply,
                         follower: true,
@@ -333,14 +591,20 @@ fn dispatch_loop(
                     inflight.insert(
                         key,
                         vec![Waiter {
-                            id: pending.request.id,
+                            id,
                             enqueued: pending.enqueued,
                             reply: pending.reply,
                             follower: false,
                         }],
                     );
                     drop(inflight);
-                    let _ = job_tx.send(Job { key });
+                    let _ = job_tx.send(Job {
+                        key,
+                        cancel,
+                        delay: faults.delay_for(id),
+                        fault_panic: false,
+                        direct: None,
+                    });
                 }
             }
         }
@@ -351,49 +615,85 @@ fn worker_loop(
     job_rx: Receiver<Job>,
     session: Arc<RwrSession>,
     cache: Arc<ResultCache>,
-    metrics: Arc<Metrics>,
+    ctx: ReplyCtx,
     inflight: Arc<InflightMap>,
 ) {
-    use std::sync::atomic::Ordering::Relaxed;
     while let Ok(job) = job_rx.recv() {
-        let (result, version) = session.query_versioned(job.key.source, job.key.seed);
-        metrics
-            .phase_hhop_ns
-            .fetch_add(result.timings.hhop.as_nanos() as u64, Relaxed);
-        metrics
-            .phase_omfwd_ns
-            .fetch_add(result.timings.omfwd.as_nanos() as u64, Relaxed);
-        metrics
-            .phase_remedy_ns
-            .fetch_add(result.timings.remedy.as_nanos() as u64, Relaxed);
+        // The unwind boundary wraps ONLY the computation; waiter cleanup
+        // happens after, so even a panicking query answers every waiter.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(d) = job.delay {
+                std::thread::sleep(d);
+            }
+            if job.fault_panic {
+                panic!("injected panic");
+            }
+            session.try_query_versioned(job.key.source, job.key.seed, &job.cancel)
+        }));
 
-        let scores = Arc::new(result.scores);
-        // Stamp the cache entry with the version the query actually ran
-        // against. If a mutation raced in after dispatch, `version` is newer
-        // than `job.key.version` and the entry lands under the fresh key —
-        // never under a key that would serve stale scores.
-        cache.insert(
-            CompKey {
-                version,
-                ..job.key
-            },
-            scores.clone(),
-        );
+        let waiters = match job.direct {
+            Some(w) => vec![w],
+            None => inflight.lock().remove(&job.key).unwrap_or_default(),
+        };
 
-        let waiters = inflight.lock().remove(&job.key).unwrap_or_default();
-        for w in waiters {
-            metrics.queries.fetch_add(1, Relaxed);
-            let latency = w.enqueued.elapsed().as_nanos() as u64;
-            metrics.latency.record(latency);
-            let _ = w.reply.send(QueryResponse {
-                id: w.id,
-                source: job.key.source,
-                seed: job.key.seed,
-                version,
-                scores: scores.clone(),
-                cached: w.follower,
-                latency_ns: latency,
-            });
+        match outcome {
+            Ok(Ok((result, version))) => {
+                ctx.metrics
+                    .phase_hhop_ns
+                    .fetch_add(result.timings.hhop.as_nanos() as u64, Relaxed);
+                ctx.metrics
+                    .phase_omfwd_ns
+                    .fetch_add(result.timings.omfwd.as_nanos() as u64, Relaxed);
+                ctx.metrics
+                    .phase_remedy_ns
+                    .fetch_add(result.timings.remedy.as_nanos() as u64, Relaxed);
+
+                let scores = Arc::new(result.scores);
+                // Stamp the cache entry with the version the query actually
+                // ran against. If a mutation raced in after dispatch,
+                // `version` is newer than `job.key.version` and the entry
+                // lands under the fresh key — never under a key that would
+                // serve stale scores.
+                cache.insert(CompKey { version, ..job.key }, scores.clone());
+
+                for w in waiters {
+                    let latency = w.enqueued.elapsed().as_nanos() as u64;
+                    ctx.send_ok(
+                        &w.reply,
+                        QueryResponse {
+                            id: w.id,
+                            source: job.key.source,
+                            seed: job.key.seed,
+                            version,
+                            scores: scores.clone(),
+                            cached: w.follower,
+                            latency_ns: latency,
+                        },
+                    );
+                }
+            }
+            Ok(Err(abort)) => {
+                let kind = match abort {
+                    QueryError::DeadlineExceeded | QueryError::Cancelled => {
+                        ErrorKind::DeadlineExceeded
+                    }
+                    QueryError::SourceOutOfRange { .. } => ErrorKind::SourceOutOfRange,
+                };
+                let detail = abort.to_string();
+                for w in waiters {
+                    ctx.send_err(&w.reply, w.enqueued, ServiceError::new(w.id, kind, &*detail));
+                }
+            }
+            Err(_panic) => {
+                ctx.metrics.panics.fetch_add(1, Relaxed);
+                for w in waiters {
+                    ctx.send_err(
+                        &w.reply,
+                        w.enqueued,
+                        ServiceError::new(w.id, ErrorKind::InternalPanic, "query panicked"),
+                    );
+                }
+            }
         }
     }
 }
@@ -411,25 +711,31 @@ mod tests {
                 workers,
                 cache_capacity: cache,
                 batch_max: 16,
+                ..Default::default()
             },
         )
+    }
+
+    fn req(id: u64, source: u32, seed: Option<u64>) -> QueryRequest {
+        QueryRequest {
+            id,
+            source,
+            seed,
+            deadline: None,
+        }
     }
 
     #[test]
     fn responses_are_worker_count_invariant() {
         let requests: Vec<QueryRequest> = (0..24)
-            .map(|i| QueryRequest {
-                id: i,
-                source: (i % 7) as u32 * 3,
-                seed: None,
-            })
+            .map(|i| req(i, (i % 7) as u32 * 3, None))
             .collect();
         let run = |workers: usize| -> Vec<Vec<f64>> {
             let s = mk(workers, 0); // cache off: every request computes
             let tickets: Vec<Ticket> = requests.iter().map(|r| s.submit(*r)).collect();
             tickets
                 .into_iter()
-                .map(|t| t.wait().scores.as_ref().clone())
+                .map(|t| t.wait().unwrap().scores.as_ref().clone())
                 .collect()
         };
         let one = run(1);
@@ -440,16 +746,8 @@ mod tests {
     #[test]
     fn cache_hits_share_the_computation() {
         let s = mk(2, 64);
-        let a = s.query(QueryRequest {
-            id: 1,
-            source: 5,
-            seed: Some(99),
-        });
-        let b = s.query(QueryRequest {
-            id: 2,
-            source: 5,
-            seed: Some(99),
-        });
+        let a = s.query(req(1, 5, Some(99))).unwrap();
+        let b = s.query(req(2, 5, Some(99))).unwrap();
         assert!(!a.cached);
         assert!(b.cached);
         assert!(Arc::ptr_eq(&a.scores, &b.scores), "hit must share the Arc");
@@ -463,16 +761,8 @@ mod tests {
     fn distinct_seeds_do_not_coalesce() {
         let s = mk(2, 64);
         // seed=None derives from id, so equal sources still differ.
-        let a = s.query(QueryRequest {
-            id: 10,
-            source: 3,
-            seed: None,
-        });
-        let b = s.query(QueryRequest {
-            id: 11,
-            source: 3,
-            seed: None,
-        });
+        let a = s.query(req(10, 3, None)).unwrap();
+        let b = s.query(req(11, 3, None)).unwrap();
         assert_ne!(a.seed, b.seed);
         assert!(!b.cached);
     }
@@ -480,16 +770,12 @@ mod tests {
     #[test]
     fn mutation_invalidates_cache_via_version() {
         let s = mk(2, 64);
-        let r = QueryRequest {
-            id: 1,
-            source: 0,
-            seed: Some(5),
-        };
-        let before = s.query(r);
+        let r = req(1, 0, Some(5));
+        let before = s.query(r).unwrap();
         assert_eq!(before.version, 0);
         let v = s.mutate(|sess| sess.insert_edges(&[(0, 399)]));
         assert_eq!(v, 1);
-        let after = s.query(QueryRequest { id: 2, ..r });
+        let after = s.query(QueryRequest { id: 2, ..r }).unwrap();
         assert!(!after.cached, "post-mutation query must recompute");
         assert_eq!(after.version, 1);
         assert_ne!(before.scores, after.scores);
@@ -501,28 +787,13 @@ mod tests {
         // One worker, blocked queue: stack 6 identical requests while the
         // worker is busy with an unrelated one, then count computations.
         let s = mk(1, 64);
-        let warm: Vec<Ticket> = (0..1)
-            .map(|_| {
-                s.submit(QueryRequest {
-                    id: 1000,
-                    source: 17,
-                    seed: Some(1),
-                })
-            })
-            .collect();
-        let tickets: Vec<Ticket> = (0..6)
-            .map(|i| {
-                s.submit(QueryRequest {
-                    id: i,
-                    source: 42,
-                    seed: Some(7),
-                })
-            })
-            .collect();
+        let warm: Vec<Ticket> = (0..1).map(|_| s.submit(req(1000, 17, Some(1)))).collect();
+        let tickets: Vec<Ticket> = (0..6).map(|i| s.submit(req(i, 42, Some(7)))).collect();
         for t in warm {
-            t.wait();
+            t.wait().unwrap();
         }
-        let responses: Vec<QueryResponse> = tickets.into_iter().map(|t| t.wait()).collect();
+        let responses: Vec<QueryResponse> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
         let fresh = responses.iter().filter(|r| !r.cached).count();
         assert_eq!(fresh, 1, "exactly one computation for 6 identical requests");
         for pair in responses.windows(2) {
@@ -541,18 +812,171 @@ mod tests {
     fn drop_answers_everything_in_flight() {
         let s = mk(2, 0);
         let tickets: Vec<Ticket> = (0..20)
-            .map(|i| {
-                s.submit(QueryRequest {
-                    id: i,
-                    source: (i as u32) % 5,
-                    seed: None,
-                })
-            })
+            .map(|i| s.submit(req(i, (i as u32) % 5, None)))
             .collect();
         drop(s); // must drain, not abandon
         for t in tickets {
-            let r = t.wait(); // would panic if the scheduler dropped it
+            let r = t.wait().unwrap(); // would panic if the scheduler dropped it
             assert!(!r.scores.is_empty());
         }
+    }
+
+    #[test]
+    fn queue_cap_sheds_with_retry_hint() {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(400, 4, 77)));
+        let s = Scheduler::new(
+            session,
+            SchedulerConfig {
+                workers: 1,
+                cache_capacity: 0,
+                queue_cap: 2,
+                retry_after_ms: 75,
+                ..Default::default()
+            },
+        );
+        // Flood: with cap 2, most of these must shed instantly.
+        let tickets: Vec<Ticket> = (0..50).map(|i| s.submit(req(i, (i % 5) as u32, None))).collect();
+        let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(e) if e.kind == ErrorKind::Overloaded))
+            .count();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(shed + ok, 50, "every request answered exactly once");
+        assert!(shed >= 40, "cap 2 must shed most of a 50-burst, shed={shed}");
+        let hint = results
+            .iter()
+            .find_map(|r| r.as_ref().err().map(|e| e.retry_after_ms))
+            .unwrap();
+        assert_eq!(hint, Some(75));
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.shed as usize, shed);
+        assert_eq!(snap.errors as usize, shed);
+        // The gauge returns to zero once everything is answered.
+        assert_eq!(s.load(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_and_worker_stays_usable() {
+        let s = mk(1, 0);
+        let past = Instant::now() - Duration::from_millis(5);
+        let err = s
+            .query(QueryRequest {
+                deadline: Some(past),
+                ..req(1, 0, Some(3))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+        // The same scheduler immediately serves a normal query.
+        let ok = s.query(req(2, 0, Some(3))).unwrap();
+        assert!(!ok.scores.is_empty());
+        assert_eq!(s.metrics().snapshot().timeouts, 1);
+    }
+
+    #[test]
+    fn source_out_of_range_is_typed_even_after_racing_mutation() {
+        // The scheduler validates under the session lock, so even a source
+        // that was valid at submit time fails cleanly.
+        let s = mk(2, 0);
+        let err = s.query(req(1, 400, None)).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::SourceOutOfRange);
+        assert!(err.detail.contains("out of range"), "{}", err.detail);
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_counted() {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(400, 4, 77)));
+        let s = Scheduler::new(
+            session,
+            SchedulerConfig {
+                workers: 2,
+                cache_capacity: 64,
+                faults: FaultPlan {
+                    panic_every: 10,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (1..=40).map(|i| s.submit(req(i, (i % 7) as u32, None))).collect();
+        let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let panicked: Vec<u64> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .filter(|e| e.kind == ErrorKind::InternalPanic)
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(panicked, vec![10, 20, 30, 40]);
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 36);
+        assert_eq!(s.metrics().snapshot().panics, 4);
+        // Workers survived: a fresh (unfaulted-id) query still computes.
+        assert!(s.query(req(1001, 1, None)).is_ok());
+    }
+
+    #[test]
+    fn chaos_does_not_change_unfaulted_results() {
+        let requests: Vec<QueryRequest> = (1..=30).map(|i| req(i, (i % 5) as u32, None)).collect();
+        let clean: Vec<_> = {
+            let s = mk(2, 0);
+            requests
+                .iter()
+                .map(|r| s.query(*r).unwrap().scores.as_ref().clone())
+                .collect()
+        };
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(400, 4, 77)));
+        let s = Scheduler::new(
+            session,
+            SchedulerConfig {
+                workers: 2,
+                cache_capacity: 0,
+                faults: FaultPlan {
+                    panic_every: 7,
+                    delay_every: 11,
+                    delay_ms: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        for (r, expect) in requests.iter().zip(&clean) {
+            match s.query(*r) {
+                Ok(resp) => assert_eq!(
+                    resp.scores.as_ref(),
+                    expect,
+                    "chaos must not perturb unfaulted id {}",
+                    r.id
+                ),
+                Err(e) => {
+                    assert_eq!(e.kind, ErrorKind::InternalPanic);
+                    assert_eq!(r.id % 7, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_expiry_fault_times_out_selected_ids() {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(400, 4, 77)));
+        let s = Scheduler::new(
+            session,
+            SchedulerConfig {
+                workers: 2,
+                cache_capacity: 0,
+                faults: FaultPlan {
+                    expire_every: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        for id in 1..=10u64 {
+            let out = s.query(req(id, 0, None));
+            if id % 5 == 0 {
+                assert_eq!(out.unwrap_err().kind, ErrorKind::DeadlineExceeded);
+            } else {
+                assert!(out.is_ok());
+            }
+        }
+        assert_eq!(s.metrics().snapshot().timeouts, 2);
     }
 }

@@ -12,25 +12,57 @@
 //! ← {"id":1,"ok":true,"version":0,"seed":…,"cached":false,"top":[[n,score],…]}
 //! → {"id":2,"op":"query","source":5,"seed":7,"full":true}
 //! ← {"id":2,"ok":true,…,"scores":[…n floats…]}
-//! → {"id":3,"op":"insert_edges","edges":[[0,1],[2,3]]}
-//! ← {"id":3,"ok":true,"version":1}
+//! → {"id":3,"op":"query","source":5,"deadline_ms":10}
+//! ← {"id":3,"ok":false,"error":"deadline_exceeded","detail":…}   (if slow)
+//! → {"id":4,"op":"insert_edges","edges":[[0,1],[2,3]]}
+//! ← {"id":4,"ok":true,"version":1}
 //! → {"op":"stats"}
 //! ← {"ok":true,"stats":{…},"nodes":…,"edges":…,"version":…}
 //! ```
 //!
 //! Ops: `query`, `insert_edges`, `delete_edges`, `delete_node`, `stats`,
 //! `ping`, `shutdown`. Malformed lines get `{"ok":false,"error":…}` and the
-//! connection stays open.
+//! connection stays open. Typed failures (`overloaded`,
+//! `deadline_exceeded`, `internal_panic`, `source out of range`) carry the
+//! code in `error`, human detail in `detail`, and — for `overloaded` — a
+//! `retry_after_ms` backoff hint.
+//!
+//! ## Connection hardening
+//!
+//! * Reads are **bounded**: a line longer than `max_line_bytes` gets one
+//!   error response and the connection is closed — no unbounded buffering
+//!   for a client that never sends a newline.
+//! * Reads **time out**: an idle connection is closed after
+//!   `idle_timeout_ms`, and the short read-poll also makes every handler
+//!   responsive to shutdown within a poll interval.
+//! * Connections are **capped**: past `max_conns` concurrent handlers, new
+//!   sockets get `{"ok":false,"error":"overloaded"}` and are closed
+//!   (counted in `rejected_conns`).
+//! * Accept errors are **counted and backed off** (`accept_errors`), so a
+//!   persistent condition like EMFILE cannot spin the listener at 100% CPU.
+//! * Shutdown **drains**: the listener stops accepting, every connection
+//!   handler finishes responding to the requests it has already read, the
+//!   handler threads are joined, and only then does the scheduler (which
+//!   answers everything in its queues) shut down.
 
+use crate::fault::FaultPlan;
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
-use crate::scheduler::{QueryRequest, Scheduler, SchedulerConfig};
+use crate::scheduler::{QueryRequest, Scheduler, SchedulerConfig, ServiceError};
 use resacc::topk::top_k;
 use resacc::RwrSession;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often a parked reader wakes to check the stop flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How often the (non-blocking) accept loop polls for new connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Ceiling for the accept-error backoff.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +75,19 @@ pub struct ServerConfig {
     pub batch_max: usize,
     /// `top` list length when a query does not say `k`.
     pub default_k: usize,
+    /// Maximum unanswered requests before admission sheds (0 = unbounded).
+    pub queue_cap: usize,
+    /// Default per-query deadline in milliseconds (0 = none); individual
+    /// requests override with their own `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Maximum concurrent connections (0 = unbounded).
+    pub max_conns: usize,
+    /// Maximum request-line length in bytes.
+    pub max_line_bytes: usize,
+    /// Close a connection after this long without a byte (0 = never).
+    pub idle_timeout_ms: u64,
+    /// Fault-injection plan (tests / load generation only).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -52,48 +97,121 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             batch_max: 32,
             default_k: 10,
+            queue_cap: 4096,
+            default_deadline_ms: 0,
+            max_conns: 256,
+            max_line_bytes: 1 << 20,
+            idle_timeout_ms: 30_000,
+            faults: FaultPlan::default(),
         }
     }
+}
+
+/// Per-connection limits, split out of [`ServerConfig`] for the handler.
+#[derive(Clone, Copy)]
+struct ConnLimits {
+    default_k: usize,
+    default_deadline_ms: u64,
+    max_line_bytes: usize,
+    idle_timeout: Option<Duration>,
 }
 
 /// Serves on `listener` until a client sends `{"op":"shutdown"}`.
 ///
 /// Blocking; connection handlers run on their own threads sharing one
-/// [`Scheduler`]. On shutdown the listener closes immediately; connections
-/// that are mid-request finish in the background.
-pub fn serve(listener: TcpListener, session: Arc<RwrSession>, config: ServerConfig) -> std::io::Result<()> {
+/// [`Scheduler`]. Shutdown drains: accepting stops, every handler finishes
+/// the requests it already read and is joined, then the scheduler drains
+/// its queues — every submitted request is answered before this returns.
+pub fn serve(
+    listener: TcpListener,
+    session: Arc<RwrSession>,
+    config: ServerConfig,
+) -> std::io::Result<()> {
     let scheduler = Arc::new(Scheduler::new(
         session,
         SchedulerConfig {
             workers: config.workers,
             cache_capacity: config.cache_capacity,
             batch_max: config.batch_max,
+            queue_cap: config.queue_cap,
+            default_deadline: None, // applied per request from deadline_ms
+            faults: config.faults,
+            ..Default::default()
         },
     ));
     let stop = Arc::new(AtomicBool::new(false));
-    let local = listener.local_addr()?;
-    for conn in listener.incoming() {
-        if stop.load(Ordering::Acquire) {
-            break;
-        }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let scheduler = scheduler.clone();
-        let stop = stop.clone();
-        std::thread::Builder::new()
-            .name("rwr-conn".into())
-            .spawn(move || {
-                let requested_shutdown = handle_connection(stream, &scheduler, config.default_k);
-                if requested_shutdown {
-                    stop.store(true, Ordering::Release);
-                    // The accept loop is parked in `accept`; poke it awake.
-                    let _ = TcpStream::connect(local);
+    let limits = ConnLimits {
+        default_k: config.default_k,
+        default_deadline_ms: config.default_deadline_ms,
+        max_line_bytes: config.max_line_bytes.max(64),
+        idle_timeout: (config.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(config.idle_timeout_ms)),
+    };
+
+    listener.set_nonblocking(true)?;
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut backoff = ACCEPT_POLL;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff = ACCEPT_POLL;
+                handlers.retain(|t| !t.is_finished());
+                if config.max_conns != 0 && handlers.len() >= config.max_conns {
+                    scheduler
+                        .metrics()
+                        .rejected_conns
+                        .fetch_add(1, Ordering::Relaxed);
+                    reject_connection(stream, config.max_conns);
+                    continue;
                 }
-            })?;
+                let scheduler = scheduler.clone();
+                let stop = stop.clone();
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name("rwr-conn".into())
+                        .spawn(move || {
+                            let requested_shutdown =
+                                handle_connection(stream, &scheduler, &limits, &stop);
+                            if requested_shutdown {
+                                stop.store(true, Ordering::Release);
+                            }
+                        })?,
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Persistent accept failures (e.g. EMFILE) must not spin.
+                scheduler
+                    .metrics()
+                    .accept_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
+        }
+    }
+    // Drain: handlers observe the stop flag within a read-poll, answer what
+    // they already read, and exit; the scheduler then drains its queues on
+    // drop. No connection is abandoned mid-request.
+    for t in handlers {
+        let _ = t.join();
     }
     Ok(())
+}
+
+/// Tells an over-cap client why it is being dropped, best-effort.
+fn reject_connection(stream: TcpStream, max_conns: usize) {
+    let mut w = BufWriter::new(stream);
+    let response = error_fields(
+        None,
+        "overloaded",
+        &format!("connection limit reached (max {max_conns})"),
+        None,
+    );
+    let _ = writeln!(w, "{}", response.render());
+    let _ = w.flush();
 }
 
 /// A server running on a background thread (in-process embedding).
@@ -108,13 +226,10 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Sends the shutdown op and joins the server thread.
+    /// Sends the shutdown op, then joins the server thread — returning only
+    /// after the drain completes (all connections joined, queues drained).
     pub fn shutdown(mut self) -> std::io::Result<()> {
-        let mut stream = TcpStream::connect(self.addr)?;
-        stream.write_all(b"{\"op\":\"shutdown\"}\n")?;
-        let mut line = String::new();
-        let _ = BufReader::new(&stream).read_line(&mut line);
-        drop(stream);
+        request_shutdown(&self.addr.to_string())?;
         match self.thread.take() {
             Some(t) => t.join().expect("server thread panicked"),
             None => Ok(()),
@@ -122,8 +237,45 @@ impl ServerHandle {
     }
 }
 
+/// Sends `{"op":"shutdown"}` and waits for the acknowledgement.
+///
+/// A freshly-freed connection slot is reclaimed only once its handler
+/// thread observes the closed socket (within one read-poll), so a shutdown
+/// sent right after closing other connections can race the `max_conns` cap
+/// and be rejected with `overloaded`. Treating that rejection as the
+/// acknowledgement would leave the server running forever — so retry until
+/// the op is actually accepted (bounded; rejection replies arrive fast).
+pub(crate) fn request_shutdown(addr: &str) -> std::io::Result<()> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(b"{\"op\":\"shutdown\"}\n")?;
+        let mut line = String::new();
+        let _ = BufReader::new(&stream).read_line(&mut line);
+        drop(stream);
+        let accepted = Json::parse(line.trim())
+            .ok()
+            .and_then(|j| j.get("ok").and_then(Json::as_bool))
+            .unwrap_or(false);
+        if accepted {
+            return Ok(());
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(std::io::Error::other(format!(
+                "shutdown not accepted: {}",
+                line.trim()
+            )));
+        }
+        std::thread::sleep(READ_POLL);
+    }
+}
+
 /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves on a background thread.
-pub fn spawn(addr: &str, session: Arc<RwrSession>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+pub fn spawn(
+    addr: &str,
+    session: Arc<RwrSession>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let thread = std::thread::Builder::new()
@@ -135,45 +287,141 @@ pub fn spawn(addr: &str, session: Arc<RwrSession>, config: ServerConfig) -> std:
     })
 }
 
-/// Handles one connection; returns true when the client asked to shut the
-/// server down.
-fn handle_connection(stream: TcpStream, scheduler: &Scheduler, default_k: usize) -> bool {
-    let reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return false,
-    });
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break, // client gone
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = handle_line(&line, scheduler, default_k);
-        if writeln!(writer, "{}", response.render()).is_err() || writer.flush().is_err() {
-            break;
-        }
-        if shutdown {
-            return true;
-        }
-    }
-    false
+/// Outcome of one attempt to pull more bytes off the socket.
+enum ReadStep {
+    /// Bytes arrived (a complete line may now be buffered).
+    Data,
+    /// The read timed out; any partial line stays buffered.
+    Timeout,
+    /// Clean end of stream.
+    Eof,
+    /// The client exceeded the line-length bound.
+    TooLong,
+    /// Hard I/O error.
+    Failed,
 }
 
-fn error_response(id: Option<u64>, message: &str) -> Json {
+/// Pulls the next complete line out of `buf`, if one is buffered.
+fn take_buffered_line(buf: &mut Vec<u8>) -> Option<String> {
+    let pos = buf.iter().position(|&b| b == b'\n')?;
+    let line: Vec<u8> = buf.drain(..=pos).take(pos).collect();
+    Some(String::from_utf8_lossy(&line).into_owned())
+}
+
+/// Reads one chunk into `buf`, enforcing the line-length bound.
+fn read_more(stream: &mut TcpStream, buf: &mut Vec<u8>, max: usize) -> ReadStep {
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => ReadStep::Eof,
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            // Only unterminated data can grow without bound; complete lines
+            // are drained by the caller before the next read.
+            if !buf.contains(&b'\n') && buf.len() > max {
+                ReadStep::TooLong
+            } else {
+                ReadStep::Data
+            }
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            ReadStep::Timeout
+        }
+        Err(_) => ReadStep::Failed,
+    }
+}
+
+/// Handles one connection; returns true when the client asked to shut the
+/// server down.
+///
+/// The read loop polls with a short timeout so it can observe `stop`; once
+/// stopping, it answers every request already buffered and exits — the
+/// drain contract for in-flight work.
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    limits: &ConnLimits,
+    stop: &AtomicBool,
+) -> bool {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut idle = Duration::ZERO;
+    loop {
+        if let Some(line) = take_buffered_line(&mut buf) {
+            idle = Duration::ZERO;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, shutdown) = handle_line(&line, scheduler, limits);
+            if writeln!(writer, "{}", response.render()).is_err() || writer.flush().is_err() {
+                return false;
+            }
+            if shutdown {
+                return true;
+            }
+            continue;
+        }
+        if stop.load(Ordering::Acquire) {
+            return false; // drained: nothing buffered, server stopping
+        }
+        match read_more(&mut read_half, &mut buf, limits.max_line_bytes) {
+            ReadStep::Data => idle = Duration::ZERO,
+            ReadStep::Timeout => {
+                idle += READ_POLL;
+                if limits.idle_timeout.is_some_and(|t| idle >= t) {
+                    return false;
+                }
+            }
+            ReadStep::Eof | ReadStep::Failed => return false,
+            ReadStep::TooLong => {
+                let response = error_fields(
+                    None,
+                    "bad request",
+                    &format!("line exceeds {} bytes", limits.max_line_bytes),
+                    None,
+                );
+                let _ = writeln!(writer, "{}", response.render());
+                let _ = writer.flush();
+                return false;
+            }
+        }
+    }
+}
+
+fn error_fields(id: Option<u64>, code: &str, detail: &str, retry_after_ms: Option<u64>) -> Json {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id".to_string(), Json::u64(id)));
     }
     fields.push(("ok".to_string(), Json::Bool(false)));
-    fields.push(("error".to_string(), Json::Str(message.to_string())));
+    fields.push(("error".to_string(), Json::Str(code.to_string())));
+    if !detail.is_empty() {
+        fields.push(("detail".to_string(), Json::Str(detail.to_string())));
+    }
+    if let Some(ms) = retry_after_ms {
+        fields.push(("retry_after_ms".to_string(), Json::u64(ms)));
+    }
     Json::Obj(fields)
 }
 
+fn error_response(id: Option<u64>, message: &str) -> Json {
+    error_fields(id, message, "", None)
+}
+
+/// Renders a typed scheduler failure onto the wire.
+fn service_error_response(id: Option<u64>, e: &ServiceError) -> Json {
+    error_fields(id, e.kind.code(), &e.detail, e.retry_after_ms)
+}
+
 /// Dispatches one request line; returns (response, shutdown_requested).
-fn handle_line(line: &str, scheduler: &Scheduler, default_k: usize) -> (Json, bool) {
+fn handle_line(line: &str, scheduler: &Scheduler, limits: &ConnLimits) -> (Json, bool) {
     use std::sync::atomic::Ordering::Relaxed;
     let request = match Json::parse(line) {
         Ok(j) => j,
@@ -185,7 +433,7 @@ fn handle_line(line: &str, scheduler: &Scheduler, default_k: usize) -> (Json, bo
     let id = request.get("id").and_then(Json::as_u64);
     let op = request.get("op").and_then(Json::as_str).unwrap_or("");
     let result = match op {
-        "query" => op_query(&request, scheduler, default_k),
+        "query" => op_query(&request, scheduler, limits),
         "insert_edges" => parse_edges(&request)
             .map(|edges| mutation_response(id, scheduler.mutate(|s| s.insert_edges(&edges)))),
         "delete_edges" => parse_edges(&request)
@@ -243,32 +491,39 @@ fn stats_response(id: Option<u64>, scheduler: &Scheduler) -> Json {
     )
 }
 
-fn op_query(request: &Json, scheduler: &Scheduler, default_k: usize) -> Result<Json, String> {
+fn op_query(request: &Json, scheduler: &Scheduler, limits: &ConnLimits) -> Result<Json, String> {
     let id = request.get("id").and_then(Json::as_u64);
     let source = request
         .get("source")
         .and_then(Json::as_u64)
         .ok_or("missing source")? as u32;
-    let n = scheduler.session().graph().num_nodes() as u64;
-    if source as u64 >= n {
-        return Err(format!("source {source} out of range (n = {n})"));
-    }
     let seed = request.get("seed").and_then(Json::as_u64);
     let k = request
         .get("k")
         .and_then(Json::as_u64)
         .map(|k| k as usize)
-        .unwrap_or(default_k);
-    let full = request
-        .get("full")
-        .and_then(Json::as_bool)
-        .unwrap_or(false);
+        .unwrap_or(limits.default_k);
+    let full = request.get("full").and_then(Json::as_bool).unwrap_or(false);
+    // Per-request deadline wins; otherwise the server default (if any).
+    let deadline_ms = request
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .or((limits.default_deadline_ms > 0).then_some(limits.default_deadline_ms));
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
 
-    let response = scheduler.query(QueryRequest {
+    // Source-range validation happens inside the scheduler, under the same
+    // session lock the query runs under — a wire-level pre-check here would
+    // race with concurrent delete_node (the TOCTOU this design closes).
+    let outcome = scheduler.query(QueryRequest {
         id: id.unwrap_or(0),
         source,
         seed,
+        deadline,
     });
+    let response = match outcome {
+        Ok(r) => r,
+        Err(e) => return Ok(service_error_response(id, &e)),
+    };
     let top = top_k(&response.scores, k)
         .into_iter()
         .map(|(node, score)| Json::Arr(vec![Json::u64(node as u64), Json::f64(score)]))
@@ -296,7 +551,10 @@ fn parse_edges(request: &Json) -> Result<Vec<(u32, u32)>, String> {
         .ok_or("missing edges")?;
     list.iter()
         .map(|pair| {
-            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or("edge must be [u,v]")?;
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or("edge must be [u,v]")?;
             let u = pair[0].as_u64().ok_or("edge endpoint must be an integer")?;
             let v = pair[1].as_u64().ok_or("edge endpoint must be an integer")?;
             Ok((u as u32, v as u32))
@@ -399,12 +657,280 @@ mod tests {
         assert_eq!(e2.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(e2.get("id").unwrap().as_u64(), Some(5));
         let e3 = roundtrip(&mut stream, r#"{"id":6,"op":"query","source":999999}"#);
-        assert!(e3.get("error").unwrap().as_str().unwrap().contains("out of range"));
+        assert_eq!(
+            e3.get("error").unwrap().as_str(),
+            Some("source out of range")
+        );
+        assert!(e3
+            .get("detail")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("out of range"));
         let e4 = roundtrip(&mut stream, r#"{"id":7,"op":"frobnicate"}"#);
         assert!(e4.get("error").unwrap().as_str().unwrap().contains("unknown op"));
         // Still serving after four errors:
         let ok = roundtrip(&mut stream, r#"{"id":8,"op":"ping"}"#);
         assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn deadline_ms_times_out_long_queries_and_server_recovers() {
+        // 100k nodes: an uncancelled default-parameter query takes far more
+        // than 1 ms, so the deadline must abort it — and the next query on
+        // the same worker must succeed (acceptance criterion).
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(100_000, 5, 21)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let started = Instant::now();
+        let r = roundtrip(
+            &mut stream,
+            r#"{"id":1,"op":"query","source":0,"deadline_ms":1}"#,
+        );
+        let elapsed = started.elapsed();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("error").unwrap().as_str(), Some("deadline_exceeded"));
+        // "Well under the uncancelled query time": a full 100k-node query
+        // with default parameters takes O(seconds); the abort must land in
+        // tens of milliseconds.
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "deadline abort took {elapsed:?}"
+        );
+        // The sole worker is immediately reusable.
+        let ok = roundtrip(
+            &mut stream,
+            r#"{"id":2,"op":"query","source":0,"seed":5,"deadline_ms":60000}"#,
+        );
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        let s = roundtrip(&mut stream, r#"{"op":"stats"}"#);
+        assert_eq!(
+            s.get("stats").unwrap().get("timeouts").unwrap().as_u64(),
+            Some(1)
+        );
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_without_panic() {
+        let session = Arc::new(RwrSession::new(gen::cycle(16)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 1,
+                max_line_bytes: 256,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // 1 KiB of garbage with no newline: must get one error response and
+        // a closed connection, not unbounded buffering.
+        stream.write_all(&[b'x'; 1024]).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let r = Json::parse(response.trim()).unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert!(r.get("detail").unwrap().as_str().unwrap().contains("exceeds"));
+        // Connection is closed afterwards.
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+        // Server still accepts fresh connections.
+        let mut stream2 = TcpStream::connect(handle.addr()).unwrap();
+        let ok = roundtrip(&mut stream2, r#"{"op":"ping"}"#);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        drop(stream2);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_typed_error() {
+        let session = Arc::new(RwrSession::new(gen::cycle(16)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 1,
+                max_conns: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut keeper = TcpStream::connect(handle.addr()).unwrap();
+        // Make sure the first connection is registered before the second.
+        let ok = roundtrip(&mut keeper, r#"{"op":"ping"}"#);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        let over = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(over);
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let r = Json::parse(response.trim()).unwrap();
+        assert_eq!(r.get("error").unwrap().as_str(), Some("overloaded"));
+        drop(reader);
+        drop(keeper);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_all_answered_before_drain() {
+        // Write a burst of pipelined queries immediately followed by a
+        // shutdown from another connection; every request the server read
+        // must still be answered (the drain contract).
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 3)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut batch = String::new();
+        for i in 0..10 {
+            batch.push_str(&format!(
+                "{{\"id\":{i},\"op\":\"query\",\"source\":{},\"seed\":{i}}}\n",
+                i % 5
+            ));
+        }
+        stream.write_all(batch.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut seen = 0u64;
+        for _ in 0..10 {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            let r = Json::parse(line.trim()).unwrap();
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+            seen += 1;
+        }
+        assert_eq!(seen, 10, "every pipelined request answered");
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    /// Satellite stress test: queries and graph mutations interleaved
+    /// across 6 connections while a fault plan panics every 9th and delays
+    /// every 5th request id. Invariants checked:
+    ///
+    /// * exactly one response per request, with a matching id;
+    /// * no panic escapes (non-faulted requests all succeed, the server
+    ///   drains cleanly afterwards);
+    /// * the graph version each connection observes never decreases;
+    /// * the `panics` metric equals exactly the number of fault-selected
+    ///   query ids that were sent.
+    #[test]
+    fn concurrent_chaos_with_mutations_stress() {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 5)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 3,
+                faults: crate::FaultPlan {
+                    panic_every: 9,
+                    delay_every: 5,
+                    delay_ms: 1,
+                    ..Default::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        const CONNS: u64 = 6;
+        const PER: u64 = 40;
+        let sent_panic_queries: u64 = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..CONNS)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut stream = TcpStream::connect(addr).unwrap();
+                        let mut last_version = 0u64;
+                        let mut my_panic_queries = 0u64;
+                        for i in 0..PER {
+                            let id = 1 + t * 1000 + i;
+                            let node = (id * 2654435761) % 300;
+                            let request = match i % 10 {
+                                3 => format!(
+                                    "{{\"id\":{id},\"op\":\"insert_edges\",\"edges\":[[{node},{}]]}}",
+                                    (node + 7) % 300
+                                ),
+                                7 => format!(
+                                    "{{\"id\":{id},\"op\":\"delete_edges\",\"edges\":[[{node},{}]]}}",
+                                    (node + 7) % 300
+                                ),
+                                9 if t == 0 => {
+                                    format!("{{\"id\":{id},\"op\":\"delete_node\",\"node\":{node}}}")
+                                }
+                                _ => {
+                                    if id % 9 == 0 {
+                                        my_panic_queries += 1;
+                                    }
+                                    format!(
+                                        "{{\"id\":{id},\"op\":\"query\",\"source\":{node},\"seed\":{id}}}"
+                                    )
+                                }
+                            };
+                            let is_query = request.contains("\"op\":\"query\"");
+                            let r = roundtrip(&mut stream, &request);
+                            // Exactly one response, and it is *ours*.
+                            assert_eq!(r.get("id").unwrap().as_u64(), Some(id), "{request}");
+                            let ok = r.get("ok").unwrap().as_bool() == Some(true);
+                            if is_query && id % 9 == 0 {
+                                assert!(!ok, "fault-selected id {id} must fail typed");
+                                assert_eq!(
+                                    r.get("error").unwrap().as_str(),
+                                    Some("internal_panic")
+                                );
+                            } else {
+                                assert!(ok, "unfaulted request failed: {}", r.render());
+                            }
+                            // The version this connection observes never
+                            // goes backwards.
+                            if let Some(v) = r.get("version").and_then(Json::as_u64) {
+                                assert!(
+                                    v >= last_version,
+                                    "version regressed {last_version} → {v} (id {id})"
+                                );
+                                last_version = v;
+                            }
+                        }
+                        my_panic_queries
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).sum()
+        });
+
+        // The panics metric matches the injected count exactly, and the
+        // server is still fully functional after all of it.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let s = roundtrip(&mut stream, r#"{"id":1,"op":"stats"}"#);
+        assert_eq!(
+            s.get("stats").unwrap().get("panics").unwrap().as_u64(),
+            Some(sent_panic_queries),
+            "panics metric must equal the fault-selected query count"
+        );
+        let q = roundtrip(&mut stream, r#"{"id":2,"op":"query","source":1,"seed":3}"#);
+        assert_eq!(q.get("ok").unwrap().as_bool(), Some(true));
         drop(stream);
         handle.shutdown().unwrap();
     }

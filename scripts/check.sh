@@ -3,6 +3,8 @@
 #   1. release build of the whole workspace
 #   2. full test suite
 #   3. clippy with warnings promoted to errors
+#   4. chaos smoke: a seeded fault-injection run against a real server must
+#      sustain the load, contain every injected panic, and drain cleanly
 #
 # The workspace builds offline (external deps resolve to shims/*), so pin
 # CARGO_NET_OFFLINE to keep cargo from ever touching the network.
@@ -19,5 +21,32 @@ cargo test -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> chaos smoke (seeded faults, graceful drain, zero escaped panics)"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"; [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+awk 'BEGIN { for (u = 0; u < 400; u++) for (d = 1; d <= 5; d++) print u, (u * 31 + d * 97) % 400 }' \
+  > "$SMOKE_DIR/graph.txt"
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --workers 2 --chaos panic=10,delay=16:2,seed=42 \
+  > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SMOKE_DIR/serve.out" 2>/dev/null && break
+  sleep 0.1
+done
+ADDR=$(awk '/listening on/ { print $3 }' "$SMOKE_DIR/serve.out")
+[[ -n "$ADDR" ]] || { echo "chaos smoke: server never came up"; cat "$SMOKE_DIR/serve.err"; exit 1; }
+# --chaos tolerates the typed fault errors; --shutdown requests a graceful
+# drain and fails if the listener lingers. Untyped errors still exit 1.
+target/release/rwr loadgen --addr "$ADDR" --requests 200 --connections 4 \
+  --chaos --shutdown --seed 11
+wait "$SERVE_PID"   # graceful drain ⇒ exit 0; an escaped panic ⇒ nonzero
+SERVE_PID=
+if grep -q "panicked at" "$SMOKE_DIR/serve.err"; then
+  echo "chaos smoke: a panic escaped onto the server's stderr:"
+  cat "$SMOKE_DIR/serve.err"
+  exit 1
+fi
 
 echo "==> all checks passed"
