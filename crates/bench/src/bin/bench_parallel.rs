@@ -1,0 +1,185 @@
+//! Intra-query parallelism benchmark: emits `BENCH_parallel.json`.
+//!
+//! Measures the remedy phase of ResAcc queries at 1 thread vs N threads on
+//! the synthetic `dblp` analogue, with `walk_scale` boosted so the walk
+//! phase dominates (the regime the chunked-stream parallel path targets).
+//!
+//! Two gates:
+//!
+//! 1. **bitwise replay** (always enforced): every query's score vector must
+//!    be bit-identical between the 1-thread and N-thread runs — the
+//!    chunked-stream RNG contract (`DESIGN.md` §10) makes thread count a
+//!    pure latency knob.
+//! 2. **speedup** (enforced only when the machine has ≥ N cores): the
+//!    summed remedy-phase time at N threads must be ≥ 2× faster than at
+//!    1 thread. On smaller hosts (CI containers are often 1-core) the
+//!    measured ratio is still recorded, with a `gate enforced` entry of 0,
+//!    because spawning threads on one core cannot speed anything up.
+//!
+//! Env knobs for smoke runs: `RESACC_BENCH_PARALLEL_QUERIES` (default 8),
+//! `RESACC_BENCH_PARALLEL_THREADS` (default 4),
+//! `RESACC_BENCH_PARALLEL_WALK_SCALE` (default 8).
+//!
+//! Output follows the `customSmallerIsBetter` entry shape
+//! (`{"name", "value", "unit"}`); the speedup ratio and gate marker are
+//! informational entries.
+
+use resacc::resacc::{ResAcc, ResAccConfig};
+use resacc::RwrParams;
+use resacc_bench::datasets::{build, Scale};
+use std::time::Duration;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Entry {
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let queries = env_u64("RESACC_BENCH_PARALLEL_QUERIES", 8);
+    let threads = env_u64("RESACC_BENCH_PARALLEL_THREADS", 4).max(2) as usize;
+    let walk_scale = env_f64("RESACC_BENCH_PARALLEL_WALK_SCALE", 8.0);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("building dblp analogue…");
+    let dataset = build("dblp", Scale::Small);
+    let graph = dataset.graph;
+    eprintln!(
+        "dblp analogue: {} nodes / {} edges; {queries} heavy queries (walk_scale {walk_scale}), 1 vs {threads} threads on {cores} core(s)",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let params = RwrParams::for_graph(graph.num_nodes());
+    let sources: Vec<u32> = (0..queries)
+        .map(|i| ((i * 911 + 17) % graph.num_nodes() as u64) as u32)
+        .collect();
+
+    // One timed pass per thread count. Each pass re-runs the same (source,
+    // seed) workload; `timings.remedy` isolates the walk phase from the
+    // (identical, serial) push phases.
+    let run = |threads: usize| -> (Duration, u64, Vec<Vec<f64>>) {
+        let engine = ResAcc::new(ResAccConfig {
+            walk_scale,
+            ..ResAccConfig::default().with_threads(threads)
+        });
+        // Warm-up query: page in the graph, size the workspace.
+        let _ = engine.query(&graph, sources[0], &params, 1);
+        let mut remedy = Duration::ZERO;
+        let mut walks = 0u64;
+        let mut scores = Vec::with_capacity(sources.len());
+        for (i, &s) in sources.iter().enumerate() {
+            let r = engine.query(&graph, s, &params, i as u64 + 1);
+            remedy += r.timings.remedy;
+            walks += r.walks;
+            scores.push(r.scores);
+        }
+        (remedy, walks, scores)
+    };
+
+    eprintln!("pass 1: serial (1 thread)…");
+    let (serial_time, serial_walks, serial_scores) = run(1);
+    eprintln!(
+        "  remedy {:.3} s over {serial_walks} walks",
+        serial_time.as_secs_f64()
+    );
+    eprintln!("pass 2: parallel ({threads} threads)…");
+    let (par_time, par_walks, par_scores) = run(threads);
+    eprintln!(
+        "  remedy {:.3} s over {par_walks} walks",
+        par_time.as_secs_f64()
+    );
+
+    // Gate 1 (always on): bitwise replay. Same plan, same chunk seeds, same
+    // reduction order — every byte must match.
+    assert_eq!(serial_walks, par_walks, "walk budgets must not depend on threads");
+    for (i, (a, b)) in serial_scores.iter().zip(&par_scores).enumerate() {
+        assert_eq!(a.len(), b.len());
+        for (t, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "query {i} (source {}): scores[{t}] differs between 1 and {threads} threads",
+                sources[i]
+            );
+        }
+    }
+    eprintln!("  ok: {} score vectors bit-identical at 1 vs {threads} threads", sources.len());
+
+    let speedup = serial_time.as_secs_f64() / par_time.as_secs_f64().max(1e-12);
+    let gate_enforced = cores >= threads;
+    eprintln!(
+        "  remedy speedup {speedup:.2}× at {threads} threads ({})",
+        if gate_enforced {
+            "gate: ≥ 2.0× required"
+        } else {
+            "gate not enforced: too few cores"
+        }
+    );
+
+    let entries = [
+        Entry {
+            name: "parallel/remedy time (1 thread)".into(),
+            value: serial_time.as_nanos() as f64,
+            unit: "ns",
+        },
+        Entry {
+            name: format!("parallel/remedy time ({threads} threads)"),
+            value: par_time.as_nanos() as f64,
+            unit: "ns",
+        },
+        Entry {
+            name: format!("parallel/remedy speedup ({threads} threads)"),
+            value: speedup,
+            unit: "x",
+        },
+        Entry {
+            name: "parallel/walks per pass".into(),
+            value: serial_walks as f64,
+            unit: "count",
+        },
+        Entry {
+            name: "parallel/speedup gate enforced".into(),
+            value: gate_enforced as u64 as f64,
+            unit: "bool",
+        },
+    ];
+
+    let mut json = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{}\n",
+            e.name,
+            e.value,
+            e.unit,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+
+    if gate_enforced {
+        assert!(
+            speedup >= 2.0,
+            "remedy phase must be ≥ 2× faster at {threads} threads on {cores} cores (got {speedup:.2}×)"
+        );
+    }
+}

@@ -103,6 +103,7 @@ fn drive(
         per_request_seeds: true,
         k: 10,
         deadline_ms,
+        threads: 0,
         chaos: true,
         shutdown_after: false,
     })

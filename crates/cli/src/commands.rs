@@ -28,12 +28,18 @@ fn params_for(cli: &Cli, graph: &CsrGraph) -> RwrParams {
 }
 
 fn engine_for(cli: &Cli) -> Box<dyn SsrwrEngine> {
+    // `--threads` is a pure latency knob: the chunked-stream RNG contract
+    // guarantees bit-identical output at any thread count.
+    let threads = cli.threads.max(1);
     match cli.algo.as_str() {
         "fora" => Box::new(ForaEngine::default()),
-        "mc" => Box::new(MonteCarloEngine::default()),
+        "mc" => Box::new(MonteCarloEngine {
+            walks: None,
+            threads,
+        }),
         "power" => Box::new(PowerEngine::default()),
         "fwd" => Box::new(ForwardSearchEngine { r_max: 1e-8 }),
-        _ => Box::new(ResAcc::new(ResAccConfig::default())),
+        _ => Box::new(ResAcc::new(ResAccConfig::default().with_threads(threads))),
     }
 }
 
@@ -146,6 +152,7 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
         params,
         ResAccConfig::default(),
     ));
+    let threads_per_query = cli.threads.max(1);
     let faults = match cli.chaos_spec.as_deref() {
         Some(spec) => resacc_service::FaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
         None => resacc_service::FaultPlan::default(),
@@ -156,11 +163,12 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
     {
         let g = session.graph();
         println!(
-            "# serving {} nodes / {} edges with {} workers, cache {}",
+            "# serving {} nodes / {} edges with {} workers, cache {}, {} thread(s)/query",
             g.num_nodes(),
             g.num_edges(),
             cli.workers,
-            cli.cache
+            cli.cache,
+            threads_per_query
         );
     }
     if !faults.is_empty() {
@@ -179,6 +187,7 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             queue_cap: cli.queue_cap,
             default_deadline_ms: cli.deadline_ms,
             max_conns: cli.max_conns,
+            threads_per_query,
             faults,
             ..resacc_service::ServerConfig::default()
         },
@@ -199,6 +208,7 @@ pub fn loadgen(cli: &Cli) -> Result<(), String> {
         per_request_seeds: cli.per_request_seeds,
         k: cli.top,
         deadline_ms: cli.deadline_ms,
+        threads: cli.threads,
         chaos: cli.chaos,
         shutdown_after: cli.shutdown_after,
     })
@@ -252,6 +262,7 @@ mod tests {
             deadline_ms: 0,
             queue_cap: 4096,
             max_conns: 256,
+            threads: 0,
             chaos_spec: None,
             chaos: false,
             shutdown_after: false,
@@ -310,9 +321,12 @@ mod tests {
     fn every_algo_flag_works() {
         let path = temp_edge_list();
         for algo in ["resacc", "fora", "mc", "power", "fwd"] {
-            let mut cli = cli_for(&path.to_string_lossy(), Command::Query);
-            cli.algo = algo.into();
-            assert!(query(&cli).is_ok(), "algo {algo}");
+            for threads in [0, 4] {
+                let mut cli = cli_for(&path.to_string_lossy(), Command::Query);
+                cli.algo = algo.into();
+                cli.threads = threads;
+                assert!(query(&cli).is_ok(), "algo {algo} threads {threads}");
+            }
         }
         std::fs::remove_file(path).ok();
     }

@@ -237,3 +237,135 @@ fn bad_usage_exits_nonzero_with_usage_text() {
     assert!(!out.status.success());
     assert_eq!(out.status.code(), Some(1));
 }
+
+/// The tentpole e2e property: `serve --threads N` replaying an id stream
+/// over TCP is byte-identical to `--threads 1` and to a direct in-process
+/// session — in a clean run and under an id-keyed `--chaos` fault plan
+/// (where only the plan's target ids may deviate, with typed errors).
+#[test]
+fn serve_threads_replay_is_bitwise_identical_clean_and_under_chaos() {
+    use resacc_service::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let graph_path = temp_graph();
+
+    let spawn_serve = |extra: &[&str]| -> (std::process::Child, String) {
+        let mut child = rwr()
+            .args(["serve", "--graph"])
+            .arg(&graph_path)
+            .args(["--listen", "127.0.0.1:0", "--workers", "2"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap();
+        let mut child_out = BufReader::new(child.stdout.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            assert_ne!(child_out.read_line(&mut line).unwrap(), 0, "server exited early");
+            if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                break rest.to_string();
+            }
+        };
+        (child, addr)
+    };
+
+    // One fixed id stream, fresh (source, seed) per id so every request
+    // computes (no cross-request cache hits hiding engine divergence).
+    let ids: Vec<u64> = (1..=21).collect();
+    let source_of = |id: u64| (id * 13) % 500;
+    let seed_of = |id: u64| 1000 + id;
+
+    // Replays the stream on one connection; per id, Ok(rendered scores) or
+    // Err(typed error code).
+    let replay = |addr: &str| -> Vec<(u64, Result<String, String>)> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut stream = stream;
+        ids.iter()
+            .map(|&id| {
+                let line = format!(
+                    "{{\"id\":{id},\"op\":\"query\",\"source\":{},\"seed\":{},\"full\":true}}\n",
+                    source_of(id),
+                    seed_of(id)
+                );
+                stream.write_all(line.as_bytes()).unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                let r = Json::parse(response.trim()).expect("server speaks json");
+                assert_eq!(r.get("id").unwrap().as_u64(), Some(id));
+                if r.get("ok").unwrap().as_bool() == Some(true) {
+                    (id, Ok(r.get("scores").unwrap().render()))
+                } else {
+                    (id, Err(r.get("error").unwrap().as_str().unwrap().to_string()))
+                }
+            })
+            .collect()
+    };
+    let shutdown = |mut child: std::process::Child, addr: &str| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(&stream).read_line(&mut line).unwrap();
+        assert!(child.wait().unwrap().success());
+    };
+
+    // Clean runs at 1 and 4 threads per query.
+    let (child1, addr1) = spawn_serve(&["--threads", "1"]);
+    let serial = replay(&addr1);
+    shutdown(child1, &addr1);
+    let (child4, addr4) = spawn_serve(&["--threads", "4"]);
+    let parallel = replay(&addr4);
+    shutdown(child4, &addr4);
+    assert_eq!(serial, parallel, "threads must never change served bytes");
+
+    // Direct in-process session: the served scores must be bit-identical.
+    let graph = resacc_graph::edgelist::load_edge_list(&graph_path, None, false).unwrap();
+    let n = graph.num_nodes().max(2) as f64;
+    let params = resacc::RwrParams::new(0.2, 0.5, 1.0 / n, 1.0 / n);
+    let session = resacc::RwrSession::with_config(
+        graph,
+        params,
+        resacc::resacc::ResAccConfig::default().with_threads(4),
+    );
+    for (id, outcome) in &serial {
+        let rendered = outcome.as_ref().expect("clean run has no errors");
+        let served: Vec<f64> = Json::parse(rendered)
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        let direct = session.query(source_of(*id) as u32, seed_of(*id)).scores;
+        assert_eq!(served.len(), direct.len());
+        for (s, d) in served.iter().zip(&direct) {
+            assert_eq!(s.to_bits(), d.to_bits(), "id {id}: served != direct");
+        }
+    }
+
+    // Chaos run at 4 threads: the fault plan keys on request id (expiry
+    // checked before panic), so exactly ids {7,14,21} time out, {10,20}
+    // panic, and every other id must still serve the identical bytes.
+    let (chaos_child, chaos_addr) =
+        spawn_serve(&["--threads", "4", "--chaos", "panic=10,delay=16:2,expire=7,seed=42"]);
+    let chaotic = replay(&chaos_addr);
+    shutdown(chaos_child, &chaos_addr);
+    for ((id, clean), (cid, chaotic)) in serial.iter().zip(&chaotic) {
+        assert_eq!(id, cid);
+        match (id % 7 == 0, id % 10 == 0) {
+            (true, _) => assert_eq!(
+                chaotic.as_ref().unwrap_err(),
+                "deadline_exceeded",
+                "id {id} must be force-expired"
+            ),
+            (false, true) => assert_eq!(
+                chaotic.as_ref().unwrap_err(),
+                "internal_panic",
+                "id {id} must hit the injected panic"
+            ),
+            _ => assert_eq!(chaotic, clean, "chaos changed non-faulted id {id}"),
+        }
+    }
+}

@@ -8,7 +8,6 @@
 //! fallible step).
 
 use crate::fora::{fora, ForaConfig};
-use crate::monte_carlo::{monte_carlo, monte_carlo_with_walks};
 use crate::params::RwrParams;
 use crate::resacc::{ResAcc, ResAccConfig};
 use crate::topk::top_k;
@@ -92,6 +91,8 @@ impl SsrwrEngine for ForwardSearchEngine {
 pub struct MonteCarloEngine {
     /// Optional explicit walk budget (`None` = the guarantee's count).
     pub walks: Option<u64>,
+    /// Worker threads (`0`/`1` = serial; never affects results).
+    pub threads: usize,
 }
 
 impl SsrwrEngine for MonteCarloEngine {
@@ -99,10 +100,21 @@ impl SsrwrEngine for MonteCarloEngine {
         "MC"
     }
     fn ssrwr(&self, graph: &CsrGraph, source: NodeId, params: &RwrParams, seed: u64) -> Vec<f64> {
-        match self.walks {
-            Some(w) => monte_carlo_with_walks(graph, source, params.alpha, w, seed).scores,
-            None => monte_carlo(graph, source, params, seed).scores,
-        }
+        let threads = self.threads.max(1);
+        let n_walks = self
+            .walks
+            .unwrap_or_else(|| params.walk_coefficient().ceil() as u64);
+        crate::monte_carlo::monte_carlo_with_walks_guarded(
+            graph,
+            source,
+            params.alpha,
+            n_walks,
+            seed,
+            threads,
+            &crate::Cancel::never(),
+        )
+        .expect("never-cancel token cannot abort")
+        .scores
     }
 }
 

@@ -63,6 +63,7 @@ pub mod forward_push;
 pub mod hubppr;
 pub mod monte_carlo;
 pub mod msrwr;
+pub mod par;
 pub mod params;
 pub mod particle_filter;
 pub mod power;

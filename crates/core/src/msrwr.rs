@@ -91,12 +91,11 @@ pub fn msrwr_resacc_parallel(
     results
 }
 
-/// Derives the per-source RNG seed (splitmix64 step over `seed + index`).
+/// Derives the per-source RNG seed (a [`crate::par::splitmix64`] mix of the
+/// query seed and the source's position — the same mixer the chunked walk
+/// streams use).
 fn derive_seed(seed: u64, index: usize) -> u64 {
-    let mut z = seed.wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(index as u64 + 1));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
+    crate::par::splitmix64(seed ^ (index as u64).wrapping_mul(0x9e3779b97f4a7c15))
 }
 
 #[cfg(test)]

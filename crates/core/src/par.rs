@@ -1,0 +1,346 @@
+//! Deterministic intra-query parallelism for the random-walk phases.
+//!
+//! ## The chunked-stream RNG contract
+//!
+//! The remedy phase (and the `MC` baseline) used to consume **one**
+//! sequential RNG stream: walk `i+1` could not start before walk `i`
+//! finished, so a single heavy query was pinned to one core. This module
+//! replaces that with a scheme that is parallel by construction yet
+//! bit-identical at any thread count:
+//!
+//! 1. Each node's walk budget is split into [`CHECK_INTERVAL`]-sized
+//!    *chunks* ([`WalkChunk`]), in the deterministic order the residues are
+//!    iterated (first-touch order of the push phase).
+//! 2. Each chunk gets its **own** RNG stream, seeded by
+//!    [`chunk_seed`]`(seed, node, chunk_idx)` — a splitmix64 mix of the
+//!    query seed, the node id and the chunk's index *within that node*.
+//!    No chunk ever reads another chunk's stream, so chunks can run in any
+//!    order, on any thread.
+//! 3. Scores are reduced **in fixed chunk order**: the serial path credits
+//!    terminals while walking; the parallel path records each chunk's
+//!    terminals into a buffer and replays the same `scores[t] += credit`
+//!    additions chunk by chunk. The sequence of f64 additions is therefore
+//!    *identical* in both paths — equality is bitwise, not approximate.
+//!
+//! This chunked scheme is the canonical RNG contract for serial *and*
+//! parallel execution (golden values were re-baselined once when it
+//! replaced the sequential stream; see DESIGN.md §10).
+//!
+//! ## Execution
+//!
+//! [`run_plan`] executes a [`WalkPlan`] either serially (`threads <= 1`,
+//! no buffering, no thread spawn) or in *waves*: each wave takes the next
+//! `threads × WAVE_FACTOR` chunks, partitions them contiguously across
+//! scoped worker threads (disjoint `chunks`/`chunks_mut` slices — no locks
+//! on the walk path), joins, and reduces the wave's buffers in order.
+//! Buffers are reused across waves, bounding extra memory at
+//! O(threads × WAVE_FACTOR × CHECK_INTERVAL) terminal ids regardless of the
+//! total walk count.
+//!
+//! ## Cancellation
+//!
+//! All workers share one [`SharedTicker`] over the query's [`Cancel`]
+//! token, so the combined operation count is checked at the same
+//! [`CHECK_INTERVAL`] granularity as the serial path. The first worker to
+//! observe expiry parks the error in an [`Abort`] latch (first error wins);
+//! the other workers bail out at their next chunk boundary, the wave's
+//! partial buffers are discarded *before* any reduction, and the caller
+//! receives `Err` — partially-accumulated scores are the caller's to throw
+//! away, which `RwrSession` already does by resetting the pooled workspace.
+
+use crate::cancel::{Cancel, QueryError, SharedTicker, CHECK_INTERVAL};
+use crate::walker::Walker;
+use parking_lot::Mutex;
+use resacc_graph::{CsrGraph, NodeId};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One splitmix64 step — the standard 64-bit finalizer/mixer.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed of chunk `chunk_idx` of node `node` under query seed
+/// `seed`. Part of the determinism contract: every execution mode derives
+/// chunk streams exactly this way, so thread count can never reach the RNG.
+pub fn chunk_seed(seed: u64, node: NodeId, chunk_idx: u32) -> u64 {
+    splitmix64(seed ^ splitmix64(((node as u64) << 32) | chunk_idx as u64))
+}
+
+/// How many chunks each thread claims per wave. Larger values amortize the
+/// per-wave join, smaller values bound buffer memory tighter; walk cost per
+/// chunk (up to [`CHECK_INTERVAL`] walks) dwarfs either effect.
+const WAVE_FACTOR: usize = 8;
+
+/// A unit of remedy work: up to [`CHECK_INTERVAL`] walks from one node,
+/// crediting `credit` per walk, on a private RNG stream.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkChunk {
+    /// Walk start node.
+    pub node: NodeId,
+    /// Walks in this chunk (1 ..= `CHECK_INTERVAL`).
+    pub walks: u32,
+    /// Score credited to each walk's terminal node.
+    pub credit: f64,
+    /// The chunk's private RNG seed ([`chunk_seed`]).
+    pub seed: u64,
+}
+
+/// A deterministic walk schedule: chunks in canonical (node, chunk) order.
+#[derive(Clone, Debug, Default)]
+pub struct WalkPlan {
+    /// The chunks, in execution/reduction order.
+    pub chunks: Vec<WalkChunk>,
+    /// Total walks across all chunks.
+    pub total_walks: u64,
+}
+
+impl WalkPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        WalkPlan::default()
+    }
+
+    /// Appends `walks` walks from `node` at `credit` each, split into
+    /// `CHECK_INTERVAL`-sized chunks with per-chunk seeds derived from the
+    /// query `seed`.
+    pub fn push_node(&mut self, node: NodeId, walks: u64, credit: f64, seed: u64) {
+        let mut remaining = walks;
+        let mut chunk_idx = 0u32;
+        while remaining > 0 {
+            let w = remaining.min(CHECK_INTERVAL as u64) as u32;
+            self.chunks.push(WalkChunk {
+                node,
+                walks: w,
+                credit,
+                seed: chunk_seed(seed, node, chunk_idx),
+            });
+            remaining -= w as u64;
+            chunk_idx = chunk_idx.wrapping_add(1);
+        }
+        self.total_walks += walks;
+    }
+}
+
+/// First-error-wins latch shared by the workers of one parallel phase.
+struct Abort {
+    flag: AtomicBool,
+    error: Mutex<Option<QueryError>>,
+}
+
+impl Abort {
+    fn new() -> Self {
+        Abort {
+            flag: AtomicBool::new(false),
+            error: Mutex::new(None),
+        }
+    }
+
+    /// Cheap pre-chunk poll so siblings stop within one chunk of the first
+    /// failure.
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    fn set(&self, e: QueryError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.flag.store(true, Ordering::Release);
+    }
+
+    fn take(&self) -> Option<QueryError> {
+        self.error.lock().take()
+    }
+}
+
+/// Executes `plan` against `scores`, using up to `threads` worker threads.
+///
+/// Bit-identical for every `threads` value (see module docs); `threads <= 1`
+/// runs inline with no buffering and no spawn.
+pub fn run_plan(
+    graph: &CsrGraph,
+    alpha: f64,
+    plan: &WalkPlan,
+    threads: usize,
+    scores: &mut [f64],
+    cancel: &Cancel,
+) -> Result<(), QueryError> {
+    debug_assert_eq!(scores.len(), graph.num_nodes());
+    if threads <= 1 || plan.chunks.len() <= 1 {
+        return run_serial(graph, alpha, &plan.chunks, scores, cancel);
+    }
+    run_parallel(graph, alpha, &plan.chunks, threads, scores, cancel)
+}
+
+fn run_serial(
+    graph: &CsrGraph,
+    alpha: f64,
+    chunks: &[WalkChunk],
+    scores: &mut [f64],
+    cancel: &Cancel,
+) -> Result<(), QueryError> {
+    let ticker = SharedTicker::new(cancel);
+    for ch in chunks {
+        ticker.tick_n(ch.walks as u64)?;
+        let mut walker = Walker::new(graph, alpha, ch.seed);
+        walker.walk_and_credit(ch.node, ch.walks as u64, ch.credit, scores);
+    }
+    Ok(())
+}
+
+fn run_parallel(
+    graph: &CsrGraph,
+    alpha: f64,
+    chunks: &[WalkChunk],
+    threads: usize,
+    scores: &mut [f64],
+    cancel: &Cancel,
+) -> Result<(), QueryError> {
+    let ticker = SharedTicker::new(cancel);
+    let abort = Abort::new();
+    let wave = threads * WAVE_FACTOR;
+    let mut buffers: Vec<Vec<NodeId>> = vec![Vec::new(); wave];
+    for wave_chunks in chunks.chunks(wave) {
+        let bufs = &mut buffers[..wave_chunks.len()];
+        // Contiguous partition: worker t owns chunk slots
+        // [t·per, (t+1)·per), both the inputs and the output buffers, so
+        // the borrow checker proves the writes cannot alias.
+        let per = wave_chunks.len().div_ceil(threads);
+        let (ticker_ref, abort_ref) = (&ticker, &abort);
+        crossbeam::scope(|scope| {
+            for (cs, bs) in wave_chunks.chunks(per).zip(bufs.chunks_mut(per)) {
+                scope.spawn(move |_| {
+                    for (ch, buf) in cs.iter().zip(bs.iter_mut()) {
+                        if abort_ref.is_set() {
+                            return;
+                        }
+                        if let Err(e) = ticker_ref.tick_n(ch.walks as u64) {
+                            abort_ref.set(e);
+                            return;
+                        }
+                        buf.clear();
+                        let mut walker = Walker::new(graph, alpha, ch.seed);
+                        walker.walk_and_record(ch.node, ch.walks as u64, buf);
+                    }
+                });
+            }
+        })
+        .expect("walk worker panicked");
+        if let Some(e) = abort.take() {
+            return Err(e);
+        }
+        // Reduce in chunk order: the exact f64 additions the serial path
+        // performs, in the exact order it performs them.
+        for (ch, buf) in wave_chunks.iter().zip(bufs.iter()) {
+            for &t in buf {
+                scores[t as usize] += ch.credit;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+
+    fn demo_plan(seed: u64) -> WalkPlan {
+        let mut plan = WalkPlan::new();
+        // Mixed chunk sizes: sub-interval, exact-interval, multi-chunk.
+        plan.push_node(0, 100, 0.001, seed);
+        plan.push_node(3, CHECK_INTERVAL as u64, 0.0005, seed);
+        plan.push_node(7, 3 * CHECK_INTERVAL as u64 + 17, 0.0002, seed);
+        plan
+    }
+
+    #[test]
+    fn chunk_seeds_are_distinct_and_deterministic() {
+        let a = chunk_seed(1, 2, 3);
+        assert_eq!(a, chunk_seed(1, 2, 3));
+        assert_ne!(a, chunk_seed(2, 2, 3), "seed must matter");
+        assert_ne!(a, chunk_seed(1, 3, 3), "node must matter");
+        assert_ne!(a, chunk_seed(1, 2, 4), "chunk index must matter");
+    }
+
+    #[test]
+    fn plan_splits_budgets_into_interval_chunks() {
+        let mut plan = WalkPlan::new();
+        plan.push_node(5, 2 * CHECK_INTERVAL as u64 + 1, 0.25, 9);
+        assert_eq!(plan.total_walks, 2 * CHECK_INTERVAL as u64 + 1);
+        assert_eq!(plan.chunks.len(), 3);
+        assert_eq!(plan.chunks[0].walks, CHECK_INTERVAL);
+        assert_eq!(plan.chunks[1].walks, CHECK_INTERVAL);
+        assert_eq!(plan.chunks[2].walks, 1);
+        // Per-node chunk indices restart at 0, but seeds stay distinct.
+        assert_ne!(plan.chunks[0].seed, plan.chunks[1].seed);
+        assert_eq!(plan.chunks[0].seed, chunk_seed(9, 5, 0));
+    }
+
+    #[test]
+    fn serial_and_parallel_are_bitwise_identical() {
+        let g = gen::barabasi_albert(200, 3, 4);
+        let plan = demo_plan(0xDEC0DE);
+        let mut serial = vec![0.0f64; 200];
+        run_plan(&g, 0.2, &plan, 1, &mut serial, &Cancel::never()).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let mut par = vec![0.0f64; 200];
+            run_plan(&g, 0.2, &plan, threads, &mut par, &Cancel::never()).unwrap();
+            for (v, (a, b)) in serial.iter().zip(par.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "threads={threads} node={v}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mass_is_exactly_credit_times_walks() {
+        let g = gen::cycle(40);
+        let mut plan = WalkPlan::new();
+        plan.push_node(0, 5000, 1.0 / 5000.0, 3);
+        let mut scores = vec![0.0f64; 40];
+        run_plan(&g, 0.2, &plan, 4, &mut scores, &Cancel::never()).unwrap();
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_parallel_run() {
+        let g = gen::barabasi_albert(300, 4, 1);
+        let mut plan = WalkPlan::new();
+        for node in 0..50u32 {
+            plan.push_node(node, 4 * CHECK_INTERVAL as u64, 1e-6, 11);
+        }
+        let expired = Cancel::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let mut scores = vec![0.0f64; 300];
+        let err = run_plan(&g, 0.2, &plan, 4, &mut scores, &expired).unwrap_err();
+        assert_eq!(err, QueryError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn manual_cancel_aborts_serial_run() {
+        let g = gen::cycle(10);
+        let mut plan = WalkPlan::new();
+        plan.push_node(0, 100 * CHECK_INTERVAL as u64, 1e-9, 1);
+        let token = Cancel::manual();
+        token.cancel();
+        let mut scores = vec![0.0f64; 10];
+        let err = run_plan(&g, 0.2, &plan, 1, &mut scores, &token).unwrap_err();
+        assert_eq!(err, QueryError::Cancelled);
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let g = gen::cycle(5);
+        let mut scores = vec![0.0f64; 5];
+        run_plan(&g, 0.2, &WalkPlan::new(), 8, &mut scores, &Cancel::never()).unwrap();
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+}

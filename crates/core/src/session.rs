@@ -33,7 +33,7 @@ use crate::state::ForwardState;
 use crate::topk::top_k;
 use parking_lot::{Mutex, RwLock};
 use resacc_graph::{dynamic, CsrGraph, NodeId};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The lock-protected mutable core: topology plus derived parameters.
 struct SessionState {
@@ -48,6 +48,10 @@ pub struct RwrSession {
     engine: ResAcc,
     version: AtomicU64,
     pool: Mutex<Vec<ForwardState>>,
+    /// Default intra-query thread budget; adjustable at runtime
+    /// ([`RwrSession::set_threads`]) because thread count never affects
+    /// results (the chunked-stream RNG contract, see [`crate::par`]).
+    threads: AtomicUsize,
 }
 
 /// Read guard over the session's graph; derefs to [`CsrGraph`]. Mutations
@@ -76,7 +80,20 @@ impl RwrSession {
             engine: ResAcc::new(config),
             version: AtomicU64::new(0),
             pool: Mutex::new(Vec::new()),
+            threads: AtomicUsize::new(config.threads.max(1)),
         }
+    }
+
+    /// The session's default intra-query thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Sets the default intra-query thread budget (`0` is treated as `1`).
+    /// Safe at any time: thread count is purely a latency knob and can
+    /// never change what a query computes.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads.max(1), Ordering::Relaxed);
     }
 
     /// The current graph, behind a read guard.
@@ -151,12 +168,34 @@ impl RwrSession {
         seed: u64,
         cancel: &Cancel,
     ) -> Result<(ResAccResult, u64), QueryError> {
+        self.try_query_versioned_with_threads(source, seed, cancel, None)
+    }
+
+    /// [`RwrSession::try_query_versioned`] with a per-call thread budget:
+    /// `Some(n)` overrides the session default for this query only. The
+    /// budget can never change the result — it only changes how many cores
+    /// the remedy phase uses.
+    pub fn try_query_versioned_with_threads(
+        &self,
+        source: NodeId,
+        seed: u64,
+        cancel: &Cancel,
+        threads: Option<usize>,
+    ) -> Result<(ResAccResult, u64), QueryError> {
+        let threads = threads
+            .unwrap_or_else(|| self.threads.load(Ordering::Relaxed))
+            .max(1);
+        // ResAccConfig is Copy, so a per-call engine with the effective
+        // thread budget costs nothing.
+        let engine = ResAcc::new(ResAccConfig {
+            threads,
+            ..*self.engine.config()
+        });
         let state = self.state.read();
         let version = self.version.load(Ordering::Acquire);
         let mut ws = self.checkout(state.graph.num_nodes());
-        let result = self
-            .engine
-            .query_guarded(&state.graph, source, &state.params, seed, &mut ws, cancel);
+        let result =
+            engine.query_guarded(&state.graph, source, &state.params, seed, &mut ws, cancel);
         drop(state);
         if result.is_err() {
             // An aborted query leaves mid-phase residues behind; scrub them
@@ -351,6 +390,24 @@ mod tests {
         let (guarded, v2) = session.try_query_versioned(9, 42, &generous).unwrap();
         assert_eq!(plain.scores, guarded.scores);
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn thread_budget_is_a_pure_latency_knob() {
+        let session = RwrSession::new(gen::barabasi_albert(300, 3, 6));
+        assert_eq!(session.threads(), 1);
+        let base = session.query(3, 42).scores;
+        session.set_threads(4);
+        assert_eq!(session.threads(), 4);
+        let four = session.query(3, 42).scores;
+        assert_eq!(base, four, "session default threads leaked into results");
+        let (two, _) = session
+            .try_query_versioned_with_threads(3, 42, &Cancel::never(), Some(2))
+            .unwrap();
+        assert_eq!(base, two.scores, "per-call override leaked into results");
+        // 0 is clamped to 1.
+        session.set_threads(0);
+        assert_eq!(session.threads(), 1);
     }
 
     #[test]

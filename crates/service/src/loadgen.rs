@@ -49,6 +49,9 @@ pub struct LoadgenConfig {
     pub k: usize,
     /// `deadline_ms` sent with each query (0 = none).
     pub deadline_ms: u64,
+    /// `threads` hint sent with each query (0 = omit the field). A pure
+    /// latency knob: responses are byte-identical for any value.
+    pub threads: usize,
     /// Chaos mode: typed error responses (`overloaded`,
     /// `deadline_exceeded`, `internal_panic`) are *expected* outcomes of a
     /// fault-injection run — they are classified and reported rather than
@@ -71,6 +74,7 @@ impl Default for LoadgenConfig {
             per_request_seeds: false,
             k: 10,
             deadline_ms: 0,
+            threads: 0,
             chaos: false,
             shutdown_after: false,
         }
@@ -270,8 +274,13 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                         } else {
                             String::new()
                         };
+                        let threads = if config.threads > 0 {
+                            format!(",\"threads\":{}", config.threads)
+                        } else {
+                            String::new()
+                        };
                         let request = format!(
-                            "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}}}\n",
+                            "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}{threads}}}\n",
                             config.k
                         );
                         let sent = Instant::now();

@@ -86,6 +86,9 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Close a connection after this long without a byte (0 = never).
     pub idle_timeout_ms: u64,
+    /// Intra-query threads per engine run (`<= 1` = serial remedy); capped
+    /// by the machine budget in the scheduler. Never affects results.
+    pub threads_per_query: usize,
     /// Fault-injection plan (tests / load generation only).
     pub faults: FaultPlan,
 }
@@ -102,6 +105,7 @@ impl Default for ServerConfig {
             max_conns: 256,
             max_line_bytes: 1 << 20,
             idle_timeout_ms: 30_000,
+            threads_per_query: 1,
             faults: FaultPlan::default(),
         }
     }
@@ -135,6 +139,7 @@ pub fn serve(
             batch_max: config.batch_max,
             queue_cap: config.queue_cap,
             default_deadline: None, // applied per request from deadline_ms
+            threads_per_query: config.threads_per_query,
             faults: config.faults,
             ..Default::default()
         },
@@ -510,6 +515,12 @@ fn op_query(request: &Json, scheduler: &Scheduler, limits: &ConnLimits) -> Resul
         .and_then(Json::as_u64)
         .or((limits.default_deadline_ms > 0).then_some(limits.default_deadline_ms));
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    // Optional per-request thread hint; capped by the scheduler, and by
+    // contract unable to change the result — only how fast it arrives.
+    let threads = request
+        .get("threads")
+        .and_then(Json::as_u64)
+        .map(|t| t as usize);
 
     // Source-range validation happens inside the scheduler, under the same
     // session lock the query runs under — a wire-level pre-check here would
@@ -519,6 +530,7 @@ fn op_query(request: &Json, scheduler: &Scheduler, limits: &ConnLimits) -> Resul
         source,
         seed,
         deadline,
+        threads,
     });
     let response = match outcome {
         Ok(r) => r,

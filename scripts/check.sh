@@ -5,6 +5,9 @@
 #   3. clippy with warnings promoted to errors
 #   4. chaos smoke: a seeded fault-injection run against a real server must
 #      sustain the load, contain every injected panic, and drain cleanly
+#   5. parallel determinism: `rwr query` at 1 and 4 threads must print
+#      byte-identical results, and a bench_parallel smoke run must pass its
+#      bitwise 1-vs-N gate (the ≥2× speedup gate self-disables on <4 cores)
 #
 # The workspace builds offline (external deps resolve to shims/*), so pin
 # CARGO_NET_OFFLINE to keep cargo from ever touching the network.
@@ -48,5 +51,23 @@ if grep -q "panicked at" "$SMOKE_DIR/serve.err"; then
   cat "$SMOKE_DIR/serve.err"
   exit 1
 fi
+
+echo "==> parallel determinism: query --threads 1 vs --threads 4 bitwise replay"
+# Strip the timing header line (wall clock varies); every other byte must
+# match — the chunked-stream RNG contract (DESIGN.md §10) makes thread
+# count a pure latency knob.
+target/release/rwr query --graph "$SMOKE_DIR/graph.txt" --source 3 --seed 7 \
+  --threads 1 | tail -n +2 > "$SMOKE_DIR/q1.out"
+target/release/rwr query --graph "$SMOKE_DIR/graph.txt" --source 3 --seed 7 \
+  --threads 4 | tail -n +2 > "$SMOKE_DIR/q4.out"
+if ! cmp -s "$SMOKE_DIR/q1.out" "$SMOKE_DIR/q4.out"; then
+  echo "parallel determinism: 1-thread and 4-thread query output diverged:"
+  diff "$SMOKE_DIR/q1.out" "$SMOKE_DIR/q4.out" || true
+  exit 1
+fi
+
+echo "==> bench_parallel smoke (bitwise 1-vs-N gate)"
+RESACC_BENCH_PARALLEL_QUERIES=2 RESACC_BENCH_PARALLEL_WALK_SCALE=2 \
+  target/release/bench_parallel "$SMOKE_DIR/BENCH_parallel.json" > /dev/null
 
 echo "==> all checks passed"
