@@ -36,6 +36,15 @@ serve options:
                                       (default 1; capped at cores/workers)
   --chaos <spec>                      fault injection, e.g. panic=10,
                                       delay=16:5,expire=7,seed=42
+  --data-dir <dir>                    durable mutations: WAL + snapshots in
+                                      <dir>, recovered on startup (default:
+                                      in-memory only)
+  --snapshot-every <n>                snapshot + truncate the WAL every n
+                                      mutations (default 512; 0 = only the
+                                      shutdown checkpoint)
+  --fsync <always|never>              fsync the WAL on every append
+                                      (default always; never = durable
+                                      against crashes, not power loss)
 
 loadgen options:
   --addr <addr>                       server to target (default 127.0.0.1:7171)
@@ -100,6 +109,9 @@ pub struct Cli {
     pub chaos_spec: Option<String>,
     pub chaos: bool,
     pub shutdown_after: bool,
+    pub data_dir: Option<String>,
+    pub snapshot_every: u64,
+    pub fsync: bool,
 }
 
 impl Cli {
@@ -145,6 +157,9 @@ impl Cli {
             chaos_spec: None,
             chaos: false,
             shutdown_after: false,
+            data_dir: None,
+            snapshot_every: 512,
+            fsync: true,
         };
         let mut have_source = false;
         let mut have_target = false;
@@ -194,6 +209,22 @@ impl Cli {
                 }
                 "--chaos" => cli.chaos = true,
                 "--shutdown" => cli.shutdown_after = true,
+                "--data-dir" => cli.data_dir = Some(value("--data-dir")?),
+                "--snapshot-every" => {
+                    cli.snapshot_every =
+                        parse_num(&value("--snapshot-every")?, "--snapshot-every")?
+                }
+                "--fsync" => {
+                    cli.fsync = match value("--fsync")?.as_str() {
+                        "always" => true,
+                        "never" => false,
+                        other => {
+                            return Err(format!(
+                                "--fsync expects always|never, got {other:?}"
+                            ))
+                        }
+                    }
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -338,6 +369,29 @@ mod tests {
         // serve --chaos wants a value.
         assert!(parse("serve --graph g.txt --chaos").is_err());
         assert!(parse("serve --graph g.txt --deadline-ms x").is_err());
+    }
+
+    #[test]
+    fn durability_flags() {
+        // Defaults: no data dir, snapshot every 512, fsync on.
+        let cli = parse("serve --graph g.txt").unwrap();
+        assert_eq!(cli.data_dir, None);
+        assert_eq!(cli.snapshot_every, 512);
+        assert!(cli.fsync);
+
+        let cli = parse(
+            "serve --graph g.txt --data-dir /tmp/d --snapshot-every 64 --fsync never",
+        )
+        .unwrap();
+        assert_eq!(cli.data_dir.as_deref(), Some("/tmp/d"));
+        assert_eq!(cli.snapshot_every, 64);
+        assert!(!cli.fsync);
+
+        let cli = parse("serve --graph g.txt --fsync always").unwrap();
+        assert!(cli.fsync);
+        assert!(parse("serve --graph g.txt --fsync sometimes").is_err());
+        assert!(parse("serve --graph g.txt --data-dir").is_err());
+        assert!(parse("serve --graph g.txt --snapshot-every x").is_err());
     }
 
     #[test]

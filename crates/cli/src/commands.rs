@@ -145,13 +145,44 @@ pub fn convert(cli: &Cli) -> Result<(), String> {
 /// process using `--listen 127.0.0.1:0` can scrape the ephemeral port.
 pub fn serve(cli: &Cli) -> Result<(), String> {
     use std::io::Write;
-    let graph = load_graph(cli)?;
-    let params = params_for(cli, &graph);
-    let session = std::sync::Arc::new(resacc::RwrSession::with_config(
-        graph,
-        params,
-        ResAccConfig::default(),
-    ));
+    // With --data-dir the durable state (snapshot + WAL) is authoritative;
+    // the graph file only seeds a fresh, empty directory.
+    let (session, recovery) = match cli.data_dir.as_deref() {
+        Some(dir) => {
+            let opts = resacc::durability::DurabilityOptions {
+                fsync: cli.fsync,
+                snapshot_every: cli.snapshot_every,
+            };
+            let recovered =
+                resacc::durability::open_dir(std::path::Path::new(dir), opts, || {
+                    load_graph(cli).map_err(std::io::Error::other).map_err(Into::into)
+                })
+                .map_err(|e| format!("recovering {dir}: {e}"))?;
+            println!(
+                "# recovered version {} from {dir}: {} snapshot(s) loaded, {} WAL record(s) replayed, {} B truncated",
+                recovered.version,
+                recovered.stats.snapshots_loaded,
+                recovered.stats.wal_records_replayed,
+                recovered.stats.wal_truncated_bytes
+            );
+            let stats = recovered.stats;
+            let n = recovered.graph.num_nodes().max(2) as f64;
+            let params = RwrParams::new(cli.alpha, cli.epsilon, 1.0 / n, 1.0 / n);
+            let session =
+                resacc::RwrSession::from_recovered(recovered, params, ResAccConfig::default());
+            (std::sync::Arc::new(session), stats)
+        }
+        None => {
+            let graph = load_graph(cli)?;
+            let params = params_for(cli, &graph);
+            let session = std::sync::Arc::new(resacc::RwrSession::with_config(
+                graph,
+                params,
+                ResAccConfig::default(),
+            ));
+            (session, resacc::durability::RecoveryStats::default())
+        }
+    };
     let threads_per_query = cli.threads.max(1);
     let faults = match cli.chaos_spec.as_deref() {
         Some(spec) => resacc_service::FaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
@@ -189,6 +220,7 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             max_conns: cli.max_conns,
             threads_per_query,
             faults,
+            recovery,
             ..resacc_service::ServerConfig::default()
         },
     )
@@ -266,6 +298,9 @@ mod tests {
             chaos_spec: None,
             chaos: false,
             shutdown_after: false,
+            data_dir: None,
+            snapshot_every: 512,
+            fsync: true,
         }
     }
 

@@ -1,0 +1,311 @@
+//! Crash-fault injection harness: spawn the compiled `rwr serve` binary
+//! with `RESACC_CRASH_POINT` armed, SIGKILL it at a deterministic on-disk
+//! state, restart it on the same `--data-dir`, and assert that recovery
+//! is exact — every acknowledged mutation survives, and the recovered
+//! graph answers SSRWR queries bit-identically to a never-crashed replay.
+//!
+//! Crash points (see `resacc::durability`):
+//! - `wal-mid-append`: half a WAL record on disk → torn tail truncated,
+//!   the in-flight (unacknowledged) mutation is lost.
+//! - `wal-pre-apply`: record fsync'd but never applied or acknowledged →
+//!   replayed on recovery (acknowledged-durable allows extra survivors,
+//!   never missing ones).
+//! - `snap-mid-rename`: snapshot temp file written but never renamed →
+//!   ignored and cleaned up; the WAL still covers everything.
+
+use resacc_service::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+fn rwr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rwr"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rwr-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn graph_file(dir: &Path) -> PathBuf {
+    let path = dir.join("g.txt");
+    let g = resacc_graph::gen::barabasi_albert(300, 3, 7);
+    resacc_graph::edgelist::save_edge_list(&g, &path).unwrap();
+    path
+}
+
+/// The fixed mutation history every test drives, as NDJSON requests.
+fn mutation_lines() -> Vec<String> {
+    vec![
+        r#"{"id":1,"op":"insert_edges","edges":[[0,299],[5,6]]}"#.into(),
+        r#"{"id":2,"op":"delete_node","node":7}"#.into(),
+        r#"{"id":3,"op":"insert_edges","edges":[[7,3],[9,11]]}"#.into(),
+        r#"{"id":4,"op":"delete_edges","edges":[[0,299]]}"#.into(),
+        r#"{"id":5,"op":"insert_edges","edges":[[42,43],[44,45]]}"#.into(),
+    ]
+}
+
+/// Applies mutation `i` of the same history to an in-process session.
+fn apply_nth(session: &resacc::RwrSession, i: usize) {
+    match i {
+        0 => session.insert_edges(&[(0, 299), (5, 6)]),
+        1 => session.delete_node(7),
+        2 => session.insert_edges(&[(7, 3), (9, 11)]),
+        3 => session.delete_edges(&[(0, 299)]),
+        4 => session.insert_edges(&[(42, 43), (44, 45)]),
+        _ => unreachable!(),
+    };
+}
+
+/// The never-crashed ground truth: same graph, params, history prefix, and
+/// seed, computed in-process. The recovered server must match bit-for-bit.
+fn ground_truth(graph_path: &Path, mutations: u64, source: u32, seed: u64) -> Vec<f64> {
+    let graph = resacc_graph::edgelist::load_edge_list(graph_path, None, false).unwrap();
+    let n = graph.num_nodes().max(2) as f64;
+    let params = resacc::RwrParams::new(0.2, 0.5, 1.0 / n, 1.0 / n);
+    let session = resacc::RwrSession::with_config(
+        graph,
+        params,
+        resacc::resacc::ResAccConfig::default(),
+    );
+    for i in 0..mutations as usize {
+        apply_nth(&session, i);
+    }
+    session.query(source, seed).scores
+}
+
+/// A running server child whose stdout is pumped into a channel so the
+/// harness can watch for the `CRASH_POINT` marker while blocked on a
+/// socket that will never answer.
+struct Server {
+    child: Child,
+    stdout: mpsc::Receiver<String>,
+    addr: String,
+    banner: Vec<String>,
+}
+
+fn spawn_serve(
+    graph: &Path,
+    data_dir: &Path,
+    snapshot_every: &str,
+    crash_spec: Option<&str>,
+) -> Server {
+    let mut cmd = rwr();
+    cmd.args(["serve", "--graph"])
+        .arg(graph)
+        .args(["--listen", "127.0.0.1:0", "--data-dir"])
+        .arg(data_dir)
+        .args(["--snapshot-every", snapshot_every]);
+    if let Some(spec) = crash_spec {
+        cmd.env("RESACC_CRASH_POINT", spec);
+    }
+    let mut child = cmd.stdout(Stdio::piped()).spawn().unwrap();
+    let mut out = BufReader::new(child.stdout.take().unwrap());
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || loop {
+        let mut line = String::new();
+        match out.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                if tx.send(line.trim().to_string()).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    let mut banner = Vec::new();
+    let addr = loop {
+        let line = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("server prints `listening on`");
+        match line.strip_prefix("listening on ") {
+            Some(rest) => break rest.to_string(),
+            None => banner.push(line),
+        }
+    };
+    Server {
+        child,
+        stdout: rx,
+        addr,
+        banner,
+    }
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    Json::parse(response.trim()).expect("server speaks json")
+}
+
+/// Streams the mutation history at the armed server until the crash point
+/// fires; returns how many mutations were *acknowledged* before the crash.
+fn mutate_until_crash(server: &Server, point: &str) -> u64 {
+    let (stream, mut reader) = connect(&server.addr);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut stream = stream;
+    let mut acked = 0u64;
+    for line in mutation_lines() {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        // Keep partial reads across timeouts: read_line appends.
+        let mut response = String::new();
+        loop {
+            match reader.read_line(&mut response) {
+                Ok(0) => panic!("server closed the connection mid-history"),
+                Ok(_) => {
+                    let r = Json::parse(response.trim()).expect("server speaks json");
+                    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{response}");
+                    acked = r.get("version").unwrap().as_u64().unwrap();
+                    break;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    while let Ok(l) = server.stdout.try_recv() {
+                        if l == format!("CRASH_POINT {point}") {
+                            return acked;
+                        }
+                    }
+                    assert!(Instant::now() < deadline, "no ack and no crash marker");
+                }
+                Err(e) => panic!("socket error: {e}"),
+            }
+        }
+    }
+    panic!("crash point {point} never fired over the full history")
+}
+
+/// The shared scenario: crash at `crash_spec`, restart, verify.
+///
+/// `expected_acked` mutations get acknowledgements before the crash;
+/// `expected_survivors` must be recovered (>= acked: an acknowledged
+/// mutation may NEVER be lost, an unacknowledged-but-durable one may
+/// legitimately survive).
+fn crash_and_recover(
+    tag: &str,
+    crash_spec: &str,
+    snapshot_every: &str,
+    expected_acked: u64,
+    expected_survivors: u64,
+    expect_truncation: bool,
+) {
+    let dir = temp_dir(tag);
+    let graph = graph_file(&dir);
+    let data = dir.join("data");
+    let point = crash_spec.split(':').next().unwrap();
+
+    // Lifetime 1: armed. Stream mutations until the crash point parks the
+    // handler, then SIGKILL — no destructor, flush, or fsync runs.
+    let mut server = spawn_serve(&graph, &data, snapshot_every, Some(crash_spec));
+    let acked = mutate_until_crash(&server, point);
+    assert_eq!(acked, expected_acked, "acks before the crash");
+    server.child.kill().unwrap();
+    server.child.wait().unwrap();
+
+    // Lifetime 2: recover. The banner must report what happened.
+    let mut server = spawn_serve(&graph, &data, snapshot_every, None);
+    assert!(
+        server.banner.iter().any(|l| l.starts_with("# recovered version")),
+        "missing recovery banner: {:?}",
+        server.banner
+    );
+    let (mut stream, mut reader) = connect(&server.addr);
+    let s = roundtrip(&mut stream, &mut reader, r#"{"op":"stats"}"#);
+    assert_eq!(
+        s.get("version").unwrap().as_u64(),
+        Some(expected_survivors),
+        "recovered version"
+    );
+    assert!(
+        expected_survivors >= acked,
+        "an acknowledged mutation was lost"
+    );
+    let stats = s.get("stats").unwrap();
+    assert_eq!(
+        stats.get("wal_records_replayed").unwrap().as_u64(),
+        Some(expected_survivors),
+        "no snapshot was completed, so every survivor comes from the WAL"
+    );
+    let truncated = stats.get("wal_truncated_bytes").unwrap().as_u64().unwrap();
+    if expect_truncation {
+        assert!(truncated > 0, "torn tail must be counted");
+    } else {
+        assert_eq!(truncated, 0, "nothing to truncate at this crash point");
+    }
+
+    // No snapshot temp leftovers survive recovery.
+    for entry in std::fs::read_dir(&data).unwrap() {
+        let name = entry.unwrap().file_name();
+        assert!(
+            !name.to_string_lossy().ends_with(".tmp"),
+            "leftover temp file {name:?}"
+        );
+    }
+
+    // The recovered graph answers bit-identically to a never-crashed
+    // in-process replay of the surviving history prefix.
+    let r = roundtrip(
+        &mut stream,
+        &mut reader,
+        r#"{"id":9,"op":"query","source":3,"seed":77,"full":true}"#,
+    );
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    let served: Vec<f64> = r
+        .get("scores")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    let truth = ground_truth(&graph, expected_survivors, 3, 77);
+    assert_eq!(served.len(), truth.len(), "recovered graph size");
+    for (i, (s, t)) in served.iter().zip(&truth).enumerate() {
+        assert_eq!(s.to_bits(), t.to_bits(), "node {i}: served != ground truth");
+    }
+
+    let bye = roundtrip(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok").unwrap().as_bool(), Some(true));
+    drop(stream);
+    assert!(server.child.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash with half of record 3 on disk: mutations 1–2 survive, the torn
+/// tail is truncated and counted.
+#[test]
+fn sigkill_mid_wal_append_truncates_the_torn_tail() {
+    crash_and_recover("mid-append", "wal-mid-append:3", "0", 2, 2, true);
+}
+
+/// Crash after record 4 is fsync'd but before it is applied or
+/// acknowledged: all four records replay (durable > acknowledged).
+#[test]
+fn sigkill_between_append_and_apply_replays_the_durable_record() {
+    crash_and_recover("pre-apply", "wal-pre-apply:4", "0", 3, 4, false);
+}
+
+/// Crash mid-snapshot-rename (snapshot every 2 mutations, so it fires
+/// inside mutation 2): the temp file is ignored, the WAL covers both
+/// records, and the unacknowledged-but-durable mutation 2 survives.
+#[test]
+fn sigkill_mid_snapshot_rename_falls_back_to_the_wal() {
+    crash_and_recover("mid-rename", "snap-mid-rename:1", "2", 1, 2, false);
+}

@@ -1,0 +1,414 @@
+//! Durable graph mutations: write-ahead log, snapshots, crash recovery.
+//!
+//! The paper's index-free argument cuts both ways for persistence: because
+//! ResAcc has no index, the *graph itself* is the only state a process must
+//! not lose — there is nothing else to rebuild on restart. This module
+//! persists the mutation stream so a crash never silently discards an
+//! acknowledged `insert_edges` / `delete_edges` / `delete_node`, which is
+//! what the service's versioned-cache and determinism-replay contracts
+//! assume (a version counter that restarts from zero would alias cache
+//! keys and make replays lie).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   mutation ──► WAL append + fsync ──► apply to CSR ──► version bump
+//!                     │                                     │
+//!                     │                    every --snapshot-every mutations
+//!                     │                                     ▼
+//!                     │                  snapshot tmp → fsync → rename → fsync dir
+//!                     │                                     │
+//!                     └──────────── WAL truncated ◄─────────┘
+//!
+//!   startup ──► latest valid snapshot ──► replay WAL tail ──► truncate torn tail
+//! ```
+//!
+//! * [`wal::Wal`] — append-only log of [`MutationOp`]s, one checksummed,
+//!   length-prefixed record per mutation, fsync'd **before** the mutation
+//!   is applied and before the version counter bumps. An acknowledged
+//!   mutation is therefore durable by construction.
+//! * [`snapshot`] — periodic full-CSR snapshots (`snap-<version>.rsnap`),
+//!   written to a temp file, fsync'd, and renamed into place atomically so
+//!   a crash mid-snapshot can never destroy the previous one.
+//! * [`recovery`] — startup path: load the newest snapshot that decodes
+//!   cleanly, replay the WAL records past its version, and *truncate*
+//!   (never panic on) a torn or bit-flipped tail, counting the dropped
+//!   bytes in [`RecoveryStats::wal_truncated_bytes`].
+//!
+//! ## What is acknowledged-durable
+//!
+//! A mutation is durable once its WAL record is fsync'd — which happens
+//! before the caller gets the new version number back. A crash *before*
+//! the fsync loses only mutations that were never acknowledged; a crash
+//! *after* it (even before the in-memory apply) is recovered by replay.
+//! Snapshots are an optimization (they bound replay time), never a
+//! correctness requirement: recovery from snapshot+tail and recovery from
+//! a full-history WAL produce bit-identical graphs because replay applies
+//! the exact same [`MutationOp::apply`] the live path used.
+//!
+//! ## Crash-fault injection
+//!
+//! The harness in `crates/cli/tests/crash_recovery.rs` spawns the server
+//! as a child process with `RESACC_CRASH_POINT=<name>[:<nth>]` set, waits
+//! for the `CRASH_POINT <name>` marker on stdout, and SIGKILLs it. The
+//! named points ([`crash_point`]) park the process at the exact on-disk
+//! states the recovery path must survive: a half-written WAL record
+//! (`wal-mid-append`), a fully fsync'd record that was never applied
+//! (`wal-pre-apply`), and a finished snapshot temp file that was never
+//! renamed (`snap-mid-rename`).
+
+pub mod recovery;
+pub mod snapshot;
+pub mod wal;
+
+pub use recovery::{open_dir, DurabilityOptions, Recovered, RecoveryStats};
+pub use snapshot::{load_snapshot, write_snapshot};
+pub use wal::Wal;
+
+use resacc_graph::{dynamic, CsrGraph, NodeId};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A typed durability failure; never a panic.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// Underlying filesystem failure (append, fsync, rename, …).
+    Io(std::io::Error),
+    /// A snapshot or WAL file failed validation (bad magic, CRC mismatch,
+    /// truncation, out-of-range content).
+    Corrupt {
+        /// File that failed to decode.
+        path: PathBuf,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability I/O: {e}"),
+            DurabilityError::Corrupt { path, detail } => {
+                write!(f, "corrupt {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+/// One graph mutation, in the exact form the WAL logs and replay re-applies.
+///
+/// The replay contract: [`MutationOp::apply`] is the *only* way both the
+/// live path ([`crate::RwrSession`]) and recovery transform the graph, so
+/// a replayed history is bit-identical to the history as it was served —
+/// including the documented `delete_node`-then-`insert_edges` resurrection
+/// semantics (see `crates/core/src/session.rs`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Insert directed edges (duplicates deduplicated).
+    InsertEdges(Vec<(NodeId, NodeId)>),
+    /// Delete directed edges (absent edges ignored).
+    DeleteEdges(Vec<(NodeId, NodeId)>),
+    /// Isolate a node (ids stay stable).
+    DeleteNode(NodeId),
+}
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_DELETE_NODE: u8 = 3;
+
+impl MutationOp {
+    /// Applies the mutation by CSR reconstruction (the same cost model the
+    /// paper's dynamic-graph experiment measures).
+    pub fn apply(&self, graph: &CsrGraph) -> CsrGraph {
+        match self {
+            MutationOp::InsertEdges(edges) => dynamic::insert_edges(graph, edges),
+            MutationOp::DeleteEdges(edges) => dynamic::delete_edges(graph, edges),
+            MutationOp::DeleteNode(node) => dynamic::delete_node(graph, *node),
+        }
+    }
+
+    /// Appends the op's wire form (tag + body) to `buf`.
+    pub(crate) fn encode_into(&self, buf: &mut Vec<u8>) {
+        let put_edges = |buf: &mut Vec<u8>, tag: u8, edges: &[(NodeId, NodeId)]| {
+            buf.push(tag);
+            buf.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+            for &(u, v) in edges {
+                buf.extend_from_slice(&u.to_le_bytes());
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        match self {
+            MutationOp::InsertEdges(edges) => put_edges(buf, TAG_INSERT, edges),
+            MutationOp::DeleteEdges(edges) => put_edges(buf, TAG_DELETE, edges),
+            MutationOp::DeleteNode(node) => {
+                buf.push(TAG_DELETE_NODE);
+                buf.extend_from_slice(&node.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes an op from its wire form; `Err` carries a description (the
+    /// caller attaches the file path).
+    pub(crate) fn decode(bytes: &[u8]) -> Result<MutationOp, String> {
+        let tag = *bytes.first().ok_or("empty op body")?;
+        let body = &bytes[1..];
+        let read_u32 = |b: &[u8], at: usize| -> Result<u32, String> {
+            b.get(at..at + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().expect("4-byte slice")))
+                .ok_or_else(|| "op body truncated".to_string())
+        };
+        match tag {
+            TAG_INSERT | TAG_DELETE => {
+                let count = read_u32(body, 0)? as usize;
+                if body.len() != 4 + count * 8 {
+                    return Err(format!(
+                        "edge-list op length mismatch: {} bytes for {count} edges",
+                        body.len()
+                    ));
+                }
+                let mut edges = Vec::with_capacity(count);
+                for i in 0..count {
+                    edges.push((read_u32(body, 4 + i * 8)?, read_u32(body, 8 + i * 8)?));
+                }
+                Ok(if tag == TAG_INSERT {
+                    MutationOp::InsertEdges(edges)
+                } else {
+                    MutationOp::DeleteEdges(edges)
+                })
+            }
+            TAG_DELETE_NODE => {
+                if body.len() != 4 {
+                    return Err("delete_node op length mismatch".into());
+                }
+                Ok(MutationOp::DeleteNode(read_u32(body, 0)?))
+            }
+            other => Err(format!("unknown op tag {other}")),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial), the per-record and per-snapshot
+/// checksum. Table-driven; built at compile time.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    crc32_parts(&[bytes])
+}
+
+/// CRC-32 over the concatenation of `parts`, without materializing it —
+/// lets the snapshot checksum cover its header fields and a large payload
+/// with no extra copy.
+pub(crate) fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xedb88320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xffffffffu32;
+    for part in parts {
+        for &b in *part {
+            c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xffffffff
+}
+
+/// Parks the process at a named crash point when armed via the
+/// `RESACC_CRASH_POINT=<name>[:<nth>]` environment variable (default
+/// `nth` = 1, counting hits of that name).
+///
+/// When the armed hit is reached, `before` runs first (to stage the exact
+/// torn on-disk bytes, e.g. half a WAL record), then `CRASH_POINT <name>`
+/// is printed to stdout (flushed) and the thread parks forever — the
+/// harness SIGKILLs the process, so no destructor, flush, or fsync runs
+/// after this point. Unarmed calls cost one atomic load.
+pub(crate) fn crash_point(name: &str, before: impl FnOnce()) {
+    use std::sync::OnceLock;
+    static ARMED: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    let armed = ARMED.get_or_init(|| {
+        std::env::var("RESACC_CRASH_POINT").ok().map(|spec| {
+            match spec.split_once(':') {
+                Some((n, nth)) => (n.to_string(), nth.parse().unwrap_or(1)),
+                None => (spec, 1),
+            }
+        })
+    });
+    let Some((armed_name, nth)) = armed else { return };
+    if armed_name != name {
+        return;
+    }
+    if HITS.fetch_add(1, Ordering::SeqCst) + 1 != *nth {
+        return;
+    }
+    before();
+    use std::io::Write;
+    println!("CRASH_POINT {name}");
+    std::io::stdout().flush().ok();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// The live durability handle owned by a [`crate::RwrSession`]: an open
+/// WAL plus the snapshot policy, with counters for observability.
+///
+/// All mutating entry points are called under the session's write lock,
+/// which serializes appends, snapshots, and WAL truncation against each
+/// other; the internal WAL mutex only exists so [`Durability`] is `Sync`
+/// for the occasional lock-free reader of the counters.
+pub struct Durability {
+    dir: PathBuf,
+    wal: parking_lot::Mutex<Wal>,
+    opts: DurabilityOptions,
+    records_appended: AtomicU64,
+    bytes_appended: AtomicU64,
+    snapshots_written: AtomicU64,
+    last_snapshot_version: AtomicU64,
+}
+
+impl Durability {
+    pub(crate) fn new(dir: PathBuf, wal: Wal, opts: DurabilityOptions) -> Self {
+        Durability {
+            dir,
+            wal: parking_lot::Mutex::new(wal),
+            opts,
+            records_appended: AtomicU64::new(0),
+            bytes_appended: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            last_snapshot_version: AtomicU64::new(0),
+        }
+    }
+
+    /// The data directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends (and, per policy, fsyncs) one mutation record. Returns only
+    /// once the record is durable; the caller then applies the mutation
+    /// and bumps the version — the WAL is always ahead of memory.
+    pub fn log_mutation(&self, version: u64, op: &MutationOp) -> Result<(), DurabilityError> {
+        let written = self.wal.lock().append(version, op)?;
+        self.records_appended.fetch_add(1, Ordering::Relaxed);
+        self.bytes_appended.fetch_add(written, Ordering::Relaxed);
+        crash_point("wal-pre-apply", || {});
+        Ok(())
+    }
+
+    /// True when the snapshot policy wants a snapshot at `version`.
+    pub fn should_snapshot(&self, version: u64) -> bool {
+        self.opts.snapshot_every != 0 && version.is_multiple_of(self.opts.snapshot_every)
+    }
+
+    /// Writes a snapshot of `graph` at `version` atomically, prunes older
+    /// snapshots (keeping the most recent two as corruption fallback), and
+    /// truncates the WAL — every logged record is now ≤ the snapshot
+    /// version, so the log can restart empty.
+    pub fn write_snapshot(&self, graph: &CsrGraph, version: u64) -> Result<(), DurabilityError> {
+        snapshot::write_snapshot(&self.dir, graph, version)?;
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.last_snapshot_version.store(version, Ordering::Relaxed);
+        snapshot::prune_snapshots(&self.dir, version, 2)?;
+        // A crash between the rename above and this truncate leaves records
+        // ≤ the snapshot version in the WAL; recovery skips them by version.
+        self.wal.lock().truncate_all()?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the WAL (a clean close; recovery after this
+    /// replays nothing that was not already acknowledged).
+    pub fn sync(&self) -> Result<(), DurabilityError> {
+        self.wal.lock().sync()?;
+        Ok(())
+    }
+
+    /// Records appended by this process (not counting replayed history).
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended.load(Ordering::Relaxed)
+    }
+
+    /// Bytes appended by this process.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots written by this process.
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots_written.load(Ordering::Relaxed)
+    }
+
+    /// Version of the most recent snapshot written by this process (0 if
+    /// none yet).
+    pub fn last_snapshot_version(&self) -> u64 {
+        self.last_snapshot_version.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x00000000);
+        assert_eq!(crc32(b"123456789"), 0xcbf43926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414fa339);
+    }
+
+    #[test]
+    fn mutation_op_roundtrips() {
+        let ops = [
+            MutationOp::InsertEdges(vec![(0, 1), (7, 3), (u32::MAX, 0)]),
+            MutationOp::DeleteEdges(vec![]),
+            MutationOp::DeleteEdges(vec![(5, 5)]),
+            MutationOp::DeleteNode(42),
+        ];
+        for op in ops {
+            let mut buf = Vec::new();
+            op.encode_into(&mut buf);
+            assert_eq!(MutationOp::decode(&buf).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn mutation_op_decode_rejects_garbage() {
+        assert!(MutationOp::decode(&[]).is_err());
+        assert!(MutationOp::decode(&[99, 0, 0]).is_err()); // unknown tag
+        assert!(MutationOp::decode(&[TAG_DELETE_NODE, 1]).is_err()); // short
+        // Edge count claims more than the body holds.
+        let mut buf = Vec::new();
+        MutationOp::InsertEdges(vec![(1, 2)]).encode_into(&mut buf);
+        buf[1] = 200;
+        assert!(MutationOp::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn mutation_op_apply_matches_dynamic() {
+        let g = resacc_graph::gen::cycle(6);
+        let a = MutationOp::InsertEdges(vec![(0, 3)]).apply(&g);
+        assert!(a.has_edge(0, 3));
+        let b = MutationOp::DeleteEdges(vec![(0, 1)]).apply(&g);
+        assert!(!b.has_edge(0, 1));
+        let c = MutationOp::DeleteNode(2).apply(&g);
+        assert_eq!(c.out_degree(2) + c.in_degree(2), 0);
+        assert_eq!(c.num_nodes(), 6, "ids stay stable");
+    }
+}

@@ -1,0 +1,369 @@
+//! Startup recovery: newest valid snapshot + WAL tail replay.
+//!
+//! The invariants this path leans on:
+//!
+//! * The WAL is always *ahead* of memory: every acknowledged mutation has a
+//!   durable record, so replaying the log past the snapshot reconstructs
+//!   exactly the acknowledged history — no more, no less.
+//! * Snapshots are atomic (temp + rename) and self-validating (CRC), so a
+//!   snapshot file either decodes to the exact graph at its version or is
+//!   skipped in favor of the previous one.
+//! * Replay uses the same [`MutationOp::apply`] the live path used, so the
+//!   recovered graph is bit-identical to the graph as it was served.
+//!
+//! Torn or bit-flipped WAL tails are *truncated*, never fatal: those bytes
+//! can only belong to a record whose append was never acknowledged (an
+//! acknowledged record is fully fsync'd), so dropping them loses nothing
+//! the caller was promised.
+
+use super::snapshot;
+use super::wal::{self, Wal, WAL_FILE};
+use super::{Durability, DurabilityError, MutationOp};
+use resacc_graph::CsrGraph;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+/// Durability policy knobs, set from `serve --snapshot-every/--fsync`.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityOptions {
+    /// Fsync the WAL on every append. With this off, an append is durable
+    /// against process death (the write reaches the kernel) but not power
+    /// loss.
+    pub fsync: bool,
+    /// Write a snapshot (and truncate the WAL) every this many mutations;
+    /// 0 disables periodic snapshots (the WAL then grows until a manual
+    /// checkpoint, e.g. graceful shutdown).
+    pub snapshot_every: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            fsync: true,
+            snapshot_every: 512,
+        }
+    }
+}
+
+/// What recovery observed, surfaced as service metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// WAL records applied on top of the starting graph.
+    pub wal_records_replayed: u64,
+    /// Bytes dropped from the WAL tail (torn/corrupt records, or records
+    /// past a version gap). 0 after any clean shutdown.
+    pub wal_truncated_bytes: u64,
+    /// Snapshots successfully decoded (0 on a fresh or snapshot-less
+    /// directory, 1 otherwise — corrupt candidates that were skipped do
+    /// not count).
+    pub snapshots_loaded: u64,
+}
+
+/// The result of opening a data directory: the recovered graph and version,
+/// what recovery did, and the live [`Durability`] handle to keep logging
+/// into.
+pub struct Recovered {
+    /// Graph state after snapshot load + WAL replay.
+    pub graph: CsrGraph,
+    /// Version counter matching `graph` (0 for a fresh directory).
+    pub version: u64,
+    /// Replay/truncation/snapshot counters for the metrics surface.
+    pub stats: RecoveryStats,
+    /// Open WAL + snapshot policy for the session to log into.
+    pub store: Durability,
+}
+
+/// Opens (creating if needed) a durability directory and recovers its
+/// state: loads the newest snapshot that decodes cleanly (falling back to
+/// older ones on corruption), replays the WAL records past its version,
+/// truncates any invalid tail, and returns an append-ready store.
+///
+/// `initial` supplies the base graph (version 0) and is only called when no
+/// usable snapshot exists; once a snapshot has been written the directory
+/// owns the graph state and the base is ignored.
+pub fn open_dir(
+    dir: &Path,
+    opts: DurabilityOptions,
+    initial: impl FnOnce() -> Result<CsrGraph, DurabilityError>,
+) -> Result<Recovered, DurabilityError> {
+    std::fs::create_dir_all(dir)?;
+    let mut stats = RecoveryStats::default();
+
+    // Newest snapshot that actually decodes wins; corrupt candidates are
+    // reported to stderr and skipped, not fatal — the older snapshot plus
+    // the WAL (which is only truncated *after* a snapshot lands) still
+    // covers the full history.
+    let mut start: Option<(CsrGraph, u64)> = None;
+    for v in snapshot::list_snapshots(dir)? {
+        match snapshot::load_snapshot(&dir.join(snapshot::snapshot_name(v))) {
+            Ok((graph, version)) => {
+                start = Some((graph, version));
+                stats.snapshots_loaded = 1;
+                break;
+            }
+            Err(e) => {
+                eprintln!("recovery: skipping unreadable snapshot {v}: {e}");
+            }
+        }
+    }
+    let (mut graph, mut version) = match start {
+        Some(s) => s,
+        None => (initial()?, 0),
+    };
+
+    // Replay the WAL tail. Records ≤ the snapshot version are skipped (a
+    // crash between snapshot rename and WAL truncation leaves them behind);
+    // a version *gap* means the bytes past it cannot be a continuation of
+    // this history, so they are truncated like any other corruption.
+    let wal_path = dir.join(WAL_FILE);
+    let scan = wal::scan(&wal_path)?;
+    let mut valid_len = scan.valid_len;
+    stats.wal_truncated_bytes = scan.truncated_bytes;
+    for record in scan.records {
+        if record.version <= version {
+            continue;
+        }
+        if record.version != version + 1 {
+            stats.wal_truncated_bytes += valid_len - record.offset;
+            valid_len = record.offset;
+            break;
+        }
+        graph = record.op.apply(&graph);
+        version = record.version;
+        stats.wal_records_replayed += 1;
+    }
+
+    let wal = Wal::open(dir, valid_len, opts.fsync)?;
+    let store = Durability::new(dir.to_path_buf(), wal, opts);
+    if stats.snapshots_loaded > 0 {
+        // Seed the snapshot cursor so observability reflects on-disk state.
+        store
+            .last_snapshot_version
+            .store(version - stats.wal_records_replayed, Ordering::Relaxed);
+    }
+    Ok(Recovered {
+        graph,
+        version,
+        stats,
+        store,
+    })
+}
+
+/// Replays `history` onto `base` in memory — the reference a crash-recovery
+/// check compares against: recovery from disk must be bit-identical to this.
+pub fn replay_in_memory(base: &CsrGraph, history: &[MutationOp]) -> CsrGraph {
+    let mut graph = base.clone();
+    for op in history {
+        graph = op.apply(&graph);
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::{binary, gen};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("resacc-rec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn base() -> CsrGraph {
+        gen::erdos_renyi(64, 256, 11)
+    }
+
+    fn bytes_of(g: &CsrGraph) -> Vec<u8> {
+        let b = binary::to_bytes(g);
+        let b: &[u8] = &b;
+        b.to_vec()
+    }
+
+    fn history() -> Vec<MutationOp> {
+        vec![
+            MutationOp::InsertEdges(vec![(0, 63), (5, 6), (7, 8)]),
+            MutationOp::DeleteNode(3),
+            MutationOp::DeleteEdges(vec![(5, 6)]),
+            MutationOp::InsertEdges(vec![(3, 1)]), // resurrects node 3
+        ]
+    }
+
+    /// Runs a "process lifetime": open, apply `history` through the store
+    /// exactly like the session does (log, then apply, then bump).
+    fn run_process(dir: &Path, opts: DurabilityOptions, history: &[MutationOp]) -> (CsrGraph, u64) {
+        let rec = open_dir(dir, opts, || Ok(base())).unwrap();
+        let mut graph = rec.graph;
+        let mut version = rec.version;
+        for op in history {
+            rec.store.log_mutation(version + 1, op).unwrap();
+            graph = op.apply(&graph);
+            version += 1;
+            if rec.store.should_snapshot(version) {
+                rec.store.write_snapshot(&graph, version).unwrap();
+            }
+        }
+        (graph, version)
+    }
+
+    #[test]
+    fn fresh_dir_calls_initial_and_starts_at_zero() {
+        let dir = tmp_dir("fresh");
+        let rec = open_dir(&dir, DurabilityOptions::default(), || Ok(base())).unwrap();
+        assert_eq!(rec.version, 0);
+        assert_eq!(rec.stats, RecoveryStats::default());
+        assert_eq!(bytes_of(&rec.graph), bytes_of(&base()));
+        assert!(dir.join(WAL_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_only_recovery_is_bit_identical_to_in_memory_replay() {
+        let dir = tmp_dir("wal-only");
+        let opts = DurabilityOptions {
+            fsync: true,
+            snapshot_every: 0,
+        };
+        let (live, live_version) = run_process(&dir, opts, &history());
+        let rec = open_dir(&dir, opts, || Ok(base())).unwrap();
+        assert_eq!(rec.version, live_version);
+        assert_eq!(rec.stats.wal_records_replayed, history().len() as u64);
+        assert_eq!(rec.stats.wal_truncated_bytes, 0);
+        assert_eq!(rec.stats.snapshots_loaded, 0);
+        assert_eq!(bytes_of(&rec.graph), bytes_of(&live));
+        assert_eq!(
+            bytes_of(&rec.graph),
+            bytes_of(&replay_in_memory(&base(), &history()))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_bounds_replay() {
+        let dir = tmp_dir("snap-bound");
+        let opts = DurabilityOptions {
+            fsync: true,
+            snapshot_every: 2, // snapshots at versions 2 and 4
+        };
+        let (live, _) = run_process(&dir, opts, &history());
+        let rec = open_dir(&dir, opts, || panic!("initial must not be called")).unwrap();
+        assert_eq!(rec.version, 4);
+        assert_eq!(rec.stats.snapshots_loaded, 1);
+        assert_eq!(rec.stats.wal_records_replayed, 0, "snapshot at tip, empty WAL");
+        assert_eq!(bytes_of(&rec.graph), bytes_of(&live));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_latest_snapshot_falls_back_to_previous_plus_wal() {
+        let dir = tmp_dir("snap-fallback");
+        let hist = history();
+        // Snapshot at version 2 by hand, then log 3..=4 into the WAL, then
+        // snapshot at 4 *without* truncating — and corrupt the v4 file.
+        let g2 = replay_in_memory(&base(), &hist[..2]);
+        snapshot::write_snapshot(&dir, &g2, 2).unwrap();
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        wal.append(3, &hist[2]).unwrap();
+        wal.append(4, &hist[3]).unwrap();
+        drop(wal);
+        let g4 = replay_in_memory(&base(), &hist);
+        snapshot::write_snapshot(&dir, &g4, 4).unwrap();
+        let v4_path = dir.join(snapshot::snapshot_name(4));
+        let mut data = std::fs::read(&v4_path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xff;
+        std::fs::write(&v4_path, &data).unwrap();
+
+        let rec = open_dir(&dir, DurabilityOptions::default(), || {
+            panic!("initial must not be called")
+        })
+        .unwrap();
+        assert_eq!(rec.version, 4);
+        assert_eq!(rec.stats.snapshots_loaded, 1);
+        assert_eq!(rec.stats.wal_records_replayed, 2);
+        assert_eq!(bytes_of(&rec.graph), bytes_of(&g4));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_wal_records_below_snapshot_version_are_skipped() {
+        let dir = tmp_dir("stale-skip");
+        let hist = history();
+        // Full history in the WAL, snapshot at version 3, WAL *not*
+        // truncated — the crash-between-rename-and-truncate state.
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        for (i, op) in hist.iter().enumerate() {
+            wal.append(i as u64 + 1, op).unwrap();
+        }
+        drop(wal);
+        let g3 = replay_in_memory(&base(), &hist[..3]);
+        snapshot::write_snapshot(&dir, &g3, 3).unwrap();
+
+        let rec = open_dir(&dir, DurabilityOptions::default(), || {
+            panic!("initial must not be called")
+        })
+        .unwrap();
+        assert_eq!(rec.version, 4);
+        assert_eq!(rec.stats.wal_records_replayed, 1, "only record 4 replays");
+        assert_eq!(
+            bytes_of(&rec.graph),
+            bytes_of(&replay_in_memory(&base(), &hist))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let dir = tmp_dir("torn-tail");
+        let opts = DurabilityOptions {
+            fsync: true,
+            snapshot_every: 0,
+        };
+        run_process(&dir, opts, &history());
+        let wal_path = dir.join(WAL_FILE);
+        let full = std::fs::read(&wal_path).unwrap();
+        let cut = full.len() - 5; // tear the last record
+        std::fs::write(&wal_path, &full[..cut]).unwrap();
+
+        let rec = open_dir(&dir, opts, || Ok(base())).unwrap();
+        assert_eq!(rec.version, history().len() as u64 - 1);
+        assert_eq!(rec.stats.wal_records_replayed, history().len() as u64 - 1);
+        assert!(rec.stats.wal_truncated_bytes > 0);
+        assert_eq!(
+            bytes_of(&rec.graph),
+            bytes_of(&replay_in_memory(&base(), &history()[..history().len() - 1]))
+        );
+        // The torn bytes are physically gone: append continues cleanly and
+        // a re-recovery sees no truncation.
+        rec.store
+            .log_mutation(rec.version + 1, &MutationOp::DeleteNode(1))
+            .unwrap();
+        drop(rec);
+        let rec2 = open_dir(&dir, opts, || Ok(base())).unwrap();
+        assert_eq!(rec2.stats.wal_truncated_bytes, 0);
+        assert_eq!(rec2.version, history().len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_gap_truncates_rest_of_log() {
+        let dir = tmp_dir("gap");
+        let hist = history();
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        wal.append(1, &hist[0]).unwrap();
+        wal.append(5, &hist[1]).unwrap(); // impossible continuation
+        wal.append(6, &hist[2]).unwrap();
+        drop(wal);
+        let rec = open_dir(&dir, DurabilityOptions::default(), || Ok(base())).unwrap();
+        assert_eq!(rec.version, 1);
+        assert_eq!(rec.stats.wal_records_replayed, 1);
+        assert!(rec.stats.wal_truncated_bytes > 0);
+        drop(rec);
+        let rec2 = open_dir(&dir, DurabilityOptions::default(), || Ok(base())).unwrap();
+        assert_eq!(rec2.stats.wal_truncated_bytes, 0, "gap physically truncated");
+        assert_eq!(rec2.version, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

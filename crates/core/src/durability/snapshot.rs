@@ -1,0 +1,245 @@
+//! CSR snapshots: full-graph checkpoints that bound WAL replay.
+//!
+//! ```text
+//! file = magic "RSNP" | format u16 | reserved u16 | graph version u64
+//!        | payload_len u64 | crc32(version|payload_len|payload) u32
+//!        | payload (RACG graph bytes)
+//! ```
+//!
+//! A snapshot is written to `snap-<version>.rsnap.tmp`, fsync'd, renamed
+//! into place (`snap-<version>.rsnap`), and the directory fsync'd — so at
+//! every instant the directory holds either the old complete snapshot set
+//! or the new one, never a half-written file under the real name. Decoding
+//! validates magic, format, length, and CRC before handing the payload to
+//! the (itself hostile-input-safe) RACG decoder: a truncated or bit-flipped
+//! snapshot yields a typed [`DurabilityError::Corrupt`], never a panic.
+
+use super::{crash_point, crc32_parts, DurabilityError};
+use bytes::Bytes;
+use resacc_graph::{binary, CsrGraph};
+use std::io::Write;
+use std::path::Path;
+
+const SNAP_MAGIC: &[u8; 4] = b"RSNP";
+const SNAP_FORMAT: u16 = 1;
+const SNAP_HEADER_LEN: usize = 4 + 2 + 2 + 8 + 8 + 4;
+
+/// File name of the snapshot at `version`. Zero-padded so lexicographic
+/// order is numeric order.
+pub(crate) fn snapshot_name(version: u64) -> String {
+    format!("snap-{version:020}.rsnap")
+}
+
+/// Parses a `snap-<version>.rsnap` file name back to its version.
+pub(crate) fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".rsnap")?
+        .parse()
+        .ok()
+}
+
+/// Serializes a snapshot of `graph` at `version`. The CRC covers
+/// `version | payload_len | payload`, so a bit flip anywhere after the
+/// fixed magic/format prefix is detected — not just payload damage.
+pub(crate) fn encode(graph: &CsrGraph, version: u64) -> Vec<u8> {
+    let payload = binary::to_bytes(graph);
+    let payload: &[u8] = &payload;
+    let version_bytes = version.to_le_bytes();
+    let len_bytes = (payload.len() as u64).to_le_bytes();
+    let crc = crc32_parts(&[&version_bytes, &len_bytes, payload]);
+    let mut out = Vec::with_capacity(SNAP_HEADER_LEN + payload.len());
+    out.extend_from_slice(SNAP_MAGIC);
+    out.extend_from_slice(&SNAP_FORMAT.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]);
+    out.extend_from_slice(&version_bytes);
+    out.extend_from_slice(&len_bytes);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a snapshot buffer into `(graph, version)`. Every validation
+/// failure is a typed error carrying `path` for context.
+pub(crate) fn decode(data: &[u8], path: &Path) -> Result<(CsrGraph, u64), DurabilityError> {
+    let corrupt = |detail: &str| DurabilityError::Corrupt {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    };
+    if data.len() < SNAP_HEADER_LEN {
+        return Err(corrupt("truncated snapshot header"));
+    }
+    if &data[..4] != SNAP_MAGIC {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    let format = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+    if format != SNAP_FORMAT {
+        return Err(corrupt(&format!("unsupported snapshot format {format}")));
+    }
+    if data[6..8] != [0u8; 2] {
+        return Err(corrupt("nonzero reserved snapshot bytes"));
+    }
+    let version = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(data[24..28].try_into().expect("4 bytes"));
+    let payload = &data[SNAP_HEADER_LEN..];
+    if payload.len() as u64 != payload_len {
+        return Err(corrupt("snapshot payload length mismatch"));
+    }
+    if crc32_parts(&[&data[8..16], &data[16..24], payload]) != crc {
+        return Err(corrupt("snapshot CRC mismatch"));
+    }
+    let graph = binary::from_bytes(Bytes::from(payload.to_vec()))
+        .map_err(|e| corrupt(&format!("snapshot graph decode: {e}")))?;
+    Ok((graph, version))
+}
+
+/// Writes the snapshot for `version` into `dir` atomically: temp file,
+/// fsync, rename into place, fsync the directory.
+pub fn write_snapshot(dir: &Path, graph: &CsrGraph, version: u64) -> Result<(), DurabilityError> {
+    let final_path = dir.join(snapshot_name(version));
+    let tmp_path = final_path.with_extension("rsnap.tmp");
+    let encoded = encode(graph, version);
+    {
+        let mut file = std::fs::File::create(&tmp_path)?;
+        file.write_all(&encoded)?;
+        file.sync_all()?;
+    }
+    // Crash injection: the temp file is complete and durable, the rename
+    // never happens — recovery must ignore `.tmp` leftovers.
+    crash_point("snap-mid-rename", || {});
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+/// Loads and validates one snapshot file.
+pub fn load_snapshot(path: &Path) -> Result<(CsrGraph, u64), DurabilityError> {
+    let data = std::fs::read(path)?;
+    decode(&data, path)
+}
+
+/// Lists snapshot versions present in `dir`, descending (newest first).
+/// `.tmp` leftovers from a crashed write are removed, not listed.
+pub(crate) fn list_snapshots(dir: &Path) -> Result<Vec<u64>, DurabilityError> {
+    let mut versions = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".rsnap.tmp") {
+            // A crash between tmp-write and rename left this behind; it was
+            // never the authoritative snapshot, so discard it.
+            std::fs::remove_file(entry.path()).ok();
+            continue;
+        }
+        if let Some(v) = parse_snapshot_name(&name) {
+            versions.push(v);
+        }
+    }
+    versions.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(versions)
+}
+
+/// Removes old snapshots, keeping the newest `keep` at or below
+/// `current_version` (older ones are fallback against a latest-snapshot
+/// corruption, anything beyond that is dead weight).
+pub(crate) fn prune_snapshots(
+    dir: &Path,
+    current_version: u64,
+    keep: usize,
+) -> Result<(), DurabilityError> {
+    let versions = list_snapshots(dir)?;
+    for v in versions.into_iter().filter(|&v| v <= current_version).skip(keep) {
+        std::fs::remove_file(dir.join(snapshot_name(v))).ok();
+    }
+    Ok(())
+}
+
+/// Fsyncs a directory so a rename inside it is durable.
+fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    // Windows cannot open directories as files; the rename is still atomic
+    // there, just not power-loss durable. All supported targets are POSIX.
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resacc_graph::gen;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("resacc-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let dir = tmp_dir("roundtrip");
+        let g = gen::barabasi_albert(200, 3, 7);
+        write_snapshot(&dir, &g, 42).unwrap();
+        let (g2, v) = load_snapshot(&dir.join(snapshot_name(42))).unwrap();
+        assert_eq!(v, 42);
+        let a: &[u8] = &binary::to_bytes(&g);
+        let b: &[u8] = &binary::to_bytes(&g2);
+        assert_eq!(a, b, "decoded graph must re-encode to identical bytes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_and_flipped_snapshots_are_typed_errors() {
+        let dir = tmp_dir("corrupt");
+        let g = gen::cycle(30);
+        write_snapshot(&dir, &g, 7).unwrap();
+        let path = dir.join(snapshot_name(7));
+        let data = std::fs::read(&path).unwrap();
+        for cut in [0, 3, SNAP_HEADER_LEN - 1, data.len() - 1] {
+            assert!(
+                matches!(decode(&data[..cut], &path), Err(DurabilityError::Corrupt { .. })),
+                "cut at {cut} must be Corrupt"
+            );
+        }
+        let mut flipped = data.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(decode(&flipped, &path), Err(DurabilityError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn listing_ignores_and_cleans_tmp_leftovers() {
+        let dir = tmp_dir("tmp-clean");
+        let g = gen::cycle(5);
+        write_snapshot(&dir, &g, 3).unwrap();
+        let leftover = dir.join("snap-00000000000000000009.rsnap.tmp");
+        std::fs::write(&leftover, b"half a snapshot").unwrap();
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![3]);
+        assert!(!leftover.exists(), "tmp leftover must be removed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_newest_two() {
+        let dir = tmp_dir("prune");
+        let g = gen::cycle(5);
+        for v in [2, 4, 6, 8] {
+            write_snapshot(&dir, &g, v).unwrap();
+        }
+        prune_snapshots(&dir, 8, 2).unwrap();
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![8, 6]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_names_roundtrip_and_sort() {
+        assert_eq!(parse_snapshot_name(&snapshot_name(0)), Some(0));
+        assert_eq!(parse_snapshot_name(&snapshot_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_snapshot_name("wal.log"), None);
+        assert!(snapshot_name(9) < snapshot_name(10), "zero-padding sorts numerically");
+    }
+}

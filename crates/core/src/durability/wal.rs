@@ -1,0 +1,342 @@
+//! The write-ahead log: an append-only file of checksummed mutation
+//! records.
+//!
+//! ```text
+//! file   = magic "RWAL" | format u16 | reserved u16 | record*
+//! record = payload_len u32 | crc32(payload) u32 | payload
+//! payload = version u64 | op tag u8 | op body
+//! ```
+//!
+//! All integers little-endian. The CRC covers the payload only; the length
+//! prefix is implicitly validated by the CRC (a corrupted length either
+//! reads past EOF — torn tail — or frames bytes whose CRC cannot match).
+//! Appends go through one `write_all` per record, then `flush`, then
+//! (policy permitting) `fsync`; on return the record is durable.
+
+use super::{crash_point, crc32, DurabilityError, MutationOp};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+pub(crate) const WAL_MAGIC: &[u8; 4] = b"RWAL";
+pub(crate) const WAL_FORMAT: u16 = 1;
+/// Size of the file header (magic + format + reserved).
+pub(crate) const WAL_HEADER_LEN: u64 = 8;
+/// Upper bound on a single record's payload, guarding recovery against
+/// allocating gigabytes because a torn length prefix read as garbage.
+pub(crate) const MAX_RECORD_LEN: u32 = 1 << 28;
+
+/// Name of the WAL file inside a data directory.
+pub(crate) const WAL_FILE: &str = "wal.log";
+
+/// An open, append-positioned write-ahead log.
+pub struct Wal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    fsync: bool,
+}
+
+/// Serializes one record (length prefix + CRC + payload) into a buffer.
+pub(crate) fn encode_record(version: u64, op: &MutationOp) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    payload.extend_from_slice(&version.to_le_bytes());
+    op.encode_into(&mut payload);
+    let mut record = Vec::with_capacity(8 + payload.len());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&crc32(&payload).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record
+}
+
+impl Wal {
+    /// Opens (creating and writing the header if needed) the WAL inside
+    /// `dir`, positioned to append after `valid_len` bytes — the prefix
+    /// recovery validated. Anything past `valid_len` (a torn tail) is
+    /// truncated away here.
+    pub(crate) fn open(dir: &Path, valid_len: u64, fsync: bool) -> Result<Wal, DurabilityError> {
+        let path = dir.join(WAL_FILE);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(false)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        let fresh = file.metadata()?.len() < WAL_HEADER_LEN;
+        if fresh {
+            file.set_len(0)?;
+        } else {
+            file.set_len(valid_len.max(WAL_HEADER_LEN))?;
+        }
+        let mut writer = BufWriter::new(file);
+        use std::io::Seek;
+        writer.seek(std::io::SeekFrom::End(0))?;
+        let mut wal = Wal { writer, path, fsync };
+        if fresh {
+            wal.writer.write_all(WAL_MAGIC)?;
+            wal.writer.write_all(&WAL_FORMAT.to_le_bytes())?;
+            wal.writer.write_all(&[0u8; 2])?;
+            wal.sync_always()?;
+        }
+        Ok(wal)
+    }
+
+    /// Appends one record; returns the bytes written. Durable on return
+    /// (modulo the `fsync` policy — with fsync off, durable against
+    /// process death but not power loss).
+    pub fn append(&mut self, version: u64, op: &MutationOp) -> Result<u64, DurabilityError> {
+        let record = encode_record(version, op);
+        // Crash injection: half a record reaches the file, the rest never
+        // does — the torn-tail state recovery must truncate.
+        crash_point("wal-mid-append", || {
+            let half = record.len() / 2;
+            self.writer.write_all(&record[..half]).expect("crash-point partial write");
+            self.writer.flush().expect("crash-point flush");
+        });
+        self.writer.write_all(&record)?;
+        self.writer.flush()?;
+        if self.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(record.len() as u64)
+    }
+
+    /// Truncates the log back to just its header (after a snapshot made
+    /// every record redundant), fsync'd.
+    pub fn truncate_all(&mut self) -> Result<(), DurabilityError> {
+        self.writer.flush()?;
+        self.writer.get_ref().set_len(WAL_HEADER_LEN)?;
+        use std::io::Seek;
+        self.writer.seek(std::io::SeekFrom::End(0))?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs regardless of the append-time policy (the clean
+    /// shutdown path).
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.sync_always()
+    }
+
+    fn sync_always(&mut self) -> Result<(), DurabilityError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// The log's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug)]
+pub(crate) struct WalRecord {
+    pub version: u64,
+    pub op: MutationOp,
+    /// Byte offset of the record's start within the file, so recovery can
+    /// truncate *at* a record (e.g. on a version gap), not only at the scan
+    /// boundary.
+    pub offset: u64,
+}
+
+/// Outcome of scanning a WAL file: the valid records, the byte length of
+/// the valid prefix, and how many trailing bytes failed validation.
+#[derive(Debug)]
+pub(crate) struct WalScan {
+    pub records: Vec<WalRecord>,
+    pub valid_len: u64,
+    pub truncated_bytes: u64,
+}
+
+/// Reads every valid record from `path`, stopping (not failing) at the
+/// first torn or corrupt one. A missing file scans as empty. Only a
+/// corrupt *header* is a hard error — the header is written once, fsync'd,
+/// and never rewritten, so damage there means the file is not a WAL at
+/// all and silently discarding it would drop acknowledged history.
+pub(crate) fn scan(path: &Path) -> Result<WalScan, DurabilityError> {
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    if data.is_empty() {
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            truncated_bytes: 0,
+        });
+    }
+    let corrupt = |detail: String| DurabilityError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    if data.len() < WAL_HEADER_LEN as usize || &data[..4] != WAL_MAGIC {
+        return Err(corrupt("bad WAL header magic".into()));
+    }
+    let format = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+    if format != WAL_FORMAT {
+        return Err(corrupt(format!("unsupported WAL format {format}")));
+    }
+    let mut records = Vec::new();
+    let mut offset = WAL_HEADER_LEN as usize;
+    // Loop ends at clean EOF (offset == len) or a torn length/crc prefix.
+    while let Some(header) = data.get(offset..offset + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            break; // garbage length: corrupt tail
+        }
+        let Some(payload) = data.get(offset + 8..offset + 8 + len as usize) else {
+            break; // torn payload
+        };
+        if crc32(payload) != crc {
+            break; // bit flip
+        }
+        if payload.len() < 8 {
+            break; // too short to carry a version
+        }
+        let version = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let Ok(op) = MutationOp::decode(&payload[8..]) else {
+            break; // CRC passed but body malformed: treat as corrupt tail
+        };
+        records.push(WalRecord {
+            version,
+            op,
+            offset: offset as u64,
+        });
+        offset += 8 + len as usize;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: offset as u64,
+        truncated_bytes: (data.len() - offset) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "resacc-wal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ops() -> Vec<(u64, MutationOp)> {
+        vec![
+            (1, MutationOp::InsertEdges(vec![(0, 1), (2, 3)])),
+            (2, MutationOp::DeleteEdges(vec![(2, 3)])),
+            (3, MutationOp::DeleteNode(5)),
+        ]
+    }
+
+    #[test]
+    fn append_then_scan_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let mut wal = Wal::open(&dir, 0, true).unwrap();
+            for (v, op) in ops() {
+                wal.append(v, &op).unwrap();
+            }
+        }
+        let scan = scan(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(scan.truncated_bytes, 0);
+        let got: Vec<(u64, MutationOp)> =
+            scan.records.into_iter().map(|r| (r.version, r.op)).collect();
+        assert_eq!(got, ops());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_not_fatal() {
+        let dir = tmp_dir("torn");
+        {
+            let mut wal = Wal::open(&dir, 0, true).unwrap();
+            for (v, op) in ops() {
+                wal.append(v, &op).unwrap();
+            }
+        }
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the last record in half: the first two must still scan.
+        let cut = full.len() - 7;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let scan_result = scan(&path).unwrap();
+        assert_eq!(scan_result.records.len(), 2);
+        assert!(scan_result.truncated_bytes > 0);
+        // Re-open at the valid prefix: the torn bytes are gone and appends
+        // continue cleanly.
+        let valid = scan_result.valid_len;
+        {
+            let mut wal = Wal::open(&dir, valid, true).unwrap();
+            wal.append(3, &MutationOp::DeleteNode(9)).unwrap();
+        }
+        let rescan = scan(&path).unwrap();
+        assert_eq!(rescan.truncated_bytes, 0);
+        assert_eq!(rescan.records.len(), 3);
+        assert_eq!(rescan.records[2].op, MutationOp::DeleteNode(9));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_truncates_from_flip_point() {
+        let dir = tmp_dir("flip");
+        {
+            let mut wal = Wal::open(&dir, 0, true).unwrap();
+            for (v, op) in ops() {
+                wal.append(v, &op).unwrap();
+            }
+        }
+        let path = dir.join(WAL_FILE);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a bit inside the second record's payload.
+        let first_len = encode_record(1, &ops()[0].1).len();
+        let idx = WAL_HEADER_LEN as usize + first_len + 12;
+        data[idx] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        let scan_result = scan(&path).unwrap();
+        assert_eq!(scan_result.records.len(), 1, "only the first record survives");
+        assert!(scan_result.truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_header_is_a_typed_error() {
+        let dir = tmp_dir("header");
+        std::fs::write(dir.join(WAL_FILE), b"NOTAWALFILE").unwrap();
+        match scan(&dir.join(WAL_FILE)) {
+            Err(DurabilityError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("magic"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_all_resets_to_header() {
+        let dir = tmp_dir("trunc");
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        for (v, op) in ops() {
+            wal.append(v, &op).unwrap();
+        }
+        wal.truncate_all().unwrap();
+        let scan_result = scan(&dir.join(WAL_FILE)).unwrap();
+        assert!(scan_result.records.is_empty());
+        assert_eq!(scan_result.valid_len, WAL_HEADER_LEN);
+        // Appends continue after truncation.
+        wal.append(10, &MutationOp::DeleteNode(1)).unwrap();
+        drop(wal);
+        let rescan = scan(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(rescan.records.len(), 1);
+        assert_eq!(rescan.records[0].version, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

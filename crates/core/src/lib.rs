@@ -55,6 +55,7 @@ pub mod backward_push;
 pub mod bepi;
 pub mod bippr;
 pub mod cancel;
+pub mod durability;
 pub mod engine;
 pub mod exact;
 pub mod fora;

@@ -27,12 +27,13 @@
 //!   implicitly invalidates every cached result (see `resacc-service`).
 
 use crate::cancel::{Cancel, QueryError};
+use crate::durability::{Durability, DurabilityError, MutationOp, Recovered};
 use crate::params::RwrParams;
 use crate::resacc::{ResAcc, ResAccConfig, ResAccResult};
 use crate::state::ForwardState;
 use crate::topk::top_k;
 use parking_lot::{Mutex, RwLock};
-use resacc_graph::{dynamic, CsrGraph, NodeId};
+use resacc_graph::{CsrGraph, NodeId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The lock-protected mutable core: topology plus derived parameters.
@@ -52,6 +53,10 @@ pub struct RwrSession {
     /// ([`RwrSession::set_threads`]) because thread count never affects
     /// results (the chunked-stream RNG contract, see [`crate::par`]).
     threads: AtomicUsize,
+    /// When present, every mutation is WAL-appended (and fsync'd, per
+    /// policy) *before* it is applied and the version bumps — see
+    /// [`crate::durability`] for the exact ordering contract.
+    durability: Option<Durability>,
 }
 
 /// Read guard over the session's graph; derefs to [`CsrGraph`]. Mutations
@@ -81,7 +86,34 @@ impl RwrSession {
             version: AtomicU64::new(0),
             pool: Mutex::new(Vec::new()),
             threads: AtomicUsize::new(config.threads.max(1)),
+            durability: None,
         }
+    }
+
+    /// Opens a session on top of a recovered data directory: the graph and
+    /// version counter continue exactly where the previous process stopped
+    /// (the version **must not** restart at zero — downstream caches key on
+    /// it), and subsequent mutations append to the recovered WAL.
+    ///
+    /// `params` carries the caller's query settings (alpha, epsilon); its
+    /// thresholds are refreshed against the recovered graph size on the
+    /// first node-count-changing mutation, like any other session.
+    pub fn from_recovered(recovered: Recovered, params: RwrParams, config: ResAccConfig) -> Self {
+        let Recovered {
+            graph,
+            version,
+            store,
+            ..
+        } = recovered;
+        let mut session = Self::with_config(graph, params, config);
+        session.version = AtomicU64::new(version);
+        session.durability = Some(store);
+        session
+    }
+
+    /// The durability store, when this session persists its mutations.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
     }
 
     /// The session's default intra-query thread budget.
@@ -211,31 +243,85 @@ impl RwrSession {
         top_k(&self.query(source, seed).scores, k)
     }
 
-    fn replace_graph(&self, build: impl FnOnce(&CsrGraph) -> CsrGraph) {
+    /// Applies one mutation: WAL-append (durable before anything else, when
+    /// a store is attached), then rebuild the CSR, then bump the version —
+    /// all under the write lock, so readers never observe a half-applied
+    /// mutation and the log is always *ahead* of memory. Returns the new
+    /// version; an `Err` means the append failed and **nothing changed**
+    /// (the graph, version, and WAL are exactly as before).
+    ///
+    /// A snapshot-write failure after a successful append is reported to
+    /// stderr but does not fail the mutation: the mutation is already
+    /// durable in the WAL, and snapshots only bound replay time.
+    pub fn apply_mutation(&self, op: &MutationOp) -> Result<u64, DurabilityError> {
         let mut state = self.state.write();
-        let graph = build(&state.graph);
+        let next = self.version.load(Ordering::Acquire) + 1;
+        if let Some(store) = &self.durability {
+            store.log_mutation(next, op)?;
+        }
+        let graph = op.apply(&state.graph);
         if graph.num_nodes() != state.graph.num_nodes() {
             state.params = RwrParams::for_graph(graph.num_nodes());
             // Pooled workspaces are sized for the old node count; they are
             // discarded lazily by `checkout`'s length check.
         }
         state.graph = graph;
-        self.version.fetch_add(1, Ordering::AcqRel);
+        self.version.store(next, Ordering::Release);
+        if let Some(store) = &self.durability {
+            if store.should_snapshot(next) {
+                if let Err(e) = store.write_snapshot(&state.graph, next) {
+                    eprintln!("snapshot at version {next} failed (mutation is WAL-durable): {e}");
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    /// Writes a snapshot at the current version and truncates the WAL — the
+    /// clean-shutdown path. After a checkpoint, a restart loads the snapshot
+    /// and replays zero WAL records. No-op without a durability store.
+    pub fn checkpoint(&self) -> Result<(), DurabilityError> {
+        let Some(store) = &self.durability else {
+            return Ok(());
+        };
+        // The read lock excludes concurrent mutations (they take the write
+        // lock), so graph and version are a consistent pair.
+        let state = self.state.read();
+        let version = self.version.load(Ordering::Acquire);
+        store.write_snapshot(&state.graph, version)
     }
 
     /// Inserts directed edges (existing edges are deduplicated).
+    ///
+    /// Panics if the durability append fails; use
+    /// [`RwrSession::apply_mutation`] for the fallible path.
     pub fn insert_edges(&self, edges: &[(NodeId, NodeId)]) {
-        self.replace_graph(|g| dynamic::insert_edges(g, edges));
+        self.apply_mutation(&MutationOp::InsertEdges(edges.to_vec()))
+            .expect("WAL append failed");
     }
 
     /// Deletes directed edges (absent edges are ignored).
+    ///
+    /// Panics if the durability append fails; use
+    /// [`RwrSession::apply_mutation`] for the fallible path.
     pub fn delete_edges(&self, edges: &[(NodeId, NodeId)]) {
-        self.replace_graph(|g| dynamic::delete_edges(g, edges));
+        self.apply_mutation(&MutationOp::DeleteEdges(edges.to_vec()))
+            .expect("WAL append failed");
     }
 
-    /// Isolates a node (removes all its in- and out-edges; ids stay stable).
+    /// Isolates a node: removes all its in- and out-edges. **Ids stay
+    /// stable** — the node is not removed from the id space, so a later
+    /// `insert_edges` touching it deterministically *resurrects* it (the
+    /// edge is accepted and the node is reachable again). This is a pinned
+    /// contract: WAL replay applies the same `delete_node` + `insert_edges`
+    /// ops and must land on a bit-identical graph, which rules out any
+    /// nondeterministic or id-shifting delete. See DESIGN.md §11.
+    ///
+    /// Panics if the durability append fails; use
+    /// [`RwrSession::apply_mutation`] for the fallible path.
     pub fn delete_node(&self, node: NodeId) {
-        self.replace_graph(|g| dynamic::delete_node(g, node));
+        self.apply_mutation(&MutationOp::DeleteNode(node))
+            .expect("WAL append failed");
     }
 }
 
@@ -448,5 +534,68 @@ mod tests {
         session.delete_node(9);
         let r2 = session.query(0, 1);
         assert_eq!(r2.scores.len(), 10);
+    }
+
+    #[test]
+    fn delete_node_then_insert_edges_deterministically_resurrects() {
+        // The pinned contract: delete_node isolates but never removes the
+        // id, so a later insert touching that id is accepted and brings the
+        // node back — identically every time, which is what lets WAL replay
+        // reproduce history bit-for-bit.
+        let session = RwrSession::new(gen::complete(6));
+        session.delete_node(2);
+        assert_eq!(session.graph().out_degree(2) + session.graph().in_degree(2), 0);
+        session.insert_edges(&[(0, 2), (2, 4)]);
+        assert!(session.graph().has_edge(0, 2));
+        assert!(session.graph().has_edge(2, 4));
+        let r = session.query(0, 7);
+        assert!(r.scores[2] > 0.0, "resurrected node is reachable again");
+        // Determinism: an independent session replaying the same ops lands
+        // on the same graph bytes.
+        let replay = RwrSession::new(gen::complete(6));
+        replay.delete_node(2);
+        replay.insert_edges(&[(0, 2), (2, 4)]);
+        let a = resacc_graph::binary::to_bytes(&session.graph());
+        let b = resacc_graph::binary::to_bytes(&replay.graph());
+        let (a, b): (&[u8], &[u8]) = (&a, &b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn durable_session_survives_reopen_with_version_and_graph_intact() {
+        use crate::durability::{open_dir, DurabilityOptions};
+        let dir = std::env::temp_dir().join(format!("resacc-sess-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurabilityOptions {
+            fsync: false,
+            snapshot_every: 0,
+        };
+        let base = || Ok(gen::erdos_renyi(40, 160, 3));
+        let expected = {
+            let rec = open_dir(&dir, opts, base).unwrap();
+            let params = RwrParams::for_graph(rec.graph.num_nodes());
+            let session = RwrSession::from_recovered(rec, params, ResAccConfig::default());
+            session.insert_edges(&[(0, 39), (5, 7)]);
+            session.delete_node(3);
+            session.insert_edges(&[(3, 0)]);
+            assert_eq!(session.version(), 3);
+            session.query(0, 11).scores
+        }; // dropped without checkpoint: recovery must rebuild from the WAL
+        let rec = open_dir(&dir, opts, base).unwrap();
+        assert_eq!(rec.stats.wal_records_replayed, 3);
+        let params = RwrParams::for_graph(rec.graph.num_nodes());
+        let session = RwrSession::from_recovered(rec, params, ResAccConfig::default());
+        assert_eq!(session.version(), 3, "version continues, never restarts");
+        assert_eq!(
+            session.query(0, 11).scores,
+            expected,
+            "recovered graph answers bit-identically"
+        );
+        // A checkpoint makes the next recovery replay nothing.
+        session.checkpoint().unwrap();
+        let rec2 = open_dir(&dir, opts, base).unwrap();
+        assert_eq!(rec2.stats.wal_records_replayed, 0);
+        assert_eq!(rec2.version, 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -120,6 +120,13 @@ pub struct Metrics {
     pub rejected_conns: AtomicU64,
     /// `accept()` failures observed by the listener loop.
     pub accept_errors: AtomicU64,
+    /// WAL records replayed during startup recovery (0 after a clean
+    /// shutdown — a drained restart must never rely on replay).
+    pub wal_records_replayed: AtomicU64,
+    /// Bytes truncated off a torn/corrupt WAL tail during recovery.
+    pub wal_truncated_bytes: AtomicU64,
+    /// Snapshots successfully loaded during recovery (0 or 1).
+    pub snapshots_loaded: AtomicU64,
     /// End-to-end latency per query, nanoseconds (enqueue → response).
     pub latency: Histogram,
     /// End-to-end latency of *failed* queries (shed/timeout/panic),
@@ -161,6 +168,12 @@ pub struct MetricsSnapshot {
     pub rejected_conns: u64,
     /// Listener accept failures.
     pub accept_errors: u64,
+    /// WAL records replayed at startup.
+    pub wal_records_replayed: u64,
+    /// WAL tail bytes truncated at startup.
+    pub wal_truncated_bytes: u64,
+    /// Snapshots loaded at startup.
+    pub snapshots_loaded: u64,
     /// Queries per second over the whole uptime.
     pub qps: f64,
     /// Cache hit rate in [0, 1]; 0 when no lookups happened.
@@ -197,6 +210,9 @@ impl Metrics {
             panics: AtomicU64::new(0),
             rejected_conns: AtomicU64::new(0),
             accept_errors: AtomicU64::new(0),
+            wal_records_replayed: AtomicU64::new(0),
+            wal_truncated_bytes: AtomicU64::new(0),
+            snapshots_loaded: AtomicU64::new(0),
             latency: Histogram::new(),
             latency_err: Histogram::new(),
             phase_hhop_ns: AtomicU64::new(0),
@@ -226,6 +242,9 @@ impl Metrics {
             panics: self.panics.load(Ordering::Relaxed),
             rejected_conns: self.rejected_conns.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            wal_records_replayed: self.wal_records_replayed.load(Ordering::Relaxed),
+            wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
+            snapshots_loaded: self.snapshots_loaded.load(Ordering::Relaxed),
             qps: queries as f64 / uptime,
             hit_rate: if lookups == 0 {
                 0.0
@@ -269,6 +288,15 @@ impl MetricsSnapshot {
             ("panics".into(), Json::u64(self.panics)),
             ("rejected_conns".into(), Json::u64(self.rejected_conns)),
             ("accept_errors".into(), Json::u64(self.accept_errors)),
+            (
+                "wal_records_replayed".into(),
+                Json::u64(self.wal_records_replayed),
+            ),
+            (
+                "wal_truncated_bytes".into(),
+                Json::u64(self.wal_truncated_bytes),
+            ),
+            ("snapshots_loaded".into(), Json::u64(self.snapshots_loaded)),
             ("qps".into(), Json::f64(self.qps)),
             ("hit_rate".into(), Json::f64(self.hit_rate)),
             ("mean_ms".into(), Json::f64(self.mean_ms)),
@@ -295,6 +323,7 @@ impl MetricsSnapshot {
              errors      {:>10}\n\
              overload    {:>10} shed / {} timeouts / {} panics\n\
              listener    {:>10} rejected conns / {} accept errors\n\
+             recovery    {:>10} WAL records replayed / {} B truncated / {} snapshots loaded\n\
              latency     mean {:.3} ms · p50 {:.3} ms · p95 {:.3} ms · p99 {:.3} ms\n\
              err latency mean {:.3} ms · p99 {:.3} ms\n\
              phase time  hhop {:.1} ms · omfwd {:.1} ms · remedy {:.1} ms\n",
@@ -312,6 +341,9 @@ impl MetricsSnapshot {
             self.panics,
             self.rejected_conns,
             self.accept_errors,
+            self.wal_records_replayed,
+            self.wal_truncated_bytes,
+            self.snapshots_loaded,
             self.mean_ms,
             self.p50_ms,
             self.p95_ms,

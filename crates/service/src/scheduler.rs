@@ -65,6 +65,7 @@ use crate::metrics::Metrics;
 use crate::params_hash;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
+use resacc::durability::{DurabilityError, MutationOp};
 use resacc::{Cancel, QueryError, RwrSession};
 use resacc_graph::NodeId;
 use std::collections::HashMap;
@@ -483,6 +484,17 @@ impl Scheduler {
         apply(&self.session);
         self.metrics.mutations.fetch_add(1, Relaxed);
         self.session.version()
+    }
+
+    /// The fallible durable-mutation path: WAL-append (when the session has
+    /// a store), apply, bump — returning the new version, or the
+    /// [`DurabilityError`] when the append failed (in which case **nothing
+    /// changed**; the server surfaces it as a `storage_failed` wire error
+    /// and the client may retry). Counted in `mutations` only on success.
+    pub fn apply(&self, op: &MutationOp) -> Result<u64, DurabilityError> {
+        let version = self.session.apply_mutation(op)?;
+        self.metrics.mutations.fetch_add(1, Relaxed);
+        Ok(version)
     }
 }
 

@@ -49,6 +49,7 @@ use crate::fault::FaultPlan;
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 use crate::scheduler::{QueryRequest, Scheduler, SchedulerConfig, ServiceError};
+use resacc::durability::{MutationOp, RecoveryStats};
 use resacc::topk::top_k;
 use resacc::RwrSession;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -91,6 +92,11 @@ pub struct ServerConfig {
     pub threads_per_query: usize,
     /// Fault-injection plan (tests / load generation only).
     pub faults: FaultPlan,
+    /// What startup recovery observed (zeroes when the session is not
+    /// durable); published into the metrics surface so operators can see
+    /// `wal_records_replayed` / `wal_truncated_bytes` / `snapshots_loaded`
+    /// in `stats` responses.
+    pub recovery: RecoveryStats,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +113,7 @@ impl Default for ServerConfig {
             idle_timeout_ms: 30_000,
             threads_per_query: 1,
             faults: FaultPlan::default(),
+            recovery: RecoveryStats::default(),
         }
     }
 }
@@ -144,6 +151,17 @@ pub fn serve(
             ..Default::default()
         },
     ));
+    {
+        // Publish what startup recovery observed; these are set once and
+        // only read thereafter.
+        let m = scheduler.metrics();
+        m.wal_records_replayed
+            .store(config.recovery.wal_records_replayed, Ordering::Relaxed);
+        m.wal_truncated_bytes
+            .store(config.recovery.wal_truncated_bytes, Ordering::Relaxed);
+        m.snapshots_loaded
+            .store(config.recovery.snapshots_loaded, Ordering::Relaxed);
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let limits = ConnLimits {
         default_k: config.default_k,
@@ -202,6 +220,13 @@ pub fn serve(
     // drop. No connection is abandoned mid-request.
     for t in handlers {
         let _ = t.join();
+    }
+    // All mutation sources are gone (mutations run synchronously inside the
+    // joined handlers), so checkpoint: snapshot at the final version and
+    // truncate the WAL. A restart after this drain replays zero records —
+    // clean shutdown never relies on recovery.
+    if let Err(e) = scheduler.session().checkpoint() {
+        eprintln!("shutdown checkpoint failed (WAL still covers all mutations): {e}");
     }
     Ok(())
 }
@@ -440,14 +465,14 @@ fn handle_line(line: &str, scheduler: &Scheduler, limits: &ConnLimits) -> (Json,
     let result = match op {
         "query" => op_query(&request, scheduler, limits),
         "insert_edges" => parse_edges(&request)
-            .map(|edges| mutation_response(id, scheduler.mutate(|s| s.insert_edges(&edges)))),
+            .map(|edges| apply_response(id, scheduler, MutationOp::InsertEdges(edges))),
         "delete_edges" => parse_edges(&request)
-            .map(|edges| mutation_response(id, scheduler.mutate(|s| s.delete_edges(&edges)))),
+            .map(|edges| apply_response(id, scheduler, MutationOp::DeleteEdges(edges))),
         "delete_node" => request
             .get("node")
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing node".to_string())
-            .map(|node| mutation_response(id, scheduler.mutate(|s| s.delete_node(node as u32)))),
+            .map(|node| apply_response(id, scheduler, MutationOp::DeleteNode(node as u32))),
         "stats" => Ok(stats_response(id, scheduler)),
         "ping" => Ok(ok_response(id, vec![])),
         "shutdown" => {
@@ -478,6 +503,22 @@ fn mutation_response(id: Option<u64>, version: u64) -> Json {
     ok_response(id, vec![("version".to_string(), Json::u64(version))])
 }
 
+/// Runs a mutation through the durable path. A WAL failure leaves the graph
+/// untouched and surfaces as a typed `storage_failed` error — never a panic
+/// that would take the handler (and every pipelined request) down with it.
+fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: MutationOp) -> Json {
+    match scheduler.apply(&op) {
+        Ok(version) => mutation_response(id, version),
+        Err(e) => {
+            scheduler
+                .metrics()
+                .errors
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            error_fields(id, "storage_failed", &e.to_string(), None)
+        }
+    }
+}
+
 fn stats_response(id: Option<u64>, scheduler: &Scheduler) -> Json {
     let snapshot: MetricsSnapshot = scheduler.metrics().snapshot();
     let session = scheduler.session();
@@ -485,15 +526,38 @@ fn stats_response(id: Option<u64>, scheduler: &Scheduler) -> Json {
         let g = session.graph();
         (g.num_nodes(), g.num_edges())
     };
-    ok_response(
-        id,
-        vec![
-            ("stats".to_string(), snapshot.to_json()),
-            ("nodes".to_string(), Json::u64(nodes as u64)),
-            ("edges".to_string(), Json::u64(edges as u64)),
-            ("version".to_string(), Json::u64(session.version())),
-        ],
-    )
+    let mut rest = vec![
+        ("stats".to_string(), snapshot.to_json()),
+        ("nodes".to_string(), Json::u64(nodes as u64)),
+        ("edges".to_string(), Json::u64(edges as u64)),
+        ("version".to_string(), Json::u64(session.version())),
+    ];
+    if let Some(store) = session.durability() {
+        // Live WAL/snapshot counters for this process (recovery counters
+        // live in `stats`; these advance as mutations arrive).
+        rest.push((
+            "durability".to_string(),
+            Json::Obj(vec![
+                (
+                    "records_appended".to_string(),
+                    Json::u64(store.records_appended()),
+                ),
+                (
+                    "bytes_appended".to_string(),
+                    Json::u64(store.bytes_appended()),
+                ),
+                (
+                    "snapshots_written".to_string(),
+                    Json::u64(store.snapshots_written()),
+                ),
+                (
+                    "last_snapshot_version".to_string(),
+                    Json::u64(store.last_snapshot_version()),
+                ),
+            ]),
+        ));
+    }
+    ok_response(id, rest)
 }
 
 fn op_query(request: &Json, scheduler: &Scheduler, limits: &ConnLimits) -> Result<Json, String> {
@@ -836,6 +900,77 @@ mod tests {
         assert_eq!(seen, 10, "every pipelined request answered");
         drop(stream);
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn drained_shutdown_checkpoints_so_restart_replays_nothing() {
+        use resacc::durability::{open_dir, DurabilityOptions};
+        use resacc::resacc::ResAccConfig;
+        let dir = std::env::temp_dir().join(format!("resacc-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurabilityOptions {
+            fsync: false,
+            snapshot_every: 0, // no periodic snapshots: only the drain checkpoint
+        };
+        let base = || Ok(gen::barabasi_albert(200, 3, 5));
+
+        // First lifetime: serve, mutate over TCP, shut down gracefully.
+        let rec = open_dir(&dir, opts, base).unwrap();
+        let params = resacc::RwrParams::for_graph(rec.graph.num_nodes());
+        let session = Arc::new(RwrSession::from_recovered(rec, params, ResAccConfig::default()));
+        let handle = spawn("127.0.0.1:0", session, ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let m = roundtrip(&mut stream, r#"{"id":1,"op":"insert_edges","edges":[[0,199],[5,6]]}"#);
+        assert_eq!(m.get("version").unwrap().as_u64(), Some(1));
+        let m = roundtrip(&mut stream, r#"{"id":2,"op":"delete_node","node":7}"#);
+        assert_eq!(m.get("version").unwrap().as_u64(), Some(2));
+        let expected = roundtrip(
+            &mut stream,
+            r#"{"id":3,"op":"query","source":0,"seed":42,"full":true}"#,
+        );
+        drop(stream);
+        handle.shutdown().unwrap(); // drain + checkpoint
+
+        // Second lifetime: recovery must find a snapshot at the tip and an
+        // empty WAL — zero records replayed — and answer bit-identically.
+        let rec = open_dir(&dir, opts, base).unwrap();
+        assert_eq!(rec.stats.wal_records_replayed, 0, "drained restart must not replay");
+        assert_eq!(rec.stats.snapshots_loaded, 1);
+        assert_eq!(rec.version, 2);
+        let recovery = rec.stats;
+        let params = resacc::RwrParams::for_graph(rec.graph.num_nodes());
+        let session = Arc::new(RwrSession::from_recovered(rec, params, ResAccConfig::default()));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                recovery,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let s = roundtrip(&mut stream, r#"{"op":"stats"}"#);
+        let stats = s.get("stats").unwrap();
+        assert_eq!(
+            stats.get("wal_records_replayed").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(stats.get("snapshots_loaded").unwrap().as_u64(), Some(1));
+        assert!(s.get("durability").is_some(), "live WAL counters exposed");
+        let replay = roundtrip(
+            &mut stream,
+            r#"{"id":3,"op":"query","source":0,"seed":42,"full":true}"#,
+        );
+        assert_eq!(
+            replay.get("scores").unwrap().render(),
+            expected.get("scores").unwrap().render(),
+            "recovered server must answer bit-identically"
+        );
+        assert_eq!(replay.get("version").unwrap().as_u64(), Some(2));
+        drop(stream);
+        handle.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Satellite stress test: queries and graph mutations interleaved

@@ -8,6 +8,10 @@
 #   5. parallel determinism: `rwr query` at 1 and 4 threads must print
 #      byte-identical results, and a bench_parallel smoke run must pass its
 #      bitwise 1-vs-N gate (the ≥2× speedup gate self-disables on <4 cores)
+#   6. recovery smoke: mutate a durable server, SIGKILL it, restart on the
+#      same --data-dir, and require the WAL replay banner plus a byte-
+#      identical full-scores query; then a bench_recovery smoke run must
+#      pass its zero-loss and torn-tail gates
 #
 # The workspace builds offline (external deps resolve to shims/*), so pin
 # CARGO_NET_OFFLINE to keep cargo from ever touching the network.
@@ -69,5 +73,67 @@ fi
 echo "==> bench_parallel smoke (bitwise 1-vs-N gate)"
 RESACC_BENCH_PARALLEL_QUERIES=2 RESACC_BENCH_PARALLEL_WALK_SCALE=2 \
   target/release/bench_parallel "$SMOKE_DIR/BENCH_parallel.json" > /dev/null
+
+echo "==> recovery smoke (mutate, SIGKILL, restart, bitwise query replay)"
+DATA_DIR="$SMOKE_DIR/data"
+QUERY='{"id":9,"op":"query","source":3,"seed":77,"full":true}'
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$DATA_DIR" --snapshot-every 0 \
+  > "$SMOKE_DIR/serve1.out" 2> "$SMOKE_DIR/serve1.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SMOKE_DIR/serve1.out" 2>/dev/null && break
+  sleep 0.1
+done
+ADDR=$(awk '/listening on/ { print $3 }' "$SMOKE_DIR/serve1.out")
+[[ -n "$ADDR" ]] || { echo "recovery smoke: server never came up"; cat "$SMOKE_DIR/serve1.err"; exit 1; }
+HOST=${ADDR%:*}; PORT=${ADDR##*:}
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf '{"id":1,"op":"insert_edges","edges":[[0,399],[5,6]]}\n' >&3
+read -t 10 -r ACK1 <&3
+printf '{"id":2,"op":"delete_node","node":7}\n' >&3
+read -t 10 -r ACK2 <&3
+grep -q '"version":2' <<< "$ACK2" || { echo "recovery smoke: mutations not acknowledged: $ACK1 / $ACK2"; exit 1; }
+printf '%s\n' "$QUERY" >&3
+read -t 10 -r PRE <&3
+exec 3>&- 3<&-
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true   # crash: no drain, no checkpoint
+SERVE_PID=
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$DATA_DIR" --snapshot-every 0 \
+  > "$SMOKE_DIR/serve2.out" 2> "$SMOKE_DIR/serve2.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SMOKE_DIR/serve2.out" 2>/dev/null && break
+  sleep 0.1
+done
+ADDR=$(awk '/listening on/ { print $3 }' "$SMOKE_DIR/serve2.out")
+[[ -n "$ADDR" ]] || { echo "recovery smoke: restart never came up"; cat "$SMOKE_DIR/serve2.err"; exit 1; }
+grep -q "# recovered version 2 .* 2 WAL record(s) replayed" "$SMOKE_DIR/serve2.out" || {
+  echo "recovery smoke: missing or wrong recovery banner:"; cat "$SMOKE_DIR/serve2.out"; exit 1; }
+HOST=${ADDR%:*}; PORT=${ADDR##*:}
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf '%s\n' "$QUERY" >&3
+read -t 10 -r POST <&3
+printf '{"op":"shutdown"}\n' >&3
+read -t 10 -r _ <&3 || true
+exec 3>&- 3<&-
+wait "$SERVE_PID"   # graceful drain writes the shutdown checkpoint
+SERVE_PID=
+# Strip the one wall-clock field; every other byte (version, top-k, full
+# scores) must survive the crash unchanged.
+PRE=$(sed 's/"latency_ns":[0-9]*,//' <<< "$PRE")
+POST=$(sed 's/"latency_ns":[0-9]*,//' <<< "$POST")
+if [[ "$PRE" != "$POST" ]]; then
+  echo "recovery smoke: full scores diverged across the crash:"
+  echo " pre:  $PRE"
+  echo " post: $POST"
+  exit 1
+fi
+
+echo "==> bench_recovery smoke (zero-loss + torn-tail gates)"
+RESACC_BENCH_RECOVERY_NODES=300 RESACC_BENCH_RECOVERY_MUTATIONS=60 \
+RESACC_BENCH_RECOVERY_SNAPSHOT_EVERY=16 \
+  target/release/bench_recovery "$SMOKE_DIR/BENCH_recovery.json" > /dev/null
 
 echo "==> all checks passed"
