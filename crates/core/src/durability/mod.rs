@@ -18,9 +18,10 @@
 //!                     │                                     ▼
 //!                     │                  snapshot tmp → fsync → rename → fsync dir
 //!                     │                                     │
-//!                     └──────────── WAL truncated ◄─────────┘
+//!                     └── WAL compacted (records the older ◄┘
+//!                         retained snapshot covers are dropped)
 //!
-//!   startup ──► latest valid snapshot ──► replay WAL tail ──► truncate torn tail
+//!   startup ──► newest valid snapshot ──► replay WAL tail ──► truncate torn tail
 //! ```
 //!
 //! * [`wal::Wal`] — append-only log of [`MutationOp`]s, one checksummed,
@@ -82,6 +83,15 @@ pub enum DurabilityError {
         /// Human-readable description of the failure.
         detail: String,
     },
+    /// A failed WAL append could not be rolled back, so the on-disk tail
+    /// is in an unknown state. Every subsequent mutation fails with this
+    /// until the process restarts and recovery re-validates (and, if
+    /// needed, truncates) the file — accepting new appends on top of an
+    /// unknowable tail could replay rejected operations.
+    Poisoned {
+        /// The poisoned WAL file.
+        path: PathBuf,
+    },
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -91,6 +101,11 @@ impl std::fmt::Display for DurabilityError {
             DurabilityError::Corrupt { path, detail } => {
                 write!(f, "corrupt {}: {detail}", path.display())
             }
+            DurabilityError::Poisoned { path } => write!(
+                f,
+                "WAL {} poisoned by an unrecoverable append failure; restart to recover",
+                path.display()
+            ),
         }
     }
 }
@@ -229,6 +244,16 @@ pub(crate) fn crc32_parts(parts: &[&[u8]]) -> u32 {
     c ^ 0xffffffff
 }
 
+/// Fsyncs a directory so a rename inside it is durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    // Windows cannot open directories as files; the rename is still atomic
+    // there, just not power-loss durable. All supported targets are POSIX.
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all()?;
+    }
+    Ok(())
+}
+
 /// Parks the process at a named crash point when armed via the
 /// `RESACC_CRASH_POINT=<name>[:<nth>]` environment variable (default
 /// `nth` = 1, counting hits of that name).
@@ -269,13 +294,16 @@ pub(crate) fn crash_point(name: &str, before: impl FnOnce()) {
 /// The live durability handle owned by a [`crate::RwrSession`]: an open
 /// WAL plus the snapshot policy, with counters for observability.
 ///
-/// All mutating entry points are called under the session's write lock,
-/// which serializes appends, snapshots, and WAL truncation against each
-/// other; the internal WAL mutex only exists so [`Durability`] is `Sync`
-/// for the occasional lock-free reader of the counters.
+/// Appends are serialized by the internal WAL mutex (mutations all run
+/// under the session's write lock anyway). Snapshot writes are serialized
+/// by a dedicated snapshot mutex, because [`crate::RwrSession::checkpoint`]
+/// is a public `&self` API reachable from any thread — two concurrent
+/// checkpoints at the same version would otherwise interleave writes into
+/// the same `snap-<v>.rsnap.tmp` before the rename.
 pub struct Durability {
     dir: PathBuf,
     wal: parking_lot::Mutex<Wal>,
+    snapshot_lock: parking_lot::Mutex<()>,
     opts: DurabilityOptions,
     records_appended: AtomicU64,
     bytes_appended: AtomicU64,
@@ -288,6 +316,7 @@ impl Durability {
         Durability {
             dir,
             wal: parking_lot::Mutex::new(wal),
+            snapshot_lock: parking_lot::Mutex::new(()),
             opts,
             records_appended: AtomicU64::new(0),
             bytes_appended: AtomicU64::new(0),
@@ -319,16 +348,28 @@ impl Durability {
 
     /// Writes a snapshot of `graph` at `version` atomically, prunes older
     /// snapshots (keeping the most recent two as corruption fallback), and
-    /// truncates the WAL — every logged record is now ≤ the snapshot
-    /// version, so the log can restart empty.
+    /// compacts the WAL down to the records the *older* retained snapshot
+    /// does not cover. Keeping that suffix is what makes the fallback
+    /// real: if the newest snapshot later fails to decode, recovery loads
+    /// the previous one and rolls forward through exactly these records.
+    /// Serialized against concurrent snapshot writers (see struct doc).
     pub fn write_snapshot(&self, graph: &CsrGraph, version: u64) -> Result<(), DurabilityError> {
+        let _guard = self.snapshot_lock.lock();
         snapshot::write_snapshot(&self.dir, graph, version)?;
         self.snapshots_written.fetch_add(1, Ordering::Relaxed);
         self.last_snapshot_version.store(version, Ordering::Relaxed);
         snapshot::prune_snapshots(&self.dir, version, 2)?;
-        // A crash between the rename above and this truncate leaves records
-        // ≤ the snapshot version in the WAL; recovery skips them by version.
-        self.wal.lock().truncate_all()?;
+        // Drop only the WAL records the older retained snapshot already
+        // covers. With a single snapshot on disk the fallback is the seed
+        // graph, so the full log is kept. A crash between the rename above
+        // and this compaction leaves stale records ≤ the snapshot version
+        // behind; recovery skips them by version.
+        let fallback = snapshot::list_snapshots(&self.dir)?
+            .into_iter()
+            .filter(|&v| v <= version)
+            .nth(1)
+            .unwrap_or(0);
+        self.wal.lock().retain_after(fallback)?;
         Ok(())
     }
 

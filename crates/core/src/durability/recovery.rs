@@ -13,8 +13,12 @@
 //!
 //! Torn or bit-flipped WAL tails are *truncated*, never fatal: those bytes
 //! can only belong to a record whose append was never acknowledged (an
-//! acknowledged record is fully fsync'd), so dropping them loses nothing
-//! the caller was promised.
+//! acknowledged record is fully fsync'd — a failed append rolls the file
+//! back before the caller sees the error), so dropping them loses nothing
+//! the caller was promised. The converse guard also holds: recovery
+//! refuses to start if it cannot reach the newest snapshot's *named*
+//! version, because even an unreadable snapshot file proves that history
+//! up to its version was acknowledged.
 
 use super::snapshot;
 use super::wal::{self, Wal, WAL_FILE};
@@ -89,12 +93,16 @@ pub fn open_dir(
     std::fs::create_dir_all(dir)?;
     let mut stats = RecoveryStats::default();
 
-    // Newest snapshot that actually decodes wins; corrupt candidates are
-    // reported to stderr and skipped, not fatal — the older snapshot plus
-    // the WAL (which is only truncated *after* a snapshot lands) still
-    // covers the full history.
+    // Newest snapshot that actually decodes wins; a corrupt candidate is
+    // reported to stderr and skipped, not fatal — the WAL is only compacted
+    // down to what the *older* retained snapshot covers, so the older
+    // snapshot (or, while only one snapshot exists, the seed graph) plus
+    // the log still reaches the acknowledged tip. Whether that held is
+    // checked after replay, against the newest snapshot's *named* version.
+    let snapshot_versions = snapshot::list_snapshots(dir)?;
+    let newest_named = snapshot_versions.first().copied();
     let mut start: Option<(CsrGraph, u64)> = None;
-    for v in snapshot::list_snapshots(dir)? {
+    for v in snapshot_versions {
         match snapshot::load_snapshot(&dir.join(snapshot::snapshot_name(v))) {
             Ok((graph, version)) => {
                 start = Some((graph, version));
@@ -131,6 +139,26 @@ pub fn open_dir(
         graph = record.op.apply(&graph);
         version = record.version;
         stats.wal_records_replayed += 1;
+    }
+
+    // A snapshot's file name carries the version it covered, so even an
+    // unreadable snapshot is proof that history up to that version was
+    // acknowledged. If snapshot fallback plus replay could not get back
+    // there, starting up would silently regress acknowledged mutations and
+    // rewind the version counter (aliasing downstream cache keys) — a hard
+    // error demanding operator attention, not a fallback. Nothing has been
+    // truncated yet at this point, so the evidence survives on disk.
+    if let Some(newest) = newest_named {
+        if version < newest {
+            return Err(DurabilityError::Corrupt {
+                path: dir.to_path_buf(),
+                detail: format!(
+                    "recovery reaches only version {version}, but snapshot \
+                     file(s) prove version {newest} was acknowledged; \
+                     refusing to regress acknowledged history"
+                ),
+            });
+        }
     }
 
     let wal = Wal::open(dir, valid_len, opts.fsync)?;
@@ -251,7 +279,10 @@ mod tests {
         let rec = open_dir(&dir, opts, || panic!("initial must not be called")).unwrap();
         assert_eq!(rec.version, 4);
         assert_eq!(rec.stats.snapshots_loaded, 1);
-        assert_eq!(rec.stats.wal_records_replayed, 0, "snapshot at tip, empty WAL");
+        assert_eq!(
+            rec.stats.wal_records_replayed, 0,
+            "snapshot at tip covers every retained record"
+        );
         assert_eq!(bytes_of(&rec.graph), bytes_of(&live));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -284,6 +315,81 @@ mod tests {
         assert_eq!(rec.stats.snapshots_loaded, 1);
         assert_eq!(rec.stats.wal_records_replayed, 2);
         assert_eq!(bytes_of(&rec.graph), bytes_of(&g4));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_latest_snapshot_falls_back_through_the_real_write_path() {
+        // Same scenario as above, but the WAL is whatever the production
+        // snapshot path actually leaves behind: after the snapshot at 4,
+        // the log must still hold the records the older snapshot (at 2)
+        // needs to roll forward — that is what makes it a usable fallback.
+        let dir = tmp_dir("snap-fallback-real");
+        let opts = DurabilityOptions {
+            fsync: true,
+            snapshot_every: 2, // snapshots at versions 2 and 4
+        };
+        let (live, _) = run_process(&dir, opts, &history());
+        let v4_path = dir.join(snapshot::snapshot_name(4));
+        let mut data = std::fs::read(&v4_path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xff;
+        std::fs::write(&v4_path, &data).unwrap();
+
+        let rec = open_dir(&dir, opts, || panic!("initial must not be called")).unwrap();
+        assert_eq!(rec.version, 4, "acknowledged history fully recovered");
+        assert_eq!(rec.stats.snapshots_loaded, 1);
+        assert_eq!(rec.stats.wal_records_replayed, 2, "records 3..=4 roll forward");
+        assert_eq!(bytes_of(&rec.graph), bytes_of(&live));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn first_snapshot_keeps_full_wal_as_seed_fallback() {
+        // With only one snapshot on disk the fallback is the seed graph,
+        // so compaction must keep the entire log: corrupting that lone
+        // snapshot still recovers the full acknowledged history.
+        let dir = tmp_dir("snap-single-fallback");
+        let opts = DurabilityOptions {
+            fsync: true,
+            snapshot_every: 3, // exactly one snapshot (at version 3)
+        };
+        let (live, _) = run_process(&dir, opts, &history());
+        let v3_path = dir.join(snapshot::snapshot_name(3));
+        let mut data = std::fs::read(&v3_path).unwrap();
+        data[10] ^= 0xff;
+        std::fs::write(&v3_path, &data).unwrap();
+
+        let rec = open_dir(&dir, opts, || Ok(base())).unwrap();
+        assert_eq!(rec.version, 4);
+        assert_eq!(rec.stats.snapshots_loaded, 0);
+        assert_eq!(rec.stats.wal_records_replayed, 4, "full history replays");
+        assert_eq!(bytes_of(&rec.graph), bytes_of(&live));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_is_a_hard_error_not_silent_regression() {
+        let dir = tmp_dir("snap-all-corrupt");
+        let opts = DurabilityOptions {
+            fsync: true,
+            snapshot_every: 2,
+        };
+        run_process(&dir, opts, &history());
+        for v in [2u64, 4] {
+            let path = dir.join(snapshot::snapshot_name(v));
+            let mut data = std::fs::read(&path).unwrap();
+            let mid = data.len() / 2;
+            data[mid] ^= 0xff;
+            std::fs::write(&path, &data).unwrap();
+        }
+        match open_dir(&dir, opts, || Ok(base())) {
+            Err(DurabilityError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("refusing to regress"), "{detail}")
+            }
+            Ok(_) => panic!("recovery must not silently regress past all snapshots"),
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

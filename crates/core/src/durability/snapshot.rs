@@ -14,7 +14,7 @@
 //! the (itself hostile-input-safe) RACG decoder: a truncated or bit-flipped
 //! snapshot yields a typed [`DurabilityError::Corrupt`], never a panic.
 
-use super::{crash_point, crc32_parts, DurabilityError};
+use super::{crash_point, crc32_parts, sync_dir, DurabilityError};
 use bytes::Bytes;
 use resacc_graph::{binary, CsrGraph};
 use std::io::Write;
@@ -151,16 +151,6 @@ pub(crate) fn prune_snapshots(
     let versions = list_snapshots(dir)?;
     for v in versions.into_iter().filter(|&v| v <= current_version).skip(keep) {
         std::fs::remove_file(dir.join(snapshot_name(v))).ok();
-    }
-    Ok(())
-}
-
-/// Fsyncs a directory so a rename inside it is durable.
-fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
-    // Windows cannot open directories as files; the rename is still atomic
-    // there, just not power-loss durable. All supported targets are POSIX.
-    if let Ok(d) = std::fs::File::open(dir) {
-        d.sync_all()?;
     }
     Ok(())
 }

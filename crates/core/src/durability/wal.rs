@@ -10,12 +10,22 @@
 //! All integers little-endian. The CRC covers the payload only; the length
 //! prefix is implicitly validated by the CRC (a corrupted length either
 //! reads past EOF — torn tail — or frames bytes whose CRC cannot match).
-//! Appends go through one `write_all` per record, then `flush`, then
-//! (policy permitting) `fsync`; on return the record is durable.
+//! Appends go through one `write_all` per record, then (policy permitting)
+//! `fsync`; on return the record is durable.
+//!
+//! Failed appends uphold the session's "an `Err` means nothing changed"
+//! contract: the log tracks its durable length and, on any append error,
+//! truncates the file back to it before returning — so a partially written
+//! record (ENOSPC mid-write) or a record whose fsync failed (EIO) never
+//! survives to be replayed against a mutation the caller was told to retry.
+//! If even that rollback fails, the on-disk tail is unknowable and the log
+//! *poisons* itself: every later operation returns
+//! [`DurabilityError::Poisoned`] until the process restarts and recovery
+//! re-validates the file.
 
-use super::{crash_point, crc32, DurabilityError, MutationOp};
+use super::{crash_point, crc32, sync_dir, DurabilityError, MutationOp};
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 pub(crate) const WAL_MAGIC: &[u8; 4] = b"RWAL";
@@ -30,10 +40,35 @@ pub(crate) const MAX_RECORD_LEN: u32 = 1 << 28;
 pub(crate) const WAL_FILE: &str = "wal.log";
 
 /// An open, append-positioned write-ahead log.
+///
+/// Writes go straight to the file (no userspace buffering — every append
+/// is flushed anyway), so `durable_len` is exactly the byte length of the
+/// valid record prefix and a failed append can be rolled back with one
+/// `set_len`.
 pub struct Wal {
-    writer: BufWriter<File>,
+    file: File,
     path: PathBuf,
     fsync: bool,
+    /// Length of the validated prefix: header plus every successfully
+    /// appended record. The rollback target when an append fails.
+    durable_len: u64,
+    /// Set when a failed append could not be rolled back; see
+    /// [`DurabilityError::Poisoned`].
+    poisoned: bool,
+    /// Test-only fault injection: the next append writes this many bytes
+    /// of its record and then fails, simulating ENOSPC/EIO mid-write.
+    #[cfg(test)]
+    fail_next_append_after: Option<usize>,
+}
+
+/// The 8-byte file header, written in a single `write_all` so a crash can
+/// tear it only into a sub-header-length file — which [`scan`] treats as
+/// fresh, never as corruption.
+pub(crate) fn header_bytes() -> [u8; WAL_HEADER_LEN as usize] {
+    let mut header = [0u8; WAL_HEADER_LEN as usize];
+    header[..4].copy_from_slice(WAL_MAGIC);
+    header[4..6].copy_from_slice(&WAL_FORMAT.to_le_bytes());
+    header
 }
 
 /// Serializes one record (length prefix + CRC + payload) into a buffer.
@@ -55,72 +90,165 @@ impl Wal {
     /// truncated away here.
     pub(crate) fn open(dir: &Path, valid_len: u64, fsync: bool) -> Result<Wal, DurabilityError> {
         let path = dir.join(WAL_FILE);
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .create(true)
-            .append(false)
             .read(true)
             .write(true)
             .truncate(false)
             .open(&path)?;
         let fresh = file.metadata()?.len() < WAL_HEADER_LEN;
-        if fresh {
+        let durable_len = if fresh {
             file.set_len(0)?;
+            file.write_all(&header_bytes())?;
+            file.sync_data()?;
+            WAL_HEADER_LEN
         } else {
-            file.set_len(valid_len.max(WAL_HEADER_LEN))?;
+            let len = valid_len.max(WAL_HEADER_LEN);
+            file.set_len(len)?;
+            file.sync_data()?;
+            len
+        };
+        file.seek(SeekFrom::Start(durable_len))?;
+        Ok(Wal {
+            file,
+            path,
+            fsync,
+            durable_len,
+            poisoned: false,
+            #[cfg(test)]
+            fail_next_append_after: None,
+        })
+    }
+
+    fn check_poisoned(&self) -> Result<(), DurabilityError> {
+        if self.poisoned {
+            return Err(DurabilityError::Poisoned {
+                path: self.path.clone(),
+            });
         }
-        let mut writer = BufWriter::new(file);
-        use std::io::Seek;
-        writer.seek(std::io::SeekFrom::End(0))?;
-        let mut wal = Wal { writer, path, fsync };
-        if fresh {
-            wal.writer.write_all(WAL_MAGIC)?;
-            wal.writer.write_all(&WAL_FORMAT.to_le_bytes())?;
-            wal.writer.write_all(&[0u8; 2])?;
-            wal.sync_always()?;
-        }
-        Ok(wal)
+        Ok(())
     }
 
     /// Appends one record; returns the bytes written. Durable on return
     /// (modulo the `fsync` policy — with fsync off, durable against
-    /// process death but not power loss).
+    /// process death but not power loss). On `Err`, the file is rolled
+    /// back to its pre-append length: nothing changed, and a retry of the
+    /// same version cannot leave a duplicate or torn record behind.
     pub fn append(&mut self, version: u64, op: &MutationOp) -> Result<u64, DurabilityError> {
+        self.check_poisoned()?;
         let record = encode_record(version, op);
         // Crash injection: half a record reaches the file, the rest never
         // does — the torn-tail state recovery must truncate.
         crash_point("wal-mid-append", || {
             let half = record.len() / 2;
-            self.writer.write_all(&record[..half]).expect("crash-point partial write");
-            self.writer.flush().expect("crash-point flush");
+            self.file.write_all(&record[..half]).expect("crash-point partial write");
         });
-        self.writer.write_all(&record)?;
-        self.writer.flush()?;
-        if self.fsync {
-            self.writer.get_ref().sync_data()?;
+        match self.write_record(&record) {
+            Ok(()) => {
+                self.durable_len += record.len() as u64;
+                Ok(record.len() as u64)
+            }
+            Err(e) => {
+                // Restore the pre-append file so the caller's "Err means
+                // nothing changed" contract holds even after a partial
+                // write or failed fsync; if the restore itself fails the
+                // tail state is unknowable — poison the log.
+                if self.rollback().is_err() {
+                    self.poisoned = true;
+                }
+                Err(e.into())
+            }
         }
-        Ok(record.len() as u64)
     }
 
-    /// Truncates the log back to just its header (after a snapshot made
-    /// every record redundant), fsync'd.
-    pub fn truncate_all(&mut self) -> Result<(), DurabilityError> {
-        self.writer.flush()?;
-        self.writer.get_ref().set_len(WAL_HEADER_LEN)?;
-        use std::io::Seek;
-        self.writer.seek(std::io::SeekFrom::End(0))?;
-        self.writer.get_ref().sync_data()?;
+    fn write_record(&mut self, record: &[u8]) -> std::io::Result<()> {
+        #[cfg(test)]
+        if let Some(n) = self.fail_next_append_after.take() {
+            self.file.write_all(&record[..n.min(record.len())])?;
+            return Err(std::io::Error::other("injected append failure"));
+        }
+        self.file.write_all(record)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
         Ok(())
     }
 
-    /// Flushes and fsyncs regardless of the append-time policy (the clean
-    /// shutdown path).
-    pub fn sync(&mut self) -> Result<(), DurabilityError> {
-        self.sync_always()
+    /// Cuts the file back to the durable prefix and makes the cut itself
+    /// durable, so a post-rollback crash cannot resurrect rejected bytes.
+    fn rollback(&mut self) -> std::io::Result<()> {
+        self.file.set_len(self.durable_len)?;
+        self.file.seek(SeekFrom::Start(self.durable_len))?;
+        self.file.sync_data()
     }
 
-    fn sync_always(&mut self) -> Result<(), DurabilityError> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+    /// Truncates the log back to just its header (every record is
+    /// redundant — e.g. covered by every retained snapshot), fsync'd.
+    pub fn truncate_all(&mut self) -> Result<(), DurabilityError> {
+        self.check_poisoned()?;
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        self.file.sync_data()?;
+        self.durable_len = WAL_HEADER_LEN;
+        Ok(())
+    }
+
+    /// Drops every record with version ≤ `version` (history a retained
+    /// snapshot already covers) by atomically rewriting the log: header +
+    /// surviving suffix into `wal.log.tmp`, fsync, rename over `wal.log`,
+    /// fsync the directory. The old file stays authoritative until the
+    /// rename lands, so a crash at any point leaves either the full old
+    /// log or the compacted one — never a gap in acknowledged history.
+    pub fn retain_after(&mut self, version: u64) -> Result<(), DurabilityError> {
+        self.check_poisoned()?;
+        let data = std::fs::read(&self.path)?;
+        let scanned = scan(&self.path)?;
+        let cut = scanned
+            .records
+            .iter()
+            .find(|r| r.version > version)
+            .map(|r| r.offset)
+            .unwrap_or(scanned.valid_len);
+        if cut == WAL_HEADER_LEN && scanned.truncated_bytes == 0 {
+            return Ok(()); // nothing to drop
+        }
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&header_bytes())?;
+            file.write_all(&data[cut as usize..scanned.valid_len as usize])?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            sync_dir(dir)?;
+        }
+        // The open handle still points at the replaced inode; swap in the
+        // compacted file. If that fails, appends have nowhere safe to go.
+        let reopened: std::io::Result<(File, u64)> = (|| {
+            let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+            let len = file.metadata()?.len();
+            file.seek(SeekFrom::Start(len))?;
+            Ok((file, len))
+        })();
+        match reopened {
+            Ok((file, len)) => {
+                self.file = file;
+                self.durable_len = len;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Fsyncs regardless of the append-time policy (the clean shutdown
+    /// path).
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.check_poisoned()?;
+        self.file.sync_data()?;
         Ok(())
     }
 
@@ -168,11 +296,22 @@ pub(crate) fn scan(path: &Path) -> Result<WalScan, DurabilityError> {
             truncated_bytes: 0,
         });
     }
+    if data.len() < WAL_HEADER_LEN as usize {
+        // A crash during the very first header write (before its fsync)
+        // tears the file short of a full header. Nothing was ever
+        // acknowledged into such a file, so it is fresh, not corrupt —
+        // `Wal::open` rewrites the header over it.
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            truncated_bytes: data.len() as u64,
+        });
+    }
     let corrupt = |detail: String| DurabilityError::Corrupt {
         path: path.to_path_buf(),
         detail,
     };
-    if data.len() < WAL_HEADER_LEN as usize || &data[..4] != WAL_MAGIC {
+    if &data[..4] != WAL_MAGIC {
         return Err(corrupt("bad WAL header magic".into()));
     }
     let format = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
@@ -304,6 +443,101 @@ mod tests {
         let scan_result = scan(&path).unwrap();
         assert_eq!(scan_result.records.len(), 1, "only the first record survives");
         assert!(scan_result.truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sub_header_file_scans_as_fresh_not_corrupt() {
+        // A crash during the very first header write can leave 1–7 bytes;
+        // nothing was acknowledged, so this must not block startup.
+        let dir = tmp_dir("subheader");
+        let path = dir.join(WAL_FILE);
+        std::fs::write(&path, b"RWA").unwrap();
+        let scanned = scan(&path).unwrap();
+        assert!(scanned.records.is_empty());
+        assert_eq!(scanned.valid_len, 0);
+        assert_eq!(scanned.truncated_bytes, 3);
+        // Open rewrites the header and the log is fully usable again.
+        let mut wal = Wal::open(&dir, scanned.valid_len, true).unwrap();
+        wal.append(1, &MutationOp::DeleteNode(4)).unwrap();
+        drop(wal);
+        let rescan = scan(&path).unwrap();
+        assert_eq!(rescan.records.len(), 1);
+        assert_eq!(rescan.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_so_a_retry_is_clean() {
+        // The reviewer scenario: an append fails after some bytes reach
+        // the file. The contract is "Err means nothing changed", so the
+        // retry of the same version must be the only copy on disk and a
+        // torn fragment must never sit mid-file ahead of later appends.
+        let dir = tmp_dir("rollback");
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        wal.append(1, &MutationOp::InsertEdges(vec![(0, 1)])).unwrap();
+        let before = std::fs::metadata(wal.path()).unwrap().len();
+
+        let op2 = MutationOp::InsertEdges(vec![(2, 3), (4, 5)]);
+        wal.fail_next_append_after = Some(9); // partial record, then error
+        assert!(wal.append(2, &op2).is_err());
+        assert!(!wal.poisoned, "successful rollback must not poison");
+        assert_eq!(
+            std::fs::metadata(wal.path()).unwrap().len(),
+            before,
+            "failed append left bytes behind"
+        );
+
+        // Retry (same version, as the service would) and keep going.
+        wal.append(2, &op2).unwrap();
+        wal.append(3, &MutationOp::DeleteNode(7)).unwrap();
+        drop(wal);
+        let scanned = scan(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(scanned.truncated_bytes, 0);
+        let versions: Vec<u64> = scanned.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![1, 2, 3], "exactly one copy of each version");
+        assert_eq!(scanned.records[1].op, op2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_wal_refuses_every_operation() {
+        let dir = tmp_dir("poison");
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        wal.append(1, &MutationOp::DeleteNode(1)).unwrap();
+        wal.poisoned = true; // as if a rollback had failed
+        assert!(matches!(
+            wal.append(2, &MutationOp::DeleteNode(2)),
+            Err(DurabilityError::Poisoned { .. })
+        ));
+        assert!(matches!(wal.truncate_all(), Err(DurabilityError::Poisoned { .. })));
+        assert!(matches!(wal.retain_after(0), Err(DurabilityError::Poisoned { .. })));
+        assert!(matches!(wal.sync(), Err(DurabilityError::Poisoned { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retain_after_drops_only_covered_records() {
+        let dir = tmp_dir("retain");
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        for (v, op) in ops() {
+            wal.append(v, &op).unwrap();
+        }
+        wal.retain_after(2).unwrap();
+        let scanned = scan(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(scanned.records.len(), 1);
+        assert_eq!(scanned.records[0].version, 3);
+        assert_eq!(scanned.truncated_bytes, 0);
+        // Appends continue on the compacted file (the handle was swapped).
+        wal.append(4, &MutationOp::DeleteNode(9)).unwrap();
+        drop(wal);
+        let rescan = scan(&dir.join(WAL_FILE)).unwrap();
+        let versions: Vec<u64> = rescan.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![3, 4]);
+        // Retaining after 0 (no covered records) is a no-op.
+        let mut wal = Wal::open(&dir, rescan.valid_len, true).unwrap();
+        wal.retain_after(0).unwrap();
+        assert_eq!(scan(&dir.join(WAL_FILE)).unwrap().records.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

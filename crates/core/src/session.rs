@@ -277,9 +277,14 @@ impl RwrSession {
         Ok(next)
     }
 
-    /// Writes a snapshot at the current version and truncates the WAL — the
+    /// Writes a snapshot at the current version and compacts the WAL — the
     /// clean-shutdown path. After a checkpoint, a restart loads the snapshot
     /// and replays zero WAL records. No-op without a durability store.
+    ///
+    /// Safe to call from any thread at any time: concurrent checkpoints
+    /// (and periodic snapshots) serialize on the store's snapshot mutex
+    /// inside [`Durability::write_snapshot`], so they can never interleave
+    /// writes into the same temp file.
     pub fn checkpoint(&self) -> Result<(), DurabilityError> {
         let Some(store) = &self.durability else {
             return Ok(());
