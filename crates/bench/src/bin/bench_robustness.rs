@@ -106,6 +106,7 @@ fn drive(
         threads: 0,
         chaos: true,
         shutdown_after: false,
+        write_mix: 0.0,
     })
     .expect("loadgen run")
 }

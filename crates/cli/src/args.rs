@@ -9,6 +9,7 @@ usage:
   rwr convert --graph <file> --out <file.racg> [--symmetric]
   rwr serve   --graph <file> [--listen <addr>] [--workers <n>] [--cache <n>]
   rwr loadgen --addr <addr> [--requests <n>] [--connections <n>] [--zipf <s>]
+  rwr promote --addr <addr>
 
 options:
   --algo <resacc|fora|mc|power|fwd>   algorithm (default resacc)
@@ -45,6 +46,18 @@ serve options:
   --fsync <always|never>              fsync the WAL on every append
                                       (default always; never = durable
                                       against crashes, not power loss)
+  --replication-listen <addr>         also serve the WAL-shipping stream to
+                                      replicas on <addr> (this process is a
+                                      replication primary)
+  --replicate-from <addr>             run as a read replica of the primary's
+                                      replication listener at <addr>
+                                      (requires --data-dir; mutations are
+                                      rejected until `rwr promote`)
+
+promote options:
+  --addr <addr>                       replica to promote (its NDJSON
+                                      address); drains the replication
+                                      stream and flips the server writable
 
 loadgen options:
   --addr <addr>                       server to target (default 127.0.0.1:7171)
@@ -56,6 +69,9 @@ loadgen options:
   --deadline-ms <n>                   send a deadline with every query
   --threads <n>                       send a per-request thread hint
                                       (0 = omit; never changes results)
+  --write-mix <p>                     fraction of requests sent as
+                                      deterministic insert_edges mutations
+                                      (default 0; seed-derived endpoints)
   --chaos                             expect typed fault errors (report,
                                       don't fail, on shed/timeout/panic)
   --shutdown                          shut the server down after the run and
@@ -76,6 +92,8 @@ pub enum Command {
     Serve,
     /// Drive load against a running server.
     Loadgen,
+    /// Promote a running read replica to writable.
+    Promote,
 }
 
 /// Parsed command line.
@@ -112,6 +130,9 @@ pub struct Cli {
     pub data_dir: Option<String>,
     pub snapshot_every: u64,
     pub fsync: bool,
+    pub replication_listen: Option<String>,
+    pub replicate_from: Option<String>,
+    pub write_mix: f64,
 }
 
 impl Cli {
@@ -125,6 +146,7 @@ impl Cli {
             Some("convert") => Command::Convert,
             Some("serve") => Command::Serve,
             Some("loadgen") => Command::Loadgen,
+            Some("promote") => Command::Promote,
             Some(other) => return Err(format!("unknown command {other:?}")),
             None => return Err("missing command".into()),
         };
@@ -160,6 +182,9 @@ impl Cli {
             data_dir: None,
             snapshot_every: 512,
             fsync: true,
+            replication_listen: None,
+            replicate_from: None,
+            write_mix: 0.0,
         };
         let mut have_source = false;
         let mut have_target = false;
@@ -214,6 +239,11 @@ impl Cli {
                     cli.snapshot_every =
                         parse_num(&value("--snapshot-every")?, "--snapshot-every")?
                 }
+                "--replication-listen" => {
+                    cli.replication_listen = Some(value("--replication-listen")?)
+                }
+                "--replicate-from" => cli.replicate_from = Some(value("--replicate-from")?),
+                "--write-mix" => cli.write_mix = parse_num(&value("--write-mix")?, "--write-mix")?,
                 "--fsync" => {
                     cli.fsync = match value("--fsync")?.as_str() {
                         "always" => true,
@@ -228,11 +258,19 @@ impl Cli {
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        if cli.graph.is_empty() && command != Command::Loadgen {
+        if cli.graph.is_empty() && !matches!(command, Command::Loadgen | Command::Promote) {
             return Err("--graph is required".into());
         }
         if cli.zipf < 0.0 {
             return Err("--zipf must be non-negative".into());
+        }
+        if !(0.0..=1.0).contains(&cli.write_mix) {
+            return Err("--write-mix must be in [0,1]".into());
+        }
+        if cli.replicate_from.is_some() && cli.data_dir.is_none() {
+            // A replica acks only durably-applied records; without a data
+            // dir it would have nothing durable to ack from.
+            return Err("--replicate-from requires --data-dir".into());
         }
         if matches!(command, Command::Query | Command::Pair) && !have_source {
             return Err("--source is required".into());
@@ -392,6 +430,32 @@ mod tests {
         assert!(parse("serve --graph g.txt --fsync sometimes").is_err());
         assert!(parse("serve --graph g.txt --data-dir").is_err());
         assert!(parse("serve --graph g.txt --snapshot-every x").is_err());
+    }
+
+    #[test]
+    fn replication_flags() {
+        let cli = parse("serve --graph g.txt --data-dir /tmp/p --replication-listen 127.0.0.1:0")
+            .unwrap();
+        assert_eq!(cli.replication_listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.replicate_from, None);
+
+        let cli = parse("serve --graph g.txt --data-dir /tmp/r --replicate-from 127.0.0.1:7272")
+            .unwrap();
+        assert_eq!(cli.replicate_from.as_deref(), Some("127.0.0.1:7272"));
+
+        // A replica without durable storage cannot honor the ack contract.
+        assert!(parse("serve --graph g.txt --replicate-from 127.0.0.1:7272").is_err());
+
+        // promote needs no graph, only the replica's address.
+        let cli = parse("promote --addr 127.0.0.1:7171").unwrap();
+        assert_eq!(cli.command, Command::Promote);
+        assert_eq!(cli.addr, "127.0.0.1:7171");
+
+        // loadgen write mix.
+        let cli = parse("loadgen --addr 127.0.0.1:9 --write-mix 0.2").unwrap();
+        assert!((cli.write_mix - 0.2).abs() < 1e-12);
+        assert!(parse("loadgen --write-mix 1.5").is_err());
+        assert!(parse("loadgen --write-mix -0.1").is_err());
     }
 
     #[test]

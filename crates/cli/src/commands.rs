@@ -144,10 +144,11 @@ pub fn convert(cli: &Cli) -> Result<(), String> {
 /// Prints `listening on <addr>` (flushed) before accepting, so a parent
 /// process using `--listen 127.0.0.1:0` can scrape the ephemeral port.
 pub fn serve(cli: &Cli) -> Result<(), String> {
+    use resacc::replication::{attach_hub, ReplicaClient, ReplicationHub, ReplicationServer};
     use std::io::Write;
     // With --data-dir the durable state (snapshot + WAL) is authoritative;
     // the graph file only seeds a fresh, empty directory.
-    let (session, recovery) = match cli.data_dir.as_deref() {
+    let (mut session, recovery) = match cli.data_dir.as_deref() {
         Some(dir) => {
             let opts = resacc::durability::DurabilityOptions {
                 fsync: cli.fsync,
@@ -170,19 +171,58 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             let params = RwrParams::new(cli.alpha, cli.epsilon, 1.0 / n, 1.0 / n);
             let session =
                 resacc::RwrSession::from_recovered(recovered, params, ResAccConfig::default());
-            (std::sync::Arc::new(session), stats)
+            (session, stats)
         }
         None => {
             let graph = load_graph(cli)?;
             let params = params_for(cli, &graph);
-            let session = std::sync::Arc::new(resacc::RwrSession::with_config(
-                graph,
-                params,
-                ResAccConfig::default(),
-            ));
+            let session =
+                resacc::RwrSession::with_config(graph, params, ResAccConfig::default());
             (session, resacc::durability::RecoveryStats::default())
         }
     };
+    // The hub must be attached before the session is shared: the observer
+    // slot is construction-time state.
+    let hub = cli.replication_listen.as_ref().map(|_| {
+        let hub = std::sync::Arc::new(ReplicationHub::new(session.version()));
+        attach_hub(&mut session, hub.clone());
+        hub
+    });
+    let session = std::sync::Arc::new(session);
+    let repl_stats = std::sync::Arc::new(resacc::replication::ReplicationStats::default());
+    let mut repl_server = None;
+    let mut replication = None;
+    if let Some(listen) = cli.replication_listen.as_deref() {
+        let listener = std::net::TcpListener::bind(listen)
+            .map_err(|e| format!("binding replication listener {listen}: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        repl_server = Some(
+            ReplicationServer::spawn(
+                listener,
+                session.clone(),
+                hub.clone().expect("hub exists when listening"),
+                repl_stats.clone(),
+            )
+            .map_err(|e| format!("replication listener: {e}"))?,
+        );
+        println!("replication listening on {addr}");
+        std::io::stdout().flush().ok();
+    }
+    if let Some(primary) = cli.replicate_from.as_deref() {
+        // A replica of a primary that itself serves replication downstream
+        // is valid (chained replication): applied records re-enter the hub
+        // through the session observer like any other mutation.
+        let client =
+            ReplicaClient::spawn(primary.to_string(), session.clone(), repl_stats.clone());
+        println!("# replicating from {primary} (read-only until promote)");
+        replication = Some(std::sync::Arc::new(
+            resacc_service::ReplicationRole::replica(primary.to_string(), client, repl_stats),
+        ));
+    } else if repl_server.is_some() {
+        replication = Some(std::sync::Arc::new(resacc_service::ReplicationRole::primary(
+            repl_stats,
+        )));
+    }
     let threads_per_query = cli.threads.max(1);
     let faults = match cli.chaos_spec.as_deref() {
         Some(spec) => resacc_service::FaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
@@ -207,7 +247,7 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
     }
     println!("listening on {addr}");
     std::io::stdout().flush().ok();
-    resacc_service::serve(
+    let served = resacc_service::serve(
         listener,
         session,
         resacc_service::ServerConfig {
@@ -221,10 +261,45 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             threads_per_query,
             faults,
             recovery,
+            replication,
             ..resacc_service::ServerConfig::default()
         },
     )
-    .map_err(|e| format!("serve: {e}"))
+    .map_err(|e| format!("serve: {e}"));
+    // Stop shipping to replicas only after the front end has drained.
+    if let Some(server) = repl_server {
+        server.shutdown();
+    }
+    served
+}
+
+/// `rwr promote`: flip a running read replica to writable via its admin op.
+pub fn promote(cli: &Cli) -> Result<(), String> {
+    use resacc_service::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(&cli.addr)
+        .map_err(|e| format!("connecting to {}: {e}", cli.addr))?;
+    stream
+        .write_all(b"{\"id\":1,\"op\":\"promote\"}\n")
+        .map_err(|e| format!("sending promote: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading promote response: {e}"))?;
+    let response =
+        Json::parse(line.trim()).map_err(|e| format!("bad promote response: {e}"))?;
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        let version = response.get("version").and_then(Json::as_u64).unwrap_or(0);
+        println!("promoted {} to primary at version {version}", cli.addr);
+        Ok(())
+    } else {
+        let detail = response
+            .get("detail")
+            .and_then(Json::as_str)
+            .or_else(|| response.get("error").and_then(Json::as_str))
+            .unwrap_or("malformed response");
+        Err(format!("promote {}: {detail}", cli.addr))
+    }
 }
 
 /// `rwr loadgen`: drive Zipfian query load against a running server and
@@ -241,6 +316,7 @@ pub fn loadgen(cli: &Cli) -> Result<(), String> {
         k: cli.top,
         deadline_ms: cli.deadline_ms,
         threads: cli.threads,
+        write_mix: cli.write_mix,
         chaos: cli.chaos,
         shutdown_after: cli.shutdown_after,
     })
@@ -301,6 +377,9 @@ mod tests {
             data_dir: None,
             snapshot_every: 512,
             fsync: true,
+            replication_listen: None,
+            replicate_from: None,
+            write_mix: 0.0,
         }
     }
 

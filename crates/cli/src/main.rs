@@ -8,7 +8,10 @@
 //! rwr stats   --graph g.txt [--symmetric]
 //! rwr convert --graph g.txt --out g.racg [--symmetric]   # text → binary
 //! rwr serve   --graph g.txt [--listen 127.0.0.1:7171] [--workers 4]
+//!             [--replication-listen <addr>] [--replicate-from <addr>]
 //! rwr loadgen --addr 127.0.0.1:7171 [--requests 1000] [--zipf 1.0]
+//!             [--write-mix 0.1]
+//! rwr promote --addr 127.0.0.1:7171   # flip a read replica writable
 //! ```
 //!
 //! `--graph` accepts a whitespace edge list (SNAP style, `#` comments) or a
@@ -35,6 +38,7 @@ fn main() {
         Command::Convert => commands::convert(&cli),
         Command::Serve => commands::serve(&cli),
         Command::Loadgen => commands::loadgen(&cli),
+        Command::Promote => commands::promote(&cli),
     };
     if let Err(msg) = outcome {
         eprintln!("error: {msg}");

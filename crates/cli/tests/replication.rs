@@ -1,0 +1,377 @@
+//! Multi-process replication tests: spawn the compiled `rwr` binary as a
+//! primary (with `--replication-listen`) and a replica (with
+//! `--replicate-from`), drive mutations over NDJSON, and assert the
+//! tentpole contract end to end:
+//!
+//! * a replica at applied version `v` answers SSRWR queries bit-identically
+//!   to the primary at `v` (same seed/params);
+//! * mutations against a replica are rejected with the typed `read_only`
+//!   error naming the primary;
+//! * SIGKILL of the primary followed by `rwr promote` loses no
+//!   acknowledged mutation, and the promoted replica is writable with a
+//!   monotonic version;
+//! * a replica SIGKILLed at the `repl-post-append` / `repl-pre-ack` crash
+//!   points (durably applied but unacknowledged state) reconverges after
+//!   restart with nothing lost and nothing double-applied.
+
+use resacc_service::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+fn rwr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rwr"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rwr-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn graph_file(dir: &Path) -> PathBuf {
+    let path = dir.join("g.txt");
+    let g = resacc_graph::gen::barabasi_albert(300, 3, 7);
+    resacc_graph::edgelist::save_edge_list(&g, &path).unwrap();
+    path
+}
+
+/// A running `rwr serve` child with its stdout pumped into a channel.
+struct Server {
+    child: Child,
+    stdout: mpsc::Receiver<String>,
+    /// NDJSON front-end address.
+    addr: String,
+    /// Replication-listener address (primaries only).
+    repl_addr: Option<String>,
+}
+
+impl Server {
+    fn kill(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+fn spawn_serve(graph: &Path, data_dir: &Path, extra: &[&str], crash_spec: Option<&str>) -> Server {
+    let mut cmd = rwr();
+    cmd.args(["serve", "--graph"])
+        .arg(graph)
+        .args(["--listen", "127.0.0.1:0", "--data-dir"])
+        .arg(data_dir)
+        .args(extra);
+    if let Some(spec) = crash_spec {
+        cmd.env("RESACC_CRASH_POINT", spec);
+    }
+    let mut child = cmd.stdout(Stdio::piped()).spawn().unwrap();
+    let mut out = BufReader::new(child.stdout.take().unwrap());
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || loop {
+        let mut line = String::new();
+        match out.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                if tx.send(line.trim().to_string()).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    let mut repl_addr = None;
+    let addr = loop {
+        let line = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("server prints `listening on`");
+        if let Some(rest) = line.strip_prefix("replication listening on ") {
+            repl_addr = Some(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    Server {
+        child,
+        stdout: rx,
+        addr,
+        repl_addr,
+    }
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    Json::parse(response.trim()).expect("server speaks json")
+}
+
+/// One-shot request on a fresh connection (survives server restarts).
+fn request(addr: &str, line: &str) -> Json {
+    let (mut stream, mut reader) = connect(addr);
+    roundtrip(&mut stream, &mut reader, line)
+}
+
+fn version_of(addr: &str) -> u64 {
+    request(addr, r#"{"op":"stats"}"#)
+        .get("version")
+        .and_then(Json::as_u64)
+        .unwrap()
+}
+
+fn wait_for_version(addr: &str, version: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let v = version_of(addr);
+        if v >= version {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server at {addr} stuck at version {v} waiting for {version}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Full score vector as bit patterns — the cross-process identity check.
+fn query_bits(addr: &str, source: u32, seed: u64) -> Vec<u64> {
+    let r = request(
+        addr,
+        &format!(r#"{{"id":9,"op":"query","source":{source},"seed":{seed},"full":true}}"#),
+    );
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r:?}");
+    r.get("scores")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap().to_bits())
+        .collect()
+}
+
+fn mutate(addr: &str, stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, i: u64) -> u64 {
+    let line = match i % 3 {
+        0 => format!(
+            r#"{{"id":{i},"op":"insert_edges","edges":[[{},{}]]}}"#,
+            i % 300,
+            (i * 7 + 1) % 300
+        ),
+        1 => format!(r#"{{"id":{i},"op":"delete_edges","edges":[[{},{}]]}}"#, i % 300, (i + 1) % 300),
+        _ => format!(r#"{{"id":{i},"op":"delete_node","node":{}}}"#, (i * 13) % 300),
+    };
+    let r = roundtrip(stream, reader, &line);
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "mutation {i} on {addr}: {r:?}");
+    r.get("version").unwrap().as_u64().unwrap()
+}
+
+#[test]
+fn replica_answers_bit_identically_and_rejects_writes() {
+    let dir = temp_dir("reads");
+    let graph = graph_file(&dir);
+    let mut primary = spawn_serve(
+        &graph,
+        &dir.join("primary"),
+        &["--replication-listen", "127.0.0.1:0"],
+        None,
+    );
+    let repl_addr = primary.repl_addr.clone().expect("primary prints replication addr");
+    let mut replica = spawn_serve(
+        &graph,
+        &dir.join("replica"),
+        &["--replicate-from", &repl_addr],
+        None,
+    );
+
+    // History both before and after the replica connects.
+    let (mut stream, mut reader) = connect(&primary.addr);
+    let mut version = 0;
+    for i in 0..8 {
+        version = mutate(&primary.addr, &mut stream, &mut reader, i);
+    }
+    assert_eq!(version, 8);
+    wait_for_version(&replica.addr, version);
+
+    // Bit-identical reads at the same version, across several sources.
+    for (source, seed) in [(0u32, 42u64), (5, 7), (123, 99)] {
+        assert_eq!(
+            query_bits(&primary.addr, source, seed),
+            query_bits(&replica.addr, source, seed),
+            "replica diverged from primary at version {version} (source {source})"
+        );
+    }
+
+    // Mutations bounce with the typed error naming the primary.
+    let r = request(
+        &replica.addr,
+        r#"{"id":1,"op":"insert_edges","edges":[[1,2]]}"#,
+    );
+    assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(r.get("error").unwrap().as_str(), Some("read_only"));
+    assert!(
+        r.get("detail").unwrap().as_str().unwrap().contains(&repl_addr),
+        "read_only detail must name the primary: {r:?}"
+    );
+
+    // The replica's stats expose its replication role and applied version.
+    let s = request(&replica.addr, r#"{"op":"stats"}"#);
+    let repl = s.get("replication").expect("replica stats expose replication");
+    assert_eq!(repl.get("role").unwrap().as_str(), Some("replica"));
+    assert_eq!(repl.get("applied_version").unwrap().as_u64(), Some(version));
+    assert_eq!(repl.get("read_only").unwrap().as_bool(), Some(true));
+
+    drop(stream);
+    replica.kill();
+    primary.kill();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_primary_then_promote_loses_nothing_acknowledged() {
+    let dir = temp_dir("promote");
+    let graph = graph_file(&dir);
+    let mut primary = spawn_serve(
+        &graph,
+        &dir.join("primary"),
+        &["--replication-listen", "127.0.0.1:0"],
+        None,
+    );
+    let repl_addr = primary.repl_addr.clone().unwrap();
+    let mut replica = spawn_serve(
+        &graph,
+        &dir.join("replica"),
+        &["--replicate-from", &repl_addr],
+        None,
+    );
+
+    let (mut stream, mut reader) = connect(&primary.addr);
+    let mut acked = 0;
+    for i in 0..6 {
+        acked = mutate(&primary.addr, &mut stream, &mut reader, i);
+    }
+    wait_for_version(&replica.addr, acked);
+    let ground_truth = query_bits(&primary.addr, 3, 77);
+
+    // SIGKILL the primary mid-flight: no flush, no graceful drain.
+    primary.kill();
+    drop(stream);
+
+    // Promote via the CLI; it must report the full acknowledged version.
+    let output = rwr()
+        .args(["promote", "--addr", &replica.addr])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "promote failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains(&format!("at version {acked}")),
+        "promotion reported the wrong version: {stdout}"
+    );
+
+    // Nothing acknowledged was lost: bit-identical to pre-kill truth.
+    assert_eq!(version_of(&replica.addr), acked, "promotion lost history");
+    assert_eq!(
+        query_bits(&replica.addr, 3, 77),
+        ground_truth,
+        "promoted replica diverged from pre-kill ground truth"
+    );
+
+    // Writable now, version stays monotonic; a second promote is an error.
+    let m = request(
+        &replica.addr,
+        r#"{"id":50,"op":"insert_edges","edges":[[10,20]]}"#,
+    );
+    assert_eq!(m.get("ok").unwrap().as_bool(), Some(true), "{m:?}");
+    assert_eq!(m.get("version").unwrap().as_u64(), Some(acked + 1));
+    let again = rwr()
+        .args(["promote", "--addr", &replica.addr])
+        .output()
+        .unwrap();
+    assert!(!again.status.success(), "double promote must fail");
+
+    replica.kill();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shared scenario for the replica-side crash points: SIGKILL the replica
+/// at `crash_spec` (a durably-applied-but-unacknowledged state), restart it
+/// on the same data dir, and require exact reconvergence.
+fn replica_crash_and_reconverge(tag: &str, crash_spec: &str) {
+    let dir = temp_dir(tag);
+    let graph = graph_file(&dir);
+    let mut primary = spawn_serve(
+        &graph,
+        &dir.join("primary"),
+        &["--replication-listen", "127.0.0.1:0"],
+        None,
+    );
+    let repl_addr = primary.repl_addr.clone().unwrap();
+    let rdata = dir.join("replica");
+    let mut replica = spawn_serve(&graph, &rdata, &["--replicate-from", &repl_addr], Some(crash_spec));
+
+    // Drive mutations until the armed point parks the replica's apply
+    // thread (its front end keeps serving; the marker tells us when).
+    let point = crash_spec.split(':').next().unwrap();
+    let (mut stream, mut reader) = connect(&primary.addr);
+    let mut version = 0;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    'armed: loop {
+        version = mutate(&primary.addr, &mut stream, &mut reader, version);
+        loop {
+            match replica.stdout.try_recv() {
+                Ok(line) if line == format!("CRASH_POINT {point}") => break 'armed,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        assert!(Instant::now() < deadline, "crash point {point} never fired");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    replica.kill();
+
+    // More history lands while the replica is down.
+    for _ in 0..3 {
+        version = mutate(&primary.addr, &mut stream, &mut reader, version);
+    }
+
+    // Restart unarmed on the same data dir: re-handshake from the durable
+    // version, catch up, and match the primary exactly.
+    let mut replica = spawn_serve(&graph, &rdata, &["--replicate-from", &repl_addr], None);
+    wait_for_version(&replica.addr, version);
+    assert_eq!(version_of(&replica.addr), version, "over-applied history");
+    assert_eq!(
+        query_bits(&primary.addr, 3, 77),
+        query_bits(&replica.addr, 3, 77),
+        "restarted replica diverged after {crash_spec}"
+    );
+
+    drop(stream);
+    replica.kill();
+    primary.kill();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash after the record is durably applied but before the ack is sent:
+/// the primary never heard, the replica must not double-apply.
+#[test]
+fn replica_sigkill_post_append_reconverges() {
+    replica_crash_and_reconverge("post-append", "repl-post-append:2");
+}
+
+/// Crash inside the acknowledgement path itself.
+#[test]
+fn replica_sigkill_pre_ack_reconverges() {
+    replica_crash_and_reconverge("pre-ack", "repl-pre-ack:2");
+}

@@ -56,7 +56,10 @@
 //! states the recovery path must survive: a half-written WAL record
 //! (`wal-mid-append`), a fully fsync'd record that was never applied
 //! (`wal-pre-apply`), and a finished snapshot temp file that was never
-//! renamed (`snap-mid-rename`).
+//! renamed (`snap-mid-rename`). Replication ([`crate::replication`]) arms
+//! two more on the replica side: a shipped record that is durable and
+//! applied but never acknowledged (`repl-post-append`) and the instant
+//! before the acknowledgement is written (`repl-pre-ack`).
 
 pub mod recovery;
 pub mod snapshot;
@@ -254,6 +257,26 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
     Ok(())
 }
 
+/// The crash point armed for this process, parsed once from the
+/// `RESACC_CRASH_POINT=<name>[:<nth>]` environment variable (default
+/// `nth` = 1). This is the *only* place that variable is interpreted —
+/// every armed point (durability's and replication's alike) goes through
+/// [`crash_point`], which consults this.
+pub(crate) fn armed_crash_point() -> Option<&'static (String, u64)> {
+    use std::sync::OnceLock;
+    static ARMED: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| {
+            std::env::var("RESACC_CRASH_POINT")
+                .ok()
+                .map(|spec| match spec.split_once(':') {
+                    Some((n, nth)) => (n.to_string(), nth.parse().unwrap_or(1)),
+                    None => (spec, 1),
+                })
+        })
+        .as_ref()
+}
+
 /// Parks the process at a named crash point when armed via the
 /// `RESACC_CRASH_POINT=<name>[:<nth>]` environment variable (default
 /// `nth` = 1, counting hits of that name).
@@ -264,18 +287,10 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
 /// harness SIGKILLs the process, so no destructor, flush, or fsync runs
 /// after this point. Unarmed calls cost one atomic load.
 pub(crate) fn crash_point(name: &str, before: impl FnOnce()) {
-    use std::sync::OnceLock;
-    static ARMED: OnceLock<Option<(String, u64)>> = OnceLock::new();
     static HITS: AtomicU64 = AtomicU64::new(0);
-    let armed = ARMED.get_or_init(|| {
-        std::env::var("RESACC_CRASH_POINT").ok().map(|spec| {
-            match spec.split_once(':') {
-                Some((n, nth)) => (n.to_string(), nth.parse().unwrap_or(1)),
-                None => (spec, 1),
-            }
-        })
-    });
-    let Some((armed_name, nth)) = armed else { return };
+    let Some((armed_name, nth)) = armed_crash_point() else {
+        return;
+    };
     if armed_name != name {
         return;
     }
@@ -309,6 +324,7 @@ pub struct Durability {
     bytes_appended: AtomicU64,
     snapshots_written: AtomicU64,
     last_snapshot_version: AtomicU64,
+    wal_truncated_bytes: AtomicU64,
 }
 
 impl Durability {
@@ -322,6 +338,7 @@ impl Durability {
             bytes_appended: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
             last_snapshot_version: AtomicU64::new(0),
+            wal_truncated_bytes: AtomicU64::new(0),
         }
     }
 
@@ -369,7 +386,8 @@ impl Durability {
             .filter(|&v| v <= version)
             .nth(1)
             .unwrap_or(0);
-        self.wal.lock().retain_after(fallback)?;
+        let dropped = self.wal.lock().retain_after(fallback)?;
+        self.wal_truncated_bytes.fetch_add(dropped, Ordering::Relaxed);
         Ok(())
     }
 
@@ -399,6 +417,12 @@ impl Durability {
     /// none yet).
     pub fn last_snapshot_version(&self) -> u64 {
         self.last_snapshot_version.load(Ordering::Relaxed)
+    }
+
+    /// WAL bytes dropped by compaction in this process (not counting
+    /// recovery-time torn-tail truncation, which [`RecoveryStats`] covers).
+    pub fn wal_truncated_bytes(&self) -> u64 {
+        self.wal_truncated_bytes.load(Ordering::Relaxed)
     }
 }
 

@@ -71,11 +71,30 @@ pub(crate) fn header_bytes() -> [u8; WAL_HEADER_LEN as usize] {
     header
 }
 
-/// Serializes one record (length prefix + CRC + payload) into a buffer.
-pub(crate) fn encode_record(version: u64, op: &MutationOp) -> Vec<u8> {
+/// Serializes a record's payload (`version u64 | op tag | op body`) — the
+/// unit replication ships verbatim, so a replica appends byte-identical
+/// records to its own log.
+pub(crate) fn encode_payload(version: u64, op: &MutationOp) -> Vec<u8> {
     let mut payload = Vec::with_capacity(16);
     payload.extend_from_slice(&version.to_le_bytes());
     op.encode_into(&mut payload);
+    payload
+}
+
+/// Decodes a record payload back into `(version, op)`; `Err` carries a
+/// description (the caller attaches the file path or stream context).
+pub(crate) fn decode_payload(payload: &[u8]) -> Result<(u64, MutationOp), String> {
+    if payload.len() < 8 {
+        return Err("payload too short to carry a version".into());
+    }
+    let version = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let op = MutationOp::decode(&payload[8..])?;
+    Ok((version, op))
+}
+
+/// Serializes one record (length prefix + CRC + payload) into a buffer.
+pub(crate) fn encode_record(version: u64, op: &MutationOp) -> Vec<u8> {
+    let payload = encode_payload(version, op);
     let mut record = Vec::with_capacity(8 + payload.len());
     record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     record.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -86,9 +105,9 @@ pub(crate) fn encode_record(version: u64, op: &MutationOp) -> Vec<u8> {
 impl Wal {
     /// Opens (creating and writing the header if needed) the WAL inside
     /// `dir`, positioned to append after `valid_len` bytes — the prefix
-    /// recovery validated. Anything past `valid_len` (a torn tail) is
-    /// truncated away here.
-    pub(crate) fn open(dir: &Path, valid_len: u64, fsync: bool) -> Result<Wal, DurabilityError> {
+    /// recovery (or a fresh [`scan`]) validated. Anything past `valid_len`
+    /// (a torn tail) is truncated away here.
+    pub fn open(dir: &Path, valid_len: u64, fsync: bool) -> Result<Wal, DurabilityError> {
         let path = dir.join(WAL_FILE);
         let mut file = OpenOptions::new()
             .create(true)
@@ -199,7 +218,8 @@ impl Wal {
     /// fsync the directory. The old file stays authoritative until the
     /// rename lands, so a crash at any point leaves either the full old
     /// log or the compacted one — never a gap in acknowledged history.
-    pub fn retain_after(&mut self, version: u64) -> Result<(), DurabilityError> {
+    /// Returns the number of bytes dropped from the log.
+    pub fn retain_after(&mut self, version: u64) -> Result<u64, DurabilityError> {
         self.check_poisoned()?;
         let data = std::fs::read(&self.path)?;
         let scanned = scan(&self.path)?;
@@ -210,8 +230,11 @@ impl Wal {
             .map(|r| r.offset)
             .unwrap_or(scanned.valid_len);
         if cut == WAL_HEADER_LEN && scanned.truncated_bytes == 0 {
-            return Ok(()); // nothing to drop
+            return Ok(0); // nothing to drop
         }
+        // Old size minus the compacted size: covered records plus any
+        // invalid tail, both of which the rewrite leaves behind.
+        let dropped = data.len() as u64 - (WAL_HEADER_LEN + (scanned.valid_len - cut));
         let tmp = self.path.with_extension("log.tmp");
         {
             let mut file = File::create(&tmp)?;
@@ -235,7 +258,7 @@ impl Wal {
             Ok((file, len)) => {
                 self.file = file;
                 self.durable_len = len;
-                Ok(())
+                Ok(dropped)
             }
             Err(e) => {
                 self.poisoned = true;
@@ -260,8 +283,10 @@ impl Wal {
 
 /// One decoded WAL record.
 #[derive(Debug)]
-pub(crate) struct WalRecord {
+pub struct WalRecord {
+    /// The graph version this record produced when applied.
     pub version: u64,
+    /// The logged mutation.
     pub op: MutationOp,
     /// Byte offset of the record's start within the file, so recovery can
     /// truncate *at* a record (e.g. on a version gap), not only at the scan
@@ -272,9 +297,12 @@ pub(crate) struct WalRecord {
 /// Outcome of scanning a WAL file: the valid records, the byte length of
 /// the valid prefix, and how many trailing bytes failed validation.
 #[derive(Debug)]
-pub(crate) struct WalScan {
+pub struct WalScan {
+    /// Every record in the valid prefix, in append (= version) order.
     pub records: Vec<WalRecord>,
+    /// Byte length of the validated prefix (the `valid_len` to reopen at).
     pub valid_len: u64,
+    /// Trailing bytes that failed validation (torn or bit-flipped tail).
     pub truncated_bytes: u64,
 }
 
@@ -283,7 +311,7 @@ pub(crate) struct WalScan {
 /// corrupt *header* is a hard error — the header is written once, fsync'd,
 /// and never rewritten, so damage there means the file is not a WAL at
 /// all and silently discarding it would drop acknowledged history.
-pub(crate) fn scan(path: &Path) -> Result<WalScan, DurabilityError> {
+pub fn scan(path: &Path) -> Result<WalScan, DurabilityError> {
     let data = match std::fs::read(path) {
         Ok(d) => d,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
@@ -333,11 +361,7 @@ pub(crate) fn scan(path: &Path) -> Result<WalScan, DurabilityError> {
         if crc32(payload) != crc {
             break; // bit flip
         }
-        if payload.len() < 8 {
-            break; // too short to carry a version
-        }
-        let version = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-        let Ok(op) = MutationOp::decode(&payload[8..]) else {
+        let Ok((version, op)) = decode_payload(payload) else {
             break; // CRC passed but body malformed: treat as corrupt tail
         };
         records.push(WalRecord {

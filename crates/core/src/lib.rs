@@ -69,6 +69,7 @@ pub mod params;
 pub mod particle_filter;
 pub mod power;
 pub mod ppr;
+pub mod replication;
 pub mod resacc;
 pub mod session;
 pub mod state;

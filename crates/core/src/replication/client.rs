@@ -1,0 +1,317 @@
+//! The replica side: connect with backoff, bootstrap from a snapshot when
+//! behind, apply the record stream through the exact primary mutation
+//! path, ack only what is durable, and support promotion.
+
+use super::protocol::{
+    parse_u64, read_frame, write_frame, TAG_ACK, TAG_HEARTBEAT, TAG_HELLO, TAG_HELLO_OK,
+    TAG_RECORD, TAG_SNAPSHOT,
+};
+use super::ReplicationStats;
+use crate::durability::{crash_point, snapshot, wal};
+use crate::RwrSession;
+use std::io;
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reconnect backoff bounds: first retry after 100 ms, doubling to 2 s.
+const BACKOFF_START: Duration = Duration::from_millis(100);
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+/// Give up on a silent connection after this long (the primary heartbeats
+/// every ~300 ms, so this is ~10 missed heartbeats).
+const READ_TIMEOUT: Duration = Duration::from_secs(3);
+/// While draining for promotion: how long the stream may stay quiet
+/// before the drain is declared complete.
+const DRAIN_QUIET: Duration = Duration::from_secs(1);
+
+/// Shared replica state the service can observe.
+struct ClientControl {
+    /// Stop now, mid-stream if need be (process shutdown).
+    stop: AtomicBool,
+    /// Finish applying whatever is in flight, then stop (promotion).
+    drain: AtomicBool,
+    connected: AtomicBool,
+    /// Primary version from the latest handshake/heartbeat — the replica's
+    /// view of how far ahead the primary is.
+    last_seen_primary: AtomicU64,
+}
+
+/// A running replica: one background thread that keeps this session
+/// converged with a primary. Applies arrive through
+/// [`RwrSession::apply_mutation`] — append-then-apply, identical to the
+/// primary's own mutation path — so a replica's data directory is
+/// indistinguishable from a primary's at the same version.
+pub struct ReplicaClient {
+    primary: String,
+    session: Arc<RwrSession>,
+    control: Arc<ClientControl>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplicaClient {
+    /// Starts replicating `session` from the primary at `primary` (a
+    /// `host:port` replication-listener address). Reconnects with backoff
+    /// forever — a replica outliving a primary restart is the point.
+    pub fn spawn(
+        primary: String,
+        session: Arc<RwrSession>,
+        stats: Arc<ReplicationStats>,
+    ) -> ReplicaClient {
+        let control = Arc::new(ClientControl {
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            connected: AtomicBool::new(false),
+            last_seen_primary: AtomicU64::new(0),
+        });
+        let thread = {
+            let primary = primary.clone();
+            let session = session.clone();
+            let control = control.clone();
+            std::thread::Builder::new()
+                .name("repl-client".into())
+                .spawn(move || client_loop(&primary, &session, &stats, &control))
+                .expect("spawn replica client thread")
+        };
+        ReplicaClient {
+            primary,
+            session,
+            control,
+            thread: Some(thread),
+        }
+    }
+
+    /// The primary address this replica follows.
+    pub fn primary(&self) -> &str {
+        &self.primary
+    }
+
+    /// Whether the stream is currently established.
+    pub fn connected(&self) -> bool {
+        self.control.connected.load(Ordering::Relaxed)
+    }
+
+    /// The primary's version as last advertised (handshake or heartbeat);
+    /// `lag = last_seen_primary - session.version()` is the replica-side
+    /// lag estimate.
+    pub fn last_seen_primary_version(&self) -> u64 {
+        self.control.last_seen_primary.load(Ordering::Relaxed)
+    }
+
+    /// Promotes this replica: drains the stream (keeps applying records
+    /// until the connection closes or stays quiet for about a second —
+    /// covering both a dead primary and a live one being abandoned), stops
+    /// the client thread, and returns the final applied version. The
+    /// caller flips its own writability switch afterwards.
+    pub fn promote(&mut self) -> u64 {
+        self.control.drain.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+        self.session.version()
+    }
+
+    /// Stops the client immediately (no drain).
+    pub fn shutdown(mut self) {
+        self.control.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+impl Drop for ReplicaClient {
+    fn drop(&mut self) {
+        self.control.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+fn done(control: &ClientControl) -> bool {
+    control.stop.load(Ordering::SeqCst) || control.drain.load(Ordering::SeqCst)
+}
+
+fn client_loop(
+    primary: &str,
+    session: &Arc<RwrSession>,
+    stats: &Arc<ReplicationStats>,
+    control: &Arc<ClientControl>,
+) {
+    let mut connected_before = false;
+    let mut backoff = BACKOFF_START;
+    loop {
+        if done(control) {
+            return;
+        }
+        match TcpStream::connect(primary) {
+            Ok(stream) => {
+                if connected_before {
+                    stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                connected_before = true;
+                backoff = BACKOFF_START;
+                control.connected.store(true, Ordering::Relaxed);
+                if let Err(e) = run_stream(stream, session, stats, control) {
+                    if !done(control) {
+                        eprintln!("replication stream from {primary} failed: {e}; reconnecting");
+                    }
+                }
+                control.connected.store(false, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Primary unreachable; fall through to the backoff sleep.
+            }
+        }
+        // Interruptible backoff so shutdown/promote never waits it out.
+        let deadline = std::time::Instant::now() + backoff;
+        while std::time::Instant::now() < deadline {
+            if done(control) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        backoff = (backoff * 2).min(BACKOFF_MAX);
+    }
+}
+
+/// One connection's lifetime: handshake, then apply frames until the
+/// stream dies, the client is stopped, or a drain completes.
+fn run_stream(
+    mut stream: TcpStream,
+    session: &Arc<RwrSession>,
+    stats: &Arc<ReplicationStats>,
+    control: &Arc<ClientControl>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+
+    let mut hello = [0u8; 10];
+    hello[..2].copy_from_slice(&wal::WAL_FORMAT.to_le_bytes());
+    hello[2..].copy_from_slice(&session.version().to_le_bytes());
+    write_frame(&mut stream, TAG_HELLO, &hello)?;
+
+    let ok = read_frame(&mut stream)?;
+    if ok.tag != TAG_HELLO_OK || ok.payload.len() != 9 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected HELLO_OK frame",
+        ));
+    }
+    let primary_v = u64::from_le_bytes(ok.payload[..8].try_into().expect("8 bytes"));
+    observe_primary(primary_v, session, stats, control);
+
+    let mut draining_timeout = false;
+    loop {
+        if control.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if control.drain.load(Ordering::SeqCst) && !draining_timeout {
+            // Shorten the quiet window: once nothing arrives for
+            // DRAIN_QUIET, everything in flight has been applied.
+            stream.set_read_timeout(Some(DRAIN_QUIET))?;
+            draining_timeout = true;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            // Quiet or closed while draining: the drain is complete.
+            Err(_) if control.drain.load(Ordering::SeqCst) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame.tag {
+            TAG_SNAPSHOT => {
+                let (graph, version) =
+                    snapshot::decode(&frame.payload, Path::new("<replication stream>"))
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                // Persist-then-swap; never regress an already-applied state.
+                if version > session.version() {
+                    session
+                        .install_snapshot(graph, version)
+                        .map_err(|e| io::Error::other(e.to_string()))?;
+                }
+                ack(&mut stream, session, stats, control)?;
+            }
+            TAG_RECORD => {
+                let (version, op) = wal::decode_payload(&frame.payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                let current = session.version();
+                if version <= current {
+                    continue; // duplicate from a catch-up overlap
+                }
+                if version != current + 1 {
+                    // A gap means this stream cannot be applied safely;
+                    // reconnect and let the catch-up plan bridge it.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("record version {version} leaves a gap after {current}"),
+                    ));
+                }
+                let applied = session
+                    .apply_mutation(&op)
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                if applied != version {
+                    return Err(io::Error::other(format!(
+                        "applied version {applied} != shipped version {version}"
+                    )));
+                }
+                // Durable and applied, not yet acknowledged: the state a
+                // replica crash must never lose (it re-handshakes from it).
+                crash_point("repl-post-append", || {});
+                ack(&mut stream, session, stats, control)?;
+            }
+            TAG_HEARTBEAT => {
+                let primary_v = parse_u64(&frame.payload, "heartbeat")?;
+                observe_primary(primary_v, session, stats, control);
+                ack(&mut stream, session, stats, control)?;
+                // While draining, a heartbeat is the still-alive primary
+                // saying its stream is idle; if we have also applied
+                // everything it advertised, the drain is complete — the
+                // quiet-window timeout alone would never fire against a
+                // live primary heartbeating faster than the window.
+                if control.drain.load(Ordering::SeqCst) && primary_v <= session.version() {
+                    return Ok(());
+                }
+            }
+            _ => {} // unknown frame: ignore for forward compatibility
+        }
+    }
+}
+
+fn observe_primary(
+    primary_v: u64,
+    session: &Arc<RwrSession>,
+    stats: &Arc<ReplicationStats>,
+    control: &Arc<ClientControl>,
+) {
+    control.last_seen_primary.store(primary_v, Ordering::Relaxed);
+    stats
+        .lag_records
+        .store(primary_v.saturating_sub(session.version()), Ordering::Relaxed);
+}
+
+/// Acknowledges the replica's durable applied version. Only ever called
+/// after `apply_mutation` (whose WAL append fsyncs first) or for state
+/// that was already durable — a replica never acks what it hasn't fsync'd.
+fn ack(
+    stream: &mut TcpStream,
+    session: &Arc<RwrSession>,
+    stats: &Arc<ReplicationStats>,
+    control: &Arc<ClientControl>,
+) -> io::Result<()> {
+    let version = session.version();
+    // The armed crash here models "durable but the primary never heard":
+    // after restart the replica re-handshakes from `version` and the
+    // primary ships nothing twice.
+    crash_point("repl-pre-ack", || {});
+    write_frame(stream, TAG_ACK, &version.to_le_bytes())?;
+    stats.lag_records.store(
+        control
+            .last_seen_primary
+            .load(Ordering::Relaxed)
+            .saturating_sub(version),
+        Ordering::Relaxed,
+    );
+    Ok(())
+}

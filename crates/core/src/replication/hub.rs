@@ -1,0 +1,135 @@
+//! The primary's in-process fan-out point for durable mutation records.
+//!
+//! The session's mutation observer publishes every applied record here —
+//! under the session write lock, so publishes arrive in version order with
+//! no gaps. Each replica connection holds one bounded subscription; the
+//! hub never blocks the mutation path on a slow consumer.
+
+use crate::durability::{wal, MutationOp};
+use parking_lot::Mutex;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// Records buffered per subscriber before it is declared too slow and
+/// dropped (its connection closes; the replica reconnects and catches up
+/// from disk, which is always possible because the WAL/snapshot set
+/// retains full coverage).
+const SUBSCRIBER_BUFFER: usize = 65_536;
+
+/// One published record: the version and the WAL record payload
+/// (`version u64 | op`), shared so N subscribers cost no extra copies.
+pub(crate) type Published = (u64, Arc<Vec<u8>>);
+
+/// Fan-out hub between the primary's mutation path and its replica
+/// connections. Cheap when idle: an unsubscribed hub costs one mutex lock
+/// per mutation.
+pub struct ReplicationHub {
+    inner: Mutex<HubInner>,
+}
+
+struct HubInner {
+    version: u64,
+    subscribers: Vec<SyncSender<Published>>,
+}
+
+impl ReplicationHub {
+    /// A hub whose stream starts after `version` (the session's version at
+    /// wiring time — recovered, not necessarily zero).
+    pub fn new(version: u64) -> ReplicationHub {
+        ReplicationHub {
+            inner: Mutex::new(HubInner {
+                version,
+                subscribers: Vec::new(),
+            }),
+        }
+    }
+
+    /// Encodes one mutation as its WAL record payload and publishes it —
+    /// what the session's mutation observer calls
+    /// ([`crate::replication::attach_hub`] installs exactly this).
+    pub fn publish_op(&self, version: u64, op: &MutationOp) {
+        self.publish(version, wal::encode_payload(version, op));
+    }
+
+    /// Publishes one durable record to every live subscriber. Called by
+    /// the session's mutation observer (under the session write lock, so
+    /// versions arrive strictly increasing by one). A subscriber whose
+    /// buffer is full is dropped rather than waited on.
+    pub(crate) fn publish(&self, version: u64, payload: Vec<u8>) {
+        let payload = Arc::new(payload);
+        let mut inner = self.inner.lock();
+        inner.version = version;
+        inner.subscribers.retain(|tx| {
+            match tx.try_send((version, payload.clone())) {
+                Ok(()) => true,
+                // Full: the consumer fell a whole buffer behind — cut it
+                // loose so it reconnects and catches up from disk.
+                // Disconnected: the connection already died.
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+            }
+        });
+    }
+
+    /// The newest published version (the session version as of the last
+    /// mutation that went through the observer).
+    pub fn version(&self) -> u64 {
+        self.inner.lock().version
+    }
+
+    /// Registers a subscriber. The returned version and receiver are an
+    /// atomic pair: every record with a greater version is guaranteed to
+    /// arrive on the receiver, which is what makes the disk-to-live
+    /// handoff gap-free (plan the catch-up *after* subscribing, then skip
+    /// duplicates by version).
+    pub(crate) fn subscribe(&self) -> (Receiver<Published>, u64) {
+        let (tx, rx) = sync_channel(SUBSCRIBER_BUFFER);
+        let mut inner = self.inner.lock();
+        inner.subscribers.push(tx);
+        (rx, inner.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscribe_version_is_atomic_with_delivery() {
+        let hub = ReplicationHub::new(5);
+        let (rx, at) = hub.subscribe();
+        assert_eq!(at, 5);
+        hub.publish(6, vec![6]);
+        hub.publish(7, vec![7]);
+        let got: Vec<u64> = [rx.recv().unwrap(), rx.recv().unwrap()]
+            .iter()
+            .map(|(v, _)| *v)
+            .collect();
+        assert_eq!(got, vec![6, 7]);
+    }
+
+    #[test]
+    fn slow_subscriber_is_dropped_not_waited_on() {
+        let hub = ReplicationHub::new(0);
+        let (rx, _) = hub.subscribe();
+        for v in 1..=(SUBSCRIBER_BUFFER as u64 + 10) {
+            hub.publish(v, vec![]);
+        }
+        // The publisher never blocked; the overflowing subscriber's channel
+        // was closed after its buffer filled.
+        let mut received = 0u64;
+        while rx.recv().is_ok() {
+            received += 1;
+        }
+        assert_eq!(received, SUBSCRIBER_BUFFER as u64);
+        assert_eq!(hub.version(), SUBSCRIBER_BUFFER as u64 + 10);
+    }
+
+    #[test]
+    fn dead_subscribers_are_pruned() {
+        let hub = ReplicationHub::new(0);
+        let (rx, _) = hub.subscribe();
+        drop(rx);
+        hub.publish(1, vec![]);
+        assert_eq!(hub.inner.lock().subscribers.len(), 0);
+    }
+}

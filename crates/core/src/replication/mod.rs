@@ -1,0 +1,260 @@
+//! WAL-shipping replication: read replicas, snapshot bootstrap, promotion.
+//!
+//! The paper's index-free argument extends naturally to replication: with
+//! no index to synchronize, the *mutation stream* is the complete
+//! replication payload. A replica that applies the same [`MutationOp`]s in
+//! the same order holds a bit-identical graph, and the deterministic
+//! engine then answers any query bit-identically to the primary at the
+//! same version — which is what lets a fleet of replicas fan out read
+//! traffic with no correctness caveat at all.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   primary                                         replica
+//!   mutation ─► WAL append (durable) ─► apply ─► version bump
+//!                                                  │ observer
+//!                                                  ▼
+//!                                          ReplicationHub ──TCP──► apply_mutation
+//!                                         (+ catch-up from            │
+//!                                          snapshot + WAL tail)   WAL append (durable)
+//!                                                  ▲                  │
+//!                                                  └────── ACK ◄──────┘
+//! ```
+//!
+//! * [`hub::ReplicationHub`] — the primary's in-process fan-out point.
+//!   The session's mutation observer publishes every applied (and already
+//!   durable) record; each replica connection holds a bounded
+//!   subscription. A subscriber that falls further behind than its buffer
+//!   is dropped — its connection closes and the replica reconnects and
+//!   catches up from disk, so a slow replica can never stall the primary.
+//! * [`server::ReplicationServer`] — accepts replica connections, computes
+//!   a catch-up plan (WAL tail only, or newest snapshot + tail), streams
+//!   it, then switches to the live hub subscription with heartbeats. An
+//!   ack-reader thread tracks each replica's durable applied version.
+//! * [`client::ReplicaClient`] — connects with backoff, handshakes with
+//!   its current version, applies whatever arrives through the *exact*
+//!   primary mutation path ([`crate::RwrSession::apply_mutation`]:
+//!   append-then-apply, fsync before acknowledge), and acks only versions
+//!   that are durable locally. [`client::ReplicaClient::promote`] drains
+//!   the stream and stops the client so the service can flip writable.
+//!
+//! ## Ordering and durability contract
+//!
+//! A record is shipped only after it is durable on the primary (the
+//! observer runs after the WAL append), and a replica acks only what it
+//! has durably applied (the ack follows `apply_mutation`, whose append
+//! fsyncs first). Version numbers are contiguous per the session contract,
+//! so a replica can always detect a gap and fall back to a reconnect +
+//! catch-up rather than apply records out of order.
+//!
+//! Wire framing reuses the WAL's per-record CRC32: a `RECORD` frame's
+//! payload is the WAL record payload verbatim (`version u64 | op`), so the
+//! frame checksum the replica verifies *is* the record checksum it then
+//! appends to its own log.
+
+pub mod client;
+pub mod hub;
+mod protocol;
+pub mod server;
+
+pub use client::ReplicaClient;
+pub use hub::ReplicationHub;
+pub use server::ReplicationServer;
+
+use crate::RwrSession;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Wires `session` to publish every applied mutation into `hub` — the one
+/// line that turns a session into a replication primary. Must run before
+/// the session is shared behind an `Arc` (the observer slot is
+/// construction-time state; see [`RwrSession::set_mutation_observer`]).
+pub fn attach_hub(session: &mut RwrSession, hub: Arc<ReplicationHub>) {
+    session.set_mutation_observer(Box::new(move |version, op| hub.publish_op(version, op)));
+}
+
+/// Live replication counters, shared between the shipping/applying threads
+/// and whatever surfaces them (the service's `stats` op and metrics page).
+#[derive(Debug, Default)]
+pub struct ReplicationStats {
+    /// Most recently observed replication lag in records: on a primary,
+    /// the hub version minus the last acked version; on a replica, the
+    /// last heartbeat's primary version minus the locally applied version.
+    pub lag_records: AtomicU64,
+    /// Total frame bytes written to replicas by this process's
+    /// replication server.
+    pub bytes_shipped: AtomicU64,
+    /// Times this process's replica client re-established its connection
+    /// after the first successful connect.
+    pub reconnects: AtomicU64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durability::{open_dir, DurabilityOptions};
+    use crate::params::RwrParams;
+    use crate::resacc::ResAccConfig;
+    use resacc_graph::gen;
+    use std::net::TcpListener;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::Ordering;
+    use std::time::{Duration, Instant};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("resacc-repl-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seed_graph() -> resacc_graph::CsrGraph {
+        gen::barabasi_albert(120, 3, 7)
+    }
+
+    /// A durable primary with a hub, observer, and replication listener.
+    fn wire_primary(
+        dir: &Path,
+        snapshot_every: u64,
+    ) -> (Arc<RwrSession>, Arc<ReplicationHub>, ReplicationServer, Arc<ReplicationStats>) {
+        let opts = DurabilityOptions {
+            fsync: false,
+            snapshot_every,
+        };
+        let rec = open_dir(dir, opts, || Ok(seed_graph())).unwrap();
+        let params = RwrParams::for_graph(rec.graph.num_nodes());
+        let mut session = RwrSession::from_recovered(rec, params, ResAccConfig::default());
+        let hub = Arc::new(ReplicationHub::new(session.version()));
+        attach_hub(&mut session, hub.clone());
+        let session = Arc::new(session);
+        let stats = Arc::new(ReplicationStats::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server =
+            ReplicationServer::spawn(listener, session.clone(), hub.clone(), stats.clone())
+                .unwrap();
+        (session, hub, server, stats)
+    }
+
+    fn wait_for_version(session: &RwrSession, version: u64) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while session.version() < version {
+            assert!(
+                Instant::now() < deadline,
+                "replica stuck at version {} waiting for {version}",
+                session.version()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn bits(scores: &[f64]) -> Vec<u64> {
+        scores.iter().map(|s| s.to_bits()).collect()
+    }
+
+    #[test]
+    fn replica_catches_up_and_answers_bit_identically() {
+        let dir = scratch("converge");
+        let (primary, _hub, server, stats) = wire_primary(&dir, 0);
+        // History before the replica exists: catch-up comes from the WAL.
+        primary.insert_edges(&[(0, 77), (77, 3)]);
+        primary.delete_node(9);
+        let replica = Arc::new(RwrSession::new(seed_graph()));
+        let rstats = Arc::new(ReplicationStats::default());
+        let client =
+            ReplicaClient::spawn(server.addr().to_string(), replica.clone(), rstats.clone());
+        wait_for_version(&replica, primary.version());
+        // Live stream: mutations applied while connected.
+        primary.insert_edges(&[(5, 80), (80, 5)]);
+        primary.delete_edges(&[(0, 77)]);
+        wait_for_version(&replica, primary.version());
+        assert_eq!(replica.version(), 4);
+        for source in [0u32, 5, 9, 77] {
+            assert_eq!(
+                bits(&primary.query(source, 42).scores),
+                bits(&replica.query(source, 42).scores),
+                "source {source} diverged at version {}",
+                replica.version()
+            );
+        }
+        // The primary observed durable acks for everything it shipped.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while stats.lag_records.load(Ordering::Relaxed) != 0 {
+            assert!(Instant::now() < deadline, "primary never saw lag reach 0");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(stats.bytes_shipped.load(Ordering::Relaxed) > 0);
+        client.shutdown();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_replica_bootstraps_from_snapshot_after_compaction() {
+        let dir = scratch("bootstrap");
+        let (primary, _hub, server, _stats) = wire_primary(&dir, 2);
+        for i in 0..10u32 {
+            primary.insert_edges(&[(i, 100 + i)]);
+        }
+        // Snapshots every 2 mutations compacted the WAL: genesis records
+        // are gone, so a fresh replica MUST take the snapshot path.
+        let scanned = crate::durability::wal::scan(
+            &primary.durability().unwrap().dir().join("wal.log"),
+        )
+        .unwrap();
+        let first = scanned.records.first().map(|r| r.version).unwrap_or(u64::MAX);
+        assert!(first > 1, "test premise: WAL no longer reaches genesis");
+        let replica = Arc::new(RwrSession::new(seed_graph()));
+        let rstats = Arc::new(ReplicationStats::default());
+        let client =
+            ReplicaClient::spawn(server.addr().to_string(), replica.clone(), rstats.clone());
+        wait_for_version(&replica, primary.version());
+        assert_eq!(
+            bits(&primary.query(3, 9).scores),
+            bits(&replica.query(3, 9).scores)
+        );
+        client.shutdown();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn promotion_after_primary_death_loses_nothing_acknowledged() {
+        let dir = scratch("promote");
+        let rdir = scratch("promote-replica");
+        let (primary, _hub, server, _stats) = wire_primary(&dir, 0);
+        primary.insert_edges(&[(1, 50), (50, 2)]);
+        primary.delete_node(4);
+        // Durable replica: its own store is what promotion inherits.
+        let opts = DurabilityOptions {
+            fsync: false,
+            snapshot_every: 0,
+        };
+        let rec = open_dir(&rdir, opts, || Ok(seed_graph())).unwrap();
+        let params = RwrParams::for_graph(rec.graph.num_nodes());
+        let replica = Arc::new(RwrSession::from_recovered(rec, params, ResAccConfig::default()));
+        let rstats = Arc::new(ReplicationStats::default());
+        let mut client =
+            ReplicaClient::spawn(server.addr().to_string(), replica.clone(), rstats.clone());
+        wait_for_version(&replica, primary.version());
+        let ground_truth = bits(&primary.query(1, 11).scores);
+        let pre_kill_version = primary.version();
+        // "SIGKILL": the primary stops serving replication and is dropped.
+        server.shutdown();
+        drop(primary);
+        let promoted_at = client.promote();
+        assert_eq!(promoted_at, pre_kill_version, "promotion lost acknowledged history");
+        assert_eq!(bits(&replica.query(1, 11).scores), ground_truth);
+        // The promoted replica is writable and versions stay monotonic.
+        replica.insert_edges(&[(2, 60)]);
+        assert_eq!(replica.version(), pre_kill_version + 1);
+        // Its own store recovers the full promoted history.
+        drop(client);
+        drop(replica);
+        let rec = open_dir(&rdir, opts, || Ok(seed_graph())).unwrap();
+        assert_eq!(rec.version, pre_kill_version + 1);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&rdir).ok();
+    }
+}
+

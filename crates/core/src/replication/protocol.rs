@@ -1,0 +1,136 @@
+//! The replication wire protocol: length-prefixed, CRC-framed messages.
+//!
+//! ```text
+//! frame = tag u8 | payload_len u32 | crc32(payload) u32 | payload
+//! ```
+//!
+//! All integers little-endian, mirroring the WAL record framing — and for
+//! `RECORD` frames the payload *is* the WAL record payload verbatim
+//! (`version u64 | op tag | op body`), so the frame CRC the replica
+//! verifies is byte-for-byte the record CRC it appends to its own log.
+//! A CRC or framing violation surfaces as `InvalidData`; the connection is
+//! torn down and the replica reconnects (TCP already retransmits, so a
+//! persistent mismatch means a bug or a hostile peer, not line noise).
+
+use crate::durability::crc32;
+use std::io::{self, Read, Write};
+
+/// Replica → primary: `format u16 | start_version u64` — "I speak WAL
+/// format `format` and hold everything through `start_version`".
+pub(crate) const TAG_HELLO: u8 = 1;
+/// Primary → replica: `primary_version u64 | plan u8` (records-only or
+/// snapshot-first; see [`PLAN_RECORDS`] / [`PLAN_SNAPSHOT`]).
+pub(crate) const TAG_HELLO_OK: u8 = 2;
+/// Primary → replica: a complete `snap-<version>.rsnap` file, verbatim
+/// (the payload is itself internally checksummed on top of the frame CRC).
+pub(crate) const TAG_SNAPSHOT: u8 = 3;
+/// Primary → replica: one WAL record payload, verbatim.
+pub(crate) const TAG_RECORD: u8 = 4;
+/// Primary → replica: `primary_version u64`, sent when the stream is idle
+/// so the replica can distinguish "no writes" from "dead primary".
+pub(crate) const TAG_HEARTBEAT: u8 = 5;
+/// Replica → primary: `applied_version u64`, the newest version the
+/// replica has durably applied. Never sent before the fsync'd append.
+pub(crate) const TAG_ACK: u8 = 6;
+
+/// Catch-up plan in `HELLO_OK`: the replica's WAL-covered tail suffices.
+pub(crate) const PLAN_RECORDS: u8 = 0;
+/// Catch-up plan in `HELLO_OK`: a snapshot frame precedes the tail.
+pub(crate) const PLAN_SNAPSHOT: u8 = 1;
+
+/// Upper bound on one frame's payload. Snapshots of multi-GB graphs ship
+/// in a single frame, so this is generous; anything larger is garbage.
+pub(crate) const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// One decoded frame.
+#[derive(Debug)]
+pub(crate) struct Frame {
+    pub tag: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame and flushes; returns the bytes put on the wire.
+pub(crate) fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<u64> {
+    let mut head = [0u8; 9];
+    head[0] = tag;
+    head[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[5..9].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(9 + payload.len() as u64)
+}
+
+/// Reads and validates one frame. `InvalidData` on an oversized length or
+/// CRC mismatch; other errors are plain transport failures (EOF, timeout).
+pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut head = [0u8; 9];
+    r.read_exact(&mut head)?;
+    let tag = head[0];
+    let len = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(head[5..9].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("replication frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "replication frame CRC mismatch",
+        ));
+    }
+    Ok(Frame { tag, payload })
+}
+
+/// Parses a fixed 8-byte little-endian `u64` payload (heartbeats, acks).
+pub(crate) fn parse_u64(payload: &[u8], what: &str) -> io::Result<u64> {
+    let bytes: [u8; 8] = payload
+        .try_into()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, format!("malformed {what} frame")))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut wire = Vec::new();
+        let n = write_frame(&mut wire, TAG_RECORD, b"hello payload").unwrap();
+        assert_eq!(n as usize, wire.len());
+        let frame = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(frame.tag, TAG_RECORD);
+        assert_eq!(frame.payload, b"hello payload");
+    }
+
+    #[test]
+    fn corrupt_frames_are_invalid_data_not_panics() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_ACK, &7u64.to_le_bytes()).unwrap();
+        // Flip a payload bit: CRC mismatch.
+        let mut flipped = wire.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        let err = read_frame(&mut flipped.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Oversized length prefix.
+        let mut oversized = wire.clone();
+        oversized[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut oversized.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncated payload is a plain transport error (torn stream).
+        let cut = wire.len() - 2;
+        assert!(read_frame(&mut wire[..cut].as_ref()).is_err());
+    }
+
+    #[test]
+    fn parse_u64_validates_length() {
+        assert_eq!(parse_u64(&42u64.to_le_bytes(), "ack").unwrap(), 42);
+        assert!(parse_u64(b"short", "ack").is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! The primary side: accepts replica connections, streams catch-up state
+//! (snapshot and/or WAL tail) and then the live record stream, with
+//! heartbeats out and acks in.
+
+use super::hub::{Published, ReplicationHub};
+use super::protocol::{
+    read_frame, write_frame, PLAN_RECORDS, PLAN_SNAPSHOT, TAG_ACK, TAG_HEARTBEAT, TAG_HELLO,
+    TAG_HELLO_OK, TAG_RECORD, TAG_SNAPSHOT,
+};
+use super::ReplicationStats;
+use crate::durability::{snapshot, wal};
+use crate::RwrSession;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Idle-stream heartbeat cadence. Replicas treat ~10 missed heartbeats as
+/// a dead primary and reconnect.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(300);
+
+/// A running replication listener; dropping it (or calling
+/// [`ReplicationServer::shutdown`]) stops the accept loop. Connection
+/// threads notice the same flag within a heartbeat interval.
+pub struct ReplicationServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplicationServer {
+    /// Starts serving replicas from `listener`. The `hub` must be the one
+    /// the session's mutation observer publishes into, and `session` the
+    /// primary session (its durability store, when present, provides
+    /// snapshot + WAL-tail catch-up; without one, catch-up falls back to
+    /// encoding the live graph).
+    pub fn spawn(
+        listener: TcpListener,
+        session: Arc<RwrSession>,
+        hub: Arc<ReplicationHub>,
+        stats: Arc<ReplicationStats>,
+    ) -> io::Result<ReplicationServer> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name("repl-accept".into())
+            .spawn(move || accept_loop(listener, session, hub, stats, flag))?;
+        Ok(ReplicationServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and winds down connection threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+impl Drop for ReplicationServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    session: Arc<RwrSession>,
+    hub: Arc<ReplicationHub>,
+    stats: Arc<ReplicationStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let session = session.clone();
+                let hub = hub.clone();
+                let stats = stats.clone();
+                let shutdown = shutdown.clone();
+                std::thread::Builder::new()
+                    .name("repl-conn".into())
+                    .spawn(move || {
+                        let _ = handle_replica(stream, &session, &hub, &stats, &shutdown);
+                    })
+                    .ok();
+            }
+            // Nonblocking listener: idle. Real accept errors are transient
+            // resource conditions; either way, back off briefly.
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// What a freshly handshaken replica needs before the live stream takes
+/// over, as `(version, payload)` pairs ready to frame.
+enum CatchUp {
+    /// Replica already holds everything published so far.
+    None,
+    /// WAL records alone bridge the gap.
+    Records(Vec<(u64, Vec<u8>)>),
+    /// Snapshot first (raw `.rsnap` bytes at `version`), then records.
+    Snapshot {
+        version: u64,
+        file: Vec<u8>,
+        records: Vec<(u64, Vec<u8>)>,
+    },
+}
+
+enum PlanError {
+    /// A snapshot was pruned between listing and reading: re-plan.
+    Retry,
+    Fatal(io::Error),
+}
+
+impl From<crate::durability::DurabilityError> for PlanError {
+    fn from(e: crate::durability::DurabilityError) -> Self {
+        PlanError::Fatal(io::Error::other(e.to_string()))
+    }
+}
+
+fn handle_replica(
+    mut stream: TcpStream,
+    session: &Arc<RwrSession>,
+    hub: &Arc<ReplicationHub>,
+    stats: &Arc<ReplicationStats>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let result = replica_conversation(&mut stream, session, hub, stats, shutdown);
+    // Unblock the ack-reader thread's clone of this socket.
+    stream.shutdown(Shutdown::Both).ok();
+    result
+}
+
+fn replica_conversation(
+    stream: &mut TcpStream,
+    session: &Arc<RwrSession>,
+    hub: &Arc<ReplicationHub>,
+    stats: &Arc<ReplicationStats>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    // Handshake: what the replica holds, and which WAL format it speaks.
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let hello = read_frame(stream)?;
+    if hello.tag != TAG_HELLO || hello.payload.len() != 10 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected HELLO frame",
+        ));
+    }
+    let format = u16::from_le_bytes(hello.payload[..2].try_into().expect("2 bytes"));
+    if format != wal::WAL_FORMAT {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("replica speaks WAL format {format}, primary speaks {}", wal::WAL_FORMAT),
+        ));
+    }
+    let replica_v = u64::from_le_bytes(hello.payload[2..10].try_into().expect("8 bytes"));
+
+    // Subscribe BEFORE planning catch-up: every record published after
+    // `sub_version` is guaranteed to arrive on `rx`, so disk catch-up
+    // through `sub_version` plus the subscription is gap-free.
+    let (rx, sub_version) = hub.subscribe();
+    let plan = loop {
+        match plan_catch_up(session, replica_v, sub_version) {
+            Ok(plan) => break plan,
+            Err(PlanError::Retry) => continue,
+            Err(PlanError::Fatal(e)) => return Err(e),
+        }
+    };
+
+    let mut ok = [0u8; 9];
+    ok[..8].copy_from_slice(&sub_version.to_le_bytes());
+    ok[8] = match plan {
+        CatchUp::Snapshot { .. } => PLAN_SNAPSHOT,
+        _ => PLAN_RECORDS,
+    };
+    ship(stream, TAG_HELLO_OK, &ok, stats)?;
+
+    // Acks flow back on the same socket; a dedicated reader keeps the
+    // write path from ever blocking on them.
+    let acked = Arc::new(AtomicU64::new(replica_v));
+    spawn_ack_reader(stream.try_clone()?, acked, hub.clone(), stats.clone());
+
+    let mut last_sent = replica_v;
+    match plan {
+        CatchUp::None => {}
+        CatchUp::Records(records) => {
+            for (version, payload) in records {
+                ship(stream, TAG_RECORD, &payload, stats)?;
+                last_sent = version;
+            }
+        }
+        CatchUp::Snapshot {
+            version,
+            file,
+            records,
+        } => {
+            ship(stream, TAG_SNAPSHOT, &file, stats)?;
+            last_sent = version;
+            for (version, payload) in records {
+                ship(stream, TAG_RECORD, &payload, stats)?;
+                last_sent = version;
+            }
+        }
+    }
+
+    stream_live(stream, rx, hub, stats, shutdown, last_sent)
+}
+
+/// The steady state: forward hub records, heartbeat when idle.
+fn stream_live(
+    stream: &mut TcpStream,
+    rx: Receiver<Published>,
+    hub: &Arc<ReplicationHub>,
+    stats: &Arc<ReplicationStats>,
+    shutdown: &Arc<AtomicBool>,
+    mut last_sent: u64,
+) -> io::Result<()> {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match rx.recv_timeout(HEARTBEAT_EVERY) {
+            Ok((version, payload)) => {
+                if version <= last_sent {
+                    continue; // already shipped during catch-up
+                }
+                ship(stream, TAG_RECORD, &payload, stats)?;
+                last_sent = version;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                ship(stream, TAG_HEARTBEAT, &hub.version().to_le_bytes(), stats)?;
+            }
+            // The hub dropped this subscription (buffer overflow): close
+            // so the replica reconnects and catches up from disk.
+            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+fn ship(
+    stream: &mut TcpStream,
+    tag: u8,
+    payload: &[u8],
+    stats: &Arc<ReplicationStats>,
+) -> io::Result<()> {
+    let bytes = write_frame(stream, tag, payload)?;
+    stats.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    Ok(())
+}
+
+fn spawn_ack_reader(
+    stream: TcpStream,
+    acked: Arc<AtomicU64>,
+    hub: Arc<ReplicationHub>,
+    stats: Arc<ReplicationStats>,
+) {
+    std::thread::Builder::new()
+        .name("repl-ack".into())
+        .spawn(move || {
+            let mut stream = stream;
+            stream.set_read_timeout(None).ok();
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(frame) if frame.tag == TAG_ACK => {
+                        let Ok(version) = super::protocol::parse_u64(&frame.payload, "ack") else {
+                            return;
+                        };
+                        acked.store(version, Ordering::Release);
+                        stats
+                            .lag_records
+                            .store(hub.version().saturating_sub(version), Ordering::Relaxed);
+                    }
+                    Ok(_) => continue,
+                    Err(_) => return, // closed or torn: the writer side owns teardown
+                }
+            }
+        })
+        .ok();
+}
+
+/// Computes what to ship a replica at `replica_v` so that, together with
+/// the already-registered hub subscription (from `sub_version`), it sees a
+/// gap-free stream.
+///
+/// Snapshots are listed *before* the WAL is scanned: compaction retains
+/// every record newer than the second-newest snapshot, so the tail of any
+/// snapshot from this listing is guaranteed present in the later scan even
+/// if checkpoints race this plan. A snapshot file pruned between listing
+/// and reading surfaces as [`PlanError::Retry`].
+fn plan_catch_up(
+    session: &Arc<RwrSession>,
+    replica_v: u64,
+    sub_version: u64,
+) -> Result<CatchUp, PlanError> {
+    if replica_v >= sub_version {
+        return Ok(CatchUp::None);
+    }
+    if let Some(store) = session.durability() {
+        let snaps = snapshot::list_snapshots(store.dir())?;
+        let scanned = wal::scan(&store.dir().join(wal::WAL_FILE))?;
+        let tail = |after: u64| -> Vec<(u64, Vec<u8>)> {
+            scanned
+                .records
+                .iter()
+                .filter(|r| r.version > after)
+                .map(|r| (r.version, wal::encode_payload(r.version, &r.op)))
+                .collect()
+        };
+        // Does the WAL alone bridge (replica_v, sub_version]? Records are
+        // contiguous by construction, so covering the first needed version
+        // covers them all.
+        let covered = scanned
+            .records
+            .first()
+            .is_some_and(|first| first.version <= replica_v + 1);
+        if covered {
+            return Ok(CatchUp::Records(tail(replica_v)));
+        }
+        if let Some(&snap_v) = snaps.iter().find(|&&v| v > replica_v) {
+            match std::fs::read(store.dir().join(snapshot::snapshot_name(snap_v))) {
+                Ok(file) => {
+                    return Ok(CatchUp::Snapshot {
+                        version: snap_v,
+                        file,
+                        records: tail(snap_v),
+                    })
+                }
+                // Pruned by a concurrent checkpoint: list again.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(PlanError::Retry),
+                Err(e) => return Err(PlanError::Fatal(e)),
+            }
+        }
+        // No snapshot reaches back far enough and neither does the WAL
+        // (e.g. history predates the store): fall through to a live
+        // in-memory snapshot.
+    }
+    // No store (in-memory primary) or disk state cannot bridge the gap:
+    // encode the live graph. The read guard makes (graph, version) a
+    // consistent pair — mutations hold the write lock.
+    let guard = session.graph();
+    let version = session.version();
+    let file = snapshot::encode(&guard, version);
+    drop(guard);
+    Ok(CatchUp::Snapshot {
+        version,
+        file,
+        records: Vec::new(),
+    })
+}

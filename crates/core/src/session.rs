@@ -57,7 +57,17 @@ pub struct RwrSession {
     /// policy) *before* it is applied and the version bumps — see
     /// [`crate::durability`] for the exact ordering contract.
     durability: Option<Durability>,
+    /// When present, called under the write lock right after the version
+    /// bump for every applied mutation — so the observer sees a totally
+    /// ordered, gap-free stream of `(version, op)` pairs, and only for
+    /// mutations that are already durable (the WAL append precedes it).
+    /// This is the replication publish hook ([`crate::replication`]).
+    observer: Option<MutationObserver>,
 }
+
+/// Callback invoked for every applied (and, with a store attached, already
+/// durable) mutation; see [`RwrSession::set_mutation_observer`].
+pub type MutationObserver = Box<dyn Fn(u64, &MutationOp) + Send + Sync>;
 
 /// Read guard over the session's graph; derefs to [`CsrGraph`]. Mutations
 /// block while any guard is alive — keep it short-lived.
@@ -87,7 +97,22 @@ impl RwrSession {
             pool: Mutex::new(Vec::new()),
             threads: AtomicUsize::new(config.threads.max(1)),
             durability: None,
+            observer: None,
         }
+    }
+
+    /// Installs the mutation observer: a callback invoked under the write
+    /// lock immediately after each mutation's version bump, in version
+    /// order with no gaps. Because the WAL append happens first, the
+    /// observer only ever sees *durable* mutations — which is exactly the
+    /// replication shipping contract (a record is published to replicas
+    /// only after it is durable on the primary).
+    ///
+    /// Takes `&mut self` deliberately: the observer is wired up at
+    /// construction time, before the session is shared behind an `Arc`, so
+    /// the steady-state mutation path needs no extra synchronization.
+    pub fn set_mutation_observer(&mut self, observer: MutationObserver) {
+        self.observer = Some(observer);
     }
 
     /// Opens a session on top of a recovered data directory: the graph and
@@ -267,6 +292,11 @@ impl RwrSession {
         }
         state.graph = graph;
         self.version.store(next, Ordering::Release);
+        if let Some(observer) = &self.observer {
+            // Still under the write lock: observers see a gap-free,
+            // version-ordered stream of durable mutations.
+            observer(next, op);
+        }
         if let Some(store) = &self.durability {
             if store.should_snapshot(next) {
                 if let Err(e) = store.write_snapshot(&state.graph, next) {
@@ -275,6 +305,30 @@ impl RwrSession {
             }
         }
         Ok(next)
+    }
+
+    /// Replaces the session's graph wholesale with a snapshot at `version`
+    /// — the replica bootstrap path. The snapshot is persisted to this
+    /// session's own store *before* it becomes visible (so a crash right
+    /// after never regresses below what the replica acknowledged), then the
+    /// graph is swapped, parameters are refreshed exactly as a node-count-
+    /// changing mutation would, and the version counter jumps to `version`.
+    ///
+    /// Unlike [`RwrSession::apply_mutation`], the mutation observer is
+    /// *not* invoked: a snapshot is not part of the op stream.
+    ///
+    /// Errors only on a persistence failure, in which case nothing changed.
+    pub fn install_snapshot(&self, graph: CsrGraph, version: u64) -> Result<(), DurabilityError> {
+        let mut state = self.state.write();
+        if let Some(store) = &self.durability {
+            store.write_snapshot(&graph, version)?;
+        }
+        if graph.num_nodes() != state.graph.num_nodes() {
+            state.params = RwrParams::for_graph(graph.num_nodes());
+        }
+        state.graph = graph;
+        self.version.store(version, Ordering::Release);
+        Ok(())
     }
 
     /// Writes a snapshot at the current version and compacts the WAL — the

@@ -28,6 +28,8 @@
 //!   including a chaos mode for fault-injection runs.
 //! * [`fault`] — deterministic, request-id-keyed fault injection
 //!   (panics, latency, forced expiry) for robustness testing.
+//! * [`replication`] — this server's replication role (primary or read
+//!   replica) and the `promote` switch, over [`resacc::replication`].
 //! * [`json`] — the minimal JSON codec behind the wire format.
 
 #![forbid(unsafe_code)]
@@ -38,12 +40,14 @@ pub mod fault;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
+pub mod replication;
 pub mod scheduler;
 pub mod server;
 
 pub use cache::{CompKey, ResultCache};
 pub use fault::FaultPlan;
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use replication::ReplicationRole;
 pub use scheduler::{
     effective_seed, splitmix64, threads_per_query_budget, ErrorKind, QueryRequest, QueryResponse,
     Scheduler, SchedulerConfig, ServiceError,

@@ -52,6 +52,11 @@ pub struct LoadgenConfig {
     /// `threads` hint sent with each query (0 = omit the field). A pure
     /// latency knob: responses are byte-identical for any value.
     pub threads: usize,
+    /// Fraction of requests in [0, 1] issued as `insert_edges` mutations
+    /// instead of queries, with seed-derived endpoints — a deterministic
+    /// mutation stream for replication benchmarks and chaos runs. `0`
+    /// leaves the request stream exactly as it was without the knob.
+    pub write_mix: f64,
     /// Chaos mode: typed error responses (`overloaded`,
     /// `deadline_exceeded`, `internal_panic`) are *expected* outcomes of a
     /// fault-injection run — they are classified and reported rather than
@@ -75,6 +80,7 @@ impl Default for LoadgenConfig {
             k: 10,
             deadline_ms: 0,
             threads: 0,
+            write_mix: 0.0,
             chaos: false,
             shutdown_after: false,
         }
@@ -84,8 +90,10 @@ impl Default for LoadgenConfig {
 /// What a load run measured.
 #[derive(Clone, Debug)]
 pub struct LoadgenReport {
-    /// Queries completed successfully.
+    /// Requests completed successfully (queries and writes).
     pub completed: u64,
+    /// `insert_edges` mutations completed successfully (`--write-mix`).
+    pub writes: u64,
     /// Queries that failed (connection or protocol errors, plus typed
     /// errors — the typed classes are also broken out below).
     pub errors: u64,
@@ -120,13 +128,14 @@ impl LoadgenReport {
     /// Human-readable summary.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "completed   {:>10}  ({} errors)\n\
+            "completed   {:>10}  ({} writes, {} errors)\n\
              faults      {:>10} shed / {} timeouts / {} panics\n\
              elapsed     {:>10.2} s\n\
              throughput  {:>10.1} q/s\n\
              latency     mean {:.3} ms · p50 {:.3} ms · p95 {:.3} ms · p99 {:.3} ms\n\
              server      hit rate {:.1}% · {} coalesced\n",
             self.completed,
+            self.writes,
             self.errors,
             self.shed,
             self.timeouts,
@@ -234,6 +243,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let zipf = Arc::new(Zipf::new(config.sources, config.zipf_s));
     let latency = Arc::new(Histogram::new());
     let errors = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
     let shed = Arc::new(AtomicU64::new(0));
     let timeouts = Arc::new(AtomicU64::new(0));
     let panics = Arc::new(AtomicU64::new(0));
@@ -249,6 +259,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             let zipf = zipf.clone();
             let latency = latency.clone();
             let errors = errors.clone();
+            let writes = writes.clone();
             let shed = shed.clone();
             let timeouts = timeouts.clone();
             let panics = panics.clone();
@@ -262,27 +273,40 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                     let mut line = String::new();
                     for i in 0..per {
                         let id = id_base + i;
-                        let rank = zipf.sample(rng.next_f64());
-                        let source = rank_to_source(rank, n);
-                        let seed = if config.per_request_seeds {
-                            splitmix64(config.seed ^ (id << 1 | 1))
+                        // The write-decision draw only exists when the knob
+                        // is on, so `--write-mix 0` reproduces the exact
+                        // request stream runs recorded before the knob.
+                        let is_write =
+                            config.write_mix > 0.0 && rng.next_f64() < config.write_mix;
+                        let request = if is_write {
+                            let u = rng.next_u64() % n.max(1);
+                            let v = rng.next_u64() % n.max(1);
+                            format!(
+                                "{{\"id\":{id},\"op\":\"insert_edges\",\"edges\":[[{u},{v}]]}}\n"
+                            )
                         } else {
-                            splitmix64(config.seed ^ u64::from(source))
+                            let rank = zipf.sample(rng.next_f64());
+                            let source = rank_to_source(rank, n);
+                            let seed = if config.per_request_seeds {
+                                splitmix64(config.seed ^ (id << 1 | 1))
+                            } else {
+                                splitmix64(config.seed ^ u64::from(source))
+                            };
+                            let deadline = if config.deadline_ms > 0 {
+                                format!(",\"deadline_ms\":{}", config.deadline_ms)
+                            } else {
+                                String::new()
+                            };
+                            let threads = if config.threads > 0 {
+                                format!(",\"threads\":{}", config.threads)
+                            } else {
+                                String::new()
+                            };
+                            format!(
+                                "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}{threads}}}\n",
+                                config.k
+                            )
                         };
-                        let deadline = if config.deadline_ms > 0 {
-                            format!(",\"deadline_ms\":{}", config.deadline_ms)
-                        } else {
-                            String::new()
-                        };
-                        let threads = if config.threads > 0 {
-                            format!(",\"threads\":{}", config.threads)
-                        } else {
-                            String::new()
-                        };
-                        let request = format!(
-                            "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}{threads}}}\n",
-                            config.k
-                        );
                         let sent = Instant::now();
                         stream.write_all(request.as_bytes())?;
                         line.clear();
@@ -298,6 +322,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                             .unwrap_or(false);
                         if ok {
                             latency.record(sent.elapsed().as_nanos() as u64);
+                            if is_write {
+                                writes.fetch_add(1, Ordering::Relaxed);
+                            }
                         } else {
                             errors.fetch_add(1, Ordering::Relaxed);
                             let code = response
@@ -334,6 +361,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     const MS: f64 = 1e6;
     Ok(LoadgenReport {
         completed,
+        writes: writes.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
         shed: shed.load(Ordering::Relaxed),
         timeouts: timeouts.load(Ordering::Relaxed),
@@ -423,6 +451,32 @@ mod tests {
             report.server_hit_rate
         );
         assert!(report.p99_ms >= report.p50_ms);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn write_mix_mutates_deterministically() {
+        let session = StdArc::new(RwrSession::new(gen::barabasi_albert(200, 3, 8)));
+        let handle = spawn("127.0.0.1:0", session.clone(), ServerConfig::default()).unwrap();
+        let config = LoadgenConfig {
+            addr: handle.addr().to_string(),
+            requests: 120,
+            connections: 2,
+            sources: 8,
+            write_mix: 0.25,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.completed, 120);
+        assert_eq!(report.errors, 0);
+        assert!(
+            report.writes > 10 && report.writes < 60,
+            "~25% of 120 requests should be writes: {}",
+            report.writes
+        );
+        // The mutation stream is seed-derived: the graph version advanced
+        // by exactly the number of acknowledged writes.
+        assert_eq!(session.version(), report.writes);
         handle.shutdown().unwrap();
     }
 }

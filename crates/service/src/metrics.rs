@@ -127,6 +127,13 @@ pub struct Metrics {
     pub wal_truncated_bytes: AtomicU64,
     /// Snapshots successfully loaded during recovery (0 or 1).
     pub snapshots_loaded: AtomicU64,
+    /// Most recently observed replication lag, in records (primary: hub
+    /// version minus last ack; replica: last heartbeat minus applied).
+    pub replication_lag_records: AtomicU64,
+    /// Frame bytes shipped to replicas by this process.
+    pub replication_bytes_shipped: AtomicU64,
+    /// Replica-client reconnects after the first successful connection.
+    pub replication_reconnects: AtomicU64,
     /// End-to-end latency per query, nanoseconds (enqueue → response).
     pub latency: Histogram,
     /// End-to-end latency of *failed* queries (shed/timeout/panic),
@@ -174,6 +181,12 @@ pub struct MetricsSnapshot {
     pub wal_truncated_bytes: u64,
     /// Snapshots loaded at startup.
     pub snapshots_loaded: u64,
+    /// Replication lag in records at snapshot time.
+    pub replication_lag_records: u64,
+    /// Replication frame bytes shipped to replicas.
+    pub replication_bytes_shipped: u64,
+    /// Replica-client reconnects.
+    pub replication_reconnects: u64,
     /// Queries per second over the whole uptime.
     pub qps: f64,
     /// Cache hit rate in [0, 1]; 0 when no lookups happened.
@@ -213,6 +226,9 @@ impl Metrics {
             wal_records_replayed: AtomicU64::new(0),
             wal_truncated_bytes: AtomicU64::new(0),
             snapshots_loaded: AtomicU64::new(0),
+            replication_lag_records: AtomicU64::new(0),
+            replication_bytes_shipped: AtomicU64::new(0),
+            replication_reconnects: AtomicU64::new(0),
             latency: Histogram::new(),
             latency_err: Histogram::new(),
             phase_hhop_ns: AtomicU64::new(0),
@@ -245,6 +261,9 @@ impl Metrics {
             wal_records_replayed: self.wal_records_replayed.load(Ordering::Relaxed),
             wal_truncated_bytes: self.wal_truncated_bytes.load(Ordering::Relaxed),
             snapshots_loaded: self.snapshots_loaded.load(Ordering::Relaxed),
+            replication_lag_records: self.replication_lag_records.load(Ordering::Relaxed),
+            replication_bytes_shipped: self.replication_bytes_shipped.load(Ordering::Relaxed),
+            replication_reconnects: self.replication_reconnects.load(Ordering::Relaxed),
             qps: queries as f64 / uptime,
             hit_rate: if lookups == 0 {
                 0.0
@@ -297,6 +316,18 @@ impl MetricsSnapshot {
                 Json::u64(self.wal_truncated_bytes),
             ),
             ("snapshots_loaded".into(), Json::u64(self.snapshots_loaded)),
+            (
+                "replication_lag_records".into(),
+                Json::u64(self.replication_lag_records),
+            ),
+            (
+                "replication_bytes_shipped".into(),
+                Json::u64(self.replication_bytes_shipped),
+            ),
+            (
+                "replication_reconnects".into(),
+                Json::u64(self.replication_reconnects),
+            ),
             ("qps".into(), Json::f64(self.qps)),
             ("hit_rate".into(), Json::f64(self.hit_rate)),
             ("mean_ms".into(), Json::f64(self.mean_ms)),
@@ -324,6 +355,7 @@ impl MetricsSnapshot {
              overload    {:>10} shed / {} timeouts / {} panics\n\
              listener    {:>10} rejected conns / {} accept errors\n\
              recovery    {:>10} WAL records replayed / {} B truncated / {} snapshots loaded\n\
+             replication {:>10} records lag / {} B shipped / {} reconnects\n\
              latency     mean {:.3} ms · p50 {:.3} ms · p95 {:.3} ms · p99 {:.3} ms\n\
              err latency mean {:.3} ms · p99 {:.3} ms\n\
              phase time  hhop {:.1} ms · omfwd {:.1} ms · remedy {:.1} ms\n",
@@ -344,6 +376,9 @@ impl MetricsSnapshot {
             self.wal_records_replayed,
             self.wal_truncated_bytes,
             self.snapshots_loaded,
+            self.replication_lag_records,
+            self.replication_bytes_shipped,
+            self.replication_reconnects,
             self.mean_ms,
             self.p50_ms,
             self.p95_ms,

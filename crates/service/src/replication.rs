@@ -1,0 +1,93 @@
+//! The service's view of replication: which role this server plays, the
+//! shared live counters, and the promotion switch.
+//!
+//! The core subsystem ([`resacc::replication`]) does the shipping and
+//! applying; this type is the thin layer the NDJSON front end consults on
+//! every mutation op (is this server writable? who is the primary?) and
+//! flips when a `promote` op arrives.
+
+use resacc::replication::{ReplicaClient, ReplicationStats};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// This server's replication role. A primary is writable from birth; a
+/// replica starts read-only and becomes writable only through
+/// [`ReplicationRole::promote`].
+pub struct ReplicationRole {
+    read_only: AtomicBool,
+    /// The primary's replication address (replica role only; empty for a
+    /// primary).
+    primary: String,
+    /// The replica client being driven (replica role only). Behind a
+    /// mutex because promotion consumes its stream.
+    client: parking_lot::Mutex<Option<ReplicaClient>>,
+    /// Live counters shared with the core shipping/applying threads.
+    pub stats: Arc<ReplicationStats>,
+}
+
+impl std::fmt::Debug for ReplicationRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationRole")
+            .field("role", &self.name())
+            .field("primary", &self.primary)
+            .finish()
+    }
+}
+
+impl ReplicationRole {
+    /// The primary role: writable, serving a replication listener whose
+    /// threads share `stats`.
+    pub fn primary(stats: Arc<ReplicationStats>) -> ReplicationRole {
+        ReplicationRole {
+            read_only: AtomicBool::new(false),
+            primary: String::new(),
+            client: parking_lot::Mutex::new(None),
+            stats,
+        }
+    }
+
+    /// The replica role: read-only, following `primary` via `client`.
+    pub fn replica(
+        primary: String,
+        client: ReplicaClient,
+        stats: Arc<ReplicationStats>,
+    ) -> ReplicationRole {
+        ReplicationRole {
+            read_only: AtomicBool::new(true),
+            primary,
+            client: parking_lot::Mutex::new(Some(client)),
+            stats,
+        }
+    }
+
+    /// Whether mutation ops must be rejected right now.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// The primary this replica follows (empty string on a primary).
+    pub fn primary_addr(&self) -> &str {
+        &self.primary
+    }
+
+    /// Human label for the current role.
+    pub fn name(&self) -> &'static str {
+        if self.is_read_only() {
+            "replica"
+        } else {
+            "primary"
+        }
+    }
+
+    /// Promotes a replica: drains and stops its client, then flips the
+    /// server writable. Returns the applied version at promotion, or
+    /// `None` if this server was already writable (promoting a primary is
+    /// a no-op the caller reports as an error).
+    pub fn promote(&self) -> Option<u64> {
+        let mut active = self.client.lock().take()?;
+        let version = active.promote();
+        drop(active);
+        self.read_only.store(false, Ordering::SeqCst);
+        Some(version)
+    }
+}

@@ -124,6 +124,9 @@ pub enum ErrorKind {
     InternalPanic,
     /// The source node does not exist (validated at execution time).
     SourceOutOfRange,
+    /// This server is a read replica: mutations must go to the primary
+    /// (named in the error detail).
+    ReadOnly,
 }
 
 impl ErrorKind {
@@ -134,6 +137,7 @@ impl ErrorKind {
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::InternalPanic => "internal_panic",
             ErrorKind::SourceOutOfRange => "source out of range",
+            ErrorKind::ReadOnly => "read_only",
         }
     }
 }
@@ -160,6 +164,16 @@ impl ServiceError {
             detail: detail.into(),
             retry_after_ms: None,
         }
+    }
+
+    /// The typed rejection a read replica returns for mutation ops: names
+    /// the primary so clients can redirect their writes.
+    pub fn read_only(id: u64, primary: &str) -> Self {
+        ServiceError::new(
+            id,
+            ErrorKind::ReadOnly,
+            format!("read replica; send mutations to the primary at {primary}"),
+        )
     }
 }
 

@@ -48,6 +48,7 @@
 use crate::fault::FaultPlan;
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
+use crate::replication::ReplicationRole;
 use crate::scheduler::{QueryRequest, Scheduler, SchedulerConfig, ServiceError};
 use resacc::durability::{MutationOp, RecoveryStats};
 use resacc::topk::top_k;
@@ -66,7 +67,7 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
 
 /// Server tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Scheduler worker threads.
     pub workers: usize,
@@ -97,6 +98,9 @@ pub struct ServerConfig {
     /// `wal_records_replayed` / `wal_truncated_bytes` / `snapshots_loaded`
     /// in `stats` responses.
     pub recovery: RecoveryStats,
+    /// This server's replication role, if any. `None` is a standalone
+    /// primary: writable, with no replication surfaces in `stats`.
+    pub replication: Option<Arc<ReplicationRole>>,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +118,7 @@ impl Default for ServerConfig {
             threads_per_query: 1,
             faults: FaultPlan::default(),
             recovery: RecoveryStats::default(),
+            replication: None,
         }
     }
 }
@@ -163,6 +168,7 @@ pub fn serve(
             .store(config.recovery.snapshots_loaded, Ordering::Relaxed);
     }
     let stop = Arc::new(AtomicBool::new(false));
+    let replication = config.replication.clone();
     let limits = ConnLimits {
         default_k: config.default_k,
         default_deadline_ms: config.default_deadline_ms,
@@ -189,12 +195,18 @@ pub fn serve(
                 }
                 let scheduler = scheduler.clone();
                 let stop = stop.clone();
+                let replication = replication.clone();
                 handlers.push(
                     std::thread::Builder::new()
                         .name("rwr-conn".into())
                         .spawn(move || {
-                            let requested_shutdown =
-                                handle_connection(stream, &scheduler, &limits, &stop);
+                            let requested_shutdown = handle_connection(
+                                stream,
+                                &scheduler,
+                                &limits,
+                                replication.as_deref(),
+                                &stop,
+                            );
                             if requested_shutdown {
                                 stop.store(true, Ordering::Release);
                             }
@@ -373,6 +385,7 @@ fn handle_connection(
     stream: TcpStream,
     scheduler: &Scheduler,
     limits: &ConnLimits,
+    replication: Option<&ReplicationRole>,
     stop: &AtomicBool,
 ) -> bool {
     let _ = stream.set_read_timeout(Some(READ_POLL));
@@ -389,7 +402,7 @@ fn handle_connection(
             if line.trim().is_empty() {
                 continue;
             }
-            let (response, shutdown) = handle_line(&line, scheduler, limits);
+            let (response, shutdown) = handle_line(&line, scheduler, limits, replication);
             if writeln!(writer, "{}", response.render()).is_err() || writer.flush().is_err() {
                 return false;
             }
@@ -451,7 +464,12 @@ fn service_error_response(id: Option<u64>, e: &ServiceError) -> Json {
 }
 
 /// Dispatches one request line; returns (response, shutdown_requested).
-fn handle_line(line: &str, scheduler: &Scheduler, limits: &ConnLimits) -> (Json, bool) {
+fn handle_line(
+    line: &str,
+    scheduler: &Scheduler,
+    limits: &ConnLimits,
+    replication: Option<&ReplicationRole>,
+) -> (Json, bool) {
     use std::sync::atomic::Ordering::Relaxed;
     let request = match Json::parse(line) {
         Ok(j) => j,
@@ -462,6 +480,16 @@ fn handle_line(line: &str, scheduler: &Scheduler, limits: &ConnLimits) -> (Json,
     };
     let id = request.get("id").and_then(Json::as_u64);
     let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+    // Read replicas answer queries but bounce every mutation to the
+    // primary with a typed error (the replica's graph is owned by the
+    // replication stream; a local write would fork the history).
+    if matches!(op, "insert_edges" | "delete_edges" | "delete_node") {
+        if let Some(role) = replication.filter(|r| r.is_read_only()) {
+            scheduler.metrics().errors.fetch_add(1, Relaxed);
+            let e = ServiceError::read_only(id.unwrap_or(0), role.primary_addr());
+            return (service_error_response(id, &e), false);
+        }
+    }
     let result = match op {
         "query" => op_query(&request, scheduler, limits),
         "insert_edges" => parse_edges(&request)
@@ -473,7 +501,8 @@ fn handle_line(line: &str, scheduler: &Scheduler, limits: &ConnLimits) -> (Json,
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing node".to_string())
             .map(|node| apply_response(id, scheduler, MutationOp::DeleteNode(node as u32))),
-        "stats" => Ok(stats_response(id, scheduler)),
+        "stats" => Ok(stats_response(id, scheduler, replication)),
+        "promote" => promote_response(id, replication),
         "ping" => Ok(ok_response(id, vec![])),
         "shutdown" => {
             return (ok_response(id, vec![]), true);
@@ -519,7 +548,39 @@ fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: MutationOp) -> Jso
     }
 }
 
-fn stats_response(id: Option<u64>, scheduler: &Scheduler) -> Json {
+/// Handles the `promote` admin op: drains the replication stream and flips
+/// the replica writable at its final applied version.
+fn promote_response(id: Option<u64>, replication: Option<&ReplicationRole>) -> Result<Json, String> {
+    let role = replication.ok_or("no replication role: this server is a standalone primary")?;
+    let version = role
+        .promote()
+        .ok_or("already writable: this server is not a read replica")?;
+    Ok(ok_response(
+        id,
+        vec![
+            ("version".to_string(), Json::u64(version)),
+            ("role".to_string(), Json::Str("primary".to_string())),
+        ],
+    ))
+}
+
+fn stats_response(
+    id: Option<u64>,
+    scheduler: &Scheduler,
+    replication: Option<&ReplicationRole>,
+) -> Json {
+    use std::sync::atomic::Ordering::Relaxed;
+    if let Some(role) = replication {
+        // Mirror the live replication counters into the metrics surface so
+        // they render next to everything else (and in the text page).
+        let m = scheduler.metrics();
+        m.replication_lag_records
+            .store(role.stats.lag_records.load(Relaxed), Relaxed);
+        m.replication_bytes_shipped
+            .store(role.stats.bytes_shipped.load(Relaxed), Relaxed);
+        m.replication_reconnects
+            .store(role.stats.reconnects.load(Relaxed), Relaxed);
+    }
     let snapshot: MetricsSnapshot = scheduler.metrics().snapshot();
     let session = scheduler.session();
     let (nodes, edges) = {
@@ -533,15 +594,12 @@ fn stats_response(id: Option<u64>, scheduler: &Scheduler) -> Json {
         ("version".to_string(), Json::u64(session.version())),
     ];
     if let Some(store) = session.durability() {
-        // Live WAL/snapshot counters for this process (recovery counters
-        // live in `stats`; these advance as mutations arrive).
+        // Live WAL/snapshot counters for this process (recovery-time
+        // counters live in `stats`; these advance as mutations arrive).
         rest.push((
             "durability".to_string(),
             Json::Obj(vec![
-                (
-                    "records_appended".to_string(),
-                    Json::u64(store.records_appended()),
-                ),
+                ("wal_appends".to_string(), Json::u64(store.records_appended())),
                 (
                     "bytes_appended".to_string(),
                     Json::u64(store.bytes_appended()),
@@ -551,11 +609,47 @@ fn stats_response(id: Option<u64>, scheduler: &Scheduler) -> Json {
                     Json::u64(store.snapshots_written()),
                 ),
                 (
+                    "wal_truncated_bytes".to_string(),
+                    Json::u64(store.wal_truncated_bytes()),
+                ),
+                (
                     "last_snapshot_version".to_string(),
                     Json::u64(store.last_snapshot_version()),
                 ),
             ]),
         ));
+    }
+    if let Some(role) = replication {
+        let mut fields = vec![
+            ("role".to_string(), Json::Str(role.name().to_string())),
+            ("read_only".to_string(), Json::Bool(role.is_read_only())),
+            (
+                "applied_version".to_string(),
+                Json::u64(session.version()),
+            ),
+            (
+                "lag_records".to_string(),
+                Json::u64(role.stats.lag_records.load(Relaxed)),
+            ),
+            (
+                "bytes_shipped".to_string(),
+                Json::u64(role.stats.bytes_shipped.load(Relaxed)),
+            ),
+            (
+                "reconnects".to_string(),
+                Json::u64(role.stats.reconnects.load(Relaxed)),
+            ),
+        ];
+        if !role.primary_addr().is_empty() {
+            fields.insert(
+                1,
+                (
+                    "primary".to_string(),
+                    Json::Str(role.primary_addr().to_string()),
+                ),
+            );
+        }
+        rest.push(("replication".to_string(), Json::Obj(fields)));
     }
     ok_response(id, rest)
 }
@@ -971,6 +1065,75 @@ mod tests {
         drop(stream);
         handle.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replica_rejects_mutations_and_promote_flips_writable() {
+        use resacc::replication::{attach_hub, ReplicaClient, ReplicationHub, ReplicationServer, ReplicationStats};
+        // Core-level primary: session + hub + replication listener.
+        let mut primary = RwrSession::new(gen::barabasi_albert(200, 3, 8));
+        let hub = Arc::new(ReplicationHub::new(primary.version()));
+        attach_hub(&mut primary, hub.clone());
+        let primary = Arc::new(primary);
+        let pstats = Arc::new(ReplicationStats::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let repl_addr = listener.local_addr().unwrap().to_string();
+        let repl_server =
+            ReplicationServer::spawn(listener, primary.clone(), hub.clone(), pstats).unwrap();
+        primary.insert_edges(&[(0, 5), (5, 0)]);
+
+        // Service-level replica following it.
+        let replica = Arc::new(RwrSession::new(gen::barabasi_albert(200, 3, 8)));
+        let rstats = Arc::new(ReplicationStats::default());
+        let client = ReplicaClient::spawn(repl_addr.clone(), replica.clone(), rstats.clone());
+        let role = Arc::new(crate::replication::ReplicationRole::replica(
+            repl_addr.clone(),
+            client,
+            rstats,
+        ));
+        let handle = spawn(
+            "127.0.0.1:0",
+            replica.clone(),
+            ServerConfig {
+                workers: 1,
+                replication: Some(role),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while replica.version() < primary.version() {
+            assert!(Instant::now() < deadline, "replica never caught up");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Mutations bounce with a typed error naming the primary.
+        let r = roundtrip(&mut stream, r#"{"id":1,"op":"insert_edges","edges":[[1,2]]}"#);
+        assert_eq!(r.get("error").unwrap().as_str(), Some("read_only"));
+        assert!(r.get("detail").unwrap().as_str().unwrap().contains(&repl_addr));
+        // Queries flow, and stats expose the replica's applied version.
+        let s = roundtrip(&mut stream, r#"{"id":2,"op":"stats"}"#);
+        let repl = s.get("replication").unwrap();
+        assert_eq!(repl.get("role").unwrap().as_str(), Some("replica"));
+        assert_eq!(repl.get("read_only").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            repl.get("applied_version").unwrap().as_u64(),
+            Some(primary.version())
+        );
+        assert_eq!(repl.get("primary").unwrap().as_str(), Some(repl_addr.as_str()));
+        // Promote: drains the stream, flips writable at the applied version.
+        let p = roundtrip(&mut stream, r#"{"id":3,"op":"promote"}"#);
+        assert_eq!(p.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(p.get("version").unwrap().as_u64(), Some(primary.version()));
+        let again = roundtrip(&mut stream, r#"{"id":4,"op":"promote"}"#);
+        assert_eq!(again.get("ok").unwrap().as_bool(), Some(false));
+        // Mutations now land locally.
+        let m = roundtrip(&mut stream, r#"{"id":5,"op":"insert_edges","edges":[[1,2]]}"#);
+        assert_eq!(m.get("version").unwrap().as_u64(), Some(primary.version() + 1));
+        drop(stream);
+        handle.shutdown().unwrap();
+        repl_server.shutdown();
     }
 
     /// Satellite stress test: queries and graph mutations interleaved

@@ -12,6 +12,11 @@
 #      same --data-dir, and require the WAL replay banner plus a byte-
 #      identical full-scores query; then a bench_recovery smoke run must
 #      pass its zero-loss and torn-tail gates
+#   7. replication smoke: primary + read replica over WAL shipping; the
+#      replica must answer bit-identically at the same version and reject
+#      writes; SIGKILL the primary, promote the replica, and require no
+#      acknowledged mutation lost and a monotonic version; then a
+#      bench_replication smoke run must pass its bit-identity gate
 #
 # The workspace builds offline (external deps resolve to shims/*), so pin
 # CARGO_NET_OFFLINE to keep cargo from ever touching the network.
@@ -31,7 +36,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> chaos smoke (seeded faults, graceful drain, zero escaped panics)"
 SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"; [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -rf "$SMOKE_DIR"
+      [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null
+      [[ -n "${REPLICA_PID:-}" ]] && kill "$REPLICA_PID" 2>/dev/null
+      true' EXIT
 awk 'BEGIN { for (u = 0; u < 400; u++) for (d = 1; d <= 5; d++) print u, (u * 31 + d * 97) % 400 }' \
   > "$SMOKE_DIR/graph.txt"
 target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
@@ -135,5 +143,109 @@ echo "==> bench_recovery smoke (zero-loss + torn-tail gates)"
 RESACC_BENCH_RECOVERY_NODES=300 RESACC_BENCH_RECOVERY_MUTATIONS=60 \
 RESACC_BENCH_RECOVERY_SNAPSHOT_EVERY=16 \
   target/release/bench_recovery "$SMOKE_DIR/BENCH_recovery.json" > /dev/null
+
+echo "==> replication smoke (ship, bitwise replica reads, SIGKILL + promote)"
+# Primary with a replication listener; replica shipping from it. The
+# replica must answer the probe bit-identically at the same version,
+# reject writes with the typed read_only error, and after the primary is
+# SIGKILLed, promote to a writable primary with no acknowledged loss.
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$SMOKE_DIR/pdata" --replication-listen 127.0.0.1:0 \
+  > "$SMOKE_DIR/prim.out" 2> "$SMOKE_DIR/prim.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^listening on" "$SMOKE_DIR/prim.out" 2>/dev/null && break
+  sleep 0.1
+done
+P_ADDR=$(awk '/^listening on/ { print $3 }' "$SMOKE_DIR/prim.out")
+REPL_ADDR=$(awk '/^replication listening on/ { print $4 }' "$SMOKE_DIR/prim.out")
+[[ -n "$P_ADDR" && -n "$REPL_ADDR" ]] || {
+  echo "replication smoke: primary never came up"; cat "$SMOKE_DIR/prim.err"; exit 1; }
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$SMOKE_DIR/rdata" --replicate-from "$REPL_ADDR" \
+  > "$SMOKE_DIR/repl.out" 2> "$SMOKE_DIR/repl.err" &
+REPLICA_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^listening on" "$SMOKE_DIR/repl.out" 2>/dev/null && break
+  sleep 0.1
+done
+R_ADDR=$(awk '/^listening on/ { print $3 }' "$SMOKE_DIR/repl.out")
+[[ -n "$R_ADDR" ]] || {
+  echo "replication smoke: replica never came up"; cat "$SMOKE_DIR/repl.err"; exit 1; }
+# Acknowledged history on the primary, probed at version 2.
+HOST=${P_ADDR%:*}; PORT=${P_ADDR##*:}
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf '{"id":1,"op":"insert_edges","edges":[[0,399],[5,6]]}\n' >&3
+read -t 10 -r _ <&3
+printf '{"id":2,"op":"delete_node","node":7}\n' >&3
+read -t 10 -r ACK2 <&3
+grep -q '"version":2' <<< "$ACK2" || {
+  echo "replication smoke: primary did not acknowledge: $ACK2"; exit 1; }
+printf '%s\n' "$QUERY" >&3
+read -t 10 -r PRIMARY_SCORES <&3
+exec 3>&- 3<&-
+# Wait for the replica to durably apply both records.
+RHOST=${R_ADDR%:*}; RPORT=${R_ADDR##*:}
+RSTATS=
+for _ in $(seq 1 100); do
+  exec 3<>"/dev/tcp/$RHOST/$RPORT"
+  printf '{"op":"stats"}\n' >&3
+  read -t 10 -r RSTATS <&3
+  exec 3>&- 3<&-
+  grep -q '"applied_version":2' <<< "$RSTATS" && break
+  sleep 0.1
+done
+grep -q '"applied_version":2' <<< "$RSTATS" || {
+  echo "replication smoke: replica never caught up: $RSTATS"; exit 1; }
+# Bit-identical reads at the same version; writes bounce with read_only.
+exec 3<>"/dev/tcp/$RHOST/$RPORT"
+printf '%s\n' "$QUERY" >&3
+read -t 10 -r REPLICA_SCORES <&3
+printf '{"id":3,"op":"insert_edges","edges":[[1,2]]}\n' >&3
+read -t 10 -r BOUNCE <&3
+exec 3>&- 3<&-
+# Strip the wall-clock field and the result-cache flag (a repeated probe
+# at the same version may be served from the cache); every other byte —
+# version, top-k, full scores — must match bitwise.
+strip_volatile() { sed 's/"latency_ns":[0-9]*,//; s/"cached":[a-z]*,//' <<< "$1"; }
+PRIMARY_SCORES=$(strip_volatile "$PRIMARY_SCORES")
+REPLICA_SCORES=$(strip_volatile "$REPLICA_SCORES")
+if [[ "$PRIMARY_SCORES" != "$REPLICA_SCORES" ]]; then
+  echo "replication smoke: replica diverged from primary at version 2:"
+  echo " primary: $PRIMARY_SCORES"
+  echo " replica: $REPLICA_SCORES"
+  exit 1
+fi
+grep -q '"error":"read_only"' <<< "$BOUNCE" || {
+  echo "replication smoke: replica accepted a write: $BOUNCE"; exit 1; }
+# Crash the primary (no drain), promote the replica, require zero loss.
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+target/release/rwr promote --addr "$R_ADDR" | grep -q "at version 2" || {
+  echo "replication smoke: promote lost acknowledged history"; exit 1; }
+exec 3<>"/dev/tcp/$RHOST/$RPORT"
+printf '%s\n' "$QUERY" >&3
+read -t 10 -r PROMOTED_SCORES <&3
+printf '{"id":4,"op":"insert_edges","edges":[[8,9]]}\n' >&3
+read -t 10 -r WRITE_ACK <&3
+printf '{"op":"shutdown"}\n' >&3
+read -t 10 -r _ <&3 || true
+exec 3>&- 3<&-
+wait "$REPLICA_PID"
+REPLICA_PID=
+PROMOTED_SCORES=$(strip_volatile "$PROMOTED_SCORES")
+if [[ "$PRIMARY_SCORES" != "$PROMOTED_SCORES" ]]; then
+  echo "replication smoke: promoted replica diverged from pre-crash primary:"
+  echo " primary:  $PRIMARY_SCORES"
+  echo " promoted: $PROMOTED_SCORES"
+  exit 1
+fi
+grep -q '"version":3' <<< "$WRITE_ACK" || {
+  echo "replication smoke: promoted replica not writable/monotonic: $WRITE_ACK"; exit 1; }
+
+echo "==> bench_replication smoke (steady-state, catch-up, bit-identity gate)"
+RESACC_BENCH_REPL_NODES=300 RESACC_BENCH_REPL_MUTATIONS=120 \
+RESACC_BENCH_REPL_SNAPSHOT_EVERY=16 \
+  target/release/bench_replication "$SMOKE_DIR/BENCH_replication.json" > /dev/null
 
 echo "==> all checks passed"

@@ -207,3 +207,119 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+// ---------------------------------------------------------------------------
+// `Wal::retain_after` edge cases (deterministic, not property-based).
+// ---------------------------------------------------------------------------
+
+use resacc::durability::wal::{self, Wal};
+
+fn ins(i: u64) -> MutationOp {
+    MutationOp::InsertEdges(vec![(i as u32 % 64, (i as u32 + 1) % 64)])
+}
+
+/// Compacting past every record leaves a header-only log that is still a
+/// live append target, and reports exactly the dropped record bytes.
+#[test]
+fn retain_after_compacts_to_zero_records_and_appends_continue() {
+    let dir = scratch();
+    let mut w = Wal::open(&dir, 0, false).unwrap();
+    let mut record_bytes = 0;
+    for v in 1..=5 {
+        record_bytes += w.append(v, &ins(v)).unwrap();
+    }
+    // Target beyond the newest record: every record is covered.
+    let dropped = w.retain_after(99).unwrap();
+    assert_eq!(dropped, record_bytes, "exactly the record bytes drop");
+    let s = wal::scan(&dir.join("wal.log")).unwrap();
+    assert!(s.records.is_empty(), "compacted to zero records");
+    assert_eq!(s.valid_len, 8, "header-only log");
+    // Appends continue into the compacted log.
+    w.append(6, &ins(6)).unwrap();
+    let s = wal::scan(&dir.join("wal.log")).unwrap();
+    assert_eq!(s.records.len(), 1);
+    assert_eq!(s.records[0].version, 6);
+    assert_eq!(s.truncated_bytes, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A target equal to the newest record's version drops the whole log
+/// (retention is `version > target`), a second identical compaction is a
+/// zero-byte no-op, and a mid-log target keeps exactly the suffix.
+#[test]
+fn retain_after_target_equal_to_newest_record() {
+    let dir = scratch();
+    let mut w = Wal::open(&dir, 0, false).unwrap();
+    for v in 1..=4 {
+        w.append(v, &ins(v)).unwrap();
+    }
+    let full = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    let dropped = w.retain_after(4).unwrap();
+    assert_eq!(dropped, full - 8, "everything but the header drops");
+    assert!(wal::scan(&dir.join("wal.log")).unwrap().records.is_empty());
+    assert_eq!(w.retain_after(4).unwrap(), 0, "already compacted: no-op");
+    w.append(5, &ins(5)).unwrap();
+    w.append(6, &ins(6)).unwrap();
+    assert!(w.retain_after(5).unwrap() > 0);
+    let versions: Vec<u64> = wal::scan(&dir.join("wal.log"))
+        .unwrap()
+        .records
+        .iter()
+        .map(|r| r.version)
+        .collect();
+    assert_eq!(versions, vec![6], "only records past the target survive");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Compaction racing live appends: one thread mutates a durable session
+/// while another checkpoints (snapshot + `retain_after`) in a tight loop.
+/// Whatever interleaving lands, nothing acknowledged is lost and an
+/// uncheckpointed reopen restores the final graph bit-identically.
+#[test]
+fn retain_after_interleaved_with_concurrent_appends() {
+    let dir = scratch();
+    let opts = DurabilityOptions {
+        fsync: false,
+        snapshot_every: 0, // compaction comes only from explicit checkpoints
+    };
+    let g = {
+        let mut b = GraphBuilder::new(64);
+        for i in 0..63u32 {
+            b.add_edge(i, i + 1);
+        }
+        b.build()
+    };
+    let total = 200u64;
+    {
+        let base = g.clone();
+        let rec = open_dir(&dir, opts, move || Ok(base)).unwrap();
+        let params = RwrParams::for_graph(rec.graph.num_nodes());
+        let session = RwrSession::from_recovered(rec, params, ResAccConfig::default());
+        std::thread::scope(|scope| {
+            let mutator = scope.spawn(|| {
+                for i in 0..total {
+                    match ins(i) {
+                        MutationOp::InsertEdges(e) => session.insert_edges(&e),
+                        _ => unreachable!(),
+                    }
+                }
+            });
+            let checkpointer = scope.spawn(|| {
+                while session.version() < total {
+                    session.checkpoint().unwrap();
+                    std::thread::yield_now();
+                }
+            });
+            mutator.join().unwrap();
+            checkpointer.join().unwrap();
+        });
+        assert_eq!(session.version(), total, "every append acknowledged");
+    } // dropped without a final checkpoint: recovery must cover the tail
+    let expected = (0..total).fold(g.clone(), |g, i| ins(i).apply(&g));
+    let rec = open_dir(&dir, opts, move || Ok(g)).unwrap();
+    assert_eq!(rec.version, total, "compaction lost acknowledged history");
+    let a = resacc_graph::binary::to_bytes(&expected);
+    let b = resacc_graph::binary::to_bytes(&rec.graph);
+    assert_eq!(&a[..], &b[..], "recovered state diverged from the history");
+    std::fs::remove_dir_all(&dir).ok();
+}
