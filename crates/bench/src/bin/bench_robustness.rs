@@ -107,6 +107,7 @@ fn drive(
         chaos: true,
         shutdown_after: false,
         write_mix: 0.0,
+        delete_mix: 0.0,
     })
     .expect("loadgen run")
 }

@@ -37,6 +37,15 @@ serve options:
                                       (default 1; capped at cores/workers)
   --chaos <spec>                      fault injection, e.g. panic=10,
                                       delay=16:5,expire=7,seed=42
+  --dynamic-eps <f>                   per-entry error budget for dynamic
+                                      cache upgrades across edge mutations
+                                      (default 0 = disabled; cached entries
+                                      roll forward by offset propagation
+                                      while their accumulated error claim
+                                      stays below this)
+  --dynamic-delta <f>                 offset push threshold δ (default
+                                      1e-4; smaller = tighter upgrades,
+                                      more push work)
   --data-dir <dir>                    durable mutations: WAL + snapshots in
                                       <dir>, recovered on startup (default:
                                       in-memory only)
@@ -72,6 +81,10 @@ loadgen options:
   --write-mix <p>                     fraction of requests sent as
                                       deterministic insert_edges mutations
                                       (default 0; seed-derived endpoints)
+  --delete-mix <p>                    fraction of requests sent as
+                                      deterministic delete_node mutations
+                                      (default 0; exercises the upgrade
+                                      fallback/invalidation path)
   --chaos                             expect typed fault errors (report,
                                       don't fail, on shed/timeout/panic)
   --shutdown                          shut the server down after the run and
@@ -133,6 +146,9 @@ pub struct Cli {
     pub replication_listen: Option<String>,
     pub replicate_from: Option<String>,
     pub write_mix: f64,
+    pub delete_mix: f64,
+    pub dynamic_eps: f64,
+    pub dynamic_delta: f64,
 }
 
 impl Cli {
@@ -185,6 +201,9 @@ impl Cli {
             replication_listen: None,
             replicate_from: None,
             write_mix: 0.0,
+            delete_mix: 0.0,
+            dynamic_eps: 0.0,
+            dynamic_delta: 1e-4,
         };
         let mut have_source = false;
         let mut have_target = false;
@@ -244,6 +263,15 @@ impl Cli {
                 }
                 "--replicate-from" => cli.replicate_from = Some(value("--replicate-from")?),
                 "--write-mix" => cli.write_mix = parse_num(&value("--write-mix")?, "--write-mix")?,
+                "--delete-mix" => {
+                    cli.delete_mix = parse_num(&value("--delete-mix")?, "--delete-mix")?
+                }
+                "--dynamic-eps" => {
+                    cli.dynamic_eps = parse_num(&value("--dynamic-eps")?, "--dynamic-eps")?
+                }
+                "--dynamic-delta" => {
+                    cli.dynamic_delta = parse_num(&value("--dynamic-delta")?, "--dynamic-delta")?
+                }
                 "--fsync" => {
                     cli.fsync = match value("--fsync")?.as_str() {
                         "always" => true,
@@ -266,6 +294,15 @@ impl Cli {
         }
         if !(0.0..=1.0).contains(&cli.write_mix) {
             return Err("--write-mix must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&cli.delete_mix) {
+            return Err("--delete-mix must be in [0,1]".into());
+        }
+        if cli.dynamic_eps < 0.0 {
+            return Err("--dynamic-eps must be non-negative".into());
+        }
+        if cli.dynamic_delta <= 0.0 {
+            return Err("--dynamic-delta must be positive".into());
         }
         if cli.replicate_from.is_some() && cli.data_dir.is_none() {
             // A replica acks only durably-applied records; without a data
@@ -456,6 +493,26 @@ mod tests {
         assert!((cli.write_mix - 0.2).abs() < 1e-12);
         assert!(parse("loadgen --write-mix 1.5").is_err());
         assert!(parse("loadgen --write-mix -0.1").is_err());
+    }
+
+    #[test]
+    fn dynamic_flags() {
+        // Defaults: upgrades disabled, δ = 1e-4, no delete traffic.
+        let cli = parse("serve --graph g.txt").unwrap();
+        assert_eq!(cli.dynamic_eps, 0.0);
+        assert!((cli.dynamic_delta - 1e-4).abs() < 1e-18);
+        assert_eq!(cli.delete_mix, 0.0);
+
+        let cli = parse("serve --graph g.txt --dynamic-eps 0.01 --dynamic-delta 1e-5").unwrap();
+        assert!((cli.dynamic_eps - 0.01).abs() < 1e-12);
+        assert!((cli.dynamic_delta - 1e-5).abs() < 1e-18);
+        assert!(parse("serve --graph g.txt --dynamic-eps -1").is_err());
+        assert!(parse("serve --graph g.txt --dynamic-delta 0").is_err());
+
+        let cli = parse("loadgen --addr 127.0.0.1:9 --write-mix 0.2 --delete-mix 0.05").unwrap();
+        assert!((cli.delete_mix - 0.05).abs() < 1e-12);
+        assert!(parse("loadgen --delete-mix 2").is_err());
+        assert!(parse("loadgen --delete-mix -0.1").is_err());
     }
 
     #[test]

@@ -245,6 +245,12 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
     if !faults.is_empty() {
         println!("# CHAOS fault plan active: {faults}");
     }
+    if cli.dynamic_eps > 0.0 {
+        println!(
+            "# dynamic cache upgrades: eps={}, delta={}",
+            cli.dynamic_eps, cli.dynamic_delta
+        );
+    }
     println!("listening on {addr}");
     std::io::stdout().flush().ok();
     let served = resacc_service::serve(
@@ -262,6 +268,8 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             faults,
             recovery,
             replication,
+            dynamic_eps: cli.dynamic_eps,
+            dynamic_delta: cli.dynamic_delta,
             ..resacc_service::ServerConfig::default()
         },
     )
@@ -317,6 +325,7 @@ pub fn loadgen(cli: &Cli) -> Result<(), String> {
         deadline_ms: cli.deadline_ms,
         threads: cli.threads,
         write_mix: cli.write_mix,
+        delete_mix: cli.delete_mix,
         chaos: cli.chaos,
         shutdown_after: cli.shutdown_after,
     })
@@ -380,6 +389,9 @@ mod tests {
             replication_listen: None,
             replicate_from: None,
             write_mix: 0.0,
+            delete_mix: 0.0,
+            dynamic_eps: 0.0,
+            dynamic_delta: 1e-4,
         }
     }
 

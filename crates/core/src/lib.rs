@@ -56,6 +56,7 @@ pub mod bepi;
 pub mod bippr;
 pub mod cancel;
 pub mod durability;
+pub mod dynamic;
 pub mod engine;
 pub mod exact;
 pub mod fora;

@@ -28,6 +28,7 @@
 
 use crate::cancel::{Cancel, QueryError};
 use crate::durability::{Durability, DurabilityError, MutationOp, Recovered};
+use crate::dynamic::{self, DeltaChange, DeltaLog, UpgradeError, Upgraded};
 use crate::params::RwrParams;
 use crate::resacc::{ResAcc, ResAccConfig, ResAccResult};
 use crate::state::ForwardState;
@@ -63,6 +64,10 @@ pub struct RwrSession {
     /// mutations that are already durable (the WAL append precedes it).
     /// This is the replication publish hook ([`crate::replication`]).
     observer: Option<MutationObserver>,
+    /// Recent per-version row deltas, recorded under the write lock so the
+    /// stream is contiguous — the raw material for offset-propagation cache
+    /// upgrades ([`crate::dynamic`]).
+    deltas: Mutex<DeltaLog>,
 }
 
 /// Callback invoked for every applied (and, with a store attached, already
@@ -98,6 +103,7 @@ impl RwrSession {
             threads: AtomicUsize::new(config.threads.max(1)),
             durability: None,
             observer: None,
+            deltas: Mutex::new(DeltaLog::new(dynamic::DEFAULT_DELTA_WINDOW)),
         }
     }
 
@@ -284,7 +290,36 @@ impl RwrSession {
         if let Some(store) = &self.durability {
             store.log_mutation(next, op)?;
         }
+        // Capture the pre-mutation out-rows of the touched sources for the
+        // delta log: edge-level ops are offset-upgradeable, `delete_node`
+        // (which also rewrites every in-neighbour's row) is not.
+        let captured: Option<Vec<(NodeId, Vec<NodeId>)>> = match op {
+            MutationOp::InsertEdges(edges) | MutationOp::DeleteEdges(edges) => {
+                let n = state.graph.num_nodes();
+                if edges
+                    .iter()
+                    .any(|&(u, v)| u as usize >= n || v as usize >= n)
+                {
+                    None
+                } else {
+                    let mut sources: Vec<NodeId> = edges.iter().map(|&(u, _)| u).collect();
+                    sources.sort_unstable();
+                    sources.dedup();
+                    Some(
+                        sources
+                            .into_iter()
+                            .map(|u| (u, state.graph.out_neighbors(u).to_vec()))
+                            .collect(),
+                    )
+                }
+            }
+            MutationOp::DeleteNode(_) => None,
+        };
         let graph = op.apply(&state.graph);
+        let change = match captured {
+            Some(rows) if graph.num_nodes() == state.graph.num_nodes() => DeltaChange::Rows(rows),
+            _ => DeltaChange::Unsupported,
+        };
         if graph.num_nodes() != state.graph.num_nodes() {
             state.params = RwrParams::for_graph(graph.num_nodes());
             // Pooled workspaces are sized for the old node count; they are
@@ -292,6 +327,9 @@ impl RwrSession {
         }
         state.graph = graph;
         self.version.store(next, Ordering::Release);
+        // Still under the write lock: the log sees every version exactly
+        // once, in order.
+        self.deltas.lock().record(next, change);
         if let Some(observer) = &self.observer {
             // Still under the write lock: observers see a gap-free,
             // version-ordered stream of durable mutations.
@@ -328,7 +366,53 @@ impl RwrSession {
         }
         state.graph = graph;
         self.version.store(version, Ordering::Release);
+        // A snapshot jumps the version counter: spans across it can never
+        // be rolled forward, so the retained deltas are useless.
+        self.deltas.lock().clear();
         Ok(())
+    }
+
+    /// Rolls a score vector cached at `from_version` forward to the current
+    /// graph by offset propagation ([`crate::dynamic`]), pushing until the
+    /// signed residual drops below `delta` per out-edge. Returns the
+    /// upgraded vector (with its incremental error claim) and the version
+    /// it is now valid at.
+    ///
+    /// Errs when the span contains a non-edge-level mutation
+    /// ([`UpgradeError::Unsupported`]) or is no longer covered by the
+    /// session's delta window ([`UpgradeError::WindowExceeded`]) — callers
+    /// fall back to a cold query.
+    pub fn try_upgrade_scores(
+        &self,
+        scores: &[f64],
+        from_version: u64,
+        delta: f64,
+    ) -> Result<(Upgraded, u64), UpgradeError> {
+        let state = self.state.read();
+        let version = self.version.load(Ordering::Acquire);
+        if from_version > version {
+            return Err(UpgradeError::WindowExceeded);
+        }
+        if scores.len() != state.graph.num_nodes() {
+            return Err(UpgradeError::Unsupported);
+        }
+        if from_version == version {
+            return Ok((
+                Upgraded {
+                    scores: scores.to_vec(),
+                    err_bound: 0.0,
+                    pushes: 0,
+                },
+                version,
+            ));
+        }
+        let rows = self.deltas.lock().rows_between(from_version, version)?;
+        let mut ws = self.checkout(state.graph.num_nodes());
+        let alpha = state.params.alpha;
+        let upgraded = dynamic::upgrade_scores(&state.graph, scores, &rows, alpha, delta, &mut ws);
+        drop(state);
+        self.check_in(ws);
+        Ok((upgraded, version))
     }
 
     /// Writes a snapshot at the current version and compacts the WAL — the
@@ -463,6 +547,75 @@ mod tests {
         assert_eq!(session.version(), 3);
         session.delete_edges(&[(9, 9)]); // absent edge: still bumps
         assert_eq!(session.version(), 4);
+    }
+
+    #[test]
+    fn upgraded_scores_track_mutations_within_claimed_error() {
+        let session = RwrSession::new(gen::barabasi_albert(150, 3, 21));
+        let cached = session.query(4, 9).scores;
+        let at = session.version();
+        session.insert_edges(&[(4, 120), (60, 4)]);
+        session.delete_edges(&[(4, 120)]);
+        let (up, version) = session
+            .try_upgrade_scores(&cached, at, 1e-5)
+            .expect("edge-level span must upgrade");
+        assert_eq!(version, session.version());
+        // The upgraded vector must agree with a fresh query to within the
+        // offset claim plus both engine approximations (triangle bound).
+        let fresh = session.query(4, 9).scores;
+        let params = session.params();
+        for (t, (a, b)) in up.scores.iter().zip(&fresh).enumerate() {
+            let tol = up.err_bound + params.epsilon * (b + a) + 2.0 * params.delta;
+            let diff = (a - b).abs();
+            assert!(diff <= tol, "node {t}: {diff} > {tol}");
+        }
+    }
+
+    #[test]
+    fn upgrade_refuses_unsupported_and_stale_spans() {
+        use crate::dynamic::UpgradeError;
+        let session = RwrSession::new(gen::erdos_renyi(80, 400, 13));
+        let cached = session.query(0, 1).scores;
+        session.delete_node(40);
+        assert_eq!(
+            session.try_upgrade_scores(&cached, 0, 1e-4).unwrap_err(),
+            UpgradeError::Unsupported
+        );
+        // A from-version ahead of the session is nonsense: refused.
+        assert_eq!(
+            session.try_upgrade_scores(&cached, 99, 1e-4).unwrap_err(),
+            UpgradeError::WindowExceeded
+        );
+        // Same-version "upgrade" is free and exact.
+        let v = session.version();
+        let fresh = session.query(0, 1).scores;
+        let (up, at) = session.try_upgrade_scores(&fresh, v, 1e-4).unwrap();
+        assert_eq!(at, v);
+        assert_eq!(up.err_bound, 0.0);
+        assert_eq!(up.scores, fresh);
+    }
+
+    #[test]
+    fn upgrade_is_bitwise_thread_independent() {
+        let mk = |threads: usize| {
+            RwrSession::with_config(
+                gen::barabasi_albert(200, 3, 5),
+                RwrParams::for_graph(200),
+                ResAccConfig::default().with_threads(threads),
+            )
+        };
+        let one = mk(1);
+        let four = mk(4);
+        let (a0, _) = one.try_query_versioned(3, 42, &Cancel::never()).unwrap();
+        let (b0, _) = four.try_query_versioned(3, 42, &Cancel::never()).unwrap();
+        one.insert_edges(&[(3, 150), (150, 7)]);
+        four.insert_edges(&[(3, 150), (150, 7)]);
+        let (ua, _) = one.try_upgrade_scores(&a0.scores, 0, 1e-5).unwrap();
+        let (ub, _) = four.try_upgrade_scores(&b0.scores, 0, 1e-5).unwrap();
+        assert_eq!(ua.err_bound.to_bits(), ub.err_bound.to_bits());
+        for (t, (x, y)) in ua.scores.iter().zip(&ub.scores).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "scores[{t}] differ across threads");
+        }
     }
 
     #[test]

@@ -12,6 +12,16 @@
 //! queue front and discards pairs whose stamp no longer matches (the entry
 //! was touched again later, or already evicted). Amortized O(1), no
 //! unsafe, no intrusive lists.
+//!
+//! With the dynamic upgrade path ([`resacc::dynamic`]) enabled, stale
+//! entries are raw material rather than garbage: a miss at version `v+k`
+//! can find this source's entry at version `v` ([`ResultCache::best_older`])
+//! and roll it forward by offset propagation. Each entry therefore carries
+//! its accumulated additive error claim (`err_bound`, 0 for cold results),
+//! which the scheduler budgets against `--dynamic-eps`. `delete_node` is
+//! not offset-expressible, so the scheduler purges the cache outright
+//! ([`ResultCache::purge`]) rather than leaving entries that could only
+//! produce fallbacks.
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -36,7 +46,24 @@ pub struct CompKey {
 
 struct Entry {
     scores: Arc<Vec<f64>>,
+    /// Accumulated additive error claim: 0 for cold results, the running
+    /// sum of offset residual norms for upgraded ones.
+    err_bound: f64,
     stamp: u64,
+}
+
+/// Distribution of per-entry error claims across the live cache, for the
+/// `stats` wire op.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ErrBoundStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Entries with a non-zero claim (i.e. produced by upgrades).
+    pub upgraded: usize,
+    /// Largest claim.
+    pub max: f64,
+    /// Mean claim across all live entries (0.0 when empty).
+    pub mean: f64,
 }
 
 struct Inner {
@@ -97,16 +124,30 @@ impl ResultCache {
         Some(scores)
     }
 
-    /// Inserts a computed result, evicting least-recently-used entries as
-    /// needed. Inserting an existing key refreshes it.
+    /// Inserts a cold (exactly-as-computed) result, evicting
+    /// least-recently-used entries as needed. Inserting an existing key
+    /// refreshes it.
     pub fn insert(&self, key: CompKey, scores: Arc<Vec<f64>>) {
+        self.insert_with_err(key, scores, 0.0);
+    }
+
+    /// Inserts a result carrying an accumulated error claim (the upgrade
+    /// path; cold results use [`ResultCache::insert`]).
+    pub fn insert_with_err(&self, key: CompKey, scores: Arc<Vec<f64>>, err_bound: f64) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let stamp = inner.clock;
-        inner.map.insert(key, Entry { scores, stamp });
+        inner.map.insert(
+            key,
+            Entry {
+                scores,
+                err_bound,
+                stamp,
+            },
+        );
         inner.recency.push_back((key, stamp));
         while inner.map.len() > self.capacity {
             let (victim, stamp) = inner
@@ -119,6 +160,61 @@ impl ResultCache {
             // Stale pair (entry touched later, or gone): skip.
         }
         Self::drain_stale(&mut inner);
+    }
+
+    /// Finds this computation's freshest entry at an *older* graph version
+    /// (same source, params, and seed; max version strictly below
+    /// `key.version`) — the upgrade candidate on a miss. Does not refresh
+    /// recency: only a successful upgrade (reinserted at the new version)
+    /// should keep the lineage warm. Returns the entry's key, scores, and
+    /// accumulated error claim.
+    pub fn best_older(&self, key: &CompKey) -> Option<(CompKey, Arc<Vec<f64>>, f64)> {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .iter()
+            .filter(|(k, _)| {
+                k.source == key.source
+                    && k.params_hash == key.params_hash
+                    && k.seed == key.seed
+                    && k.version < key.version
+            })
+            .max_by_key(|(k, _)| k.version)
+            .map(|(k, e)| (*k, e.scores.clone(), e.err_bound))
+    }
+
+    /// Drops every entry (the `delete_node` path: no entry survives a
+    /// non-offset-expressible mutation). Returns how many were dropped.
+    pub fn purge(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let dropped = inner.map.len();
+        inner.map.clear();
+        inner.recency.clear();
+        dropped
+    }
+
+    /// Distribution of per-entry error claims, for observability.
+    pub fn err_bound_stats(&self) -> ErrBoundStats {
+        let inner = self.inner.lock();
+        let entries = inner.map.len();
+        let mut upgraded = 0usize;
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        for e in inner.map.values() {
+            if e.err_bound > 0.0 {
+                upgraded += 1;
+            }
+            if e.err_bound > max {
+                max = e.err_bound;
+            }
+            sum += e.err_bound;
+        }
+        ErrBoundStats {
+            entries,
+            upgraded,
+            max,
+            mean: if entries == 0 { 0.0 } else { sum / entries as f64 },
+        }
     }
 
     /// Pops leading recency pairs that no longer identify a live entry.
@@ -203,6 +299,48 @@ mod tests {
         cache.insert(key(3, 0, 0), val(3.0));
         assert!(cache.get(&key(2, 0, 0)).is_none());
         assert_eq!(cache.get(&key(1, 0, 0)).unwrap()[0], 1.5);
+    }
+
+    #[test]
+    fn best_older_picks_freshest_matching_lineage() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(1, 0, 7), val(0.1));
+        cache.insert_with_err(key(1, 3, 7), val(0.3), 1e-5);
+        cache.insert(key(1, 4, 8), val(0.4)); // wrong seed: not this lineage
+        cache.insert(key(2, 4, 7), val(0.2)); // wrong source
+        let (k, scores, err) = cache.best_older(&key(1, 5, 7)).expect("older entry exists");
+        assert_eq!(k.version, 3);
+        assert_eq!(scores[0], 0.3);
+        assert_eq!(err, 1e-5);
+        // Strictly older only: nothing below version 0.
+        assert!(cache.best_older(&key(1, 0, 7)).is_none());
+    }
+
+    #[test]
+    fn purge_empties_and_counts() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1, 0, 0), val(1.0));
+        cache.insert_with_err(key(2, 1, 0), val(2.0), 0.5);
+        assert_eq!(cache.purge(), 2);
+        assert!(cache.is_empty());
+        assert!(cache.best_older(&key(1, 9, 0)).is_none());
+        // The cache keeps working after a purge.
+        cache.insert(key(3, 2, 0), val(3.0));
+        assert!(cache.get(&key(3, 2, 0)).is_some());
+    }
+
+    #[test]
+    fn err_bound_stats_summarize_claims() {
+        let cache = ResultCache::new(8);
+        assert_eq!(cache.err_bound_stats(), ErrBoundStats::default());
+        cache.insert(key(1, 0, 0), val(1.0));
+        cache.insert_with_err(key(2, 1, 0), val(2.0), 2e-4);
+        cache.insert_with_err(key(3, 1, 0), val(3.0), 4e-4);
+        let stats = cache.err_bound_stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.upgraded, 2);
+        assert_eq!(stats.max, 4e-4);
+        assert!((stats.mean - 2e-4).abs() < 1e-12);
     }
 
     #[test]

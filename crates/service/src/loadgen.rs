@@ -57,6 +57,13 @@ pub struct LoadgenConfig {
     /// mutation stream for replication benchmarks and chaos runs. `0`
     /// leaves the request stream exactly as it was without the knob.
     pub write_mix: f64,
+    /// Fraction of requests in [0, 1] issued as `delete_node` mutations
+    /// with a seed-derived target node — deterministic traffic for the
+    /// cache-upgrade fallback/invalidation path (`delete_node` is not
+    /// offset-expressible, see [`resacc::dynamic`]). Drawn after the
+    /// write-mix decision from the same stream; `0` leaves the stream
+    /// exactly as it was without the knob.
+    pub delete_mix: f64,
     /// Chaos mode: typed error responses (`overloaded`,
     /// `deadline_exceeded`, `internal_panic`) are *expected* outcomes of a
     /// fault-injection run — they are classified and reported rather than
@@ -81,6 +88,7 @@ impl Default for LoadgenConfig {
             deadline_ms: 0,
             threads: 0,
             write_mix: 0.0,
+            delete_mix: 0.0,
             chaos: false,
             shutdown_after: false,
         }
@@ -94,6 +102,8 @@ pub struct LoadgenReport {
     pub completed: u64,
     /// `insert_edges` mutations completed successfully (`--write-mix`).
     pub writes: u64,
+    /// `delete_node` mutations completed successfully (`--delete-mix`).
+    pub deletes: u64,
     /// Queries that failed (connection or protocol errors, plus typed
     /// errors — the typed classes are also broken out below).
     pub errors: u64,
@@ -128,7 +138,7 @@ impl LoadgenReport {
     /// Human-readable summary.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "completed   {:>10}  ({} writes, {} errors)\n\
+            "completed   {:>10}  ({} writes, {} deletes, {} errors)\n\
              faults      {:>10} shed / {} timeouts / {} panics\n\
              elapsed     {:>10.2} s\n\
              throughput  {:>10.1} q/s\n\
@@ -136,6 +146,7 @@ impl LoadgenReport {
              server      hit rate {:.1}% · {} coalesced\n",
             self.completed,
             self.writes,
+            self.deletes,
             self.errors,
             self.shed,
             self.timeouts,
@@ -244,6 +255,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let latency = Arc::new(Histogram::new());
     let errors = Arc::new(AtomicU64::new(0));
     let writes = Arc::new(AtomicU64::new(0));
+    let deletes = Arc::new(AtomicU64::new(0));
     let shed = Arc::new(AtomicU64::new(0));
     let timeouts = Arc::new(AtomicU64::new(0));
     let panics = Arc::new(AtomicU64::new(0));
@@ -260,6 +272,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             let latency = latency.clone();
             let errors = errors.clone();
             let writes = writes.clone();
+            let deletes = deletes.clone();
             let shed = shed.clone();
             let timeouts = timeouts.clone();
             let panics = panics.clone();
@@ -278,12 +291,21 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                         // request stream runs recorded before the knob.
                         let is_write =
                             config.write_mix > 0.0 && rng.next_f64() < config.write_mix;
+                        // Drawn only when the knob is on, after the write
+                        // decision — so `--delete-mix 0` reproduces the
+                        // exact pre-knob stream, writes included.
+                        let is_delete = !is_write
+                            && config.delete_mix > 0.0
+                            && rng.next_f64() < config.delete_mix;
                         let request = if is_write {
                             let u = rng.next_u64() % n.max(1);
                             let v = rng.next_u64() % n.max(1);
                             format!(
                                 "{{\"id\":{id},\"op\":\"insert_edges\",\"edges\":[[{u},{v}]]}}\n"
                             )
+                        } else if is_delete {
+                            let node = rng.next_u64() % n.max(1);
+                            format!("{{\"id\":{id},\"op\":\"delete_node\",\"node\":{node}}}\n")
                         } else {
                             let rank = zipf.sample(rng.next_f64());
                             let source = rank_to_source(rank, n);
@@ -324,6 +346,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                             latency.record(sent.elapsed().as_nanos() as u64);
                             if is_write {
                                 writes.fetch_add(1, Ordering::Relaxed);
+                            } else if is_delete {
+                                deletes.fetch_add(1, Ordering::Relaxed);
                             }
                         } else {
                             errors.fetch_add(1, Ordering::Relaxed);
@@ -362,6 +386,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     Ok(LoadgenReport {
         completed,
         writes: writes.load(Ordering::Relaxed),
+        deletes: deletes.load(Ordering::Relaxed),
         errors: errors.load(Ordering::Relaxed),
         shed: shed.load(Ordering::Relaxed),
         timeouts: timeouts.load(Ordering::Relaxed),
@@ -477,6 +502,43 @@ mod tests {
         // The mutation stream is seed-derived: the graph version advanced
         // by exactly the number of acknowledged writes.
         assert_eq!(session.version(), report.writes);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn delete_mix_issues_deterministic_delete_node_traffic() {
+        let session = StdArc::new(RwrSession::new(gen::barabasi_albert(200, 3, 8)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session.clone(),
+            ServerConfig {
+                // Deletes against the live upgrade path: they purge the
+                // cache rather than leaving unsupported upgrade bait.
+                dynamic_eps: 0.05,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let config = LoadgenConfig {
+            addr: handle.addr().to_string(),
+            requests: 150,
+            connections: 2,
+            sources: 8,
+            write_mix: 0.2,
+            delete_mix: 0.1,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.completed, 150);
+        assert_eq!(report.errors, 0);
+        assert!(
+            report.deletes > 2 && report.deletes < 40,
+            "~8% of 150 requests should be deletes: {}",
+            report.deletes
+        );
+        assert!(report.writes > 10, "write mix still active: {}", report.writes);
+        // Every acknowledged mutation (insert or delete) bumped the version.
+        assert_eq!(session.version(), report.writes + report.deletes);
         handle.shutdown().unwrap();
     }
 }

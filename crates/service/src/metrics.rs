@@ -106,6 +106,15 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Requests merged onto an identical in-flight computation.
     pub coalesced: AtomicU64,
+    /// Cache entries rolled forward to the current graph version by offset
+    /// propagation instead of recomputing (the dynamic upgrade path).
+    pub cache_upgrades: AtomicU64,
+    /// Upgrade attempts abandoned for a cold compute (error budget
+    /// exhausted, unsupported delta shape, or stale delta window).
+    pub cache_upgrade_fallbacks: AtomicU64,
+    /// Entries dropped by explicit purges (`delete_node` is not
+    /// offset-expressible, so it empties the cache).
+    pub cache_invalidations: AtomicU64,
     /// Graph mutations applied.
     pub mutations: AtomicU64,
     /// Malformed or failed requests.
@@ -161,6 +170,12 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Coalesced (merged in-flight) requests.
     pub coalesced: u64,
+    /// Cache entries upgraded across versions by offset propagation.
+    pub cache_upgrades: u64,
+    /// Upgrade attempts that fell back to a cold compute.
+    pub cache_upgrade_fallbacks: u64,
+    /// Entries dropped by explicit purges.
+    pub cache_invalidations: u64,
     /// Graph mutations applied.
     pub mutations: u64,
     /// Errors.
@@ -216,6 +231,9 @@ impl Metrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            cache_upgrades: AtomicU64::new(0),
+            cache_upgrade_fallbacks: AtomicU64::new(0),
+            cache_invalidations: AtomicU64::new(0),
             mutations: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -251,6 +269,9 @@ impl Metrics {
             cache_hits: hits,
             cache_misses: misses,
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            cache_upgrades: self.cache_upgrades.load(Ordering::Relaxed),
+            cache_upgrade_fallbacks: self.cache_upgrade_fallbacks.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
             mutations: self.mutations.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
@@ -300,6 +321,15 @@ impl MetricsSnapshot {
             ("cache_hits".into(), Json::u64(self.cache_hits)),
             ("cache_misses".into(), Json::u64(self.cache_misses)),
             ("coalesced".into(), Json::u64(self.coalesced)),
+            ("cache_upgrades".into(), Json::u64(self.cache_upgrades)),
+            (
+                "cache_upgrade_fallbacks".into(),
+                Json::u64(self.cache_upgrade_fallbacks),
+            ),
+            (
+                "cache_invalidations".into(),
+                Json::u64(self.cache_invalidations),
+            ),
             ("mutations".into(), Json::u64(self.mutations)),
             ("errors".into(), Json::u64(self.errors)),
             ("shed".into(), Json::u64(self.shed)),
@@ -350,6 +380,7 @@ impl MetricsSnapshot {
              queries     {:>10}  ({:.1}/s)\n\
              cache       {:>10} hits / {} misses  (hit rate {:.1}%)\n\
              coalesced   {:>10}\n\
+             dynamic     {:>10} upgrades / {} fallbacks / {} invalidations\n\
              mutations   {:>10}\n\
              errors      {:>10}\n\
              overload    {:>10} shed / {} timeouts / {} panics\n\
@@ -366,6 +397,9 @@ impl MetricsSnapshot {
             self.cache_misses,
             self.hit_rate * 100.0,
             self.coalesced,
+            self.cache_upgrades,
+            self.cache_upgrade_fallbacks,
+            self.cache_invalidations,
             self.mutations,
             self.errors,
             self.shed,

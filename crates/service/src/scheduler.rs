@@ -228,6 +228,17 @@ pub struct SchedulerConfig {
     pub threads_per_query: usize,
     /// Fault-injection plan (tests / load generation only).
     pub faults: FaultPlan,
+    /// Per-entry error budget for dynamic cache upgrades: on a miss whose
+    /// lineage has an entry at an older version, the worker rolls it
+    /// forward by offset propagation ([`resacc::dynamic`]) as long as the
+    /// accumulated error claim stays below this. `0.0` (the default)
+    /// disables the upgrade path entirely — every version bump is an
+    /// implicit invalidation, exactly as before.
+    pub dynamic_eps: f64,
+    /// Push threshold δ for the offset propagation: signed residue is
+    /// pushed while `|r|/d_out ≥ δ`. Smaller is more accurate and more
+    /// work per upgrade.
+    pub dynamic_delta: f64,
 }
 
 impl Default for SchedulerConfig {
@@ -241,8 +252,17 @@ impl Default for SchedulerConfig {
             retry_after_ms: 50,
             threads_per_query: 1,
             faults: FaultPlan::default(),
+            dynamic_eps: 0.0,
+            dynamic_delta: 1e-4,
         }
     }
+}
+
+/// Worker-side view of the dynamic-upgrade knobs.
+#[derive(Clone, Copy)]
+struct DynamicPolicy {
+    eps: f64,
+    delta: f64,
 }
 
 /// How many intra-query threads each of `workers` concurrently-running
@@ -407,10 +427,14 @@ impl Scheduler {
                 metrics: metrics.clone(),
                 load: load.clone(),
             };
+            let dynamic = DynamicPolicy {
+                eps: config.dynamic_eps.max(0.0),
+                delta: config.dynamic_delta,
+            };
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rwr-worker-{w}"))
-                    .spawn(move || worker_loop(job_rx, session, cache, ctx, inflight))
+                    .spawn(move || worker_loop(job_rx, session, cache, ctx, inflight, dynamic))
                     .expect("spawn worker"),
             );
         }
@@ -508,6 +532,15 @@ impl Scheduler {
     pub fn apply(&self, op: &MutationOp) -> Result<u64, DurabilityError> {
         let version = self.session.apply_mutation(op)?;
         self.metrics.mutations.fetch_add(1, Relaxed);
+        if matches!(op, MutationOp::DeleteNode(_)) {
+            // Not offset-expressible: cached entries can never be rolled
+            // across this version, so drop them outright rather than
+            // leaving upgrade bait that always falls back.
+            let purged = self.cache.purge();
+            self.metrics
+                .cache_invalidations
+                .fetch_add(purged as u64, Relaxed);
+        }
         Ok(version)
     }
 }
@@ -682,20 +715,99 @@ fn dispatch_loop(
     }
 }
 
+/// Attempts to serve a missed computation by rolling its lineage's
+/// freshest older cache entry forward to the current version (offset
+/// propagation, [`resacc::dynamic`]). `None` means "pay for the cold
+/// query": no older entry (a plain miss, not counted), or the attempt was
+/// abandoned (error budget exhausted / unsupported span — counted as a
+/// fallback).
+fn try_upgrade(
+    session: &RwrSession,
+    cache: &ResultCache,
+    metrics: &Metrics,
+    key: &CompKey,
+    dynamic: DynamicPolicy,
+) -> Option<(Arc<Vec<f64>>, u64)> {
+    let (old_key, old_scores, old_err) = cache.best_older(key)?;
+    if old_err >= dynamic.eps {
+        metrics.cache_upgrade_fallbacks.fetch_add(1, Relaxed);
+        return None;
+    }
+    match session.try_upgrade_scores(&old_scores, old_key.version, dynamic.delta) {
+        Ok((up, version)) => {
+            let total = old_err + up.err_bound;
+            if total > dynamic.eps {
+                metrics.cache_upgrade_fallbacks.fetch_add(1, Relaxed);
+                return None;
+            }
+            let scores = Arc::new(up.scores);
+            // Stamped with the version the upgrade actually reached (a
+            // racing mutation may have moved it past `key.version`) — same
+            // rule as the cold path.
+            cache.insert_with_err(CompKey { version, ..*key }, scores.clone(), total);
+            metrics.cache_upgrades.fetch_add(1, Relaxed);
+            Some((scores, version))
+        }
+        Err(_) => {
+            metrics.cache_upgrade_fallbacks.fetch_add(1, Relaxed);
+            None
+        }
+    }
+}
+
 fn worker_loop(
     job_rx: Receiver<Job>,
     session: Arc<RwrSession>,
     cache: Arc<ResultCache>,
     ctx: ReplyCtx,
     inflight: Arc<InflightMap>,
+    dynamic: DynamicPolicy,
 ) {
     while let Ok(job) = job_rx.recv() {
+        // Fault delays apply to either serving path (they model slow
+        // computation; sleeping cannot panic, so it sits outside the
+        // unwind boundary).
+        if let Some(d) = job.delay {
+            std::thread::sleep(d);
+        }
+
+        // Upgrade-then-serve: cheaper than a cold query when this
+        // lineage has a recent entry and the span is edge-level only.
+        // Skipped for sabotaged jobs — they must reach the panic site.
+        if dynamic.eps > 0.0 && !job.fault_panic {
+            let upgraded = catch_unwind(AssertUnwindSafe(|| {
+                try_upgrade(&session, &cache, &ctx.metrics, &job.key, dynamic)
+            }))
+            .unwrap_or(None);
+            if let Some((scores, version)) = upgraded {
+                let waiters = match job.direct {
+                    Some(w) => vec![w],
+                    None => inflight.lock().remove(&job.key).unwrap_or_default(),
+                };
+                for w in waiters {
+                    let latency = w.enqueued.elapsed().as_nanos() as u64;
+                    ctx.send_ok(
+                        &w.reply,
+                        QueryResponse {
+                            id: w.id,
+                            source: job.key.source,
+                            seed: job.key.seed,
+                            version,
+                            // Served from the (upgraded) cache: no engine
+                            // run happened for this request.
+                            cached: true,
+                            scores: scores.clone(),
+                            latency_ns: latency,
+                        },
+                    );
+                }
+                continue;
+            }
+        }
+
         // The unwind boundary wraps ONLY the computation; waiter cleanup
         // happens after, so even a panicking query answers every waiter.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if let Some(d) = job.delay {
-                std::thread::sleep(d);
-            }
             if job.fault_panic {
                 panic!("injected panic");
             }
@@ -901,6 +1013,98 @@ mod tests {
         assert_eq!(after.version, 1);
         assert_ne!(before.scores, after.scores);
         assert_eq!(s.metrics().snapshot().mutations, 1);
+    }
+
+    fn mk_dynamic(eps: f64) -> Scheduler {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(400, 4, 77)));
+        Scheduler::new(
+            session,
+            SchedulerConfig {
+                workers: 2,
+                cache_capacity: 64,
+                dynamic_eps: eps,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn upgrade_path_serves_across_edge_mutations() {
+        let s = mk_dynamic(0.05);
+        let r = req(1, 0, Some(5));
+        let before = s.query(r).unwrap();
+        assert!(!before.cached);
+        s.apply(&MutationOp::InsertEdges(vec![(0, 399), (120, 0)]))
+            .unwrap();
+        let after = s.query(QueryRequest { id: 2, ..r }).unwrap();
+        assert!(after.cached, "upgraded entries serve as cache hits");
+        assert_eq!(after.version, 1);
+        let m = s.metrics().snapshot();
+        assert_eq!(m.cache_upgrades, 1);
+        assert_eq!(m.cache_upgrade_fallbacks, 0);
+        // The upgraded vector tracks a fresh engine run to within the
+        // claimed offset error plus both runs' engine tolerances.
+        let session = s.session().clone();
+        let fresh = session.query(0, 5).scores;
+        let params = session.params();
+        let err_bound = s.cache().err_bound_stats().max;
+        for (t, (a, b)) in after.scores.iter().zip(&fresh).enumerate() {
+            let tol = err_bound + params.epsilon * (b + a) + 2.0 * params.delta;
+            let diff = (a - b).abs();
+            assert!(diff <= tol, "node {t}: {diff} > {tol}");
+        }
+        // The upgraded entry is now a plain hit at the new version.
+        let third = s.query(QueryRequest { id: 3, ..r }).unwrap();
+        assert!(third.cached);
+        assert_eq!(s.metrics().snapshot().cache_upgrades, 1);
+    }
+
+    #[test]
+    fn unsupported_span_counts_a_fallback_and_recomputes() {
+        let s = mk_dynamic(0.05);
+        let r = req(1, 0, Some(5));
+        s.query(r).unwrap();
+        // A closure-path delete_node bypasses the purge in `apply`, so the
+        // stale entry stays and the upgrade attempt must hit the delta
+        // log's Unsupported marker.
+        s.mutate(|sess| sess.delete_node(300));
+        let after = s.query(QueryRequest { id: 2, ..r }).unwrap();
+        assert!(!after.cached, "unsupported span must recompute cold");
+        let m = s.metrics().snapshot();
+        assert_eq!(m.cache_upgrades, 0);
+        assert_eq!(m.cache_upgrade_fallbacks, 1);
+    }
+
+    #[test]
+    fn delete_node_purges_cache_and_counts_invalidations() {
+        let s = mk_dynamic(0.05);
+        s.query(req(1, 0, Some(5))).unwrap();
+        s.query(req(2, 7, Some(5))).unwrap();
+        assert_eq!(s.cache().len(), 2);
+        s.apply(&MutationOp::DeleteNode(300)).unwrap();
+        assert!(s.cache().is_empty());
+        let m = s.metrics().snapshot();
+        assert_eq!(m.cache_invalidations, 2);
+        // With no lineage left, the next query is a plain cold miss — not
+        // an upgrade, not a fallback.
+        let after = s.query(req(3, 0, Some(5))).unwrap();
+        assert!(!after.cached);
+        let m = s.metrics().snapshot();
+        assert_eq!(m.cache_upgrades, 0);
+        assert_eq!(m.cache_upgrade_fallbacks, 0);
+    }
+
+    #[test]
+    fn dynamic_disabled_by_default_never_upgrades() {
+        let s = mk(2, 64);
+        let r = req(1, 0, Some(5));
+        s.query(r).unwrap();
+        s.apply(&MutationOp::InsertEdges(vec![(0, 399)])).unwrap();
+        let after = s.query(QueryRequest { id: 2, ..r }).unwrap();
+        assert!(!after.cached);
+        let m = s.metrics().snapshot();
+        assert_eq!(m.cache_upgrades, 0);
+        assert_eq!(m.cache_upgrade_fallbacks, 0);
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub struct ServerConfig {
     /// This server's replication role, if any. `None` is a standalone
     /// primary: writable, with no replication surfaces in `stats`.
     pub replication: Option<Arc<ReplicationRole>>,
+    /// Per-entry error budget for dynamic cache upgrades (`--dynamic-eps`);
+    /// `0.0` disables the upgrade path (see [`SchedulerConfig`]).
+    pub dynamic_eps: f64,
+    /// Offset-propagation push threshold δ (`--dynamic-delta`).
+    pub dynamic_delta: f64,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +124,8 @@ impl Default for ServerConfig {
             faults: FaultPlan::default(),
             recovery: RecoveryStats::default(),
             replication: None,
+            dynamic_eps: 0.0,
+            dynamic_delta: 1e-4,
         }
     }
 }
@@ -153,6 +160,8 @@ pub fn serve(
             default_deadline: None, // applied per request from deadline_ms
             threads_per_query: config.threads_per_query,
             faults: config.faults,
+            dynamic_eps: config.dynamic_eps,
+            dynamic_delta: config.dynamic_delta,
             ..Default::default()
         },
     ));
@@ -587,11 +596,21 @@ fn stats_response(
         let g = session.graph();
         (g.num_nodes(), g.num_edges())
     };
+    let err_stats = scheduler.cache().err_bound_stats();
     let mut rest = vec![
         ("stats".to_string(), snapshot.to_json()),
         ("nodes".to_string(), Json::u64(nodes as u64)),
         ("edges".to_string(), Json::u64(edges as u64)),
         ("version".to_string(), Json::u64(session.version())),
+        (
+            "cache_err_bound".to_string(),
+            Json::Obj(vec![
+                ("entries".to_string(), Json::u64(err_stats.entries as u64)),
+                ("upgraded".to_string(), Json::u64(err_stats.upgraded as u64)),
+                ("max".to_string(), Json::f64(err_stats.max)),
+                ("mean".to_string(), Json::f64(err_stats.mean)),
+            ]),
+        ),
     ];
     if let Some(store) = session.durability() {
         // Live WAL/snapshot counters for this process (recovery-time
@@ -784,6 +803,52 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "wire round-trip must be bit-exact");
         }
         assert_eq!(r.get("top").unwrap().as_arr().unwrap().len(), 3);
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dynamic_upgrade_serves_over_tcp_and_surfaces_in_stats() {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 3)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 2,
+                dynamic_eps: 0.05,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let cold = roundtrip(
+            &mut stream,
+            r#"{"id":1,"op":"query","source":7,"seed":12345}"#,
+        );
+        assert_eq!(cold.get("cached").unwrap().as_bool(), Some(false));
+        let m = roundtrip(
+            &mut stream,
+            r#"{"id":2,"op":"insert_edges","edges":[[7,250],[100,7]]}"#,
+        );
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true));
+        // Same lineage after the mutation: served by offset upgrade, not a
+        // cold recompute.
+        let warm = roundtrip(
+            &mut stream,
+            r#"{"id":3,"op":"query","source":7,"seed":12345}"#,
+        );
+        assert_eq!(warm.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(warm.get("version").unwrap().as_u64(), Some(1));
+        let stats = roundtrip(&mut stream, r#"{"id":4,"op":"stats"}"#);
+        let inner = stats.get("stats").unwrap();
+        assert_eq!(inner.get("cache_upgrades").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            inner.get("cache_upgrade_fallbacks").unwrap().as_u64(),
+            Some(0)
+        );
+        let err = stats.get("cache_err_bound").unwrap();
+        assert_eq!(err.get("upgraded").unwrap().as_u64(), Some(1));
+        assert!(err.get("max").unwrap().as_f64().unwrap() >= 0.0);
         drop(stream);
         handle.shutdown().unwrap();
     }

@@ -17,6 +17,15 @@
 #      writes; SIGKILL the primary, promote the replica, and require no
 #      acknowledged mutation lost and a monotonic version; then a
 #      bench_replication smoke run must pass its bit-identity gate
+#   8. dynamic smoke: a bench_dynamic run must pass its hit-rate gate
+#      (upgrade path strictly beats the invalidate-everything baseline)
+#      and its error gate (every upgraded vector within its accumulated
+#      claim of a fresh recompute); the chaos smoke in step 4 runs with
+#      the upgrade path enabled so fault containment covers it too
+#
+# Every BENCH_*.json produced by the smoke runs is appended as one line
+# (run id, git rev, metric name→value map) to the committed
+# BENCH_HISTORY.jsonl, so regressions are visible in review diffs.
 #
 # The workspace builds offline (external deps resolve to shims/*), so pin
 # CARGO_NET_OFFLINE to keep cargo from ever touching the network.
@@ -24,6 +33,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
+
+# Appends one JSONL line summarizing a BENCH_*.json to BENCH_HISTORY.jsonl:
+# {"run": "<utc>-<pid>", "bench": "<name>", "rev": "<short sha>",
+#  "metrics": {"<entry name>": <value>, ...}}
+append_bench_history() {
+  local file="$1" bench rev run metrics
+  [[ -f "$file" ]] || return 0
+  bench=$(basename "$file" .json)
+  rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+  run="$(date -u +%Y%m%dT%H%M%SZ)-$$"
+  metrics=$(awk -F'"' '/"name"/ {
+      name = $4
+      match($0, /"value": [-0-9.eE+]+/)
+      val = substr($0, RSTART + 9, RLENGTH - 9)
+      printf "%s\"%s\": %s", (n++ ? ", " : ""), name, val
+  }' "$file")
+  printf '{"run": "%s", "bench": "%s", "rev": "%s", "metrics": {%s}}\n' \
+    "$run" "$bench" "$rev" "$metrics" >> BENCH_HISTORY.jsonl
+}
 
 echo "==> cargo build --release"
 cargo build --release
@@ -43,7 +71,7 @@ trap 'rm -rf "$SMOKE_DIR"
 awk 'BEGIN { for (u = 0; u < 400; u++) for (d = 1; d <= 5; d++) print u, (u * 31 + d * 97) % 400 }' \
   > "$SMOKE_DIR/graph.txt"
 target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
-  --workers 2 --chaos panic=10,delay=16:2,seed=42 \
+  --workers 2 --chaos panic=10,delay=16:2,seed=42 --dynamic-eps 0.05 \
   > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
@@ -54,8 +82,10 @@ ADDR=$(awk '/listening on/ { print $3 }' "$SMOKE_DIR/serve.out")
 [[ -n "$ADDR" ]] || { echo "chaos smoke: server never came up"; cat "$SMOKE_DIR/serve.err"; exit 1; }
 # --chaos tolerates the typed fault errors; --shutdown requests a graceful
 # drain and fails if the listener lingers. Untyped errors still exit 1.
+# The write/delete mix exercises the cache-upgrade path (--dynamic-eps
+# above) and delete_node purges under injected faults.
 target/release/rwr loadgen --addr "$ADDR" --requests 200 --connections 4 \
-  --chaos --shutdown --seed 11
+  --write-mix 0.15 --delete-mix 0.05 --chaos --shutdown --seed 11
 wait "$SERVE_PID"   # graceful drain ⇒ exit 0; an escaped panic ⇒ nonzero
 SERVE_PID=
 if grep -q "panicked at" "$SMOKE_DIR/serve.err"; then
@@ -247,5 +277,15 @@ echo "==> bench_replication smoke (steady-state, catch-up, bit-identity gate)"
 RESACC_BENCH_REPL_NODES=300 RESACC_BENCH_REPL_MUTATIONS=120 \
 RESACC_BENCH_REPL_SNAPSHOT_EVERY=16 \
   target/release/bench_replication "$SMOKE_DIR/BENCH_replication.json" > /dev/null
+
+echo "==> bench_dynamic smoke (hit-rate + error-bound gates)"
+RESACC_BENCH_DYNAMIC_NODES=400 RESACC_BENCH_DYNAMIC_REQUESTS=150 \
+RESACC_BENCH_DYNAMIC_ROUNDS=8 \
+  target/release/bench_dynamic "$SMOKE_DIR/BENCH_dynamic.json" > /dev/null
+
+echo "==> appending bench results to BENCH_HISTORY.jsonl"
+for f in "$SMOKE_DIR"/BENCH_*.json; do
+  append_bench_history "$f"
+done
 
 echo "==> all checks passed"
