@@ -9,7 +9,8 @@ usage:
   rwr convert --graph <file> --out <file.racg> [--symmetric]
   rwr serve   --graph <file> [--listen <addr>] [--workers <n>] [--cache <n>]
   rwr loadgen --addr <addr> [--requests <n>] [--connections <n>] [--zipf <s>]
-  rwr promote --addr <addr>
+  rwr promote --addr <addr> [--fence <repl-addr>]
+  rwr netfault --listen <addr> --addr <upstream> [--chaos <spec>]
 
 options:
   --algo <resacc|fora|mc|power|fwd>   algorithm (default resacc)
@@ -66,7 +67,24 @@ serve options:
 promote options:
   --addr <addr>                       replica to promote (its NDJSON
                                       address); drains the replication
-                                      stream and flips the server writable
+                                      stream, durably bumps the epoch, and
+                                      flips the server writable
+  --fence <repl-addr>                 after promoting, probe the old
+                                      primary's replication listener at
+                                      <repl-addr> directly so it fences
+                                      even if its advertised address is
+                                      unreachable (default: the address
+                                      the replica was following)
+
+netfault options:
+  --listen <addr>                     proxy bind address (port 0 picks an
+                                      ephemeral port)
+  --addr <addr>                       upstream replication listener the
+                                      proxy forwards to
+  --chaos <spec>                      deterministic frame sabotage, e.g.
+                                      drop=17,delay=11:20,dup=5,trunc=43,
+                                      seed=7; stdin accepts `partition`,
+                                      `heal`, and `quit` lines
 
 loadgen options:
   --addr <addr>                       server to target (default 127.0.0.1:7171)
@@ -107,6 +125,8 @@ pub enum Command {
     Loadgen,
     /// Promote a running read replica to writable.
     Promote,
+    /// Run a deterministic replication-link fault proxy.
+    Netfault,
 }
 
 /// Parsed command line.
@@ -145,6 +165,7 @@ pub struct Cli {
     pub fsync: bool,
     pub replication_listen: Option<String>,
     pub replicate_from: Option<String>,
+    pub fence: Option<String>,
     pub write_mix: f64,
     pub delete_mix: f64,
     pub dynamic_eps: f64,
@@ -163,6 +184,7 @@ impl Cli {
             Some("serve") => Command::Serve,
             Some("loadgen") => Command::Loadgen,
             Some("promote") => Command::Promote,
+            Some("netfault") => Command::Netfault,
             Some(other) => return Err(format!("unknown command {other:?}")),
             None => return Err("missing command".into()),
         };
@@ -200,6 +222,7 @@ impl Cli {
             fsync: true,
             replication_listen: None,
             replicate_from: None,
+            fence: None,
             write_mix: 0.0,
             delete_mix: 0.0,
             dynamic_eps: 0.0,
@@ -245,10 +268,10 @@ impl Cli {
                 "--queue-cap" => cli.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
                 "--max-conns" => cli.max_conns = parse_num(&value("--max-conns")?, "--max-conns")?,
                 "--threads" => cli.threads = parse_num(&value("--threads")?, "--threads")?,
-                // `--chaos` takes a fault spec for `serve` (which injects the
-                // faults) and is a bare flag for `loadgen` (which only
-                // classifies the resulting typed errors).
-                "--chaos" if command == Command::Serve => {
+                // `--chaos` takes a fault spec for `serve` and `netfault`
+                // (which inject the faults) and is a bare flag for `loadgen`
+                // (which only classifies the resulting typed errors).
+                "--chaos" if matches!(command, Command::Serve | Command::Netfault) => {
                     cli.chaos_spec = Some(value("--chaos")?)
                 }
                 "--chaos" => cli.chaos = true,
@@ -262,6 +285,7 @@ impl Cli {
                     cli.replication_listen = Some(value("--replication-listen")?)
                 }
                 "--replicate-from" => cli.replicate_from = Some(value("--replicate-from")?),
+                "--fence" => cli.fence = Some(value("--fence")?),
                 "--write-mix" => cli.write_mix = parse_num(&value("--write-mix")?, "--write-mix")?,
                 "--delete-mix" => {
                     cli.delete_mix = parse_num(&value("--delete-mix")?, "--delete-mix")?
@@ -286,7 +310,12 @@ impl Cli {
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        if cli.graph.is_empty() && !matches!(command, Command::Loadgen | Command::Promote) {
+        if cli.graph.is_empty()
+            && !matches!(
+                command,
+                Command::Loadgen | Command::Promote | Command::Netfault
+            )
+        {
             return Err("--graph is required".into());
         }
         if cli.zipf < 0.0 {
@@ -487,6 +516,11 @@ mod tests {
         let cli = parse("promote --addr 127.0.0.1:7171").unwrap();
         assert_eq!(cli.command, Command::Promote);
         assert_eq!(cli.addr, "127.0.0.1:7171");
+        assert_eq!(cli.fence, None);
+
+        // promote --fence names the old primary's replication listener.
+        let cli = parse("promote --addr 127.0.0.1:7171 --fence 127.0.0.1:7272").unwrap();
+        assert_eq!(cli.fence.as_deref(), Some("127.0.0.1:7272"));
 
         // loadgen write mix.
         let cli = parse("loadgen --addr 127.0.0.1:9 --write-mix 0.2").unwrap();
@@ -513,6 +547,27 @@ mod tests {
         assert!((cli.delete_mix - 0.05).abs() < 1e-12);
         assert!(parse("loadgen --delete-mix 2").is_err());
         assert!(parse("loadgen --delete-mix -0.1").is_err());
+    }
+
+    #[test]
+    fn netfault_lines() {
+        // netfault needs no graph; --chaos carries a frame-sabotage spec.
+        let cli = parse(
+            "netfault --listen 127.0.0.1:0 --addr 127.0.0.1:7272 --chaos drop=17,seed=7",
+        )
+        .unwrap();
+        assert_eq!(cli.command, Command::Netfault);
+        assert_eq!(cli.listen, "127.0.0.1:0");
+        assert_eq!(cli.addr, "127.0.0.1:7272");
+        assert_eq!(cli.chaos_spec.as_deref(), Some("drop=17,seed=7"));
+        assert!(!cli.chaos);
+
+        // The spec is optional (a clean proxy still supports partition/heal).
+        let cli = parse("netfault --listen 127.0.0.1:0 --addr 127.0.0.1:7272").unwrap();
+        assert_eq!(cli.chaos_spec, None);
+
+        // Like serve, a bare --chaos is rejected (it wants a spec value).
+        assert!(parse("netfault --listen 127.0.0.1:0 --addr 127.0.0.1:7272 --chaos").is_err());
     }
 
     #[test]

@@ -190,24 +190,9 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
     });
     let session = std::sync::Arc::new(session);
     let repl_stats = std::sync::Arc::new(resacc::replication::ReplicationStats::default());
-    let mut repl_server = None;
+    // The role is built before the replication listener so the listener's
+    // fence hook can demote it when a newer epoch arrives.
     let mut replication = None;
-    if let Some(listen) = cli.replication_listen.as_deref() {
-        let listener = std::net::TcpListener::bind(listen)
-            .map_err(|e| format!("binding replication listener {listen}: {e}"))?;
-        let addr = listener.local_addr().map_err(|e| e.to_string())?;
-        repl_server = Some(
-            ReplicationServer::spawn(
-                listener,
-                session.clone(),
-                hub.clone().expect("hub exists when listening"),
-                repl_stats.clone(),
-            )
-            .map_err(|e| format!("replication listener: {e}"))?,
-        );
-        println!("replication listening on {addr}");
-        std::io::stdout().flush().ok();
-    }
     if let Some(primary) = cli.replicate_from.as_deref() {
         // A replica of a primary that itself serves replication downstream
         // is valid (chained replication): applied records re-enter the hub
@@ -216,12 +201,75 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             ReplicaClient::spawn(primary.to_string(), session.clone(), repl_stats.clone());
         println!("# replicating from {primary} (read-only until promote)");
         replication = Some(std::sync::Arc::new(
-            resacc_service::ReplicationRole::replica(primary.to_string(), client, repl_stats),
+            resacc_service::ReplicationRole::replica(
+                primary.to_string(),
+                client,
+                repl_stats.clone(),
+            ),
         ));
-    } else if repl_server.is_some() {
+    } else if cli.replication_listen.is_some() {
         replication = Some(std::sync::Arc::new(resacc_service::ReplicationRole::primary(
-            repl_stats,
+            repl_stats.clone(),
         )));
+    }
+    let mut repl_server = None;
+    if let Some(listen) = cli.replication_listen.as_deref() {
+        let listener = std::net::TcpListener::bind(listen)
+            .map_err(|e| format!("binding replication listener {listen}: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let hook: resacc::replication::FenceHook = {
+            let session = session.clone();
+            let role = replication.clone().expect("role exists when listening");
+            let stats = repl_stats.clone();
+            std::sync::Arc::new(move |e: resacc::replication::FenceEvent| {
+                // A newer epoch fenced this node. Truncate the divergent
+                // unacknowledged WAL tail back to the leader's fork point,
+                // then rejoin as a replica of the new leader. If acked
+                // records would be lost, refuse: stay fenced and read-only
+                // until an operator intervenes.
+                let acked = stats.max_acked.load(std::sync::atomic::Ordering::SeqCst);
+                match session.demote_to(e.leader_version, acked) {
+                    Ok(dropped) => {
+                        session.clear_fence();
+                        let client = (!e.leader.is_empty()).then(|| {
+                            ReplicaClient::spawn(
+                                e.leader.clone(),
+                                session.clone(),
+                                stats.clone(),
+                            )
+                        });
+                        role.demote(e.epoch, e.leader.clone(), client);
+                        eprintln!(
+                            "# fenced at epoch {}: demoted to replica of {:?}, {} divergent record(s) truncated",
+                            e.epoch, e.leader, dropped
+                        );
+                    }
+                    Err(err) => {
+                        role.demote(e.epoch, e.leader.clone(), None);
+                        eprintln!(
+                            "# fenced at epoch {} but refusing to demote: {err}",
+                            e.epoch
+                        );
+                    }
+                }
+            })
+        };
+        repl_server = Some(
+            ReplicationServer::spawn_with_hook(
+                listener,
+                session.clone(),
+                hub.clone().expect("hub exists when listening"),
+                repl_stats.clone(),
+                Some(hook),
+            )
+            .map_err(|e| format!("replication listener: {e}"))?,
+        );
+        if let Some(role) = &replication {
+            // Announced as the leader by fence probes after a promotion.
+            role.set_self_addr(addr.to_string());
+        }
+        println!("replication listening on {addr}");
+        std::io::stdout().flush().ok();
     }
     let threads_per_query = cli.threads.max(1);
     let faults = match cli.chaos_spec.as_deref() {
@@ -282,13 +330,21 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
 }
 
 /// `rwr promote`: flip a running read replica to writable via its admin op.
+///
+/// `--fence <repl-addr>` overrides which replication listener the newly
+/// promoted server probes to fence the old primary (default: the address
+/// the replica was following).
 pub fn promote(cli: &Cli) -> Result<(), String> {
     use resacc_service::json::Json;
     use std::io::{BufRead, BufReader, Write};
     let mut stream = std::net::TcpStream::connect(&cli.addr)
         .map_err(|e| format!("connecting to {}: {e}", cli.addr))?;
+    let request = match cli.fence.as_deref() {
+        Some(target) => format!("{{\"id\":1,\"op\":\"promote\",\"fence\":\"{target}\"}}\n"),
+        None => "{\"id\":1,\"op\":\"promote\"}\n".to_string(),
+    };
     stream
-        .write_all(b"{\"id\":1,\"op\":\"promote\"}\n")
+        .write_all(request.as_bytes())
         .map_err(|e| format!("sending promote: {e}"))?;
     let mut line = String::new();
     BufReader::new(&stream)
@@ -298,7 +354,11 @@ pub fn promote(cli: &Cli) -> Result<(), String> {
         Json::parse(line.trim()).map_err(|e| format!("bad promote response: {e}"))?;
     if response.get("ok").and_then(Json::as_bool) == Some(true) {
         let version = response.get("version").and_then(Json::as_u64).unwrap_or(0);
-        println!("promoted {} to primary at version {version}", cli.addr);
+        let epoch = response.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "promoted {} to primary at version {version}, epoch {epoch}",
+            cli.addr
+        );
         Ok(())
     } else {
         let detail = response
@@ -308,6 +368,57 @@ pub fn promote(cli: &Cli) -> Result<(), String> {
             .unwrap_or("malformed response");
         Err(format!("promote {}: {detail}", cli.addr))
     }
+}
+
+/// `rwr netfault`: run a deterministic fault proxy in front of a
+/// replication listener. Replicas point `--replicate-from` at the proxy;
+/// the proxy forwards frames to `--addr`, sabotaging them per the
+/// `--chaos` plan. Stdin drives link state: `partition` blackholes both
+/// directions (connections stay open — a half-open link, not a reset),
+/// `heal` restores flow, `quit` exits.
+///
+/// Prints `netfault listening on <addr>` (flushed) before accepting, so a
+/// parent process using `--listen 127.0.0.1:0` can scrape the port.
+pub fn netfault(cli: &Cli) -> Result<(), String> {
+    use resacc::replication::{NetFault, NetFaultPlan};
+    use std::io::{BufRead, Write};
+    let plan = match cli.chaos_spec.as_deref() {
+        Some(spec) => NetFaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
+        None => NetFaultPlan::default(),
+    };
+    let listener = std::net::TcpListener::bind(&cli.listen)
+        .map_err(|e| format!("binding {}: {e}", cli.listen))?;
+    let fault = NetFault::spawn(listener, cli.addr.clone(), plan)
+        .map_err(|e| format!("netfault proxy: {e}"))?;
+    if !plan.is_empty() {
+        println!("# NETFAULT plan active: {plan}");
+    }
+    println!("netfault listening on {} -> {}", fault.addr(), cli.addr);
+    std::io::stdout().flush().ok();
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        match line.trim() {
+            "partition" => {
+                fault.partition();
+                println!("partitioned");
+            }
+            "heal" => {
+                fault.heal();
+                println!("healed");
+            }
+            "quit" => break,
+            "" => continue,
+            other => println!("# unknown netfault command {other:?} (partition|heal|quit)"),
+        }
+        std::io::stdout().flush().ok();
+    }
+    println!(
+        "# netfault done: {} frame(s) forwarded, {} sabotaged",
+        fault.frames_forwarded(),
+        fault.frames_sabotaged()
+    );
+    fault.shutdown();
+    Ok(())
 }
 
 /// `rwr loadgen`: drive Zipfian query load against a running server and
@@ -388,6 +499,7 @@ mod tests {
             fsync: true,
             replication_listen: None,
             replicate_from: None,
+            fence: None,
             write_mix: 0.0,
             delete_mix: 0.0,
             dynamic_eps: 0.0,

@@ -11,7 +11,8 @@
 //!             [--replication-listen <addr>] [--replicate-from <addr>]
 //! rwr loadgen --addr 127.0.0.1:7171 [--requests 1000] [--zipf 1.0]
 //!             [--write-mix 0.1]
-//! rwr promote --addr 127.0.0.1:7171   # flip a read replica writable
+//! rwr promote --addr 127.0.0.1:7171 [--fence <repl-addr>]
+//! rwr netfault --listen 127.0.0.1:0 --addr <repl-addr> [--chaos drop=17,seed=7]
 //! ```
 //!
 //! `--graph` accepts a whitespace edge list (SNAP style, `#` comments) or a
@@ -39,6 +40,7 @@ fn main() {
         Command::Serve => commands::serve(&cli),
         Command::Loadgen => commands::loadgen(&cli),
         Command::Promote => commands::promote(&cli),
+        Command::Netfault => commands::netfault(&cli),
     };
     if let Err(msg) = outcome {
         eprintln!("error: {msg}");

@@ -375,3 +375,107 @@ fn replica_sigkill_post_append_reconverges() {
 fn replica_sigkill_pre_ack_reconverges() {
     replica_crash_and_reconverge("pre-ack", "repl-pre-ack:2");
 }
+
+/// Tentpole acceptance: the promotion epoch reaches disk *before* the node
+/// flips writable. SIGKILL the replica at the `promote-post-epoch` crash
+/// point (parked right after the durable epoch write, before the promote
+/// reply), restart it on the same data dir as a standalone primary, and
+/// require that (a) the bumped epoch was recovered and (b) a fence probe
+/// carrying the stale pre-failover epoch loses — the old primary can never
+/// re-fence the new leader backwards, even across this worst-case crash.
+#[test]
+fn promotion_epoch_survives_sigkill_and_cannot_be_refenced_backwards() {
+    let dir = temp_dir("epoch");
+    let graph = graph_file(&dir);
+    let mut primary = spawn_serve(
+        &graph,
+        &dir.join("primary"),
+        &["--replication-listen", "127.0.0.1:0"],
+        None,
+    );
+    let repl_addr = primary.repl_addr.clone().unwrap();
+    let rdata = dir.join("replica");
+    let mut replica = spawn_serve(
+        &graph,
+        &rdata,
+        &["--replicate-from", &repl_addr, "--replication-listen", "127.0.0.1:0"],
+        Some("promote-post-epoch"),
+    );
+
+    let (mut stream, mut reader) = connect(&primary.addr);
+    let mut acked = 0;
+    for i in 0..4 {
+        acked = mutate(&primary.addr, &mut stream, &mut reader, i);
+    }
+    wait_for_version(&replica.addr, acked);
+    primary.kill();
+    drop(stream);
+
+    // Promote in the background: the armed point parks the server between
+    // the epoch write and the reply, so the CLI call never returns.
+    let mut promote = rwr()
+        .args(["promote", "--addr", &replica.addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match replica.stdout.try_recv() {
+            Ok(line) if line == "CRASH_POINT promote-post-epoch" => break,
+            Ok(_) => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "promote-post-epoch crash point never fired"
+        );
+    }
+    replica.kill();
+    promote.kill().ok();
+    promote.wait().ok();
+
+    // The leadership claim is already on disk.
+    assert_eq!(
+        resacc::durability::epoch::read_epoch(&rdata).unwrap(),
+        1,
+        "the epoch bump must be durable before the crash point"
+    );
+
+    // Restart on the same data dir as a standalone primary: the bumped
+    // epoch and the full acknowledged history both recover.
+    let mut promoted = spawn_serve(
+        &graph,
+        &rdata,
+        &["--replication-listen", "127.0.0.1:0"],
+        None,
+    );
+    let new_repl = promoted.repl_addr.clone().unwrap();
+    assert_eq!(version_of(&promoted.addr), acked, "promotion lost history");
+    let s = request(&promoted.addr, r#"{"op":"stats"}"#);
+    let repl = s.get("replication").unwrap();
+    assert_eq!(
+        repl.get("epoch").unwrap().as_u64(),
+        Some(1),
+        "recovered server must report the bumped epoch: {s:?}"
+    );
+    assert_eq!(repl.get("fenced").unwrap().as_bool(), Some(false));
+
+    // A probe carrying the stale pre-failover epoch (0) loses against the
+    // durable epoch 1, and leaves the recovered leader writable.
+    let won = resacc::replication::fence_probe(&new_repl, 0, 0, "10.0.0.1:1").unwrap();
+    assert!(!won, "a stale epoch-0 claim must lose against durable epoch 1");
+    let m = request(
+        &promoted.addr,
+        r#"{"id":60,"op":"insert_edges","edges":[[11,22]]}"#,
+    );
+    assert_eq!(
+        m.get("ok").unwrap().as_bool(),
+        Some(true),
+        "stale probes must not fence the recovered leader: {m:?}"
+    );
+    assert_eq!(m.get("version").unwrap().as_u64(), Some(acked + 1));
+
+    promoted.kill();
+    std::fs::remove_dir_all(&dir).ok();
+}

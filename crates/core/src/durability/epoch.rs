@@ -1,0 +1,137 @@
+//! Durable replication epoch: one small checksummed file in the data dir.
+//!
+//! The epoch is the failover generation counter (the "term" of
+//! Raft-style log shipping): `promote` bumps it durably *before* the
+//! replica flips writable, and every replication frame is stamped with
+//! it, so a partitioned old primary that later hears a higher epoch knows
+//! it lost the election after the fact and fences itself. Durability is
+//! what makes the fence monotone across crashes — a promoted primary that
+//! is SIGKILLed immediately after promotion recovers the bumped epoch and
+//! can never be re-fenced backwards by the stale one.
+//!
+//! File format (`epoch`, 18 bytes): `magic "REPH" | format u16 LE |
+//! epoch u64 LE | crc32(epoch bytes) u32 LE`. Writes go through the same
+//! tmp → fsync → rename → dir-fsync dance as snapshots, so a crash
+//! mid-write leaves the previous epoch intact. A missing file reads as
+//! epoch 0 (pre-failover history); a corrupt one is a hard
+//! [`DurabilityError::Corrupt`] — guessing an epoch could un-fence a
+//! stale primary.
+
+use super::{crc32, sync_dir, DurabilityError};
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the epoch record inside a durability dir.
+pub const EPOCH_FILE: &str = "epoch";
+
+const EPOCH_MAGIC: &[u8; 4] = b"REPH";
+const EPOCH_FORMAT: u16 = 1;
+const EPOCH_LEN: usize = 4 + 2 + 8 + 4;
+
+/// Reads the durable epoch from `dir`. Missing file ⇒ 0 (a store that
+/// predates fencing); anything malformed ⇒ [`DurabilityError::Corrupt`].
+pub fn read_epoch(dir: &Path) -> Result<u64, DurabilityError> {
+    let path = dir.join(EPOCH_FILE);
+    let data = match std::fs::read(&path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt = |detail: &str| DurabilityError::Corrupt {
+        path: path.clone(),
+        detail: detail.to_string(),
+    };
+    if data.len() != EPOCH_LEN {
+        return Err(corrupt(&format!("epoch file is {} bytes, want {EPOCH_LEN}", data.len())));
+    }
+    if &data[0..4] != EPOCH_MAGIC {
+        return Err(corrupt("bad epoch magic"));
+    }
+    let format = u16::from_le_bytes(data[4..6].try_into().expect("2-byte slice"));
+    if format != EPOCH_FORMAT {
+        return Err(corrupt(&format!("unsupported epoch format {format}")));
+    }
+    let epoch_bytes = &data[6..14];
+    let stored_crc = u32::from_le_bytes(data[14..18].try_into().expect("4-byte slice"));
+    if crc32(epoch_bytes) != stored_crc {
+        return Err(corrupt("epoch CRC mismatch"));
+    }
+    Ok(u64::from_le_bytes(epoch_bytes.try_into().expect("8-byte slice")))
+}
+
+/// Durably writes `epoch` into `dir` (tmp → fsync → rename → dir fsync).
+/// Returns only once the epoch survives SIGKILL and power loss.
+pub fn write_epoch(dir: &Path, epoch: u64) -> Result<(), DurabilityError> {
+    let mut buf = Vec::with_capacity(EPOCH_LEN);
+    buf.extend_from_slice(EPOCH_MAGIC);
+    buf.extend_from_slice(&EPOCH_FORMAT.to_le_bytes());
+    let epoch_bytes = epoch.to_le_bytes();
+    buf.extend_from_slice(&epoch_bytes);
+    buf.extend_from_slice(&crc32(&epoch_bytes).to_le_bytes());
+    let path = dir.join(EPOCH_FILE);
+    let tmp = dir.join(format!("{EPOCH_FILE}.tmp"));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, &path)?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("resacc-epoch-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn missing_epoch_reads_as_zero() {
+        let dir = scratch("missing");
+        assert_eq!(read_epoch(&dir).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoch_roundtrips_and_overwrites() {
+        let dir = scratch("roundtrip");
+        write_epoch(&dir, 1).unwrap();
+        assert_eq!(read_epoch(&dir).unwrap(), 1);
+        write_epoch(&dir, 7).unwrap();
+        assert_eq!(read_epoch(&dir).unwrap(), 7);
+        write_epoch(&dir, u64::MAX).unwrap();
+        assert_eq!(read_epoch(&dir).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn corrupt_epoch_is_a_typed_error_not_a_guess() {
+        let dir = scratch("corrupt");
+        write_epoch(&dir, 42).unwrap();
+        let path = dir.join(EPOCH_FILE);
+        let good = std::fs::read(&path).unwrap();
+        // Any single bit flip must fail the CRC / magic / format check.
+        for byte in 0..good.len() {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x10;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                matches!(read_epoch(&dir), Err(DurabilityError::Corrupt { .. })),
+                "flip at byte {byte} was not detected"
+            );
+        }
+        // Truncations too.
+        for len in 0..good.len() {
+            std::fs::write(&path, &good[..len]).unwrap();
+            assert!(
+                matches!(read_epoch(&dir), Err(DurabilityError::Corrupt { .. })),
+                "truncation to {len} bytes was not detected"
+            );
+        }
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(read_epoch(&dir).unwrap(), 42);
+    }
+}

@@ -61,6 +61,7 @@
 //! applied but never acknowledged (`repl-post-append`) and the instant
 //! before the acknowledgement is written (`repl-pre-ack`).
 
+pub mod epoch;
 pub mod recovery;
 pub mod snapshot;
 pub mod wal;
@@ -95,6 +96,34 @@ pub enum DurabilityError {
         /// The poisoned WAL file.
         path: PathBuf,
     },
+    /// This node observed a higher replication epoch and fenced itself:
+    /// it is no longer the primary, so the mutation was refused before
+    /// touching the WAL. The leader named here (the replication listener
+    /// of the node that won the epoch) is where writes must go now.
+    Fenced {
+        /// The epoch this node is fenced at.
+        epoch: u64,
+        /// Replication address of the current leader ("" when the fencing
+        /// handshake did not carry one).
+        leader: String,
+    },
+    /// Demotion would discard acknowledged history: this fenced ex-primary
+    /// holds WAL records above the new leader's version that a replica
+    /// already acknowledged. The node stays fenced (no writes) but keeps
+    /// its log for the operator — truncating silently is the one thing
+    /// failover must never do.
+    Diverged {
+        /// The epoch this node is fenced at.
+        epoch: u64,
+        /// Replication address of the current leader.
+        leader: String,
+        /// This node's version (head of the divergent history).
+        local_version: u64,
+        /// The leader's version at fencing time (the truncation target).
+        leader_version: u64,
+        /// Highest version a replica acknowledged to this node.
+        max_acked: u64,
+    },
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -108,6 +137,28 @@ impl std::fmt::Display for DurabilityError {
                 f,
                 "WAL {} poisoned by an unrecoverable append failure; restart to recover",
                 path.display()
+            ),
+            DurabilityError::Fenced { epoch, leader } => {
+                if leader.is_empty() {
+                    write!(f, "fenced at epoch {epoch}: a newer primary exists")
+                } else {
+                    write!(
+                        f,
+                        "fenced at epoch {epoch}: send writes to the leader at {leader}"
+                    )
+                }
+            }
+            DurabilityError::Diverged {
+                epoch,
+                leader,
+                local_version,
+                leader_version,
+                max_acked,
+            } => write!(
+                f,
+                "diverged at epoch {epoch}: local version {local_version} exceeds leader \
+                 {leader} at {leader_version} and records up to {max_acked} were \
+                 acknowledged; refusing to truncate acknowledged history"
             ),
         }
     }
@@ -398,6 +449,82 @@ impl Durability {
         Ok(())
     }
 
+    /// Demotion rollback: reconstructs the graph at exactly `version` from
+    /// disk (newest decodable snapshot ≤ `version`, plus WAL replay), then
+    /// — only once reconstruction is proven possible — truncates every WAL
+    /// record above `version` and deletes every snapshot above it. Returns
+    /// the rebuilt graph and the number of WAL records dropped.
+    ///
+    /// The read-before-cut ordering is the safety property: if the state
+    /// at `version` cannot be rebuilt (e.g. every snapshot on disk is past
+    /// it and the WAL no longer reaches back), this fails with a typed
+    /// [`DurabilityError::Corrupt`] and *nothing on disk changes* — a
+    /// fenced node that cannot roll back keeps its full history for the
+    /// operator instead of destroying it.
+    pub fn rollback_to(&self, version: u64) -> Result<(CsrGraph, u64), DurabilityError> {
+        let _guard = self.snapshot_lock.lock();
+        let mut wal = self.wal.lock();
+        // Reconstruct first, touching nothing.
+        let mut start: Option<(CsrGraph, u64)> = None;
+        for v in snapshot::list_snapshots(&self.dir)? {
+            if v > version {
+                continue;
+            }
+            match snapshot::load_snapshot(&self.dir.join(snapshot::snapshot_name(v))) {
+                Ok((graph, at)) => {
+                    start = Some((graph, at));
+                    break;
+                }
+                Err(e) => eprintln!("rollback: skipping unreadable snapshot {v}: {e}"),
+            }
+        }
+        let Some((mut graph, mut at)) = start else {
+            return Err(DurabilityError::Corrupt {
+                path: self.dir.clone(),
+                detail: format!(
+                    "cannot roll back to version {version}: no snapshot at or below it \
+                     decodes; history above it is preserved"
+                ),
+            });
+        };
+        let scanned = wal::scan(wal.path())?;
+        for record in &scanned.records {
+            if record.version <= at {
+                continue;
+            }
+            if record.version > version || record.version != at + 1 {
+                break;
+            }
+            graph = record.op.apply(&graph);
+            at = record.version;
+        }
+        if at != version {
+            return Err(DurabilityError::Corrupt {
+                path: self.dir.clone(),
+                detail: format!(
+                    "cannot roll back to version {version}: snapshot + WAL replay reaches \
+                     only version {at}; history is preserved"
+                ),
+            });
+        }
+        // Reconstruction verified — now cut. Snapshots above `version` go
+        // first: if the process dies between the two steps, a full WAL
+        // with fewer snapshots just replays to the old tip (harmless — the
+        // node gets re-fenced and re-demoted on reconnect), whereas a
+        // truncated WAL under a surviving higher-version snapshot would
+        // trip recovery's refusing-to-regress check and brick the node.
+        for v in snapshot::list_snapshots(&self.dir)? {
+            if v > version {
+                std::fs::remove_file(self.dir.join(snapshot::snapshot_name(v)))?;
+            }
+        }
+        sync_dir(&self.dir)?;
+        let dropped = wal.truncate_to(version)?;
+        let newest_left = snapshot::list_snapshots(&self.dir)?.first().copied().unwrap_or(0);
+        self.last_snapshot_version.store(newest_left, Ordering::Relaxed);
+        Ok((graph, dropped))
+    }
+
     /// Records appended by this process (not counting replayed history).
     pub fn records_appended(&self) -> u64 {
         self.records_appended.load(Ordering::Relaxed)
@@ -463,6 +590,84 @@ mod tests {
         MutationOp::InsertEdges(vec![(1, 2)]).encode_into(&mut buf);
         buf[1] = 200;
         assert!(MutationOp::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rollback_to_restores_exact_state_and_cuts_disk() {
+        let dir = std::env::temp_dir().join(format!("resacc-rollback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = recovery::DurabilityOptions {
+            fsync: true,
+            snapshot_every: 0,
+        };
+        let base = resacc_graph::gen::erdos_renyi(30, 120, 9);
+        let rec = open_dir(&dir, opts, || Ok(base.clone())).unwrap();
+        let mut graph = rec.graph.clone();
+        let history = [
+            MutationOp::InsertEdges(vec![(0, 29), (3, 4)]),
+            MutationOp::DeleteEdges(vec![(3, 4)]),
+            MutationOp::InsertEdges(vec![(7, 8)]),
+            MutationOp::DeleteNode(5),
+        ];
+        let mut at_2: Option<CsrGraph> = None;
+        for (i, op) in history.iter().enumerate() {
+            rec.store.log_mutation(i as u64 + 1, op).unwrap();
+            graph = op.apply(&graph);
+            if i == 1 {
+                // Checkpoint at version 2: the rollback anchor.
+                rec.store.write_snapshot(&graph, 2).unwrap();
+                at_2 = Some(graph.clone());
+            }
+        }
+        rec.store.write_snapshot(&graph, 4).unwrap(); // divergent-era snapshot
+
+        // Roll back to version 3 (snapshot at 2 + one WAL record).
+        let (rolled, dropped) = rec.store.rollback_to(3).unwrap();
+        assert_eq!(dropped, 1, "record 4 is the divergent tail");
+        let expect_3 = history[2].apply(&at_2.unwrap());
+        let (a, b) = (
+            resacc_graph::binary::to_bytes(&rolled),
+            resacc_graph::binary::to_bytes(&expect_3),
+        );
+        let (a, b): (&[u8], &[u8]) = (&a, &b);
+        assert_eq!(a, b, "rolled-back graph is bit-identical to the true v3");
+        // Disk agrees: the snapshot above 3 is gone, the WAL stops at 3,
+        // and recovery lands exactly on version 3.
+        let rescan = wal::scan(&dir.join(wal::WAL_FILE)).unwrap();
+        assert_eq!(rescan.records.last().map(|r| r.version), Some(3));
+        assert!(!dir.join(snapshot::snapshot_name(4)).exists());
+        drop(rec);
+        let rec2 = open_dir(&dir, opts, || Ok(base.clone())).unwrap();
+        assert_eq!(rec2.version, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rollback_without_a_reachable_snapshot_refuses_and_preserves_disk() {
+        let dir = std::env::temp_dir().join(format!("resacc-rollback-refuse-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = recovery::DurabilityOptions {
+            fsync: true,
+            snapshot_every: 0,
+        };
+        let base = resacc_graph::gen::cycle(8);
+        let rec = open_dir(&dir, opts, || Ok(base.clone())).unwrap();
+        for v in 1..=3u64 {
+            rec.store
+                .log_mutation(v, &MutationOp::InsertEdges(vec![(0, v as u32)]))
+                .unwrap();
+        }
+        // No snapshot at or below 2 exists: must refuse, not guess.
+        match rec.store.rollback_to(2) {
+            Err(DurabilityError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("no snapshot"), "{detail}")
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        // And nothing was cut: all 3 records survive.
+        let rescan = wal::scan(&dir.join(wal::WAL_FILE)).unwrap();
+        assert_eq!(rescan.records.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,8 +20,8 @@
 //! version, because even an unreadable snapshot file proves that history
 //! up to its version was acknowledged.
 
-use super::snapshot;
 use super::wal::{self, Wal, WAL_FILE};
+use super::{epoch, snapshot};
 use super::{Durability, DurabilityError, MutationOp};
 use resacc_graph::CsrGraph;
 use std::path::Path;
@@ -75,6 +75,11 @@ pub struct Recovered {
     pub stats: RecoveryStats,
     /// Open WAL + snapshot policy for the session to log into.
     pub store: Durability,
+    /// Durable replication epoch (0 for a fresh directory or a store that
+    /// predates fencing). Monotone across restarts: `promote` bumps it on
+    /// disk before flipping writable, so a SIGKILL right after promotion
+    /// still recovers the bumped value.
+    pub epoch: u64,
 }
 
 /// Opens (creating if needed) a durability directory and recovers its
@@ -169,11 +174,15 @@ pub fn open_dir(
             .last_snapshot_version
             .store(version - stats.wal_records_replayed, Ordering::Relaxed);
     }
+    // Corrupt epoch is as hard an error as a regressed snapshot: guessing
+    // one could let a fenced ex-primary accept writes again.
+    let epoch = epoch::read_epoch(dir)?;
     Ok(Recovered {
         graph,
         version,
         stats,
         store,
+        epoch,
     })
 }
 
@@ -450,6 +459,19 @@ mod tests {
         let rec2 = open_dir(&dir, opts, || Ok(base())).unwrap();
         assert_eq!(rec2.stats.wal_truncated_bytes, 0);
         assert_eq!(rec2.version, history().len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_recovers_across_reopen() {
+        let dir = tmp_dir("epoch");
+        let opts = DurabilityOptions::default();
+        let rec = open_dir(&dir, opts, || Ok(base())).unwrap();
+        assert_eq!(rec.epoch, 0, "fresh dir starts at epoch 0");
+        drop(rec);
+        epoch::write_epoch(&dir, 3).unwrap();
+        let rec = open_dir(&dir, opts, || Ok(base())).unwrap();
+        assert_eq!(rec.epoch, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -267,6 +267,64 @@ impl Wal {
         }
     }
 
+    /// Drops every record with version **>** `version` — the demotion
+    /// mirror of [`Wal::retain_after`]: where compaction keeps the tail a
+    /// snapshot no longer covers, demotion keeps the prefix the new
+    /// leader's history still agrees with and discards the divergent tail
+    /// a fenced ex-primary wrote after the partition. Same atomic
+    /// machinery: header + surviving prefix into `wal.log.tmp`, fsync,
+    /// rename, directory fsync, reopen-or-poison. Returns the number of
+    /// records dropped. The *caller* decides whether dropping is legal
+    /// (nothing above `version` was acknowledged by a replica) — this
+    /// method just executes the cut.
+    pub fn truncate_to(&mut self, version: u64) -> Result<u64, DurabilityError> {
+        self.check_poisoned()?;
+        let data = std::fs::read(&self.path)?;
+        let scanned = scan(&self.path)?;
+        let cut = scanned
+            .records
+            .iter()
+            .find(|r| r.version > version)
+            .map(|r| r.offset)
+            .unwrap_or(scanned.valid_len);
+        let dropped_records = scanned
+            .records
+            .iter()
+            .filter(|r| r.version > version)
+            .count() as u64;
+        if cut == scanned.valid_len && scanned.truncated_bytes == 0 {
+            return Ok(0); // no divergent tail
+        }
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&header_bytes())?;
+            file.write_all(&data[WAL_HEADER_LEN as usize..cut as usize])?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            sync_dir(dir)?;
+        }
+        let reopened: std::io::Result<(File, u64)> = (|| {
+            let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+            let len = file.metadata()?.len();
+            file.seek(SeekFrom::Start(len))?;
+            Ok((file, len))
+        })();
+        match reopened {
+            Ok((file, len)) => {
+                self.file = file;
+                self.durable_len = len;
+                Ok(dropped_records)
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
+    }
+
     /// Fsyncs regardless of the append-time policy (the clean shutdown
     /// path).
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
@@ -536,6 +594,7 @@ mod tests {
         ));
         assert!(matches!(wal.truncate_all(), Err(DurabilityError::Poisoned { .. })));
         assert!(matches!(wal.retain_after(0), Err(DurabilityError::Poisoned { .. })));
+        assert!(matches!(wal.truncate_to(0), Err(DurabilityError::Poisoned { .. })));
         assert!(matches!(wal.sync(), Err(DurabilityError::Poisoned { .. })));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -562,6 +621,39 @@ mod tests {
         let mut wal = Wal::open(&dir, rescan.valid_len, true).unwrap();
         wal.retain_after(0).unwrap();
         assert_eq!(scan(&dir.join(WAL_FILE)).unwrap().records.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_to_drops_only_the_divergent_tail() {
+        let dir = tmp_dir("truncto");
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        for (v, op) in ops() {
+            wal.append(v, &op).unwrap();
+        }
+        // Cut back to version 1: records 2 and 3 are the divergent tail.
+        assert_eq!(wal.truncate_to(1).unwrap(), 2);
+        let scanned = scan(&dir.join(WAL_FILE)).unwrap();
+        let versions: Vec<u64> = scanned.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![1]);
+        assert_eq!(scanned.truncated_bytes, 0);
+        // The reopened handle appends cleanly at the cut point (the
+        // demoted node re-follows the leader from here).
+        wal.append(2, &MutationOp::DeleteNode(8)).unwrap();
+        drop(wal);
+        let rescan = scan(&dir.join(WAL_FILE)).unwrap();
+        let versions: Vec<u64> = rescan.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![1, 2]);
+        assert_eq!(rescan.records[1].op, MutationOp::DeleteNode(8));
+        // Truncating to (or past) the head is a no-op.
+        let mut wal = Wal::open(&dir, rescan.valid_len, true).unwrap();
+        assert_eq!(wal.truncate_to(99).unwrap(), 0);
+        assert_eq!(scan(&dir.join(WAL_FILE)).unwrap().records.len(), 2);
+        // Truncating to 0 empties the log entirely.
+        assert_eq!(wal.truncate_to(0).unwrap(), 2);
+        let empty = scan(&dir.join(WAL_FILE)).unwrap();
+        assert!(empty.records.is_empty());
+        assert_eq!(empty.valid_len, WAL_HEADER_LEN);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,8 +3,8 @@
 //! path, ack only what is durable, and support promotion.
 
 use super::protocol::{
-    parse_u64, read_frame, write_frame, TAG_ACK, TAG_HEARTBEAT, TAG_HELLO, TAG_HELLO_OK,
-    TAG_RECORD, TAG_SNAPSHOT,
+    encode_hello, parse_u64, read_frame, write_frame, HEARTBEAT_EVERY, TAG_ACK, TAG_FENCED,
+    TAG_HEARTBEAT, TAG_HELLO, TAG_HELLO_OK, TAG_RECORD, TAG_SNAPSHOT,
 };
 use super::ReplicationStats;
 use crate::durability::{crash_point, snapshot, wal};
@@ -16,15 +16,53 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Reconnect backoff bounds: first retry after 100 ms, doubling to 2 s.
+/// Reconnect backoff bounds: first retry after ~100 ms, doubling to ~2 s,
+/// each delay jittered deterministically (see [`reconnect_backoff`]).
 const BACKOFF_START: Duration = Duration::from_millis(100);
 const BACKOFF_MAX: Duration = Duration::from_secs(2);
-/// Give up on a silent connection after this long (the primary heartbeats
-/// every ~300 ms, so this is ~10 missed heartbeats).
-const READ_TIMEOUT: Duration = Duration::from_secs(3);
+/// Give up on a silent connection after ten missed heartbeats. Derived
+/// from the primary's advertised cadence so the two sides cannot drift
+/// apart: a half-open primary (alive TCP, dead process) is detected
+/// within this window and the replica reconnects.
+const READ_TIMEOUT: Duration = Duration::from_millis(10 * HEARTBEAT_EVERY.as_millis() as u64);
 /// While draining for promotion: how long the stream may stay quiet
 /// before the drain is declared complete.
 const DRAIN_QUIET: Duration = Duration::from_secs(1);
+
+/// Deterministic jittered reconnect delay for `attempt` (0-based).
+///
+/// The envelope doubles from [`BACKOFF_START`] to [`BACKOFF_MAX`]; the
+/// actual delay is drawn from `[envelope/2, envelope]` by a splitmix-style
+/// mix of `(seed, attempt)`. Jitter prevents a fleet of replicas that all
+/// lost the same primary from reconnecting in lockstep and thundering the
+/// new one; determinism (seeded by the primary address) keeps the schedule
+/// reproducible in tests and fault harnesses.
+pub(crate) fn reconnect_backoff(seed: u64, attempt: u32) -> Duration {
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    let envelope = BACKOFF_START
+        .saturating_mul(1u32 << attempt.min(16))
+        .min(BACKOFF_MAX)
+        .as_millis() as u64;
+    let half = envelope / 2;
+    let jitter = mix(seed ^ u64::from(attempt).wrapping_mul(0x9e3779b97f4a7c15)) % (half + 1);
+    Duration::from_millis(half + jitter)
+}
+
+/// Folds a primary address into a backoff seed: replicas following
+/// different primaries jitter differently, two runs against the same
+/// primary jitter identically.
+pub(crate) fn backoff_seed(primary: &str) -> u64 {
+    primary
+        .bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+        })
+}
 
 /// Shared replica state the service can observe.
 struct ClientControl {
@@ -141,7 +179,8 @@ fn client_loop(
     control: &Arc<ClientControl>,
 ) {
     let mut connected_before = false;
-    let mut backoff = BACKOFF_START;
+    let seed = backoff_seed(primary);
+    let mut attempt: u32 = 0;
     loop {
         if done(control) {
             return;
@@ -152,11 +191,15 @@ fn client_loop(
                     stats.reconnects.fetch_add(1, Ordering::Relaxed);
                 }
                 connected_before = true;
-                backoff = BACKOFF_START;
+                attempt = 0;
                 control.connected.store(true, Ordering::Relaxed);
-                if let Err(e) = run_stream(stream, session, stats, control) {
+                if let Err(_e) = run_stream(stream, session, stats, control) {
                     if !done(control) {
-                        eprintln!("replication stream from {primary} failed: {e}; reconnecting");
+                        // Counted, not printed: a flapping stream at 2 s
+                        // backoff would otherwise spam stderr forever. The
+                        // count surfaces through `stats.replication` and
+                        // the metrics page.
+                        stats.stream_errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 control.connected.store(false, Ordering::Relaxed);
@@ -166,15 +209,34 @@ fn client_loop(
             }
         }
         // Interruptible backoff so shutdown/promote never waits it out.
-        let deadline = std::time::Instant::now() + backoff;
+        let deadline = std::time::Instant::now() + reconnect_backoff(seed, attempt);
         while std::time::Instant::now() < deadline {
             if done(control) {
                 return;
             }
             std::thread::sleep(Duration::from_millis(25));
         }
-        backoff = (backoff * 2).min(BACKOFF_MAX);
+        attempt = attempt.saturating_add(1);
     }
+}
+
+/// Raises the session's known epoch to a frame's, or errors out of the
+/// stream if the frame is *older* than what the replica already knows —
+/// a stale primary that lost a failover must not feed us records.
+fn check_epoch(frame_epoch: u64, session: &Arc<RwrSession>) -> io::Result<()> {
+    let known = session.epoch();
+    if frame_epoch < known {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("stale primary at epoch {frame_epoch}, local epoch is {known}"),
+        ));
+    }
+    if frame_epoch > known {
+        session
+            .adopt_epoch(frame_epoch)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+    }
+    Ok(())
 }
 
 /// One connection's lifetime: handshake, then apply frames until the
@@ -188,18 +250,26 @@ fn run_stream(
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
 
-    let mut hello = [0u8; 10];
-    hello[..2].copy_from_slice(&wal::WAL_FORMAT.to_le_bytes());
-    hello[2..].copy_from_slice(&session.version().to_le_bytes());
-    write_frame(&mut stream, TAG_HELLO, &hello)?;
+    let hello = encode_hello(wal::WAL_FORMAT, session.version(), "");
+    write_frame(&mut stream, TAG_HELLO, session.epoch(), &hello)?;
 
     let ok = read_frame(&mut stream)?;
+    if ok.tag == TAG_FENCED {
+        // The node we dialed is itself fenced (demoting). Reconnect with
+        // backoff: once it finishes demoting it serves as a relay again.
+        check_epoch(ok.epoch, session)?;
+        return Err(io::Error::other(format!(
+            "primary is fenced at epoch {}",
+            ok.epoch
+        )));
+    }
     if ok.tag != TAG_HELLO_OK || ok.payload.len() != 9 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "expected HELLO_OK frame",
         ));
     }
+    check_epoch(ok.epoch, session)?;
     let primary_v = u64::from_le_bytes(ok.payload[..8].try_into().expect("8 bytes"));
     observe_primary(primary_v, session, stats, control);
 
@@ -220,6 +290,7 @@ fn run_stream(
             Err(_) if control.drain.load(Ordering::SeqCst) => return Ok(()),
             Err(e) => return Err(e),
         };
+        check_epoch(frame.epoch, session)?;
         match frame.tag {
             TAG_SNAPSHOT => {
                 let (graph, version) =
@@ -274,6 +345,13 @@ fn run_stream(
                     return Ok(());
                 }
             }
+            TAG_FENCED => {
+                // Mid-stream fence: the primary just learned it lost.
+                return Err(io::Error::other(format!(
+                    "primary fenced itself at epoch {}",
+                    frame.epoch
+                )));
+            }
             _ => {} // unknown frame: ignore for forward compatibility
         }
     }
@@ -305,7 +383,7 @@ fn ack(
     // after restart the replica re-handshakes from `version` and the
     // primary ships nothing twice.
     crash_point("repl-pre-ack", || {});
-    write_frame(stream, TAG_ACK, &version.to_le_bytes())?;
+    write_frame(stream, TAG_ACK, session.epoch(), &version.to_le_bytes())?;
     stats.lag_records.store(
         control
             .last_seen_primary
@@ -314,4 +392,43 @@ fn ack(
         Ordering::Relaxed,
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_pinned_for_a_fixed_seed() {
+        let seed = backoff_seed("127.0.0.1:7001");
+        let schedule: Vec<u64> = (0..8)
+            .map(|a| reconnect_backoff(seed, a).as_millis() as u64)
+            .collect();
+        // Pinned: any change to the mixer or envelope shows up here.
+        assert_eq!(schedule, vec![69, 107, 348, 476, 1201, 1308, 1144, 1515]);
+        // Determinism: the same seed always yields the same schedule.
+        let again: Vec<u64> = (0..8)
+            .map(|a| reconnect_backoff(seed, a).as_millis() as u64)
+            .collect();
+        assert_eq!(schedule, again);
+        // A different primary jitters differently somewhere.
+        let other = backoff_seed("127.0.0.1:7002");
+        assert!((0..8).any(|a| reconnect_backoff(other, a) != reconnect_backoff(seed, a)));
+    }
+
+    #[test]
+    fn backoff_respects_the_envelope_and_never_overflows() {
+        for seed in [0u64, 1, u64::MAX, backoff_seed("a:1")] {
+            for attempt in 0..64 {
+                let d = reconnect_backoff(seed, attempt);
+                let envelope = BACKOFF_START
+                    .saturating_mul(1u32 << attempt.min(16))
+                    .min(BACKOFF_MAX);
+                assert!(d >= envelope / 2, "attempt {attempt}: {d:?} below half-envelope");
+                assert!(d <= envelope, "attempt {attempt}: {d:?} above envelope");
+            }
+            // The tail settles into [BACKOFF_MAX/2, BACKOFF_MAX].
+            assert!(reconnect_backoff(seed, 63) >= BACKOFF_MAX / 2);
+        }
+    }
 }

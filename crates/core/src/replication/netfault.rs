@@ -1,0 +1,403 @@
+//! Deterministic network fault injection for the replication link.
+//!
+//! [`NetFault`] is an in-process TCP proxy that sits between a replica and
+//! its primary and sabotages the stream *at frame granularity*: it parses
+//! the replication frame headers flowing in each direction and drops,
+//! delays, duplicates, or truncates selected frames, keyed purely by a
+//! per-connection per-direction **frame counter** — the same id-keyed
+//! deterministic style as the service's `FaultPlan`, so a chaos run is
+//! replayable and its fault schedule exactly predictable.
+//!
+//! On top of the per-frame plan, the proxy models a **hard partition**:
+//! [`NetFault::partition`] blackholes every connection (the proxy simply
+//! stops reading, so both ends see a silent, half-open peer — not a
+//! connection reset), and [`NetFault::heal`] lets traffic flow again.
+//! This is the primitive the failover gates are built on: partition the
+//! primary from its replica, promote the replica, prove the fenced old
+//! primary accepts nothing, heal, prove bit-identical convergence.
+//!
+//! Frame truncation intentionally breaks the stream (the victim sees a
+//! torn frame and reconnects); drops of ACK/HEARTBEAT frames exercise the
+//! read-deadline and lag paths; duplicated RECORD frames exercise the
+//! replica's duplicate-version skip.
+
+use super::protocol::{FRAME_HEAD_LEN, MAX_FRAME_LEN};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often blocked forwarders poll the stop/partition flags.
+const POLL: Duration = Duration::from_millis(25);
+/// Socket read timeout inside forwarders, so a quiet stream never wedges
+/// a thread past the next flag poll.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Which frames to sabotage, keyed by the per-direction frame counter
+/// (1-based). Each `*_every` field selects ids where `id % every == 0`;
+/// `0` disables that fault class. Parses from a compact spec in the
+/// `FaultPlan` style: `drop=7,delay=5:40,dup=3,trunc=50,seed=9`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// Replay label recorded in reports; does not affect fault selection.
+    pub seed: u64,
+    /// Swallow every `drop_every`-th frame (the bytes vanish mid-flight).
+    pub drop_every: u64,
+    /// Hold every `delay_every`-th frame for `delay_ms` before forwarding.
+    pub delay_every: u64,
+    /// Artificial latency applied by `delay_every`.
+    pub delay_ms: u64,
+    /// Forward every `dup_every`-th frame twice.
+    pub dup_every: u64,
+    /// Write only half of every `trunc_every`-th frame, then sever the
+    /// connection — a torn stream, the worst-case TCP failure.
+    pub trunc_every: u64,
+}
+
+impl NetFaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.drop_every == 0
+            && self.delay_every == 0
+            && self.dup_every == 0
+            && self.trunc_every == 0
+    }
+
+    fn selects(every: u64, id: u64) -> bool {
+        every != 0 && id.is_multiple_of(every)
+    }
+
+    /// Parses a spec like `drop=7,delay=5:40,dup=3,trunc=50,seed=9`.
+    ///
+    /// * `drop=N` — swallow every `N`-th frame
+    /// * `delay=N:MS` — hold every `N`-th frame for `MS` ms
+    /// * `dup=N` — forward every `N`-th frame twice
+    /// * `trunc=N` — tear the stream mid-frame on every `N`-th frame
+    /// * `seed=S` — replay label
+    pub fn parse(spec: &str) -> Result<NetFaultPlan, String> {
+        let mut plan = NetFaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("netfault spec term missing '=': {part:?}"))?;
+            let int = |s: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("netfault spec value not a number: {s:?}"))
+            };
+            match key {
+                "drop" => plan.drop_every = int(value)?,
+                "delay" => {
+                    let (every, ms) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("delay wants N:MS, got {value:?}"))?;
+                    plan.delay_every = int(every)?;
+                    plan.delay_ms = int(ms)?;
+                }
+                "dup" => plan.dup_every = int(value)?,
+                "trunc" => plan.trunc_every = int(value)?,
+                "seed" => plan.seed = int(value)?,
+                other => return Err(format!("unknown netfault spec key: {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl std::fmt::Display for NetFaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.drop_every != 0 {
+            parts.push(format!("drop={}", self.drop_every));
+        }
+        if self.delay_every != 0 {
+            parts.push(format!("delay={}:{}", self.delay_every, self.delay_ms));
+        }
+        if self.dup_every != 0 {
+            parts.push(format!("dup={}", self.dup_every));
+        }
+        if self.trunc_every != 0 {
+            parts.push(format!("trunc={}", self.trunc_every));
+        }
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+struct Flags {
+    stop: AtomicBool,
+    partitioned: AtomicBool,
+}
+
+/// A running fault proxy; connections dialed at [`NetFault::addr`] are
+/// forwarded to the upstream address through the fault plan.
+pub struct NetFault {
+    addr: SocketAddr,
+    flags: Arc<Flags>,
+    /// Frames forwarded (after faults), across all connections.
+    forwarded: Arc<AtomicU64>,
+    /// Frames sabotaged (dropped + truncated), across all connections.
+    sabotaged: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetFault {
+    /// Starts proxying `listener` → `upstream` through `plan`.
+    pub fn spawn(listener: TcpListener, upstream: String, plan: NetFaultPlan) -> io::Result<NetFault> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let flags = Arc::new(Flags {
+            stop: AtomicBool::new(false),
+            partitioned: AtomicBool::new(false),
+        });
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let sabotaged = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let flags = flags.clone();
+            let forwarded = forwarded.clone();
+            let sabotaged = sabotaged.clone();
+            std::thread::Builder::new()
+                .name("netfault".into())
+                .spawn(move || accept_loop(listener, &upstream, plan, &flags, &forwarded, &sabotaged))?
+        };
+        Ok(NetFault {
+            addr,
+            flags,
+            forwarded,
+            sabotaged,
+            thread: Some(thread),
+        })
+    }
+
+    /// The proxy's dialable address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blackholes all traffic: existing connections go silent (sockets
+    /// stay open — a half-open link, not a reset), new connections are
+    /// accepted but stall. Idempotent.
+    pub fn partition(&self) {
+        self.flags.partitioned.store(true, Ordering::SeqCst);
+    }
+
+    /// Ends a partition; traffic resumes where it stalled. Idempotent.
+    pub fn heal(&self) {
+        self.flags.partitioned.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.flags.partitioned.load(Ordering::SeqCst)
+    }
+
+    /// Total frames forwarded (after faults), both directions.
+    pub fn frames_forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Total frames sabotaged (dropped or truncated), both directions.
+    pub fn frames_sabotaged(&self) -> u64 {
+        self.sabotaged.load(Ordering::Relaxed)
+    }
+
+    /// Stops the proxy; forwarder threads notice within a poll interval.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.flags.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+    }
+}
+
+impl Drop for NetFault {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: &str,
+    plan: NetFaultPlan,
+    flags: &Arc<Flags>,
+    forwarded: &Arc<AtomicU64>,
+    sabotaged: &Arc<AtomicU64>,
+) {
+    loop {
+        if flags.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    // Upstream down: refuse by dropping the accepted socket.
+                    continue;
+                };
+                client.set_nodelay(true).ok();
+                server.set_nodelay(true).ok();
+                for (src, dst) in [
+                    (client.try_clone(), server.try_clone()),
+                    (server.try_clone(), client.try_clone()),
+                ] {
+                    let (Ok(src), Ok(dst)) = (src, dst) else { continue };
+                    let flags = flags.clone();
+                    let forwarded = forwarded.clone();
+                    let sabotaged = sabotaged.clone();
+                    std::thread::Builder::new()
+                        .name("netfault-fwd".into())
+                        .spawn(move || {
+                            let _ = forward(src, dst, plan, &flags, &forwarded, &sabotaged);
+                        })
+                        .ok();
+                }
+            }
+            // Nonblocking listener: idle.
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, polling the stop flag across read
+/// timeouts and stalling (mid-read included) while partitioned. Returns
+/// `Ok(false)` on a clean EOF at a frame boundary (no bytes read yet).
+fn read_full(src: &mut TcpStream, buf: &mut [u8], flags: &Flags) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        while flags.partitioned.load(Ordering::SeqCst) {
+            if flags.stop.load(Ordering::SeqCst) {
+                return Err(io::Error::other("netfault stopped"));
+            }
+            std::thread::sleep(POLL);
+        }
+        if flags.stop.load(Ordering::SeqCst) {
+            return Err(io::Error::other("netfault stopped"));
+        }
+        match src.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// One direction of one connection: parse frames, apply the plan, forward.
+fn forward(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    plan: NetFaultPlan,
+    flags: &Arc<Flags>,
+    forwarded: &Arc<AtomicU64>,
+    sabotaged: &Arc<AtomicU64>,
+) -> io::Result<()> {
+    src.set_read_timeout(Some(READ_POLL))?;
+    let sever = |src: &TcpStream, dst: &TcpStream| {
+        src.shutdown(Shutdown::Both).ok();
+        dst.shutdown(Shutdown::Both).ok();
+    };
+    let mut id: u64 = 0;
+    loop {
+        let mut frame = vec![0u8; FRAME_HEAD_LEN];
+        if !read_full(&mut src, &mut frame, flags)? {
+            // Clean EOF: propagate the close downstream.
+            sever(&src, &dst);
+            return Ok(());
+        }
+        let len = u32::from_le_bytes(frame[9..13].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            // Not a frame stream we understand; tear the connection down
+            // rather than forward unbounded garbage.
+            sever(&src, &dst);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "netfault saw a non-frame byte stream",
+            ));
+        }
+        frame.resize(FRAME_HEAD_LEN + len as usize, 0);
+        if !read_full(&mut src, &mut frame[FRAME_HEAD_LEN..], flags)? {
+            sever(&src, &dst);
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        id += 1;
+        if NetFaultPlan::selects(plan.drop_every, id) {
+            sabotaged.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if NetFaultPlan::selects(plan.trunc_every, id) {
+            sabotaged.fetch_add(1, Ordering::Relaxed);
+            dst.write_all(&frame[..frame.len() / 2]).ok();
+            dst.flush().ok();
+            sever(&src, &dst);
+            return Ok(());
+        }
+        if NetFaultPlan::selects(plan.delay_every, id) {
+            std::thread::sleep(Duration::from_millis(plan.delay_ms));
+        }
+        let copies = if NetFaultPlan::selects(plan.dup_every, id) { 2 } else { 1 };
+        for _ in 0..copies {
+            if let Err(e) = dst.write_all(&frame).and_then(|()| dst.flush()) {
+                sever(&src, &dst);
+                return Err(e);
+            }
+        }
+        forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parse_round_trips() {
+        let p = NetFaultPlan::parse("drop=7,delay=5:40,dup=3,trunc=50,seed=9").unwrap();
+        assert_eq!(
+            p,
+            NetFaultPlan {
+                seed: 9,
+                drop_every: 7,
+                delay_every: 5,
+                delay_ms: 40,
+                dup_every: 3,
+                trunc_every: 50,
+            }
+        );
+        assert_eq!(NetFaultPlan::parse(&p.to_string()).unwrap(), p);
+        assert_eq!(NetFaultPlan::parse("").unwrap(), NetFaultPlan::default());
+        assert!(NetFaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_parse_rejects_garbage() {
+        assert!(NetFaultPlan::parse("drop").is_err());
+        assert!(NetFaultPlan::parse("drop=x").is_err());
+        assert!(NetFaultPlan::parse("delay=10").is_err());
+        assert!(NetFaultPlan::parse("bogus=1").is_err());
+    }
+
+    #[test]
+    fn selection_is_modular_and_deterministic() {
+        let p = NetFaultPlan::parse("drop=10,dup=4").unwrap();
+        let dropped: Vec<u64> = (1..=50)
+            .filter(|&i| NetFaultPlan::selects(p.drop_every, i))
+            .collect();
+        assert_eq!(dropped, vec![10, 20, 30, 40, 50]);
+        assert!(NetFaultPlan::selects(p.dup_every, 8));
+        assert!(!NetFaultPlan::selects(p.dup_every, 9));
+        assert!(!NetFaultPlan::selects(0, 10), "0 disables a fault class");
+    }
+}

@@ -1,11 +1,13 @@
 //! The primary side: accepts replica connections, streams catch-up state
 //! (snapshot and/or WAL tail) and then the live record stream, with
-//! heartbeats out and acks in.
+//! heartbeats out and acks in — and fences itself when a handshake proves
+//! a newer epoch exists.
 
 use super::hub::{Published, ReplicationHub};
 use super::protocol::{
-    read_frame, write_frame, PLAN_RECORDS, PLAN_SNAPSHOT, TAG_ACK, TAG_HEARTBEAT, TAG_HELLO,
-    TAG_HELLO_OK, TAG_RECORD, TAG_SNAPSHOT,
+    encode_hello, parse_hello, read_frame, write_frame, HEARTBEAT_EVERY, PLAN_RECORDS,
+    PLAN_SNAPSHOT, TAG_ACK, TAG_FENCED, TAG_HEARTBEAT, TAG_HELLO, TAG_HELLO_OK, TAG_RECORD,
+    TAG_SNAPSHOT,
 };
 use super::ReplicationStats;
 use crate::durability::{snapshot, wal};
@@ -17,9 +19,31 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Idle-stream heartbeat cadence. Replicas treat ~10 missed heartbeats as
-/// a dead primary and reconnect.
-const HEARTBEAT_EVERY: Duration = Duration::from_millis(300);
+/// What a fencing handshake proved: a leader at `leader` owns `epoch`,
+/// and its history reaches `leader_version`. Handed to the
+/// [`FenceHook`] so the service layer can demote (truncate any divergent
+/// unacknowledged tail, flip read-only, start following the leader).
+#[derive(Debug, Clone)]
+pub struct FenceEvent {
+    /// The epoch the leader owns — this node's epoch has already been
+    /// raised to it by the time the hook runs.
+    pub epoch: u64,
+    /// May be empty when the fence was learned from a replica's handshake
+    /// rather than a probe (the replica knows the epoch, not the leader).
+    pub leader: String,
+    /// The version at which the leader was *promoted* — the fork point of
+    /// the two histories (0 when unknown). Everything the fenced node
+    /// holds above this version diverges and must be truncated (or
+    /// refused if acknowledged); everything at or below it is shared
+    /// prefix, replicated to the leader before it won.
+    pub leader_version: u64,
+}
+
+/// Called (on a connection thread) when this node fences itself. The
+/// session is already fenced when the hook runs; the hook owns demotion.
+/// May fire more than once for the same epoch under concurrent probes —
+/// implementations must be idempotent.
+pub type FenceHook = Arc<dyn Fn(FenceEvent) + Send + Sync>;
 
 /// A running replication listener; dropping it (or calling
 /// [`ReplicationServer::shutdown`]) stops the accept loop. Connection
@@ -42,13 +66,25 @@ impl ReplicationServer {
         hub: Arc<ReplicationHub>,
         stats: Arc<ReplicationStats>,
     ) -> io::Result<ReplicationServer> {
+        Self::spawn_with_hook(listener, session, hub, stats, None)
+    }
+
+    /// [`ReplicationServer::spawn`] plus a [`FenceHook`] invoked when a
+    /// handshake fences this node.
+    pub fn spawn_with_hook(
+        listener: TcpListener,
+        session: Arc<RwrSession>,
+        hub: Arc<ReplicationHub>,
+        stats: Arc<ReplicationStats>,
+        fence_hook: Option<FenceHook>,
+    ) -> io::Result<ReplicationServer> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
         let thread = std::thread::Builder::new()
             .name("repl-accept".into())
-            .spawn(move || accept_loop(listener, session, hub, stats, flag))?;
+            .spawn(move || accept_loop(listener, session, hub, stats, flag, fence_hook))?;
         Ok(ReplicationServer {
             addr,
             shutdown,
@@ -86,6 +122,7 @@ fn accept_loop(
     hub: Arc<ReplicationHub>,
     stats: Arc<ReplicationStats>,
     shutdown: Arc<AtomicBool>,
+    fence_hook: Option<FenceHook>,
 ) {
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -97,10 +134,11 @@ fn accept_loop(
                 let hub = hub.clone();
                 let stats = stats.clone();
                 let shutdown = shutdown.clone();
+                let fence_hook = fence_hook.clone();
                 std::thread::Builder::new()
                     .name("repl-conn".into())
                     .spawn(move || {
-                        let _ = handle_replica(stream, &session, &hub, &stats, &shutdown);
+                        let _ = handle_replica(stream, &session, &hub, &stats, &shutdown, &fence_hook);
                     })
                     .ok();
             }
@@ -144,9 +182,10 @@ fn handle_replica(
     hub: &Arc<ReplicationHub>,
     stats: &Arc<ReplicationStats>,
     shutdown: &Arc<AtomicBool>,
+    fence_hook: &Option<FenceHook>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    let result = replica_conversation(&mut stream, session, hub, stats, shutdown);
+    let result = replica_conversation(&mut stream, session, hub, stats, shutdown, fence_hook);
     // Unblock the ack-reader thread's clone of this socket.
     stream.shutdown(Shutdown::Both).ok();
     result
@@ -158,24 +197,67 @@ fn replica_conversation(
     hub: &Arc<ReplicationHub>,
     stats: &Arc<ReplicationStats>,
     shutdown: &Arc<AtomicBool>,
+    fence_hook: &Option<FenceHook>,
 ) -> io::Result<()> {
     // Handshake: what the replica holds, and which WAL format it speaks.
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let hello = read_frame(stream)?;
-    if hello.tag != TAG_HELLO || hello.payload.len() != 10 {
+    let frame = read_frame(stream)?;
+    if frame.tag != TAG_HELLO {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "expected HELLO frame",
         ));
     }
-    let format = u16::from_le_bytes(hello.payload[..2].try_into().expect("2 bytes"));
-    if format != wal::WAL_FORMAT {
+    let hello = parse_hello(&frame.payload)?;
+    if hello.format != wal::WAL_FORMAT {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("replica speaks WAL format {format}, primary speaks {}", wal::WAL_FORMAT),
+            format!(
+                "replica speaks WAL format {}, primary speaks {}",
+                hello.format,
+                wal::WAL_FORMAT
+            ),
         ));
     }
-    let replica_v = u64::from_le_bytes(hello.payload[2..10].try_into().expect("8 bytes"));
+
+    // Epoch discipline before any streaming. Two ways a handshake fences
+    // this node: an explicit probe (non-empty leader) announcing a newer
+    // epoch, or an ordinary replica that has already heard one. Either
+    // way the reply is a FENCED frame carrying *our* epoch — which, when
+    // we just adopted the higher one, acknowledges the fence, and when
+    // the peer is the stale one, proves it cannot re-fence us backwards.
+    if !hello.leader.is_empty() {
+        let before = session.epoch();
+        if frame.epoch > before {
+            session
+                .fence(frame.epoch, &hello.leader)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            if let Some(hook) = fence_hook {
+                hook(FenceEvent {
+                    epoch: frame.epoch,
+                    leader: hello.leader.clone(),
+                    leader_version: hello.start_version,
+                });
+            }
+        }
+        write_frame(stream, TAG_FENCED, session.epoch(), &[])?;
+        return Ok(());
+    }
+    if frame.epoch > session.epoch() {
+        session
+            .fence(frame.epoch, "")
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        if let Some(hook) = fence_hook {
+            hook(FenceEvent {
+                epoch: frame.epoch,
+                leader: String::new(),
+                leader_version: 0,
+            });
+        }
+        write_frame(stream, TAG_FENCED, session.epoch(), &[])?;
+        return Ok(());
+    }
+    let replica_v = hello.start_version;
 
     // Subscribe BEFORE planning catch-up: every record published after
     // `sub_version` is guaranteed to arrive on `rx`, so disk catch-up
@@ -195,11 +277,12 @@ fn replica_conversation(
         CatchUp::Snapshot { .. } => PLAN_SNAPSHOT,
         _ => PLAN_RECORDS,
     };
-    ship(stream, TAG_HELLO_OK, &ok, stats)?;
+    ship(stream, TAG_HELLO_OK, session, &ok, stats)?;
 
     // Acks flow back on the same socket; a dedicated reader keeps the
     // write path from ever blocking on them.
     let acked = Arc::new(AtomicU64::new(replica_v));
+    stats.max_acked.fetch_max(replica_v, Ordering::AcqRel);
     spawn_ack_reader(stream.try_clone()?, acked, hub.clone(), stats.clone());
 
     let mut last_sent = replica_v;
@@ -207,7 +290,7 @@ fn replica_conversation(
         CatchUp::None => {}
         CatchUp::Records(records) => {
             for (version, payload) in records {
-                ship(stream, TAG_RECORD, &payload, stats)?;
+                ship(stream, TAG_RECORD, session, &payload, stats)?;
                 last_sent = version;
             }
         }
@@ -216,22 +299,25 @@ fn replica_conversation(
             file,
             records,
         } => {
-            ship(stream, TAG_SNAPSHOT, &file, stats)?;
+            ship(stream, TAG_SNAPSHOT, session, &file, stats)?;
             last_sent = version;
             for (version, payload) in records {
-                ship(stream, TAG_RECORD, &payload, stats)?;
+                ship(stream, TAG_RECORD, session, &payload, stats)?;
                 last_sent = version;
             }
         }
     }
 
-    stream_live(stream, rx, hub, stats, shutdown, last_sent)
+    stream_live(stream, rx, session, hub, stats, shutdown, last_sent)
 }
 
-/// The steady state: forward hub records, heartbeat when idle.
+/// The steady state: forward hub records, heartbeat when idle. A fence
+/// landing mid-stream (probe on another connection) ends the stream with
+/// a FENCED frame so the replica immediately re-handshakes elsewhere.
 fn stream_live(
     stream: &mut TcpStream,
     rx: Receiver<Published>,
+    session: &Arc<RwrSession>,
     hub: &Arc<ReplicationHub>,
     stats: &Arc<ReplicationStats>,
     shutdown: &Arc<AtomicBool>,
@@ -241,16 +327,20 @@ fn stream_live(
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
+        if session.is_fenced() {
+            ship(stream, TAG_FENCED, session, &[], stats)?;
+            return Ok(());
+        }
         match rx.recv_timeout(HEARTBEAT_EVERY) {
             Ok((version, payload)) => {
                 if version <= last_sent {
                     continue; // already shipped during catch-up
                 }
-                ship(stream, TAG_RECORD, &payload, stats)?;
+                ship(stream, TAG_RECORD, session, &payload, stats)?;
                 last_sent = version;
             }
             Err(RecvTimeoutError::Timeout) => {
-                ship(stream, TAG_HEARTBEAT, &hub.version().to_le_bytes(), stats)?;
+                ship(stream, TAG_HEARTBEAT, session, &hub.version().to_le_bytes(), stats)?;
             }
             // The hub dropped this subscription (buffer overflow): close
             // so the replica reconnects and catches up from disk.
@@ -262,10 +352,11 @@ fn stream_live(
 fn ship(
     stream: &mut TcpStream,
     tag: u8,
+    session: &Arc<RwrSession>,
     payload: &[u8],
     stats: &Arc<ReplicationStats>,
 ) -> io::Result<()> {
-    let bytes = write_frame(stream, tag, payload)?;
+    let bytes = write_frame(stream, tag, session.epoch(), payload)?;
     stats.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
     Ok(())
 }
@@ -288,6 +379,9 @@ fn spawn_ack_reader(
                             return;
                         };
                         acked.store(version, Ordering::Release);
+                        // The high-water mark of acknowledged history: what
+                        // a later demotion must never truncate below.
+                        stats.max_acked.fetch_max(version, Ordering::AcqRel);
                         stats
                             .lag_records
                             .store(hub.version().saturating_sub(version), Ordering::Relaxed);
@@ -298,6 +392,34 @@ fn spawn_ack_reader(
             }
         })
         .ok();
+}
+
+/// Announces a new leader's epoch to the node at `target` (typically the
+/// fenced old primary): sends a HELLO fence probe and reads the FENCED
+/// acknowledgement. `leader_version` is the version at which the leader
+/// was promoted — the fork point a fenced node demotes back to, *not* the
+/// leader's current version (which may already include post-promotion
+/// writes the old primary never saw).
+///
+/// Returns `Ok(true)` when the target acknowledged (its replied epoch is
+/// at most the probe's — it is fenced or already was), `Ok(false)` when
+/// the target replied with a *higher* epoch (the prober itself is stale
+/// and must not keep claiming leadership), and `Err` on transport
+/// failures (target unreachable — retry later).
+pub fn fence_probe(target: &str, epoch: u64, leader_version: u64, leader: &str) -> io::Result<bool> {
+    let mut stream = TcpStream::connect(target)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let hello = encode_hello(wal::WAL_FORMAT, leader_version, leader);
+    write_frame(&mut stream, TAG_HELLO, epoch, &hello)?;
+    let reply = read_frame(&mut stream)?;
+    if reply.tag != TAG_FENCED {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "fence probe expected a FENCED acknowledgement",
+        ));
+    }
+    Ok(reply.epoch <= epoch)
 }
 
 /// Computes what to ship a replica at `replica_v` so that, together with

@@ -27,7 +27,7 @@
 //!   implicitly invalidates every cached result (see `resacc-service`).
 
 use crate::cancel::{Cancel, QueryError};
-use crate::durability::{Durability, DurabilityError, MutationOp, Recovered};
+use crate::durability::{epoch, Durability, DurabilityError, MutationOp, Recovered};
 use crate::dynamic::{self, DeltaChange, DeltaLog, UpgradeError, Upgraded};
 use crate::params::RwrParams;
 use crate::resacc::{ResAcc, ResAccConfig, ResAccResult};
@@ -68,6 +68,18 @@ pub struct RwrSession {
     /// stream is contiguous — the raw material for offset-propagation cache
     /// upgrades ([`crate::dynamic`]).
     deltas: Mutex<DeltaLog>,
+    /// Replication epoch (failover generation). Raised durably by
+    /// [`RwrSession::bump_epoch`] (promotion) and [`RwrSession::adopt_epoch`]
+    /// (a replica following a newer leader); read lock-free on the frame
+    /// hot path. Writes serialize on the `fence` mutex.
+    epoch: AtomicU64,
+    /// `Some(leader)` when this node observed a strictly higher epoch and
+    /// fenced itself: every mutation bounces with
+    /// [`DurabilityError::Fenced`] until [`RwrSession::bump_epoch`] (won a
+    /// new election) or [`RwrSession::clear_fence`] (demotion to replica
+    /// completed) lifts it. The leader string may be empty when the fencing
+    /// handshake carried no leader address.
+    fence: Mutex<Option<String>>,
 }
 
 /// Callback invoked for every applied (and, with a store attached, already
@@ -104,6 +116,8 @@ impl RwrSession {
             durability: None,
             observer: None,
             deltas: Mutex::new(DeltaLog::new(dynamic::DEFAULT_DELTA_WINDOW)),
+            epoch: AtomicU64::new(0),
+            fence: Mutex::new(None),
         }
     }
 
@@ -134,11 +148,13 @@ impl RwrSession {
             graph,
             version,
             store,
+            epoch,
             ..
         } = recovered;
         let mut session = Self::with_config(graph, params, config);
         session.version = AtomicU64::new(version);
         session.durability = Some(store);
+        session.epoch = AtomicU64::new(epoch);
         session
     }
 
@@ -180,6 +196,141 @@ impl RwrSession {
     /// write lock, before the mutation becomes visible to readers.
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
+    }
+
+    /// The replication epoch this session is at (0 until a failover ever
+    /// happens). Lock-free; stamped into every replication frame.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// `Some((epoch, leader))` when this session is fenced: it observed a
+    /// higher epoch and refuses every mutation until it demotes (or wins a
+    /// later election via [`RwrSession::bump_epoch`]).
+    pub fn fence_info(&self) -> Option<(u64, String)> {
+        let fence = self.fence.lock();
+        fence
+            .as_ref()
+            .map(|leader| (self.epoch.load(Ordering::Acquire), leader.clone()))
+    }
+
+    /// True when fenced (shorthand over [`RwrSession::fence_info`]).
+    pub fn is_fenced(&self) -> bool {
+        self.fence.lock().is_some()
+    }
+
+    /// Raise-only epoch adoption: a replica that learns the leader's epoch
+    /// from a handshake or frame records it here (durably, when a store is
+    /// attached) so a later promotion bumps *past* it. Lower or equal
+    /// epochs are ignored — the epoch never regresses. Returns the
+    /// session's epoch after adoption.
+    pub fn adopt_epoch(&self, observed: u64) -> Result<u64, DurabilityError> {
+        let fence = self.fence.lock();
+        let current = self.epoch.load(Ordering::Acquire);
+        if observed <= current {
+            return Ok(current);
+        }
+        if let Some(store) = &self.durability {
+            epoch::write_epoch(store.dir(), observed)?;
+        }
+        self.epoch.store(observed, Ordering::Release);
+        drop(fence);
+        Ok(observed)
+    }
+
+    /// The promotion step: durably bumps the epoch by one and clears any
+    /// fence, returning the new epoch. The epoch reaches disk *before* this
+    /// returns (and before the caller flips writable), so a SIGKILL
+    /// immediately after promotion still recovers the bumped epoch — the
+    /// old primary can never re-fence this node backwards. Armed crash
+    /// point `promote-post-epoch` parks right after the durable write.
+    pub fn bump_epoch(&self) -> Result<u64, DurabilityError> {
+        let mut fence = self.fence.lock();
+        let next = self.epoch.load(Ordering::Acquire) + 1;
+        if let Some(store) = &self.durability {
+            epoch::write_epoch(store.dir(), next)?;
+        }
+        crate::durability::crash_point("promote-post-epoch", || {});
+        self.epoch.store(next, Ordering::Release);
+        *fence = None;
+        Ok(next)
+    }
+
+    /// Fences this session at `observed` (which must be ≥ the current
+    /// epoch; the caller verified it saw a higher epoch): adopts the epoch
+    /// durably and records `leader` (possibly empty) so every subsequent
+    /// mutation bounces with [`DurabilityError::Fenced`]. Idempotent.
+    pub fn fence(&self, observed: u64, leader: &str) -> Result<(), DurabilityError> {
+        let mut fence = self.fence.lock();
+        let current = self.epoch.load(Ordering::Acquire);
+        if observed > current {
+            if let Some(store) = &self.durability {
+                epoch::write_epoch(store.dir(), observed)?;
+            }
+            self.epoch.store(observed, Ordering::Release);
+        }
+        // A later probe may carry the leader a first (replica-handshake)
+        // fencing didn't know; never overwrite a known leader with "".
+        match fence.as_ref() {
+            Some(existing) if !existing.is_empty() && leader.is_empty() => {}
+            _ => *fence = Some(leader.to_string()),
+        }
+        Ok(())
+    }
+
+    /// Lifts the fence *without* changing the epoch — the final step of a
+    /// completed demotion, after which the node follows the new leader as
+    /// a replica (the replication stream applies mutations through
+    /// [`RwrSession::apply_mutation`] again; local writes are bounced at
+    /// the service layer by the read-only role).
+    pub fn clear_fence(&self) {
+        *self.fence.lock() = None;
+    }
+
+    /// Demotes a fenced ex-primary's *history* to the leader's version:
+    /// truncates every WAL record above `leader_version`, deletes
+    /// snapshots above it, and rolls the in-memory graph back to exactly
+    /// that version — unless a replica acknowledged records above it
+    /// (`max_acked > leader_version`), in which case this refuses with
+    /// [`DurabilityError::Diverged`] and changes nothing: truncating
+    /// acknowledged history silently is the one thing failover must never
+    /// do. Returns the number of records truncated (0 when this node never
+    /// got ahead of the leader). The session stays fenced either way; the
+    /// caller lifts the fence once its role has flipped to replica.
+    pub fn demote_to(&self, leader_version: u64, max_acked: u64) -> Result<u64, DurabilityError> {
+        let mut state = self.state.write();
+        let version = self.version.load(Ordering::Acquire);
+        if version <= leader_version {
+            return Ok(0); // nothing divergent; follow the leader from here
+        }
+        let (epoch, leader) = self
+            .fence_info()
+            .unwrap_or_else(|| (self.epoch(), String::new()));
+        let diverged = || DurabilityError::Diverged {
+            epoch,
+            leader: leader.clone(),
+            local_version: version,
+            leader_version,
+            max_acked,
+        };
+        if max_acked > leader_version {
+            return Err(diverged());
+        }
+        let Some(store) = &self.durability else {
+            // No on-disk history to rebuild the pre-divergence state from;
+            // refuse loudly rather than serve a forked graph as truth.
+            return Err(diverged());
+        };
+        let (graph, dropped) = store.rollback_to(leader_version)?;
+        if graph.num_nodes() != state.graph.num_nodes() {
+            state.params = RwrParams::for_graph(graph.num_nodes());
+        }
+        state.graph = graph;
+        self.version.store(leader_version, Ordering::Release);
+        // The rollback jumped the version counter backwards: retained
+        // deltas describe discarded history.
+        self.deltas.lock().clear();
+        Ok(dropped)
     }
 
     /// Checks a workspace out of the pool, sized for `n` nodes.
@@ -286,6 +437,12 @@ impl RwrSession {
     /// durable in the WAL, and snapshots only bound replay time.
     pub fn apply_mutation(&self, op: &MutationOp) -> Result<u64, DurabilityError> {
         let mut state = self.state.write();
+        // Fenced: a newer primary exists, so accepting this write would
+        // fork acknowledged history. Checked under the write lock so a
+        // fence landing concurrently with a mutation serializes cleanly.
+        if let Some((epoch, leader)) = self.fence_info() {
+            return Err(DurabilityError::Fenced { epoch, leader });
+        }
         let next = self.version.load(Ordering::Acquire) + 1;
         if let Some(store) = &self.durability {
             store.log_mutation(next, op)?;
@@ -809,5 +966,106 @@ mod tests {
         assert_eq!(rec2.stats.wal_records_replayed, 0);
         assert_eq!(rec2.version, 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fenced_session_bounces_mutations_until_cleared() {
+        use crate::durability::MutationOp;
+        let session = RwrSession::new(gen::cycle(6));
+        session.fence(5, "10.0.0.9:7000").unwrap();
+        assert!(session.is_fenced());
+        assert_eq!(session.epoch(), 5);
+        match session.apply_mutation(&MutationOp::InsertEdges(vec![(0, 3)])) {
+            Err(DurabilityError::Fenced { epoch, leader }) => {
+                assert_eq!(epoch, 5);
+                assert_eq!(leader, "10.0.0.9:7000");
+            }
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+        assert_eq!(session.version(), 0, "fenced write left no trace");
+        // A later fence with an unknown leader must not erase a known one.
+        session.fence(5, "").unwrap();
+        assert_eq!(session.fence_info(), Some((5, "10.0.0.9:7000".to_string())));
+        session.clear_fence();
+        assert!(!session.is_fenced());
+        session.apply_mutation(&MutationOp::InsertEdges(vec![(0, 3)])).unwrap();
+        assert_eq!(session.version(), 1);
+        assert_eq!(session.epoch(), 5, "clearing the fence keeps the epoch");
+    }
+
+    #[test]
+    fn epoch_adoption_is_raise_only_and_bump_clears_fence() {
+        let session = RwrSession::new(gen::path(4));
+        assert_eq!(session.adopt_epoch(3).unwrap(), 3);
+        assert_eq!(session.adopt_epoch(1).unwrap(), 3, "epochs never regress");
+        assert_eq!(session.epoch(), 3);
+        session.fence(4, "left:1").unwrap();
+        assert_eq!(session.bump_epoch().unwrap(), 5);
+        assert!(!session.is_fenced(), "promotion lifts the fence");
+    }
+
+    #[test]
+    fn demote_truncates_unacked_tail_but_refuses_acked_divergence() {
+        use crate::durability::{open_dir, DurabilityOptions, MutationOp};
+        let dir = std::env::temp_dir().join(format!("resacc-sess-demote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurabilityOptions {
+            fsync: false,
+            snapshot_every: 0,
+        };
+        let base = || Ok(gen::erdos_renyi(20, 80, 5));
+        let rec = open_dir(&dir, opts, base).unwrap();
+        let params = RwrParams::for_graph(rec.graph.num_nodes());
+        let session = RwrSession::from_recovered(rec, params, ResAccConfig::default());
+        session.apply_mutation(&MutationOp::InsertEdges(vec![(0, 19)])).unwrap();
+        session.apply_mutation(&MutationOp::InsertEdges(vec![(1, 18)])).unwrap();
+        let clean = session.query(0, 13).scores.clone();
+        session.checkpoint().unwrap(); // anchor snapshot at version 2
+        // Split-brain tail: three writes the new leader never saw.
+        for k in 0..3u32 {
+            session
+                .apply_mutation(&MutationOp::InsertEdges(vec![(2 + k, 17 - k)]))
+                .unwrap();
+        }
+        assert_eq!(session.version(), 5);
+        session.fence(9, "leader:1").unwrap();
+        // Acked divergence: refuse loudly rather than drop history.
+        match session.demote_to(2, 4) {
+            Err(DurabilityError::Diverged {
+                epoch,
+                local_version,
+                leader_version,
+                max_acked,
+                ..
+            }) => {
+                assert_eq!((epoch, local_version, leader_version, max_acked), (9, 5, 2, 4));
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        assert_eq!(session.version(), 5, "refusal leaves state untouched");
+        // Unacked divergence: roll the tail away and land on the leader's tip.
+        assert_eq!(session.demote_to(2, 2).unwrap(), 3);
+        assert_eq!(session.version(), 2);
+        assert_eq!(
+            session.query(0, 13).scores,
+            clean,
+            "post-rollback scores are bit-identical to the pre-divergence state"
+        );
+        // Already behind the leader: nothing to truncate.
+        assert_eq!(session.demote_to(10, 2).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_session_refuses_demotion_below_its_version() {
+        use crate::durability::MutationOp;
+        let session = RwrSession::new(gen::cycle(5));
+        session.apply_mutation(&MutationOp::InsertEdges(vec![(0, 2)])).unwrap();
+        session.apply_mutation(&MutationOp::InsertEdges(vec![(1, 3)])).unwrap();
+        session.fence(2, "leader:2").unwrap();
+        assert!(matches!(
+            session.demote_to(1, 0),
+            Err(DurabilityError::Diverged { .. })
+        ));
     }
 }

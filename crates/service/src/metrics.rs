@@ -143,6 +143,9 @@ pub struct Metrics {
     pub replication_bytes_shipped: AtomicU64,
     /// Replica-client reconnects after the first successful connection.
     pub replication_reconnects: AtomicU64,
+    /// Established replication streams that later failed (handshake
+    /// rejections, torn frames, gaps, read deadlines).
+    pub replication_stream_errors: AtomicU64,
     /// End-to-end latency per query, nanoseconds (enqueue → response).
     pub latency: Histogram,
     /// End-to-end latency of *failed* queries (shed/timeout/panic),
@@ -202,6 +205,8 @@ pub struct MetricsSnapshot {
     pub replication_bytes_shipped: u64,
     /// Replica-client reconnects.
     pub replication_reconnects: u64,
+    /// Replication stream failures observed by this process's replica client.
+    pub replication_stream_errors: u64,
     /// Queries per second over the whole uptime.
     pub qps: f64,
     /// Cache hit rate in [0, 1]; 0 when no lookups happened.
@@ -247,6 +252,7 @@ impl Metrics {
             replication_lag_records: AtomicU64::new(0),
             replication_bytes_shipped: AtomicU64::new(0),
             replication_reconnects: AtomicU64::new(0),
+            replication_stream_errors: AtomicU64::new(0),
             latency: Histogram::new(),
             latency_err: Histogram::new(),
             phase_hhop_ns: AtomicU64::new(0),
@@ -285,6 +291,7 @@ impl Metrics {
             replication_lag_records: self.replication_lag_records.load(Ordering::Relaxed),
             replication_bytes_shipped: self.replication_bytes_shipped.load(Ordering::Relaxed),
             replication_reconnects: self.replication_reconnects.load(Ordering::Relaxed),
+            replication_stream_errors: self.replication_stream_errors.load(Ordering::Relaxed),
             qps: queries as f64 / uptime,
             hit_rate: if lookups == 0 {
                 0.0
@@ -358,6 +365,10 @@ impl MetricsSnapshot {
                 "replication_reconnects".into(),
                 Json::u64(self.replication_reconnects),
             ),
+            (
+                "replication_stream_errors".into(),
+                Json::u64(self.replication_stream_errors),
+            ),
             ("qps".into(), Json::f64(self.qps)),
             ("hit_rate".into(), Json::f64(self.hit_rate)),
             ("mean_ms".into(), Json::f64(self.mean_ms)),
@@ -386,7 +397,7 @@ impl MetricsSnapshot {
              overload    {:>10} shed / {} timeouts / {} panics\n\
              listener    {:>10} rejected conns / {} accept errors\n\
              recovery    {:>10} WAL records replayed / {} B truncated / {} snapshots loaded\n\
-             replication {:>10} records lag / {} B shipped / {} reconnects\n\
+             replication {:>10} records lag / {} B shipped / {} reconnects / {} stream errors\n\
              latency     mean {:.3} ms · p50 {:.3} ms · p95 {:.3} ms · p99 {:.3} ms\n\
              err latency mean {:.3} ms · p99 {:.3} ms\n\
              phase time  hhop {:.1} ms · omfwd {:.1} ms · remedy {:.1} ms\n",
@@ -413,6 +424,7 @@ impl MetricsSnapshot {
             self.replication_lag_records,
             self.replication_bytes_shipped,
             self.replication_reconnects,
+            self.replication_stream_errors,
             self.mean_ms,
             self.p50_ms,
             self.p95_ms,

@@ -1,25 +1,37 @@
 //! The service's view of replication: which role this server plays, the
-//! shared live counters, and the promotion switch.
+//! shared live counters, the promotion switch, and the demotion path a
+//! fence event triggers.
 //!
 //! The core subsystem ([`resacc::replication`]) does the shipping and
 //! applying; this type is the thin layer the NDJSON front end consults on
-//! every mutation op (is this server writable? who is the primary?) and
-//! flips when a `promote` op arrives.
+//! every mutation op (is this server writable? who is the primary? was it
+//! fenced?) and flips when a `promote` op arrives or a fence lands.
 
 use resacc::replication::{ReplicaClient, ReplicationStats};
-use std::sync::atomic::{AtomicBool, Ordering};
+use resacc::RwrSession;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// This server's replication role. A primary is writable from birth; a
 /// replica starts read-only and becomes writable only through
-/// [`ReplicationRole::promote`].
+/// [`ReplicationRole::promote`]. A primary that loses a failover is
+/// [`ReplicationRole::demote`]d back to a read-only replica, remembering
+/// the epoch that fenced it.
 pub struct ReplicationRole {
     read_only: AtomicBool,
     /// The primary's replication address (replica role only; empty for a
-    /// primary).
-    primary: String,
+    /// primary). Behind a mutex because demotion re-points it.
+    primary: parking_lot::Mutex<String>,
+    /// The epoch at which this node was fenced; 0 = never fenced. Set by
+    /// [`ReplicationRole::demote`], cleared by a successful promotion.
+    fenced_at: AtomicU64,
+    /// This node's own replication listener address (empty when it serves
+    /// none); announced as the leader by fence probes after promotion so
+    /// the fenced old primary knows where to rejoin.
+    self_addr: parking_lot::Mutex<String>,
     /// The replica client being driven (replica role only). Behind a
-    /// mutex because promotion consumes its stream.
+    /// mutex because promotion consumes its stream and demotion installs
+    /// a new one.
     client: parking_lot::Mutex<Option<ReplicaClient>>,
     /// Live counters shared with the core shipping/applying threads.
     pub stats: Arc<ReplicationStats>,
@@ -29,7 +41,8 @@ impl std::fmt::Debug for ReplicationRole {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicationRole")
             .field("role", &self.name())
-            .field("primary", &self.primary)
+            .field("primary", &*self.primary.lock())
+            .field("fenced_at", &self.fenced_at.load(Ordering::SeqCst))
             .finish()
     }
 }
@@ -40,7 +53,9 @@ impl ReplicationRole {
     pub fn primary(stats: Arc<ReplicationStats>) -> ReplicationRole {
         ReplicationRole {
             read_only: AtomicBool::new(false),
-            primary: String::new(),
+            primary: parking_lot::Mutex::new(String::new()),
+            fenced_at: AtomicU64::new(0),
+            self_addr: parking_lot::Mutex::new(String::new()),
             client: parking_lot::Mutex::new(None),
             stats,
         }
@@ -54,10 +69,23 @@ impl ReplicationRole {
     ) -> ReplicationRole {
         ReplicationRole {
             read_only: AtomicBool::new(true),
-            primary,
+            primary: parking_lot::Mutex::new(primary),
+            fenced_at: AtomicU64::new(0),
+            self_addr: parking_lot::Mutex::new(String::new()),
             client: parking_lot::Mutex::new(Some(client)),
             stats,
         }
+    }
+
+    /// Records this node's own replication listener address (used as the
+    /// leader field of fence probes after promotion).
+    pub fn set_self_addr(&self, addr: String) {
+        *self.self_addr.lock() = addr;
+    }
+
+    /// This node's own replication listener address (may be empty).
+    pub fn self_addr(&self) -> String {
+        self.self_addr.lock().clone()
     }
 
     /// Whether mutation ops must be rejected right now.
@@ -66,8 +94,17 @@ impl ReplicationRole {
     }
 
     /// The primary this replica follows (empty string on a primary).
-    pub fn primary_addr(&self) -> &str {
-        &self.primary
+    pub fn primary_addr(&self) -> String {
+        self.primary.lock().clone()
+    }
+
+    /// `Some((epoch, leader))` when this node was fenced out of epoch
+    /// `epoch` and has not been promoted since. The leader address may be
+    /// empty when the fence came from a replica handshake rather than a
+    /// probe.
+    pub fn fenced(&self) -> Option<(u64, String)> {
+        let epoch = self.fenced_at.load(Ordering::SeqCst);
+        (epoch != 0).then(|| (epoch, self.primary_addr()))
     }
 
     /// Human label for the current role.
@@ -79,15 +116,37 @@ impl ReplicationRole {
         }
     }
 
-    /// Promotes a replica: drains and stops its client, then flips the
-    /// server writable. Returns the applied version at promotion, or
-    /// `None` if this server was already writable (promoting a primary is
-    /// a no-op the caller reports as an error).
-    pub fn promote(&self) -> Option<u64> {
-        let mut active = self.client.lock().take()?;
+    /// Promotes a replica: drains and stops its client, durably bumps the
+    /// replication epoch, *then* flips the server writable — the order
+    /// that makes the new leadership claim survive an immediate SIGKILL.
+    /// Returns `(version, epoch)` at promotion, or an error if this
+    /// server was already writable or the epoch could not be persisted.
+    pub fn promote(&self, session: &RwrSession) -> Result<(u64, u64), String> {
+        let Some(mut active) = self.client.lock().take() else {
+            return Err("already writable: this server is not a read replica".to_string());
+        };
         let version = active.promote();
         drop(active);
+        // The epoch bump is the point of no return: once it is durable,
+        // this node can never be re-fenced backwards by the old primary,
+        // even if it crashes before serving a single write.
+        let epoch = session
+            .bump_epoch()
+            .map_err(|e| format!("cannot persist the promotion epoch: {e}"))?;
+        self.fenced_at.store(0, Ordering::SeqCst);
+        self.primary.lock().clear();
         self.read_only.store(false, Ordering::SeqCst);
-        Some(version)
+        Ok((version, epoch))
+    }
+
+    /// Demotes this node after a fence: records the fencing epoch, points
+    /// it at the new leader, flips read-only, and installs the rejoin
+    /// client (dropping any previous one). The caller has already
+    /// truncated divergent state via [`RwrSession::demote_to`].
+    pub fn demote(&self, epoch: u64, leader: String, client: Option<ReplicaClient>) {
+        *self.primary.lock() = leader;
+        self.fenced_at.store(epoch, Ordering::SeqCst);
+        self.read_only.store(true, Ordering::SeqCst);
+        *self.client.lock() = client;
     }
 }

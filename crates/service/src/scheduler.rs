@@ -127,6 +127,11 @@ pub enum ErrorKind {
     /// This server is a read replica: mutations must go to the primary
     /// (named in the error detail).
     ReadOnly,
+    /// This server lost a failover: a newer epoch exists and every
+    /// mutation is refused until the node finishes rejoining as a replica
+    /// (and forever after, as [`ErrorKind::ReadOnly`] semantics with the
+    /// fencing epoch attached).
+    Fenced,
 }
 
 impl ErrorKind {
@@ -138,6 +143,7 @@ impl ErrorKind {
             ErrorKind::InternalPanic => "internal_panic",
             ErrorKind::SourceOutOfRange => "source out of range",
             ErrorKind::ReadOnly => "read_only",
+            ErrorKind::Fenced => "fenced",
         }
     }
 }
@@ -174,6 +180,17 @@ impl ServiceError {
             ErrorKind::ReadOnly,
             format!("read replica; send mutations to the primary at {primary}"),
         )
+    }
+
+    /// The typed rejection a fenced ex-primary returns for mutation ops:
+    /// a newer epoch exists, and (when known) the leader that owns it.
+    pub fn fenced(id: u64, epoch: u64, leader: &str) -> Self {
+        let detail = if leader.is_empty() {
+            format!("fenced at epoch {epoch}: a newer primary exists")
+        } else {
+            format!("fenced at epoch {epoch}: send writes to the leader at {leader}")
+        };
+        ServiceError::new(id, ErrorKind::Fenced, detail)
     }
 }
 

@@ -472,6 +472,21 @@ fn service_error_response(id: Option<u64>, e: &ServiceError) -> Json {
     error_fields(id, e.kind.code(), &e.detail, e.retry_after_ms)
 }
 
+/// Renders the typed `fenced` rejection: the error carries the fencing
+/// epoch and (when known) the leader as machine-readable fields, so a
+/// client can redirect without parsing prose.
+fn fenced_error_response(id: Option<u64>, epoch: u64, leader: &str) -> Json {
+    let e = ServiceError::fenced(id.unwrap_or(0), epoch, leader);
+    let Json::Obj(mut fields) = error_fields(id, e.kind.code(), &e.detail, None) else {
+        unreachable!("error_fields always builds an object")
+    };
+    fields.push(("current_epoch".to_string(), Json::u64(epoch)));
+    if !leader.is_empty() {
+        fields.push(("leader".to_string(), Json::Str(leader.to_string())));
+    }
+    Json::Obj(fields)
+}
+
 /// Dispatches one request line; returns (response, shutdown_requested).
 fn handle_line(
     line: &str,
@@ -491,12 +506,21 @@ fn handle_line(
     let op = request.get("op").and_then(Json::as_str).unwrap_or("");
     // Read replicas answer queries but bounce every mutation to the
     // primary with a typed error (the replica's graph is owned by the
-    // replication stream; a local write would fork the history).
+    // replication stream; a local write would fork the history). A node
+    // that was *fenced* out of its primaryship reports the richer
+    // `fenced` error — checked first, because a fenced node is also
+    // read-only and the epoch/leader fields are what clients need.
     if matches!(op, "insert_edges" | "delete_edges" | "delete_node") {
-        if let Some(role) = replication.filter(|r| r.is_read_only()) {
-            scheduler.metrics().errors.fetch_add(1, Relaxed);
-            let e = ServiceError::read_only(id.unwrap_or(0), role.primary_addr());
-            return (service_error_response(id, &e), false);
+        if let Some(role) = replication {
+            if let Some((epoch, leader)) = role.fenced() {
+                scheduler.metrics().errors.fetch_add(1, Relaxed);
+                return (fenced_error_response(id, epoch, &leader), false);
+            }
+            if role.is_read_only() {
+                scheduler.metrics().errors.fetch_add(1, Relaxed);
+                let e = ServiceError::read_only(id.unwrap_or(0), &role.primary_addr());
+                return (service_error_response(id, &e), false);
+            }
         }
     }
     let result = match op {
@@ -511,7 +535,7 @@ fn handle_line(
             .ok_or_else(|| "missing node".to_string())
             .map(|node| apply_response(id, scheduler, MutationOp::DeleteNode(node as u32))),
         "stats" => Ok(stats_response(id, scheduler, replication)),
-        "promote" => promote_response(id, replication),
+        "promote" => promote_response(id, &request, scheduler, replication),
         "ping" => Ok(ok_response(id, vec![])),
         "shutdown" => {
             return (ok_response(id, vec![]), true);
@@ -547,6 +571,16 @@ fn mutation_response(id: Option<u64>, version: u64) -> Json {
 fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: MutationOp) -> Json {
     match scheduler.apply(&op) {
         Ok(version) => mutation_response(id, version),
+        // A fence can land between the role check and the session apply;
+        // the session-level bounce keeps the guarantee airtight and is
+        // reported with the same typed error as the role-level one.
+        Err(resacc::durability::DurabilityError::Fenced { epoch, leader }) => {
+            scheduler
+                .metrics()
+                .errors
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            fenced_error_response(id, epoch, &leader)
+        }
         Err(e) => {
             scheduler
                 .metrics()
@@ -557,20 +591,62 @@ fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: MutationOp) -> Jso
     }
 }
 
-/// Handles the `promote` admin op: drains the replication stream and flips
-/// the replica writable at its final applied version.
-fn promote_response(id: Option<u64>, replication: Option<&ReplicationRole>) -> Result<Json, String> {
+/// Handles the `promote` admin op: drains the replication stream, durably
+/// bumps the replication epoch, flips the replica writable at its final
+/// applied version, and fences the old primary (or the address in the
+/// request's optional `fence` field) in the background.
+fn promote_response(
+    id: Option<u64>,
+    request: &Json,
+    scheduler: &Scheduler,
+    replication: Option<&ReplicationRole>,
+) -> Result<Json, String> {
     let role = replication.ok_or("no replication role: this server is a standalone primary")?;
-    let version = role
-        .promote()
-        .ok_or("already writable: this server is not a read replica")?;
+    let old_primary = role.primary_addr();
+    let (version, epoch) = role.promote(scheduler.session())?;
+    // Fence target: explicit override first (the old primary's *client*
+    // address is not its replication address, so tests and tooling pass
+    // the right one), else the address this replica was following.
+    let fence_target = request
+        .get("fence")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .or_else(|| (!old_primary.is_empty()).then_some(old_primary));
+    if let Some(target) = fence_target {
+        spawn_fence_prober(target, epoch, version, role.self_addr());
+    }
     Ok(ok_response(
         id,
         vec![
             ("version".to_string(), Json::u64(version)),
+            ("epoch".to_string(), Json::u64(epoch)),
             ("role".to_string(), Json::Str("primary".to_string())),
         ],
     ))
+}
+
+/// Retries a fence probe against the old primary until it acknowledges or
+/// the retry budget runs out. Runs detached: promotion must not block on
+/// an old primary that is partitioned away — the probe exists so that the
+/// moment it becomes reachable again, it learns it lost.
+fn spawn_fence_prober(target: String, epoch: u64, fork_version: u64, leader: String) {
+    std::thread::Builder::new()
+        .name("fence-probe".into())
+        .spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                match resacc::replication::fence_probe(&target, epoch, fork_version, &leader) {
+                    // Acknowledged (true) or the target outranks us
+                    // (false): either way the probe's work is done.
+                    Ok(_) => return,
+                    Err(_) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(500))
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+        .ok();
 }
 
 fn stats_response(
@@ -589,6 +665,8 @@ fn stats_response(
             .store(role.stats.bytes_shipped.load(Relaxed), Relaxed);
         m.replication_reconnects
             .store(role.stats.reconnects.load(Relaxed), Relaxed);
+        m.replication_stream_errors
+            .store(role.stats.stream_errors.load(Relaxed), Relaxed);
     }
     let snapshot: MetricsSnapshot = scheduler.metrics().snapshot();
     let session = scheduler.session();
@@ -658,15 +736,16 @@ fn stats_response(
                 "reconnects".to_string(),
                 Json::u64(role.stats.reconnects.load(Relaxed)),
             ),
+            (
+                "stream_errors".to_string(),
+                Json::u64(role.stats.stream_errors.load(Relaxed)),
+            ),
+            ("epoch".to_string(), Json::u64(session.epoch())),
+            ("fenced".to_string(), Json::Bool(role.fenced().is_some())),
         ];
-        if !role.primary_addr().is_empty() {
-            fields.insert(
-                1,
-                (
-                    "primary".to_string(),
-                    Json::Str(role.primary_addr().to_string()),
-                ),
-            );
+        let primary = role.primary_addr();
+        if !primary.is_empty() {
+            fields.insert(1, ("primary".to_string(), Json::Str(primary)));
         }
         rest.push(("replication".to_string(), Json::Obj(fields)));
     }
@@ -1191,6 +1270,7 @@ mod tests {
         let p = roundtrip(&mut stream, r#"{"id":3,"op":"promote"}"#);
         assert_eq!(p.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(p.get("version").unwrap().as_u64(), Some(primary.version()));
+        assert_eq!(p.get("epoch").unwrap().as_u64(), Some(1), "promotion bumps the epoch");
         let again = roundtrip(&mut stream, r#"{"id":4,"op":"promote"}"#);
         assert_eq!(again.get("ok").unwrap().as_bool(), Some(false));
         // Mutations now land locally.
@@ -1199,6 +1279,50 @@ mod tests {
         drop(stream);
         handle.shutdown().unwrap();
         repl_server.shutdown();
+    }
+
+    #[test]
+    fn fenced_server_bounces_mutations_with_epoch_and_leader() {
+        use resacc::replication::ReplicationStats;
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(100, 3, 8)));
+        let role = Arc::new(crate::replication::ReplicationRole::primary(Arc::new(
+            ReplicationStats::default(),
+        )));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session.clone(),
+            ServerConfig {
+                workers: 1,
+                replication: Some(role.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Writable at first.
+        let m = roundtrip(&mut stream, r#"{"id":1,"op":"insert_edges","edges":[[1,2]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true));
+        // A fence lands (what the fence hook performs after demotion).
+        role.demote(3, "10.0.0.9:7000".to_string(), None);
+        let r = roundtrip(&mut stream, r#"{"id":2,"op":"insert_edges","edges":[[2,3]]}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("error").unwrap().as_str(), Some("fenced"));
+        assert_eq!(r.get("current_epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(r.get("leader").unwrap().as_str(), Some("10.0.0.9:7000"));
+        // Queries still flow on the demoted node, and stats say fenced.
+        let q = roundtrip(&mut stream, r#"{"id":3,"op":"query","source":0,"seed":7}"#);
+        assert_eq!(q.get("ok").unwrap().as_bool(), Some(true));
+        let s = roundtrip(&mut stream, r#"{"id":4,"op":"stats"}"#);
+        let repl = s.get("replication").unwrap();
+        assert_eq!(repl.get("fenced").unwrap().as_bool(), Some(true));
+        assert_eq!(repl.get("role").unwrap().as_str(), Some("replica"));
+        assert_eq!(
+            repl.get("primary").unwrap().as_str(),
+            Some("10.0.0.9:7000"),
+            "the leader is surfaced as the primary to follow"
+        );
+        drop(stream);
+        handle.shutdown().unwrap();
     }
 
     /// Satellite stress test: queries and graph mutations interleaved

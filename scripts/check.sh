@@ -22,6 +22,13 @@
 #      and its error gate (every upgraded vector within its accumulated
 #      claim of a fresh recompute); the chaos smoke in step 4 runs with
 #      the upgrade path enabled so fault containment covers it too
+#   9. failover smoke: replica shipping through an `rwr netfault` proxy;
+#      partition the link, promote the replica with a direct fence probe
+#      at the old primary, require the old primary to bounce writes with
+#      the typed `fenced` error, heal, and require bitwise convergence
+#      with the old primary rejoined as a replica; then a bench_failover
+#      smoke run must pass its zero-fenced-writes / zero-loss /
+#      bit-identity gates
 #
 # Every BENCH_*.json produced by the smoke runs is appended as one line
 # (run id, git rev, metric name→value map) to the committed
@@ -67,6 +74,7 @@ SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"
       [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null
       [[ -n "${REPLICA_PID:-}" ]] && kill "$REPLICA_PID" 2>/dev/null
+      [[ -n "${NETFAULT_PID:-}" ]] && kill "$NETFAULT_PID" 2>/dev/null
       true' EXIT
 awk 'BEGIN { for (u = 0; u < 400; u++) for (d = 1; d <= 5; d++) print u, (u * 31 + d * 97) % 400 }' \
   > "$SMOKE_DIR/graph.txt"
@@ -277,6 +285,148 @@ echo "==> bench_replication smoke (steady-state, catch-up, bit-identity gate)"
 RESACC_BENCH_REPL_NODES=300 RESACC_BENCH_REPL_MUTATIONS=120 \
 RESACC_BENCH_REPL_SNAPSHOT_EVERY=16 \
   target/release/bench_replication "$SMOKE_DIR/BENCH_replication.json" > /dev/null
+
+echo "==> failover smoke (partition, promote --fence, fenced bounce, heal, bitwise convergence)"
+# Old primary P with a replication listener; an `rwr netfault` proxy in
+# front of it (stdin-driven partition/heal); replica R shipping through
+# the proxy, itself serving a replication listener so the fence probe can
+# announce it as the leader P must rejoin.
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$SMOKE_DIR/fpdata" --replication-listen 127.0.0.1:0 \
+  > "$SMOKE_DIR/fprim.out" 2> "$SMOKE_DIR/fprim.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^listening on" "$SMOKE_DIR/fprim.out" 2>/dev/null && break
+  sleep 0.1
+done
+P_ADDR=$(awk '/^listening on/ { print $3 }' "$SMOKE_DIR/fprim.out")
+P_REPL=$(awk '/^replication listening on/ { print $4 }' "$SMOKE_DIR/fprim.out")
+[[ -n "$P_ADDR" && -n "$P_REPL" ]] || {
+  echo "failover smoke: primary never came up"; cat "$SMOKE_DIR/fprim.err"; exit 1; }
+mkfifo "$SMOKE_DIR/nf.ctl"
+target/release/rwr netfault --listen 127.0.0.1:0 --addr "$P_REPL" \
+  < "$SMOKE_DIR/nf.ctl" > "$SMOKE_DIR/nf.out" 2>&1 &
+NETFAULT_PID=$!
+exec 4>"$SMOKE_DIR/nf.ctl"   # hold the control pipe open for the whole smoke
+for _ in $(seq 1 100); do
+  grep -q "^netfault listening on" "$SMOKE_DIR/nf.out" 2>/dev/null && break
+  sleep 0.1
+done
+NF_ADDR=$(awk '/^netfault listening on/ { print $4 }' "$SMOKE_DIR/nf.out")
+[[ -n "$NF_ADDR" ]] || {
+  echo "failover smoke: netfault proxy never came up"; cat "$SMOKE_DIR/nf.out"; exit 1; }
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$SMOKE_DIR/frdata" --replicate-from "$NF_ADDR" \
+  --replication-listen 127.0.0.1:0 \
+  > "$SMOKE_DIR/frepl.out" 2> "$SMOKE_DIR/frepl.err" &
+REPLICA_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^listening on" "$SMOKE_DIR/frepl.out" 2>/dev/null && break
+  sleep 0.1
+done
+R_ADDR=$(awk '/^listening on/ { print $3 }' "$SMOKE_DIR/frepl.out")
+[[ -n "$R_ADDR" ]] || {
+  echo "failover smoke: replica never came up"; cat "$SMOKE_DIR/frepl.err"; exit 1; }
+# Acknowledged history through the proxy, applied on the replica.
+HOST=${P_ADDR%:*}; PORT=${P_ADDR##*:}
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf '{"id":1,"op":"insert_edges","edges":[[0,399],[5,6]]}\n' >&3
+read -t 10 -r _ <&3
+printf '{"id":2,"op":"delete_node","node":7}\n' >&3
+read -t 10 -r ACK2 <&3
+exec 3>&- 3<&-
+grep -q '"version":2' <<< "$ACK2" || {
+  echo "failover smoke: primary did not acknowledge: $ACK2"; exit 1; }
+RHOST=${R_ADDR%:*}; RPORT=${R_ADDR##*:}
+RSTATS=
+for _ in $(seq 1 100); do
+  exec 3<>"/dev/tcp/$RHOST/$RPORT"
+  printf '{"op":"stats"}\n' >&3
+  read -t 10 -r RSTATS <&3
+  exec 3>&- 3<&-
+  grep -q '"applied_version":2' <<< "$RSTATS" && break
+  sleep 0.1
+done
+grep -q '"applied_version":2' <<< "$RSTATS" || {
+  echo "failover smoke: replica never caught up through the proxy: $RSTATS"; exit 1; }
+# Partition the link, then promote the replica. --fence probes the old
+# primary's replication listener directly (the data path is dead).
+echo partition >&4
+target/release/rwr promote --addr "$R_ADDR" --fence "$P_REPL" \
+  | grep -q "at version 2, epoch 1" || {
+  echo "failover smoke: promote lost history or the epoch"; exit 1; }
+# The probe fences the old primary: writes must bounce with the typed
+# `fenced` error naming the epoch that displaced it.
+FSTATS=
+for _ in $(seq 1 100); do
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf '{"op":"stats"}\n' >&3
+  read -t 10 -r FSTATS <&3
+  exec 3>&- 3<&-
+  grep -q '"fenced":true' <<< "$FSTATS" && break
+  sleep 0.1
+done
+grep -q '"fenced":true' <<< "$FSTATS" || {
+  echo "failover smoke: old primary never fenced: $FSTATS"; exit 1; }
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf '{"id":3,"op":"insert_edges","edges":[[1,2]]}\n' >&3
+read -t 10 -r FBOUNCE <&3
+exec 3>&- 3<&-
+grep -q '"error":"fenced"' <<< "$FBOUNCE" || {
+  echo "failover smoke: fenced old primary accepted a write: $FBOUNCE"; exit 1; }
+grep -q '"current_epoch":1' <<< "$FBOUNCE" || {
+  echo "failover smoke: fenced error lacks the epoch: $FBOUNCE"; exit 1; }
+# Heal, write on the new leader, and require the old primary (now a
+# replica of the new leader) to converge bitwise.
+echo heal >&4
+exec 3<>"/dev/tcp/$RHOST/$RPORT"
+printf '{"id":4,"op":"insert_edges","edges":[[8,9]]}\n' >&3
+read -t 10 -r WACK <&3
+exec 3>&- 3<&-
+grep -q '"version":3' <<< "$WACK" || {
+  echo "failover smoke: new leader not writable/monotonic: $WACK"; exit 1; }
+PSTATS=
+for _ in $(seq 1 100); do
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf '{"op":"stats"}\n' >&3
+  read -t 10 -r PSTATS <&3
+  exec 3>&- 3<&-
+  grep -q '"applied_version":3' <<< "$PSTATS" && break
+  sleep 0.1
+done
+grep -q '"applied_version":3' <<< "$PSTATS" || {
+  echo "failover smoke: old primary never rejoined the new leader: $PSTATS"; exit 1; }
+exec 3<>"/dev/tcp/$RHOST/$RPORT"
+printf '%s\n' "$QUERY" >&3
+read -t 10 -r LEADER_SCORES <&3
+printf '{"op":"shutdown"}\n' >&3
+read -t 10 -r _ <&3 || true
+exec 3>&- 3<&-
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf '%s\n' "$QUERY" >&3
+read -t 10 -r REJOINED_SCORES <&3
+printf '{"op":"shutdown"}\n' >&3
+read -t 10 -r _ <&3 || true
+exec 3>&- 3<&-
+wait "$REPLICA_PID"; REPLICA_PID=
+wait "$SERVE_PID"; SERVE_PID=
+LEADER_SCORES=$(strip_volatile "$LEADER_SCORES")
+REJOINED_SCORES=$(strip_volatile "$REJOINED_SCORES")
+if [[ "$LEADER_SCORES" != "$REJOINED_SCORES" ]]; then
+  echo "failover smoke: post-heal divergence between leader and rejoined primary:"
+  echo " leader:   $LEADER_SCORES"
+  echo " rejoined: $REJOINED_SCORES"
+  exit 1
+fi
+echo quit >&4
+exec 4>&-
+wait "$NETFAULT_PID" 2>/dev/null || true
+NETFAULT_PID=
+
+echo "==> bench_failover smoke (fencing, zero-loss, bit-identity gates)"
+RESACC_BENCH_FAILOVER_NODES=300 RESACC_BENCH_FAILOVER_MUTATIONS=120 \
+RESACC_BENCH_FAILOVER_DIVERGENT=20 RESACC_BENCH_FAILOVER_WINNING=30 \
+  target/release/bench_failover "$SMOKE_DIR/BENCH_failover.json" > /dev/null
 
 echo "==> bench_dynamic smoke (hit-rate + error-bound gates)"
 RESACC_BENCH_DYNAMIC_NODES=400 RESACC_BENCH_DYNAMIC_REQUESTS=150 \
