@@ -154,7 +154,7 @@ fn main() {
     );
     let opts = DurabilityOptions {
         fsync: false,
-        snapshot_every: 0,
+        snapshot_every: 0, ..Default::default()
     };
 
     // R1: the promotion target — durable, with its own hub + server so it

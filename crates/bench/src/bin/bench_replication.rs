@@ -97,6 +97,7 @@ fn wire_primary(
     let opts = DurabilityOptions {
         fsync: false,
         snapshot_every,
+        ..Default::default()
     };
     let rec = open_dir(dir, opts, move || Ok(seed_graph(nodes))).expect("fresh dir opens");
     let params = RwrParams::for_graph(rec.graph.num_nodes());

@@ -56,6 +56,15 @@ serve options:
   --fsync <always|never>              fsync the WAL on every append
                                       (default always; never = durable
                                       against crashes, not power loss)
+  --backend <event|threaded>          connection engine (default event:
+                                      readiness-driven loop, O(workers)
+                                      threads at any connection count;
+                                      threaded = thread per connection)
+  --group-commit-window <ms|off>      coalesce concurrent mutation appends
+                                      into one batched fsync; acks release
+                                      only after the shared fsync (default
+                                      off = one fsync per mutation; 0 =
+                                      batch only what is already queued)
   --replication-listen <addr>         also serve the WAL-shipping stream to
                                       replicas on <addr> (this process is a
                                       replication primary)
@@ -170,6 +179,8 @@ pub struct Cli {
     pub delete_mix: f64,
     pub dynamic_eps: f64,
     pub dynamic_delta: f64,
+    pub backend: String,
+    pub group_commit_window: Option<u64>,
 }
 
 impl Cli {
@@ -227,6 +238,8 @@ impl Cli {
             delete_mix: 0.0,
             dynamic_eps: 0.0,
             dynamic_delta: 1e-4,
+            backend: "event".into(),
+            group_commit_window: None,
         };
         let mut have_source = false;
         let mut have_target = false;
@@ -295,6 +308,22 @@ impl Cli {
                 }
                 "--dynamic-delta" => {
                     cli.dynamic_delta = parse_num(&value("--dynamic-delta")?, "--dynamic-delta")?
+                }
+                "--backend" => {
+                    cli.backend = match value("--backend")?.as_str() {
+                        b @ ("event" | "threaded") => b.to_string(),
+                        other => {
+                            return Err(format!(
+                                "--backend expects event|threaded, got {other:?}"
+                            ))
+                        }
+                    }
+                }
+                "--group-commit-window" => {
+                    cli.group_commit_window = match value("--group-commit-window")?.as_str() {
+                        "off" => None,
+                        ms => Some(parse_num(ms, "--group-commit-window")?),
+                    }
                 }
                 "--fsync" => {
                     cli.fsync = match value("--fsync")?.as_str() {
@@ -496,6 +525,30 @@ mod tests {
         assert!(parse("serve --graph g.txt --fsync sometimes").is_err());
         assert!(parse("serve --graph g.txt --data-dir").is_err());
         assert!(parse("serve --graph g.txt --snapshot-every x").is_err());
+    }
+
+    #[test]
+    fn backend_and_group_commit_flags() {
+        // Defaults: event loop, group commit off (one fsync per mutation).
+        let cli = parse("serve --graph g.txt").unwrap();
+        assert_eq!(cli.backend, "event");
+        assert_eq!(cli.group_commit_window, None);
+
+        let cli = parse("serve --graph g.txt --backend threaded").unwrap();
+        assert_eq!(cli.backend, "threaded");
+        let cli = parse("serve --graph g.txt --backend event").unwrap();
+        assert_eq!(cli.backend, "event");
+        assert!(parse("serve --graph g.txt --backend green-threads").is_err());
+        assert!(parse("serve --graph g.txt --backend").is_err());
+
+        let cli = parse("serve --graph g.txt --group-commit-window 2").unwrap();
+        assert_eq!(cli.group_commit_window, Some(2));
+        // Window 0 still batches whatever is already queued.
+        let cli = parse("serve --graph g.txt --group-commit-window 0").unwrap();
+        assert_eq!(cli.group_commit_window, Some(0));
+        let cli = parse("serve --graph g.txt --group-commit-window off").unwrap();
+        assert_eq!(cli.group_commit_window, None);
+        assert!(parse("serve --graph g.txt --group-commit-window soon").is_err());
     }
 
     #[test]

@@ -153,6 +153,8 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             let opts = resacc::durability::DurabilityOptions {
                 fsync: cli.fsync,
                 snapshot_every: cli.snapshot_every,
+                group_commit: cli.group_commit_window.is_some(),
+                group_commit_window_ms: cli.group_commit_window.unwrap_or(0),
             };
             let recovered =
                 resacc::durability::open_dir(std::path::Path::new(dir), opts, || {
@@ -318,6 +320,11 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             replication,
             dynamic_eps: cli.dynamic_eps,
             dynamic_delta: cli.dynamic_delta,
+            backend: if cli.backend == "threaded" {
+                resacc_service::ServerBackend::Threaded
+            } else {
+                resacc_service::ServerBackend::Event
+            },
             ..resacc_service::ServerConfig::default()
         },
     )
@@ -504,6 +511,8 @@ mod tests {
             delete_mix: 0.0,
             dynamic_eps: 0.0,
             dynamic_delta: 1e-4,
+            backend: "event".into(),
+            group_commit_window: None,
         }
     }
 

@@ -12,6 +12,17 @@
 //!   never missing ones).
 //! - `snap-mid-rename`: snapshot temp file written but never renamed →
 //!   ignored and cleaned up; the WAL still covers everything.
+//! - `wal-group-pre-fsync`: the group-commit batch write tears partway
+//!   through its first record and the shared fsync never runs → recovery
+//!   truncates back to the exact acked prefix.
+//! - `wal-group-post-fsync`: the whole batch is durable but no caller in
+//!   it was acked → recovery replays it (durable-but-unacked may survive;
+//!   acked-but-not-durable never may).
+//!
+//! The group-commit tests drive mutations sequentially, so each batch
+//! holds one record — that pins the ack/recovery contract end-to-end
+//! through the real binary; multi-record batch assembly, rollback, and
+//! torn-tail recovery are covered by the `resacc` WAL unit tests.
 
 use resacc_service::json::Json;
 use std::io::{BufRead, BufReader, Write};
@@ -94,13 +105,15 @@ fn spawn_serve(
     data_dir: &Path,
     snapshot_every: &str,
     crash_spec: Option<&str>,
+    extra_args: &[&str],
 ) -> Server {
     let mut cmd = rwr();
     cmd.args(["serve", "--graph"])
         .arg(graph)
         .args(["--listen", "127.0.0.1:0", "--data-dir"])
         .arg(data_dir)
-        .args(["--snapshot-every", snapshot_every]);
+        .args(["--snapshot-every", snapshot_every])
+        .args(extra_args);
     if let Some(spec) = crash_spec {
         cmd.env("RESACC_CRASH_POINT", spec);
     }
@@ -206,6 +219,26 @@ fn crash_and_recover(
     expected_survivors: u64,
     expect_truncation: bool,
 ) {
+    crash_and_recover_with(
+        tag,
+        crash_spec,
+        snapshot_every,
+        expected_acked,
+        expected_survivors,
+        expect_truncation,
+        &[],
+    );
+}
+
+fn crash_and_recover_with(
+    tag: &str,
+    crash_spec: &str,
+    snapshot_every: &str,
+    expected_acked: u64,
+    expected_survivors: u64,
+    expect_truncation: bool,
+    extra_args: &[&str],
+) {
     let dir = temp_dir(tag);
     let graph = graph_file(&dir);
     let data = dir.join("data");
@@ -213,14 +246,14 @@ fn crash_and_recover(
 
     // Lifetime 1: armed. Stream mutations until the crash point parks the
     // handler, then SIGKILL — no destructor, flush, or fsync runs.
-    let mut server = spawn_serve(&graph, &data, snapshot_every, Some(crash_spec));
+    let mut server = spawn_serve(&graph, &data, snapshot_every, Some(crash_spec), extra_args);
     let acked = mutate_until_crash(&server, point);
     assert_eq!(acked, expected_acked, "acks before the crash");
     server.child.kill().unwrap();
     server.child.wait().unwrap();
 
     // Lifetime 2: recover. The banner must report what happened.
-    let mut server = spawn_serve(&graph, &data, snapshot_every, None);
+    let mut server = spawn_serve(&graph, &data, snapshot_every, None, extra_args);
     assert!(
         server.banner.iter().any(|l| l.starts_with("# recovered version")),
         "missing recovery banner: {:?}",
@@ -308,4 +341,37 @@ fn sigkill_between_append_and_apply_replays_the_durable_record() {
 #[test]
 fn sigkill_mid_snapshot_rename_falls_back_to_the_wal() {
     crash_and_recover("mid-rename", "snap-mid-rename:1", "2", 1, 2, false);
+}
+
+/// Group commit, crash with half of batch 3's first record on disk and
+/// the shared fsync never run: recovery truncates the torn tail back to
+/// the exact acked prefix (mutations 1–2), losing only the unacked batch.
+#[test]
+fn sigkill_group_commit_pre_fsync_recovers_the_exact_acked_prefix() {
+    crash_and_recover_with(
+        "group-pre-fsync",
+        "wal-group-pre-fsync:3",
+        "0",
+        2,
+        2,
+        true,
+        &["--group-commit-window", "0"],
+    );
+}
+
+/// Group commit, crash after batch 4 is written and fsync'd but before
+/// the leader applies it or releases any ack: the whole durable batch
+/// replays on recovery (durable-but-unacked survives; nothing acked is
+/// ever lost).
+#[test]
+fn sigkill_group_commit_post_fsync_replays_the_durable_batch() {
+    crash_and_recover_with(
+        "group-post-fsync",
+        "wal-group-post-fsync:4",
+        "0",
+        3,
+        4,
+        false,
+        &["--group-commit-window", "0"],
+    );
 }

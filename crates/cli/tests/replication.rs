@@ -479,3 +479,204 @@ fn promotion_epoch_survives_sigkill_and_cannot_be_refenced_backwards() {
     promoted.kill();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Group commit + replication, the durability latch ordering: a batch
+/// reaches the replication hub only **after** its shared fsync. Arm the
+/// primary at `wal-group-pre-fsync` (torn batch bytes on disk, fsync
+/// never runs, publication never runs), verify the replica never sees the
+/// unacked batch, then SIGKILL the parked primary and promote — zero
+/// acknowledged mutations lost, the not-yet-durable batch invisible
+/// everywhere.
+#[test]
+fn group_commit_publishes_to_hub_only_after_durability() {
+    let dir = temp_dir("gc-hub");
+    let graph = graph_file(&dir);
+    let mut primary = spawn_serve(
+        &graph,
+        &dir.join("primary"),
+        &[
+            "--replication-listen",
+            "127.0.0.1:0",
+            "--group-commit-window",
+            "0",
+        ],
+        Some("wal-group-pre-fsync:5"),
+    );
+    let repl_addr = primary.repl_addr.clone().unwrap();
+    let mut replica = spawn_serve(
+        &graph,
+        &dir.join("replica"),
+        &["--replicate-from", &repl_addr],
+        None,
+    );
+
+    // Mutations 0..=3 commit normally; mutation 4's batch tears pre-fsync
+    // and parks the leader, so its ack never arrives.
+    let (stream, mut reader) = connect(&primary.addr);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut stream = stream;
+    let mut acked = 0u64;
+    'history: for i in 0..8u64 {
+        let line = format!(
+            r#"{{"id":{i},"op":"insert_edges","edges":[[{},{}]]}}"#,
+            i % 300,
+            (i * 7 + 1) % 300
+        );
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut response = String::new();
+        loop {
+            match reader.read_line(&mut response) {
+                Ok(0) => panic!("primary closed the connection mid-history"),
+                Ok(_) => {
+                    let r = Json::parse(response.trim()).unwrap();
+                    assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{response}");
+                    acked = r.get("version").unwrap().as_u64().unwrap();
+                    break;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    while let Ok(l) = primary.stdout.try_recv() {
+                        if l == "CRASH_POINT wal-group-pre-fsync" {
+                            break 'history;
+                        }
+                    }
+                    assert!(Instant::now() < deadline, "no ack and no crash marker");
+                }
+                Err(e) => panic!("socket error: {e}"),
+            }
+        }
+    }
+    assert_eq!(acked, 4, "exactly the pre-batch history must be acked");
+
+    // The replica converges to the acked prefix and no further: the torn,
+    // never-fsynced batch was never handed to the hub.
+    wait_for_version(&replica.addr, acked);
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        version_of(&replica.addr),
+        acked,
+        "an unfsynced group-commit batch leaked to the replication hub"
+    );
+
+    // Promote over the corpse: zero acknowledged loss, bit-identical tail.
+    primary.kill();
+    drop(stream);
+    let output = rwr()
+        .args(["promote", "--addr", &replica.addr])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "promote failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(version_of(&replica.addr), acked, "promotion lost history");
+    let m = request(
+        &replica.addr,
+        r#"{"id":50,"op":"insert_edges","edges":[[10,20]]}"#,
+    );
+    assert_eq!(m.get("ok").unwrap().as_bool(), Some(true), "{m:?}");
+    assert_eq!(m.get("version").unwrap().as_u64(), Some(acked + 1));
+
+    replica.kill();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Group commit under genuinely concurrent writers, then SIGKILL-promote:
+/// every acknowledged mutation survives on the promoted replica, and the
+/// promoted scores match the primary's pre-kill answers bit-for-bit.
+#[test]
+fn group_commit_concurrent_writers_promote_with_zero_acked_loss() {
+    let dir = temp_dir("gc-promote");
+    let graph = graph_file(&dir);
+    let mut primary = spawn_serve(
+        &graph,
+        &dir.join("primary"),
+        &[
+            "--replication-listen",
+            "127.0.0.1:0",
+            "--group-commit-window",
+            "2",
+        ],
+        None,
+    );
+    let repl_addr = primary.repl_addr.clone().unwrap();
+    let mut replica = spawn_serve(
+        &graph,
+        &dir.join("replica"),
+        &["--replicate-from", &repl_addr],
+        None,
+    );
+
+    // 4 writers x 6 mutations each, racing on their own connections so the
+    // leader actually assembles multi-record batches. Distinct edges per
+    // writer: every interleaving yields the same version count, and the
+    // replica replays the primary's WAL order exactly.
+    let writers: Vec<_> = (0..4u64)
+        .map(|w| {
+            let addr = primary.addr.clone();
+            std::thread::spawn(move || {
+                let (mut stream, mut reader) = connect(&addr);
+                for i in 0..6u64 {
+                    let line = format!(
+                        r#"{{"id":{},"op":"insert_edges","edges":[[{},{}]]}}"#,
+                        w * 100 + i,
+                        (w * 60 + i) % 300,
+                        (w * 60 + i + 31) % 300
+                    );
+                    let r = roundtrip(&mut stream, &mut reader, &line);
+                    assert_eq!(
+                        r.get("ok").unwrap().as_bool(),
+                        Some(true),
+                        "writer {w} mutation {i}: {r:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    let acked = version_of(&primary.addr);
+    assert_eq!(acked, 24, "every concurrent mutation must be acked");
+
+    // The batching counter is live on the primary's stats surface.
+    let s = request(&primary.addr, r#"{"op":"stats"}"#);
+    let durability = s.get("durability").expect("durable primary exposes stats");
+    let appends = durability.get("wal_appends").unwrap().as_u64().unwrap();
+    let batches = durability.get("wal_batches").unwrap().as_u64().unwrap();
+    assert_eq!(appends, 24);
+    assert!(
+        (1..=appends).contains(&batches),
+        "batches {batches} out of range for {appends} appends"
+    );
+
+    wait_for_version(&replica.addr, acked);
+    let ground_truth = query_bits(&primary.addr, 3, 77);
+
+    primary.kill();
+    let output = rwr()
+        .args(["promote", "--addr", &replica.addr])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "promote failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(version_of(&replica.addr), acked, "promotion lost history");
+    assert_eq!(
+        query_bits(&replica.addr, 3, 77),
+        ground_truth,
+        "promoted replica diverged from pre-kill ground truth"
+    );
+
+    replica.kill();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -55,8 +55,11 @@
 //! named points ([`crash_point`]) park the process at the exact on-disk
 //! states the recovery path must survive: a half-written WAL record
 //! (`wal-mid-append`), a fully fsync'd record that was never applied
-//! (`wal-pre-apply`), and a finished snapshot temp file that was never
-//! renamed (`snap-mid-rename`). Replication ([`crate::replication`]) arms
+//! (`wal-pre-apply`), a group-commit batch torn before its shared fsync
+//! (`wal-group-pre-fsync`), a fully durable batch none of whose callers
+//! were acked (`wal-group-post-fsync`), and a finished snapshot temp file
+//! that was never renamed (`snap-mid-rename`). Replication
+//! ([`crate::replication`]) arms
 //! two more on the replica side: a shipped record that is durable and
 //! applied but never acknowledged (`repl-post-append`) and the instant
 //! before the acknowledgement is written (`repl-pre-ack`).
@@ -376,6 +379,8 @@ pub struct Durability {
     snapshots_written: AtomicU64,
     last_snapshot_version: AtomicU64,
     wal_truncated_bytes: AtomicU64,
+    batches_committed: AtomicU64,
+    commit_nanos: AtomicU64,
 }
 
 impl Durability {
@@ -390,6 +395,8 @@ impl Durability {
             snapshots_written: AtomicU64::new(0),
             last_snapshot_version: AtomicU64::new(0),
             wal_truncated_bytes: AtomicU64::new(0),
+            batches_committed: AtomicU64::new(0),
+            commit_nanos: AtomicU64::new(0),
         }
     }
 
@@ -402,11 +409,42 @@ impl Durability {
     /// once the record is durable; the caller then applies the mutation
     /// and bumps the version — the WAL is always ahead of memory.
     pub fn log_mutation(&self, version: u64, op: &MutationOp) -> Result<(), DurabilityError> {
+        let start = std::time::Instant::now();
         let written = self.wal.lock().append(version, op)?;
+        self.commit_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.records_appended.fetch_add(1, Ordering::Relaxed);
         self.bytes_appended.fetch_add(written, Ordering::Relaxed);
         crash_point("wal-pre-apply", || {});
         Ok(())
+    }
+
+    /// Appends a whole group-commit batch behind **one** shared fsync.
+    /// Returns only once every record in the batch is durable; the caller
+    /// (the group-commit leader in [`crate::RwrSession`]) then applies the
+    /// ops in version order and releases every waiter's ack — so the WAL
+    /// stays ahead of memory exactly as on the per-mutation path, while
+    /// the fsync cost is paid once per batch instead of once per record.
+    /// On `Err` the WAL rolled the entire batch back: the leader fails
+    /// every mutation in it and nothing was acked.
+    pub fn log_batch(&self, records: &[(u64, MutationOp)]) -> Result<(), DurabilityError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let start = std::time::Instant::now();
+        let written = self.wal.lock().append_batch(records)?;
+        self.commit_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.records_appended
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+        self.bytes_appended.fetch_add(written, Ordering::Relaxed);
+        self.batches_committed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The policy knobs this store was opened with.
+    pub fn options(&self) -> &DurabilityOptions {
+        &self.opts
     }
 
     /// True when the snapshot policy wants a snapshot at `version`.
@@ -530,6 +568,16 @@ impl Durability {
         self.records_appended.load(Ordering::Relaxed)
     }
 
+    /// Wall-clock nanoseconds spent inside the serialized WAL commit path
+    /// (append + policy fsync), summed over this process's appends and
+    /// batches. `records_appended / commit_nanos` is the mutation
+    /// throughput of the durability choke point itself — the quantity
+    /// group commit multiplies — independent of how much query traffic
+    /// shared the wall clock.
+    pub fn commit_nanos(&self) -> u64 {
+        self.commit_nanos.load(Ordering::Relaxed)
+    }
+
     /// Bytes appended by this process.
     pub fn bytes_appended(&self) -> u64 {
         self.bytes_appended.load(Ordering::Relaxed)
@@ -550,6 +598,21 @@ impl Durability {
     /// recovery-time torn-tail truncation, which [`RecoveryStats`] covers).
     pub fn wal_truncated_bytes(&self) -> u64 {
         self.wal_truncated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Test-only fault injection: the next WAL append (single or batched)
+    /// writes `after` bytes and then fails, exercising the rollback path.
+    #[cfg(test)]
+    pub(crate) fn inject_append_failure(&self, after: usize) {
+        self.wal.lock().fail_next_append_after = Some(after);
+    }
+
+    /// Group-commit batches fsync'd by this process. The batch factor —
+    /// `records_appended / batches_committed` — is how many fsyncs group
+    /// commit saved per mutation; stays 0 when group commit is off (the
+    /// per-mutation path does not count as a batch).
+    pub fn batches_committed(&self) -> u64 {
+        self.batches_committed.load(Ordering::Relaxed)
     }
 }
 
@@ -598,7 +661,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let opts = recovery::DurabilityOptions {
             fsync: true,
-            snapshot_every: 0,
+            snapshot_every: 0, ..Default::default()
         };
         let base = resacc_graph::gen::erdos_renyi(30, 120, 9);
         let rec = open_dir(&dir, opts, || Ok(base.clone())).unwrap();
@@ -648,7 +711,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let opts = recovery::DurabilityOptions {
             fsync: true,
-            snapshot_every: 0,
+            snapshot_every: 0, ..Default::default()
         };
         let base = resacc_graph::gen::cycle(8);
         let rec = open_dir(&dir, opts, || Ok(base.clone())).unwrap();

@@ -119,25 +119,39 @@ pub fn load_snapshot(path: &Path) -> Result<(CsrGraph, u64), DurabilityError> {
 }
 
 /// Lists snapshot versions present in `dir`, descending (newest first).
-/// `.tmp` leftovers from a crashed write are removed, not listed.
+/// `.tmp` files are skipped but left alone: this runs concurrently with
+/// live checkpoints (the replication catch-up planner calls it on every
+/// replica connect), and a tmp file may be a writer's in-progress
+/// snapshot, not a crash leftover — deleting it here would make that
+/// writer's rename fail. Crash leftovers are reaped once, at recovery,
+/// by [`cleanup_tmp_snapshots`].
 pub(crate) fn list_snapshots(dir: &Path) -> Result<Vec<u64>, DurabilityError> {
     let mut versions = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if name.ends_with(".rsnap.tmp") {
-            // A crash between tmp-write and rename left this behind; it was
-            // never the authoritative snapshot, so discard it.
-            std::fs::remove_file(entry.path()).ok();
-            continue;
-        }
         if let Some(v) = parse_snapshot_name(&name) {
             versions.push(v);
         }
     }
     versions.sort_unstable_by(|a, b| b.cmp(a));
     Ok(versions)
+}
+
+/// Removes `.rsnap.tmp` leftovers from a crashed snapshot write. Only
+/// safe while no snapshot writer can be live — i.e. during the
+/// single-threaded recovery scan at startup, before the store is shared.
+pub(crate) fn cleanup_tmp_snapshots(dir: &Path) -> Result<(), DurabilityError> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().ends_with(".rsnap.tmp") {
+            // Never the authoritative snapshot (the rename didn't happen),
+            // so discarding it loses nothing.
+            std::fs::remove_file(entry.path()).ok();
+        }
+    }
+    Ok(())
 }
 
 /// Removes old snapshots, keeping the newest `keep` at or below
@@ -202,14 +216,19 @@ mod tests {
     }
 
     #[test]
-    fn listing_ignores_and_cleans_tmp_leftovers() {
+    fn listing_ignores_tmp_leftovers_and_recovery_cleanup_reaps_them() {
         let dir = tmp_dir("tmp-clean");
         let g = gen::cycle(5);
         write_snapshot(&dir, &g, 3).unwrap();
         let leftover = dir.join("snap-00000000000000000009.rsnap.tmp");
         std::fs::write(&leftover, b"half a snapshot").unwrap();
+        // Listing must not touch the tmp file: it may be a concurrent
+        // writer's in-progress snapshot, not a crash leftover.
         assert_eq!(list_snapshots(&dir).unwrap(), vec![3]);
-        assert!(!leftover.exists(), "tmp leftover must be removed");
+        assert!(leftover.exists(), "listing must leave tmp files alone");
+        cleanup_tmp_snapshots(&dir).unwrap();
+        assert!(!leftover.exists(), "recovery cleanup must reap the leftover");
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![3]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

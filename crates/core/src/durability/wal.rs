@@ -58,7 +58,7 @@ pub struct Wal {
     /// Test-only fault injection: the next append writes this many bytes
     /// of its record and then fails, simulating ENOSPC/EIO mid-write.
     #[cfg(test)]
-    fail_next_append_after: Option<usize>,
+    pub(super) fail_next_append_after: Option<usize>,
 }
 
 /// The 8-byte file header, written in a single `write_all` so a crash can
@@ -172,6 +172,57 @@ impl Wal {
                 // nothing changed" contract holds even after a partial
                 // write or failed fsync; if the restore itself fails the
                 // tail state is unknowable — poison the log.
+                if self.rollback().is_err() {
+                    self.poisoned = true;
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Appends a batch of records with **one** shared fsync at the end —
+    /// the group-commit write path. All records reach the file via a
+    /// single `write_all`, then one `sync_data` (policy permitting) makes
+    /// the whole batch durable at once. Atomicity matches `append`: on any
+    /// error the file is rolled back to its pre-batch length, so the batch
+    /// commits or vanishes as a unit — callers fail every mutation in it
+    /// rather than acking a prefix the next append would overwrite.
+    ///
+    /// Crash points (see `crates/cli/tests/crash_recovery.rs`):
+    /// - `wal-group-pre-fsync`: the batched write tears partway through
+    ///   its first record and the shared fsync never runs — recovery must
+    ///   truncate the torn tail back to the exact acked prefix.
+    /// - `wal-group-post-fsync`: every record of the batch is durable but
+    ///   no caller was acked — recovery replays them (durable-but-unacked
+    ///   is allowed; acked-but-not-durable never is).
+    pub fn append_batch(
+        &mut self,
+        records: &[(u64, MutationOp)],
+    ) -> Result<u64, DurabilityError> {
+        self.check_poisoned()?;
+        if records.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = Vec::new();
+        for (version, op) in records {
+            buf.extend_from_slice(&encode_record(*version, op));
+        }
+        crash_point("wal-group-pre-fsync", || {
+            let first = encode_record(records[0].0, &records[0].1).len();
+            self.file
+                .write_all(&buf[..first / 2])
+                .expect("crash-point partial batch write");
+        });
+        match self.write_record(&buf) {
+            Ok(()) => {
+                self.durable_len += buf.len() as u64;
+                crash_point("wal-group-post-fsync", || {});
+                Ok(buf.len() as u64)
+            }
+            Err(e) => {
+                // Whole-batch rollback: a half-written batch must not
+                // leave any record behind, acked or not, because the
+                // callers are all told "nothing changed".
                 if self.rollback().is_err() {
                     self.poisoned = true;
                 }
@@ -583,6 +634,105 @@ mod tests {
     }
 
     #[test]
+    fn append_batch_roundtrips_and_interleaves_with_singles() {
+        let dir = tmp_dir("batch");
+        {
+            let mut wal = Wal::open(&dir, 0, true).unwrap();
+            wal.append(1, &MutationOp::InsertEdges(vec![(0, 1)])).unwrap();
+            wal.append_batch(&[
+                (2, MutationOp::DeleteEdges(vec![(0, 1)])),
+                (3, MutationOp::InsertEdges(vec![(4, 5), (6, 7)])),
+                (4, MutationOp::DeleteNode(6)),
+            ])
+            .unwrap();
+            wal.append(5, &MutationOp::DeleteNode(2)).unwrap();
+        }
+        let scanned = scan(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(scanned.truncated_bytes, 0);
+        let versions: Vec<u64> = scanned.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![1, 2, 3, 4, 5]);
+        // Batched records are byte-identical to singly appended ones: a
+        // scan cannot tell which path wrote them.
+        assert_eq!(scanned.records[2].op, MutationOp::InsertEdges(vec![(4, 5), (6, 7)]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_batch_rolls_back_every_record() {
+        // A failure anywhere in the batched write must leave *none* of the
+        // batch behind — callers are all told "nothing changed", so even
+        // the records that did reach the file before the error must go.
+        let dir = tmp_dir("batchfail");
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        wal.append(1, &MutationOp::InsertEdges(vec![(0, 1)])).unwrap();
+        let before = std::fs::metadata(wal.path()).unwrap().len();
+
+        let batch = vec![
+            (2, MutationOp::InsertEdges(vec![(2, 3)])),
+            (3, MutationOp::DeleteNode(7)),
+        ];
+        // Fail after the first record's bytes are already in the file.
+        let first_len = encode_record(2, &batch[0].1).len();
+        wal.fail_next_append_after = Some(first_len + 3);
+        assert!(wal.append_batch(&batch).is_err());
+        assert!(!wal.poisoned, "successful rollback must not poison");
+        assert_eq!(
+            std::fs::metadata(wal.path()).unwrap().len(),
+            before,
+            "failed batch left bytes behind"
+        );
+
+        // The retry commits cleanly with exactly one copy of each version.
+        wal.append_batch(&batch).unwrap();
+        drop(wal);
+        let scanned = scan(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(scanned.truncated_bytes, 0);
+        let versions: Vec<u64> = scanned.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let dir = tmp_dir("batchempty");
+        let mut wal = Wal::open(&dir, 0, true).unwrap();
+        assert_eq!(wal.append_batch(&[]).unwrap(), 0);
+        drop(wal);
+        assert!(scan(&dir.join(WAL_FILE)).unwrap().records.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_batch_tail_recovers_to_prefix() {
+        // Simulates wal-group-pre-fsync: some batch bytes hit the file but
+        // the shared fsync never ran. The scan must stop at the tear and
+        // reopening truncates it away.
+        let dir = tmp_dir("batchtorn");
+        {
+            let mut wal = Wal::open(&dir, 0, true).unwrap();
+            wal.append(1, &MutationOp::InsertEdges(vec![(0, 1)])).unwrap();
+            wal.append_batch(&[
+                (2, MutationOp::DeleteEdges(vec![(0, 1)])),
+                (3, MutationOp::DeleteNode(4)),
+            ])
+            .unwrap();
+        }
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        // Tear mid-way through the batch's second record.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let scanned = scan(&path).unwrap();
+        let versions: Vec<u64> = scanned.records.iter().map(|r| r.version).collect();
+        assert_eq!(versions, vec![1, 2]);
+        assert!(scanned.truncated_bytes > 0);
+        let mut wal = Wal::open(&dir, scanned.valid_len, true).unwrap();
+        wal.append(3, &MutationOp::DeleteNode(4)).unwrap();
+        drop(wal);
+        assert_eq!(scan(&path).unwrap().truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn poisoned_wal_refuses_every_operation() {
         let dir = tmp_dir("poison");
         let mut wal = Wal::open(&dir, 0, true).unwrap();
@@ -590,6 +740,10 @@ mod tests {
         wal.poisoned = true; // as if a rollback had failed
         assert!(matches!(
             wal.append(2, &MutationOp::DeleteNode(2)),
+            Err(DurabilityError::Poisoned { .. })
+        ));
+        assert!(matches!(
+            wal.append_batch(&[(2, MutationOp::DeleteNode(2))]),
             Err(DurabilityError::Poisoned { .. })
         ));
         assert!(matches!(wal.truncate_all(), Err(DurabilityError::Poisoned { .. })));

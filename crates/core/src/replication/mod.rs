@@ -130,6 +130,7 @@ mod tests {
         let opts = DurabilityOptions {
             fsync: false,
             snapshot_every,
+            ..Default::default()
         };
         let rec = open_dir(dir, opts, || Ok(seed_graph())).unwrap();
         let params = RwrParams::for_graph(rec.graph.num_nodes());
@@ -237,7 +238,7 @@ mod tests {
         // Durable replica: its own store is what promotion inherits.
         let opts = DurabilityOptions {
             fsync: false,
-            snapshot_every: 0,
+            snapshot_every: 0, ..Default::default()
         };
         let rec = open_dir(&rdir, opts, || Ok(seed_graph())).unwrap();
         let params = RwrParams::for_graph(rec.graph.num_nodes());
@@ -377,7 +378,16 @@ mod tests {
                 "chaos stream diverged at source {source}"
             );
         }
-        assert!(proxy.frames_sabotaged() > 0, "chaos plan never fired");
+        // The replica may converge from a late snapshot after only a few
+        // frames, before any sabotage selector's frame id comes up; the
+        // heartbeat stream (every 300 ms) keeps per-connection frame
+        // counters climbing, so the plan must fire within a short wait —
+        // a one-shot assert here is a race, not a check.
+        let fired = Instant::now() + Duration::from_secs(20);
+        while proxy.frames_sabotaged() == 0 {
+            assert!(Instant::now() < fired, "chaos plan never fired");
+            std::thread::sleep(Duration::from_millis(20));
+        }
         client.shutdown();
         proxy.shutdown();
         server.shutdown();
@@ -440,7 +450,7 @@ mod tests {
         let rdir = scratch("failover-r");
         let opts = DurabilityOptions {
             fsync: false,
-            snapshot_every: 0,
+            snapshot_every: 0, ..Default::default()
         };
 
         // New leader R: durable, with its own hub + server (any node that

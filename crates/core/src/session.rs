@@ -36,6 +36,8 @@ use crate::topk::top_k;
 use parking_lot::{Mutex, RwLock};
 use resacc_graph::{CsrGraph, NodeId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The lock-protected mutable core: topology plus derived parameters.
 struct SessionState {
@@ -80,6 +82,98 @@ pub struct RwrSession {
     /// completed) lifts it. The leader string may be empty when the fencing
     /// handshake carried no leader address.
     fence: Mutex<Option<String>>,
+    /// Present when the durability store was opened with
+    /// `DurabilityOptions::group_commit`: concurrent [`RwrSession::
+    /// apply_mutation`] callers coalesce into leader-committed batches
+    /// behind one shared fsync. `None` keeps the per-mutation path.
+    group_commit: Option<GroupCommit>,
+}
+
+/// Leader/follower group-commit state (PostgreSQL-style): callers enqueue
+/// their op plus a result slot; whoever finds no commit in flight becomes
+/// the batch leader, optionally waits the configured window for more
+/// joiners, then commits the whole queue — one WAL batch, one fsync, one
+/// write-lock acquisition — and fills every slot. Followers block on the
+/// condvar until a leader has carried their entry.
+///
+/// Uses `std::sync` rather than the `parking_lot` shim because followers
+/// need a [`Condvar`]. Lock poisoning is deliberately ignored
+/// (`unwrap_or_else(PoisonError::into_inner)`): the queue holds plain data
+/// whose invariants a panicking leader cannot break mid-update, and
+/// refusing all future mutations over a poisoned flag would turn one
+/// panicked caller into a permanent outage.
+struct GroupCommit {
+    state: std::sync::Mutex<GcQueue>,
+    cv: std::sync::Condvar,
+    /// Extra time the leader waits for joiners before committing.
+    window: Duration,
+}
+
+struct GcQueue {
+    queue: Vec<GcEntry>,
+    /// True while a leader is committing a batch — the "commit latch".
+    committing: bool,
+}
+
+struct GcEntry {
+    op: MutationOp,
+    slot: CommitSlot,
+}
+
+/// Where the leader deposits one caller's outcome. `DurabilityError` is
+/// not `Clone`, so a failed batch fans out via [`clone_err`].
+type CommitSlot = Arc<Mutex<Option<Result<u64, DurabilityError>>>>;
+
+impl GroupCommit {
+    fn new(window: Duration) -> Self {
+        GroupCommit {
+            state: std::sync::Mutex::new(GcQueue {
+                queue: Vec::new(),
+                committing: false,
+            }),
+            cv: std::sync::Condvar::new(),
+            window,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GcQueue> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Duplicates a [`DurabilityError`] so one batch failure can be delivered
+/// to every caller in the batch. `Io` loses the concrete `std::io::Error`
+/// payload (kept as kind + message) — acceptable for an error report.
+fn clone_err(e: &DurabilityError) -> DurabilityError {
+    match e {
+        DurabilityError::Io(err) => {
+            DurabilityError::Io(std::io::Error::new(err.kind(), err.to_string()))
+        }
+        DurabilityError::Corrupt { path, detail } => DurabilityError::Corrupt {
+            path: path.clone(),
+            detail: detail.clone(),
+        },
+        DurabilityError::Poisoned { path } => DurabilityError::Poisoned { path: path.clone() },
+        DurabilityError::Fenced { epoch, leader } => DurabilityError::Fenced {
+            epoch: *epoch,
+            leader: leader.clone(),
+        },
+        DurabilityError::Diverged {
+            epoch,
+            leader,
+            local_version,
+            leader_version,
+            max_acked,
+        } => DurabilityError::Diverged {
+            epoch: *epoch,
+            leader: leader.clone(),
+            local_version: *local_version,
+            leader_version: *leader_version,
+            max_acked: *max_acked,
+        },
+    }
 }
 
 /// Callback invoked for every applied (and, with a store attached, already
@@ -118,6 +212,7 @@ impl RwrSession {
             deltas: Mutex::new(DeltaLog::new(dynamic::DEFAULT_DELTA_WINDOW)),
             epoch: AtomicU64::new(0),
             fence: Mutex::new(None),
+            group_commit: None,
         }
     }
 
@@ -153,8 +248,14 @@ impl RwrSession {
         } = recovered;
         let mut session = Self::with_config(graph, params, config);
         session.version = AtomicU64::new(version);
+        let opts = *store.options();
         session.durability = Some(store);
         session.epoch = AtomicU64::new(epoch);
+        if opts.group_commit {
+            session.group_commit = Some(GroupCommit::new(Duration::from_millis(
+                opts.group_commit_window_ms,
+            )));
+        }
         session
     }
 
@@ -435,7 +536,17 @@ impl RwrSession {
     /// A snapshot-write failure after a successful append is reported to
     /// stderr but does not fail the mutation: the mutation is already
     /// durable in the WAL, and snapshots only bound replay time.
+    ///
+    /// With group commit enabled (`DurabilityOptions::group_commit`),
+    /// concurrent callers coalesce: one of them leads the batch, appends
+    /// every queued record behind a single shared fsync, applies them in
+    /// version order, and releases all acks — the ordering contract
+    /// (durable → applied → observer → ack) is identical, only the fsync
+    /// count drops.
     pub fn apply_mutation(&self, op: &MutationOp) -> Result<u64, DurabilityError> {
+        if let Some(gc) = &self.group_commit {
+            return self.apply_grouped(gc, op);
+        }
         let mut state = self.state.write();
         // Fenced: a newer primary exists, so accepting this write would
         // fork acknowledged history. Checked under the write lock so a
@@ -447,6 +558,22 @@ impl RwrSession {
         if let Some(store) = &self.durability {
             store.log_mutation(next, op)?;
         }
+        self.apply_logged(&mut state, next, op);
+        if let Some(store) = &self.durability {
+            if store.should_snapshot(next) {
+                if let Err(e) = store.write_snapshot(&state.graph, next) {
+                    eprintln!("snapshot at version {next} failed (mutation is WAL-durable): {e}");
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    /// The shared post-durability half of a mutation: applies `op` as
+    /// version `next` under the caller's write lock. The WAL record for
+    /// `next` is already durable when this runs (single or batched path —
+    /// this is what keeps the log ahead of memory in both).
+    fn apply_logged(&self, state: &mut SessionState, next: u64, op: &MutationOp) {
         // Capture the pre-mutation out-rows of the touched sources for the
         // delta log: edge-level ops are offset-upgradeable, `delete_node`
         // (which also rewrites every in-neighbour's row) is not.
@@ -492,14 +619,106 @@ impl RwrSession {
             // version-ordered stream of durable mutations.
             observer(next, op);
         }
+    }
+
+    /// The group-commit caller path: enqueue, then either lead a batch or
+    /// wait for a leader to carry this entry. See [`GroupCommit`].
+    fn apply_grouped(&self, gc: &GroupCommit, op: &MutationOp) -> Result<u64, DurabilityError> {
+        let slot: CommitSlot = Arc::new(Mutex::new(None));
+        let mut st = gc.lock();
+        st.queue.push(GcEntry {
+            op: op.clone(),
+            slot: slot.clone(),
+        });
+        loop {
+            if let Some(result) = slot.lock().take() {
+                return result;
+            }
+            if st.committing {
+                // A leader is mid-commit; it either carries our entry (we
+                // find the slot filled on wake) or leaves it queued for
+                // the next round.
+                st = gc
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            }
+            // No commit in flight: lead this batch.
+            st.committing = true;
+            drop(st);
+            if !gc.window.is_zero() {
+                // Hold the batch open so concurrent callers can join;
+                // pure latency-for-batch-size trade, durability unchanged.
+                std::thread::sleep(gc.window);
+            }
+            let batch = std::mem::take(&mut gc.lock().queue);
+            self.commit_batch(batch);
+            st = gc.lock();
+            st.committing = false;
+            drop(st);
+            gc.cv.notify_all();
+            return slot
+                .lock()
+                .take()
+                .expect("group-commit leader fills its own slot");
+        }
+    }
+
+    /// Commits one group-commit batch: a single write-lock acquisition, a
+    /// single fence check, one batched WAL append behind one fsync, then
+    /// the in-order applies and ack releases. On append failure the WAL
+    /// rolled the whole batch back, so every caller gets an `Err` and
+    /// nothing changed — the same all-or-nothing contract as a single
+    /// failed append.
+    fn commit_batch(&self, batch: Vec<GcEntry>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut state = self.state.write();
+        if let Some((epoch, leader)) = self.fence_info() {
+            for entry in &batch {
+                *entry.slot.lock() = Some(Err(DurabilityError::Fenced {
+                    epoch,
+                    leader: leader.clone(),
+                }));
+            }
+            return;
+        }
+        let base = self.version.load(Ordering::Acquire);
         if let Some(store) = &self.durability {
-            if store.should_snapshot(next) {
-                if let Err(e) = store.write_snapshot(&state.graph, next) {
-                    eprintln!("snapshot at version {next} failed (mutation is WAL-durable): {e}");
+            let records: Vec<(u64, MutationOp)> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, entry)| (base + 1 + i as u64, entry.op.clone()))
+                .collect();
+            if let Err(e) = store.log_batch(&records) {
+                for entry in &batch {
+                    *entry.slot.lock() = Some(Err(clone_err(&e)));
+                }
+                return;
+            }
+        }
+        // Every record is durable; apply in version order and release each
+        // ack. The observer fires per-op inside `apply_logged`, still in
+        // version order with no gaps — replication publishes the batch
+        // only after the shared fsync, record by record.
+        for (i, entry) in batch.iter().enumerate() {
+            let next = base + 1 + i as u64;
+            self.apply_logged(&mut state, next, &entry.op);
+            *entry.slot.lock() = Some(Ok(next));
+        }
+        if let Some(store) = &self.durability {
+            // One snapshot decision per batch, at the batch tip: the
+            // per-version graphs for interior versions no longer exist,
+            // and snapshots are an optimization, not a correctness need.
+            let tip = base + batch.len() as u64;
+            if (base + 1..=tip).any(|v| store.should_snapshot(v)) {
+                if let Err(e) = store.write_snapshot(&state.graph, tip) {
+                    eprintln!("snapshot at version {tip} failed (batch is WAL-durable): {e}");
                 }
             }
         }
-        Ok(next)
     }
 
     /// Replaces the session's graph wholesale with a snapshot at `version`
@@ -937,7 +1156,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let opts = DurabilityOptions {
             fsync: false,
-            snapshot_every: 0,
+            snapshot_every: 0, ..Default::default()
         };
         let base = || Ok(gen::erdos_renyi(40, 160, 3));
         let expected = {
@@ -965,6 +1184,164 @@ mod tests {
         let rec2 = open_dir(&dir, opts, base).unwrap();
         assert_eq!(rec2.stats.wal_records_replayed, 0);
         assert_eq!(rec2.version, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn grouped_session(dir: &std::path::Path, window_ms: u64) -> RwrSession {
+        use crate::durability::{open_dir, DurabilityOptions};
+        let opts = DurabilityOptions {
+            fsync: true,
+            snapshot_every: 0,
+            group_commit: true,
+            group_commit_window_ms: window_ms,
+        };
+        let rec = open_dir(dir, opts, || Ok(gen::erdos_renyi(40, 160, 3))).unwrap();
+        let params = RwrParams::for_graph(rec.graph.num_nodes());
+        RwrSession::from_recovered(rec, params, ResAccConfig::default())
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_mutations_without_losing_any() {
+        use crate::durability::{open_dir, DurabilityOptions};
+        let dir = std::env::temp_dir().join(format!("resacc-sess-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Arc::new(grouped_session(&dir, 2));
+        let threads = 8;
+        let per_thread = 4;
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let session = session.clone();
+                scope.spawn(move |_| {
+                    for i in 0..per_thread {
+                        session
+                            .apply_mutation(&MutationOp::InsertEdges(vec![(
+                                t as u32,
+                                (i + 1) as u32,
+                            )]))
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let total = (threads * per_thread) as u64;
+        assert_eq!(session.version(), total);
+        let store = session.durability().unwrap();
+        assert_eq!(store.records_appended(), total, "every mutation logged");
+        let batches = store.batches_committed();
+        assert!(batches >= 1 && batches <= total, "batches: {batches}");
+        assert!(
+            batches < total,
+            "32 concurrent mutations with a 2ms window never coalesced"
+        );
+        // The log is a gap-free version sequence a restart replays exactly.
+        let expected = session.query(0, 7).scores;
+        drop(session);
+        let rec = open_dir(&dir, DurabilityOptions::default(), || {
+            Ok(gen::erdos_renyi(40, 160, 3))
+        })
+        .unwrap();
+        assert_eq!(rec.version, total);
+        let params = RwrParams::for_graph(rec.graph.num_nodes());
+        let reopened = RwrSession::from_recovered(rec, params, ResAccConfig::default());
+        assert_eq!(reopened.query(0, 7).scores, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_failed_append_fails_cleanly_and_retries() {
+        let dir = std::env::temp_dir().join(format!("resacc-sess-gcfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = grouped_session(&dir, 0);
+        let op = MutationOp::InsertEdges(vec![(0, 39)]);
+        session.durability().unwrap().inject_append_failure(5);
+        assert!(matches!(
+            session.apply_mutation(&op),
+            Err(DurabilityError::Io(_))
+        ));
+        assert_eq!(session.version(), 0, "failed batch left no trace");
+        // The rollback was clean: the retry commits.
+        assert_eq!(session.apply_mutation(&op).unwrap(), 1);
+        assert_eq!(session.durability().unwrap().batches_committed(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_fence_bounces_the_whole_batch() {
+        let dir = std::env::temp_dir().join(format!("resacc-sess-gcfence-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = grouped_session(&dir, 0);
+        session.fence(4, "leader:9").unwrap();
+        match session.apply_mutation(&MutationOp::DeleteNode(3)) {
+            Err(DurabilityError::Fenced { epoch, leader }) => {
+                assert_eq!((epoch, leader.as_str()), (4, "leader:9"));
+            }
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+        assert_eq!(session.version(), 0);
+        assert_eq!(session.durability().unwrap().records_appended(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_observer_sees_gap_free_version_order() {
+        let dir = std::env::temp_dir().join(format!("resacc-sess-gcobs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut session = grouped_session(&dir, 1);
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        session.set_mutation_observer(Box::new(move |version, _op| {
+            sink.lock().push(version);
+        }));
+        let session = Arc::new(session);
+        crossbeam::scope(|scope| {
+            for t in 0..6u32 {
+                let session = session.clone();
+                scope.spawn(move |_| {
+                    for _ in 0..3 {
+                        session
+                            .apply_mutation(&MutationOp::InsertEdges(vec![(t, t + 10)]))
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let versions = seen.lock().clone();
+        assert_eq!(
+            versions,
+            (1..=18u64).collect::<Vec<_>>(),
+            "observer stream must be version-ordered with no gaps, even across batches"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_snapshot_policy_fires_at_batch_tip() {
+        use crate::durability::{open_dir, DurabilityOptions};
+        let dir = std::env::temp_dir().join(format!("resacc-sess-gcsnap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurabilityOptions {
+            fsync: true,
+            snapshot_every: 2,
+            group_commit: true,
+            group_commit_window_ms: 0,
+        };
+        let rec = open_dir(&dir, opts, || Ok(gen::cycle(12))).unwrap();
+        let params = RwrParams::for_graph(rec.graph.num_nodes());
+        let session = RwrSession::from_recovered(rec, params, ResAccConfig::default());
+        for i in 0..4u32 {
+            session
+                .apply_mutation(&MutationOp::InsertEdges(vec![(i, i + 6)]))
+                .unwrap();
+        }
+        assert!(
+            session.durability().unwrap().snapshots_written() >= 1,
+            "snapshot-every must still trigger on the grouped path"
+        );
+        drop(session);
+        let rec = open_dir(&dir, opts, || panic!("snapshot must exist")).unwrap();
+        assert_eq!(rec.version, 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1011,7 +1388,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let opts = DurabilityOptions {
             fsync: false,
-            snapshot_every: 0,
+            snapshot_every: 0, ..Default::default()
         };
         let base = || Ok(gen::erdos_renyi(20, 80, 5));
         let rec = open_dir(&dir, opts, base).unwrap();

@@ -23,7 +23,9 @@
 //!   [`metrics::Metrics::snapshot`] API.
 //! * [`server`] — newline-delimited-JSON-over-TCP front end (std only),
 //!   with bounded reads, idle timeouts, a connection cap, and graceful
-//!   drain shutdown.
+//!   drain shutdown. Two interchangeable connection engines: a
+//!   readiness-driven event loop (default; O(workers) threads at any
+//!   connection count) and the thread-per-connection reference.
 //! * [`loadgen`] — Zipfian closed-loop load generator for the server,
 //!   including a chaos mode for fault-injection runs.
 //! * [`fault`] — deterministic, request-id-keyed fault injection
@@ -40,6 +42,7 @@ pub mod fault;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
+mod reactor;
 pub mod replication;
 pub mod scheduler;
 pub mod server;
@@ -52,7 +55,7 @@ pub use scheduler::{
     effective_seed, splitmix64, threads_per_query_budget, ErrorKind, QueryRequest, QueryResponse,
     Scheduler, SchedulerConfig, ServiceError,
 };
-pub use server::{serve, spawn, ServerConfig, ServerHandle};
+pub use server::{serve, spawn, ServerBackend, ServerConfig, ServerHandle};
 
 use resacc::resacc::ResAccConfig;
 use resacc::RwrParams;

@@ -294,7 +294,31 @@ pub fn threads_per_query_budget(workers: usize, cores: usize) -> usize {
     (cores.max(1) / workers.max(1)).max(1)
 }
 
-type Reply = Sender<Result<QueryResponse, ServiceError>>;
+/// Where a finished request's outcome goes. Synchronous callers
+/// ([`Scheduler::submit`] / [`Ticket::wait`]) block on a channel; the
+/// event-loop server ([`Scheduler::submit_hook`]) registers a completion
+/// hook instead, because its reactor thread must never block. The hook
+/// runs on whichever scheduler thread finishes the request (dispatcher
+/// for cache hits and queue-expiry, a worker otherwise) — it must be
+/// cheap and non-blocking (the reactor's hooks just push onto a
+/// completion queue and wake the poller).
+enum Reply {
+    Tx(Sender<Result<QueryResponse, ServiceError>>),
+    Hook(Box<dyn FnOnce(Result<QueryResponse, ServiceError>) + Send>),
+}
+
+impl Reply {
+    /// Delivers the outcome, consuming the reply — every request is
+    /// answered exactly once, and the type system now enforces it.
+    fn deliver(self, outcome: Result<QueryResponse, ServiceError>) {
+        match self {
+            Reply::Tx(tx) => {
+                let _ = tx.send(outcome);
+            }
+            Reply::Hook(hook) => hook(outcome),
+        }
+    }
+}
 
 struct Pending {
     request: QueryRequest,
@@ -339,14 +363,14 @@ struct ReplyCtx {
 }
 
 impl ReplyCtx {
-    fn send_ok(&self, waiter_reply: &Reply, response: QueryResponse) {
+    fn send_ok(&self, waiter_reply: Reply, response: QueryResponse) {
         self.metrics.queries.fetch_add(1, Relaxed);
         self.metrics.latency.record(response.latency_ns);
         self.load.fetch_sub(1, Relaxed);
-        let _ = waiter_reply.send(Ok(response));
+        waiter_reply.deliver(Ok(response));
     }
 
-    fn send_err(&self, waiter_reply: &Reply, enqueued: Instant, error: ServiceError) {
+    fn send_err(&self, waiter_reply: Reply, enqueued: Instant, error: ServiceError) {
         self.metrics.errors.fetch_add(1, Relaxed);
         if error.kind == ErrorKind::DeadlineExceeded {
             self.metrics.timeouts.fetch_add(1, Relaxed);
@@ -355,7 +379,7 @@ impl ReplyCtx {
             .latency_err
             .record(enqueued.elapsed().as_nanos() as u64);
         self.load.fetch_sub(1, Relaxed);
-        let _ = waiter_reply.send(Err(error));
+        waiter_reply.deliver(Err(error));
     }
 }
 
@@ -494,7 +518,29 @@ impl Scheduler {
     /// queue, and the ticket resolves instantly to
     /// [`ErrorKind::Overloaded`] with a `retry_after_ms` hint.
     pub fn submit(&self, request: QueryRequest) -> Ticket {
-        let (reply, rx) = channel::unbounded();
+        let (tx, rx) = channel::unbounded();
+        self.submit_reply(request, Reply::Tx(tx));
+        Ticket { rx }
+    }
+
+    /// Enqueues a query whose outcome is delivered to `hook` instead of a
+    /// channel — the non-blocking submission path for the event-loop
+    /// server. Admission control is identical to [`Scheduler::submit`]:
+    /// a shed request invokes the hook immediately (on the calling
+    /// thread) with [`ErrorKind::Overloaded`]. Otherwise the hook runs
+    /// later on a scheduler thread; it must be cheap and non-blocking.
+    pub fn submit_hook(
+        &self,
+        request: QueryRequest,
+        hook: impl FnOnce(Result<QueryResponse, ServiceError>) + Send + 'static,
+    ) {
+        self.submit_reply(request, Reply::Hook(Box::new(hook)));
+    }
+
+    /// The shared admission path behind [`Scheduler::submit`] and
+    /// [`Scheduler::submit_hook`]: shed over `queue_cap`, stamp the
+    /// deadline, enqueue for the dispatcher.
+    fn submit_reply(&self, request: QueryRequest, reply: Reply) {
         let cap = self.config.queue_cap;
         let load = self.load.fetch_add(1, Relaxed) + 1;
         if cap != 0 && load > cap as u64 {
@@ -502,13 +548,13 @@ impl Scheduler {
             self.metrics.shed.fetch_add(1, Relaxed);
             self.metrics.errors.fetch_add(1, Relaxed);
             self.metrics.latency_err.record(1);
-            let _ = reply.send(Err(ServiceError {
+            reply.deliver(Err(ServiceError {
                 id: request.id,
                 kind: ErrorKind::Overloaded,
                 detail: format!("{load} requests in flight (cap {cap})"),
                 retry_after_ms: Some(self.config.retry_after_ms),
             }));
-            return Ticket { rx };
+            return;
         }
         let deadline = request
             .deadline
@@ -524,7 +570,6 @@ impl Scheduler {
                 reply,
             });
         assert!(sent.is_ok(), "dispatcher alive while scheduler exists");
-        Ticket { rx }
     }
 
     /// Convenience: submit and wait.
@@ -629,9 +674,10 @@ fn dispatch_loop(
             let expired = faults.should_expire(id)
                 || pending.deadline.is_some_and(|d| Instant::now() >= d);
             if expired {
+                let enqueued = pending.enqueued;
                 ctx.send_err(
-                    &pending.reply,
-                    pending.enqueued,
+                    pending.reply,
+                    enqueued,
                     ServiceError::new(id, ErrorKind::DeadlineExceeded, "expired while queued"),
                 );
                 continue;
@@ -681,7 +727,7 @@ fn dispatch_loop(
                 ctx.metrics.cache_hits.fetch_add(1, Relaxed);
                 let latency = pending.enqueued.elapsed().as_nanos() as u64;
                 ctx.send_ok(
-                    &pending.reply,
+                    pending.reply,
                     QueryResponse {
                         id,
                         source: pending.request.source,
@@ -804,7 +850,7 @@ fn worker_loop(
                 for w in waiters {
                     let latency = w.enqueued.elapsed().as_nanos() as u64;
                     ctx.send_ok(
-                        &w.reply,
+                        w.reply,
                         QueryResponse {
                             id: w.id,
                             source: job.key.source,
@@ -864,7 +910,7 @@ fn worker_loop(
                 for w in waiters {
                     let latency = w.enqueued.elapsed().as_nanos() as u64;
                     ctx.send_ok(
-                        &w.reply,
+                        w.reply,
                         QueryResponse {
                             id: w.id,
                             source: job.key.source,
@@ -886,15 +932,17 @@ fn worker_loop(
                 };
                 let detail = abort.to_string();
                 for w in waiters {
-                    ctx.send_err(&w.reply, w.enqueued, ServiceError::new(w.id, kind, &*detail));
+                    let enqueued = w.enqueued;
+                    ctx.send_err(w.reply, enqueued, ServiceError::new(w.id, kind, &*detail));
                 }
             }
             Err(_panic) => {
                 ctx.metrics.panics.fetch_add(1, Relaxed);
                 for w in waiters {
+                    let enqueued = w.enqueued;
                     ctx.send_err(
-                        &w.reply,
-                        w.enqueued,
+                        w.reply,
+                        enqueued,
                         ServiceError::new(w.id, ErrorKind::InternalPanic, "query panicked"),
                     );
                 }
@@ -1148,6 +1196,59 @@ mod tests {
             snap.coalesced,
             snap.cache_hits
         );
+    }
+
+    #[test]
+    fn submit_hook_shares_the_channel_path_bit_for_bit() {
+        let s = mk(2, 64);
+        let via_channel = s.query(req(1, 5, Some(9))).unwrap();
+        let (tx, rx) = channel::unbounded();
+        s.submit_hook(req(2, 5, Some(9)), move |out| {
+            let _ = tx.send(out);
+        });
+        let via_hook = rx.recv().unwrap().unwrap();
+        assert_eq!(via_hook.id, 2);
+        assert_eq!(via_channel.scores, via_hook.scores);
+        assert!(via_hook.cached, "same key must hit the shared cache");
+        // Every hook-submitted request is answered and the load gauge
+        // returns to zero — hooks share the admission bookkeeping.
+        assert_eq!(s.load(), 0);
+    }
+
+    #[test]
+    fn submit_hook_is_shed_inline_when_over_cap() {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(400, 4, 77)));
+        let s = Scheduler::new(
+            session,
+            SchedulerConfig {
+                workers: 1,
+                cache_capacity: 0,
+                queue_cap: 1,
+                retry_after_ms: 33,
+                ..Default::default()
+            },
+        );
+        // Saturate the single slot, then hooks must shed synchronously.
+        let busy: Vec<Ticket> = (0..8).map(|i| s.submit(req(i, (i % 5) as u32, None))).collect();
+        let (tx, rx) = channel::unbounded();
+        let mut shed = 0;
+        for id in 100..140u64 {
+            let tx = tx.clone();
+            s.submit_hook(req(id, 0, None), move |out| {
+                let _ = tx.send(out);
+            });
+            match rx.try_recv() {
+                Ok(Err(e)) if e.kind == ErrorKind::Overloaded => {
+                    assert_eq!(e.retry_after_ms, Some(33));
+                    shed += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(shed > 0, "cap 1 must shed some of a 40-burst inline");
+        for t in busy {
+            let _ = t.wait();
+        }
     }
 
     #[test]

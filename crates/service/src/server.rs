@@ -60,11 +60,27 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often a parked reader wakes to check the stop flag.
-const READ_POLL: Duration = Duration::from_millis(50);
+pub(crate) const READ_POLL: Duration = Duration::from_millis(50);
 /// How often the (non-blocking) accept loop polls for new connections.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+pub(crate) const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// Ceiling for the accept-error backoff.
-const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+pub(crate) const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// Which connection engine [`serve`] runs. Both speak the identical wire
+/// protocol through the same [`route_line`] dispatcher — the equivalence
+/// suite holds them bit-for-bit interchangeable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ServerBackend {
+    /// Readiness-driven event loop (the default): one reactor thread
+    /// multiplexes every connection over epoll, with a small executor pool
+    /// for blocking work (durable mutations, promotion). Thread count is
+    /// O(workers), independent of connection count — see [`crate::reactor`].
+    #[default]
+    Event,
+    /// One thread per connection — the original engine, kept as the
+    /// behavioral reference the event loop is proven equivalent to.
+    Threaded,
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -106,6 +122,8 @@ pub struct ServerConfig {
     pub dynamic_eps: f64,
     /// Offset-propagation push threshold δ (`--dynamic-delta`).
     pub dynamic_delta: f64,
+    /// Which connection engine to run (`--backend`).
+    pub backend: ServerBackend,
 }
 
 impl Default for ServerConfig {
@@ -126,25 +144,27 @@ impl Default for ServerConfig {
             replication: None,
             dynamic_eps: 0.0,
             dynamic_delta: 1e-4,
+            backend: ServerBackend::default(),
         }
     }
 }
 
 /// Per-connection limits, split out of [`ServerConfig`] for the handler.
 #[derive(Clone, Copy)]
-struct ConnLimits {
-    default_k: usize,
-    default_deadline_ms: u64,
-    max_line_bytes: usize,
-    idle_timeout: Option<Duration>,
+pub(crate) struct ConnLimits {
+    pub(crate) default_k: usize,
+    pub(crate) default_deadline_ms: u64,
+    pub(crate) max_line_bytes: usize,
+    pub(crate) idle_timeout: Option<Duration>,
 }
 
 /// Serves on `listener` until a client sends `{"op":"shutdown"}`.
 ///
-/// Blocking; connection handlers run on their own threads sharing one
-/// [`Scheduler`]. Shutdown drains: accepting stops, every handler finishes
-/// the requests it already read and is joined, then the scheduler drains
-/// its queues — every submitted request is answered before this returns.
+/// Blocking. The connection engine is chosen by [`ServerConfig::backend`];
+/// both engines share one [`Scheduler`] and the same drain contract:
+/// accepting stops, every connection finishes responding to the requests
+/// it has already read, then the scheduler drains its queues — every
+/// submitted request is answered before this returns.
 pub fn serve(
     listener: TcpListener,
     session: Arc<RwrSession>,
@@ -176,8 +196,6 @@ pub fn serve(
         m.snapshots_loaded
             .store(config.recovery.snapshots_loaded, Ordering::Relaxed);
     }
-    let stop = Arc::new(AtomicBool::new(false));
-    let replication = config.replication.clone();
     let limits = ConnLimits {
         default_k: config.default_k,
         default_deadline_ms: config.default_deadline_ms,
@@ -185,6 +203,30 @@ pub fn serve(
         idle_timeout: (config.idle_timeout_ms > 0)
             .then(|| Duration::from_millis(config.idle_timeout_ms)),
     };
+
+    match config.backend {
+        ServerBackend::Event => crate::reactor::run(listener, scheduler.clone(), &config, limits)?,
+        ServerBackend::Threaded => serve_threaded(listener, scheduler.clone(), &config, limits)?,
+    }
+    // All mutation sources are gone (both engines join their mutation
+    // threads before returning), so checkpoint: snapshot at the final
+    // version and truncate the WAL. A restart after this drain replays
+    // zero records — clean shutdown never relies on recovery.
+    if let Err(e) = scheduler.session().checkpoint() {
+        eprintln!("shutdown checkpoint failed (WAL still covers all mutations): {e}");
+    }
+    Ok(())
+}
+
+/// The thread-per-connection engine ([`ServerBackend::Threaded`]).
+fn serve_threaded(
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    config: &ServerConfig,
+    limits: ConnLimits,
+) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let replication = config.replication.clone();
 
     listener.set_nonblocking(true)?;
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -241,13 +283,6 @@ pub fn serve(
     // drop. No connection is abandoned mid-request.
     for t in handlers {
         let _ = t.join();
-    }
-    // All mutation sources are gone (mutations run synchronously inside the
-    // joined handlers), so checkpoint: snapshot at the final version and
-    // truncate the WAL. A restart after this drain replays zero records —
-    // clean shutdown never relies on recovery.
-    if let Err(e) = scheduler.session().checkpoint() {
-        eprintln!("shutdown checkpoint failed (WAL still covers all mutations): {e}");
     }
     Ok(())
 }
@@ -353,7 +388,7 @@ enum ReadStep {
 }
 
 /// Pulls the next complete line out of `buf`, if one is buffered.
-fn take_buffered_line(buf: &mut Vec<u8>) -> Option<String> {
+pub(crate) fn take_buffered_line(buf: &mut Vec<u8>) -> Option<String> {
     let pos = buf.iter().position(|&b| b == b'\n')?;
     let line: Vec<u8> = buf.drain(..=pos).take(pos).collect();
     Some(String::from_utf8_lossy(&line).into_owned())
@@ -447,7 +482,12 @@ fn handle_connection(
     }
 }
 
-fn error_fields(id: Option<u64>, code: &str, detail: &str, retry_after_ms: Option<u64>) -> Json {
+pub(crate) fn error_fields(
+    id: Option<u64>,
+    code: &str,
+    detail: &str,
+    retry_after_ms: Option<u64>,
+) -> Json {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id".to_string(), Json::u64(id)));
@@ -487,19 +527,64 @@ fn fenced_error_response(id: Option<u64>, epoch: u64, leader: &str) -> Json {
     Json::Obj(fields)
 }
 
-/// Dispatches one request line; returns (response, shutdown_requested).
-fn handle_line(
+/// What one routed request line asks the connection engine to do.
+///
+/// [`route_line`] performs everything both engines share — parsing,
+/// replica/fence bouncing, synchronous ops — and hands back the rest as
+/// data. The threaded engine executes `Query`/`Mutation`/`Promote`
+/// inline (blocking its connection thread); the reactor dispatches them
+/// to the scheduler hook path or its executor pool. Because every
+/// response byte is rendered by the same helpers on both sides, the
+/// engines are wire-equivalent by construction.
+pub(crate) enum LineOutcome {
+    /// Fully handled: write this response.
+    Respond(Json),
+    /// Write this response, then shut the server down (drain).
+    Shutdown(Json),
+    /// Run a query through the scheduler; render with
+    /// [`render_query_outcome`].
+    Query {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The parsed scheduler request.
+        request: QueryRequest,
+        /// `top` list length.
+        k: usize,
+        /// Include the full score vector.
+        full: bool,
+    },
+    /// Apply a durable mutation (blocking WAL append); render with
+    /// [`apply_response`].
+    Mutation {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The mutation to apply.
+        op: MutationOp,
+    },
+    /// Run the `promote` admin op (blocking drain); render with
+    /// [`promote_json`].
+    Promote {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The full request (carries the optional `fence` field).
+        request: Json,
+    },
+}
+
+/// Dispatches one request line into a [`LineOutcome`] — the single
+/// routing point both connection engines share.
+pub(crate) fn route_line(
     line: &str,
     scheduler: &Scheduler,
     limits: &ConnLimits,
     replication: Option<&ReplicationRole>,
-) -> (Json, bool) {
+) -> LineOutcome {
     use std::sync::atomic::Ordering::Relaxed;
     let request = match Json::parse(line) {
         Ok(j) => j,
         Err(e) => {
             scheduler.metrics().errors.fetch_add(1, Relaxed);
-            return (error_response(None, &format!("bad json: {e}")), false);
+            return LineOutcome::Respond(error_response(None, &format!("bad json: {e}")));
         }
     };
     let id = request.get("id").and_then(Json::as_u64);
@@ -514,40 +599,82 @@ fn handle_line(
         if let Some(role) = replication {
             if let Some((epoch, leader)) = role.fenced() {
                 scheduler.metrics().errors.fetch_add(1, Relaxed);
-                return (fenced_error_response(id, epoch, &leader), false);
+                return LineOutcome::Respond(fenced_error_response(id, epoch, &leader));
             }
             if role.is_read_only() {
                 scheduler.metrics().errors.fetch_add(1, Relaxed);
                 let e = ServiceError::read_only(id.unwrap_or(0), &role.primary_addr());
-                return (service_error_response(id, &e), false);
+                return LineOutcome::Respond(service_error_response(id, &e));
             }
         }
     }
     let result = match op {
-        "query" => op_query(&request, scheduler, limits),
-        "insert_edges" => parse_edges(&request)
-            .map(|edges| apply_response(id, scheduler, MutationOp::InsertEdges(edges))),
-        "delete_edges" => parse_edges(&request)
-            .map(|edges| apply_response(id, scheduler, MutationOp::DeleteEdges(edges))),
+        "query" => parse_query(&request, limits).map(|(request, k, full)| LineOutcome::Query {
+            id,
+            request,
+            k,
+            full,
+        }),
+        "insert_edges" => parse_edges(&request).map(|edges| LineOutcome::Mutation {
+            id,
+            op: MutationOp::InsertEdges(edges),
+        }),
+        "delete_edges" => parse_edges(&request).map(|edges| LineOutcome::Mutation {
+            id,
+            op: MutationOp::DeleteEdges(edges),
+        }),
         "delete_node" => request
             .get("node")
             .and_then(Json::as_u64)
             .ok_or_else(|| "missing node".to_string())
-            .map(|node| apply_response(id, scheduler, MutationOp::DeleteNode(node as u32))),
-        "stats" => Ok(stats_response(id, scheduler, replication)),
-        "promote" => promote_response(id, &request, scheduler, replication),
-        "ping" => Ok(ok_response(id, vec![])),
-        "shutdown" => {
-            return (ok_response(id, vec![]), true);
-        }
+            .map(|node| LineOutcome::Mutation {
+                id,
+                op: MutationOp::DeleteNode(node as u32),
+            }),
+        "stats" => Ok(LineOutcome::Respond(stats_response(
+            id,
+            scheduler,
+            replication,
+        ))),
+        "promote" => Ok(LineOutcome::Promote { id, request }),
+        "ping" => Ok(LineOutcome::Respond(ok_response(id, vec![]))),
+        "shutdown" => Ok(LineOutcome::Shutdown(ok_response(id, vec![]))),
         other => Err(format!("unknown op {other:?}")),
     };
     match result {
-        Ok(json) => (json, false),
+        Ok(outcome) => outcome,
         Err(e) => {
             scheduler.metrics().errors.fetch_add(1, Relaxed);
-            (error_response(id, &e), false)
+            LineOutcome::Respond(error_response(id, &e))
         }
+    }
+}
+
+/// Dispatches one request line synchronously (the threaded engine);
+/// returns (response, shutdown_requested).
+fn handle_line(
+    line: &str,
+    scheduler: &Scheduler,
+    limits: &ConnLimits,
+    replication: Option<&ReplicationRole>,
+) -> (Json, bool) {
+    match route_line(line, scheduler, limits, replication) {
+        LineOutcome::Respond(json) => (json, false),
+        LineOutcome::Shutdown(json) => (json, true),
+        LineOutcome::Query {
+            id,
+            request,
+            k,
+            full,
+        } => (
+            render_query_outcome(id, scheduler.query(request), k, full),
+            false,
+        ),
+        LineOutcome::Mutation { id, op } => (apply_response(id, scheduler, op), false),
+        LineOutcome::Promote { id, request } => (
+            promote_json(id, &request, scheduler, replication),
+            false,
+        ),
     }
 }
 
@@ -568,7 +695,7 @@ fn mutation_response(id: Option<u64>, version: u64) -> Json {
 /// Runs a mutation through the durable path. A WAL failure leaves the graph
 /// untouched and surfaces as a typed `storage_failed` error — never a panic
 /// that would take the handler (and every pipelined request) down with it.
-fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: MutationOp) -> Json {
+pub(crate) fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: MutationOp) -> Json {
     match scheduler.apply(&op) {
         Ok(version) => mutation_response(id, version),
         // A fence can land between the role check and the session apply;
@@ -595,6 +722,26 @@ fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: MutationOp) -> Jso
 /// bumps the replication epoch, flips the replica writable at its final
 /// applied version, and fences the old primary (or the address in the
 /// request's optional `fence` field) in the background.
+/// [`promote_response`] with its error branch rendered — the form both
+/// connection engines write to the wire.
+pub(crate) fn promote_json(
+    id: Option<u64>,
+    request: &Json,
+    scheduler: &Scheduler,
+    replication: Option<&ReplicationRole>,
+) -> Json {
+    match promote_response(id, request, scheduler, replication) {
+        Ok(json) => json,
+        Err(e) => {
+            scheduler
+                .metrics()
+                .errors
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            error_response(id, &e)
+        }
+    }
+}
+
 fn promote_response(
     id: Option<u64>,
     request: &Json,
@@ -698,6 +845,19 @@ fn stats_response(
             Json::Obj(vec![
                 ("wal_appends".to_string(), Json::u64(store.records_appended())),
                 (
+                    // Group-commit batches fsynced; `wal_appends /
+                    // wal_batches` is the live batching factor.
+                    "wal_batches".to_string(),
+                    Json::u64(store.batches_committed()),
+                ),
+                (
+                    // Nanoseconds inside the serialized append+fsync path;
+                    // with `wal_appends` this yields the live throughput
+                    // of the durability choke point.
+                    "wal_commit_nanos".to_string(),
+                    Json::u64(store.commit_nanos()),
+                ),
+                (
                     "bytes_appended".to_string(),
                     Json::u64(store.bytes_appended()),
                 ),
@@ -752,7 +912,12 @@ fn stats_response(
     ok_response(id, rest)
 }
 
-fn op_query(request: &Json, scheduler: &Scheduler, limits: &ConnLimits) -> Result<Json, String> {
+/// Parses a `query` op into the scheduler request plus rendering knobs
+/// `(request, k, full)`.
+fn parse_query(
+    request: &Json,
+    limits: &ConnLimits,
+) -> Result<(QueryRequest, usize, bool), String> {
     let id = request.get("id").and_then(Json::as_u64);
     let source = request
         .get("source")
@@ -781,16 +946,31 @@ fn op_query(request: &Json, scheduler: &Scheduler, limits: &ConnLimits) -> Resul
     // Source-range validation happens inside the scheduler, under the same
     // session lock the query runs under — a wire-level pre-check here would
     // race with concurrent delete_node (the TOCTOU this design closes).
-    let outcome = scheduler.query(QueryRequest {
-        id: id.unwrap_or(0),
-        source,
-        seed,
-        deadline,
-        threads,
-    });
+    Ok((
+        QueryRequest {
+            id: id.unwrap_or(0),
+            source,
+            seed,
+            deadline,
+            threads,
+        },
+        k,
+        full,
+    ))
+}
+
+/// Renders a scheduler query outcome onto the wire — shared verbatim by
+/// both connection engines, so a query answers with identical bytes
+/// whichever engine carried it.
+pub(crate) fn render_query_outcome(
+    id: Option<u64>,
+    outcome: Result<crate::scheduler::QueryResponse, ServiceError>,
+    k: usize,
+    full: bool,
+) -> Json {
     let response = match outcome {
         Ok(r) => r,
-        Err(e) => return Ok(service_error_response(id, &e)),
+        Err(e) => return service_error_response(id, &e),
     };
     let top = top_k(&response.scores, k)
         .into_iter()
@@ -809,7 +989,7 @@ fn op_query(request: &Json, scheduler: &Scheduler, limits: &ConnLimits) -> Resul
             Json::Arr(response.scores.iter().map(|&s| Json::f64(s)).collect()),
         ));
     }
-    Ok(ok_response(id, rest))
+    ok_response(id, rest)
 }
 
 fn parse_edges(request: &Json) -> Result<Vec<(u32, u32)>, String> {
@@ -1149,6 +1329,7 @@ mod tests {
         let opts = DurabilityOptions {
             fsync: false,
             snapshot_every: 0, // no periodic snapshots: only the drain checkpoint
+            ..Default::default()
         };
         let base = || Ok(gen::barabasi_albert(200, 3, 5));
 
@@ -1322,6 +1503,347 @@ mod tests {
             "the leader is surfaced as the primary to follow"
         );
         drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    /// Drops the fields that legitimately vary between two runs of the
+    /// same workload (`latency_ns` is wall-clock; `cached` depends on
+    /// cache warmth when servers are reused across comparisons).
+    fn strip_volatile(line: &str, strip_cached: bool) -> String {
+        let Ok(parsed) = Json::parse(line.trim()) else {
+            return line.trim().to_string();
+        };
+        match parsed {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "latency_ns" && (!strip_cached || k != "cached"))
+                    .collect(),
+            )
+            .render(),
+            other => other.render(),
+        }
+    }
+
+    /// A fixed mixed workload: queries (top-k and full), edge mutations, a
+    /// node deletion, malformed lines, an unknown op, missing fields, ping.
+    fn equivalence_workload() -> Vec<String> {
+        let mut lines = Vec::new();
+        for i in 1..=36u64 {
+            let line = match i % 6 {
+                0 => format!(
+                    "{{\"id\":{i},\"op\":\"query\",\"source\":{},\"seed\":{i}}}",
+                    i % 7
+                ),
+                1 => format!(
+                    "{{\"id\":{i},\"op\":\"insert_edges\",\"edges\":[[{},{}]]}}",
+                    i % 50,
+                    (i * 3) % 50
+                ),
+                2 => format!(
+                    "{{\"id\":{i},\"op\":\"query\",\"source\":{},\"seed\":7,\"full\":true,\"k\":5}}",
+                    i % 5
+                ),
+                3 => "definitely not json".to_string(),
+                4 => format!(
+                    "{{\"id\":{i},\"op\":\"delete_edges\",\"edges\":[[{},{}]]}}",
+                    i % 50,
+                    (i * 3) % 50
+                ),
+                _ => format!("{{\"id\":{i},\"op\":\"frobnicate\"}}"),
+            };
+            lines.push(line);
+        }
+        lines.push(r#"{"id":90,"op":"delete_node","node":299}"#.to_string());
+        lines.push(r#"{"id":91,"op":"query","source":3,"seed":11}"#.to_string());
+        lines.push(r#"{"id":92,"op":"query"}"#.to_string()); // missing source
+        lines.push(r#"{"id":93,"op":"delete_node"}"#.to_string()); // missing node
+        lines.push(r#"{"id":94,"op":"ping"}"#.to_string());
+        lines
+    }
+
+    /// Replays [`equivalence_workload`] against a fresh server on the given
+    /// backend; returns the normalized response lines.
+    fn run_workload(backend: ServerBackend, faults: crate::FaultPlan, dynamic_eps: f64) -> Vec<String> {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 3)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 2,
+                backend,
+                faults,
+                dynamic_eps,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut out = Vec::new();
+        for line in equivalence_workload() {
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            out.push(strip_volatile(&response, false));
+        }
+        drop(stream);
+        handle.shutdown().unwrap();
+        out
+    }
+
+    /// The tentpole equivalence gate: the event loop and the threaded
+    /// engine answer an identical mixed workload with identical bytes
+    /// (modulo wall-clock latency). Same graph, same seeds, same ids —
+    /// queries, mutations, protocol errors, everything.
+    #[test]
+    fn backends_answer_identical_bytes_for_identical_workload() {
+        let threaded = run_workload(ServerBackend::Threaded, crate::FaultPlan::default(), 0.0);
+        let event = run_workload(ServerBackend::Event, crate::FaultPlan::default(), 0.0);
+        assert_eq!(threaded.len(), event.len());
+        for (i, (t, e)) in threaded.iter().zip(&event).enumerate() {
+            assert_eq!(t, e, "response {i} diverged between backends");
+        }
+    }
+
+    /// Equivalence under chaos and the dynamic-upgrade path: injected
+    /// panics/delays select by request id and upgrades are deterministic,
+    /// so both backends must still answer bit-identically.
+    #[test]
+    fn backends_stay_equivalent_under_chaos_and_dynamic_upgrades() {
+        let faults = crate::FaultPlan {
+            panic_every: 7,
+            delay_every: 5,
+            delay_ms: 1,
+            ..Default::default()
+        };
+        let threaded = run_workload(ServerBackend::Threaded, faults, 0.05);
+        let event = run_workload(ServerBackend::Event, faults, 0.05);
+        assert_eq!(threaded, event);
+        // Sanity: the fault plan actually fired somewhere in there.
+        assert!(
+            threaded.iter().any(|l| l.contains("internal_panic")),
+            "chaos plan never fired"
+        );
+    }
+
+    /// Byte-level framing torture against the event loop: the same
+    /// pipelined batch must produce identical responses whether it
+    /// arrives in one write, byte-by-byte, or in arbitrary chunks —
+    /// and a mid-line disconnect must not disturb the server.
+    #[test]
+    fn event_backend_is_chunking_invariant() {
+        use proptest::Strategy as _;
+
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 3)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 2,
+                backend: ServerBackend::Event,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        let mut batch = String::new();
+        let n_lines = 8u64;
+        for i in 0..n_lines {
+            batch.push_str(&format!(
+                "{{\"id\":{i},\"op\":\"query\",\"source\":{},\"seed\":{}}}\n",
+                i % 5,
+                i % 3
+            ));
+        }
+        let batch = batch.into_bytes();
+
+        let send = |chunks: &[&[u8]]| -> Vec<String> {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            for chunk in chunks {
+                stream.write_all(chunk).unwrap();
+                stream.flush().unwrap();
+            }
+            let mut out = Vec::new();
+            for _ in 0..n_lines {
+                let mut line = String::new();
+                assert!(reader.read_line(&mut line).unwrap() > 0, "response missing");
+                // Cache warmth varies across replays of the same batch.
+                out.push(strip_volatile(&line, true));
+            }
+            drop(stream);
+            out
+        };
+
+        // Reference: the whole pipeline in one write.
+        let expected = send(&[&batch]);
+        // Torture 1: one byte at a time.
+        let bytes: Vec<&[u8]> = batch.chunks(1).collect();
+        assert_eq!(send(&bytes), expected, "1-byte reads diverged");
+        // Torture 2: property test over arbitrary chunk boundaries.
+        let strategy = proptest::collection::vec(1usize..batch.len(), 0..10);
+        proptest::run_cases(
+            "event_backend_is_chunking_invariant",
+            &proptest::ProptestConfig::with_cases(16),
+            |rng, _case| {
+                let mut splits = strategy.generate(rng);
+                splits.sort_unstable();
+                splits.dedup();
+                let mut chunks: Vec<&[u8]> = Vec::new();
+                let mut start = 0;
+                for &s in &splits {
+                    chunks.push(&batch[start..s]);
+                    start = s;
+                }
+                chunks.push(&batch[start..]);
+                let got = send(&chunks);
+                if got != expected {
+                    return Err(format!(
+                        "chunking at {splits:?} diverged:\n  got {got:?}\n  want {expected:?}"
+                    ));
+                }
+                Ok(())
+            },
+        );
+        // Torture 3: mid-line disconnect — half a request, then gone.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"{\"id\":1,\"op\":\"que").unwrap();
+            stream.flush().unwrap();
+        } // dropped here
+          // The server keeps serving identically afterwards.
+        assert_eq!(send(&[&batch]), expected, "mid-line disconnect disturbed the server");
+        handle.shutdown().unwrap();
+    }
+
+    /// Slow-loris hardening on the event loop: many connections holding
+    /// partial lines cost state, not threads — a real client stays
+    /// responsive — and fully idle connections are reaped on the idle
+    /// timeout.
+    #[test]
+    fn slow_loris_does_not_starve_the_event_loop_and_idle_conns_reap() {
+        let session = Arc::new(RwrSession::new(gen::cycle(64)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 1,
+                backend: ServerBackend::Event,
+                idle_timeout_ms: 300,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // 40 connections that send half a request and then go quiet.
+        let mut loris = Vec::new();
+        for _ in 0..40 {
+            let mut s = TcpStream::connect(handle.addr()).unwrap();
+            s.write_all(b"{\"op\":\"pi").unwrap();
+            loris.push(s);
+        }
+        // A real client gets served promptly in the meantime.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let started = Instant::now();
+        let ok = roundtrip(&mut stream, r#"{"id":1,"op":"query","source":0,"seed":4}"#);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "slow-loris peers starved a real client"
+        );
+        // Once quiet past the idle timeout, the loris connections are
+        // reaped: their sockets read EOF.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for mut s in loris {
+            s.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+            let mut buf = [0u8; 16];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) => break, // reaped
+                    Ok(_) => {}
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        assert!(Instant::now() < deadline, "idle connection never reaped");
+                    }
+                    Err(_) => break, // reset also counts as closed
+                }
+            }
+        }
+        drop(stream);
+        handle.shutdown().unwrap();
+    }
+
+    /// The event loop honours `max_conns` with the same typed rejection.
+    #[test]
+    fn event_backend_connection_cap_rejects_with_typed_error() {
+        let session = Arc::new(RwrSession::new(gen::cycle(16)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 1,
+                max_conns: 1,
+                backend: ServerBackend::Event,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut keeper = TcpStream::connect(handle.addr()).unwrap();
+        let ok = roundtrip(&mut keeper, r#"{"op":"ping"}"#);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        let over = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(over);
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let r = Json::parse(response.trim()).unwrap();
+        assert_eq!(r.get("error").unwrap().as_str(), Some("overloaded"));
+        drop(reader);
+        drop(keeper);
+        handle.shutdown().unwrap();
+    }
+
+    /// EOF pipelining on the event loop: a client that writes its whole
+    /// pipeline and half-closes still gets every answer (the threaded
+    /// engine's `take_buffered_line`-first loop guarantees the same).
+    #[test]
+    fn event_backend_answers_buffered_lines_after_half_close() {
+        let session = Arc::new(RwrSession::new(gen::cycle(64)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 1,
+                backend: ServerBackend::Event,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut batch = String::new();
+        for i in 0..6 {
+            batch.push_str(&format!(
+                "{{\"id\":{i},\"op\":\"query\",\"source\":{},\"seed\":1}}\n",
+                i % 4
+            ));
+        }
+        stream.write_all(batch.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut seen = 0;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            let r = Json::parse(line.trim()).unwrap();
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+            seen += 1;
+        }
+        assert_eq!(seen, 6, "half-close lost pipelined answers");
         handle.shutdown().unwrap();
     }
 

@@ -11,7 +11,9 @@
 #   6. recovery smoke: mutate a durable server, SIGKILL it, restart on the
 #      same --data-dir, and require the WAL replay banner plus a byte-
 #      identical full-scores query; then a bench_recovery smoke run must
-#      pass its zero-loss and torn-tail gates
+#      pass its zero-loss and torn-tail gates plus the group-commit gate
+#      (batched fsync must multiply WAL-commit-path write throughput ≥3×
+#      over per-mutation fsync with zero acknowledged loss)
 #   7. replication smoke: primary + read replica over WAL shipping; the
 #      replica must answer bit-identically at the same version and reject
 #      writes; SIGKILL the primary, promote the replica, and require no
@@ -29,6 +31,9 @@
 #      with the old primary rejoined as a replica; then a bench_failover
 #      smoke run must pass its zero-fenced-writes / zero-loss /
 #      bit-identity gates
+#  10. c10k smoke: a bench_c10k run must hold a ladder of idle
+#      connections on the event-loop backend with O(workers) process
+#      threads and a non-degraded active-stream p99 at the top rung
 #
 # Every BENCH_*.json produced by the smoke runs is appended as one line
 # (run id, git rev, metric name→value map) to the committed
@@ -177,9 +182,14 @@ if [[ "$PRE" != "$POST" ]]; then
   exit 1
 fi
 
-echo "==> bench_recovery smoke (zero-loss + torn-tail gates)"
+echo "==> bench_recovery smoke (zero-loss + torn-tail + group-commit gates)"
+# The GC_* knobs shrink the group-commit scenario (write-mix loadgen
+# against per-mutation fsync vs batched fsync) to smoke scale; its ≥3×
+# WAL-commit-path throughput gate and zero-acked-loss reopen gate still
+# run at full strictness.
 RESACC_BENCH_RECOVERY_NODES=300 RESACC_BENCH_RECOVERY_MUTATIONS=60 \
 RESACC_BENCH_RECOVERY_SNAPSHOT_EVERY=16 \
+RESACC_BENCH_RECOVERY_GC_REQUESTS=800 RESACC_BENCH_RECOVERY_GC_CONNECTIONS=16 \
   target/release/bench_recovery "$SMOKE_DIR/BENCH_recovery.json" > /dev/null
 
 echo "==> replication smoke (ship, bitwise replica reads, SIGKILL + promote)"
@@ -432,6 +442,15 @@ echo "==> bench_dynamic smoke (hit-rate + error-bound gates)"
 RESACC_BENCH_DYNAMIC_NODES=400 RESACC_BENCH_DYNAMIC_REQUESTS=150 \
 RESACC_BENCH_DYNAMIC_ROUNDS=8 \
   target/release/bench_dynamic "$SMOKE_DIR/BENCH_dynamic.json" > /dev/null
+
+echo "==> bench_c10k smoke (thread-ceiling + idle-load p99 gates)"
+# Shrunk ladder of parked connections against the event-loop backend;
+# the hard gates — process threads stay O(workers) from bottom to top
+# rung, active-stream p99 does not degrade under idle load — are the
+# same ones the full 5 000-connection run enforces.
+RESACC_BENCH_C10K_CONNS=50,200,500 RESACC_BENCH_C10K_QUERIES=60 \
+RESACC_BENCH_C10K_NODES=500 \
+  target/release/bench_c10k "$SMOKE_DIR/BENCH_c10k.json" > /dev/null
 
 echo "==> appending bench results to BENCH_HISTORY.jsonl"
 for f in "$SMOKE_DIR"/BENCH_*.json; do

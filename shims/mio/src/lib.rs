@@ -1,0 +1,332 @@
+//! Offline stand-in for `mio`: the minimal readiness-polling subset the
+//! workspace uses, implemented directly on Linux `epoll(7)` via the libc
+//! symbols `std` already links. No registry of wrapper socket types — the
+//! caller registers anything that is [`AsRawFd`] (std sockets set to
+//! nonblocking mode) and gets level-triggered readiness events back.
+//!
+//! This shim exists because `crates/service` is `#![forbid(unsafe_code)]`:
+//! the raw syscall surface is confined here, behind a safe API, exactly as
+//! the real `mio` crate would be. The API mirrors mio's shape (`Poll`,
+//! `Events`, `Token`, `Interest`) so swapping in the crates.io version is a
+//! dependency-line change.
+//!
+//! Level-triggered (the default epoll mode, unlike real mio's
+//! edge-triggered registrations) is a deliberate simplification: the
+//! server's event loop re-polls until `WouldBlock` anyway, and level
+//! triggering cannot lose a wakeup to a partial drain.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Identifies a registered event source in delivered [`Event`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// What readiness to watch for; combine with [`Interest::add`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// The source becoming readable.
+    pub const READABLE: Interest = Interest(EPOLLIN);
+    /// The source becoming writable.
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+
+    /// Union of two interests.
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// True when this interest includes readability.
+    pub const fn is_readable(self) -> bool {
+        self.0 & EPOLLIN != 0
+    }
+
+    /// True when this interest includes writability.
+    pub const fn is_writable(self) -> bool {
+        self.0 & EPOLLOUT != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One delivered readiness event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    flags: u32,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable readiness (includes peer hang-up, which also makes reads
+    /// return — 0 bytes — rather than block).
+    pub fn is_readable(&self) -> bool {
+        self.flags & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// Writable readiness.
+    pub fn is_writable(&self) -> bool {
+        self.flags & (EPOLLOUT | EPOLLERR) != 0
+    }
+
+    /// The source hit an error or hang-up condition.
+    pub fn is_error(&self) -> bool {
+        self.flags & EPOLLERR != 0
+    }
+}
+
+/// Pre-allocated event buffer for [`Poll::poll`].
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Iterates the events delivered by the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            token: Token(e.data as usize),
+            flags: e.events,
+        })
+    }
+
+    /// True when the last poll delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance: register sources, then [`Poll::poll`] for readiness.
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: epoll_create1 allocates a new fd; no pointers involved.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poll { epfd })
+    }
+
+    /// Starts watching `source` for `interest`, tagged with `token`.
+    /// Level-triggered: the event repeats every poll while the condition
+    /// holds.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some((token, interest)))
+    }
+
+    /// Changes the interest/token of an already-registered source.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some((token, interest)))
+    }
+
+    /// Stops watching a source. Safe to call on an fd about to close (the
+    /// kernel also drops registrations on close, but only when no other
+    /// duplicate of the fd remains).
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, spec: Option<(Token, Interest)>) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        let evp = match spec {
+            Some((token, interest)) => {
+                ev.events = interest.0;
+                ev.data = token.0 as u64;
+                &mut ev as *mut EpollEvent
+            }
+            None => std::ptr::null_mut(),
+        };
+        // SAFETY: `ev` outlives the call (or is null for DEL, which Linux
+        // has accepted since 2.6.9); the fd values come from live sockets.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, evp) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Blocks until at least one event, the timeout, or a signal. On
+    /// return `events` holds what fired (empty on timeout). `None` blocks
+    /// indefinitely.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let ms: i32 = match timeout {
+            // Round up so a 100µs timeout polls for 1ms, not busy-spins.
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32 + i32::from(t.subsec_nanos() % 1_000_000 != 0 && t.as_millis() == 0),
+            None => -1,
+        };
+        // SAFETY: the buffer is a live, properly sized allocation; the
+        // kernel writes at most `capacity` entries.
+        let n = unsafe {
+            epoll_wait(
+                self.epfd,
+                events.buf.as_mut_ptr(),
+                events.buf.len() as i32,
+                ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                events.len = 0;
+                return Ok(());
+            }
+            return Err(e);
+        }
+        events.len = n as usize;
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: closing the fd we own; double-close impossible (Drop
+        // runs once).
+        unsafe { close(self.epfd) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw epoll ABI. `std` links libc, so these resolve without a libc crate.
+// ---------------------------------------------------------------------------
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+/// there has no padding between the u32 and the u64); naturally aligned on
+/// other architectures.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_event_fires_and_clears() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&a, Token(7), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing readable yet: timeout.
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty());
+
+        b.write_all(b"x").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev: Vec<Event> = events.iter().collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].token(), Token(7));
+        assert!(ev[0].is_readable());
+
+        // Level-triggered: still readable until drained.
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(!events.is_empty());
+        let mut buf = [0u8; 8];
+        let n = a.read(&mut buf).unwrap();
+        assert_eq!(n, 1);
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn writable_interest_and_reregister() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&a, Token(1), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty(), "no read interest satisfied");
+        // A fresh socket buffer is writable the moment we ask about it.
+        poll.reregister(&a, Token(2), Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev: Vec<Event> = events.iter().collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].token(), Token(2));
+        assert!(ev[0].is_writable());
+        poll.deregister(&a).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(5))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_reports_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&a, Token(3), Interest::READABLE).unwrap();
+        drop(b);
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev: Vec<Event> = events.iter().collect();
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].is_readable(), "EOF must wake a reader");
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+}

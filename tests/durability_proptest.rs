@@ -130,7 +130,7 @@ proptest! {
     #[test]
     fn wal_replay_restores_any_history((g, history) in arb_graph_and_history()) {
         let dir = scratch();
-        let opts = DurabilityOptions { fsync: false, snapshot_every: 0 };
+        let opts = DurabilityOptions { fsync: false, snapshot_every: 0, ..Default::default() };
         let expected = history.iter().fold(g.clone(), |g, op| op.apply(&g));
         {
             let base = g.clone();
@@ -165,7 +165,7 @@ proptest! {
         garbage in proptest::collection::vec(0u8..255, 0..64),
     ) {
         let dir = scratch();
-        let opts = DurabilityOptions { fsync: false, snapshot_every: 0 };
+        let opts = DurabilityOptions { fsync: false, snapshot_every: 0, ..Default::default() };
         {
             let base = g.clone();
             let rec = open_dir(&dir, opts, move || Ok(base)).unwrap();
@@ -281,6 +281,7 @@ fn retain_after_interleaved_with_concurrent_appends() {
     let opts = DurabilityOptions {
         fsync: false,
         snapshot_every: 0, // compaction comes only from explicit checkpoints
+        ..Default::default()
     };
     let g = {
         let mut b = GraphBuilder::new(64);
