@@ -105,9 +105,7 @@ fn drive(
         deadline_ms,
         threads: 0,
         chaos: true,
-        shutdown_after: false,
-        write_mix: 0.0,
-        delete_mix: 0.0,
+        ..LoadgenConfig::default()
     })
     .expect("loadgen run")
 }

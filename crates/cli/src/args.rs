@@ -8,9 +8,13 @@ usage:
   rwr stats   --graph <file> [--symmetric]
   rwr convert --graph <file> --out <file.racg> [--symmetric]
   rwr serve   --graph <file> [--listen <addr>] [--workers <n>] [--cache <n>]
+  rwr router  --backends <a,b,...> [--listen <addr>] [router options]
   rwr loadgen --addr <addr> [--requests <n>] [--connections <n>] [--zipf <s>]
   rwr promote --addr <addr> [--fence <repl-addr>]
   rwr netfault --listen <addr> --addr <upstream> [--chaos <spec>]
+
+remote mode: query and stats also accept --addr <addr> instead of
+--graph to run against a live server (or router) over NDJSON.
 
 options:
   --algo <resacc|fora|mc|power|fwd>   algorithm (default resacc)
@@ -95,6 +99,43 @@ netfault options:
                                       seed=7; stdin accepts `partition`,
                                       `heal`, and `quit` lines
 
+router options:
+  --backends <a,b,...>                backend NDJSON addresses (primary +
+                                      replicas, any order; roles are
+                                      discovered by probing)
+  --listen <addr>                     bind address (default 127.0.0.1:7171;
+                                      port 0 picks an ephemeral port)
+  --probe-interval-ms <n>             health-probe cadence (default 50)
+  --retry-budget <n>                  backend attempts per request
+                                      (default 4)
+  --hedge-quantile <q>                arm the read-hedge timer at this
+                                      latency quantile (default 0.95;
+                                      0 disables hedging)
+  --hedge-min-ms <n>                  hedge-delay floor (default 2)
+  --park-ms <n>                       deadline for requests parked on
+                                      min_version / failover (default 5000)
+  --breaker-threshold <n>             consecutive failures that open a
+                                      backend's circuit breaker (default 3)
+  --breaker-cooldown-ms <n>           base breaker cooldown, jittered and
+                                      doubling per reopen (default 250)
+  --sync-acks <on|off>                hold mutation acks until a replica
+                                      has applied them — makes failover
+                                      lose zero acked writes (default on)
+  --sync-ack-timeout-ms <n>           longest one ack waits on semi-sync
+                                      before sticky degrade to async
+                                      acks (default 1000)
+  --auto-failover <on|off>            promote the most-caught-up replica
+                                      when the primary stops answering
+                                      probes (default on)
+  --timeout-ms <n>                    read deadline per backend exchange
+                                      (default 5000)
+  --seed <n>                          jitter seed (backoff, cooldowns)
+
+client options (query/stats/promote with --addr, loadgen):
+  --timeout-ms <n>                    connect/read timeout; a hung server
+                                      fails the call typed instead of
+                                      blocking forever (default 0 = wait)
+
 loadgen options:
   --addr <addr>                       server to target (default 127.0.0.1:7171)
   --requests <n>                      total queries (default 1000)
@@ -114,6 +155,10 @@ loadgen options:
                                       fallback/invalidation path)
   --chaos                             expect typed fault errors (report,
                                       don't fail, on shed/timeout/panic)
+  --via-router                        router audit mode: queries after an
+                                      acked write carry min_version (read-
+                                      your-writes) and responses are
+                                      checked for violations
   --shutdown                          shut the server down after the run and
                                       report drain latency";
 
@@ -130,6 +175,8 @@ pub enum Command {
     Convert,
     /// Run the NDJSON/TCP query server.
     Serve,
+    /// Run the resilient routing front-end over a backend pool.
+    Router,
     /// Drive load against a running server.
     Loadgen,
     /// Promote a running read replica to writable.
@@ -181,6 +228,21 @@ pub struct Cli {
     pub dynamic_delta: f64,
     pub backend: String,
     pub group_commit_window: Option<u64>,
+    pub timeout_ms: u64,
+    pub via_router: bool,
+    pub backends: Vec<String>,
+    pub probe_interval_ms: u64,
+    pub retry_budget: u32,
+    pub hedge_quantile: f64,
+    pub hedge_min_ms: u64,
+    pub park_ms: u64,
+    pub breaker_threshold: u32,
+    pub breaker_cooldown_ms: u64,
+    pub sync_acks: bool,
+    pub sync_ack_timeout_ms: u64,
+    pub auto_failover: bool,
+    /// `--addr` was given explicitly (switches query/stats to remote mode).
+    pub addr_set: bool,
 }
 
 impl Cli {
@@ -193,6 +255,7 @@ impl Cli {
             Some("stats") => Command::Stats,
             Some("convert") => Command::Convert,
             Some("serve") => Command::Serve,
+            Some("router") => Command::Router,
             Some("loadgen") => Command::Loadgen,
             Some("promote") => Command::Promote,
             Some("netfault") => Command::Netfault,
@@ -240,6 +303,20 @@ impl Cli {
             dynamic_delta: 1e-4,
             backend: "event".into(),
             group_commit_window: None,
+            timeout_ms: 0,
+            via_router: false,
+            backends: Vec::new(),
+            probe_interval_ms: 50,
+            retry_budget: 4,
+            hedge_quantile: 0.95,
+            hedge_min_ms: 2,
+            park_ms: 5000,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 250,
+            sync_acks: true,
+            sync_ack_timeout_ms: 1000,
+            auto_failover: true,
+            addr_set: false,
         };
         let mut have_source = false;
         let mut have_target = false;
@@ -264,7 +341,10 @@ impl Cli {
                 "--seed" => cli.seed = parse_num(&value("--seed")?, "--seed")?,
                 "--symmetric" | "--undirected" => cli.symmetric = true,
                 "--listen" => cli.listen = value("--listen")?,
-                "--addr" => cli.addr = value("--addr")?,
+                "--addr" => {
+                    cli.addr = value("--addr")?;
+                    cli.addr_set = true;
+                }
                 "--workers" => cli.workers = parse_num(&value("--workers")?, "--workers")?,
                 "--cache" => cli.cache = parse_num(&value("--cache")?, "--cache")?,
                 "--batch" => cli.batch = parse_num(&value("--batch")?, "--batch")?,
@@ -325,6 +405,49 @@ impl Cli {
                         ms => Some(parse_num(ms, "--group-commit-window")?),
                     }
                 }
+                "--timeout-ms" => {
+                    cli.timeout_ms = parse_num(&value("--timeout-ms")?, "--timeout-ms")?
+                }
+                "--via-router" => cli.via_router = true,
+                "--backends" => {
+                    cli.backends = value("--backends")?
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect()
+                }
+                "--probe-interval-ms" => {
+                    cli.probe_interval_ms =
+                        parse_num(&value("--probe-interval-ms")?, "--probe-interval-ms")?
+                }
+                "--retry-budget" => {
+                    cli.retry_budget = parse_num(&value("--retry-budget")?, "--retry-budget")?
+                }
+                "--hedge-quantile" => {
+                    cli.hedge_quantile =
+                        parse_num(&value("--hedge-quantile")?, "--hedge-quantile")?
+                }
+                "--hedge-min-ms" => {
+                    cli.hedge_min_ms = parse_num(&value("--hedge-min-ms")?, "--hedge-min-ms")?
+                }
+                "--park-ms" => cli.park_ms = parse_num(&value("--park-ms")?, "--park-ms")?,
+                "--breaker-threshold" => {
+                    cli.breaker_threshold =
+                        parse_num(&value("--breaker-threshold")?, "--breaker-threshold")?
+                }
+                "--breaker-cooldown-ms" => {
+                    cli.breaker_cooldown_ms =
+                        parse_num(&value("--breaker-cooldown-ms")?, "--breaker-cooldown-ms")?
+                }
+                "--sync-acks" => cli.sync_acks = parse_switch(&value("--sync-acks")?, "--sync-acks")?,
+                "--sync-ack-timeout-ms" => {
+                    cli.sync_ack_timeout_ms =
+                        parse_num(&value("--sync-ack-timeout-ms")?, "--sync-ack-timeout-ms")?
+                }
+                "--auto-failover" => {
+                    cli.auto_failover = parse_switch(&value("--auto-failover")?, "--auto-failover")?
+                }
                 "--fsync" => {
                     cli.fsync = match value("--fsync")?.as_str() {
                         "always" => true,
@@ -339,13 +462,22 @@ impl Cli {
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
+        // query/stats in remote mode (--addr) need no graph file.
+        let remote = matches!(command, Command::Query | Command::Stats) && cli.addr_set;
         if cli.graph.is_empty()
+            && !remote
             && !matches!(
                 command,
-                Command::Loadgen | Command::Promote | Command::Netfault
+                Command::Loadgen | Command::Promote | Command::Netfault | Command::Router
             )
         {
             return Err("--graph is required".into());
+        }
+        if command == Command::Router && cli.backends.is_empty() {
+            return Err("--backends is required for router".into());
+        }
+        if cli.hedge_quantile > 1.0 {
+            return Err("--hedge-quantile must be <= 1".into());
         }
         if cli.zipf < 0.0 {
             return Err("--zipf must be non-negative".into());
@@ -395,6 +527,14 @@ impl Cli {
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag}: cannot parse {s:?}"))
+}
+
+fn parse_switch(s: &str, flag: &str) -> Result<bool, String> {
+    match s {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("{flag} expects on|off, got {other:?}")),
+    }
 }
 
 #[cfg(test)]
@@ -621,6 +761,72 @@ mod tests {
 
         // Like serve, a bare --chaos is rejected (it wants a spec value).
         assert!(parse("netfault --listen 127.0.0.1:0 --addr 127.0.0.1:7272 --chaos").is_err());
+    }
+
+    #[test]
+    fn router_lines() {
+        // router needs backends, not a graph.
+        let cli = parse(
+            "router --backends 127.0.0.1:1,127.0.0.1:2 --listen 127.0.0.1:0 \
+             --retry-budget 6 --hedge-quantile 0.5 --hedge-min-ms 1 --park-ms 900 \
+             --breaker-threshold 2 --breaker-cooldown-ms 100 --probe-interval-ms 25 \
+             --sync-acks off --sync-ack-timeout-ms 400 --auto-failover on \
+             --timeout-ms 800 --seed 7",
+        )
+        .unwrap();
+        assert_eq!(cli.command, Command::Router);
+        assert_eq!(cli.backends, vec!["127.0.0.1:1", "127.0.0.1:2"]);
+        assert_eq!(cli.retry_budget, 6);
+        assert!((cli.hedge_quantile - 0.5).abs() < 1e-12);
+        assert_eq!(cli.hedge_min_ms, 1);
+        assert_eq!(cli.park_ms, 900);
+        assert_eq!(cli.breaker_threshold, 2);
+        assert_eq!(cli.breaker_cooldown_ms, 100);
+        assert_eq!(cli.probe_interval_ms, 25);
+        assert!(!cli.sync_acks);
+        assert_eq!(cli.sync_ack_timeout_ms, 400);
+        assert!(cli.auto_failover);
+        assert_eq!(cli.timeout_ms, 800);
+        assert_eq!(cli.seed, 7);
+
+        // Defaults mirror RouterConfig::new.
+        let cli = parse("router --backends 127.0.0.1:1").unwrap();
+        assert_eq!(cli.probe_interval_ms, 50);
+        assert_eq!(cli.retry_budget, 4);
+        assert!((cli.hedge_quantile - 0.95).abs() < 1e-12);
+        assert!(cli.sync_acks);
+        assert_eq!(cli.sync_ack_timeout_ms, 1000);
+        assert!(cli.auto_failover);
+
+        assert!(parse("router --listen 127.0.0.1:0").is_err()); // no backends
+        assert!(parse("router --backends ,").is_err()); // empty list
+        assert!(parse("router --backends a --sync-acks maybe").is_err());
+        assert!(parse("router --backends a --hedge-quantile 1.5").is_err());
+    }
+
+    #[test]
+    fn client_timeout_and_remote_mode() {
+        // Remote query/stats: --addr replaces --graph.
+        let cli = parse("stats --addr 127.0.0.1:9 --timeout-ms 500").unwrap();
+        assert!(cli.addr_set);
+        assert_eq!(cli.timeout_ms, 500);
+        assert!(cli.graph.is_empty());
+        let cli = parse("query --addr 127.0.0.1:9 --source 3 --timeout-ms 250").unwrap();
+        assert!(cli.addr_set);
+        assert_eq!(cli.source, 3);
+        // Remote query still needs a source; local stats still needs a graph.
+        assert!(parse("query --addr 127.0.0.1:9").is_err());
+        assert!(parse("stats").is_err());
+
+        let cli = parse("promote --addr 127.0.0.1:9 --timeout-ms 2000").unwrap();
+        assert_eq!(cli.timeout_ms, 2000);
+
+        // loadgen: timeout + router audit mode.
+        let cli = parse("loadgen --addr 127.0.0.1:9 --timeout-ms 100 --via-router").unwrap();
+        assert_eq!(cli.timeout_ms, 100);
+        assert!(cli.via_router);
+        assert!(!parse("loadgen --addr 127.0.0.1:9").unwrap().via_router);
+        assert!(parse("loadgen --timeout-ms x").is_err());
     }
 
     #[test]

@@ -22,6 +22,45 @@ fn load_graph(cli: &Cli) -> Result<CsrGraph, String> {
     Ok(graph)
 }
 
+/// Opens an NDJSON client connection honoring `--timeout-ms` for both the
+/// connect and subsequent reads (0 = wait forever).
+fn connect_client(addr: &str, timeout_ms: u64) -> Result<std::net::TcpStream, String> {
+    use std::net::{TcpStream, ToSocketAddrs};
+    let stream = if timeout_ms == 0 {
+        TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?
+    } else {
+        let timeout = std::time::Duration::from_millis(timeout_ms);
+        let sock = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolving {addr}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("resolving {addr}: no address"))?;
+        let s = TcpStream::connect_timeout(&sock, timeout)
+            .map_err(|e| format!("connecting to {addr}: {e}"))?;
+        s.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+        s
+    };
+    Ok(stream)
+}
+
+/// One request line → one response line against a live server.
+fn client_exchange(cli: &Cli, request: &str) -> Result<resacc_service::json::Json, String> {
+    use resacc_service::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = connect_client(&cli.addr, cli.timeout_ms)?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("sending to {}: {e}", cli.addr))?;
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading from {}: {e}", cli.addr))?;
+    if line.is_empty() {
+        return Err(format!("{} closed the connection", cli.addr));
+    }
+    Json::parse(line.trim()).map_err(|e| format!("bad response from {}: {e}", cli.addr))
+}
+
 fn params_for(cli: &Cli, graph: &CsrGraph) -> RwrParams {
     let n = graph.num_nodes().max(2) as f64;
     RwrParams::new(cli.alpha, cli.epsilon, 1.0 / n, 1.0 / n)
@@ -43,8 +82,13 @@ fn engine_for(cli: &Cli) -> Box<dyn SsrwrEngine> {
     }
 }
 
-/// `rwr query`: single-source query, print the top-k nodes.
+/// `rwr query`: single-source query, print the top-k nodes. With `--addr`
+/// the query runs remotely against a live server (or router) instead of a
+/// local graph file.
 pub fn query(cli: &Cli) -> Result<(), String> {
+    if cli.addr_set {
+        return remote_query(cli);
+    }
     let graph = load_graph(cli)?;
     if cli.source as usize >= graph.num_nodes() {
         return Err(format!(
@@ -104,8 +148,64 @@ pub fn pair(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-/// `rwr stats`: graph summary.
+/// Remote `rwr query --addr`: send the query over NDJSON, print top-k.
+fn remote_query(cli: &Cli) -> Result<(), String> {
+    use resacc_service::json::Json;
+    let request = format!(
+        "{{\"id\":1,\"op\":\"query\",\"source\":{},\"seed\":{},\"k\":{}}}\n",
+        cli.source, cli.seed, cli.top
+    );
+    let response = client_exchange(cli, &request)?;
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        let detail = response
+            .get("detail")
+            .and_then(Json::as_str)
+            .or_else(|| response.get("error").and_then(Json::as_str))
+            .unwrap_or("malformed response");
+        return Err(format!("query {}: {detail}", cli.addr));
+    }
+    let version = response.get("version").and_then(Json::as_u64).unwrap_or(0);
+    let stale = response.get("stale").and_then(Json::as_bool).unwrap_or(false);
+    println!(
+        "# remote query from node {} via {} (version {version}{})",
+        cli.source,
+        cli.addr,
+        if stale { ", STALE" } else { "" }
+    );
+    println!("{:>6} {:>10} {:>14}", "rank", "node", "pi");
+    if let Some(top) = response.get("top").and_then(Json::as_arr) {
+        for (rank, entry) in top.iter().enumerate() {
+            let pair = entry.as_arr().unwrap_or(&[]);
+            let node = pair.first().and_then(Json::as_u64).unwrap_or(0);
+            let score = pair.get(1).and_then(Json::as_f64).unwrap_or(0.0);
+            println!("{:>6} {:>10} {:>14.8}", rank + 1, node, score);
+        }
+    }
+    Ok(())
+}
+
+/// Remote `rwr stats --addr`: print the server's stats response verbatim
+/// (pretty enough as NDJSON; includes the router's backend table when the
+/// target is a router).
+fn remote_stats(cli: &Cli) -> Result<(), String> {
+    use resacc_service::json::Json;
+    let response = client_exchange(cli, "{\"id\":1,\"op\":\"stats\"}\n")?;
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        let detail = response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("malformed response");
+        return Err(format!("stats {}: {detail}", cli.addr));
+    }
+    println!("{}", response.render());
+    Ok(())
+}
+
+/// `rwr stats`: graph summary; with `--addr`, a live server's stats.
 pub fn stats(cli: &Cli) -> Result<(), String> {
+    if cli.addr_set {
+        return remote_stats(cli);
+    }
     let graph = load_graph(cli)?;
     let s = resacc_graph::stats::GraphStats::of(&graph);
     let wcc = resacc_graph::components::weakly_connected(&graph);
@@ -343,22 +443,11 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
 /// the replica was following).
 pub fn promote(cli: &Cli) -> Result<(), String> {
     use resacc_service::json::Json;
-    use std::io::{BufRead, BufReader, Write};
-    let mut stream = std::net::TcpStream::connect(&cli.addr)
-        .map_err(|e| format!("connecting to {}: {e}", cli.addr))?;
     let request = match cli.fence.as_deref() {
         Some(target) => format!("{{\"id\":1,\"op\":\"promote\",\"fence\":\"{target}\"}}\n"),
         None => "{\"id\":1,\"op\":\"promote\"}\n".to_string(),
     };
-    stream
-        .write_all(request.as_bytes())
-        .map_err(|e| format!("sending promote: {e}"))?;
-    let mut line = String::new();
-    BufReader::new(&stream)
-        .read_line(&mut line)
-        .map_err(|e| format!("reading promote response: {e}"))?;
-    let response =
-        Json::parse(line.trim()).map_err(|e| format!("bad promote response: {e}"))?;
+    let response = client_exchange(cli, &request)?;
     if response.get("ok").and_then(Json::as_bool) == Some(true) {
         let version = response.get("version").and_then(Json::as_u64).unwrap_or(0);
         let epoch = response.get("epoch").and_then(Json::as_u64).unwrap_or(0);
@@ -428,6 +517,42 @@ pub fn netfault(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// `rwr router`: run the resilient routing front-end until a client sends
+/// `{"op":"shutdown"}`.
+///
+/// Prints `listening on <addr>` (flushed) before accepting, same as
+/// `serve`, so a parent using `--listen 127.0.0.1:0` can scrape the port.
+pub fn router(cli: &Cli) -> Result<(), String> {
+    use std::io::Write;
+    let config = resacc_service::RouterConfig {
+        probe_interval_ms: cli.probe_interval_ms,
+        breaker_threshold: cli.breaker_threshold,
+        breaker_cooldown_ms: cli.breaker_cooldown_ms,
+        retry_budget: cli.retry_budget,
+        hedge_quantile: cli.hedge_quantile,
+        hedge_min_ms: cli.hedge_min_ms,
+        park_ms: cli.park_ms,
+        read_timeout_ms: if cli.timeout_ms > 0 { cli.timeout_ms } else { 5000 },
+        sync_acks: cli.sync_acks,
+        sync_ack_timeout_ms: cli.sync_ack_timeout_ms,
+        auto_failover: cli.auto_failover,
+        max_conns: cli.max_conns,
+        seed: cli.seed,
+        ..resacc_service::RouterConfig::new(cli.backends.clone())
+    };
+    let listener = std::net::TcpListener::bind(&cli.listen)
+        .map_err(|e| format!("binding {}: {e}", cli.listen))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "# routing over {} backend(s): {}",
+        config.backends.len(),
+        config.backends.join(", ")
+    );
+    println!("listening on {addr}");
+    std::io::stdout().flush().ok();
+    resacc_service::router::serve(listener, config).map_err(|e| format!("router: {e}"))
+}
+
 /// `rwr loadgen`: drive Zipfian query load against a running server and
 /// print the latency/throughput/cache report.
 pub fn loadgen(cli: &Cli) -> Result<(), String> {
@@ -446,21 +571,43 @@ pub fn loadgen(cli: &Cli) -> Result<(), String> {
         delete_mix: cli.delete_mix,
         chaos: cli.chaos,
         shutdown_after: cli.shutdown_after,
+        timeout_ms: cli.timeout_ms,
+        via_router: cli.via_router,
     })
     .map_err(|e| format!("loadgen against {}: {e}", cli.addr))?;
     print!("{}", report.render_text());
-    // Typed fault errors (shed / deadline / panic) are *expected* outcomes
-    // of a chaos run; anything beyond them is a transport or protocol
-    // failure and always fails the run.
-    let typed = report.shed + report.timeouts + report.panics;
+    // A read-your-writes violation is never acceptable, chaos or not: the
+    // router promised `min_version` semantics and silently broke them.
+    if report.min_version_violations > 0 {
+        return Err(format!(
+            "{} min_version violations (stale non-annotated reads)",
+            report.min_version_violations
+        ));
+    }
+    // Typed errors (shed / deadline / panic from fault plans; timeout /
+    // unavailable / in_doubt from a router under chaos) are *expected*
+    // outcomes of a chaos run; anything beyond them is a transport or
+    // protocol failure and always fails the run.
+    let typed = report.shed
+        + report.timeouts
+        + report.panics
+        + report.net_timeouts
+        + report.unavailable
+        + report.in_doubt;
     let hard = report.errors.saturating_sub(typed);
     if hard > 0 {
         return Err(format!("{hard} untyped errors (connection or protocol)"));
     }
     if !cli.chaos && report.errors > 0 {
         return Err(format!(
-            "{} errors without --chaos (shed {}, timeouts {}, panics {})",
-            report.errors, report.shed, report.timeouts, report.panics
+            "{} errors without --chaos (shed {}, timeouts {}, panics {}, net timeouts {}, unavailable {}, in_doubt {})",
+            report.errors,
+            report.shed,
+            report.timeouts,
+            report.panics,
+            report.net_timeouts,
+            report.unavailable,
+            report.in_doubt
         ));
     }
     Ok(())
@@ -513,6 +660,20 @@ mod tests {
             dynamic_delta: 1e-4,
             backend: "event".into(),
             group_commit_window: None,
+            timeout_ms: 0,
+            via_router: false,
+            backends: Vec::new(),
+            probe_interval_ms: 50,
+            retry_budget: 4,
+            hedge_quantile: 0.95,
+            hedge_min_ms: 2,
+            park_ms: 5000,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 250,
+            sync_acks: true,
+            sync_ack_timeout_ms: 1000,
+            auto_failover: true,
+            addr_set: false,
         }
     }
 

@@ -9,8 +9,10 @@
 //! rwr convert --graph g.txt --out g.racg [--symmetric]   # text → binary
 //! rwr serve   --graph g.txt [--listen 127.0.0.1:7171] [--workers 4]
 //!             [--replication-listen <addr>] [--replicate-from <addr>]
+//! rwr router  --backends <a,b,...> [--listen 127.0.0.1:7171]
+//!             [--retry-budget 4] [--hedge-quantile 0.95] [--sync-acks on]
 //! rwr loadgen --addr 127.0.0.1:7171 [--requests 1000] [--zipf 1.0]
-//!             [--write-mix 0.1]
+//!             [--write-mix 0.1] [--timeout-ms 0] [--via-router]
 //! rwr promote --addr 127.0.0.1:7171 [--fence <repl-addr>]
 //! rwr netfault --listen 127.0.0.1:0 --addr <repl-addr> [--chaos drop=17,seed=7]
 //! ```
@@ -38,6 +40,7 @@ fn main() {
         Command::Stats => commands::stats(&cli),
         Command::Convert => commands::convert(&cli),
         Command::Serve => commands::serve(&cli),
+        Command::Router => commands::router(&cli),
         Command::Loadgen => commands::loadgen(&cli),
         Command::Promote => commands::promote(&cli),
         Command::Netfault => commands::netfault(&cli),

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod backoff;
 pub mod backward_push;
 pub mod bepi;
 pub mod bippr;

@@ -18,8 +18,8 @@ use std::time::Duration;
 
 /// Reconnect backoff bounds: first retry after ~100 ms, doubling to ~2 s,
 /// each delay jittered deterministically (see [`reconnect_backoff`]).
-const BACKOFF_START: Duration = Duration::from_millis(100);
-const BACKOFF_MAX: Duration = Duration::from_secs(2);
+const BACKOFF: crate::backoff::BackoffPolicy =
+    crate::backoff::BackoffPolicy::new(Duration::from_millis(100), Duration::from_secs(2));
 /// Give up on a silent connection after ten missed heartbeats. Derived
 /// from the primary's advertised cadence so the two sides cannot drift
 /// apart: a half-open primary (alive TCP, dead process) is detected
@@ -31,37 +31,21 @@ const DRAIN_QUIET: Duration = Duration::from_secs(1);
 
 /// Deterministic jittered reconnect delay for `attempt` (0-based).
 ///
-/// The envelope doubles from [`BACKOFF_START`] to [`BACKOFF_MAX`]; the
-/// actual delay is drawn from `[envelope/2, envelope]` by a splitmix-style
-/// mix of `(seed, attempt)`. Jitter prevents a fleet of replicas that all
+/// Delegates to the shared [`crate::backoff`] policy: the envelope
+/// doubles from ~100 ms to ~2 s and the delay is drawn from
+/// `[envelope/2, envelope]`. Jitter prevents a fleet of replicas that all
 /// lost the same primary from reconnecting in lockstep and thundering the
 /// new one; determinism (seeded by the primary address) keeps the schedule
 /// reproducible in tests and fault harnesses.
 pub(crate) fn reconnect_backoff(seed: u64, attempt: u32) -> Duration {
-    fn mix(x: u64) -> u64 {
-        let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-    let envelope = BACKOFF_START
-        .saturating_mul(1u32 << attempt.min(16))
-        .min(BACKOFF_MAX)
-        .as_millis() as u64;
-    let half = envelope / 2;
-    let jitter = mix(seed ^ u64::from(attempt).wrapping_mul(0x9e3779b97f4a7c15)) % (half + 1);
-    Duration::from_millis(half + jitter)
+    BACKOFF.delay(seed, attempt)
 }
 
 /// Folds a primary address into a backoff seed: replicas following
 /// different primaries jitter differently, two runs against the same
 /// primary jitter identically.
 pub(crate) fn backoff_seed(primary: &str) -> u64 {
-    primary
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
-        })
+    crate::backoff::seed_from(primary)
 }
 
 /// Shared replica state the service can observe.
@@ -421,14 +405,12 @@ mod tests {
         for seed in [0u64, 1, u64::MAX, backoff_seed("a:1")] {
             for attempt in 0..64 {
                 let d = reconnect_backoff(seed, attempt);
-                let envelope = BACKOFF_START
-                    .saturating_mul(1u32 << attempt.min(16))
-                    .min(BACKOFF_MAX);
+                let envelope = BACKOFF.envelope(attempt);
                 assert!(d >= envelope / 2, "attempt {attempt}: {d:?} below half-envelope");
                 assert!(d <= envelope, "attempt {attempt}: {d:?} above envelope");
             }
-            // The tail settles into [BACKOFF_MAX/2, BACKOFF_MAX].
-            assert!(reconnect_backoff(seed, 63) >= BACKOFF_MAX / 2);
+            // The tail settles into [max/2, max].
+            assert!(reconnect_backoff(seed, 63) >= BACKOFF.max / 2);
         }
     }
 }

@@ -200,6 +200,86 @@ mod tests {
     }
 
     #[test]
+    fn lag_records_bounded_under_concurrent_writes_and_drains_to_zero() {
+        // The router balances reads by `stats.replication.lag_records`;
+        // this pins its semantics in isolation: samples are never
+        // negative (u64 by construction), never exceed the records that
+        // exist to owe, the ack high-water only moves forward, and a
+        // quiesced pair drains to exactly 0 on both sides.
+        let dir = scratch("lag");
+        let (primary, _hub, server, stats) = wire_primary(&dir, 0);
+        let replica = Arc::new(RwrSession::new(seed_graph()));
+        let rstats = Arc::new(ReplicationStats::default());
+        let client =
+            ReplicaClient::spawn(server.addr().to_string(), replica.clone(), rstats.clone());
+        wait_for_version(&replica, primary.version());
+
+        const WRITES: u32 = 60;
+        let writer = {
+            let primary = primary.clone();
+            std::thread::spawn(move || {
+                for i in 0..WRITES {
+                    primary.insert_edges(&[(i % 100, 100 + (i % 19))]);
+                    if i % 8 == 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+        };
+        let mut last_acked = 0u64;
+        while !writer.is_finished() {
+            // Load each lag BEFORE the version: the version only grows,
+            // so `lag <= version-read-after` bounds the sample against
+            // everything that could possibly be outstanding.
+            let primary_lag = stats.lag_records.load(Ordering::Relaxed);
+            let replica_lag = rstats.lag_records.load(Ordering::Relaxed);
+            let version = primary.version();
+            assert!(
+                primary_lag <= version,
+                "primary lag {primary_lag} exceeds total history {version}"
+            );
+            assert!(
+                replica_lag <= version,
+                "replica lag {replica_lag} exceeds total history {version}"
+            );
+            let acked = stats.max_acked.load(Ordering::Relaxed);
+            assert!(
+                acked >= last_acked,
+                "ack high-water regressed: {acked} after {last_acked}"
+            );
+            assert!(acked <= version, "acked {acked} beyond history {version}");
+            last_acked = acked;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        writer.join().unwrap();
+
+        // Quiesced: both sides drain to exactly zero and the ack
+        // high-water reaches the full history.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let drained = stats.lag_records.load(Ordering::Relaxed) == 0
+                && rstats.lag_records.load(Ordering::Relaxed) == 0
+                && stats.max_acked.load(Ordering::Relaxed) == primary.version();
+            if drained {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "never drained: primary lag {}, replica lag {}, acked {} of {}",
+                stats.lag_records.load(Ordering::Relaxed),
+                rstats.lag_records.load(Ordering::Relaxed),
+                stats.max_acked.load(Ordering::Relaxed),
+                primary.version()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(replica.version(), primary.version());
+        client.shutdown();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn fresh_replica_bootstraps_from_snapshot_after_compaction() {
         let dir = scratch("bootstrap");
         let (primary, _hub, server, _stats) = wire_primary(&dir, 2);

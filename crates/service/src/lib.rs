@@ -32,6 +32,9 @@
 //!   (panics, latency, forced expiry) for robustness testing.
 //! * [`replication`] — this server's replication role (primary or read
 //!   replica) and the `promote` switch, over [`resacc::replication`].
+//! * [`router`] — resilient front-end over a primary + replica pool:
+//!   health-checked circuit breakers, version-aware read balancing,
+//!   retry budgets, hedged reads, and automatic fence-aware failover.
 //! * [`json`] — the minimal JSON codec behind the wire format.
 
 #![forbid(unsafe_code)]
@@ -44,6 +47,7 @@ pub mod loadgen;
 pub mod metrics;
 mod reactor;
 pub mod replication;
+pub mod router;
 pub mod scheduler;
 pub mod server;
 
@@ -51,6 +55,7 @@ pub use cache::{CompKey, ResultCache};
 pub use fault::FaultPlan;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use replication::ReplicationRole;
+pub use router::{RouterConfig, RouterHandle, RouterMetrics};
 pub use scheduler::{
     effective_seed, splitmix64, threads_per_query_budget, ErrorKind, QueryRequest, QueryResponse,
     Scheduler, SchedulerConfig, ServiceError,

@@ -72,6 +72,18 @@ pub struct LoadgenConfig {
     pub chaos: bool,
     /// Send `{"op":"shutdown"}` after the run and measure the drain.
     pub shutdown_after: bool,
+    /// Connect/read timeout per request, milliseconds (0 = wait forever,
+    /// the pre-timeout behavior). A request that times out is counted as
+    /// an error with the typed `timeout` classification
+    /// ([`LoadgenReport::net_timeouts`]) and the connection is reopened —
+    /// a hung backend costs one request, not the whole run.
+    pub timeout_ms: u64,
+    /// Router mode: after every acked write, subsequent queries on the
+    /// same connection carry `min_version` = that write's version
+    /// (read-your-writes through the router's version-aware balancing),
+    /// and responses are audited — a non-`stale` reply below
+    /// `min_version` counts as a violation.
+    pub via_router: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -91,6 +103,8 @@ impl Default for LoadgenConfig {
             delete_mix: 0.0,
             chaos: false,
             shutdown_after: false,
+            timeout_ms: 0,
+            via_router: false,
         }
     }
 }
@@ -113,6 +127,21 @@ pub struct LoadgenReport {
     pub timeouts: u64,
     /// `internal_panic` responses.
     pub panics: u64,
+    /// Transport-level timeouts (`--timeout-ms`) plus typed `timeout`
+    /// errors from a router's park deadline.
+    pub net_timeouts: u64,
+    /// Typed `unavailable` errors (router retry budget exhausted).
+    pub unavailable: u64,
+    /// Typed `in_doubt` errors (router mutation ack lost post-delivery).
+    pub in_doubt: u64,
+    /// Responses annotated `stale` (router serving without a primary).
+    pub stale: u64,
+    /// Non-stale responses below the requested `min_version` — must be 0;
+    /// anything else is a read-your-writes violation (`--via-router`).
+    pub min_version_violations: u64,
+    /// Highest version any acked mutation reported (`--via-router`);
+    /// the zero-acked-write-loss gate compares survivors against this.
+    pub max_acked_version: u64,
     /// Time from sending `shutdown` to the listener going away,
     /// milliseconds. Only set when `shutdown_after` was requested.
     pub drain_ms: Option<f64>,
@@ -160,10 +189,23 @@ impl LoadgenReport {
             self.server_hit_rate * 100.0,
             self.server_coalesced,
         );
+        if self.net_timeouts + self.unavailable + self.in_doubt + self.stale > 0
+            || self.via_router_audited()
+        {
+            out.push_str(&format!(
+                "router      {:>10} net timeouts / {} unavailable / {} in_doubt / {} stale / {} min_version violations\n",
+                self.net_timeouts, self.unavailable, self.in_doubt, self.stale,
+                self.min_version_violations,
+            ));
+        }
         if let Some(drain) = self.drain_ms {
             out.push_str(&format!("drain       {drain:>10.1} ms\n"));
         }
         out
+    }
+
+    fn via_router_audited(&self) -> bool {
+        self.max_acked_version > 0 || self.min_version_violations > 0
     }
 }
 
@@ -218,9 +260,27 @@ fn rank_to_source(rank: u32, n: u64) -> u32 {
     ((rank as u64).wrapping_mul(2654435761) % n.max(1)) as u32
 }
 
+/// Opens a connection honoring `timeout_ms` for both the connect and
+/// subsequent reads (0 = block forever, the pre-timeout behavior).
+fn connect_with_timeout(addr: &str, timeout_ms: u64) -> std::io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    let stream = if timeout_ms == 0 {
+        TcpStream::connect(addr)?
+    } else {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let s = TcpStream::connect_timeout(&sock, std::time::Duration::from_millis(timeout_ms))?;
+        s.set_read_timeout(Some(std::time::Duration::from_millis(timeout_ms)))?;
+        s
+    };
+    Ok(stream)
+}
+
 /// Asks the server how many nodes the graph has (`stats` op).
-fn fetch_nodes(addr: &str) -> std::io::Result<u64> {
-    let mut stream = TcpStream::connect(addr)?;
+fn fetch_nodes(addr: &str, timeout_ms: u64) -> std::io::Result<u64> {
+    let mut stream = connect_with_timeout(addr, timeout_ms)?;
     stream.write_all(b"{\"op\":\"stats\"}\n")?;
     let mut line = String::new();
     BufReader::new(&stream).read_line(&mut line)?;
@@ -231,9 +291,9 @@ fn fetch_nodes(addr: &str) -> std::io::Result<u64> {
 }
 
 /// Fetches (hit_rate, coalesced) from the server.
-fn fetch_cache_stats(addr: &str) -> (f64, u64) {
+fn fetch_cache_stats(addr: &str, timeout_ms: u64) -> (f64, u64) {
     let stats = || -> std::io::Result<(f64, u64)> {
-        let mut stream = TcpStream::connect(addr)?;
+        let mut stream = connect_with_timeout(addr, timeout_ms)?;
         stream.write_all(b"{\"op\":\"stats\"}\n")?;
         let mut line = String::new();
         BufReader::new(&stream).read_line(&mut line)?;
@@ -250,7 +310,7 @@ fn fetch_cache_stats(addr: &str) -> (f64, u64) {
 /// Runs the load and reports client-side latency plus server-side cache
 /// effectiveness.
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
-    let n = fetch_nodes(&config.addr)?;
+    let n = fetch_nodes(&config.addr, config.timeout_ms)?;
     let zipf = Arc::new(Zipf::new(config.sources, config.zipf_s));
     let latency = Arc::new(Histogram::new());
     let errors = Arc::new(AtomicU64::new(0));
@@ -259,6 +319,12 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let shed = Arc::new(AtomicU64::new(0));
     let timeouts = Arc::new(AtomicU64::new(0));
     let panics = Arc::new(AtomicU64::new(0));
+    let net_timeouts = Arc::new(AtomicU64::new(0));
+    let unavailable = Arc::new(AtomicU64::new(0));
+    let in_doubt = Arc::new(AtomicU64::new(0));
+    let stale = Arc::new(AtomicU64::new(0));
+    let min_version_violations = Arc::new(AtomicU64::new(0));
+    let max_acked_version = Arc::new(AtomicU64::new(0));
     let connections = config.connections.max(1) as u64;
     let started = Instant::now();
 
@@ -276,11 +342,20 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             let shed = shed.clone();
             let timeouts = timeouts.clone();
             let panics = panics.clone();
+            let net_timeouts = net_timeouts.clone();
+            let unavailable = unavailable.clone();
+            let in_doubt = in_doubt.clone();
+            let stale = stale.clone();
+            let min_version_violations = min_version_violations.clone();
+            let max_acked_version = max_acked_version.clone();
             let config = config.clone();
             scope.spawn(move || {
                 let mut rng = Rng(splitmix64(config.seed ^ (t + 1)));
+                // Read-your-writes bound for this client session: the
+                // version of its latest acked write (`--via-router`).
+                let mut min_version: u64 = 0;
                 let mut run = || -> std::io::Result<()> {
-                    let stream = TcpStream::connect(&config.addr)?;
+                    let stream = connect_with_timeout(&config.addr, config.timeout_ms)?;
                     let mut reader = BufReader::new(stream.try_clone()?);
                     let mut stream = stream;
                     let mut line = String::new();
@@ -324,30 +399,91 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                             } else {
                                 String::new()
                             };
+                            // Read-your-writes through the router: a query
+                            // after an acked write must observe it.
+                            let minv = if config.via_router && min_version > 0 {
+                                format!(",\"min_version\":{min_version}")
+                            } else {
+                                String::new()
+                            };
                             format!(
-                                "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}{threads}}}\n",
+                                "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}{threads}{minv}}}\n",
                                 config.k
                             )
                         };
                         let sent = Instant::now();
-                        stream.write_all(request.as_bytes())?;
-                        line.clear();
-                        if reader.read_line(&mut line)? == 0 {
-                            // A missing response is never acceptable, chaos
-                            // or not: surface it as a hard error.
-                            return Err(std::io::Error::other("connection closed mid-request"));
+                        let exchanged = (|| -> std::io::Result<()> {
+                            stream.write_all(request.as_bytes())?;
+                            line.clear();
+                            if reader.read_line(&mut line)? == 0 {
+                                // A missing response is never acceptable,
+                                // chaos or not: surface it as a hard error.
+                                return Err(std::io::Error::other(
+                                    "connection closed mid-request",
+                                ));
+                            }
+                            Ok(())
+                        })();
+                        if let Err(e) = exchanged {
+                            let timed_out = config.timeout_ms > 0
+                                && matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::TimedOut
+                                        | std::io::ErrorKind::WouldBlock
+                                );
+                            if timed_out {
+                                // One request lost to a hung peer, not the
+                                // whole connection's remainder. Reopen: the
+                                // late response could still arrive on the
+                                // old socket and desynchronize pairing.
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                net_timeouts.fetch_add(1, Ordering::Relaxed);
+                                let s =
+                                    connect_with_timeout(&config.addr, config.timeout_ms)?;
+                                reader = BufReader::new(s.try_clone()?);
+                                stream = s;
+                                continue;
+                            }
+                            return Err(e);
                         }
                         let response = Json::parse(line.trim()).ok();
                         let ok = response
                             .as_ref()
                             .and_then(|j| j.get("ok").and_then(Json::as_bool))
                             .unwrap_or(false);
+                        let version = response
+                            .as_ref()
+                            .and_then(|j| j.get("version").and_then(Json::as_u64));
                         if ok {
                             latency.record(sent.elapsed().as_nanos() as u64);
-                            if is_write {
-                                writes.fetch_add(1, Ordering::Relaxed);
-                            } else if is_delete {
-                                deletes.fetch_add(1, Ordering::Relaxed);
+                            if is_write || is_delete {
+                                if is_write {
+                                    writes.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    deletes.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if config.via_router {
+                                    if let Some(v) = version {
+                                        min_version = min_version.max(v);
+                                        max_acked_version.fetch_max(v, Ordering::Relaxed);
+                                    }
+                                }
+                            } else {
+                                let is_stale = response
+                                    .as_ref()
+                                    .and_then(|j| j.get("stale").and_then(Json::as_bool))
+                                    .unwrap_or(false);
+                                if is_stale {
+                                    stale.fetch_add(1, Ordering::Relaxed);
+                                } else if config.via_router
+                                    && min_version > 0
+                                    && version.is_some_and(|v| v < min_version)
+                                {
+                                    // The router promised ≥ min_version or a
+                                    // typed error/stale annotation — never a
+                                    // silently old read.
+                                    min_version_violations.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
                         } else {
                             errors.fetch_add(1, Ordering::Relaxed);
@@ -359,6 +495,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                                 "overloaded" => shed.fetch_add(1, Ordering::Relaxed),
                                 "deadline_exceeded" => timeouts.fetch_add(1, Ordering::Relaxed),
                                 "internal_panic" => panics.fetch_add(1, Ordering::Relaxed),
+                                "timeout" => net_timeouts.fetch_add(1, Ordering::Relaxed),
+                                "unavailable" => unavailable.fetch_add(1, Ordering::Relaxed),
+                                "in_doubt" => in_doubt.fetch_add(1, Ordering::Relaxed),
                                 _ => 0,
                             };
                         }
@@ -376,7 +515,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
 
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     let completed = latency.count();
-    let (server_hit_rate, server_coalesced) = fetch_cache_stats(&config.addr);
+    let (server_hit_rate, server_coalesced) = fetch_cache_stats(&config.addr, config.timeout_ms);
     let drain_ms = if config.shutdown_after {
         Some(shutdown_and_measure_drain(&config.addr)?)
     } else {
@@ -391,6 +530,12 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         shed: shed.load(Ordering::Relaxed),
         timeouts: timeouts.load(Ordering::Relaxed),
         panics: panics.load(Ordering::Relaxed),
+        net_timeouts: net_timeouts.load(Ordering::Relaxed),
+        unavailable: unavailable.load(Ordering::Relaxed),
+        in_doubt: in_doubt.load(Ordering::Relaxed),
+        stale: stale.load(Ordering::Relaxed),
+        min_version_violations: min_version_violations.load(Ordering::Relaxed),
+        max_acked_version: max_acked_version.load(Ordering::Relaxed),
         drain_ms,
         elapsed_secs: elapsed,
         qps: completed as f64 / elapsed,
@@ -540,5 +685,83 @@ mod tests {
         // Every acknowledged mutation (insert or delete) bumped the version.
         assert_eq!(session.version(), report.writes + report.deletes);
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn timeout_ms_classifies_slow_requests_and_reconnects() {
+        let session = StdArc::new(RwrSession::new(gen::barabasi_albert(200, 3, 8)));
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                // Every 4th request id sleeps far past the client timeout.
+                faults: crate::fault::FaultPlan::parse("delay=4:800").unwrap(),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let report = run(&LoadgenConfig {
+            addr: handle.addr().to_string(),
+            requests: 20,
+            connections: 1,
+            sources: 4,
+            // Unique keys: no cache hit or coalesce can dodge (or catch)
+            // an injected delay, so ids 0,4,8,12,16 must all time out.
+            per_request_seeds: true,
+            timeout_ms: 200,
+            chaos: true,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        // Each delayed id times out, is counted, and the connection is
+        // reopened so the rest of the stream keeps flowing. Worker-pool
+        // contention from abandoned (still sleeping) jobs may time out a
+        // few extra requests, but never lose one: every request is
+        // accounted as completed or error, and all errors are timeouts.
+        assert!(report.net_timeouts >= 5, "delayed ids must time out: {report:?}");
+        assert_eq!(report.errors, report.net_timeouts);
+        assert_eq!(report.completed + report.errors, 20);
+        assert!(report.completed >= 10, "fast requests must survive: {report:?}");
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn via_router_tracks_acked_versions_without_violations() {
+        let session = StdArc::new(RwrSession::new(gen::barabasi_albert(200, 3, 8)));
+        let backend = spawn("127.0.0.1:0", session.clone(), ServerConfig::default()).unwrap();
+        let router = crate::router::spawn(
+            "127.0.0.1:0",
+            crate::router::RouterConfig {
+                sync_acks: false,
+                ..crate::router::RouterConfig::new(vec![backend.addr().to_string()])
+            },
+        )
+        .unwrap();
+        let report = run(&LoadgenConfig {
+            addr: router.addr().to_string(),
+            requests: 80,
+            connections: 2,
+            sources: 8,
+            write_mix: 0.3,
+            via_router: true,
+            timeout_ms: 5000,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.completed, 80);
+        assert_eq!(report.errors, 0);
+        assert!(report.writes > 5, "write mix active: {}", report.writes);
+        // Every acked write's version was observed and audited: the highest
+        // ack matches the backend session, and `min_version` reads (sent
+        // after every ack) never saw an older non-stale response.
+        assert_eq!(report.max_acked_version, session.version());
+        assert_eq!(report.min_version_violations, 0);
+        assert_eq!(report.stale, 0);
+        handle_shutdown(router, backend);
+    }
+
+    fn handle_shutdown(router: crate::router::RouterHandle, backend: crate::server::ServerHandle) {
+        router.shutdown().unwrap();
+        backend.shutdown().unwrap();
     }
 }

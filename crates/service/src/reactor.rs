@@ -57,7 +57,7 @@ use crate::replication::ReplicationRole;
 use crate::scheduler::Scheduler;
 use crate::server::{
     apply_response, error_fields, promote_json, render_query_outcome, route_line,
-    take_buffered_line, ConnLimits, LineOutcome, ServerConfig, ACCEPT_BACKOFF_MAX, ACCEPT_POLL,
+    take_buffered_line, ConnLimits, LineOutcome, ServerConfig, ACCEPT_BACKOFF,
     READ_POLL,
 };
 use crossbeam::channel::{self, Sender};
@@ -254,7 +254,8 @@ pub(crate) fn run(
     let mut conns: HashMap<usize, Conn> = HashMap::new();
     let mut next_conn = FIRST_CONN;
     let mut listener_registered = true;
-    let mut accept_backoff = ACCEPT_POLL;
+    let backoff_seed = crate::server::accept_seed(&listener);
+    let mut accept_failures = 0u32;
     let mut accept_paused_until: Option<Instant> = None;
 
     while !(ctx.stopping && conns.is_empty()) {
@@ -297,7 +298,7 @@ pub(crate) fn run(
             loop {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        accept_backoff = ACCEPT_POLL;
+                        accept_failures = 0;
                         if config.max_conns != 0 && conns.len() >= config.max_conns {
                             ctx.scheduler
                                 .metrics()
@@ -325,8 +326,9 @@ pub(crate) fn run(
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let _ = poll.deregister(&listener);
                         listener_registered = false;
-                        accept_paused_until = Some(Instant::now() + accept_backoff);
-                        accept_backoff = (accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                        accept_paused_until =
+                            Some(Instant::now() + ACCEPT_BACKOFF.delay(backoff_seed, accept_failures));
+                        accept_failures = accept_failures.saturating_add(1);
                         break;
                     }
                 }

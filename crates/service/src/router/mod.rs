@@ -1,0 +1,1295 @@
+//! Resilient version-aware router: a front-end that speaks the server's
+//! NDJSON wire protocol to clients and turns backend failures into
+//! retried, hedged, parked, or typed-degraded requests instead of
+//! client-visible errors.
+//!
+//! ```text
+//!              ┌───────────────────────────── router ─────────────────────────────┐
+//!   clients ──►│ per-conn loop ─► route: reads ──► pool.read_candidates (lag ↑)   │
+//!              │                        │             ├─ retry budget + backoff   │
+//!              │                        │             └─ hedge after p[q] delay   │
+//!              │                  mutations ──► pool.writable (fresh conn,        │
+//!              │                        │        pre-ack-only retry, semi-sync)   │
+//!              │                  prober: stats probes ─► breaker per backend     │
+//!              │                        └─ no primary? ─► failover::try_failover  │
+//!              └──────────────────────────────────────────────────────────────────┘
+//!                         backends: 1 primary + N replicas (PR 5/7 machinery)
+//! ```
+//!
+//! Responsibilities and the properties they defend:
+//!
+//! * **Version-aware reads** — a request's `min_version` is honored by
+//!   selecting only replicas whose probed `applied_version` qualifies
+//!   (primary as fallback), *and* re-verified on the response: a reply
+//!   below `min_version` is retried, so read-your-writes holds even when
+//!   probe info is a tick stale.
+//! * **Retry discipline** — reads retry across backends within a
+//!   per-request budget; mutations retry only when the request line
+//!   provably never executed (see retry.rs). Delays come from the shared
+//!   jittered backoff policy in `resacc::backoff`.
+//! * **Hedged reads** — after an adaptive quantile delay, duplicate the
+//!   read to the next-best replica and relay the first answer.
+//! * **Failover** — probes detect primary death; the most-caught-up
+//!   replica is promoted over the epoch-fence path; mutations park (not
+//!   fail) while orchestration runs. With semi-sync acks on (default),
+//!   every router-acked write is applied on a replica before the client
+//!   sees the ack, so an automated failover never drops an acked write.
+//! * **Typed degradation** — with no electable primary, reads are still
+//!   served, annotated `"stale":true,"applied_version":V`; mutations and
+//!   parked reads fail with typed `unavailable`/`timeout`/`in_doubt`
+//!   errors in the server's own error shape.
+
+pub(crate) mod failover;
+pub(crate) mod hedge;
+pub mod pool;
+pub(crate) mod retry;
+
+pub use pool::{Backend, BackendPool, BreakerState, ProbeInfo};
+
+use crate::json::Json;
+use crate::server::{
+    accept_seed, error_fields, ok_response, request_shutdown, take_buffered_line, ACCEPT_BACKOFF,
+    READ_POLL,
+};
+use hedge::LatencyWindow;
+use retry::{connect, exchange_split, ExchangeError, RouterError, RETRY_BACKOFF};
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often a parked request re-checks the pool for a candidate.
+const PARK_POLL: Duration = Duration::from_millis(10);
+
+/// Router tunables. `new` gives production defaults; every field has a
+/// CLI flag (see `rwr router --help`).
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Backend client (NDJSON) addresses: the primary and its replicas,
+    /// in any order — roles are discovered by probing, not configured.
+    pub backends: Vec<String>,
+    /// Health-probe cadence.
+    pub probe_interval_ms: u64,
+    /// Connect + read timeout for probes (and backend connects).
+    pub probe_timeout_ms: u64,
+    /// Consecutive failures that open a backend's breaker.
+    pub breaker_threshold: u32,
+    /// Base cooldown before an open breaker admits a trial probe
+    /// (jittered, doubling per reopen).
+    pub breaker_cooldown_ms: u64,
+    /// Backend attempts per client request.
+    pub retry_budget: u32,
+    /// Latency quantile that arms the hedge timer; `<= 0` disables
+    /// hedging.
+    pub hedge_quantile: f64,
+    /// Floor for the hedge delay, so a fast backend doesn't trigger
+    /// hedges on scheduling noise.
+    pub hedge_min_ms: u64,
+    /// How long a request may park waiting for a qualified backend
+    /// (failover in progress, no replica at `min_version`).
+    pub park_ms: u64,
+    /// Read deadline for one backend exchange.
+    pub read_timeout_ms: u64,
+    /// Ack mutations only after a replica has applied them (semi-sync).
+    /// This is what makes "zero acked-write loss across failover" a
+    /// theorem rather than a race.
+    pub sync_acks: bool,
+    /// Longest a single mutation ack waits on semi-sync before the
+    /// router flips to degraded (async) acks. Degradation is sticky:
+    /// once a wait times out, later acks skip the wait until a replica
+    /// proves it caught up again — a zombie replica (alive but following
+    /// a dead primary) must cost one bounded stall, not one per write.
+    pub sync_ack_timeout_ms: u64,
+    /// Orchestrate promotion automatically when the primary dies.
+    pub auto_failover: bool,
+    /// Client connection cap (0 = unlimited).
+    pub max_conns: usize,
+    /// Longest accepted request line.
+    pub max_line_bytes: usize,
+    /// Drop idle client connections after this long (0 = never).
+    pub idle_timeout_ms: u64,
+    /// Jitter seed (backoff, breaker cooldowns).
+    pub seed: u64,
+}
+
+impl RouterConfig {
+    /// Defaults for the given backend set.
+    pub fn new(backends: Vec<String>) -> RouterConfig {
+        RouterConfig {
+            backends,
+            probe_interval_ms: 50,
+            probe_timeout_ms: 500,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 250,
+            retry_budget: 4,
+            hedge_quantile: 0.95,
+            hedge_min_ms: 2,
+            park_ms: 5_000,
+            read_timeout_ms: 5_000,
+            sync_acks: true,
+            sync_ack_timeout_ms: 1_000,
+            auto_failover: true,
+            max_conns: 0,
+            max_line_bytes: 1 << 20,
+            idle_timeout_ms: 0,
+            seed: 0x7275_7465, // "rute"
+        }
+    }
+}
+
+/// Lock-free router counters, surfaced under `"router"` in `stats`.
+#[derive(Default)]
+pub struct RouterMetrics {
+    /// Client read requests routed.
+    pub reads: AtomicU64,
+    /// Client mutations routed.
+    pub mutations: AtomicU64,
+    /// Backend attempts beyond the first, any cause.
+    pub retries: AtomicU64,
+    /// Requests that parked waiting for a qualified backend.
+    pub parked: AtomicU64,
+    /// Hedge duplicates issued.
+    pub hedges: AtomicU64,
+    /// Races the duplicate won.
+    pub hedge_wins: AtomicU64,
+    /// Automated/manual promotions orchestrated.
+    pub failovers: AtomicU64,
+    /// Reads served with the `stale` annotation.
+    pub stale_served: AtomicU64,
+    /// Retries forced by a response below `min_version`.
+    pub min_version_retries: AtomicU64,
+    /// Mutations abandoned post-write with unknown outcome.
+    pub in_doubt: AtomicU64,
+    /// Requests that exhausted their retry budget.
+    pub unavailable: AtomicU64,
+    /// Requests that hit the park deadline.
+    pub timeouts: AtomicU64,
+    /// Mutation acks relayed without a replica having applied them
+    /// (semi-sync wait timed out — degraded, loss window open).
+    pub unreplicated_acks: AtomicU64,
+}
+
+struct Inner {
+    pool: Arc<BackendPool>,
+    cfg: RouterConfig,
+    metrics: Arc<RouterMetrics>,
+    window: LatencyWindow,
+    /// Sticky semi-sync degradation latch: set when an ack wait times
+    /// out, cleared when a replica is observed caught up again.
+    sync_degraded: AtomicBool,
+    /// Highest mutation version acked to any client. The degraded-mode
+    /// re-arm check compares replicas against *this* (the previous ack)
+    /// rather than the in-flight version — a healthy replica is always a
+    /// hair behind the write being acked right now, and testing against
+    /// the current version would keep the latch stuck forever.
+    last_acked: AtomicU64,
+}
+
+/// Serves the router on `listener` until a client sends `shutdown`.
+/// Mirrors [`crate::server::serve`]'s accept/drain discipline.
+pub fn serve(listener: TcpListener, config: RouterConfig) -> std::io::Result<()> {
+    let metrics = Arc::new(RouterMetrics::default());
+    let pool = Arc::new(BackendPool::new(config.clone(), metrics.clone()));
+    let inner = Arc::new(Inner {
+        pool: pool.clone(),
+        cfg: config,
+        metrics,
+        window: LatencyWindow::new(),
+        sync_degraded: AtomicBool::new(false),
+        last_acked: AtomicU64::new(0),
+    });
+    // Route from truth, not defaults: probe everything once before the
+    // first client request can arrive.
+    pool.probe_all();
+    let stop = Arc::new(AtomicBool::new(false));
+    let prober = {
+        let pool = pool.clone();
+        let stop = stop.clone();
+        std::thread::Builder::new()
+            .name("rwr-router-probe".into())
+            .spawn(move || pool.prober_loop(&stop))?
+    };
+
+    listener.set_nonblocking(true)?;
+    let backoff_seed = accept_seed(&listener);
+    let mut accept_failures = 0u32;
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                accept_failures = 0;
+                handlers.retain(|t| !t.is_finished());
+                if inner.cfg.max_conns != 0 && handlers.len() >= inner.cfg.max_conns {
+                    drop(stream);
+                    continue;
+                }
+                let inner = inner.clone();
+                let stop = stop.clone();
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name("rwr-router-conn".into())
+                        .spawn(move || {
+                            if handle_client(stream, &inner, &stop) {
+                                stop.store(true, Ordering::Release);
+                            }
+                        })?,
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(PARK_POLL);
+            }
+            Err(_) => {
+                std::thread::sleep(ACCEPT_BACKOFF.delay(backoff_seed, accept_failures));
+                accept_failures = accept_failures.saturating_add(1);
+            }
+        }
+    }
+    for t in handlers {
+        let _ = t.join();
+    }
+    let _ = prober.join();
+    Ok(())
+}
+
+/// A spawned router: join handle + resolved address, shut down over the
+/// wire exactly like a spawned server.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends `shutdown` and joins the serve thread.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        request_shutdown(&self.addr.to_string())?;
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or_else(|_| {
+                Err(std::io::Error::other("router thread panicked"))
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = request_shutdown(&self.addr.to_string());
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves the router on a background thread.
+pub fn spawn(addr: &str, config: RouterConfig) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let thread = std::thread::Builder::new()
+        .name("rwr-router".into())
+        .spawn(move || serve(listener, config))?;
+    Ok(RouterHandle {
+        addr: local,
+        thread: Some(thread),
+    })
+}
+
+/// Handles one client connection; true when the client asked the router
+/// to shut down. Same buffered-line read loop as the server's threaded
+/// engine, so partial lines and idle timeouts behave identically.
+fn handle_client(stream: TcpStream, inner: &Inner, stop: &AtomicBool) -> bool {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut idle = Duration::ZERO;
+    let idle_limit = (inner.cfg.idle_timeout_ms > 0)
+        .then(|| Duration::from_millis(inner.cfg.idle_timeout_ms));
+    loop {
+        if let Some(line) = take_buffered_line(&mut buf) {
+            idle = Duration::ZERO;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, shutdown) = route_request(&line, inner);
+            if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+                return false;
+            }
+            if shutdown {
+                return true;
+            }
+            continue;
+        }
+        if stop.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut chunk = [0u8; 4096];
+        match read_half.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => {
+                idle = Duration::ZERO;
+                buf.extend_from_slice(&chunk[..n]);
+                if !buf.contains(&b'\n') && buf.len() > inner.cfg.max_line_bytes {
+                    let e = error_fields(
+                        None,
+                        "bad request",
+                        &format!("line exceeds {} bytes", inner.cfg.max_line_bytes),
+                        None,
+                    );
+                    let _ = writeln!(writer, "{}", e.render());
+                    let _ = writer.flush();
+                    return false;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                idle += READ_POLL;
+                if idle_limit.is_some_and(|t| idle >= t) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Routes one request line; returns (rendered response, shutdown?).
+fn route_request(line: &str, inner: &Inner) -> (String, bool) {
+    let request = match Json::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                error_fields(None, &format!("bad json: {e}"), "", None).render(),
+                false,
+            )
+        }
+    };
+    let id = request.get("id").and_then(Json::as_u64);
+    let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "ping" => (ok_response(id, vec![]).render(), false),
+        "shutdown" => (ok_response(id, vec![]).render(), true),
+        "query" => (route_read(line, &request, id, inner), false),
+        "insert_edges" | "delete_edges" | "delete_node" => {
+            (route_mutation(line, id, inner), false)
+        }
+        "stats" => (route_stats(line, id, inner), false),
+        "promote" => (route_promote(id, inner), false),
+        other => (
+            error_fields(id, &format!("unknown op {other:?}"), "", None).render(),
+            false,
+        ),
+    }
+}
+
+fn render_error(id: Option<u64>, e: &RouterError) -> String {
+    error_fields(id, e.code(), e.detail(), None).render()
+}
+
+/// The read path: candidate selection honoring `min_version`, retry
+/// budget across backends, hedging, parking, and the stale degradation.
+fn route_read(line: &str, request: &Json, id: Option<u64>, inner: &Inner) -> String {
+    inner.metrics.reads.fetch_add(1, Ordering::Relaxed);
+    let min_version = request.get("min_version").and_then(Json::as_u64);
+    let cfg = &inner.cfg;
+    let park_deadline = Instant::now() + Duration::from_millis(cfg.park_ms);
+    let read_timeout = Duration::from_millis(cfg.read_timeout_ms);
+    let budget = cfg.retry_budget.max(1);
+    let mut attempts = 0u32;
+    let mut parked = false;
+    let mut last_detail = String::new();
+    loop {
+        let candidates = inner.pool.read_candidates(min_version);
+        if candidates.is_empty() {
+            // Nothing qualifies right now: park. A failover may produce a
+            // primary, or a replica may catch up to min_version.
+            if !parked {
+                parked = true;
+                inner.metrics.parked.fetch_add(1, Ordering::Relaxed);
+            }
+            if Instant::now() >= park_deadline {
+                // Typed degradation: with no primary electable, serve the
+                // freshest reachable backend and annotate instead of
+                // erroring. With a primary alive this is a plain timeout
+                // (the caller's min_version is ahead of the world).
+                if inner.pool.writable().is_none() {
+                    if let Some(b) = inner.pool.freshest() {
+                        if let Ok(outcome) =
+                            hedge::hedged_read(b, None, line, read_timeout, read_timeout, cfg)
+                        {
+                            return annotate_stale(&outcome.raw, inner);
+                        }
+                    }
+                }
+                inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                return render_error(
+                    id,
+                    &RouterError::Timeout(format!(
+                        "no backend qualified within park deadline ({} ms); last: {last_detail}",
+                        cfg.park_ms
+                    )),
+                );
+            }
+            std::thread::sleep(PARK_POLL);
+            continue;
+        }
+        if attempts >= budget {
+            inner.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+            return render_error(
+                id,
+                &RouterError::Unavailable(format!(
+                    "read retry budget ({budget}) exhausted; last: {last_detail}"
+                )),
+            );
+        }
+        if attempts > 0 {
+            inner.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(RETRY_BACKOFF.delay(cfg.seed ^ id.unwrap_or(0), attempts - 1));
+        }
+        attempts += 1;
+        // Hedge setup: duplicate onto the next-best candidate after the
+        // adaptive delay. Until the latency window has a baseline, reads
+        // run unhedged.
+        let hedge_delay = (cfg.hedge_quantile > 0.0)
+            .then(|| inner.window.quantile(cfg.hedge_quantile))
+            .flatten()
+            .map(|q| q.max(Duration::from_millis(cfg.hedge_min_ms)));
+        let second = hedge_delay.and(candidates.get(1).cloned());
+        let delay = hedge_delay.unwrap_or(read_timeout);
+        match hedge::hedged_read(
+            candidates[0].clone(),
+            second,
+            line,
+            delay,
+            read_timeout,
+            cfg,
+        ) {
+            Ok(outcome) => {
+                inner.window.record(outcome.latency);
+                if outcome.hedged {
+                    inner.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                }
+                if outcome.hedge_won {
+                    inner.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                }
+                let Ok(parsed) = Json::parse(&outcome.raw) else {
+                    last_detail = "unparseable backend response".to_string();
+                    continue;
+                };
+                if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
+                    if let (Some(mv), Some(v)) = (
+                        min_version,
+                        parsed.get("version").and_then(Json::as_u64),
+                    ) {
+                        if v < mv {
+                            // Probe info was stale: this backend hasn't
+                            // actually caught up. Verify-and-retry keeps
+                            // read-your-writes airtight.
+                            inner
+                                .metrics
+                                .min_version_retries
+                                .fetch_add(1, Ordering::Relaxed);
+                            last_detail = format!("backend at version {v} < min_version {mv}");
+                            continue;
+                        }
+                    }
+                }
+                // Relay the raw backend line (bit-identical), annotating
+                // only when serving without an active primary.
+                if inner.pool.writable().is_none() {
+                    return annotate_stale(&outcome.raw, inner);
+                }
+                return outcome.raw;
+            }
+            Err(e) => {
+                last_detail = e.to_string();
+                continue;
+            }
+        }
+    }
+}
+
+/// Adds `"stale":true,"applied_version":V` to a served-without-primary
+/// response and counts it.
+fn annotate_stale(raw: &str, inner: &Inner) -> String {
+    let Ok(Json::Obj(mut fields)) = Json::parse(raw) else {
+        return raw.to_string();
+    };
+    let version = Json::Obj(fields.clone())
+        .get("version")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    fields.push(("stale".to_string(), Json::Bool(true)));
+    fields.push(("applied_version".to_string(), Json::u64(version)));
+    inner.metrics.stale_served.fetch_add(1, Ordering::Relaxed);
+    Json::Obj(fields).render()
+}
+
+/// The mutation path: writable-primary selection, fresh-connection
+/// exchanges, pre-ack-only retries, parking across failover, semi-sync
+/// acks.
+fn route_mutation(line: &str, id: Option<u64>, inner: &Inner) -> String {
+    inner.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+    let cfg = &inner.cfg;
+    let deadline = Instant::now() + Duration::from_millis(cfg.park_ms);
+    let read_timeout = Duration::from_millis(cfg.read_timeout_ms);
+    let connect_timeout = Duration::from_millis(cfg.probe_timeout_ms);
+    let budget = cfg.retry_budget.max(1);
+    let mut attempts = 0u32;
+    let mut parked = false;
+    let mut last_detail = String::new();
+    loop {
+        let Some(primary) = inner.pool.writable() else {
+            if !parked {
+                parked = true;
+                inner.metrics.parked.fetch_add(1, Ordering::Relaxed);
+            }
+            if cfg.auto_failover {
+                // Orchestrate (or join the pass already running). Either
+                // way the next writable() sees the outcome.
+                failover::try_failover(&inner.pool, &inner.metrics);
+            }
+            if Instant::now() >= deadline {
+                inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                return render_error(
+                    id,
+                    &RouterError::Timeout(format!(
+                        "no writable backend within park deadline ({} ms); last: {last_detail}",
+                        cfg.park_ms
+                    )),
+                );
+            }
+            std::thread::sleep(PARK_POLL);
+            continue;
+        };
+        if attempts >= budget {
+            inner.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+            return render_error(
+                id,
+                &RouterError::Unavailable(format!(
+                    "mutation retry budget ({budget}) exhausted; last: {last_detail}"
+                )),
+            );
+        }
+        if attempts > 0 {
+            inner.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(RETRY_BACKOFF.delay(cfg.seed ^ id.unwrap_or(0), attempts - 1));
+        }
+        attempts += 1;
+        // Always a fresh connection: "write failed ⇒ never executed"
+        // only holds when the socket was alive at checkout (retry.rs).
+        let mut conn = match connect(&primary.addr, connect_timeout) {
+            Ok(c) => c,
+            Err(e) => {
+                primary.note_failure(cfg);
+                last_detail = format!("connect {}: {e}", primary.addr);
+                continue; // pre-ack: safe to retry
+            }
+        };
+        match exchange_split(&mut conn, line, read_timeout) {
+            Err(ExchangeError::PreWrite(e)) => {
+                primary.note_failure(cfg);
+                last_detail = format!("write {}: {e}", primary.addr);
+                continue; // request line never delivered: safe to retry
+            }
+            Err(ExchangeError::PostWrite(e)) => {
+                // The line was delivered; the backend may have applied
+                // it. Retrying could double-apply — stop with the typed
+                // ambiguous outcome.
+                primary.note_failure(cfg);
+                inner.metrics.in_doubt.fetch_add(1, Ordering::Relaxed);
+                return render_error(
+                    id,
+                    &RouterError::InDoubt(format!(
+                        "ack lost after delivery to {}: {e}; reconcile via stats",
+                        primary.addr
+                    )),
+                );
+            }
+            Ok(raw) => {
+                let Ok(parsed) = Json::parse(&raw) else {
+                    return raw; // relay whatever the backend said
+                };
+                let code = parsed.get("error").and_then(Json::as_str).unwrap_or("");
+                if code == "read_only" || code == "fenced" {
+                    // The role moved under us (fence landed, failover
+                    // elsewhere finished): refresh and re-route. The
+                    // mutation was bounced, not applied — safe to retry.
+                    inner.pool.probe(&primary);
+                    last_detail = format!("{} bounced: {code}", primary.addr);
+                    continue;
+                }
+                if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
+                    if let Some(version) = parsed.get("version").and_then(Json::as_u64) {
+                        semi_sync_wait(version, deadline, inner);
+                    }
+                }
+                primary.park_conn(conn);
+                return raw;
+            }
+        }
+    }
+}
+
+/// Semi-sync ack gate: hold the client's ack until a replica has applied
+/// `version`. Skipped for replica-less topologies (nothing to fail over
+/// to); a timeout relays anyway but counts the open loss window.
+///
+/// The wait is bounded by `sync_ack_timeout_ms` (not the park deadline)
+/// and degradation is sticky: after one timeout the router acks async —
+/// a replica that cannot catch up (zombie following a dead primary,
+/// partitioned link) costs one bounded stall, not `park_ms` per write.
+/// The latch clears as soon as some replica is observed at the acked
+/// version again, restoring the loss-free failover guarantee.
+fn semi_sync_wait(version: u64, deadline: Instant, inner: &Inner) {
+    if !inner.cfg.sync_acks {
+        return;
+    }
+    let has_replica = inner.pool.backends.iter().any(|b| {
+        let i = b.info();
+        i.probed && i.read_only && b.breaker_state() != BreakerState::Open
+    });
+    if !has_replica {
+        return;
+    }
+    if inner.sync_degraded.load(Ordering::Relaxed) {
+        // Re-arm only once a replica has caught up to everything acked
+        // *before* this write; then this write waits normally again.
+        if inner.pool.replicated_at(inner.last_acked.load(Ordering::Relaxed)) {
+            inner.sync_degraded.store(false, Ordering::Relaxed);
+        } else {
+            inner.metrics.unreplicated_acks.fetch_add(1, Ordering::Relaxed);
+            inner.last_acked.fetch_max(version, Ordering::Relaxed);
+            return;
+        }
+    }
+    let cap = Instant::now() + Duration::from_millis(inner.cfg.sync_ack_timeout_ms.max(1));
+    let replicated = inner.pool.await_replicated(version, deadline.min(cap));
+    inner.last_acked.fetch_max(version, Ordering::Relaxed);
+    if !replicated {
+        inner.metrics.unreplicated_acks.fetch_add(1, Ordering::Relaxed);
+        inner.sync_degraded.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Forwards `stats` (primary preferred — its counts lead the fleet) and
+/// injects the router's own `"router"` section.
+fn route_stats(line: &str, id: Option<u64>, inner: &Inner) -> String {
+    let read_timeout = Duration::from_millis(inner.cfg.read_timeout_ms);
+    let mut candidates = Vec::new();
+    if let Some(p) = inner.pool.writable() {
+        candidates.push(p);
+    }
+    candidates.extend(inner.pool.read_candidates(None));
+    for backend in candidates {
+        match hedge::hedged_read(backend, None, line, read_timeout, read_timeout, &inner.cfg) {
+            Ok(outcome) => {
+                let Ok(Json::Obj(mut fields)) = Json::parse(&outcome.raw) else {
+                    return outcome.raw;
+                };
+                fields.push(("router".to_string(), router_stats(inner)));
+                return Json::Obj(fields).render();
+            }
+            Err(_) => continue,
+        }
+    }
+    inner.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+    render_error(
+        id,
+        &RouterError::Unavailable("no backend answered stats".to_string()),
+    )
+}
+
+/// The `"router"` stats object: per-backend health + router counters.
+fn router_stats(inner: &Inner) -> Json {
+    let m = &inner.metrics;
+    let get = |a: &AtomicU64| Json::u64(a.load(Ordering::Relaxed));
+    let backends: Vec<Json> = inner
+        .pool
+        .backends
+        .iter()
+        .map(|b| {
+            let info = b.info();
+            let breaker = match b.breaker_state() {
+                BreakerState::Closed => "closed",
+                BreakerState::Open => "open",
+                BreakerState::HalfOpen => "half_open",
+            };
+            Json::Obj(vec![
+                ("addr".to_string(), Json::Str(b.addr.clone())),
+                ("breaker".to_string(), Json::Str(breaker.to_string())),
+                ("read_only".to_string(), Json::Bool(info.read_only)),
+                ("fenced".to_string(), Json::Bool(info.fenced)),
+                ("applied_version".to_string(), Json::u64(info.applied_version)),
+                ("lag_records".to_string(), Json::u64(info.lag_records)),
+                ("epoch".to_string(), Json::u64(info.epoch)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("backends".to_string(), Json::Arr(backends)),
+        ("reads".to_string(), get(&m.reads)),
+        ("mutations".to_string(), get(&m.mutations)),
+        ("retries".to_string(), get(&m.retries)),
+        ("parked".to_string(), get(&m.parked)),
+        ("hedges".to_string(), get(&m.hedges)),
+        ("hedge_wins".to_string(), get(&m.hedge_wins)),
+        ("failovers".to_string(), get(&m.failovers)),
+        ("stale_served".to_string(), get(&m.stale_served)),
+        ("min_version_retries".to_string(), get(&m.min_version_retries)),
+        ("in_doubt".to_string(), get(&m.in_doubt)),
+        ("unavailable".to_string(), get(&m.unavailable)),
+        ("timeouts".to_string(), get(&m.timeouts)),
+        ("unreplicated_acks".to_string(), get(&m.unreplicated_acks)),
+        (
+            "sync_degraded".to_string(),
+            Json::Bool(inner.sync_degraded.load(Ordering::Relaxed)),
+        ),
+    ])
+}
+
+/// `promote` through the router: "ensure there is a writable primary and
+/// tell me who it is" — runs the same orchestration as automated
+/// failover (a no-op returning the incumbent when one is alive).
+fn route_promote(id: Option<u64>, inner: &Inner) -> String {
+    match failover::try_failover(&inner.pool, &inner.metrics) {
+        Some(leader) => ok_response(
+            id,
+            vec![
+                ("leader".to_string(), Json::Str(leader)),
+                ("role".to_string(), Json::Str("router".to_string())),
+            ],
+        )
+        .render(),
+        None => render_error(
+            id,
+            &RouterError::Unavailable(
+                "no primary electable (orchestration busy or no candidate)".to_string(),
+            ),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{spawn as spawn_server, ServerConfig, ServerHandle};
+    use resacc::replication::{
+        attach_hub, ReplicaClient, ReplicationHub, ReplicationServer, ReplicationStats,
+    };
+    use resacc::RwrSession;
+    use resacc_graph::gen;
+    use std::io::{BufRead, BufReader};
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> Json {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(response.trim()).expect("response is json")
+    }
+
+    fn graph() -> resacc_graph::CsrGraph {
+        gen::barabasi_albert(200, 3, 8)
+    }
+
+    /// One primary (core hub + replication listener + NDJSON server with
+    /// a primary role) plus `n` replicas (sessions following the hub,
+    /// each behind its own NDJSON server with a replica role).
+    struct Cluster {
+        primary: Option<ServerHandle>,
+        replicas: Vec<ServerHandle>,
+        primary_session: Arc<RwrSession>,
+        _repl_server: ReplicationServer,
+    }
+
+    fn wire_cluster(n: usize, replica_cfg: impl Fn(usize, &mut ServerConfig)) -> Cluster {
+        let mut primary = RwrSession::new(graph());
+        let hub = Arc::new(ReplicationHub::new(primary.version()));
+        attach_hub(&mut primary, hub.clone());
+        let primary = Arc::new(primary);
+        let pstats = Arc::new(ReplicationStats::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let repl_addr = listener.local_addr().unwrap().to_string();
+        let repl_server =
+            ReplicationServer::spawn(listener, primary.clone(), hub, pstats.clone()).unwrap();
+        let primary_handle = spawn_server(
+            "127.0.0.1:0",
+            primary.clone(),
+            ServerConfig {
+                workers: 1,
+                replication: Some(Arc::new(crate::replication::ReplicationRole::primary(
+                    pstats,
+                ))),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut replicas = Vec::new();
+        for i in 0..n {
+            let session = Arc::new(RwrSession::new(graph()));
+            let rstats = Arc::new(ReplicationStats::default());
+            let client = ReplicaClient::spawn(repl_addr.clone(), session.clone(), rstats.clone());
+            let role = Arc::new(crate::replication::ReplicationRole::replica(
+                repl_addr.clone(),
+                client,
+                rstats,
+            ));
+            let mut config = ServerConfig {
+                workers: 1,
+                replication: Some(role),
+                ..ServerConfig::default()
+            };
+            replica_cfg(i, &mut config);
+            replicas.push(spawn_server("127.0.0.1:0", session, config).unwrap());
+        }
+        Cluster {
+            primary: Some(primary_handle),
+            replicas,
+            primary_session: primary,
+            _repl_server: repl_server,
+        }
+    }
+
+    impl Cluster {
+        fn backend_addrs(&self) -> Vec<String> {
+            let mut v = vec![self.primary.as_ref().unwrap().addr().to_string()];
+            v.extend(self.replicas.iter().map(|r| r.addr().to_string()));
+            v
+        }
+
+        fn wait_replicas_at(&self, version: u64) {
+            let deadline = Instant::now() + Duration::from_secs(20);
+            loop {
+                let mut all = true;
+                for r in &self.replicas {
+                    let mut s = TcpStream::connect(r.addr()).unwrap();
+                    let mut reader = BufReader::new(s.try_clone().unwrap());
+                    s.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let v = Json::parse(line.trim())
+                        .ok()
+                        .and_then(|j| {
+                            j.get("replication")?.get("applied_version")?.as_u64()
+                        })
+                        .unwrap_or(0);
+                    all &= v >= version;
+                }
+                if all {
+                    return;
+                }
+                assert!(Instant::now() < deadline, "replicas never reached {version}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+
+    #[test]
+    fn relays_reads_and_mutations_through_a_single_backend() {
+        let session = Arc::new(RwrSession::new(graph()));
+        let backend = spawn_server(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let router = spawn(
+            "127.0.0.1:0",
+            RouterConfig::new(vec![backend.addr().to_string()]),
+        )
+        .unwrap();
+
+        let mut direct = TcpStream::connect(backend.addr()).unwrap();
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+        let q = r#"{"id":1,"op":"query","source":0,"seed":42,"full":true}"#;
+        let d = roundtrip(&mut direct, q);
+        let r = roundtrip(&mut via, q);
+        assert_eq!(
+            d.get("scores").unwrap().render(),
+            r.get("scores").unwrap().render(),
+            "routed reads are bit-identical to direct reads"
+        );
+        // Mutations route to the (standalone) primary and version bumps.
+        let m = roundtrip(&mut via, r#"{"id":2,"op":"insert_edges","edges":[[0,7],[7,0]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(m.get("version").unwrap().as_u64(), Some(1));
+        // Read-your-writes through min_version against the primary.
+        let q2 = roundtrip(
+            &mut via,
+            r#"{"id":3,"op":"query","source":0,"seed":42,"min_version":1}"#,
+        );
+        assert_eq!(q2.get("ok").unwrap().as_bool(), Some(true));
+        assert!(q2.get("version").unwrap().as_u64().unwrap() >= 1);
+        // Local ops answer locally; unknown ops mirror the server shape.
+        let p = roundtrip(&mut via, r#"{"id":4,"op":"ping"}"#);
+        assert_eq!(p.get("ok").unwrap().as_bool(), Some(true));
+        let u = roundtrip(&mut via, r#"{"id":5,"op":"flarp"}"#);
+        assert!(u.get("error").unwrap().as_str().unwrap().contains("unknown op"));
+        // Stats are forwarded with the router section injected.
+        let s = roundtrip(&mut via, r#"{"id":6,"op":"stats"}"#);
+        assert!(s.get("nodes").is_some(), "backend stats preserved");
+        let rt = s.get("router").expect("router section injected");
+        assert!(rt.get("reads").unwrap().as_u64().unwrap() >= 2);
+        assert_eq!(rt.get("mutations").unwrap().as_u64(), Some(1));
+
+        router.shutdown().unwrap();
+        backend.shutdown().unwrap();
+    }
+
+    #[test]
+    fn reads_survive_backend_death_and_reroute() {
+        // Two standalone backends with identical graphs: the router
+        // treats the first routable writable as primary; when it dies the
+        // retry policy + breaker reroute every read to the survivor with
+        // zero client-visible errors.
+        let a = spawn_server(
+            "127.0.0.1:0",
+            Arc::new(RwrSession::new(graph())),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let b = spawn_server(
+            "127.0.0.1:0",
+            Arc::new(RwrSession::new(graph())),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut cfg = RouterConfig::new(vec![a.addr().to_string(), b.addr().to_string()]);
+        cfg.retry_budget = 6;
+        cfg.probe_interval_ms = 20;
+        let router = spawn("127.0.0.1:0", cfg).unwrap();
+
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+        for i in 0..5 {
+            let q = format!("{{\"id\":{i},\"op\":\"query\",\"source\":{i},\"seed\":1}}");
+            let r = roundtrip(&mut via, &q);
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "warm read {i}");
+        }
+        a.shutdown().unwrap();
+        for i in 10..30 {
+            let q = format!("{{\"id\":{i},\"op\":\"query\",\"source\":{},\"seed\":1}}", i % 50);
+            let r = roundtrip(&mut via, &q);
+            assert_eq!(
+                r.get("ok").unwrap().as_bool(),
+                Some(true),
+                "read {i} must survive the backend death: {}",
+                r.render()
+            );
+        }
+        router.shutdown().unwrap();
+        b.shutdown().unwrap();
+    }
+
+    #[test]
+    fn impossible_min_version_fails_typed_and_plain_reads_still_flow() {
+        let backend = spawn_server(
+            "127.0.0.1:0",
+            Arc::new(RwrSession::new(graph())),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut cfg = RouterConfig::new(vec![backend.addr().to_string()]);
+        cfg.retry_budget = 2;
+        cfg.park_ms = 300;
+        let router = spawn("127.0.0.1:0", cfg).unwrap();
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+        // min_version far ahead of the world: the primary answers, the
+        // router verifies version < min_version, retries, and reports a
+        // typed terminal error instead of silently violating the bound.
+        let r = roundtrip(
+            &mut via,
+            r#"{"id":1,"op":"query","source":0,"seed":1,"min_version":999}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        let code = r.get("error").unwrap().as_str().unwrap();
+        assert!(
+            code == "unavailable" || code == "timeout",
+            "typed terminal error, got {code:?}"
+        );
+        let ok = roundtrip(&mut via, r#"{"id":2,"op":"query","source":0,"seed":1}"#);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        router.shutdown().unwrap();
+        backend.shutdown().unwrap();
+    }
+
+    #[test]
+    fn replica_cluster_balances_reads_and_fails_over_on_primary_death() {
+        let mut cluster = wire_cluster(1, |_, _| {});
+        let mut cfg = RouterConfig::new(cluster.backend_addrs());
+        cfg.probe_interval_ms = 20;
+        cfg.retry_budget = 8;
+        cfg.park_ms = 20_000;
+        let router = spawn("127.0.0.1:0", cfg).unwrap();
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+
+        // Semi-sync acked write: once acked, the replica has applied it.
+        let m = roundtrip(&mut via, r#"{"id":1,"op":"insert_edges","edges":[[0,9],[9,0]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true), "{}", m.render());
+        let acked_version = m.get("version").unwrap().as_u64().unwrap();
+        cluster.wait_replicas_at(acked_version);
+
+        // min_version read-your-writes immediately after the ack.
+        let q = roundtrip(
+            &mut via,
+            &format!(
+                "{{\"id\":2,\"op\":\"query\",\"source\":0,\"seed\":3,\"min_version\":{acked_version}}}"
+            ),
+        );
+        assert_eq!(q.get("ok").unwrap().as_bool(), Some(true), "{}", q.render());
+        assert!(q.get("version").unwrap().as_u64().unwrap() >= acked_version);
+
+        // Kill the primary's NDJSON front end: probes + data-path strikes
+        // open its breaker, the router promotes the replica, and the next
+        // mutation lands there — elevated latency, no error, no version
+        // regression below the acked write.
+        cluster.primary.take().unwrap().shutdown().unwrap();
+        let m2 = roundtrip(&mut via, r#"{"id":3,"op":"insert_edges","edges":[[1,8],[8,1]]}"#);
+        assert_eq!(
+            m2.get("ok").unwrap().as_bool(),
+            Some(true),
+            "mutation must survive failover: {}",
+            m2.render()
+        );
+        let v2 = m2.get("version").unwrap().as_u64().unwrap();
+        assert!(v2 > acked_version, "acked write survived the failover");
+        // Reads flow from the promoted node, min_version intact.
+        let q2 = roundtrip(
+            &mut via,
+            &format!("{{\"id\":4,\"op\":\"query\",\"source\":1,\"seed\":3,\"min_version\":{v2}}}"),
+        );
+        assert_eq!(q2.get("ok").unwrap().as_bool(), Some(true), "{}", q2.render());
+        let s = roundtrip(&mut via, r#"{"id":5,"op":"stats"}"#);
+        let rt = s.get("router").unwrap();
+        assert!(rt.get("failovers").unwrap().as_u64().unwrap() >= 1);
+
+        router.shutdown().unwrap();
+        // Keep the session alive until the end (replication server).
+        let _ = cluster.primary_session.version();
+        for r in cluster.replicas.drain(..) {
+            r.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_primary_electable_serves_typed_stale_reads() {
+        let mut cluster = wire_cluster(1, |_, _| {});
+        // Router only knows the replica — from its point of view there is
+        // no primary and (with auto_failover off) none is electable.
+        let replica_addr = cluster.replicas[0].addr().to_string();
+        let mut cfg = RouterConfig::new(vec![replica_addr]);
+        cfg.auto_failover = false;
+        cfg.park_ms = 300;
+        let router = spawn("127.0.0.1:0", cfg).unwrap();
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+        let r = roundtrip(&mut via, r#"{"id":1,"op":"query","source":0,"seed":5}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{}", r.render());
+        assert_eq!(r.get("stale").unwrap().as_bool(), Some(true));
+        assert!(r.get("applied_version").unwrap().as_u64().is_some());
+        // Mutations cannot be served: typed timeout after parking.
+        let m = roundtrip(&mut via, r#"{"id":2,"op":"insert_edges","edges":[[0,3]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(m.get("error").unwrap().as_str(), Some("timeout"));
+        router.shutdown().unwrap();
+        cluster.primary.take().unwrap().shutdown().unwrap();
+        for r in cluster.replicas.drain(..) {
+            r.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn hedged_reads_beat_a_slow_replica() {
+        // Two replicas, one answering every read ~60 ms late: once the
+        // latency window has a baseline, slow reads are hedged onto the
+        // fast replica and the duplicate wins.
+        let mut cluster = wire_cluster(2, |i, config| {
+            if i == 0 {
+                config.faults = crate::fault::FaultPlan::parse("delay=1:60").unwrap();
+            }
+        });
+        let mut cfg = RouterConfig::new(cluster.backend_addrs());
+        cfg.probe_interval_ms = 20;
+        // The latency window is bimodal at ~50/50 (every slow-replica
+        // read is 60 ms), so the quantile must sit below the fast
+        // fraction — at 0.5 the delay can land on the 60 ms mode and the
+        // hedge fires exactly as the slow answer arrives, winning nothing.
+        cfg.hedge_quantile = 0.2;
+        cfg.hedge_min_ms = 5;
+        let router = spawn("127.0.0.1:0", cfg).unwrap();
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+        for i in 0..60u32 {
+            let q = format!(
+                "{{\"id\":{i},\"op\":\"query\",\"source\":{},\"seed\":{i}}}",
+                i % 40
+            );
+            let r = roundtrip(&mut via, &q);
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{}", r.render());
+        }
+        let s = roundtrip(&mut via, r#"{"id":99,"op":"stats"}"#);
+        let rt = s.get("router").unwrap();
+        assert!(
+            rt.get("hedges").unwrap().as_u64().unwrap() > 0,
+            "slow replica must trigger hedges: {}",
+            rt.render()
+        );
+        assert!(
+            rt.get("hedge_wins").unwrap().as_u64().unwrap() > 0,
+            "the fast replica must win some races: {}",
+            rt.render()
+        );
+        router.shutdown().unwrap();
+        cluster.primary.take().unwrap().shutdown().unwrap();
+        for r in cluster.replicas.drain(..) {
+            r.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn semi_sync_degrades_sticky_and_rearms_when_replica_catches_up() {
+        use resacc::replication::{NetFault, NetFaultPlan};
+
+        // Primary with a real replication listener.
+        let mut primary = RwrSession::new(graph());
+        let hub = Arc::new(ReplicationHub::new(primary.version()));
+        attach_hub(&mut primary, hub.clone());
+        let primary = Arc::new(primary);
+        let pstats = Arc::new(ReplicationStats::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let repl_addr = listener.local_addr().unwrap().to_string();
+        let _repl_server =
+            ReplicationServer::spawn(listener, primary.clone(), hub, pstats.clone()).unwrap();
+        let primary_handle = spawn_server(
+            "127.0.0.1:0",
+            primary.clone(),
+            ServerConfig {
+                workers: 1,
+                replication: Some(Arc::new(crate::replication::ReplicationRole::primary(
+                    pstats,
+                ))),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        // One replica whose *replication link* runs through a
+        // partitionable proxy; its NDJSON server stays reachable, so the
+        // router sees a live, probed, read_only backend that simply
+        // stops applying — the zombie-replica shape.
+        let fault = NetFault::spawn(
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+            repl_addr,
+            NetFaultPlan::default(),
+        )
+        .unwrap();
+        let session = Arc::new(RwrSession::new(graph()));
+        let rstats = Arc::new(ReplicationStats::default());
+        let client = ReplicaClient::spawn(fault.addr().to_string(), session.clone(), rstats.clone());
+        let role = Arc::new(crate::replication::ReplicationRole::replica(
+            fault.addr().to_string(),
+            client,
+            rstats,
+        ));
+        let replica = spawn_server(
+            "127.0.0.1:0",
+            session.clone(),
+            ServerConfig {
+                workers: 1,
+                replication: Some(role),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut cfg = RouterConfig::new(vec![
+            primary_handle.addr().to_string(),
+            replica.addr().to_string(),
+        ]);
+        cfg.probe_interval_ms = 20;
+        cfg.sync_ack_timeout_ms = 400;
+        // Without the sticky degrade this would be the per-write stall.
+        cfg.park_ms = 20_000;
+        let router = spawn("127.0.0.1:0", cfg).unwrap();
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+
+        // Healthy semi-sync: the ack implies the replica applied it.
+        let m = roundtrip(&mut via, r#"{"id":1,"op":"insert_edges","edges":[[0,7]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(session.version(), 1, "semi-sync ack after replica applied");
+
+        // Partition the replication link. The first ack pays one bounded
+        // semi-sync timeout (not park_ms), flips the latch, and later
+        // acks relay async immediately.
+        fault.partition();
+        let t = Instant::now();
+        let m = roundtrip(&mut via, r#"{"id":2,"op":"insert_edges","edges":[[1,8]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true));
+        let stall = t.elapsed();
+        assert!(
+            stall < Duration::from_secs(10),
+            "degrade must be bounded by sync_ack_timeout, not park_ms: {stall:?}"
+        );
+        let m = roundtrip(&mut via, r#"{"id":3,"op":"insert_edges","edges":[[2,9]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true));
+        let s = roundtrip(&mut via, r#"{"id":4,"op":"stats"}"#);
+        let rt = s.get("router").unwrap();
+        assert_eq!(
+            rt.get("sync_degraded").unwrap().as_bool(),
+            Some(true),
+            "latch visible in stats: {}",
+            rt.render()
+        );
+        assert!(
+            rt.get("unreplicated_acks").unwrap().as_u64().unwrap() >= 2,
+            "every async ack counts its loss window: {}",
+            rt.render()
+        );
+
+        // Heal. Once the replica catches up (and a probe has seen it),
+        // the next mutation re-arms semi-sync: its ack again implies the
+        // replica applied it, and the latch clears.
+        fault.heal();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while session.version() < 3 {
+            assert!(Instant::now() < deadline, "replica never caught up after heal");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        std::thread::sleep(Duration::from_millis(100)); // a few probe cycles
+        let m = roundtrip(&mut via, r#"{"id":5,"op":"insert_edges","edges":[[3,9]]}"#);
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(session.version(), 4, "re-armed ack waits for the replica again");
+        let s = roundtrip(&mut via, r#"{"id":6,"op":"stats"}"#);
+        assert_eq!(
+            s.get("router").unwrap().get("sync_degraded").unwrap().as_bool(),
+            Some(false),
+            "latch clears after catch-up"
+        );
+
+        router.shutdown().unwrap();
+        primary_handle.shutdown().unwrap();
+        replica.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,193 @@
+//! Connection plumbing and the retry policy's typed terminal errors.
+//!
+//! ## Retry safety
+//!
+//! The wire protocol executes only complete lines, which gives an exact
+//! rule for what may be retried:
+//!
+//! * **Reads** (`query`, `stats`) are idempotent: any transport failure —
+//!   before, during, or after the write — is retryable, on the same or a
+//!   different backend, up to the per-request budget.
+//! * **Mutations** are retried only on *pre-ack connection loss where the
+//!   request line cannot have been executed*: a failed `connect` or a
+//!   failed write of the request line. To make "failed write ⇒ not
+//!   executed" airtight, mutations always use a **fresh** connection —
+//!   a pooled connection can die between checkout and use, turning a
+//!   locally-buffered "successful" write into an ambiguous one. Once the
+//!   line is fully written, a failure while awaiting the response is
+//!   ambiguous (the backend may have applied and even acked into a dead
+//!   socket), so the router stops with the typed [`RouterError::InDoubt`]
+//!   rather than risking a double apply.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One NDJSON connection to a backend: buffered reader + raw writer over
+/// the same stream.
+pub(crate) struct Conn {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+/// Opens a connection with a connect timeout.
+pub(crate) fn connect(addr: &str, timeout: Duration) -> std::io::Result<Conn> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok(Conn { reader, stream })
+}
+
+/// Result of [`exchange_split`]: distinguishes "request never executed"
+/// from "response lost after a complete request" — the line the mutation
+/// retry policy is built on.
+pub(crate) enum ExchangeError {
+    /// The request line was not fully delivered; safe to retry anywhere.
+    PreWrite(std::io::Error),
+    /// The request line was delivered but the response never arrived;
+    /// retrying a mutation here could double-apply.
+    PostWrite(std::io::Error),
+}
+
+/// One request/response round-trip with a read deadline, reporting which
+/// side of the write any failure fell on.
+pub(crate) fn exchange_split(
+    conn: &mut Conn,
+    line: &str,
+    timeout: Duration,
+) -> Result<String, ExchangeError> {
+    let mut payload = Vec::with_capacity(line.len() + 1);
+    payload.extend_from_slice(line.as_bytes());
+    payload.push(b'\n');
+    conn.stream
+        .write_all(&payload)
+        .and_then(|()| conn.stream.flush())
+        .map_err(ExchangeError::PreWrite)?;
+    conn.stream
+        .set_read_timeout(Some(timeout))
+        .map_err(ExchangeError::PostWrite)?;
+    let mut response = String::new();
+    match conn.reader.read_line(&mut response) {
+        Ok(0) => Err(ExchangeError::PostWrite(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "backend closed before responding",
+        ))),
+        Ok(_) => {
+            while response.ends_with('\n') || response.ends_with('\r') {
+                response.pop();
+            }
+            Ok(response)
+        }
+        Err(e) => Err(ExchangeError::PostWrite(e)),
+    }
+}
+
+/// Round-trip for idempotent callers that don't care which side failed.
+pub(crate) fn exchange_on(
+    conn: &mut Conn,
+    line: &str,
+    timeout: Duration,
+) -> std::io::Result<String> {
+    exchange_split(conn, line, timeout).map_err(|e| match e {
+        ExchangeError::PreWrite(e) | ExchangeError::PostWrite(e) => e,
+    })
+}
+
+/// Typed terminal errors the router reports to clients once a request's
+/// retry budget or park deadline is spent. Rendered via the same
+/// `error_fields` helper the server uses, so clients see one error shape.
+#[derive(Debug)]
+pub(crate) enum RouterError {
+    /// No backend could serve within the retry budget.
+    Unavailable(String),
+    /// The park/forward deadline expired before a backend qualified.
+    Timeout(String),
+    /// A mutation's request line was delivered but its ack was lost; the
+    /// write may or may not be applied. Never auto-retried.
+    InDoubt(String),
+}
+
+impl RouterError {
+    /// Wire error code.
+    pub(crate) fn code(&self) -> &'static str {
+        match self {
+            RouterError::Unavailable(_) => "unavailable",
+            RouterError::Timeout(_) => "timeout",
+            RouterError::InDoubt(_) => "in_doubt",
+        }
+    }
+
+    /// Human detail for the `detail` field.
+    pub(crate) fn detail(&self) -> &str {
+        match self {
+            RouterError::Unavailable(d) | RouterError::Timeout(d) | RouterError::InDoubt(d) => d,
+        }
+    }
+}
+
+/// Per-request retry pacing: the shared jittered backoff policy, scaled
+/// for a proxy hop (10 ms doubling to 200 ms — a router retry is racing a
+/// failover, not a WAN reconnect).
+pub(crate) const RETRY_BACKOFF: resacc::backoff::BackoffPolicy = resacc::backoff::BackoffPolicy::new(
+    Duration::from_millis(10),
+    Duration::from_millis(200),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    #[test]
+    fn exchange_classifies_post_write_eof_as_ambiguous() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Read the full request line, then hang up without answering.
+            let mut buf = [0u8; 256];
+            let mut seen = Vec::new();
+            while !seen.contains(&b'\n') {
+                let n = s.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                seen.extend_from_slice(&buf[..n]);
+            }
+            drop(s);
+        });
+        let mut conn = connect(&addr, Duration::from_secs(1)).unwrap();
+        match exchange_split(&mut conn, "{\"op\":\"ping\"}", Duration::from_secs(1)) {
+            Err(ExchangeError::PostWrite(_)) => {}
+            Err(ExchangeError::PreWrite(e)) => panic!("misclassified as pre-write: {e}"),
+            Ok(r) => panic!("unexpected response: {r}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_fails_fast_against_dead_port() {
+        // Bind-then-drop guarantees the port is closed; connect must fail
+        // promptly instead of hanging.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let start = std::time::Instant::now();
+        let r = connect(&addr, Duration::from_millis(500));
+        assert!(r.is_err());
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn router_error_codes_are_stable() {
+        assert_eq!(RouterError::Unavailable(String::new()).code(), "unavailable");
+        assert_eq!(RouterError::Timeout(String::new()).code(), "timeout");
+        assert_eq!(RouterError::InDoubt(String::new()).code(), "in_doubt");
+    }
+}

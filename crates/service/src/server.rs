@@ -63,8 +63,21 @@ use std::time::{Duration, Instant};
 pub(crate) const READ_POLL: Duration = Duration::from_millis(50);
 /// How often the (non-blocking) accept loop polls for new connections.
 pub(crate) const ACCEPT_POLL: Duration = Duration::from_millis(10);
-/// Ceiling for the accept-error backoff.
-pub(crate) const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+/// Backoff for persistent accept failures (e.g. EMFILE): the shared
+/// jittered policy, doubling from the poll interval to a 500 ms cap.
+pub(crate) const ACCEPT_BACKOFF: resacc::backoff::BackoffPolicy =
+    resacc::backoff::BackoffPolicy::new(ACCEPT_POLL, Duration::from_millis(500));
+
+/// Jitter seed for an accept loop, derived from its listen address so two
+/// co-hosted servers hitting the same fd limit don't retry in lockstep.
+pub(crate) fn accept_seed(listener: &TcpListener) -> u64 {
+    resacc::backoff::seed_from(
+        &listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default(),
+    )
+}
 
 /// Which connection engine [`serve`] runs. Both speak the identical wire
 /// protocol through the same [`route_line`] dispatcher — the equivalence
@@ -230,11 +243,12 @@ fn serve_threaded(
 
     listener.set_nonblocking(true)?;
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    let mut backoff = ACCEPT_POLL;
+    let backoff_seed = accept_seed(&listener);
+    let mut accept_failures = 0u32;
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                backoff = ACCEPT_POLL;
+                accept_failures = 0;
                 handlers.retain(|t| !t.is_finished());
                 if config.max_conns != 0 && handlers.len() >= config.max_conns {
                     scheduler
@@ -273,8 +287,8 @@ fn serve_threaded(
                     .metrics()
                     .accept_errors
                     .fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                std::thread::sleep(ACCEPT_BACKOFF.delay(backoff_seed, accept_failures));
+                accept_failures = accept_failures.saturating_add(1);
             }
         }
     }
@@ -678,7 +692,7 @@ fn handle_line(
     }
 }
 
-fn ok_response(id: Option<u64>, mut rest: Vec<(String, Json)>) -> Json {
+pub(crate) fn ok_response(id: Option<u64>, mut rest: Vec<(String, Json)>) -> Json {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id".to_string(), Json::u64(id)));

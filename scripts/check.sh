@@ -34,6 +34,13 @@
 #  10. c10k smoke: a bench_c10k run must hold a ladder of idle
 #      connections on the event-loop backend with O(workers) process
 #      threads and a non-degraded active-stream p99 at the top rung
+#  11. router smoke: a bench_router run spawns a real replicated cluster
+#      (rwr serve children) behind the version-aware router and must pass
+#      its hard gates — zero client-visible read errors while a replica
+#      is SIGKILLed, zero read-your-writes violations and zero
+#      acked-write loss across a NetFault partition plus automated
+#      primary failover, and hedged p99 strictly below unhedged p99
+#      against a chaos-delayed replica
 #
 # Every BENCH_*.json produced by the smoke runs is appended as one line
 # (run id, git rev, metric name→value map) to the committed
@@ -451,6 +458,12 @@ echo "==> bench_c10k smoke (thread-ceiling + idle-load p99 gates)"
 RESACC_BENCH_C10K_CONNS=50,200,500 RESACC_BENCH_C10K_QUERIES=60 \
 RESACC_BENCH_C10K_NODES=500 \
   target/release/bench_c10k "$SMOKE_DIR/BENCH_c10k.json" > /dev/null
+
+echo "==> bench_router smoke (replica-kill, failover zero-loss, hedging gates)"
+# bench_router spawns its own rwr cluster (children of the bench); the
+# env knobs shrink the streams, the gates stay at full strictness.
+RESACC_BENCH_ROUTER_REQUESTS=160 RESACC_BENCH_ROUTER_HEDGE_REQUESTS=200 \
+  target/release/bench_router "$SMOKE_DIR/BENCH_router.json" > /dev/null
 
 echo "==> appending bench results to BENCH_HISTORY.jsonl"
 for f in "$SMOKE_DIR"/BENCH_*.json; do
