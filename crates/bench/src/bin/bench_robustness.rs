@@ -175,6 +175,7 @@ fn main() {
         delay_every: 16,
         delay_ms: 5,
         expire_every: 7,
+        ..Default::default()
     };
     let expected_expired = (0..requests).filter(|id| id % 7 == 0).count() as u64;
     let expected_panics = (0..requests)

@@ -8,7 +8,7 @@ usage:
   rwr stats   --graph <file> [--symmetric]
   rwr convert --graph <file> --out <file.racg> [--symmetric]
   rwr serve   --graph <file> [--listen <addr>] [--workers <n>] [--cache <n>]
-  rwr router  --backends <a,b,...> [--listen <addr>] [router options]
+  rwr router  --backends <a,b,...> | --shard <ns=a,b,...> [router options]
   rwr loadgen --addr <addr> [--requests <n>] [--connections <n>] [--zipf <s>]
   rwr promote --addr <addr> [--fence <repl-addr>]
   rwr netfault --listen <addr> --addr <upstream> [--chaos <spec>]
@@ -41,7 +41,8 @@ serve options:
   --threads <n>                       intra-query threads per engine run
                                       (default 1; capped at cores/workers)
   --chaos <spec>                      fault injection, e.g. panic=10,
-                                      delay=16:5,expire=7,seed=42
+                                      delay=16:5,expire=7,cdelay=1:5,
+                                      seed=42
   --dynamic-eps <f>                   per-entry error budget for dynamic
                                       cache upgrades across edge mutations
                                       (default 0 = disabled; cached entries
@@ -102,7 +103,12 @@ netfault options:
 router options:
   --backends <a,b,...>                backend NDJSON addresses (primary +
                                       replicas, any order; roles are
-                                      discovered by probing)
+                                      discovered by probing); shorthand
+                                      for a single --shard *=a,b,...
+  --shard <ns1,ns2=a,b,...>           map tenant namespaces to one shard's
+                                      backend pool (repeatable; `*` is the
+                                      catch-all shard for namespaces no
+                                      other shard claims)
   --listen <addr>                     bind address (default 127.0.0.1:7171;
                                       port 0 picks an ephemeral port)
   --probe-interval-ms <n>             health-probe cadence (default 50)
@@ -135,6 +141,9 @@ client options (query/stats/promote with --addr, loadgen):
   --timeout-ms <n>                    connect/read timeout; a hung server
                                       fails the call typed instead of
                                       blocking forever (default 0 = wait)
+  --namespace <ns>                    tenant namespace the request targets
+                                      (default: omit the field, which the
+                                      server treats as \"default\")
 
 loadgen options:
   --addr <addr>                       server to target (default 127.0.0.1:7171)
@@ -153,6 +162,13 @@ loadgen options:
                                       deterministic delete_node mutations
                                       (default 0; exercises the upgrade
                                       fallback/invalidation path)
+  --namespaces <n>                    spread traffic over n tenants t0..
+                                      t{n-1}, creating and seeding them
+                                      first (default 1 = the stream is
+                                      byte-identical to pre-tenant runs;
+                                      overridden by --namespace)
+  --ns-skew <s>                       Zipf exponent of the tenant mix
+                                      (default 1.0; 0 = uniform)
   --chaos                             expect typed fault errors (report,
                                       don't fail, on shed/timeout/panic)
   --via-router                        router audit mode: queries after an
@@ -241,6 +257,17 @@ pub struct Cli {
     pub sync_acks: bool,
     pub sync_ack_timeout_ms: u64,
     pub auto_failover: bool,
+    /// Tenant namespace for client requests (query/stats/loadgen); `None`
+    /// omits the wire field, which servers treat as `default`.
+    pub namespace: Option<String>,
+    /// Loadgen tenant-mix width (1 = single-tenant stream, bit-identical
+    /// to pre-namespace runs).
+    pub namespaces: usize,
+    /// Zipf exponent of the loadgen tenant mix.
+    pub ns_skew: f64,
+    /// Raw `--shard ns1,ns2=addr1,addr2` specs for the router (parsed by
+    /// the service's shard-map grammar; `*` = catch-all).
+    pub shards: Vec<String>,
     /// `--addr` was given explicitly (switches query/stats to remote mode).
     pub addr_set: bool,
 }
@@ -316,6 +343,10 @@ impl Cli {
             sync_acks: true,
             sync_ack_timeout_ms: 1000,
             auto_failover: true,
+            namespace: None,
+            namespaces: 1,
+            ns_skew: 1.0,
+            shards: Vec::new(),
             addr_set: false,
         };
         let mut have_source = false;
@@ -448,6 +479,12 @@ impl Cli {
                 "--auto-failover" => {
                     cli.auto_failover = parse_switch(&value("--auto-failover")?, "--auto-failover")?
                 }
+                "--namespace" => cli.namespace = Some(value("--namespace")?),
+                "--namespaces" => {
+                    cli.namespaces = parse_num(&value("--namespaces")?, "--namespaces")?
+                }
+                "--ns-skew" => cli.ns_skew = parse_num(&value("--ns-skew")?, "--ns-skew")?,
+                "--shard" => cli.shards.push(value("--shard")?),
                 "--fsync" => {
                     cli.fsync = match value("--fsync")?.as_str() {
                         "always" => true,
@@ -473,8 +510,24 @@ impl Cli {
         {
             return Err("--graph is required".into());
         }
-        if command == Command::Router && cli.backends.is_empty() {
-            return Err("--backends is required for router".into());
+        if command == Command::Router && cli.backends.is_empty() && cli.shards.is_empty() {
+            return Err("router needs --backends or at least one --shard".into());
+        }
+        if command == Command::Router && !cli.backends.is_empty() && !cli.shards.is_empty() {
+            // --backends is sugar for a lone catch-all shard; mixing the two
+            // spellings would silently merge pools, so refuse.
+            return Err("use --backends or --shard, not both".into());
+        }
+        if cli.namespaces == 0 {
+            return Err("--namespaces must be at least 1".into());
+        }
+        if cli.ns_skew < 0.0 {
+            return Err("--ns-skew must be non-negative".into());
+        }
+        if let Some(ns) = &cli.namespace {
+            if ns.is_empty() {
+                return Err("--namespace must not be empty".into());
+            }
         }
         if cli.hedge_quantile > 1.0 {
             return Err("--hedge-quantile must be <= 1".into());
@@ -802,6 +855,42 @@ mod tests {
         assert!(parse("router --backends ,").is_err()); // empty list
         assert!(parse("router --backends a --sync-acks maybe").is_err());
         assert!(parse("router --backends a --hedge-quantile 1.5").is_err());
+    }
+
+    #[test]
+    fn tenant_flags() {
+        // Defaults: no namespace pin, single-tenant stream, no shard map.
+        let cli = parse("loadgen --addr 127.0.0.1:9").unwrap();
+        assert_eq!(cli.namespace, None);
+        assert_eq!(cli.namespaces, 1);
+        assert!((cli.ns_skew - 1.0).abs() < 1e-12);
+        assert!(cli.shards.is_empty());
+
+        let cli = parse("loadgen --addr 127.0.0.1:9 --namespaces 4 --ns-skew 0.5").unwrap();
+        assert_eq!(cli.namespaces, 4);
+        assert!((cli.ns_skew - 0.5).abs() < 1e-12);
+        let cli = parse("query --addr 127.0.0.1:9 --source 1 --namespace t1").unwrap();
+        assert_eq!(cli.namespace.as_deref(), Some("t1"));
+        let cli = parse("stats --addr 127.0.0.1:9 --namespace t2").unwrap();
+        assert_eq!(cli.namespace.as_deref(), Some("t2"));
+
+        assert!(parse("loadgen --namespaces 0").is_err());
+        assert!(parse("loadgen --ns-skew -1").is_err());
+        assert!(parse("loadgen --namespace").is_err());
+
+        // --shard is repeatable and replaces --backends.
+        let cli = parse(
+            "router --shard t0,t1=127.0.0.1:1,127.0.0.1:2 --shard *=127.0.0.1:3",
+        )
+        .unwrap();
+        assert_eq!(
+            cli.shards,
+            vec!["t0,t1=127.0.0.1:1,127.0.0.1:2", "*=127.0.0.1:3"]
+        );
+        assert!(cli.backends.is_empty());
+        // Exactly one of the two spellings.
+        assert!(parse("router --backends 127.0.0.1:1 --shard *=127.0.0.1:2").is_err());
+        assert!(parse("router").is_err());
     }
 
     #[test]

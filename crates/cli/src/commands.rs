@@ -151,8 +151,12 @@ pub fn pair(cli: &Cli) -> Result<(), String> {
 /// Remote `rwr query --addr`: send the query over NDJSON, print top-k.
 fn remote_query(cli: &Cli) -> Result<(), String> {
     use resacc_service::json::Json;
+    let ns_field = match cli.namespace.as_deref() {
+        Some(ns) => format!(",\"namespace\":\"{ns}\""),
+        None => String::new(),
+    };
     let request = format!(
-        "{{\"id\":1,\"op\":\"query\",\"source\":{},\"seed\":{},\"k\":{}}}\n",
+        "{{\"id\":1,\"op\":\"query\",\"source\":{},\"seed\":{},\"k\":{}{ns_field}}}\n",
         cli.source, cli.seed, cli.top
     );
     let response = client_exchange(cli, &request)?;
@@ -189,7 +193,11 @@ fn remote_query(cli: &Cli) -> Result<(), String> {
 /// target is a router).
 fn remote_stats(cli: &Cli) -> Result<(), String> {
     use resacc_service::json::Json;
-    let response = client_exchange(cli, "{\"id\":1,\"op\":\"stats\"}\n")?;
+    let request = match cli.namespace.as_deref() {
+        Some(ns) => format!("{{\"id\":1,\"op\":\"stats\",\"namespace\":\"{ns}\"}}\n"),
+        None => "{\"id\":1,\"op\":\"stats\"}\n".to_string(),
+    };
+    let response = client_exchange(cli, &request)?;
     if response.get("ok").and_then(Json::as_bool) != Some(true) {
         let detail = response
             .get("error")
@@ -244,20 +252,59 @@ pub fn convert(cli: &Cli) -> Result<(), String> {
 /// Prints `listening on <addr>` (flushed) before accepting, so a parent
 /// process using `--listen 127.0.0.1:0` can scrape the ephemeral port.
 pub fn serve(cli: &Cli) -> Result<(), String> {
-    use resacc::replication::{attach_hub, ReplicaClient, ReplicationHub, ReplicationServer};
+    use resacc::durability::{self, RecoveryStats};
+    use resacc::replication::{
+        attach_hub, NsResolver, ReplicaClient, ReplicationHub, ReplicationServer,
+        ReplicationStats,
+    };
+    use resacc_service::{TenantSeed, Tenants};
     use std::io::Write;
+    use std::sync::Arc;
+
+    let want_hub = cli.replication_listen.is_some();
+    let durability_opts = resacc::durability::DurabilityOptions {
+        fsync: cli.fsync,
+        snapshot_every: cli.snapshot_every,
+        group_commit: cli.group_commit_window.is_some(),
+        group_commit_window_ms: cli.group_commit_window.unwrap_or(0),
+    };
+    // Recovers (or freshly creates) one namespace directory into a tenant
+    // seed. Non-default namespaces start from an empty graph that
+    // `insert_edges` grows; the default tenant seeds from the graph file
+    // and is built separately below.
+    let open_tenant = {
+        let alpha = cli.alpha;
+        let epsilon = cli.epsilon;
+        move |dir: &std::path::Path| -> Result<TenantSeed, String> {
+            let recovered = durability::open_dir(dir, durability_opts, || {
+                Ok(resacc_graph::GraphBuilder::new(0).build())
+            })
+            .map_err(|e| format!("recovering {}: {e}", dir.display()))?;
+            let stats = recovered.stats;
+            let n = recovered.graph.num_nodes().max(2) as f64;
+            let params = RwrParams::new(alpha, epsilon, 1.0 / n, 1.0 / n);
+            let mut session =
+                resacc::RwrSession::from_recovered(recovered, params, ResAccConfig::default());
+            let hub = want_hub.then(|| {
+                let hub = Arc::new(ReplicationHub::new(session.version()));
+                attach_hub(&mut session, hub.clone());
+                hub
+            });
+            Ok(TenantSeed {
+                session: Arc::new(session),
+                hub,
+                repl_stats: None,
+                recovery: stats,
+            })
+        }
+    };
     // With --data-dir the durable state (snapshot + WAL) is authoritative;
     // the graph file only seeds a fresh, empty directory.
-    let (mut session, recovery) = match cli.data_dir.as_deref() {
+    let repl_stats = Arc::new(ReplicationStats::default());
+    let default_seed = match cli.data_dir.as_deref() {
         Some(dir) => {
-            let opts = resacc::durability::DurabilityOptions {
-                fsync: cli.fsync,
-                snapshot_every: cli.snapshot_every,
-                group_commit: cli.group_commit_window.is_some(),
-                group_commit_window_ms: cli.group_commit_window.unwrap_or(0),
-            };
             let recovered =
-                resacc::durability::open_dir(std::path::Path::new(dir), opts, || {
+                resacc::durability::open_dir(std::path::Path::new(dir), durability_opts, || {
                     load_graph(cli).map_err(std::io::Error::other).map_err(Into::into)
                 })
                 .map_err(|e| format!("recovering {dir}: {e}"))?;
@@ -271,46 +318,145 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
             let stats = recovered.stats;
             let n = recovered.graph.num_nodes().max(2) as f64;
             let params = RwrParams::new(cli.alpha, cli.epsilon, 1.0 / n, 1.0 / n);
-            let session =
+            let mut session =
                 resacc::RwrSession::from_recovered(recovered, params, ResAccConfig::default());
-            (session, stats)
+            let hub = want_hub.then(|| {
+                let hub = Arc::new(ReplicationHub::new(session.version()));
+                attach_hub(&mut session, hub.clone());
+                hub
+            });
+            TenantSeed {
+                session: Arc::new(session),
+                hub,
+                repl_stats: Some(repl_stats.clone()),
+                recovery: stats,
+            }
         }
         None => {
             let graph = load_graph(cli)?;
             let params = params_for(cli, &graph);
-            let session =
+            let mut session =
                 resacc::RwrSession::with_config(graph, params, ResAccConfig::default());
-            (session, resacc::durability::RecoveryStats::default())
+            let hub = want_hub.then(|| {
+                let hub = Arc::new(ReplicationHub::new(session.version()));
+                attach_hub(&mut session, hub.clone());
+                hub
+            });
+            TenantSeed {
+                session: Arc::new(session),
+                hub,
+                repl_stats: Some(repl_stats.clone()),
+                recovery: RecoveryStats::default(),
+            }
         }
     };
-    // The hub must be attached before the session is shared: the observer
-    // slot is construction-time state.
-    let hub = cli.replication_listen.as_ref().map(|_| {
-        let hub = std::sync::Arc::new(ReplicationHub::new(session.version()));
-        attach_hub(&mut session, hub.clone());
-        hub
-    });
-    let session = std::sync::Arc::new(session);
-    let repl_stats = std::sync::Arc::new(resacc::replication::ReplicationStats::default());
+    let threads_per_query = cli.threads.max(1);
+    let faults = match cli.chaos_spec.as_deref() {
+        Some(spec) => resacc_service::FaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
+        None => resacc_service::FaultPlan::default(),
+    };
+    let mut config = resacc_service::ServerConfig {
+        workers: cli.workers,
+        cache_capacity: cli.cache,
+        batch_max: cli.batch,
+        default_k: cli.top,
+        queue_cap: cli.queue_cap,
+        default_deadline_ms: cli.deadline_ms,
+        max_conns: cli.max_conns,
+        threads_per_query,
+        faults,
+        recovery: default_seed.recovery,
+        replication: None,
+        dynamic_eps: cli.dynamic_eps,
+        dynamic_delta: cli.dynamic_delta,
+        backend: if cli.backend == "threaded" {
+            resacc_service::ServerBackend::Threaded
+        } else {
+            resacc_service::ServerBackend::Event
+        },
+        ..resacc_service::ServerConfig::default()
+    };
+    // The tenant registry: the default tenant plus every manifest entry,
+    // with a factory that backs runtime create_namespace (durable per-ns
+    // directories when --data-dir is set, in-memory tenants otherwise).
+    let manifest_root = cli.data_dir.clone().map(std::path::PathBuf::from);
+    let factory: resacc_service::TenantFactory = match manifest_root.clone() {
+        Some(root) => {
+            Box::new(move |ns: &str| open_tenant(&durability::namespace_dir(&root, ns)))
+        }
+        None => Box::new(move |_ns: &str| {
+            // In-memory tenants start as empty graphs that insert_edges
+            // grows, same as the service's own single-tenant factory.
+            let mut session =
+                resacc::RwrSession::new(resacc_graph::GraphBuilder::new(0).build());
+            let hub = want_hub.then(|| {
+                let hub = Arc::new(ReplicationHub::new(session.version()));
+                attach_hub(&mut session, hub.clone());
+                hub
+            });
+            Ok(TenantSeed {
+                session: Arc::new(session),
+                hub,
+                repl_stats: None,
+                recovery: RecoveryStats::default(),
+            })
+        }),
+    };
+    let tenants = Arc::new(Tenants::new(
+        config.scheduler_config(),
+        factory,
+        manifest_root.clone(),
+    ));
+    tenants.install(durability::DEFAULT_NAMESPACE, default_seed);
+    if let Some(root) = &manifest_root {
+        for ns in durability::read_manifest(root)
+            .map_err(|e| format!("reading namespace manifest in {}: {e}", root.display()))?
+        {
+            let dir = durability::namespace_dir(root, &ns);
+            let seed = open_tenant(&dir)?;
+            println!(
+                "# recovered version {} from {}: {} snapshot(s) loaded, {} WAL record(s) replayed, {} B truncated",
+                seed.session.version(),
+                dir.display(),
+                seed.recovery.snapshots_loaded,
+                seed.recovery.wal_records_replayed,
+                seed.recovery.wal_truncated_bytes
+            );
+            tenants.install(&ns, seed);
+        }
+    }
     // The role is built before the replication listener so the listener's
     // fence hook can demote it when a newer epoch arrives.
-    let mut replication = None;
+    let mut replication: Option<Arc<resacc_service::ReplicationRole>> = None;
     if let Some(primary) = cli.replicate_from.as_deref() {
         // A replica of a primary that itself serves replication downstream
         // is valid (chained replication): applied records re-enter the hub
         // through the session observer like any other mutation.
+        let default_session = tenants.default_tenant().scheduler.session().clone();
         let client =
-            ReplicaClient::spawn(primary.to_string(), session.clone(), repl_stats.clone());
+            ReplicaClient::spawn(primary.to_string(), default_session, repl_stats.clone());
         println!("# replicating from {primary} (read-only until promote)");
-        replication = Some(std::sync::Arc::new(
-            resacc_service::ReplicationRole::replica(
-                primary.to_string(),
-                client,
-                repl_stats.clone(),
-            ),
+        let role = Arc::new(resacc_service::ReplicationRole::replica(
+            primary.to_string(),
+            client,
+            repl_stats.clone(),
         ));
+        // Recovered tenants resume their own streams immediately; tenants
+        // created on the primary later are picked up by the poller below.
+        for tenant in tenants.all() {
+            if tenant.name != durability::DEFAULT_NAMESPACE {
+                let client = ReplicaClient::spawn_ns(
+                    primary.to_string(),
+                    tenant.name.clone(),
+                    tenant.scheduler.session().clone(),
+                    tenant.repl_stats.clone(),
+                );
+                role.set_client(&tenant.name, client);
+            }
+        }
+        replication = Some(role);
     } else if cli.replication_listen.is_some() {
-        replication = Some(std::sync::Arc::new(resacc_service::ReplicationRole::primary(
+        replication = Some(Arc::new(resacc_service::ReplicationRole::primary(
             repl_stats.clone(),
         )));
     }
@@ -318,82 +464,124 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
     if let Some(listen) = cli.replication_listen.as_deref() {
         let listener = std::net::TcpListener::bind(listen)
             .map_err(|e| format!("binding replication listener {listen}: {e}"))?;
-        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let repl_addr = listener.local_addr().map_err(|e| e.to_string())?;
         let hook: resacc::replication::FenceHook = {
-            let session = session.clone();
+            let tenants = tenants.clone();
             let role = replication.clone().expect("role exists when listening");
-            let stats = repl_stats.clone();
-            std::sync::Arc::new(move |e: resacc::replication::FenceEvent| {
-                // A newer epoch fenced this node. Truncate the divergent
-                // unacknowledged WAL tail back to the leader's fork point,
-                // then rejoin as a replica of the new leader. If acked
-                // records would be lost, refuse: stay fenced and read-only
-                // until an operator intervenes.
-                let acked = stats.max_acked.load(std::sync::atomic::Ordering::SeqCst);
+            Arc::new(move |e: resacc::replication::FenceEvent| {
+                // A newer epoch fenced one tenant. Leadership moves per
+                // process, so the write role demotes on the first event
+                // (and again if the leader changes); each namespace then
+                // truncates its own divergent unacknowledged WAL tail back
+                // to the leader's fork point and rejoins as a replica. If
+                // acked records would be lost, the tenant refuses: it
+                // stays fenced and read-only until an operator intervenes.
+                let Some(tenant) = tenants.get(&e.namespace) else {
+                    return;
+                };
+                if !role.is_read_only()
+                    || (!e.leader.is_empty() && role.primary_addr() != e.leader)
+                {
+                    role.demote(e.epoch, e.leader.clone(), None);
+                }
+                let session = tenant.scheduler.session().clone();
+                let acked = tenant
+                    .repl_stats
+                    .max_acked
+                    .load(std::sync::atomic::Ordering::SeqCst);
                 match session.demote_to(e.leader_version, acked) {
                     Ok(dropped) => {
                         session.clear_fence();
-                        let client = (!e.leader.is_empty()).then(|| {
-                            ReplicaClient::spawn(
+                        if !e.leader.is_empty() {
+                            let client = ReplicaClient::spawn_ns(
                                 e.leader.clone(),
-                                session.clone(),
-                                stats.clone(),
-                            )
-                        });
-                        role.demote(e.epoch, e.leader.clone(), client);
+                                e.namespace.clone(),
+                                session,
+                                tenant.repl_stats.clone(),
+                            );
+                            role.set_client(&e.namespace, client);
+                        }
                         eprintln!(
-                            "# fenced at epoch {}: demoted to replica of {:?}, {} divergent record(s) truncated",
-                            e.epoch, e.leader, dropped
+                            "# fenced at epoch {} ({}): demoted to replica of {:?}, {} divergent record(s) truncated",
+                            e.epoch, e.namespace, e.leader, dropped
                         );
                     }
                     Err(err) => {
-                        role.demote(e.epoch, e.leader.clone(), None);
                         eprintln!(
-                            "# fenced at epoch {} but refusing to demote: {err}",
-                            e.epoch
+                            "# fenced at epoch {} ({}) but refusing to demote: {err}",
+                            e.epoch, e.namespace
                         );
                     }
                 }
             })
         };
+        let resolver: Arc<dyn NsResolver> = tenants.clone();
         repl_server = Some(
-            ReplicationServer::spawn_with_hook(
-                listener,
-                session.clone(),
-                hub.clone().expect("hub exists when listening"),
-                repl_stats.clone(),
-                Some(hook),
-            )
-            .map_err(|e| format!("replication listener: {e}"))?,
+            ReplicationServer::spawn_multi(listener, resolver, Some(hook))
+                .map_err(|e| format!("replication listener: {e}"))?,
         );
         if let Some(role) = &replication {
             // Announced as the leader by fence probes after a promotion.
-            role.set_self_addr(addr.to_string());
+            role.set_self_addr(repl_addr.to_string());
         }
-        println!("replication listening on {addr}");
+        println!("replication listening on {repl_addr}");
         std::io::stdout().flush().ok();
     }
-    let threads_per_query = cli.threads.max(1);
-    let faults = match cli.chaos_spec.as_deref() {
-        Some(spec) => resacc_service::FaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?,
-        None => resacc_service::FaultPlan::default(),
-    };
+    // A replica mirrors the primary's namespace *set*, not just its data:
+    // tenants created or dropped on the primary after the streams started
+    // appear here too, each with its own replication stream.
+    let ns_poll_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut ns_poller = None;
+    if cli.replicate_from.is_some() {
+        let tenants = tenants.clone();
+        let role = replication.clone().expect("replica role exists");
+        let stop = ns_poll_stop.clone();
+        ns_poller = std::thread::Builder::new()
+            .name("ns-poll".into())
+            .spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    // Promotion ends the follower's lifecycle mirroring.
+                    if !role.is_read_only() {
+                        return;
+                    }
+                    let target = role.primary_addr();
+                    if !target.is_empty() {
+                        if let Ok(remote) = resacc::replication::fetch_ns_list(&target) {
+                            sync_tenant_set(&tenants, &role, &target, &remote);
+                        }
+                    }
+                    for _ in 0..5 {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                }
+            })
+            .ok();
+    }
     let listener = std::net::TcpListener::bind(&cli.listen)
         .map_err(|e| format!("binding {}: {e}", cli.listen))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     {
+        let tenant = tenants.default_tenant();
+        let session = tenant.scheduler.session();
         let g = session.graph();
         println!(
-            "# serving {} nodes / {} edges with {} workers, cache {}, {} thread(s)/query",
+            "# serving {} nodes / {} edges with {} workers, cache {}, {} thread(s)/query{}",
             g.num_nodes(),
             g.num_edges(),
             cli.workers,
             cli.cache,
-            threads_per_query
+            threads_per_query,
+            match tenants.count() {
+                1 => String::new(),
+                n => format!(", {n} namespaces"),
+            }
         );
     }
-    if !faults.is_empty() {
-        println!("# CHAOS fault plan active: {faults}");
+    if !config.faults.is_empty() {
+        println!("# CHAOS fault plan active: {}", config.faults);
     }
     if cli.dynamic_eps > 0.0 {
         println!(
@@ -403,37 +591,58 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
     }
     println!("listening on {addr}");
     std::io::stdout().flush().ok();
-    let served = resacc_service::serve(
-        listener,
-        session,
-        resacc_service::ServerConfig {
-            workers: cli.workers,
-            cache_capacity: cli.cache,
-            batch_max: cli.batch,
-            default_k: cli.top,
-            queue_cap: cli.queue_cap,
-            default_deadline_ms: cli.deadline_ms,
-            max_conns: cli.max_conns,
-            threads_per_query,
-            faults,
-            recovery,
-            replication,
-            dynamic_eps: cli.dynamic_eps,
-            dynamic_delta: cli.dynamic_delta,
-            backend: if cli.backend == "threaded" {
-                resacc_service::ServerBackend::Threaded
-            } else {
-                resacc_service::ServerBackend::Event
-            },
-            ..resacc_service::ServerConfig::default()
-        },
-    )
-    .map_err(|e| format!("serve: {e}"));
+    config.replication = replication;
+    let served = resacc_service::serve_tenants(listener, tenants, config)
+        .map_err(|e| format!("serve: {e}"));
+    ns_poll_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(poller) = ns_poller {
+        poller.join().ok();
+    }
     // Stop shipping to replicas only after the front end has drained.
     if let Some(server) = repl_server {
         server.shutdown();
     }
     served
+}
+
+/// Mirrors the primary's namespace set onto a replica: creates missing
+/// tenants (each immediately attached to its own replication stream) and
+/// drops local tenants the primary no longer lists. Runs on the replica's
+/// `ns-poll` thread.
+fn sync_tenant_set(
+    tenants: &resacc_service::Tenants,
+    role: &resacc_service::ReplicationRole,
+    primary: &str,
+    remote: &[String],
+) {
+    use resacc::durability::DEFAULT_NAMESPACE;
+    use resacc::replication::ReplicaClient;
+    for ns in remote {
+        if ns != DEFAULT_NAMESPACE && tenants.get(ns).is_none() {
+            match tenants.create(ns) {
+                Ok(tenant) => {
+                    let client = ReplicaClient::spawn_ns(
+                        primary.to_string(),
+                        ns.clone(),
+                        tenant.scheduler.session().clone(),
+                        tenant.repl_stats.clone(),
+                    );
+                    role.set_client(ns, client);
+                    eprintln!("# namespace {ns:?} created to follow {primary}");
+                }
+                Err(err) => eprintln!("# namespace {ns:?} create: {err}"),
+            }
+        }
+    }
+    for ns in tenants.list() {
+        if ns != DEFAULT_NAMESPACE && !remote.contains(&ns) {
+            drop(role.remove_client(&ns));
+            match tenants.drop_ns(&ns) {
+                Ok(_) => eprintln!("# namespace {ns:?} dropped (dropped on primary)"),
+                Err(err) => eprintln!("# namespace {ns:?} drop: {err}"),
+            }
+        }
+    }
 }
 
 /// `rwr promote`: flip a running read replica to writable via its admin op.
@@ -524,7 +733,14 @@ pub fn netfault(cli: &Cli) -> Result<(), String> {
 /// `serve`, so a parent using `--listen 127.0.0.1:0` can scrape the port.
 pub fn router(cli: &Cli) -> Result<(), String> {
     use std::io::Write;
+    let shards = cli
+        .shards
+        .iter()
+        .map(|spec| resacc_service::router::ShardSpec::parse(spec))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("--shard: {e}"))?;
     let config = resacc_service::RouterConfig {
+        shards,
         probe_interval_ms: cli.probe_interval_ms,
         breaker_threshold: cli.breaker_threshold,
         breaker_cooldown_ms: cli.breaker_cooldown_ms,
@@ -543,11 +759,22 @@ pub fn router(cli: &Cli) -> Result<(), String> {
     let listener = std::net::TcpListener::bind(&cli.listen)
         .map_err(|e| format!("binding {}: {e}", cli.listen))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
-    println!(
-        "# routing over {} backend(s): {}",
-        config.backends.len(),
-        config.backends.join(", ")
-    );
+    if config.shards.is_empty() {
+        println!(
+            "# routing over {} backend(s): {}",
+            config.backends.len(),
+            config.backends.join(", ")
+        );
+    } else {
+        for shard in &config.shards {
+            println!(
+                "# shard {} over {} backend(s): {}",
+                shard.name(),
+                shard.backends.len(),
+                shard.backends.join(", ")
+            );
+        }
+    }
     println!("listening on {addr}");
     std::io::stdout().flush().ok();
     resacc_service::router::serve(listener, config).map_err(|e| format!("router: {e}"))
@@ -573,6 +800,9 @@ pub fn loadgen(cli: &Cli) -> Result<(), String> {
         shutdown_after: cli.shutdown_after,
         timeout_ms: cli.timeout_ms,
         via_router: cli.via_router,
+        namespaces: cli.namespaces,
+        ns_skew: cli.ns_skew,
+        namespace: cli.namespace.clone(),
     })
     .map_err(|e| format!("loadgen against {}: {e}", cli.addr))?;
     print!("{}", report.render_text());
@@ -673,6 +903,10 @@ mod tests {
             sync_acks: true,
             sync_ack_timeout_ms: 1000,
             auto_failover: true,
+            namespace: None,
+            namespaces: 1,
+            ns_skew: 1.0,
+            shards: Vec::new(),
             addr_set: false,
         }
     }

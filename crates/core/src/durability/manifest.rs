@@ -1,0 +1,204 @@
+//! Namespace manifest: the durable list of tenant namespaces in a data dir.
+//!
+//! Multi-tenant serving gives every namespace its own durability directory
+//! (`<data-dir>/ns-<name>/` — the `default` namespace keeps the data-dir
+//! root so single-tenant layouts from before namespaces existed recover
+//! unchanged). The manifest records which non-default namespaces are live so
+//! startup knows which directories to recover; a directory without a
+//! manifest entry is garbage from an aborted `create_namespace` and is
+//! ignored. Lifecycle durability is the manifest write itself:
+//! `create_namespace` / `drop_namespace` ack only after the manifest is
+//! fsynced into place (tmp file → fsync → rename → dir fsync, same recipe
+//! as snapshots), so an acked lifecycle op survives SIGKILL.
+//!
+//! Format (text, one token per line):
+//!
+//! ```text
+//! RSNS 1 <crc32-hex of the name lines>
+//! <name>
+//! <name>
+//! ```
+
+use super::{crc32, sync_dir, DurabilityError};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &str = "RSNS";
+const VERSION: u32 = 1;
+
+/// File name of the manifest inside a data dir.
+pub const MANIFEST_FILE: &str = "namespaces.manifest";
+
+/// The reserved namespace every server always has. It lives at the data-dir
+/// root and is never listed in the manifest (so pre-namespace layouts are
+/// valid single-tenant manifests by construction).
+pub const DEFAULT_NAMESPACE: &str = "default";
+
+/// Maximum accepted namespace name length.
+pub const MAX_NAMESPACE_LEN: usize = 64;
+
+/// Returns true if `name` is a legal namespace name: 1..=64 chars drawn from
+/// `[a-z0-9_-]`. The restriction exists because the name becomes a directory
+/// component (`ns-<name>`) and a wire-protocol token; path separators,
+/// uppercase (case-insensitive filesystems), and whitespace are all rejected
+/// at the door rather than quoted later.
+pub fn valid_namespace(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAMESPACE_LEN
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+}
+
+/// Directory that holds `ns`'s WAL/snapshots/epoch under `data_dir`.
+/// `default` maps to `data_dir` itself (pre-namespace layout compatibility);
+/// every other namespace gets `ns-<name>` (the prefix keeps tenant dirs from
+/// colliding with root-level files like `wal.log`).
+pub fn namespace_dir(data_dir: &Path, ns: &str) -> PathBuf {
+    if ns == DEFAULT_NAMESPACE {
+        data_dir.to_path_buf()
+    } else {
+        data_dir.join(format!("ns-{ns}"))
+    }
+}
+
+/// Reads the manifest, returning the sorted list of non-default namespaces.
+/// A missing manifest is an empty list (pre-namespace data dirs). A corrupt
+/// manifest is an error: silently dropping tenants would un-ack their data.
+pub fn read_manifest(data_dir: &Path) -> Result<Vec<String>, DurabilityError> {
+    let path = data_dir.join(MANIFEST_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(DurabilityError::Io(e)),
+    };
+    let corrupt = |what: &str| DurabilityError::Corrupt {
+        path: path.clone(),
+        detail: what.to_string(),
+    };
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| corrupt("empty file"))?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some(MAGIC) {
+        return Err(corrupt("bad magic"));
+    }
+    let ver: u32 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt("bad version"))?;
+    if ver != VERSION {
+        return Err(corrupt(&format!("unsupported version {ver}")));
+    }
+    let want: u32 = parts
+        .next()
+        .and_then(|c| u32::from_str_radix(c, 16).ok())
+        .ok_or_else(|| corrupt("bad checksum field"))?;
+    let body: Vec<&str> = lines.collect();
+    let got = crc32(body.join("\n").as_bytes());
+    if got != want {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut names = Vec::with_capacity(body.len());
+    for name in body {
+        if name.is_empty() {
+            continue;
+        }
+        if !valid_namespace(name) || name == DEFAULT_NAMESPACE {
+            return Err(corrupt(&format!("illegal namespace {name:?}")));
+        }
+        names.push(name.to_string());
+    }
+    names.sort();
+    names.dedup();
+    Ok(names)
+}
+
+/// Atomically replaces the manifest with `names` (non-default namespaces
+/// only; `default` entries are rejected). Durable on return.
+pub fn write_manifest(data_dir: &Path, names: &[String]) -> Result<(), DurabilityError> {
+    let mut sorted: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for name in &sorted {
+        if !valid_namespace(name) || *name == DEFAULT_NAMESPACE {
+            return Err(DurabilityError::Corrupt {
+                path: data_dir.join(MANIFEST_FILE),
+                detail: format!("refusing to write illegal namespace {name:?}"),
+            });
+        }
+    }
+    let body = sorted.join("\n");
+    let header = format!("{MAGIC} {VERSION} {:08x}\n", crc32(body.as_bytes()));
+    let tmp = data_dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let path = data_dir.join(MANIFEST_FILE);
+    let mut f = fs::File::create(&tmp).map_err(DurabilityError::Io)?;
+    f.write_all(header.as_bytes()).map_err(DurabilityError::Io)?;
+    f.write_all(body.as_bytes()).map_err(DurabilityError::Io)?;
+    f.sync_all().map_err(DurabilityError::Io)?;
+    drop(f);
+    fs::rename(&tmp, &path).map_err(DurabilityError::Io)?;
+    sync_dir(data_dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "resacc-manifest-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn missing_manifest_is_empty() {
+        let d = tmpdir("missing");
+        assert_eq!(read_manifest(&d).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn round_trip_sorts_and_dedups() {
+        let d = tmpdir("round");
+        write_manifest(&d, &["b".into(), "a".into(), "b".into()]).unwrap();
+        assert_eq!(read_manifest(&d).unwrap(), vec!["a".to_string(), "b".to_string()]);
+        write_manifest(&d, &[]).unwrap();
+        assert_eq!(read_manifest(&d).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error_not_empty() {
+        let d = tmpdir("corrupt");
+        write_manifest(&d, &["a".into()]).unwrap();
+        let path = d.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] = b'b'; // body "a" -> "b": checksum no longer matches
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(read_manifest(&d), Err(DurabilityError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn rejects_default_and_illegal_names() {
+        let d = tmpdir("illegal");
+        assert!(write_manifest(&d, &["default".into()]).is_err());
+        assert!(write_manifest(&d, &["A".into()]).is_err());
+        assert!(write_manifest(&d, &["a/b".into()]).is_err());
+        assert!(!valid_namespace(""));
+        assert!(!valid_namespace(&"x".repeat(65)));
+        assert!(valid_namespace("tenant-1_x"));
+    }
+
+    #[test]
+    fn namespace_dir_layout() {
+        let root = Path::new("/data");
+        assert_eq!(namespace_dir(root, "default"), PathBuf::from("/data"));
+        assert_eq!(namespace_dir(root, "t1"), PathBuf::from("/data/ns-t1"));
+    }
+}

@@ -65,10 +65,12 @@
 //! before the acknowledgement is written (`repl-pre-ack`).
 
 pub mod epoch;
+pub mod manifest;
 pub mod recovery;
 pub mod snapshot;
 pub mod wal;
 
+pub use manifest::{namespace_dir, read_manifest, valid_namespace, write_manifest, DEFAULT_NAMESPACE};
 pub use recovery::{open_dir, DurabilityOptions, Recovered, RecoveryStats};
 pub use snapshot::{load_snapshot, write_snapshot};
 pub use wal::Wal;

@@ -3,8 +3,8 @@
 //! path, ack only what is durable, and support promotion.
 
 use super::protocol::{
-    encode_hello, parse_u64, read_frame, write_frame, HEARTBEAT_EVERY, TAG_ACK, TAG_FENCED,
-    TAG_HEARTBEAT, TAG_HELLO, TAG_HELLO_OK, TAG_RECORD, TAG_SNAPSHOT,
+    encode_hello_ns, parse_ns_list, parse_u64, read_frame, write_frame, HEARTBEAT_EVERY, TAG_ACK,
+    TAG_FENCED, TAG_HEARTBEAT, TAG_HELLO, TAG_HELLO_OK, TAG_NS_LIST, TAG_RECORD, TAG_SNAPSHOT,
 };
 use super::ReplicationStats;
 use crate::durability::{crash_point, snapshot, wal};
@@ -67,6 +67,7 @@ struct ClientControl {
 /// indistinguishable from a primary's at the same version.
 pub struct ReplicaClient {
     primary: String,
+    namespace: String,
     session: Arc<RwrSession>,
     control: Arc<ClientControl>,
     thread: Option<std::thread::JoinHandle<()>>,
@@ -81,6 +82,19 @@ impl ReplicaClient {
         session: Arc<RwrSession>,
         stats: Arc<ReplicationStats>,
     ) -> ReplicaClient {
+        Self::spawn_ns(primary, "default".to_string(), session, stats)
+    }
+
+    /// [`ReplicaClient::spawn`] for one tenant namespace: the handshake
+    /// names `ns`, so a multi-tenant primary streams exactly that tenant's
+    /// records into `session`. `"default"` keeps the pre-namespace wire
+    /// bytes.
+    pub fn spawn_ns(
+        primary: String,
+        ns: String,
+        session: Arc<RwrSession>,
+        stats: Arc<ReplicationStats>,
+    ) -> ReplicaClient {
         let control = Arc::new(ClientControl {
             stop: AtomicBool::new(false),
             drain: AtomicBool::new(false),
@@ -89,19 +103,26 @@ impl ReplicaClient {
         });
         let thread = {
             let primary = primary.clone();
+            let ns = ns.clone();
             let session = session.clone();
             let control = control.clone();
             std::thread::Builder::new()
                 .name("repl-client".into())
-                .spawn(move || client_loop(&primary, &session, &stats, &control))
+                .spawn(move || client_loop(&primary, &ns, &session, &stats, &control))
                 .expect("spawn replica client thread")
         };
         ReplicaClient {
             primary,
+            namespace: ns,
             session,
             control,
             thread: Some(thread),
         }
+    }
+
+    /// The tenant namespace this replica streams.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
     }
 
     /// The primary address this replica follows.
@@ -158,6 +179,7 @@ fn done(control: &ClientControl) -> bool {
 
 fn client_loop(
     primary: &str,
+    ns: &str,
     session: &Arc<RwrSession>,
     stats: &Arc<ReplicationStats>,
     control: &Arc<ClientControl>,
@@ -177,7 +199,7 @@ fn client_loop(
                 connected_before = true;
                 attempt = 0;
                 control.connected.store(true, Ordering::Relaxed);
-                if let Err(_e) = run_stream(stream, session, stats, control) {
+                if let Err(_e) = run_stream(stream, ns, session, stats, control) {
                     if !done(control) {
                         // Counted, not printed: a flapping stream at 2 s
                         // backoff would otherwise spam stderr forever. The
@@ -227,6 +249,7 @@ fn check_epoch(frame_epoch: u64, session: &Arc<RwrSession>) -> io::Result<()> {
 /// stream dies, the client is stopped, or a drain completes.
 fn run_stream(
     mut stream: TcpStream,
+    ns: &str,
     session: &Arc<RwrSession>,
     stats: &Arc<ReplicationStats>,
     control: &Arc<ClientControl>,
@@ -234,7 +257,7 @@ fn run_stream(
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
 
-    let hello = encode_hello(wal::WAL_FORMAT, session.version(), "");
+    let hello = encode_hello_ns(wal::WAL_FORMAT, session.version(), "", ns);
     write_frame(&mut stream, TAG_HELLO, session.epoch(), &hello)?;
 
     let ok = read_frame(&mut stream)?;
@@ -376,6 +399,26 @@ fn ack(
         Ordering::Relaxed,
     );
     Ok(())
+}
+
+/// Asks the primary at `target` (its replication-listener address) which
+/// tenant namespaces it serves. Used by replicas to mirror
+/// `create_namespace` / `drop_namespace` lifecycle: per-namespace WAL
+/// streams carry one tenant's mutations each, so lifecycle changes travel
+/// through this poll instead.
+pub fn fetch_ns_list(target: &str) -> io::Result<Vec<String>> {
+    let mut stream = TcpStream::connect(target)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write_frame(&mut stream, TAG_NS_LIST, 0, &[])?;
+    let reply = read_frame(&mut stream)?;
+    if reply.tag != TAG_NS_LIST {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected NS_LIST reply",
+        ));
+    }
+    parse_ns_list(&reply.payload)
 }
 
 #[cfg(test)]

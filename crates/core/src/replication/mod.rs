@@ -59,10 +59,12 @@ pub mod netfault;
 mod protocol;
 pub mod server;
 
-pub use client::ReplicaClient;
+pub use client::{fetch_ns_list, ReplicaClient};
 pub use hub::ReplicationHub;
 pub use netfault::{NetFault, NetFaultPlan};
-pub use server::{fence_probe, FenceEvent, FenceHook, ReplicationServer};
+pub use server::{
+    fence_probe, fence_probe_ns, FenceEvent, FenceHook, NsResolver, NsTarget, ReplicationServer,
+};
 
 use crate::RwrSession;
 use std::sync::atomic::AtomicU64;

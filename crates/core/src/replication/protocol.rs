@@ -45,6 +45,13 @@ pub(crate) const TAG_ACK: u8 = 6;
 /// authoritative epoch rides in the frame header. Sent by a node refusing
 /// a handshake from a stale peer, and as the ack to a fence probe.
 pub(crate) const TAG_FENCED: u8 = 7;
+/// Both directions: namespace discovery. A replica opens a connection,
+/// sends this with an empty payload, and the primary replies with the same
+/// tag carrying [`encode_ns_list`] — the full set of tenant namespaces it
+/// serves. Replicas poll this to mirror `create_namespace` /
+/// `drop_namespace` lifecycle (per-namespace WAL streams only carry that
+/// one tenant's mutations, so lifecycle needs its own channel).
+pub(crate) const TAG_NS_LIST: u8 = 8;
 
 /// Catch-up plan in `HELLO_OK`: the replica's WAL-covered tail suffices.
 pub(crate) const PLAN_RECORDS: u8 = 0;
@@ -61,6 +68,10 @@ pub(crate) const FRAME_HEAD_LEN: usize = 1 + 8 + 4 + 4;
 /// Upper bound on the leader-address field in a HELLO payload. Addresses
 /// are `host:port` strings; anything longer is garbage, not a hostname.
 pub(crate) const MAX_LEADER_LEN: usize = 256;
+
+/// Upper bound on a namespace name on the wire (matches the durability
+/// manifest's limit).
+pub(crate) const MAX_NS_LEN: usize = 64;
 
 /// How often an idle primary emits heartbeats. The replica's read deadline
 /// is derived from this ([`client::READ_TIMEOUT`] = 10×), so a silent or
@@ -123,7 +134,7 @@ pub(crate) fn parse_u64(payload: &[u8], what: &str) -> io::Result<u64> {
     Ok(u64::from_le_bytes(bytes))
 }
 
-/// Decoded HELLO payload (see [`encode_hello`]).
+/// Decoded HELLO payload (see [`encode_hello_ns`]).
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) struct Hello {
     pub format: u16,
@@ -132,22 +143,44 @@ pub(crate) struct Hello {
     /// probe**: "a leader at this address now owns a higher epoch" — the
     /// epoch itself rides in the frame header.
     pub leader: String,
+    /// Tenant namespace this stream is for. Empty means `default`: a
+    /// pre-namespace peer's HELLO has no namespace suffix and decodes to
+    /// `""`, and a default-namespace HELLO is encoded without the suffix,
+    /// so single-tenant clusters speak bytes identical to before
+    /// namespaces existed.
+    pub namespace: String,
 }
 
-/// Encodes a HELLO payload:
+/// Encodes a HELLO payload for the default namespace:
 /// `format u16 | start_version u64 | leader_len u16 | leader utf8`.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn encode_hello(format: u16, start_version: u64, leader: &str) -> Vec<u8> {
+    encode_hello_ns(format, start_version, leader, "")
+}
+
+/// Encodes a HELLO payload, optionally namespaced:
+/// `format u16 | start_version u64 | leader_len u16 | leader utf8
+///  [ns_len u16 | ns utf8]`.
+/// The namespace suffix is omitted for `""`/`"default"`, keeping the bytes
+/// identical to the pre-namespace protocol for single-tenant clusters.
+pub(crate) fn encode_hello_ns(format: u16, start_version: u64, leader: &str, ns: &str) -> Vec<u8> {
     debug_assert!(leader.len() <= MAX_LEADER_LEN);
-    let mut buf = Vec::with_capacity(12 + leader.len());
+    debug_assert!(ns.len() <= MAX_NS_LEN);
+    let mut buf = Vec::with_capacity(14 + leader.len() + ns.len());
     buf.extend_from_slice(&format.to_le_bytes());
     buf.extend_from_slice(&start_version.to_le_bytes());
     buf.extend_from_slice(&(leader.len() as u16).to_le_bytes());
     buf.extend_from_slice(leader.as_bytes());
+    if !ns.is_empty() && ns != "default" {
+        buf.extend_from_slice(&(ns.len() as u16).to_le_bytes());
+        buf.extend_from_slice(ns.as_bytes());
+    }
     buf
 }
 
 /// Parses a HELLO payload. `InvalidData` on truncation, an oversized or
-/// short leader field, or non-UTF-8 leader bytes.
+/// short leader/namespace field, or non-UTF-8 bytes. A payload ending at
+/// the leader (the pre-namespace format) decodes with `namespace: ""`.
 pub(crate) fn parse_hello(payload: &[u8]) -> io::Result<Hello> {
     let bad = |detail: &str| io::Error::new(io::ErrorKind::InvalidData, format!("malformed hello frame: {detail}"));
     if payload.len() < 12 {
@@ -159,13 +192,78 @@ pub(crate) fn parse_hello(payload: &[u8]) -> io::Result<Hello> {
     if leader_len > MAX_LEADER_LEN {
         return Err(bad("leader address too long"));
     }
-    if payload.len() != 12 + leader_len {
+    if payload.len() < 12 + leader_len {
         return Err(bad("leader length disagrees with payload"));
     }
-    let leader = std::str::from_utf8(&payload[12..])
+    let leader = std::str::from_utf8(&payload[12..12 + leader_len])
         .map_err(|_| bad("leader address is not UTF-8"))?
         .to_string();
-    Ok(Hello { format, start_version, leader })
+    let rest = &payload[12 + leader_len..];
+    let namespace = if rest.is_empty() {
+        String::new()
+    } else {
+        if rest.len() < 2 {
+            return Err(bad("dangling namespace suffix"));
+        }
+        let ns_len = u16::from_le_bytes(rest[0..2].try_into().expect("2 bytes")) as usize;
+        if ns_len == 0 || ns_len > MAX_NS_LEN {
+            return Err(bad("namespace length out of range"));
+        }
+        if rest.len() != 2 + ns_len {
+            return Err(bad("namespace length disagrees with payload"));
+        }
+        std::str::from_utf8(&rest[2..])
+            .map_err(|_| bad("namespace is not UTF-8"))?
+            .to_string()
+    };
+    Ok(Hello { format, start_version, leader, namespace })
+}
+
+/// Encodes a NS_LIST payload: `count u16 | (len u16 | name utf8)*`.
+pub(crate) fn encode_ns_list(names: &[String]) -> Vec<u8> {
+    debug_assert!(names.len() <= u16::MAX as usize);
+    let mut buf = Vec::with_capacity(2 + names.iter().map(|n| 2 + n.len()).sum::<usize>());
+    buf.extend_from_slice(&(names.len() as u16).to_le_bytes());
+    for name in names {
+        debug_assert!(name.len() <= MAX_NS_LEN);
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+    }
+    buf
+}
+
+/// Parses a NS_LIST payload. `InvalidData` on truncation, trailing bytes,
+/// oversized names, or non-UTF-8.
+pub(crate) fn parse_ns_list(payload: &[u8]) -> io::Result<Vec<String>> {
+    let bad = |detail: &str| io::Error::new(io::ErrorKind::InvalidData, format!("malformed ns-list frame: {detail}"));
+    if payload.len() < 2 {
+        return Err(bad("too short"));
+    }
+    let count = u16::from_le_bytes(payload[0..2].try_into().expect("2 bytes")) as usize;
+    let mut at = 2usize;
+    let mut names = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        if payload.len() < at + 2 {
+            return Err(bad("truncated name length"));
+        }
+        let len = u16::from_le_bytes(payload[at..at + 2].try_into().expect("2 bytes")) as usize;
+        if len == 0 || len > MAX_NS_LEN {
+            return Err(bad("name length out of range"));
+        }
+        at += 2;
+        if payload.len() < at + len {
+            return Err(bad("truncated name"));
+        }
+        let name = std::str::from_utf8(&payload[at..at + len])
+            .map_err(|_| bad("name is not UTF-8"))?
+            .to_string();
+        at += len;
+        names.push(name);
+    }
+    if at != payload.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(names)
 }
 
 #[cfg(test)]
@@ -222,7 +320,12 @@ mod tests {
             let hello = parse_hello(&payload).unwrap();
             assert_eq!(
                 hello,
-                Hello { format: 1, start_version: 99, leader: leader.to_string() }
+                Hello {
+                    format: 1,
+                    start_version: 99,
+                    leader: leader.to_string(),
+                    namespace: String::new(),
+                }
             );
         }
         // Truncations at every prefix length are typed errors.
@@ -243,6 +346,57 @@ mod tests {
         let n = bad_utf8.len();
         bad_utf8[n - 1] = 0xFF;
         assert!(parse_hello(&bad_utf8).is_err());
+    }
+
+    #[test]
+    fn namespaced_hello_roundtrips_and_default_is_byte_identical() {
+        // "" and "default" both encode to the pre-namespace bytes.
+        assert_eq!(encode_hello_ns(1, 7, "h:1", ""), encode_hello(1, 7, "h:1"));
+        assert_eq!(encode_hello_ns(1, 7, "h:1", "default"), encode_hello(1, 7, "h:1"));
+        // A real namespace rides a suffix and round-trips.
+        let payload = encode_hello_ns(2, 11, "10.0.0.1:7000", "tenant-a");
+        let hello = parse_hello(&payload).unwrap();
+        assert_eq!(
+            hello,
+            Hello {
+                format: 2,
+                start_version: 11,
+                leader: "10.0.0.1:7000".to_string(),
+                namespace: "tenant-a".to_string(),
+            }
+        );
+        // Truncations inside the suffix are errors; truncation exactly at
+        // the pre-namespace boundary decodes as the old format (harmless:
+        // payloads arrive whole, CRC-validated).
+        let old_len = payload.len() - 2 - "tenant-a".len();
+        for len in old_len + 1..payload.len() {
+            assert!(parse_hello(&payload[..len]).is_err(), "truncation to {len}");
+        }
+        assert_eq!(parse_hello(&payload[..old_len]).unwrap().namespace, "");
+        // A lying namespace length is an error.
+        let mut lying = payload.clone();
+        let at = old_len;
+        lying[at..at + 2].copy_from_slice(&64u16.to_le_bytes());
+        assert!(parse_hello(&lying).is_err());
+    }
+
+    #[test]
+    fn ns_list_roundtrips_and_rejects_malformed() {
+        for names in [vec![], vec!["default".to_string()], vec!["a".to_string(), "tenant-b".to_string()]] {
+            let payload = encode_ns_list(&names);
+            assert_eq!(parse_ns_list(&payload).unwrap(), names);
+        }
+        let payload = encode_ns_list(&["default".to_string(), "t1".to_string()]);
+        for len in 0..payload.len() {
+            assert!(parse_ns_list(&payload[..len]).is_err(), "truncation to {len}");
+        }
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(parse_ns_list(&trailing).is_err());
+        let mut bad_utf8 = payload.clone();
+        let n = bad_utf8.len();
+        bad_utf8[n - 1] = 0xFF;
+        assert!(parse_ns_list(&bad_utf8).is_err());
     }
 
     /// Deterministic fuzz: arbitrary byte soup, truncations of valid
@@ -269,6 +423,7 @@ mod tests {
             }
             let _ = read_frame(&mut bytes.as_slice()); // must not panic
             let _ = parse_hello(&bytes);
+            let _ = parse_ns_list(&bytes);
             let _ = parse_u64(&bytes, "fuzz");
         }
         // Every truncation and every single-bit flip of a valid frame.

@@ -5,9 +5,9 @@
 
 use super::hub::{Published, ReplicationHub};
 use super::protocol::{
-    encode_hello, parse_hello, read_frame, write_frame, HEARTBEAT_EVERY, PLAN_RECORDS,
-    PLAN_SNAPSHOT, TAG_ACK, TAG_FENCED, TAG_HEARTBEAT, TAG_HELLO, TAG_HELLO_OK, TAG_RECORD,
-    TAG_SNAPSHOT,
+    encode_hello_ns, encode_ns_list, parse_hello, read_frame, write_frame, HEARTBEAT_EVERY,
+    PLAN_RECORDS, PLAN_SNAPSHOT, TAG_ACK, TAG_FENCED, TAG_HEARTBEAT, TAG_HELLO, TAG_HELLO_OK,
+    TAG_NS_LIST, TAG_RECORD, TAG_SNAPSHOT,
 };
 use super::ReplicationStats;
 use crate::durability::{snapshot, wal};
@@ -37,6 +37,54 @@ pub struct FenceEvent {
     /// refused if acknowledged); everything at or below it is shared
     /// prefix, replicated to the leader before it won.
     pub leader_version: u64,
+    /// Tenant namespace the fence applies to (`"default"` on
+    /// single-tenant clusters). Epochs are per-namespace — each tenant's
+    /// durability directory holds its own epoch file — so a fence demotes
+    /// one tenant's session; the hook decides whether that also demotes
+    /// the whole process's write role (the service does, since leadership
+    /// moves per process).
+    pub namespace: String,
+}
+
+/// One tenant's replication endpoint: the session records are applied to,
+/// the hub its mutation observer publishes into, and the stats that
+/// tenant's lag/acks are tracked in.
+#[derive(Clone)]
+pub struct NsTarget {
+    /// The tenant's session (records are applied to it; its durability
+    /// store provides catch-up).
+    pub session: Arc<RwrSession>,
+    /// The hub that tenant's mutation observer publishes into.
+    pub hub: Arc<ReplicationHub>,
+    /// Per-tenant replication stats (lag, acks, bytes shipped).
+    pub stats: Arc<ReplicationStats>,
+}
+
+/// Maps a namespace name from a replica's handshake to its [`NsTarget`].
+/// One replication listener serves every tenant; the HELLO says which one
+/// a given connection streams. Implemented by the service layer's tenant
+/// registry (and by [`SingleNs`] for single-tenant spawns).
+pub trait NsResolver: Send + Sync {
+    /// `ns` is already normalized (`""` ⇒ `"default"` happens before the
+    /// call). `None` closes the handshake — the replica retries, and its
+    /// namespace poller reconciles creations/drops.
+    fn resolve(&self, ns: &str) -> Option<NsTarget>;
+    /// Every namespace this node serves (including `default`), for
+    /// [`TAG_NS_LIST`] discovery.
+    fn list(&self) -> Vec<String>;
+}
+
+/// Resolver for the pre-namespace spawn paths: exactly one tenant,
+/// answering to `default`.
+struct SingleNs(NsTarget);
+
+impl NsResolver for SingleNs {
+    fn resolve(&self, ns: &str) -> Option<NsTarget> {
+        (ns == "default").then(|| self.0.clone())
+    }
+    fn list(&self) -> Vec<String> {
+        vec!["default".to_string()]
+    }
 }
 
 /// Called (on a connection thread) when this node fences itself. The
@@ -78,13 +126,25 @@ impl ReplicationServer {
         stats: Arc<ReplicationStats>,
         fence_hook: Option<FenceHook>,
     ) -> io::Result<ReplicationServer> {
+        let resolver: Arc<dyn NsResolver> = Arc::new(SingleNs(NsTarget { session, hub, stats }));
+        Self::spawn_multi(listener, resolver, fence_hook)
+    }
+
+    /// Multi-tenant spawn: handshakes name a namespace and `resolver` maps
+    /// it to that tenant's session/hub/stats. The single-tenant `spawn*`
+    /// entry points wrap this with a one-entry resolver.
+    pub fn spawn_multi(
+        listener: TcpListener,
+        resolver: Arc<dyn NsResolver>,
+        fence_hook: Option<FenceHook>,
+    ) -> io::Result<ReplicationServer> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
         let thread = std::thread::Builder::new()
             .name("repl-accept".into())
-            .spawn(move || accept_loop(listener, session, hub, stats, flag, fence_hook))?;
+            .spawn(move || accept_loop(listener, resolver, flag, fence_hook))?;
         Ok(ReplicationServer {
             addr,
             shutdown,
@@ -118,9 +178,7 @@ impl Drop for ReplicationServer {
 
 fn accept_loop(
     listener: TcpListener,
-    session: Arc<RwrSession>,
-    hub: Arc<ReplicationHub>,
-    stats: Arc<ReplicationStats>,
+    resolver: Arc<dyn NsResolver>,
     shutdown: Arc<AtomicBool>,
     fence_hook: Option<FenceHook>,
 ) {
@@ -130,15 +188,13 @@ fn accept_loop(
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let session = session.clone();
-                let hub = hub.clone();
-                let stats = stats.clone();
+                let resolver = resolver.clone();
                 let shutdown = shutdown.clone();
                 let fence_hook = fence_hook.clone();
                 std::thread::Builder::new()
                     .name("repl-conn".into())
                     .spawn(move || {
-                        let _ = handle_replica(stream, &session, &hub, &stats, &shutdown, &fence_hook);
+                        let _ = handle_replica(stream, &resolver, &shutdown, &fence_hook);
                     })
                     .ok();
             }
@@ -178,14 +234,12 @@ impl From<crate::durability::DurabilityError> for PlanError {
 
 fn handle_replica(
     mut stream: TcpStream,
-    session: &Arc<RwrSession>,
-    hub: &Arc<ReplicationHub>,
-    stats: &Arc<ReplicationStats>,
+    resolver: &Arc<dyn NsResolver>,
     shutdown: &Arc<AtomicBool>,
     fence_hook: &Option<FenceHook>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    let result = replica_conversation(&mut stream, session, hub, stats, shutdown, fence_hook);
+    let result = replica_conversation(&mut stream, resolver, shutdown, fence_hook);
     // Unblock the ack-reader thread's clone of this socket.
     stream.shutdown(Shutdown::Both).ok();
     result
@@ -193,15 +247,20 @@ fn handle_replica(
 
 fn replica_conversation(
     stream: &mut TcpStream,
-    session: &Arc<RwrSession>,
-    hub: &Arc<ReplicationHub>,
-    stats: &Arc<ReplicationStats>,
+    resolver: &Arc<dyn NsResolver>,
     shutdown: &Arc<AtomicBool>,
     fence_hook: &Option<FenceHook>,
 ) -> io::Result<()> {
     // Handshake: what the replica holds, and which WAL format it speaks.
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let frame = read_frame(stream)?;
+    // Namespace discovery: answer and close. Epoch 0 in the reply header —
+    // the list spans tenants, each with its own epoch, so no single value
+    // is authoritative here.
+    if frame.tag == TAG_NS_LIST {
+        write_frame(stream, TAG_NS_LIST, 0, &encode_ns_list(&resolver.list()))?;
+        return Ok(());
+    }
     if frame.tag != TAG_HELLO {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -209,6 +268,16 @@ fn replica_conversation(
         ));
     }
     let hello = parse_hello(&frame.payload)?;
+    let ns = if hello.namespace.is_empty() { "default" } else { hello.namespace.as_str() };
+    let Some(NsTarget { session, hub, stats }) = resolver.resolve(ns) else {
+        // Unknown tenant: close. The replica's reconnect loop retries and
+        // its namespace poller creates/drops tenants to converge.
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("unknown namespace {ns:?}"),
+        ));
+    };
+    let (session, hub, stats) = (&session, &hub, &stats);
     if hello.format != wal::WAL_FORMAT {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -237,6 +306,7 @@ fn replica_conversation(
                     epoch: frame.epoch,
                     leader: hello.leader.clone(),
                     leader_version: hello.start_version,
+                    namespace: ns.to_string(),
                 });
             }
         }
@@ -252,6 +322,7 @@ fn replica_conversation(
                 epoch: frame.epoch,
                 leader: String::new(),
                 leader_version: 0,
+                namespace: ns.to_string(),
             });
         }
         write_frame(stream, TAG_FENCED, session.epoch(), &[])?;
@@ -407,10 +478,22 @@ fn spawn_ack_reader(
 /// and must not keep claiming leadership), and `Err` on transport
 /// failures (target unreachable — retry later).
 pub fn fence_probe(target: &str, epoch: u64, leader_version: u64, leader: &str) -> io::Result<bool> {
+    fence_probe_ns(target, "default", epoch, leader_version, leader)
+}
+
+/// [`fence_probe`] for one tenant namespace: fences `ns` on the target
+/// (default-namespace probes keep the pre-namespace wire bytes).
+pub fn fence_probe_ns(
+    target: &str,
+    ns: &str,
+    epoch: u64,
+    leader_version: u64,
+    leader: &str,
+) -> io::Result<bool> {
     let mut stream = TcpStream::connect(target)?;
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let hello = encode_hello(wal::WAL_FORMAT, leader_version, leader);
+    let hello = encode_hello_ns(wal::WAL_FORMAT, leader_version, leader, ns);
     write_frame(&mut stream, TAG_HELLO, epoch, &hello)?;
     let reply = read_frame(&mut stream)?;
     if reply.tag != TAG_FENCED {

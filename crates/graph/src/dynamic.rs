@@ -36,9 +36,21 @@ pub fn delete_edges(graph: &CsrGraph, edges: &[(NodeId, NodeId)]) -> CsrGraph {
 }
 
 /// Returns a new graph with extra directed edges inserted.
+///
+/// Endpoints beyond the current node-id space **grow** the graph: the new
+/// node count is `max(old_n, max_endpoint + 1)`, with the fresh ids born
+/// isolated except for the inserted edges. Growth is deterministic (a pure
+/// function of the op), so WAL replay and replication apply it
+/// bit-identically — this is what lets a namespace start from an empty
+/// graph and be populated entirely through `insert_edges`.
 pub fn insert_edges(graph: &CsrGraph, edges: &[(NodeId, NodeId)]) -> CsrGraph {
-    let mut b =
-        GraphBuilder::new(graph.num_nodes()).with_edge_capacity(graph.num_edges() + edges.len());
+    let grown = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0)
+        .max(graph.num_nodes());
+    let mut b = GraphBuilder::new(grown).with_edge_capacity(graph.num_edges() + edges.len());
     for e in graph.edges() {
         b.add_edge(e.0, e.1);
     }
@@ -69,6 +81,19 @@ mod tests {
         assert_eq!(g2.num_edges(), 3);
         assert!(!g2.has_edge(0, 1));
         assert!(g2.has_edge(1, 2));
+    }
+
+    #[test]
+    fn insert_edges_grows_node_space() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        let g2 = insert_edges(&g, &[(0, 5), (3, 1)]);
+        assert_eq!(g2.num_nodes(), 6);
+        assert_eq!(g2.num_edges(), 2);
+        assert!(g2.has_edge(0, 5));
+        assert_eq!(g2.out_degree(4), 0); // born isolated
+        let g3 = insert_edges(&g2, &[(2, 2)]); // within range: count unchanged
+        assert_eq!(g3.num_nodes(), 6);
     }
 
     #[test]

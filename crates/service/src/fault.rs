@@ -33,12 +33,24 @@ pub struct FaultPlan {
     pub delay_ms: u64,
     /// Force the deadline already-expired on every `expire_every`-th id.
     pub expire_every: u64,
+    /// Serialize every `commit_every`-th mutation (process-wide count)
+    /// through the node's [`commit_gate`] for `commit_ms` — emulates a
+    /// node whose tenants share one WAL/commit device, so mutation
+    /// throughput is bounded per process rather than per tenant. This is
+    /// the knob capacity benchmarks use to make "add a primary" mean
+    /// "add commit bandwidth" on a single host.
+    pub commit_every: u64,
+    /// Commit-device latency applied by `commit_every`.
+    pub commit_ms: u64,
 }
 
 impl FaultPlan {
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.panic_every == 0 && self.delay_every == 0 && self.expire_every == 0
+        self.panic_every == 0
+            && self.delay_every == 0
+            && self.expire_every == 0
+            && self.commit_every == 0
     }
 
     /// Should this request panic inside the worker?
@@ -57,11 +69,34 @@ impl FaultPlan {
         self.expire_every != 0 && id.is_multiple_of(self.expire_every)
     }
 
+    /// Pays for this mutation's slot on the node's emulated commit
+    /// device, if the plan meters commits. Mutations are counted
+    /// process-wide (every tenant shares the device, like they share a
+    /// WAL disk), and selected ones hold the gate for `commit_ms` — so
+    /// concurrent commits queue behind each other exactly as fsyncs on
+    /// one spindle do. A no-op when `commit_every` is 0.
+    pub fn commit_gate(&self) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
+        if self.commit_every == 0 {
+            return;
+        }
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        static GATE: Mutex<()> = Mutex::new(());
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(self.commit_every) {
+            let _device = GATE.lock().unwrap_or_else(|e| e.into_inner());
+            std::thread::sleep(Duration::from_millis(self.commit_ms));
+        }
+    }
+
     /// Parses a spec like `panic=10,delay=16:5,expire=7,seed=42`.
     ///
     /// * `panic=N` — panic every `N`-th id
     /// * `delay=N:MS` — sleep `MS` ms every `N`-th id
     /// * `expire=N` — force deadline expiry every `N`-th id
+    /// * `cdelay=N:MS` — meter every `N`-th commit at `MS` ms on the
+    ///   process-wide gate
     /// * `seed=S` — replay label
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
@@ -83,6 +118,13 @@ impl FaultPlan {
                     plan.delay_ms = int(ms)?;
                 }
                 "expire" => plan.expire_every = int(value)?,
+                "cdelay" => {
+                    let (every, ms) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("cdelay wants N:MS, got {value:?}"))?;
+                    plan.commit_every = int(every)?;
+                    plan.commit_ms = int(ms)?;
+                }
                 "seed" => plan.seed = int(value)?,
                 other => return Err(format!("unknown fault spec key: {other:?}")),
             }
@@ -102,6 +144,9 @@ impl std::fmt::Display for FaultPlan {
         }
         if self.expire_every != 0 {
             parts.push(format!("expire={}", self.expire_every));
+        }
+        if self.commit_every != 0 {
+            parts.push(format!("cdelay={}:{}", self.commit_every, self.commit_ms));
         }
         if self.seed != 0 {
             parts.push(format!("seed={}", self.seed));
@@ -144,7 +189,7 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        let p = FaultPlan::parse("panic=10,delay=16:5,expire=7,seed=42").unwrap();
+        let p = FaultPlan::parse("panic=10,delay=16:5,expire=7,cdelay=3:2,seed=42").unwrap();
         assert_eq!(
             p,
             FaultPlan {
@@ -153,6 +198,8 @@ mod tests {
                 delay_every: 16,
                 delay_ms: 5,
                 expire_every: 7,
+                commit_every: 3,
+                commit_ms: 2,
             }
         );
         assert_eq!(FaultPlan::parse(&p.to_string()).unwrap(), p);
@@ -164,6 +211,43 @@ mod tests {
         assert!(FaultPlan::parse("panic").is_err());
         assert!(FaultPlan::parse("panic=x").is_err());
         assert!(FaultPlan::parse("delay=10").is_err());
+        assert!(FaultPlan::parse("cdelay=10").is_err());
         assert!(FaultPlan::parse("bogus=1").is_err());
+    }
+
+    #[test]
+    fn unmetered_commit_gate_is_free() {
+        let p = FaultPlan::default();
+        let start = std::time::Instant::now();
+        for _ in 0..10_000 {
+            p.commit_gate();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn metered_commits_serialize_across_threads() {
+        // Two threads × 3 metered commits at 5 ms share one gate: the
+        // wall clock must show serialization (≥ 6 × 5 ms), which is the
+        // whole point — per-process, not per-thread, commit bandwidth.
+        let p = FaultPlan {
+            commit_every: 1,
+            commit_ms: 5,
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..3 {
+                        p.commit_gate();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(30));
     }
 }

@@ -50,6 +50,7 @@ pub mod replication;
 pub mod router;
 pub mod scheduler;
 pub mod server;
+pub mod tenants;
 
 pub use cache::{CompKey, ResultCache};
 pub use fault::FaultPlan;
@@ -60,7 +61,8 @@ pub use scheduler::{
     effective_seed, splitmix64, threads_per_query_budget, ErrorKind, QueryRequest, QueryResponse,
     Scheduler, SchedulerConfig, ServiceError,
 };
-pub use server::{serve, spawn, ServerBackend, ServerConfig, ServerHandle};
+pub use server::{serve, serve_tenants, spawn, ServerBackend, ServerConfig, ServerHandle};
+pub use tenants::{Tenant, TenantFactory, TenantSeed, Tenants};
 
 use resacc::resacc::ResAccConfig;
 use resacc::RwrParams;

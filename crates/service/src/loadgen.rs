@@ -20,6 +20,7 @@
 use crate::json::Json;
 use crate::metrics::Histogram;
 use crate::scheduler::splitmix64;
+use resacc::durability::DEFAULT_NAMESPACE;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,8 +83,22 @@ pub struct LoadgenConfig {
     /// same connection carry `min_version` = that write's version
     /// (read-your-writes through the router's version-aware balancing),
     /// and responses are audited — a non-`stale` reply below
-    /// `min_version` counts as a violation.
+    /// `min_version` counts as a violation (tracked per tenant).
     pub via_router: bool,
+    /// Number of tenants to spread traffic over. `1` (the default) keeps
+    /// the request stream byte-identical to the pre-namespace generator:
+    /// no tenant draw happens and no `namespace` field is sent. `N > 1`
+    /// targets tenants `t0..t{N-1}` (created and seeded on first use)
+    /// with a Zipfian mix over `ns_skew`.
+    pub namespaces: usize,
+    /// Zipf exponent for the tenant mix (0 = uniform over tenants; ~1 =
+    /// one hot tenant and a long tail). Only drawn when `namespaces > 1`,
+    /// so the single-tenant stream is unchanged.
+    pub ns_skew: f64,
+    /// Pin every request to one named tenant (created and seeded on
+    /// first use). Mutually exclusive with `namespaces > 1`; the stream
+    /// is the single-tenant stream plus the `namespace` field.
+    pub namespace: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -105,6 +120,9 @@ impl Default for LoadgenConfig {
             shutdown_after: false,
             timeout_ms: 0,
             via_router: false,
+            namespaces: 1,
+            ns_skew: 1.0,
+            namespace: None,
         }
     }
 }
@@ -141,7 +159,16 @@ pub struct LoadgenReport {
     pub min_version_violations: u64,
     /// Highest version any acked mutation reported (`--via-router`);
     /// the zero-acked-write-loss gate compares survivors against this.
+    /// With a tenant mix this is the max across tenants — use
+    /// [`LoadgenReport::max_acked_by_ns`] for the per-tenant watermark.
     pub max_acked_version: u64,
+    /// Highest acked mutation version per tenant (`--via-router` with a
+    /// tenant mix); empty otherwise.
+    pub max_acked_by_ns: Vec<(String, u64)>,
+    /// Typed `unknown_namespace` responses (misrouted tenant).
+    pub unknown_namespace: u64,
+    /// Typed `namespace_dropped` responses (tenant dropped mid-flight).
+    pub namespace_dropped: u64,
     /// Time from sending `shutdown` to the listener going away,
     /// milliseconds. Only set when `shutdown_after` was requested.
     pub drain_ms: Option<f64>,
@@ -196,6 +223,12 @@ impl LoadgenReport {
                 "router      {:>10} net timeouts / {} unavailable / {} in_doubt / {} stale / {} min_version violations\n",
                 self.net_timeouts, self.unavailable, self.in_doubt, self.stale,
                 self.min_version_violations,
+            ));
+        }
+        if self.unknown_namespace + self.namespace_dropped > 0 {
+            out.push_str(&format!(
+                "tenants     {:>10} unknown_namespace / {} namespace_dropped\n",
+                self.unknown_namespace, self.namespace_dropped,
             ));
         }
         if let Some(drain) = self.drain_ms {
@@ -278,16 +311,70 @@ fn connect_with_timeout(addr: &str, timeout_ms: u64) -> std::io::Result<TcpStrea
     Ok(stream)
 }
 
-/// Asks the server how many nodes the graph has (`stats` op).
-fn fetch_nodes(addr: &str, timeout_ms: u64) -> std::io::Result<u64> {
+/// Asks the server how many nodes the tenant's graph has (`stats` op).
+fn fetch_nodes(addr: &str, ns: &str, timeout_ms: u64) -> std::io::Result<u64> {
     let mut stream = connect_with_timeout(addr, timeout_ms)?;
-    stream.write_all(b"{\"op\":\"stats\"}\n")?;
+    let request = if ns == DEFAULT_NAMESPACE {
+        "{\"op\":\"stats\"}\n".to_string()
+    } else {
+        format!("{{\"op\":\"stats\",\"namespace\":\"{ns}\"}}\n")
+    };
+    stream.write_all(request.as_bytes())?;
     let mut line = String::new();
     BufReader::new(&stream).read_line(&mut line)?;
     Json::parse(line.trim())
         .ok()
         .and_then(|j| j.get("nodes").and_then(Json::as_u64))
         .ok_or_else(|| std::io::Error::other("bad stats response"))
+}
+
+/// How many nodes a fresh tenant is seeded with (a directed ring, so
+/// every source is valid and reaches the whole graph).
+const SEED_RING: u64 = 64;
+
+/// Makes sure tenant `ns` exists and has a graph to query: creates it if
+/// missing (an "already exists" answer is success) and seeds an empty
+/// graph with a deterministic [`SEED_RING`]-node ring. Returns the
+/// tenant's node count.
+fn ensure_tenant(addr: &str, ns: &str, timeout_ms: u64) -> std::io::Result<u64> {
+    let mut stream = connect_with_timeout(addr, timeout_ms)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut exchange = |line: String| -> std::io::Result<Json> {
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        let mut resp = String::new();
+        if reader.read_line(&mut resp)? == 0 {
+            return Err(std::io::Error::other("connection closed during tenant setup"));
+        }
+        Json::parse(resp.trim()).map_err(std::io::Error::other)
+    };
+    let created = exchange(format!("{{\"op\":\"create_namespace\",\"namespace\":\"{ns}\"}}"))?;
+    if created.get("ok").and_then(Json::as_bool) != Some(true) {
+        let rendered = created.render();
+        if !rendered.contains("already exists") {
+            return Err(std::io::Error::other(format!(
+                "create_namespace {ns}: {rendered}"
+            )));
+        }
+    }
+    let nodes = fetch_nodes(addr, ns, timeout_ms)?;
+    if nodes >= 2 {
+        return Ok(nodes);
+    }
+    let edges: Vec<String> = (0..SEED_RING)
+        .map(|i| format!("[{},{}]", i, (i + 1) % SEED_RING))
+        .collect();
+    let seeded = exchange(format!(
+        "{{\"op\":\"insert_edges\",\"namespace\":\"{ns}\",\"edges\":[{}]}}",
+        edges.join(",")
+    ))?;
+    if seeded.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(std::io::Error::other(format!(
+            "seeding tenant {ns}: {}",
+            seeded.render()
+        )));
+    }
+    fetch_nodes(addr, ns, timeout_ms)
 }
 
 /// Fetches (hit_rate, coalesced) from the server.
@@ -310,7 +397,43 @@ fn fetch_cache_stats(addr: &str, timeout_ms: u64) -> (f64, u64) {
 /// Runs the load and reports client-side latency plus server-side cache
 /// effectiveness.
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
-    let n = fetch_nodes(&config.addr, config.timeout_ms)?;
+    // Tenant targets: the default (or pinned) tenant, or `t0..t{N-1}`
+    // under a Zipfian mix. Non-default tenants are created and seeded up
+    // front so every request stream hits a live graph.
+    let tenants: Vec<String> = match (&config.namespace, config.namespaces) {
+        (Some(ns), _) => vec![ns.clone()],
+        (None, n) if n > 1 => (0..n).map(|i| format!("t{i}")).collect(),
+        _ => vec![DEFAULT_NAMESPACE.to_string()],
+    };
+    let mut nodes_by_tenant = Vec::with_capacity(tenants.len());
+    for ns in &tenants {
+        let nodes = if ns == DEFAULT_NAMESPACE {
+            fetch_nodes(&config.addr, ns, config.timeout_ms)?
+        } else {
+            ensure_tenant(&config.addr, ns, config.timeout_ms)?
+        };
+        nodes_by_tenant.push(nodes);
+    }
+    // Pre-rendered `,"namespace":"..."` suffixes; empty for the default
+    // tenant, so the single-tenant request stream is byte-identical to
+    // the pre-namespace generator.
+    let ns_fields: Vec<String> = tenants
+        .iter()
+        .map(|ns| {
+            if ns == DEFAULT_NAMESPACE {
+                String::new()
+            } else {
+                format!(",\"namespace\":\"{ns}\"")
+            }
+        })
+        .collect();
+    let ns_zipf = Zipf::new(tenants.len() as u32, config.ns_skew);
+    let tenants = Arc::new(tenants);
+    let nodes_by_tenant = Arc::new(nodes_by_tenant);
+    let ns_fields = Arc::new(ns_fields);
+    let ns_zipf = Arc::new(ns_zipf);
+    let max_acked_ns: Arc<Vec<AtomicU64>> =
+        Arc::new((0..tenants.len()).map(|_| AtomicU64::new(0)).collect());
     let zipf = Arc::new(Zipf::new(config.sources, config.zipf_s));
     let latency = Arc::new(Histogram::new());
     let errors = Arc::new(AtomicU64::new(0));
@@ -325,6 +448,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let stale = Arc::new(AtomicU64::new(0));
     let min_version_violations = Arc::new(AtomicU64::new(0));
     let max_acked_version = Arc::new(AtomicU64::new(0));
+    let unknown_namespace = Arc::new(AtomicU64::new(0));
+    let namespace_dropped = Arc::new(AtomicU64::new(0));
     let connections = config.connections.max(1) as u64;
     let started = Instant::now();
 
@@ -348,12 +473,20 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             let stale = stale.clone();
             let min_version_violations = min_version_violations.clone();
             let max_acked_version = max_acked_version.clone();
+            let unknown_namespace = unknown_namespace.clone();
+            let namespace_dropped = namespace_dropped.clone();
+            let tenants = tenants.clone();
+            let nodes_by_tenant = nodes_by_tenant.clone();
+            let ns_fields = ns_fields.clone();
+            let ns_zipf = ns_zipf.clone();
+            let max_acked_ns = max_acked_ns.clone();
             let config = config.clone();
             scope.spawn(move || {
                 let mut rng = Rng(splitmix64(config.seed ^ (t + 1)));
-                // Read-your-writes bound for this client session: the
-                // version of its latest acked write (`--via-router`).
-                let mut min_version: u64 = 0;
+                // Read-your-writes bound for this client session, per
+                // tenant: the version of its latest acked write on that
+                // tenant's log (`--via-router`).
+                let mut min_version = vec![0u64; tenants.len()];
                 let mut run = || -> std::io::Result<()> {
                     let stream = connect_with_timeout(&config.addr, config.timeout_ms)?;
                     let mut reader = BufReader::new(stream.try_clone()?);
@@ -361,6 +494,16 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                     let mut line = String::new();
                     for i in 0..per {
                         let id = id_base + i;
+                        // The tenant draw only exists when the mix spans
+                        // more than one tenant, so a single-tenant run
+                        // reproduces the exact pre-namespace stream.
+                        let ns_idx = if tenants.len() > 1 {
+                            (ns_zipf.sample(rng.next_f64()) as usize).min(tenants.len() - 1)
+                        } else {
+                            0
+                        };
+                        let n = nodes_by_tenant[ns_idx];
+                        let ns_field = &ns_fields[ns_idx];
                         // The write-decision draw only exists when the knob
                         // is on, so `--write-mix 0` reproduces the exact
                         // request stream runs recorded before the knob.
@@ -376,11 +519,13 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                             let u = rng.next_u64() % n.max(1);
                             let v = rng.next_u64() % n.max(1);
                             format!(
-                                "{{\"id\":{id},\"op\":\"insert_edges\",\"edges\":[[{u},{v}]]}}\n"
+                                "{{\"id\":{id},\"op\":\"insert_edges\"{ns_field},\"edges\":[[{u},{v}]]}}\n"
                             )
                         } else if is_delete {
                             let node = rng.next_u64() % n.max(1);
-                            format!("{{\"id\":{id},\"op\":\"delete_node\",\"node\":{node}}}\n")
+                            format!(
+                                "{{\"id\":{id},\"op\":\"delete_node\"{ns_field},\"node\":{node}}}\n"
+                            )
                         } else {
                             let rank = zipf.sample(rng.next_f64());
                             let source = rank_to_source(rank, n);
@@ -400,14 +545,15 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                                 String::new()
                             };
                             // Read-your-writes through the router: a query
-                            // after an acked write must observe it.
-                            let minv = if config.via_router && min_version > 0 {
-                                format!(",\"min_version\":{min_version}")
+                            // after an acked write must observe it (on the
+                            // tenant's own log).
+                            let minv = if config.via_router && min_version[ns_idx] > 0 {
+                                format!(",\"min_version\":{}", min_version[ns_idx])
                             } else {
                                 String::new()
                             };
                             format!(
-                                "{{\"id\":{id},\"op\":\"query\",\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}{threads}{minv}}}\n",
+                                "{{\"id\":{id},\"op\":\"query\"{ns_field},\"source\":{source},\"seed\":{seed},\"k\":{}{deadline}{threads}{minv}}}\n",
                                 config.k
                             )
                         };
@@ -464,8 +610,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                                 }
                                 if config.via_router {
                                     if let Some(v) = version {
-                                        min_version = min_version.max(v);
+                                        min_version[ns_idx] = min_version[ns_idx].max(v);
                                         max_acked_version.fetch_max(v, Ordering::Relaxed);
+                                        max_acked_ns[ns_idx].fetch_max(v, Ordering::Relaxed);
                                     }
                                 }
                             } else {
@@ -476,8 +623,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                                 if is_stale {
                                     stale.fetch_add(1, Ordering::Relaxed);
                                 } else if config.via_router
-                                    && min_version > 0
-                                    && version.is_some_and(|v| v < min_version)
+                                    && min_version[ns_idx] > 0
+                                    && version.is_some_and(|v| v < min_version[ns_idx])
                                 {
                                     // The router promised ≥ min_version or a
                                     // typed error/stale annotation — never a
@@ -498,6 +645,12 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                                 "timeout" => net_timeouts.fetch_add(1, Ordering::Relaxed),
                                 "unavailable" => unavailable.fetch_add(1, Ordering::Relaxed),
                                 "in_doubt" => in_doubt.fetch_add(1, Ordering::Relaxed),
+                                "unknown_namespace" => {
+                                    unknown_namespace.fetch_add(1, Ordering::Relaxed)
+                                }
+                                "namespace_dropped" => {
+                                    namespace_dropped.fetch_add(1, Ordering::Relaxed)
+                                }
                                 _ => 0,
                             };
                         }
@@ -515,6 +668,17 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
 
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     let completed = latency.count();
+    let max_acked_by_ns: Vec<(String, u64)> = if tenants.len() > 1
+        || tenants[0] != DEFAULT_NAMESPACE
+    {
+        tenants
+            .iter()
+            .zip(max_acked_ns.iter())
+            .map(|(ns, v)| (ns.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let (server_hit_rate, server_coalesced) = fetch_cache_stats(&config.addr, config.timeout_ms);
     let drain_ms = if config.shutdown_after {
         Some(shutdown_and_measure_drain(&config.addr)?)
@@ -536,6 +700,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         stale: stale.load(Ordering::Relaxed),
         min_version_violations: min_version_violations.load(Ordering::Relaxed),
         max_acked_version: max_acked_version.load(Ordering::Relaxed),
+        max_acked_by_ns,
+        unknown_namespace: unknown_namespace.load(Ordering::Relaxed),
+        namespace_dropped: namespace_dropped.load(Ordering::Relaxed),
         drain_ms,
         elapsed_secs: elapsed,
         qps: completed as f64 / elapsed,
@@ -648,6 +815,77 @@ mod tests {
         // by exactly the number of acknowledged writes.
         assert_eq!(session.version(), report.writes);
         handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn namespace_mix_spreads_traffic_over_tenants() {
+        let session = StdArc::new(RwrSession::new(gen::barabasi_albert(200, 3, 8)));
+        let handle = spawn("127.0.0.1:0", session.clone(), ServerConfig::default()).unwrap();
+        let report = run(&LoadgenConfig {
+            addr: handle.addr().to_string(),
+            requests: 150,
+            connections: 2,
+            sources: 8,
+            write_mix: 0.2,
+            namespaces: 3,
+            ns_skew: 0.5,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.completed, 150, "{report:?}");
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert!(report.writes > 10, "write mix active: {}", report.writes);
+        // The mix targets t0..t2, never the default tenant: its log is
+        // untouched (tenant isolation seen from the client side).
+        assert_eq!(session.version(), 0);
+        // All three tenants exist server-side afterwards.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"{\"op\":\"list_namespaces\"}\n")
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(&stream).read_line(&mut line).unwrap();
+        let listed = Json::parse(line.trim()).unwrap();
+        assert_eq!(
+            listed.get("namespaces").unwrap().render(),
+            r#"["default","t0","t1","t2"]"#
+        );
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn single_tenant_stream_is_bit_identical_with_namespace_knobs_off() {
+        // The tenant-mix knobs must not perturb the deterministic request
+        // stream: same seed, same server, same version trajectory as a
+        // run that predates the knobs (write set is seed-derived).
+        let s1 = StdArc::new(RwrSession::new(gen::barabasi_albert(120, 3, 8)));
+        let h1 = spawn("127.0.0.1:0", s1.clone(), ServerConfig::default()).unwrap();
+        let base = run(&LoadgenConfig {
+            addr: h1.addr().to_string(),
+            requests: 100,
+            connections: 1,
+            sources: 8,
+            write_mix: 0.3,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        h1.shutdown().unwrap();
+        let s2 = StdArc::new(RwrSession::new(gen::barabasi_albert(120, 3, 8)));
+        let h2 = spawn("127.0.0.1:0", s2.clone(), ServerConfig::default()).unwrap();
+        let knobbed = run(&LoadgenConfig {
+            addr: h2.addr().to_string(),
+            requests: 100,
+            connections: 1,
+            sources: 8,
+            write_mix: 0.3,
+            namespaces: 1,
+            ns_skew: 1.0,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+        h2.shutdown().unwrap();
+        assert_eq!(base.writes, knobbed.writes);
+        assert_eq!(s1.version(), s2.version(), "identical write streams");
     }
 
     #[test]

@@ -56,10 +56,11 @@ use crate::json::Json;
 use crate::replication::ReplicationRole;
 use crate::scheduler::Scheduler;
 use crate::server::{
-    apply_response, error_fields, promote_json, render_query_outcome, route_line,
-    take_buffered_line, ConnLimits, LineOutcome, ServerConfig, ACCEPT_BACKOFF,
+    admin_response, apply_response, error_fields, promote_json, render_query_outcome, route_line,
+    take_buffered_line, AdminAction, ConnLimits, LineOutcome, ServerConfig, ACCEPT_BACKOFF,
     READ_POLL,
 };
+use crate::tenants::Tenants;
 use crossbeam::channel::{self, Sender};
 use mio::{Events, Interest, Poll, Token};
 use parking_lot::Mutex;
@@ -111,12 +112,19 @@ enum ExecJob {
         seq: u64,
         id: Option<u64>,
         op: MutationOp,
+        scheduler: Arc<Scheduler>,
     },
     Promote {
         conn: usize,
         seq: u64,
         id: Option<u64>,
         request: Json,
+    },
+    Admin {
+        conn: usize,
+        seq: u64,
+        id: Option<u64>,
+        action: AdminAction,
     },
 }
 
@@ -170,7 +178,7 @@ impl Conn {
 
 /// Everything the per-connection logic needs besides the connection map.
 struct Ctx {
-    scheduler: Arc<Scheduler>,
+    tenants: Arc<Tenants>,
     limits: ConnLimits,
     replication: Option<Arc<ReplicationRole>>,
     mailbox: Arc<Mailbox>,
@@ -184,7 +192,7 @@ struct Ctx {
 /// the full drain: every read request answered, executors joined.
 pub(crate) fn run(
     listener: TcpListener,
-    scheduler: Arc<Scheduler>,
+    tenants: Arc<Tenants>,
     config: &ServerConfig,
     limits: ConnLimits,
 ) -> std::io::Result<()> {
@@ -209,7 +217,7 @@ pub(crate) fn run(
     let mut executors = Vec::new();
     for i in 0..config.workers.max(1) {
         let job_rx = job_rx.clone();
-        let scheduler = scheduler.clone();
+        let tenants = tenants.clone();
         let replication = config.replication.clone();
         let mailbox = mailbox.clone();
         executors.push(
@@ -218,9 +226,13 @@ pub(crate) fn run(
                 .spawn(move || {
                     while let Ok(job) = job_rx.recv() {
                         let (conn, seq, response) = match job {
-                            ExecJob::Mutation { conn, seq, id, op } => {
-                                (conn, seq, apply_response(id, &scheduler, op))
-                            }
+                            ExecJob::Mutation {
+                                conn,
+                                seq,
+                                id,
+                                op,
+                                scheduler,
+                            } => (conn, seq, apply_response(id, &scheduler, op)),
                             ExecJob::Promote {
                                 conn,
                                 seq,
@@ -229,8 +241,14 @@ pub(crate) fn run(
                             } => (
                                 conn,
                                 seq,
-                                promote_json(id, &request, &scheduler, replication.as_deref()),
+                                promote_json(id, &request, &tenants, replication.as_deref()),
                             ),
+                            ExecJob::Admin {
+                                conn,
+                                seq,
+                                id,
+                                action,
+                            } => (conn, seq, admin_response(id, &action, &tenants)),
                         };
                         mailbox.push(Completion {
                             conn,
@@ -242,8 +260,11 @@ pub(crate) fn run(
         );
     }
 
+    // Listener-level counters (rejects, accept errors) land on the
+    // default tenant's surface, matching the threaded engine.
+    let listener_metrics = tenants.default_tenant().scheduler.metrics().clone();
     let mut ctx = Ctx {
-        scheduler,
+        tenants,
         limits,
         replication: config.replication.clone(),
         mailbox: mailbox.clone(),
@@ -300,8 +321,7 @@ pub(crate) fn run(
                     Ok((stream, _peer)) => {
                         accept_failures = 0;
                         if config.max_conns != 0 && conns.len() >= config.max_conns {
-                            ctx.scheduler
-                                .metrics()
+                            listener_metrics
                                 .rejected_conns
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             reject(stream, config.max_conns);
@@ -320,8 +340,7 @@ pub(crate) fn run(
                         // Persistent accept failures (e.g. EMFILE) must not
                         // spin a level-triggered poller: pause the listener
                         // registration for the backoff window.
-                        ctx.scheduler
-                            .metrics()
+                        listener_metrics
                             .accept_errors
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let _ = poll.deregister(&listener);
@@ -509,7 +528,7 @@ fn advance(conn: &mut Conn, conn_id: usize, ctx: &mut Ctx) {
         }
         match route_line(
             &line,
-            &ctx.scheduler,
+            &ctx.tenants,
             &ctx.limits,
             ctx.replication.as_deref(),
         ) {
@@ -528,12 +547,13 @@ fn advance(conn: &mut Conn, conn_id: usize, ctx: &mut Ctx) {
                 request,
                 k,
                 full,
+                scheduler,
             } => {
                 let seq = ctx.next_seq;
                 ctx.next_seq += 1;
                 conn.awaiting = Some(seq);
                 let mailbox = ctx.mailbox.clone();
-                ctx.scheduler.submit_hook(request, move |outcome| {
+                scheduler.submit_hook(request, move |outcome| {
                     mailbox.push(Completion {
                         conn: conn_id,
                         seq,
@@ -541,7 +561,7 @@ fn advance(conn: &mut Conn, conn_id: usize, ctx: &mut Ctx) {
                     });
                 });
             }
-            LineOutcome::Mutation { id, op } => {
+            LineOutcome::Mutation { id, op, scheduler } => {
                 let seq = ctx.next_seq;
                 ctx.next_seq += 1;
                 conn.awaiting = Some(seq);
@@ -550,6 +570,7 @@ fn advance(conn: &mut Conn, conn_id: usize, ctx: &mut Ctx) {
                     seq,
                     id,
                     op,
+                    scheduler,
                 });
             }
             LineOutcome::Promote { id, request } => {
@@ -561,6 +582,17 @@ fn advance(conn: &mut Conn, conn_id: usize, ctx: &mut Ctx) {
                     seq,
                     id,
                     request,
+                });
+            }
+            LineOutcome::Admin { id, action } => {
+                let seq = ctx.next_seq;
+                ctx.next_seq += 1;
+                conn.awaiting = Some(seq);
+                let _ = ctx.jobs.send(ExecJob::Admin {
+                    conn: conn_id,
+                    seq,
+                    id,
+                    action,
                 });
             }
         }

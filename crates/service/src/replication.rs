@@ -7,8 +7,10 @@
 //! every mutation op (is this server writable? who is the primary? was it
 //! fenced?) and flips when a `promote` op arrives or a fence lands.
 
+use resacc::durability::DEFAULT_NAMESPACE;
 use resacc::replication::{ReplicaClient, ReplicationStats};
 use resacc::RwrSession;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -29,10 +31,11 @@ pub struct ReplicationRole {
     /// none); announced as the leader by fence probes after promotion so
     /// the fenced old primary knows where to rejoin.
     self_addr: parking_lot::Mutex<String>,
-    /// The replica client being driven (replica role only). Behind a
-    /// mutex because promotion consumes its stream and demotion installs
-    /// a new one.
-    client: parking_lot::Mutex<Option<ReplicaClient>>,
+    /// The replica clients being driven, one per namespace (replica role
+    /// only; a single-tenant replica has one entry under `default`).
+    /// Behind a mutex because promotion consumes their streams and
+    /// demotion installs new ones.
+    client: parking_lot::Mutex<HashMap<String, ReplicaClient>>,
     /// Live counters shared with the core shipping/applying threads.
     pub stats: Arc<ReplicationStats>,
 }
@@ -56,25 +59,40 @@ impl ReplicationRole {
             primary: parking_lot::Mutex::new(String::new()),
             fenced_at: AtomicU64::new(0),
             self_addr: parking_lot::Mutex::new(String::new()),
-            client: parking_lot::Mutex::new(None),
+            client: parking_lot::Mutex::new(HashMap::new()),
             stats,
         }
     }
 
-    /// The replica role: read-only, following `primary` via `client`.
+    /// The replica role: read-only, following `primary` via `client`
+    /// (installed for the `default` namespace; additional tenants attach
+    /// through [`ReplicationRole::set_client`]).
     pub fn replica(
         primary: String,
         client: ReplicaClient,
         stats: Arc<ReplicationStats>,
     ) -> ReplicationRole {
+        let mut clients = HashMap::new();
+        clients.insert(DEFAULT_NAMESPACE.to_string(), client);
         ReplicationRole {
             read_only: AtomicBool::new(true),
             primary: parking_lot::Mutex::new(primary),
             fenced_at: AtomicU64::new(0),
             self_addr: parking_lot::Mutex::new(String::new()),
-            client: parking_lot::Mutex::new(Some(client)),
+            client: parking_lot::Mutex::new(clients),
             stats,
         }
+    }
+
+    /// Installs (or replaces) the replica client for one namespace.
+    pub fn set_client(&self, ns: &str, client: ReplicaClient) {
+        self.client.lock().insert(ns.to_string(), client);
+    }
+
+    /// Removes and returns one namespace's replica client (dropping it
+    /// stops the stream) — the local side of a namespace drop.
+    pub fn remove_client(&self, ns: &str) -> Option<ReplicaClient> {
+        self.client.lock().remove(ns)
     }
 
     /// Records this node's own replication listener address (used as the
@@ -122,7 +140,7 @@ impl ReplicationRole {
     /// Returns `(version, epoch)` at promotion, or an error if this
     /// server was already writable or the epoch could not be persisted.
     pub fn promote(&self, session: &RwrSession) -> Result<(u64, u64), String> {
-        let Some(mut active) = self.client.lock().take() else {
+        let Some(mut active) = self.client.lock().remove(DEFAULT_NAMESPACE) else {
             return Err("already writable: this server is not a read replica".to_string());
         };
         let version = active.promote();
@@ -139,14 +157,56 @@ impl ReplicationRole {
         Ok((version, epoch))
     }
 
+    /// Promotes every tenant: drains and stops each namespace's client,
+    /// durably bumps each tenant's replication epoch, *then* flips the
+    /// server writable — same ordering guarantee as
+    /// [`ReplicationRole::promote`], applied namespace by namespace.
+    /// Returns `(namespace, version, epoch)` per tenant, sorted by name.
+    /// Namespaces with no client (created after the follow started, or a
+    /// never-streamed tenant) promote at their local applied version.
+    pub fn promote_tenants(
+        &self,
+        tenants: &crate::tenants::Tenants,
+    ) -> Result<Vec<(String, u64, u64)>, String> {
+        if !self.is_read_only() {
+            return Err("already writable: this server is not a read replica".to_string());
+        }
+        let mut clients = std::mem::take(&mut *self.client.lock());
+        let mut promoted = Vec::new();
+        for tenant in tenants.all() {
+            let session = tenant.scheduler.session();
+            let version = match clients.remove(&tenant.name) {
+                Some(mut active) => active.promote(),
+                None => session.version(),
+            };
+            let epoch = session.bump_epoch().map_err(|e| {
+                format!(
+                    "cannot persist the promotion epoch for namespace {:?}: {e}",
+                    tenant.name
+                )
+            })?;
+            promoted.push((tenant.name.clone(), version, epoch));
+        }
+        self.fenced_at.store(0, Ordering::SeqCst);
+        self.primary.lock().clear();
+        self.read_only.store(false, Ordering::SeqCst);
+        Ok(promoted)
+    }
+
     /// Demotes this node after a fence: records the fencing epoch, points
     /// it at the new leader, flips read-only, and installs the rejoin
-    /// client (dropping any previous one). The caller has already
-    /// truncated divergent state via [`RwrSession::demote_to`].
+    /// client for the `default` namespace (dropping every previous
+    /// client; multi-tenant callers re-attach the rest via
+    /// [`ReplicationRole::set_client`]). The caller has already truncated
+    /// divergent state via [`RwrSession::demote_to`].
     pub fn demote(&self, epoch: u64, leader: String, client: Option<ReplicaClient>) {
         *self.primary.lock() = leader;
         self.fenced_at.store(epoch, Ordering::SeqCst);
         self.read_only.store(true, Ordering::SeqCst);
-        *self.client.lock() = client;
+        let mut clients = self.client.lock();
+        clients.clear();
+        if let Some(client) = client {
+            clients.insert(DEFAULT_NAMESPACE.to_string(), client);
+        }
     }
 }

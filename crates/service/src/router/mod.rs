@@ -44,7 +44,7 @@ pub(crate) mod hedge;
 pub mod pool;
 pub(crate) mod retry;
 
-pub use pool::{Backend, BackendPool, BreakerState, ProbeInfo};
+pub use pool::{Backend, BackendPool, BreakerState, NsProbe, ProbeInfo};
 
 use crate::json::Json;
 use crate::server::{
@@ -52,8 +52,10 @@ use crate::server::{
     READ_POLL,
 };
 use hedge::LatencyWindow;
+use resacc::durability::{valid_namespace, DEFAULT_NAMESPACE};
 use retry::{connect, exchange_split, ExchangeError, RouterError, RETRY_BACKOFF};
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -63,13 +65,73 @@ use std::time::{Duration, Instant};
 /// How often a parked request re-checks the pool for a candidate.
 const PARK_POLL: Duration = Duration::from_millis(10);
 
+/// One entry of the static shard map: which tenants live on which
+/// backend set. Parsed from a repeatable `--shard ns1,ns2=addr1,addr2`
+/// flag; the namespace list may be (or contain) `*`, the catch-all that
+/// takes every tenant no other shard claims.
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// Namespaces this shard serves (`*` = catch-all).
+    pub namespaces: Vec<String>,
+    /// Backend client (NDJSON) addresses: the shard's primary and its
+    /// replicas, in any order — roles are discovered by probing.
+    pub backends: Vec<String>,
+}
+
+impl ShardSpec {
+    /// Parses `ns1,ns2=addr1,addr2`. Namespaces must be valid tenant
+    /// names or `*`; both sides must be non-empty.
+    pub fn parse(spec: &str) -> Result<ShardSpec, String> {
+        let (names, addrs) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad shard spec {spec:?}: expected ns1,ns2=addr1,addr2"))?;
+        let namespaces: Vec<String> = names
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if namespaces.is_empty() {
+            return Err(format!("bad shard spec {spec:?}: no namespaces"));
+        }
+        for ns in &namespaces {
+            if ns != "*" && !valid_namespace(ns) {
+                return Err(format!(
+                    "bad shard spec {spec:?}: invalid namespace {ns:?} (need 1-64 chars of [a-z0-9_-], or *)"
+                ));
+            }
+        }
+        let backends: Vec<String> = addrs
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if backends.is_empty() {
+            return Err(format!("bad shard spec {spec:?}: no backends"));
+        }
+        Ok(ShardSpec {
+            namespaces,
+            backends,
+        })
+    }
+
+    /// Display name: the namespace list as written (`a,b`, or `*`).
+    pub fn name(&self) -> String {
+        self.namespaces.join(",")
+    }
+}
+
 /// Router tunables. `new` gives production defaults; every field has a
 /// CLI flag (see `rwr router --help`).
 #[derive(Clone, Debug)]
 pub struct RouterConfig {
     /// Backend client (NDJSON) addresses: the primary and its replicas,
     /// in any order — roles are discovered by probing, not configured.
+    /// When `shards` is empty this set forms a single catch-all shard
+    /// (the pre-sharding topology, byte-identical behavior).
     pub backends: Vec<String>,
+    /// The static shard map (`--shard`, repeatable). Empty = one
+    /// catch-all shard built from `backends`.
+    pub shards: Vec<ShardSpec>,
     /// Health-probe cadence.
     pub probe_interval_ms: u64,
     /// Connect + read timeout for probes (and backend connects).
@@ -119,6 +181,7 @@ impl RouterConfig {
     pub fn new(backends: Vec<String>) -> RouterConfig {
         RouterConfig {
             backends,
+            shards: Vec::new(),
             probe_interval_ms: 50,
             probe_timeout_ms: 500,
             breaker_threshold: 3,
@@ -171,46 +234,117 @@ pub struct RouterMetrics {
     pub unreplicated_acks: AtomicU64,
 }
 
-struct Inner {
+/// One shard at runtime: its pool of backends plus the per-shard state
+/// that used to be router-global (latency window for hedging, the sticky
+/// semi-sync latch, the acked-version watermark). Per-shard because one
+/// shard's zombie replica must not degrade another shard's acks, and one
+/// shard's slow backend must not poison another's hedge timer.
+struct Shard {
+    /// Display name: the namespace list as configured (`a,b` or `*`).
+    name: String,
+    /// Namespaces this shard serves (may contain `*`).
+    namespaces: Vec<String>,
+    /// Whether this shard takes tenants no other shard claims.
+    catch_all: bool,
     pool: Arc<BackendPool>,
-    cfg: RouterConfig,
-    metrics: Arc<RouterMetrics>,
     window: LatencyWindow,
     /// Sticky semi-sync degradation latch: set when an ack wait times
     /// out, cleared when a replica is observed caught up again.
     sync_degraded: AtomicBool,
-    /// Highest mutation version acked to any client. The degraded-mode
-    /// re-arm check compares replicas against *this* (the previous ack)
-    /// rather than the in-flight version — a healthy replica is always a
-    /// hair behind the write being acked right now, and testing against
-    /// the current version would keep the latch stuck forever.
-    last_acked: AtomicU64,
+    /// Highest mutation version acked to any client, per namespace
+    /// (versions are per-tenant logs now). The degraded-mode re-arm
+    /// check compares replicas against *this* (the previous ack) rather
+    /// than the in-flight version — a healthy replica is always a hair
+    /// behind the write being acked right now, and testing against the
+    /// current version would keep the latch stuck forever.
+    last_acked: parking_lot::Mutex<HashMap<String, u64>>,
+}
+
+impl Shard {
+    fn last_acked(&self, ns: &str) -> u64 {
+        self.last_acked.lock().get(ns).copied().unwrap_or(0)
+    }
+
+    fn record_ack(&self, ns: &str, version: u64) {
+        let mut map = self.last_acked.lock();
+        let entry = map.entry(ns.to_string()).or_insert(0);
+        *entry = (*entry).max(version);
+    }
+}
+
+struct Inner {
+    shards: Vec<Arc<Shard>>,
+    cfg: RouterConfig,
+    metrics: Arc<RouterMetrics>,
+}
+
+impl Inner {
+    /// Routes a namespace to its shard: exact match first, then the
+    /// catch-all, then `None` — a typed `unknown_namespace` to the
+    /// client, never a guess.
+    fn resolve(&self, ns: &str) -> Option<&Arc<Shard>> {
+        self.shards
+            .iter()
+            .find(|s| s.namespaces.iter().any(|n| n == ns))
+            .or_else(|| self.shards.iter().find(|s| s.catch_all))
+    }
+}
+
+/// Materializes the configured shard map (or the single catch-all shard
+/// the flat `backends` list implies).
+fn build_shards(config: &RouterConfig, metrics: &Arc<RouterMetrics>) -> Vec<Arc<Shard>> {
+    let specs: Vec<ShardSpec> = if config.shards.is_empty() {
+        vec![ShardSpec {
+            namespaces: vec!["*".to_string()],
+            backends: config.backends.clone(),
+        }]
+    } else {
+        config.shards.clone()
+    };
+    specs
+        .into_iter()
+        .map(|spec| {
+            let mut shard_cfg = config.clone();
+            shard_cfg.backends = spec.backends.clone();
+            Arc::new(Shard {
+                name: spec.name(),
+                catch_all: spec.namespaces.iter().any(|n| n == "*"),
+                namespaces: spec.namespaces,
+                pool: Arc::new(BackendPool::new(shard_cfg, metrics.clone())),
+                window: LatencyWindow::new(),
+                sync_degraded: AtomicBool::new(false),
+                last_acked: parking_lot::Mutex::new(HashMap::new()),
+            })
+        })
+        .collect()
 }
 
 /// Serves the router on `listener` until a client sends `shutdown`.
 /// Mirrors [`crate::server::serve`]'s accept/drain discipline.
 pub fn serve(listener: TcpListener, config: RouterConfig) -> std::io::Result<()> {
     let metrics = Arc::new(RouterMetrics::default());
-    let pool = Arc::new(BackendPool::new(config.clone(), metrics.clone()));
+    let shards = build_shards(&config, &metrics);
     let inner = Arc::new(Inner {
-        pool: pool.clone(),
+        shards,
         cfg: config,
         metrics,
-        window: LatencyWindow::new(),
-        sync_degraded: AtomicBool::new(false),
-        last_acked: AtomicU64::new(0),
     });
     // Route from truth, not defaults: probe everything once before the
     // first client request can arrive.
-    pool.probe_all();
+    for shard in &inner.shards {
+        shard.pool.probe_all();
+    }
     let stop = Arc::new(AtomicBool::new(false));
-    let prober = {
-        let pool = pool.clone();
+    let mut probers = Vec::new();
+    for shard in &inner.shards {
+        let pool = shard.pool.clone();
         let stop = stop.clone();
-        std::thread::Builder::new()
-            .name("rwr-router-probe".into())
-            .spawn(move || pool.prober_loop(&stop))?
-    };
+        probers.push(
+            std::thread::Builder::new()
+                .name(format!("rwr-router-probe-{}", shard.name))
+                .spawn(move || pool.prober_loop(&stop))?,
+        );
+    }
 
     listener.set_nonblocking(true)?;
     let backoff_seed = accept_seed(&listener);
@@ -249,7 +383,9 @@ pub fn serve(listener: TcpListener, config: RouterConfig) -> std::io::Result<()>
     for t in handlers {
         let _ = t.join();
     }
-    let _ = prober.join();
+    for t in probers {
+        let _ = t.join();
+    }
     Ok(())
 }
 
@@ -377,15 +513,59 @@ fn route_request(line: &str, inner: &Inner) -> (String, bool) {
     };
     let id = request.get("id").and_then(Json::as_u64);
     let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+    // Tenant extraction mirrors the server: absent ⇒ default, non-string
+    // ⇒ a protocol error. `create_namespace`/`drop_namespace` name their
+    // tenant in the same field, so they shard-route like any mutation.
+    let ns = match request.get("namespace") {
+        None => DEFAULT_NAMESPACE.to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => {
+            return (
+                error_fields(id, "bad request", "namespace must be a string", None).render(),
+                false,
+            )
+        }
+    };
+    let explicit_ns = request.get("namespace").is_some();
+    // Ops that talk to one shard resolve it up front; an unmapped tenant
+    // gets the typed answer instead of a guessed backend. A namespace-less
+    // `stats` never needs a mapping — it aggregates (or hits the only
+    // shard).
+    let needs_shard = matches!(
+        op,
+        "query" | "insert_edges" | "delete_edges" | "delete_node" | "promote"
+            | "create_namespace" | "drop_namespace"
+    ) || (op == "stats" && explicit_ns);
+    let shard = if needs_shard {
+        match inner.resolve(&ns) {
+            Some(s) => Some(s.clone()),
+            None => {
+                return (
+                    error_fields(
+                        id,
+                        "unknown_namespace",
+                        &format!("no shard mapped for namespace {ns:?}"),
+                        None,
+                    )
+                    .render(),
+                    false,
+                )
+            }
+        }
+    } else {
+        None
+    };
+    let shard = shard.as_ref();
+    let resolved = || shard.expect("shard resolved for this op");
     match op {
         "ping" => (ok_response(id, vec![]).render(), false),
         "shutdown" => (ok_response(id, vec![]).render(), true),
-        "query" => (route_read(line, &request, id, inner), false),
-        "insert_edges" | "delete_edges" | "delete_node" => {
-            (route_mutation(line, id, inner), false)
-        }
-        "stats" => (route_stats(line, id, inner), false),
-        "promote" => (route_promote(id, inner), false),
+        "query" => (route_read(line, &request, id, &ns, resolved(), inner), false),
+        "insert_edges" | "delete_edges" | "delete_node" | "create_namespace"
+        | "drop_namespace" => (route_mutation(line, id, &ns, resolved(), inner), false),
+        "stats" => (route_stats(line, id, shard, inner), false),
+        "list_namespaces" => (route_list_namespaces(line, id, inner), false),
+        "promote" => (route_promote(id, resolved(), inner), false),
         other => (
             error_fields(id, &format!("unknown op {other:?}"), "", None).render(),
             false,
@@ -397,9 +577,17 @@ fn render_error(id: Option<u64>, e: &RouterError) -> String {
     error_fields(id, e.code(), e.detail(), None).render()
 }
 
-/// The read path: candidate selection honoring `min_version`, retry
-/// budget across backends, hedging, parking, and the stale degradation.
-fn route_read(line: &str, request: &Json, id: Option<u64>, inner: &Inner) -> String {
+/// The read path: candidate selection honoring `min_version` (against
+/// the tenant's own log), retry budget across the shard's backends,
+/// hedging, parking, and the stale degradation.
+fn route_read(
+    line: &str,
+    request: &Json,
+    id: Option<u64>,
+    ns: &str,
+    shard: &Arc<Shard>,
+    inner: &Inner,
+) -> String {
     inner.metrics.reads.fetch_add(1, Ordering::Relaxed);
     let min_version = request.get("min_version").and_then(Json::as_u64);
     let cfg = &inner.cfg;
@@ -410,7 +598,7 @@ fn route_read(line: &str, request: &Json, id: Option<u64>, inner: &Inner) -> Str
     let mut parked = false;
     let mut last_detail = String::new();
     loop {
-        let candidates = inner.pool.read_candidates(min_version);
+        let candidates = shard.pool.read_candidates(ns, min_version);
         if candidates.is_empty() {
             // Nothing qualifies right now: park. A failover may produce a
             // primary, or a replica may catch up to min_version.
@@ -423,8 +611,8 @@ fn route_read(line: &str, request: &Json, id: Option<u64>, inner: &Inner) -> Str
                 // freshest reachable backend and annotate instead of
                 // erroring. With a primary alive this is a plain timeout
                 // (the caller's min_version is ahead of the world).
-                if inner.pool.writable().is_none() {
-                    if let Some(b) = inner.pool.freshest() {
+                if shard.pool.writable().is_none() {
+                    if let Some(b) = shard.pool.freshest(ns) {
                         if let Ok(outcome) =
                             hedge::hedged_read(b, None, line, read_timeout, read_timeout, cfg)
                         {
@@ -462,7 +650,7 @@ fn route_read(line: &str, request: &Json, id: Option<u64>, inner: &Inner) -> Str
         // adaptive delay. Until the latency window has a baseline, reads
         // run unhedged.
         let hedge_delay = (cfg.hedge_quantile > 0.0)
-            .then(|| inner.window.quantile(cfg.hedge_quantile))
+            .then(|| shard.window.quantile(cfg.hedge_quantile))
             .flatten()
             .map(|q| q.max(Duration::from_millis(cfg.hedge_min_ms)));
         let second = hedge_delay.and(candidates.get(1).cloned());
@@ -476,7 +664,7 @@ fn route_read(line: &str, request: &Json, id: Option<u64>, inner: &Inner) -> Str
             cfg,
         ) {
             Ok(outcome) => {
-                inner.window.record(outcome.latency);
+                shard.window.record(outcome.latency);
                 if outcome.hedged {
                     inner.metrics.hedges.fetch_add(1, Ordering::Relaxed);
                 }
@@ -507,7 +695,7 @@ fn route_read(line: &str, request: &Json, id: Option<u64>, inner: &Inner) -> Str
                 }
                 // Relay the raw backend line (bit-identical), annotating
                 // only when serving without an active primary.
-                if inner.pool.writable().is_none() {
+                if shard.pool.writable().is_none() {
                     return annotate_stale(&outcome.raw, inner);
                 }
                 return outcome.raw;
@@ -536,10 +724,12 @@ fn annotate_stale(raw: &str, inner: &Inner) -> String {
     Json::Obj(fields).render()
 }
 
-/// The mutation path: writable-primary selection, fresh-connection
-/// exchanges, pre-ack-only retries, parking across failover, semi-sync
-/// acks.
-fn route_mutation(line: &str, id: Option<u64>, inner: &Inner) -> String {
+/// The mutation path: writable-primary selection on the tenant's shard,
+/// fresh-connection exchanges, pre-ack-only retries, parking across
+/// failover, semi-sync acks. Namespace lifecycle ops (`create_namespace`
+/// / `drop_namespace`) ride this path too — they are primary-only writes
+/// whose responses simply carry no version to semi-sync on.
+fn route_mutation(line: &str, id: Option<u64>, ns: &str, shard: &Arc<Shard>, inner: &Inner) -> String {
     inner.metrics.mutations.fetch_add(1, Ordering::Relaxed);
     let cfg = &inner.cfg;
     let deadline = Instant::now() + Duration::from_millis(cfg.park_ms);
@@ -550,7 +740,7 @@ fn route_mutation(line: &str, id: Option<u64>, inner: &Inner) -> String {
     let mut parked = false;
     let mut last_detail = String::new();
     loop {
-        let Some(primary) = inner.pool.writable() else {
+        let Some(primary) = shard.pool.writable() else {
             if !parked {
                 parked = true;
                 inner.metrics.parked.fetch_add(1, Ordering::Relaxed);
@@ -558,7 +748,7 @@ fn route_mutation(line: &str, id: Option<u64>, inner: &Inner) -> String {
             if cfg.auto_failover {
                 // Orchestrate (or join the pass already running). Either
                 // way the next writable() sees the outcome.
-                failover::try_failover(&inner.pool, &inner.metrics);
+                failover::try_failover(&shard.pool, &inner.metrics);
             }
             if Instant::now() >= deadline {
                 inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -626,13 +816,13 @@ fn route_mutation(line: &str, id: Option<u64>, inner: &Inner) -> String {
                     // The role moved under us (fence landed, failover
                     // elsewhere finished): refresh and re-route. The
                     // mutation was bounced, not applied — safe to retry.
-                    inner.pool.probe(&primary);
+                    shard.pool.probe(&primary);
                     last_detail = format!("{} bounced: {code}", primary.addr);
                     continue;
                 }
                 if parsed.get("ok").and_then(Json::as_bool) == Some(true) {
                     if let Some(version) = parsed.get("version").and_then(Json::as_u64) {
-                        semi_sync_wait(version, deadline, inner);
+                        semi_sync_wait(ns, version, deadline, shard, inner);
                     }
                 }
                 primary.park_conn(conn);
@@ -652,93 +842,147 @@ fn route_mutation(line: &str, id: Option<u64>, inner: &Inner) -> String {
 /// partitioned link) costs one bounded stall, not `park_ms` per write.
 /// The latch clears as soon as some replica is observed at the acked
 /// version again, restoring the loss-free failover guarantee.
-fn semi_sync_wait(version: u64, deadline: Instant, inner: &Inner) {
+fn semi_sync_wait(ns: &str, version: u64, deadline: Instant, shard: &Shard, inner: &Inner) {
     if !inner.cfg.sync_acks {
         return;
     }
-    let has_replica = inner.pool.backends.iter().any(|b| {
+    let has_replica = shard.pool.backends.iter().any(|b| {
         let i = b.info();
         i.probed && i.read_only && b.breaker_state() != BreakerState::Open
     });
     if !has_replica {
         return;
     }
-    if inner.sync_degraded.load(Ordering::Relaxed) {
+    if shard.sync_degraded.load(Ordering::Relaxed) {
         // Re-arm only once a replica has caught up to everything acked
         // *before* this write; then this write waits normally again.
-        if inner.pool.replicated_at(inner.last_acked.load(Ordering::Relaxed)) {
-            inner.sync_degraded.store(false, Ordering::Relaxed);
+        if shard.pool.replicated_at(ns, shard.last_acked(ns)) {
+            shard.sync_degraded.store(false, Ordering::Relaxed);
         } else {
             inner.metrics.unreplicated_acks.fetch_add(1, Ordering::Relaxed);
-            inner.last_acked.fetch_max(version, Ordering::Relaxed);
+            shard.record_ack(ns, version);
             return;
         }
     }
     let cap = Instant::now() + Duration::from_millis(inner.cfg.sync_ack_timeout_ms.max(1));
-    let replicated = inner.pool.await_replicated(version, deadline.min(cap));
-    inner.last_acked.fetch_max(version, Ordering::Relaxed);
+    let replicated = shard.pool.await_replicated(ns, version, deadline.min(cap));
+    shard.record_ack(ns, version);
     if !replicated {
         inner.metrics.unreplicated_acks.fetch_add(1, Ordering::Relaxed);
-        inner.sync_degraded.store(true, Ordering::Relaxed);
+        shard.sync_degraded.store(true, Ordering::Relaxed);
     }
 }
 
-/// Forwards `stats` (primary preferred — its counts lead the fleet) and
-/// injects the router's own `"router"` section.
-fn route_stats(line: &str, id: Option<u64>, inner: &Inner) -> String {
+/// Fetches one shard's `stats` from its best backend (primary preferred
+/// — its counts lead the fleet).
+fn fetch_shard_stats(line: &str, shard: &Arc<Shard>, inner: &Inner) -> Option<Json> {
     let read_timeout = Duration::from_millis(inner.cfg.read_timeout_ms);
     let mut candidates = Vec::new();
-    if let Some(p) = inner.pool.writable() {
+    if let Some(p) = shard.pool.writable() {
         candidates.push(p);
     }
-    candidates.extend(inner.pool.read_candidates(None));
+    candidates.extend(shard.pool.read_candidates(DEFAULT_NAMESPACE, None));
     for backend in candidates {
-        match hedge::hedged_read(backend, None, line, read_timeout, read_timeout, &inner.cfg) {
-            Ok(outcome) => {
-                let Ok(Json::Obj(mut fields)) = Json::parse(&outcome.raw) else {
-                    return outcome.raw;
-                };
+        if let Ok(outcome) =
+            hedge::hedged_read(backend, None, line, read_timeout, read_timeout, &inner.cfg)
+        {
+            if let Ok(parsed) = Json::parse(&outcome.raw) {
+                return Some(parsed);
+            }
+        }
+    }
+    None
+}
+
+/// Forwards `stats` and injects the router's own `"router"` section.
+///
+/// Single-shard routers (the `--backends` topology, or one `--shard`)
+/// answer in the pre-sharding flat shape, bit-compatible with PR 9.
+/// Multi-shard routers aggregate: each shard's backend stats nest under
+/// `shards.{name}`, and the top level carries only the aggregate plus
+/// the router section. A `stats` with an explicit `namespace` field
+/// (`target` is `Some`) is forwarded flat to that tenant's shard either
+/// way.
+fn route_stats(line: &str, id: Option<u64>, target: Option<&Arc<Shard>>, inner: &Inner) -> String {
+    let flat_target = target.or((inner.shards.len() == 1).then(|| &inner.shards[0]));
+    if let Some(shard) = flat_target {
+        match fetch_shard_stats(line, shard, inner) {
+            Some(Json::Obj(mut fields)) => {
                 fields.push(("router".to_string(), router_stats(inner)));
                 return Json::Obj(fields).render();
             }
-            Err(_) => continue,
+            Some(other) => return other.render(),
+            None => {
+                inner.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+                return render_error(
+                    id,
+                    &RouterError::Unavailable(format!(
+                        "no backend of shard {:?} answered stats",
+                        shard.name
+                    )),
+                );
+            }
         }
     }
-    inner.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
-    render_error(
-        id,
-        &RouterError::Unavailable("no backend answered stats".to_string()),
-    )
+    let mut shards = Vec::new();
+    for s in &inner.shards {
+        let entry = match fetch_shard_stats(line, s, inner) {
+            Some(stats) => stats,
+            None => Json::Obj(vec![(
+                "error".to_string(),
+                Json::Str("unavailable".to_string()),
+            )]),
+        };
+        shards.push((s.name.clone(), entry));
+    }
+    let mut fields = vec![("ok".to_string(), Json::Bool(true))];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Json::u64(id)));
+    }
+    fields.push(("shards".to_string(), Json::Obj(shards)));
+    fields.push(("router".to_string(), router_stats(inner)));
+    Json::Obj(fields).render()
 }
 
 /// The `"router"` stats object: per-backend health + router counters.
+/// Multi-shard routers tag each backend with its shard's name.
 fn router_stats(inner: &Inner) -> Json {
     let m = &inner.metrics;
     let get = |a: &AtomicU64| Json::u64(a.load(Ordering::Relaxed));
-    let backends: Vec<Json> = inner
-        .pool
-        .backends
-        .iter()
-        .map(|b| {
+    let multi = inner.shards.len() > 1;
+    let mut backends: Vec<Json> = Vec::new();
+    for shard in &inner.shards {
+        for b in &shard.pool.backends {
             let info = b.info();
             let breaker = match b.breaker_state() {
                 BreakerState::Closed => "closed",
                 BreakerState::Open => "open",
                 BreakerState::HalfOpen => "half_open",
             };
-            Json::Obj(vec![
-                ("addr".to_string(), Json::Str(b.addr.clone())),
+            let mut fields = vec![("addr".to_string(), Json::Str(b.addr.clone()))];
+            if multi {
+                fields.push(("shard".to_string(), Json::Str(shard.name.clone())));
+            }
+            fields.extend([
                 ("breaker".to_string(), Json::Str(breaker.to_string())),
                 ("read_only".to_string(), Json::Bool(info.read_only)),
                 ("fenced".to_string(), Json::Bool(info.fenced)),
                 ("applied_version".to_string(), Json::u64(info.applied_version)),
                 ("lag_records".to_string(), Json::u64(info.lag_records)),
                 ("epoch".to_string(), Json::u64(info.epoch)),
-            ])
-        })
-        .collect();
-    Json::Obj(vec![
-        ("backends".to_string(), Json::Arr(backends)),
+            ]);
+            backends.push(Json::Obj(fields));
+        }
+    }
+    let sync_degraded = inner
+        .shards
+        .iter()
+        .any(|s| s.sync_degraded.load(Ordering::Relaxed));
+    let mut fields = vec![("backends".to_string(), Json::Arr(backends))];
+    if multi {
+        fields.push(("shard_count".to_string(), Json::u64(inner.shards.len() as u64)));
+    }
+    fields.extend([
         ("reads".to_string(), get(&m.reads)),
         ("mutations".to_string(), get(&m.mutations)),
         ("retries".to_string(), get(&m.retries)),
@@ -752,18 +996,69 @@ fn router_stats(inner: &Inner) -> Json {
         ("unavailable".to_string(), get(&m.unavailable)),
         ("timeouts".to_string(), get(&m.timeouts)),
         ("unreplicated_acks".to_string(), get(&m.unreplicated_acks)),
-        (
-            "sync_degraded".to_string(),
-            Json::Bool(inner.sync_degraded.load(Ordering::Relaxed)),
-        ),
-    ])
+        ("sync_degraded".to_string(), Json::Bool(sync_degraded)),
+    ]);
+    Json::Obj(fields)
 }
 
-/// `promote` through the router: "ensure there is a writable primary and
-/// tell me who it is" — runs the same orchestration as automated
-/// failover (a no-op returning the incumbent when one is alive).
-fn route_promote(id: Option<u64>, inner: &Inner) -> String {
-    match failover::try_failover(&inner.pool, &inner.metrics) {
+/// Fans `list_namespaces` out to every shard and merges the sorted,
+/// deduplicated union. A shard that cannot answer fails the whole op
+/// with a typed error naming it — a silently partial tenant list would
+/// read as "those tenants don't exist".
+fn route_list_namespaces(line: &str, id: Option<u64>, inner: &Inner) -> String {
+    let read_timeout = Duration::from_millis(inner.cfg.read_timeout_ms);
+    let mut names: Vec<String> = Vec::new();
+    for shard in &inner.shards {
+        let mut candidates = Vec::new();
+        if let Some(p) = shard.pool.writable() {
+            candidates.push(p);
+        }
+        candidates.extend(shard.pool.read_candidates(DEFAULT_NAMESPACE, None));
+        let mut answered = false;
+        for backend in candidates {
+            let Ok(outcome) =
+                hedge::hedged_read(backend, None, line, read_timeout, read_timeout, &inner.cfg)
+            else {
+                continue;
+            };
+            let Ok(parsed) = Json::parse(&outcome.raw) else {
+                continue;
+            };
+            if let Some(Json::Arr(list)) = parsed.get("namespaces") {
+                names.extend(list.iter().filter_map(|n| n.as_str().map(str::to_string)));
+                answered = true;
+                break;
+            }
+        }
+        if !answered {
+            inner.metrics.unavailable.fetch_add(1, Ordering::Relaxed);
+            return render_error(
+                id,
+                &RouterError::Unavailable(format!(
+                    "no backend of shard {:?} answered list_namespaces",
+                    shard.name
+                )),
+            );
+        }
+    }
+    names.sort();
+    names.dedup();
+    ok_response(
+        id,
+        vec![(
+            "namespaces".to_string(),
+            Json::Arr(names.into_iter().map(Json::Str).collect()),
+        )],
+    )
+    .render()
+}
+
+/// `promote` through the router: "ensure this tenant's shard has a
+/// writable primary and tell me who it is" — runs the same orchestration
+/// as automated failover (a no-op returning the incumbent when one is
+/// alive).
+fn route_promote(id: Option<u64>, shard: &Arc<Shard>, inner: &Inner) -> String {
+    match failover::try_failover(&shard.pool, &inner.metrics) {
         Some(leader) => ok_response(
             id,
             vec![
@@ -895,6 +1190,150 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(10));
             }
         }
+    }
+
+    #[test]
+    fn shard_spec_parses_the_flag_grammar() {
+        let s = ShardSpec::parse("t0,t1=127.0.0.1:1,127.0.0.1:2").unwrap();
+        assert_eq!(s.namespaces, vec!["t0", "t1"]);
+        assert_eq!(s.backends, vec!["127.0.0.1:1", "127.0.0.1:2"]);
+        assert_eq!(s.name(), "t0,t1");
+        let star = ShardSpec::parse("*=127.0.0.1:1").unwrap();
+        assert_eq!(star.namespaces, vec!["*"]);
+        assert!(ShardSpec::parse("t0").unwrap_err().contains("expected"));
+        assert!(ShardSpec::parse("=127.0.0.1:1").unwrap_err().contains("no namespaces"));
+        assert!(ShardSpec::parse("t0=").unwrap_err().contains("no backends"));
+        assert!(ShardSpec::parse("T0=127.0.0.1:1")
+            .unwrap_err()
+            .contains("invalid namespace"));
+    }
+
+    #[test]
+    fn shard_router_routes_tenants_and_aggregates_stats() {
+        // Two independent standalone primaries, one per shard: tenant t0
+        // is pinned to A, everything else (default, t1) falls to the
+        // catch-all B.
+        let a = spawn_server(
+            "127.0.0.1:0",
+            Arc::new(RwrSession::new(graph())),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let b = spawn_server(
+            "127.0.0.1:0",
+            Arc::new(RwrSession::new(graph())),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut cfg = RouterConfig::new(vec![]);
+        cfg.shards = vec![
+            ShardSpec::parse(&format!("t0={}", a.addr())).unwrap(),
+            ShardSpec::parse(&format!("*={}", b.addr())).unwrap(),
+        ];
+        let router = spawn("127.0.0.1:0", cfg).unwrap();
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+
+        // Lifecycle ops shard-route by their namespace operand.
+        let c0 = roundtrip(&mut via, r#"{"id":1,"op":"create_namespace","namespace":"t0"}"#);
+        assert_eq!(c0.get("ok").unwrap().as_bool(), Some(true), "{}", c0.render());
+        let c1 = roundtrip(&mut via, r#"{"id":2,"op":"create_namespace","namespace":"t1"}"#);
+        assert_eq!(c1.get("ok").unwrap().as_bool(), Some(true), "{}", c1.render());
+        let mut direct_a = TcpStream::connect(a.addr()).unwrap();
+        let mut direct_b = TcpStream::connect(b.addr()).unwrap();
+        let la = roundtrip(&mut direct_a, r#"{"id":3,"op":"list_namespaces"}"#);
+        assert_eq!(
+            la.get("namespaces").unwrap().render(),
+            r#"["default","t0"]"#,
+            "t0 landed on shard A only"
+        );
+        let lb = roundtrip(&mut direct_b, r#"{"id":4,"op":"list_namespaces"}"#);
+        assert_eq!(
+            lb.get("namespaces").unwrap().render(),
+            r#"["default","t1"]"#,
+            "t1 fell to the catch-all shard"
+        );
+
+        // Mutations and reads flow to the owning shard; the tenant's own
+        // log versions, not a neighbor's.
+        let m = roundtrip(
+            &mut via,
+            r#"{"id":5,"op":"insert_edges","namespace":"t0","edges":[[0,7],[7,0]]}"#,
+        );
+        assert_eq!(m.get("ok").unwrap().as_bool(), Some(true), "{}", m.render());
+        assert_eq!(m.get("version").unwrap().as_u64(), Some(1));
+        let q = roundtrip(
+            &mut via,
+            r#"{"id":6,"op":"query","namespace":"t0","source":0,"seed":9,"min_version":1}"#,
+        );
+        assert_eq!(q.get("ok").unwrap().as_bool(), Some(true), "{}", q.render());
+        // The default tenant (catch-all shard) is untouched by t0 writes.
+        let qd = roundtrip(&mut via, r#"{"id":7,"op":"query","source":0,"seed":9}"#);
+        assert_eq!(qd.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(qd.get("version").unwrap().as_u64(), Some(0));
+
+        // The merged tenant list spans both shards.
+        let all = roundtrip(&mut via, r#"{"id":8,"op":"list_namespaces"}"#);
+        assert_eq!(
+            all.get("namespaces").unwrap().render(),
+            r#"["default","t0","t1"]"#
+        );
+
+        // Aggregate stats: per-shard trees nest under shards.{name}, the
+        // router section tags backends with their shard.
+        let s = roundtrip(&mut via, r#"{"id":9,"op":"stats"}"#);
+        assert_eq!(s.get("ok").unwrap().as_bool(), Some(true));
+        let shards = s.get("shards").expect("multi-shard stats nest per shard");
+        assert!(shards.get("t0").unwrap().get("nodes").is_some());
+        assert!(shards.get("*").unwrap().get("nodes").is_some());
+        let rt = s.get("router").unwrap();
+        assert_eq!(rt.get("shard_count").unwrap().as_u64(), Some(2));
+        // A tenant-scoped stats stays flat (the old shape).
+        let st = roundtrip(&mut via, r#"{"id":10,"op":"stats","namespace":"t0"}"#);
+        assert!(st.get("nodes").is_some(), "{}", st.render());
+        assert!(st.get("shards").is_none());
+
+        router.shutdown().unwrap();
+        a.shutdown().unwrap();
+        b.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unmapped_namespace_gets_the_typed_error() {
+        let a = spawn_server(
+            "127.0.0.1:0",
+            Arc::new(RwrSession::new(graph())),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // No catch-all: only t0 is mapped.
+        let mut cfg = RouterConfig::new(vec![]);
+        cfg.shards = vec![ShardSpec::parse(&format!("t0={}", a.addr())).unwrap()];
+        let router = spawn("127.0.0.1:0", cfg).unwrap();
+        let mut via = TcpStream::connect(router.addr()).unwrap();
+        let r = roundtrip(
+            &mut via,
+            r#"{"id":1,"op":"query","namespace":"t9","source":0,"seed":1}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(r.get("error").unwrap().as_str(), Some("unknown_namespace"));
+        // The default tenant is unmapped too in this topology.
+        let d = roundtrip(&mut via, r#"{"id":2,"op":"query","source":0,"seed":1}"#);
+        assert_eq!(d.get("error").unwrap().as_str(), Some("unknown_namespace"));
+        // Namespace-less stats still answers (single shard: flat shape).
+        let s = roundtrip(&mut via, r#"{"id":3,"op":"stats"}"#);
+        assert_eq!(s.get("ok").unwrap().as_bool(), Some(true), "{}", s.render());
+        assert!(s.get("router").is_some());
+        router.shutdown().unwrap();
+        a.shutdown().unwrap();
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::json::Json;
 use crate::router::retry::{connect, exchange_on, Conn};
 use crate::router::{RouterConfig, RouterMetrics};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -101,6 +102,16 @@ impl Breaker {
     }
 }
 
+/// Per-namespace replication snapshot inside a [`ProbeInfo`], parsed
+/// from the `namespaces` object a multi-tenant backend adds to `stats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NsProbe {
+    /// Highest log version this namespace has applied on the backend.
+    pub applied_version: u64,
+    /// Records this namespace is behind its primary (0 on a primary).
+    pub lag_records: u64,
+}
+
 /// What the last successful probe (or piggybacked stats poll) reported.
 #[derive(Clone, Debug, Default)]
 pub struct ProbeInfo {
@@ -108,7 +119,8 @@ pub struct ProbeInfo {
     pub read_only: bool,
     /// Backend has been fenced by a newer epoch.
     pub fenced: bool,
-    /// Highest log version the backend has applied.
+    /// Highest log version the backend has applied (the default
+    /// namespace's, on a multi-tenant backend).
     pub applied_version: u64,
     /// Records behind its primary (0 on a primary).
     pub lag_records: u64,
@@ -116,6 +128,34 @@ pub struct ProbeInfo {
     pub epoch: u64,
     /// Whether any probe has ever succeeded.
     pub probed: bool,
+    /// Per-namespace snapshots; empty on a single-tenant backend, whose
+    /// flat fields describe its only (default) namespace.
+    pub namespaces: HashMap<String, NsProbe>,
+}
+
+impl ProbeInfo {
+    /// The applied version for one namespace. A single-tenant backend
+    /// (empty map) answers with its flat fields; a multi-tenant backend
+    /// that does not host `ns` answers 0 — "not caught up" — rather than
+    /// borrowing another tenant's version.
+    pub fn applied(&self, ns: &str) -> u64 {
+        if self.namespaces.is_empty() {
+            self.applied_version
+        } else {
+            self.namespaces.get(ns).map_or(0, |i| i.applied_version)
+        }
+    }
+
+    /// The replication lag for one namespace (same fallback rules as
+    /// [`ProbeInfo::applied`], except a missing namespace reports the
+    /// flat lag so breaker ordering stays sane).
+    pub fn lag(&self, ns: &str) -> u64 {
+        if self.namespaces.is_empty() {
+            self.lag_records
+        } else {
+            self.namespaces.get(ns).map_or(self.lag_records, |i| i.lag_records)
+        }
+    }
 }
 
 /// One backend: address, breaker + probe snapshot, pooled idle
@@ -276,8 +316,9 @@ impl BackendPool {
 
     /// Read candidates for a query, least-lagged replicas first, primary
     /// last (replicas absorb read load; the primary is the fallback that
-    /// always satisfies any `min_version`).
-    pub(crate) fn read_candidates(&self, min_version: Option<u64>) -> Vec<Arc<Backend>> {
+    /// always satisfies any `min_version`). `min_version` is compared
+    /// against the *namespace's* applied version on each backend.
+    pub(crate) fn read_candidates(&self, ns: &str, min_version: Option<u64>) -> Vec<Arc<Backend>> {
         let mut replicas: Vec<(u64, usize, Arc<Backend>)> = Vec::new();
         let mut primary: Option<Arc<Backend>> = None;
         for (idx, b) in self.backends.iter().enumerate() {
@@ -292,8 +333,8 @@ impl BackendPool {
                 primary.get_or_insert_with(|| b.clone());
                 continue;
             }
-            if min_version.is_none_or(|v| info.applied_version >= v) {
-                replicas.push((info.lag_records, idx, b.clone()));
+            if min_version.is_none_or(|v| info.applied(ns) >= v) {
+                replicas.push((info.lag(ns), idx, b.clone()));
             }
         }
         // Order by lag; rotate equal-lag replicas round-robin so load
@@ -317,37 +358,37 @@ impl BackendPool {
         out
     }
 
-    /// The reachable backend with the highest applied version — the
-    /// stale-read server of last resort and the promotion candidate.
-    pub(crate) fn freshest(&self) -> Option<Arc<Backend>> {
+    /// The reachable backend with the highest applied version for `ns` —
+    /// the stale-read server of last resort and the promotion candidate.
+    pub(crate) fn freshest(&self, ns: &str) -> Option<Arc<Backend>> {
         self.backends
             .iter()
             .filter(|b| {
                 let i = b.info();
                 i.probed && b.breaker_state() != BreakerState::Open
             })
-            .max_by_key(|b| b.info().applied_version)
+            .max_by_key(|b| b.info().applied(ns))
             .cloned()
     }
 
     /// Non-blocking form of [`BackendPool::await_replicated`]: does some
-    /// live replica's last probe already show `applied_version >=
+    /// live replica's last probe already show `ns` applied at `>=
     /// version`? Used to re-arm semi-sync after a sticky degradation.
-    pub(crate) fn replicated_at(&self, version: u64) -> bool {
+    pub(crate) fn replicated_at(&self, ns: &str, version: u64) -> bool {
         self.backends.iter().any(|b| {
             let info = b.info();
             info.probed
                 && info.read_only
                 && b.breaker_state() != BreakerState::Open
-                && info.applied_version >= version
+                && info.applied(ns) >= version
         })
     }
 
-    /// Semi-sync ack: block until some *replica* reports
-    /// `applied_version >= version`, polling stats directly (which also
+    /// Semi-sync ack: block until some *replica* reports namespace `ns`
+    /// applied at `>= version`, polling stats directly (which also
     /// freshens that replica's probe info). True on success, false when
     /// the deadline passes or there are no replicas to wait for.
-    pub(crate) fn await_replicated(&self, version: u64, deadline: Instant) -> bool {
+    pub(crate) fn await_replicated(&self, ns: &str, version: u64, deadline: Instant) -> bool {
         let timeout = Duration::from_millis(self.cfg.probe_timeout_ms);
         loop {
             let mut any_replica = false;
@@ -360,7 +401,7 @@ impl BackendPool {
                     continue;
                 }
                 any_replica = true;
-                if info.applied_version >= version {
+                if info.applied(ns) >= version {
                     return true;
                 }
             }
@@ -371,7 +412,7 @@ impl BackendPool {
             // the next prober tick: shipping is usually a millisecond.
             for b in &self.backends {
                 let info = b.info();
-                if info.probed && info.read_only && info.applied_version < version {
+                if info.probed && info.read_only && info.applied(ns) < version {
                     let _ = timeout; // probe uses cfg timeout internally
                     self.probe(b);
                 }
@@ -386,6 +427,19 @@ fn parse_probe(stats: &Json) -> ProbeInfo {
     let repl = stats.get("replication");
     let get_u64 = |key: &str| repl.and_then(|r| r.get(key)).and_then(Json::as_u64);
     let get_bool = |key: &str| repl.and_then(|r| r.get(key)).and_then(Json::as_bool);
+    let mut namespaces = HashMap::new();
+    if let Some(Json::Obj(entries)) = stats.get("namespaces") {
+        for (name, entry) in entries {
+            let field = |key: &str| entry.get(key).and_then(Json::as_u64).unwrap_or(0);
+            namespaces.insert(
+                name.clone(),
+                NsProbe {
+                    applied_version: field("applied_version"),
+                    lag_records: field("lag_records"),
+                },
+            );
+        }
+    }
     ProbeInfo {
         read_only: get_bool("read_only").unwrap_or(false),
         fenced: get_bool("fenced").unwrap_or(false),
@@ -395,6 +449,7 @@ fn parse_probe(stats: &Json) -> ProbeInfo {
         lag_records: get_u64("lag_records").unwrap_or(0),
         epoch: get_u64("epoch").unwrap_or(0),
         probed: true,
+        namespaces,
     }
 }
 

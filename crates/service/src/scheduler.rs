@@ -132,6 +132,17 @@ pub enum ErrorKind {
     /// (and forever after, as [`ErrorKind::ReadOnly`] semantics with the
     /// fencing epoch attached).
     Fenced,
+    /// The tenant namespace this request targeted was dropped while the
+    /// request was queued or in flight. Dropping retires the namespace's
+    /// scheduler ([`Scheduler::retire`]): everything pending is answered
+    /// with this — never left hanging — and new requests get the wire-level
+    /// `unknown_namespace` instead.
+    NamespaceDropped,
+    /// The request named a tenant namespace this server (or shard map)
+    /// does not know. Unlike [`ErrorKind::NamespaceDropped`] this is a
+    /// routing answer, not a lifecycle race: the namespace may never have
+    /// existed here.
+    UnknownNamespace,
 }
 
 impl ErrorKind {
@@ -144,6 +155,8 @@ impl ErrorKind {
             ErrorKind::SourceOutOfRange => "source out of range",
             ErrorKind::ReadOnly => "read_only",
             ErrorKind::Fenced => "fenced",
+            ErrorKind::NamespaceDropped => "namespace_dropped",
+            ErrorKind::UnknownNamespace => "unknown_namespace",
         }
     }
 }
@@ -179,6 +192,26 @@ impl ServiceError {
             id,
             ErrorKind::ReadOnly,
             format!("read replica; send mutations to the primary at {primary}"),
+        )
+    }
+
+    /// The typed answer every request still pending in a retired
+    /// scheduler receives: its namespace no longer exists.
+    pub fn namespace_dropped(id: u64) -> Self {
+        ServiceError::new(
+            id,
+            ErrorKind::NamespaceDropped,
+            "namespace was dropped while the request was pending",
+        )
+    }
+
+    /// The typed answer for a request naming a namespace this server (or
+    /// the router's shard map) has no tenant for.
+    pub fn unknown_namespace(id: u64, ns: &str) -> Self {
+        ServiceError::new(
+            id,
+            ErrorKind::UnknownNamespace,
+            format!("unknown namespace {ns:?}"),
         )
     }
 
@@ -390,6 +423,7 @@ pub struct Scheduler {
     metrics: Arc<Metrics>,
     load: Arc<AtomicU64>,
     config: SchedulerConfig,
+    retired: Arc<std::sync::atomic::AtomicBool>,
     submit_tx: Option<Sender<Pending>>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
@@ -423,6 +457,7 @@ impl Scheduler {
         let cache = Arc::new(ResultCache::new(config.cache_capacity));
         let metrics = Arc::new(Metrics::new());
         let load = Arc::new(AtomicU64::new(0));
+        let retired = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let (submit_tx, submit_rx) = channel::unbounded::<Pending>();
         let (job_tx, job_rx) = channel::unbounded::<Job>();
         let inflight: Arc<InflightMap> = Arc::new(Mutex::new(HashMap::new()));
@@ -447,13 +482,14 @@ impl Scheduler {
             };
             let batch_max = config.batch_max.max(1);
             let faults = config.faults;
+            let retired = retired.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("rwr-dispatch".into())
                     .spawn(move || {
                         dispatch_loop(
                             submit_rx, job_tx, inflight, cache, ctx, session, hash, batch_max,
-                            faults, budget,
+                            faults, budget, retired,
                         )
                     })
                     .expect("spawn dispatcher"),
@@ -472,10 +508,13 @@ impl Scheduler {
                 eps: config.dynamic_eps.max(0.0),
                 delta: config.dynamic_delta,
             };
+            let retired = retired.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("rwr-worker-{w}"))
-                    .spawn(move || worker_loop(job_rx, session, cache, ctx, inflight, dynamic))
+                    .spawn(move || {
+                        worker_loop(job_rx, session, cache, ctx, inflight, dynamic, retired)
+                    })
                     .expect("spawn worker"),
             );
         }
@@ -486,6 +525,7 @@ impl Scheduler {
             metrics,
             load,
             config,
+            retired,
             submit_tx: Some(submit_tx),
             threads,
         }
@@ -541,6 +581,12 @@ impl Scheduler {
     /// [`Scheduler::submit_hook`]: shed over `queue_cap`, stamp the
     /// deadline, enqueue for the dispatcher.
     fn submit_reply(&self, request: QueryRequest, reply: Reply) {
+        if self.retired.load(Relaxed) {
+            self.metrics.errors.fetch_add(1, Relaxed);
+            self.metrics.latency_err.record(1);
+            reply.deliver(Err(ServiceError::namespace_dropped(request.id)));
+            return;
+        }
         let cap = self.config.queue_cap;
         let load = self.load.fetch_add(1, Relaxed) + 1;
         if cap != 0 && load > cap as u64 {
@@ -593,6 +639,10 @@ impl Scheduler {
     /// and the client may retry). Counted in `mutations` only on success.
     pub fn apply(&self, op: &MutationOp) -> Result<u64, DurabilityError> {
         let version = self.session.apply_mutation(op)?;
+        // Chaos commit metering: the ack is held until the (emulated,
+        // process-wide) commit device drains this record. Inert unless
+        // the fault plan carries `cdelay`.
+        self.config.faults.commit_gate();
         self.metrics.mutations.fetch_add(1, Relaxed);
         if matches!(op, MutationOp::DeleteNode(_)) {
             // Not offset-expressible: cached entries can never be rolled
@@ -604,6 +654,26 @@ impl Scheduler {
                 .fetch_add(purged as u64, Relaxed);
         }
         Ok(version)
+    }
+
+    /// Retires this scheduler: its namespace was dropped. Purges the
+    /// cache, and from this point every request — new at admission, queued
+    /// at dispatch, or coalesced behind an in-flight computation — is
+    /// answered with [`ErrorKind::NamespaceDropped`] instead of a result.
+    /// Never a hang: the dispatcher and workers keep draining; they just
+    /// answer with the typed error. Irreversible (a re-created namespace
+    /// gets a fresh scheduler).
+    pub fn retire(&self) {
+        self.retired.store(true, std::sync::atomic::Ordering::SeqCst);
+        let purged = self.cache.purge();
+        self.metrics
+            .cache_invalidations
+            .fetch_add(purged as u64, Relaxed);
+    }
+
+    /// Whether [`Scheduler::retire`] has run.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Relaxed)
     }
 }
 
@@ -650,6 +720,7 @@ fn dispatch_loop(
     batch_max: usize,
     faults: FaultPlan,
     thread_budget: usize,
+    retired: Arc<std::sync::atomic::AtomicBool>,
 ) {
     loop {
         // Blocking head of the batch…
@@ -669,6 +740,11 @@ fn dispatch_loop(
         let version = session.version();
         for pending in batch {
             let id = pending.request.id;
+            if retired.load(Relaxed) {
+                let enqueued = pending.enqueued;
+                ctx.send_err(pending.reply, enqueued, ServiceError::namespace_dropped(id));
+                continue;
+            }
             // Forced expiry (fault plan) and real queue-wait expiry are the
             // same failure from the client's point of view.
             let expired = faults.should_expire(id)
@@ -825,8 +901,24 @@ fn worker_loop(
     ctx: ReplyCtx,
     inflight: Arc<InflightMap>,
     dynamic: DynamicPolicy,
+    retired: Arc<std::sync::atomic::AtomicBool>,
 ) {
     while let Ok(job) = job_rx.recv() {
+        // A retired scheduler's jobs are answered, not computed: every
+        // waiter (leader and coalesced followers alike) gets the typed
+        // drop error. Skipping the computation also means drop_namespace
+        // never waits behind a queued backlog of doomed queries.
+        if retired.load(Relaxed) {
+            let waiters = match job.direct {
+                Some(w) => vec![w],
+                None => inflight.lock().remove(&job.key).unwrap_or_default(),
+            };
+            for w in waiters {
+                let enqueued = w.enqueued;
+                ctx.send_err(w.reply, enqueued, ServiceError::namespace_dropped(w.id));
+            }
+            continue;
+        }
         // Fault delays apply to either serving path (they model slow
         // computation; sleeping cannot panic, so it sits outside the
         // unwind boundary).
@@ -886,6 +978,16 @@ fn worker_loop(
             Some(w) => vec![w],
             None => inflight.lock().remove(&job.key).unwrap_or_default(),
         };
+
+        // Retired mid-computation: the result is for a namespace that no
+        // longer exists. Discard it and answer with the typed error.
+        if retired.load(Relaxed) {
+            for w in waiters {
+                let enqueued = w.enqueued;
+                ctx.send_err(w.reply, enqueued, ServiceError::namespace_dropped(w.id));
+            }
+            continue;
+        }
 
         match outcome {
             Ok(Ok((result, version))) => {
@@ -1395,6 +1497,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn retire_answers_everything_with_namespace_dropped() {
+        // One slow worker, a pile of queued + coalesced requests, then
+        // retire: every ticket must resolve (no hang), the queued ones
+        // with the typed drop error, and new submissions are refused
+        // inline. Cache is purged.
+        let s = mk(1, 64);
+        s.query(req(1, 3, Some(7))).unwrap();
+        assert_eq!(s.cache().len(), 1);
+        let tickets: Vec<Ticket> = (10..40u64)
+            .map(|i| s.submit(req(i, (i % 5) as u32, None)))
+            .collect();
+        s.retire();
+        assert!(s.is_retired());
+        assert!(s.cache().is_empty(), "retire purges the cache");
+        let mut dropped = 0;
+        for t in tickets {
+            match t.wait() {
+                Err(e) if e.kind == ErrorKind::NamespaceDropped => dropped += 1,
+                Ok(_) => {} // raced ahead of the flag: still answered
+                Err(e) => panic!("unexpected error after retire: {e}"),
+            }
+        }
+        assert!(dropped > 0, "queued requests must see the typed drop error");
+        let err = s.query(req(999, 0, None)).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NamespaceDropped);
+        assert_eq!(err.kind.code(), "namespace_dropped");
+        assert_eq!(s.load(), 0, "no request left unanswered");
     }
 
     #[test]

@@ -50,7 +50,8 @@ use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 use crate::replication::ReplicationRole;
 use crate::scheduler::{QueryRequest, Scheduler, SchedulerConfig, ServiceError};
-use resacc::durability::{MutationOp, RecoveryStats};
+use crate::tenants::{Tenant, Tenants};
+use resacc::durability::{MutationOp, RecoveryStats, DEFAULT_NAMESPACE};
 use resacc::topk::top_k;
 use resacc::RwrSession;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -139,6 +140,27 @@ pub struct ServerConfig {
     pub backend: ServerBackend,
 }
 
+impl ServerConfig {
+    /// The scheduler configuration this server config implies. Every
+    /// tenant namespace gets its own [`Scheduler`] built from this one
+    /// template — the per-tenant instances are what make cache and
+    /// version isolation structural.
+    pub fn scheduler_config(&self) -> SchedulerConfig {
+        SchedulerConfig {
+            workers: self.workers,
+            cache_capacity: self.cache_capacity,
+            batch_max: self.batch_max,
+            queue_cap: self.queue_cap,
+            default_deadline: None, // applied per request from deadline_ms
+            threads_per_query: self.threads_per_query,
+            faults: self.faults,
+            dynamic_eps: self.dynamic_eps,
+            dynamic_delta: self.dynamic_delta,
+            ..Default::default()
+        }
+    }
+}
+
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
@@ -183,32 +205,26 @@ pub fn serve(
     session: Arc<RwrSession>,
     config: ServerConfig,
 ) -> std::io::Result<()> {
-    let scheduler = Arc::new(Scheduler::new(
+    // Single-session entry: wrap the session as the `default` tenant.
+    // Runtime `create_namespace` still works (in-memory tenants), so the
+    // wire surface is identical whichever entry started the server.
+    let tenants = Arc::new(Tenants::single(
         session,
-        SchedulerConfig {
-            workers: config.workers,
-            cache_capacity: config.cache_capacity,
-            batch_max: config.batch_max,
-            queue_cap: config.queue_cap,
-            default_deadline: None, // applied per request from deadline_ms
-            threads_per_query: config.threads_per_query,
-            faults: config.faults,
-            dynamic_eps: config.dynamic_eps,
-            dynamic_delta: config.dynamic_delta,
-            ..Default::default()
-        },
+        config.scheduler_config(),
+        config.recovery,
     ));
-    {
-        // Publish what startup recovery observed; these are set once and
-        // only read thereafter.
-        let m = scheduler.metrics();
-        m.wal_records_replayed
-            .store(config.recovery.wal_records_replayed, Ordering::Relaxed);
-        m.wal_truncated_bytes
-            .store(config.recovery.wal_truncated_bytes, Ordering::Relaxed);
-        m.snapshots_loaded
-            .store(config.recovery.snapshots_loaded, Ordering::Relaxed);
-    }
+    serve_tenants(listener, tenants, config)
+}
+
+/// Serves a multi-tenant registry on `listener` until a client sends
+/// `{"op":"shutdown"}`. Requests route to their tenant by the optional
+/// `namespace` field (absent means `default`); both connection engines
+/// and the drain contract are exactly [`serve`]'s.
+pub fn serve_tenants(
+    listener: TcpListener,
+    tenants: Arc<Tenants>,
+    config: ServerConfig,
+) -> std::io::Result<()> {
     let limits = ConnLimits {
         default_k: config.default_k,
         default_deadline_ms: config.default_deadline_ms,
@@ -218,15 +234,20 @@ pub fn serve(
     };
 
     match config.backend {
-        ServerBackend::Event => crate::reactor::run(listener, scheduler.clone(), &config, limits)?,
-        ServerBackend::Threaded => serve_threaded(listener, scheduler.clone(), &config, limits)?,
+        ServerBackend::Event => crate::reactor::run(listener, tenants.clone(), &config, limits)?,
+        ServerBackend::Threaded => serve_threaded(listener, tenants.clone(), &config, limits)?,
     }
     // All mutation sources are gone (both engines join their mutation
-    // threads before returning), so checkpoint: snapshot at the final
-    // version and truncate the WAL. A restart after this drain replays
-    // zero records — clean shutdown never relies on recovery.
-    if let Err(e) = scheduler.session().checkpoint() {
-        eprintln!("shutdown checkpoint failed (WAL still covers all mutations): {e}");
+    // threads before returning), so checkpoint every tenant: snapshot at
+    // the final version and truncate the WAL. A restart after this drain
+    // replays zero records — clean shutdown never relies on recovery.
+    for tenant in tenants.all() {
+        if let Err(e) = tenant.scheduler.session().checkpoint() {
+            eprintln!(
+                "shutdown checkpoint failed for namespace {:?} (WAL still covers all mutations): {e}",
+                tenant.name
+            );
+        }
     }
     Ok(())
 }
@@ -234,12 +255,15 @@ pub fn serve(
 /// The thread-per-connection engine ([`ServerBackend::Threaded`]).
 fn serve_threaded(
     listener: TcpListener,
-    scheduler: Arc<Scheduler>,
+    tenants: Arc<Tenants>,
     config: &ServerConfig,
     limits: ConnLimits,
 ) -> std::io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
     let replication = config.replication.clone();
+    // Listener-level counters (rejects, accept errors) are not owned by
+    // any one tenant; they land on the default tenant's surface.
+    let listener_metrics = tenants.default_tenant().scheduler.metrics().clone();
 
     listener.set_nonblocking(true)?;
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -251,14 +275,11 @@ fn serve_threaded(
                 accept_failures = 0;
                 handlers.retain(|t| !t.is_finished());
                 if config.max_conns != 0 && handlers.len() >= config.max_conns {
-                    scheduler
-                        .metrics()
-                        .rejected_conns
-                        .fetch_add(1, Ordering::Relaxed);
+                    listener_metrics.rejected_conns.fetch_add(1, Ordering::Relaxed);
                     reject_connection(stream, config.max_conns);
                     continue;
                 }
-                let scheduler = scheduler.clone();
+                let tenants = tenants.clone();
                 let stop = stop.clone();
                 let replication = replication.clone();
                 handlers.push(
@@ -267,7 +288,7 @@ fn serve_threaded(
                         .spawn(move || {
                             let requested_shutdown = handle_connection(
                                 stream,
-                                &scheduler,
+                                &tenants,
                                 &limits,
                                 replication.as_deref(),
                                 &stop,
@@ -283,10 +304,7 @@ fn serve_threaded(
             }
             Err(_) => {
                 // Persistent accept failures (e.g. EMFILE) must not spin.
-                scheduler
-                    .metrics()
-                    .accept_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                listener_metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(ACCEPT_BACKOFF.delay(backoff_seed, accept_failures));
                 accept_failures = accept_failures.saturating_add(1);
             }
@@ -441,7 +459,7 @@ fn read_more(stream: &mut TcpStream, buf: &mut Vec<u8>, max: usize) -> ReadStep 
 /// drain contract for in-flight work.
 fn handle_connection(
     stream: TcpStream,
-    scheduler: &Scheduler,
+    tenants: &Arc<Tenants>,
     limits: &ConnLimits,
     replication: Option<&ReplicationRole>,
     stop: &AtomicBool,
@@ -460,7 +478,7 @@ fn handle_connection(
             if line.trim().is_empty() {
                 continue;
             }
-            let (response, shutdown) = handle_line(&line, scheduler, limits, replication);
+            let (response, shutdown) = handle_line(&line, tenants, limits, replication);
             if writeln!(writer, "{}", response.render()).is_err() || writer.flush().is_err() {
                 return false;
             }
@@ -555,7 +573,7 @@ pub(crate) enum LineOutcome {
     Respond(Json),
     /// Write this response, then shut the server down (drain).
     Shutdown(Json),
-    /// Run a query through the scheduler; render with
+    /// Run a query through its tenant's scheduler; render with
     /// [`render_query_outcome`].
     Query {
         /// Echoed request id.
@@ -566,6 +584,8 @@ pub(crate) enum LineOutcome {
         k: usize,
         /// Include the full score vector.
         full: bool,
+        /// The tenant's scheduler (resolved from the `namespace` field).
+        scheduler: Arc<Scheduler>,
     },
     /// Apply a durable mutation (blocking WAL append); render with
     /// [`apply_response`].
@@ -574,6 +594,8 @@ pub(crate) enum LineOutcome {
         id: Option<u64>,
         /// The mutation to apply.
         op: MutationOp,
+        /// The tenant's scheduler (resolved from the `namespace` field).
+        scheduler: Arc<Scheduler>,
     },
     /// Run the `promote` admin op (blocking drain); render with
     /// [`promote_json`].
@@ -583,59 +605,122 @@ pub(crate) enum LineOutcome {
         /// The full request (carries the optional `fence` field).
         request: Json,
     },
+    /// Run a namespace-lifecycle op (blocking manifest/recovery I/O);
+    /// render with [`admin_response`].
+    Admin {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Which lifecycle action to run.
+        action: AdminAction,
+    },
+}
+
+/// A namespace-lifecycle request ([`LineOutcome::Admin`]).
+pub(crate) enum AdminAction {
+    /// `create_namespace`: durably create and start serving a tenant.
+    Create(String),
+    /// `drop_namespace`: durably remove a tenant and retire its scheduler.
+    Drop(String),
+    /// `list_namespaces`: report every live tenant.
+    List,
 }
 
 /// Dispatches one request line into a [`LineOutcome`] — the single
 /// routing point both connection engines share.
+///
+/// The optional `namespace` field picks the tenant; absent means
+/// `default`, so every pre-namespace client keeps working unchanged. Ops
+/// that target a tenant (`query`, mutations, `stats`) resolve it here and
+/// carry its scheduler in the outcome; an unmapped name gets the typed
+/// `unknown_namespace` error.
 pub(crate) fn route_line(
     line: &str,
-    scheduler: &Scheduler,
+    tenants: &Arc<Tenants>,
     limits: &ConnLimits,
     replication: Option<&ReplicationRole>,
 ) -> LineOutcome {
     use std::sync::atomic::Ordering::Relaxed;
+    // Protocol-level failures (bad json, unknown op/namespace) have no
+    // tenant to charge; they count on the default tenant's surface, which
+    // is also where pre-namespace clients have always seen them.
+    let base_metrics = || tenants.default_tenant().scheduler.metrics().clone();
     let request = match Json::parse(line) {
         Ok(j) => j,
         Err(e) => {
-            scheduler.metrics().errors.fetch_add(1, Relaxed);
+            base_metrics().errors.fetch_add(1, Relaxed);
             return LineOutcome::Respond(error_response(None, &format!("bad json: {e}")));
         }
     };
     let id = request.get("id").and_then(Json::as_u64);
     let op = request.get("op").and_then(Json::as_str).unwrap_or("");
-    // Read replicas answer queries but bounce every mutation to the
-    // primary with a typed error (the replica's graph is owned by the
-    // replication stream; a local write would fork the history). A node
-    // that was *fenced* out of its primaryship reports the richer
+    let ns = match request.get("namespace") {
+        None => DEFAULT_NAMESPACE,
+        Some(j) => match j.as_str() {
+            Some(s) => s,
+            None => {
+                base_metrics().errors.fetch_add(1, Relaxed);
+                return LineOutcome::Respond(error_response(id, "namespace must be a string"));
+            }
+        },
+    };
+    // Read replicas answer queries but bounce every mutation — including
+    // namespace lifecycle, which replicas learn through reconciliation —
+    // to the primary with a typed error (the replica's graphs are owned
+    // by the replication streams; a local write would fork a history). A
+    // node that was *fenced* out of its primaryship reports the richer
     // `fenced` error — checked first, because a fenced node is also
     // read-only and the epoch/leader fields are what clients need.
-    if matches!(op, "insert_edges" | "delete_edges" | "delete_node") {
+    if matches!(
+        op,
+        "insert_edges" | "delete_edges" | "delete_node" | "create_namespace" | "drop_namespace"
+    ) {
         if let Some(role) = replication {
             if let Some((epoch, leader)) = role.fenced() {
-                scheduler.metrics().errors.fetch_add(1, Relaxed);
+                base_metrics().errors.fetch_add(1, Relaxed);
                 return LineOutcome::Respond(fenced_error_response(id, epoch, &leader));
             }
             if role.is_read_only() {
-                scheduler.metrics().errors.fetch_add(1, Relaxed);
+                base_metrics().errors.fetch_add(1, Relaxed);
                 let e = ServiceError::read_only(id.unwrap_or(0), &role.primary_addr());
                 return LineOutcome::Respond(service_error_response(id, &e));
             }
         }
     }
+    // Tenant-targeted ops resolve the namespace now; the rest (lifecycle,
+    // promote, ping, shutdown) operate on the registry or the process.
+    let tenant = if matches!(
+        op,
+        "query" | "insert_edges" | "delete_edges" | "delete_node" | "stats"
+    ) {
+        match tenants.get(ns) {
+            Some(t) => Some(t),
+            None => {
+                base_metrics().errors.fetch_add(1, Relaxed);
+                let e = ServiceError::unknown_namespace(id.unwrap_or(0), ns);
+                return LineOutcome::Respond(service_error_response(id, &e));
+            }
+        }
+    } else {
+        None
+    };
+    let scheduler = || tenant.as_ref().expect("tenant resolved").scheduler.clone();
     let result = match op {
         "query" => parse_query(&request, limits).map(|(request, k, full)| LineOutcome::Query {
             id,
             request,
             k,
             full,
+            scheduler: scheduler(),
         }),
         "insert_edges" => parse_edges(&request).map(|edges| LineOutcome::Mutation {
             id,
             op: MutationOp::InsertEdges(edges),
+            scheduler: scheduler(),
         }),
         "delete_edges" => parse_edges(&request).map(|edges| LineOutcome::Mutation {
             id,
             op: MutationOp::DeleteEdges(edges),
+            scheduler: scheduler(),
         }),
         "delete_node" => request
             .get("node")
@@ -644,12 +729,26 @@ pub(crate) fn route_line(
             .map(|node| LineOutcome::Mutation {
                 id,
                 op: MutationOp::DeleteNode(node as u32),
+                scheduler: scheduler(),
             }),
         "stats" => Ok(LineOutcome::Respond(stats_response(
             id,
-            scheduler,
+            tenant.as_ref().expect("tenant resolved"),
+            tenants,
             replication,
         ))),
+        "create_namespace" => Ok(LineOutcome::Admin {
+            id,
+            action: AdminAction::Create(ns.to_string()),
+        }),
+        "drop_namespace" => Ok(LineOutcome::Admin {
+            id,
+            action: AdminAction::Drop(ns.to_string()),
+        }),
+        "list_namespaces" => Ok(LineOutcome::Admin {
+            id,
+            action: AdminAction::List,
+        }),
         "promote" => Ok(LineOutcome::Promote { id, request }),
         "ping" => Ok(LineOutcome::Respond(ok_response(id, vec![]))),
         "shutdown" => Ok(LineOutcome::Shutdown(ok_response(id, vec![]))),
@@ -658,7 +757,10 @@ pub(crate) fn route_line(
     match result {
         Ok(outcome) => outcome,
         Err(e) => {
-            scheduler.metrics().errors.fetch_add(1, Relaxed);
+            match &tenant {
+                Some(t) => t.scheduler.metrics().errors.fetch_add(1, Relaxed),
+                None => base_metrics().errors.fetch_add(1, Relaxed),
+            };
             LineOutcome::Respond(error_response(id, &e))
         }
     }
@@ -668,11 +770,11 @@ pub(crate) fn route_line(
 /// returns (response, shutdown_requested).
 fn handle_line(
     line: &str,
-    scheduler: &Scheduler,
+    tenants: &Arc<Tenants>,
     limits: &ConnLimits,
     replication: Option<&ReplicationRole>,
 ) -> (Json, bool) {
-    match route_line(line, scheduler, limits, replication) {
+    match route_line(line, tenants, limits, replication) {
         LineOutcome::Respond(json) => (json, false),
         LineOutcome::Shutdown(json) => (json, true),
         LineOutcome::Query {
@@ -680,15 +782,19 @@ fn handle_line(
             request,
             k,
             full,
+            scheduler,
         } => (
             render_query_outcome(id, scheduler.query(request), k, full),
             false,
         ),
-        LineOutcome::Mutation { id, op } => (apply_response(id, scheduler, op), false),
+        LineOutcome::Mutation { id, op, scheduler } => {
+            (apply_response(id, &scheduler, op), false)
+        }
         LineOutcome::Promote { id, request } => (
-            promote_json(id, &request, scheduler, replication),
+            promote_json(id, &request, tenants, replication),
             false,
         ),
+        LineOutcome::Admin { id, action } => (admin_response(id, &action, tenants), false),
     }
 }
 
@@ -710,6 +816,13 @@ fn mutation_response(id: Option<u64>, version: u64) -> Json {
 /// untouched and surfaces as a typed `storage_failed` error — never a panic
 /// that would take the handler (and every pipelined request) down with it.
 pub(crate) fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: MutationOp) -> Json {
+    // The tenant can be dropped between routing and execution; the
+    // retired flag closes that race with the same typed error its
+    // in-flight queries receive.
+    if scheduler.is_retired() {
+        let e = ServiceError::namespace_dropped(id.unwrap_or(0));
+        return service_error_response(id, &e);
+    }
     match scheduler.apply(&op) {
         Ok(version) => mutation_response(id, version),
         // A fence can land between the role check and the session apply;
@@ -741,13 +854,15 @@ pub(crate) fn apply_response(id: Option<u64>, scheduler: &Scheduler, op: Mutatio
 pub(crate) fn promote_json(
     id: Option<u64>,
     request: &Json,
-    scheduler: &Scheduler,
+    tenants: &Arc<Tenants>,
     replication: Option<&ReplicationRole>,
 ) -> Json {
-    match promote_response(id, request, scheduler, replication) {
+    match promote_response(id, request, tenants, replication) {
         Ok(json) => json,
         Err(e) => {
-            scheduler
+            tenants
+                .default_tenant()
+                .scheduler
                 .metrics()
                 .errors
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -759,12 +874,20 @@ pub(crate) fn promote_json(
 fn promote_response(
     id: Option<u64>,
     request: &Json,
-    scheduler: &Scheduler,
+    tenants: &Arc<Tenants>,
     replication: Option<&ReplicationRole>,
 ) -> Result<Json, String> {
     let role = replication.ok_or("no replication role: this server is a standalone primary")?;
     let old_primary = role.primary_addr();
-    let (version, epoch) = role.promote(scheduler.session())?;
+    // Promotion is a *process* transition: every tenant drains its stream
+    // and bumps its own epoch (epochs are per-namespace on disk).
+    let promoted = role.promote_tenants(tenants)?;
+    let (version, epoch) = promoted
+        .iter()
+        .find(|(ns, _, _)| ns == DEFAULT_NAMESPACE)
+        .map(|&(_, v, e)| (v, e))
+        .or_else(|| promoted.first().map(|&(_, v, e)| (v, e)))
+        .ok_or("no tenants to promote")?;
     // Fence target: explicit override first (the old primary's *client*
     // address is not its replication address, so tests and tooling pass
     // the right one), else the address this replica was following.
@@ -774,7 +897,7 @@ fn promote_response(
         .map(str::to_string)
         .or_else(|| (!old_primary.is_empty()).then_some(old_primary));
     if let Some(target) = fence_target {
-        spawn_fence_prober(target, epoch, version, role.self_addr());
+        spawn_fence_prober(target, promoted, role.self_addr());
     }
     Ok(ok_response(
         id,
@@ -786,36 +909,92 @@ fn promote_response(
     ))
 }
 
-/// Retries a fence probe against the old primary until it acknowledges or
-/// the retry budget runs out. Runs detached: promotion must not block on
-/// an old primary that is partitioned away — the probe exists so that the
-/// moment it becomes reachable again, it learns it lost.
-fn spawn_fence_prober(target: String, epoch: u64, fork_version: u64, leader: String) {
+/// Retries a fence probe per namespace against the old primary until each
+/// acknowledges or the retry budget runs out. Runs detached: promotion
+/// must not block on an old primary that is partitioned away — the probes
+/// exist so that the moment it becomes reachable again, it learns it lost
+/// every tenant.
+fn spawn_fence_prober(target: String, promoted: Vec<(String, u64, u64)>, leader: String) {
     std::thread::Builder::new()
         .name("fence-probe".into())
         .spawn(move || {
             let deadline = Instant::now() + Duration::from_secs(60);
-            loop {
-                match resacc::replication::fence_probe(&target, epoch, fork_version, &leader) {
+            let mut remaining = promoted;
+            while !remaining.is_empty() {
+                remaining.retain(|(ns, fork_version, epoch)| {
                     // Acknowledged (true) or the target outranks us
-                    // (false): either way the probe's work is done.
-                    Ok(_) => return,
-                    Err(_) if Instant::now() < deadline => {
-                        std::thread::sleep(Duration::from_millis(500))
-                    }
-                    Err(_) => return,
+                    // (false): either way this namespace's probe is done.
+                    resacc::replication::fence_probe_ns(&target, ns, *epoch, *fork_version, &leader)
+                        .is_err()
+                });
+                if remaining.is_empty() || Instant::now() >= deadline {
+                    return;
                 }
+                std::thread::sleep(Duration::from_millis(500));
             }
         })
         .ok();
 }
 
+/// Renders a namespace-lifecycle outcome ([`LineOutcome::Admin`]) — the
+/// blocking half runs on a connection thread or the reactor's executor
+/// pool, exactly like a durable mutation.
+pub(crate) fn admin_response(id: Option<u64>, action: &AdminAction, tenants: &Arc<Tenants>) -> Json {
+    use std::sync::atomic::Ordering::Relaxed;
+    let fail = |e: String| {
+        tenants
+            .default_tenant()
+            .scheduler
+            .metrics()
+            .errors
+            .fetch_add(1, Relaxed);
+        error_response(id, &e)
+    };
+    match action {
+        AdminAction::Create(name) => match tenants.create(name) {
+            Ok(_) => ok_response(
+                id,
+                vec![("namespace".to_string(), Json::Str(name.clone()))],
+            ),
+            Err(e) => fail(e),
+        },
+        AdminAction::Drop(name) => {
+            if name != DEFAULT_NAMESPACE && tenants.get(name).is_none() {
+                tenants
+                    .default_tenant()
+                    .scheduler
+                    .metrics()
+                    .errors
+                    .fetch_add(1, Relaxed);
+                let e = ServiceError::unknown_namespace(id.unwrap_or(0), name);
+                return service_error_response(id, &e);
+            }
+            match tenants.drop_ns(name) {
+                Ok(_) => ok_response(
+                    id,
+                    vec![("namespace".to_string(), Json::Str(name.clone()))],
+                ),
+                Err(e) => fail(e),
+            }
+        }
+        AdminAction::List => ok_response(
+            id,
+            vec![(
+                "namespaces".to_string(),
+                Json::Arr(tenants.list().into_iter().map(Json::Str).collect()),
+            )],
+        ),
+    }
+}
+
 fn stats_response(
     id: Option<u64>,
-    scheduler: &Scheduler,
+    tenant: &Arc<Tenant>,
+    tenants: &Arc<Tenants>,
     replication: Option<&ReplicationRole>,
 ) -> Json {
     use std::sync::atomic::Ordering::Relaxed;
+    let scheduler = &tenant.scheduler;
     if let Some(role) = replication {
         // Mirror the live replication counters into the metrics surface so
         // they render next to everything else (and in the text page).
@@ -922,6 +1101,42 @@ fn stats_response(
             fields.insert(1, ("primary".to_string(), Json::Str(primary)));
         }
         rest.push(("replication".to_string(), Json::Obj(fields)));
+    }
+    // Per-namespace breakdown — only once a second tenant exists, so a
+    // single-tenant server's stats stay byte-identical to the
+    // pre-namespace protocol.
+    if tenants.count() > 1 {
+        let entries = tenants
+            .all()
+            .into_iter()
+            .map(|t| {
+                let session = t.scheduler.session();
+                let (nodes, edges) = {
+                    let g = session.graph();
+                    (g.num_nodes(), g.num_edges())
+                };
+                let snap = t.scheduler.metrics().snapshot();
+                (
+                    t.name.clone(),
+                    Json::Obj(vec![
+                        (
+                            "applied_version".to_string(),
+                            Json::u64(session.version()),
+                        ),
+                        ("epoch".to_string(), Json::u64(session.epoch())),
+                        ("nodes".to_string(), Json::u64(nodes as u64)),
+                        ("edges".to_string(), Json::u64(edges as u64)),
+                        ("queries".to_string(), Json::u64(snap.queries)),
+                        ("cache_hits".to_string(), Json::u64(snap.cache_hits)),
+                        (
+                            "lag_records".to_string(),
+                            Json::u64(t.repl_stats.lag_records.load(Relaxed)),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        rest.push(("namespaces".to_string(), Json::Obj(entries)));
     }
     ok_response(id, rest)
 }
@@ -1640,6 +1855,163 @@ mod tests {
             threaded.iter().any(|l| l.contains("internal_panic")),
             "chaos plan never fired"
         );
+    }
+
+    /// The namespace back-compat gate: requests with no `namespace` field
+    /// must behave exactly as they did before tenants existed, on both
+    /// backends, even while tenant lifecycle ops and namespaced traffic
+    /// interleave on the same connection. The baseline run and the mixed
+    /// run must agree byte-for-byte on every namespace-less response —
+    /// including `cached` flags, which would differ if tenant traffic
+    /// leaked into the default tenant's cache or version counter.
+    #[test]
+    fn default_tenant_responses_unchanged_by_namespace_traffic() {
+        for backend in [ServerBackend::Threaded, ServerBackend::Event] {
+            let baseline = run_workload(backend, crate::FaultPlan::default(), 0.0);
+
+            let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 3)));
+            let handle = spawn(
+                "127.0.0.1:0",
+                session,
+                ServerConfig {
+                    workers: 2,
+                    backend,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap();
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut exchange = |line: &str| -> String {
+                stream.write_all(line.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                strip_volatile(&response, false)
+            };
+            exchange(r#"{"id":900,"op":"create_namespace","namespace":"t9"}"#);
+            let mut mixed = Vec::new();
+            for (i, line) in equivalence_workload().iter().enumerate() {
+                if i % 3 == 0 {
+                    // Tenant traffic between the namespace-less lines: a
+                    // mutation and a query against t9, ids far away from
+                    // the workload's so fault plans (none here) and logs
+                    // stay distinguishable.
+                    exchange(&format!(
+                        "{{\"id\":{},\"op\":\"insert_edges\",\"namespace\":\"t9\",\"edges\":[[{},{}]]}}",
+                        901 + i,
+                        i % 8,
+                        (i + 1) % 8
+                    ));
+                    exchange(&format!(
+                        "{{\"id\":{},\"op\":\"query\",\"namespace\":\"t9\",\"source\":0,\"seed\":4}}",
+                        950 + i
+                    ));
+                }
+                mixed.push(exchange(line));
+            }
+            exchange(r#"{"id":998,"op":"drop_namespace","namespace":"t9"}"#);
+            drop(stream);
+            handle.shutdown().unwrap();
+
+            assert_eq!(
+                baseline, mixed,
+                "namespace-less responses changed under tenant traffic ({backend:?})"
+            );
+        }
+    }
+
+    /// Dropping a namespace under chaos: pipelined in-flight queries are
+    /// answered with a typed error (or a normal success if they beat the
+    /// drop) — never a hang — and recreating the namespace starts with a
+    /// cold cache, proving the dropped tenant's entries are unreachable.
+    #[test]
+    fn drop_namespace_answers_inflight_queries_and_purges_cache() {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(300, 4, 3)));
+        let faults = crate::FaultPlan {
+            delay_every: 1,
+            delay_ms: 20,
+            ..Default::default()
+        };
+        let handle = spawn(
+            "127.0.0.1:0",
+            session,
+            ServerConfig {
+                workers: 2,
+                backend: ServerBackend::Event,
+                faults,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let mut admin = TcpStream::connect(addr).unwrap();
+        let mut admin_reader = BufReader::new(admin.try_clone().unwrap());
+        let mut admin_exchange = |line: &str| -> Json {
+            admin.write_all(line.as_bytes()).unwrap();
+            admin.write_all(b"\n").unwrap();
+            let mut response = String::new();
+            admin_reader.read_line(&mut response).unwrap();
+            Json::parse(response.trim()).unwrap()
+        };
+        admin_exchange(r#"{"id":1,"op":"create_namespace","namespace":"t0"}"#);
+        admin_exchange(r#"{"id":2,"op":"insert_edges","namespace":"t0","edges":[[0,1],[1,2],[2,0]]}"#);
+
+        // Pipeline a burst of identical t0 queries (they coalesce behind
+        // the 20ms chaos delay) without reading a single response yet...
+        let victim = TcpStream::connect(addr).unwrap();
+        victim
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut w = victim.try_clone().unwrap();
+        const BURST: usize = 16;
+        for i in 0..BURST {
+            w.write_all(
+                format!(
+                    "{{\"id\":{},\"op\":\"query\",\"namespace\":\"t0\",\"source\":0,\"seed\":9}}\n",
+                    100 + i
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        }
+        // ...drop the namespace out from under them...
+        std::thread::sleep(Duration::from_millis(5));
+        let dropped = admin_exchange(r#"{"id":3,"op":"drop_namespace","namespace":"t0"}"#);
+        assert_eq!(dropped.get("ok").and_then(Json::as_bool), Some(true));
+        // ...and every pipelined query must still answer: success if it
+        // beat the drop, a typed error if it didn't. A read timeout here
+        // is the hang this test exists to prevent.
+        let mut reader = BufReader::new(victim);
+        for i in 0..BURST {
+            let mut response = String::new();
+            reader
+                .read_line(&mut response)
+                .unwrap_or_else(|e| panic!("query {i} hung after drop_namespace: {e}"));
+            let parsed = Json::parse(response.trim()).unwrap();
+            if parsed.get("ok").and_then(Json::as_bool) != Some(true) {
+                let error = parsed.get("error").and_then(Json::as_str).unwrap_or("");
+                assert!(
+                    error == "namespace_dropped" || error == "unknown_namespace",
+                    "untyped error after drop: {response}"
+                );
+            }
+        }
+
+        // Recreate the namespace: same name, same query, and the cache
+        // must be cold — a hit here would mean the dropped tenant's
+        // entries survived into the new one.
+        admin_exchange(r#"{"id":4,"op":"create_namespace","namespace":"t0"}"#);
+        admin_exchange(r#"{"id":5,"op":"insert_edges","namespace":"t0","edges":[[0,1],[1,2],[2,0]]}"#);
+        let fresh =
+            admin_exchange(r#"{"id":6,"op":"query","namespace":"t0","source":0,"seed":9}"#);
+        assert_eq!(fresh.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            fresh.get("cached").and_then(Json::as_bool),
+            Some(false),
+            "recreated namespace must start with a cold cache"
+        );
+        handle.shutdown().unwrap();
     }
 
     /// Byte-level framing torture against the event loop: the same

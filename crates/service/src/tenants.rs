@@ -1,0 +1,331 @@
+//! The tenant registry: one [`Scheduler`] (and thus one session, cache,
+//! and metrics surface) per namespace.
+//!
+//! Isolation is structural, not keyed: a tenant's queries, cache entries,
+//! version counter, and stats all live in objects no other tenant can
+//! reach, so one tenant's mutations cannot invalidate another's cache by
+//! construction — there is no shared map whose keying could be gotten
+//! wrong. The registry adds the lifecycle on top:
+//!
+//! * `create_namespace` → [`Tenants::create`]: validate the name, ask the
+//!   factory for a seed (the durable path creates `<data-dir>/ns-<name>/`
+//!   and recovers it; in-memory servers hand back a fresh empty session),
+//!   persist the manifest, insert. The op acks only after the manifest
+//!   write is durable.
+//! * `drop_namespace` → [`Tenants::drop_ns`]: persist the removal, take
+//!   the tenant out of the map (new requests: `unknown_namespace`), then
+//!   retire its scheduler (pending and in-flight requests:
+//!   `namespace_dropped`, never a hang). The data directory is left on
+//!   disk; without a manifest entry it is inert garbage, and recovering
+//!   operators can still read it.
+//! * startup → [`Tenants::install`] for every manifest entry, after the
+//!   caller recovers each directory.
+//!
+//! The registry also implements [`NsResolver`], so a multi-tenant
+//! replication listener resolves replica handshakes straight out of it.
+
+use crate::metrics::Metrics;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use resacc::durability::{self, RecoveryStats};
+use resacc::replication::{NsResolver, NsTarget, ReplicationHub, ReplicationStats};
+use resacc::RwrSession;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, RwLock};
+
+/// What the factory hands back for a freshly created (or recovered)
+/// namespace; [`Tenants`] wraps it in a scheduler.
+pub struct TenantSeed {
+    /// The tenant's session (durable or in-memory).
+    pub session: Arc<RwrSession>,
+    /// The hub its mutation observer publishes into, when this node runs
+    /// a replication listener.
+    pub hub: Option<Arc<ReplicationHub>>,
+    /// Per-tenant replication stats; `None` allocates fresh zeroes.
+    pub repl_stats: Option<Arc<ReplicationStats>>,
+    /// What recovery observed for this tenant (zeroes when in-memory).
+    pub recovery: RecoveryStats,
+}
+
+/// Builds the seed for a namespace being created at runtime. Runs on the
+/// request path of `create_namespace` — the durable implementation does
+/// directory creation plus an (empty) recovery, nothing slower.
+pub type TenantFactory = Box<dyn Fn(&str) -> Result<TenantSeed, String> + Send + Sync>;
+
+/// One live namespace.
+pub struct Tenant {
+    /// The namespace name.
+    pub name: String,
+    /// The tenant's scheduler; owns its session, cache, and metrics.
+    pub scheduler: Arc<Scheduler>,
+    /// Replication hub, when this node serves replicas.
+    pub hub: Option<Arc<ReplicationHub>>,
+    /// Per-tenant replication stats (lag, acks, bytes shipped).
+    pub repl_stats: Arc<ReplicationStats>,
+}
+
+impl Tenant {
+    /// Shorthand for this tenant's metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        self.scheduler.metrics()
+    }
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("name", &self.name)
+            .field("version", &self.scheduler.session().version())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The registry. See the module docs for lifecycle semantics.
+pub struct Tenants {
+    sched: SchedulerConfig,
+    map: RwLock<BTreeMap<String, Arc<Tenant>>>,
+    factory: TenantFactory,
+    /// Data-dir root holding the namespace manifest; `None` for in-memory
+    /// servers (lifecycle still works, nothing persists).
+    manifest_dir: Option<PathBuf>,
+}
+
+impl Tenants {
+    /// An empty registry. Callers [`Tenants::install`] the `default`
+    /// tenant (and any recovered ones) before serving.
+    pub fn new(sched: SchedulerConfig, factory: TenantFactory, manifest_dir: Option<PathBuf>) -> Tenants {
+        Tenants {
+            sched,
+            map: RwLock::new(BTreeMap::new()),
+            factory,
+            manifest_dir,
+        }
+    }
+
+    /// A registry for a single-tenant in-memory server: `default` wraps
+    /// `session`, and runtime `create_namespace` conjures empty in-memory
+    /// tenants (each starts as a 0-node graph that `insert_edges` grows).
+    pub fn single(session: Arc<RwrSession>, sched: SchedulerConfig, recovery: RecoveryStats) -> Tenants {
+        let factory_sched = sched;
+        let tenants = Tenants::new(
+            sched,
+            Box::new(move |_ns| {
+                let graph = resacc_graph::GraphBuilder::new(0).build();
+                let _ = factory_sched; // config is applied by install()
+                Ok(TenantSeed {
+                    session: Arc::new(RwrSession::new(graph)),
+                    hub: None,
+                    repl_stats: None,
+                    recovery: RecoveryStats::default(),
+                })
+            }),
+            None,
+        );
+        tenants.install(
+            "default",
+            TenantSeed {
+                session,
+                hub: None,
+                repl_stats: None,
+                recovery,
+            },
+        );
+        tenants
+    }
+
+    /// Wraps `seed` in a scheduler and inserts it, replacing any previous
+    /// entry. No manifest write — this is the startup/recovery path (and
+    /// the tail of [`Tenants::create`], which has already persisted).
+    pub fn install(&self, name: &str, seed: TenantSeed) -> Arc<Tenant> {
+        let scheduler = Arc::new(Scheduler::new(seed.session, self.sched));
+        {
+            // Publish what recovery observed, exactly as single-tenant
+            // startup always has.
+            let m = scheduler.metrics();
+            m.wal_records_replayed
+                .store(seed.recovery.wal_records_replayed, Ordering::Relaxed);
+            m.wal_truncated_bytes
+                .store(seed.recovery.wal_truncated_bytes, Ordering::Relaxed);
+            m.snapshots_loaded
+                .store(seed.recovery.snapshots_loaded, Ordering::Relaxed);
+        }
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            scheduler,
+            hub: seed.hub,
+            repl_stats: seed.repl_stats.unwrap_or_default(),
+        });
+        self.map
+            .write()
+            .expect("tenant map poisoned")
+            .insert(name.to_string(), tenant.clone());
+        tenant
+    }
+
+    /// Creates a namespace: validate, build, persist, insert — in that
+    /// order, so an ack implies the manifest entry is durable. Errors are
+    /// wire-detail strings.
+    pub fn create(&self, name: &str) -> Result<Arc<Tenant>, String> {
+        if !durability::valid_namespace(name) {
+            return Err(format!(
+                "invalid namespace {name:?}: need 1-64 chars of [a-z0-9_-]"
+            ));
+        }
+        if self.get(name).is_some() || name == durability::DEFAULT_NAMESPACE {
+            return Err(format!("namespace {name:?} already exists"));
+        }
+        let seed = (self.factory)(name)?;
+        if let Some(dir) = &self.manifest_dir {
+            let mut names = self.non_default_names();
+            names.push(name.to_string());
+            durability::write_manifest(dir, &names).map_err(|e| e.to_string())?;
+        }
+        Ok(self.install(name, seed))
+    }
+
+    /// Drops a namespace: persist the removal, unmap (new requests get
+    /// `unknown_namespace`), retire the scheduler (pending requests get
+    /// `namespace_dropped`). Returns the removed tenant so the caller can
+    /// wind down anything attached to it (e.g. a replica client).
+    pub fn drop_ns(&self, name: &str) -> Result<Arc<Tenant>, String> {
+        if name == durability::DEFAULT_NAMESPACE {
+            return Err("the default namespace cannot be dropped".to_string());
+        }
+        if self.get(name).is_none() {
+            return Err(format!("unknown namespace {name:?}"));
+        }
+        if let Some(dir) = &self.manifest_dir {
+            let names: Vec<String> = self
+                .non_default_names()
+                .into_iter()
+                .filter(|n| n != name)
+                .collect();
+            durability::write_manifest(dir, &names).map_err(|e| e.to_string())?;
+        }
+        let removed = self
+            .map
+            .write()
+            .expect("tenant map poisoned")
+            .remove(name)
+            .ok_or_else(|| format!("unknown namespace {name:?}"))?;
+        removed.scheduler.retire();
+        Ok(removed)
+    }
+
+    /// Looks up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.map.read().expect("tenant map poisoned").get(name).cloned()
+    }
+
+    /// The `default` tenant — always present once serving starts.
+    pub fn default_tenant(&self) -> Arc<Tenant> {
+        self.get(durability::DEFAULT_NAMESPACE)
+            .expect("default tenant installed before serving")
+    }
+
+    /// All namespace names, sorted (`default` included).
+    pub fn list(&self) -> Vec<String> {
+        self.map.read().expect("tenant map poisoned").keys().cloned().collect()
+    }
+
+    /// Every live tenant, sorted by name.
+    pub fn all(&self) -> Vec<Arc<Tenant>> {
+        self.map.read().expect("tenant map poisoned").values().cloned().collect()
+    }
+
+    /// Number of live namespaces.
+    pub fn count(&self) -> usize {
+        self.map.read().expect("tenant map poisoned").len()
+    }
+
+    fn non_default_names(&self) -> Vec<String> {
+        self.list()
+            .into_iter()
+            .filter(|n| n != durability::DEFAULT_NAMESPACE)
+            .collect()
+    }
+}
+
+impl NsResolver for Tenants {
+    fn resolve(&self, ns: &str) -> Option<NsTarget> {
+        let tenant = self.get(ns)?;
+        let hub = tenant.hub.clone()?;
+        Some(NsTarget {
+            session: tenant.scheduler.session().clone(),
+            hub,
+            stats: tenant.repl_stats.clone(),
+        })
+    }
+
+    fn list(&self) -> Vec<String> {
+        Tenants::list(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::QueryRequest;
+    use resacc_graph::gen;
+
+    fn registry() -> Tenants {
+        let session = Arc::new(RwrSession::new(gen::barabasi_albert(100, 3, 7)));
+        Tenants::single(session, SchedulerConfig::default(), RecoveryStats::default())
+    }
+
+    #[test]
+    fn lifecycle_create_list_drop() {
+        let t = registry();
+        assert_eq!(t.list(), vec!["default"]);
+        t.create("t1").unwrap();
+        t.create("t0").unwrap();
+        assert_eq!(t.list(), vec!["default", "t0", "t1"]);
+        assert!(t.create("t1").unwrap_err().contains("already exists"));
+        assert!(t.create("default").unwrap_err().contains("already exists"));
+        assert!(t.create("Bad/Name").unwrap_err().contains("invalid"));
+        let dropped = t.drop_ns("t1").unwrap();
+        assert!(dropped.scheduler.is_retired());
+        assert!(t.get("t1").is_none());
+        assert!(t.drop_ns("t1").unwrap_err().contains("unknown"));
+        assert!(t.drop_ns("default").unwrap_err().contains("cannot be dropped"));
+    }
+
+    #[test]
+    fn tenants_are_isolated_sessions_and_caches() {
+        let t = registry();
+        let a = t.create("a").unwrap();
+        // New in-memory tenants start empty and grow through insert_edges.
+        a.scheduler
+            .apply(&resacc::durability::MutationOp::InsertEdges(vec![(0, 1), (1, 0)]))
+            .unwrap();
+        let d = t.default_tenant();
+        let before = d.scheduler.session().version();
+        let da = d
+            .scheduler
+            .query(QueryRequest { id: 1, source: 0, seed: Some(5), ..Default::default() })
+            .unwrap();
+        assert!(!da.cached);
+        // Mutating tenant "a" leaves default's version and cache alone.
+        a.scheduler
+            .apply(&resacc::durability::MutationOp::InsertEdges(vec![(0, 2)]))
+            .unwrap();
+        assert_eq!(d.scheduler.session().version(), before);
+        let again = d
+            .scheduler
+            .query(QueryRequest { id: 2, source: 0, seed: Some(5), ..Default::default() })
+            .unwrap();
+        assert!(again.cached, "cross-tenant mutation must not invalidate");
+        assert_eq!(d.metrics().snapshot().cache_hits, 1);
+        assert_eq!(a.metrics().snapshot().cache_hits, 0);
+    }
+
+    #[test]
+    fn resolver_only_exposes_tenants_with_hubs() {
+        let t = registry();
+        t.create("a").unwrap();
+        assert!(NsResolver::resolve(&t, "default").is_none(), "no hub attached");
+        assert!(NsResolver::resolve(&t, "a").is_none());
+        assert_eq!(NsResolver::list(&t), vec!["a", "default"]);
+    }
+}

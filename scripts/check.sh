@@ -41,6 +41,14 @@
 #      acked-write loss across a NetFault partition plus automated
 #      primary failover, and hedged p99 strictly below unhedged p99
 #      against a chaos-delayed replica
+#  12. sharding smoke: two primaries behind an `rwr router --shard` front
+#      (shard 1 replicated, shard 2 the catch-all); namespaces must land
+#      on their mapped shard, a write to one tenant must not move another
+#      tenant's applied version, and SIGKILLing shard 1's primary must
+#      fail over shard 1 only — shard 2 keeps answering and the next t0
+#      write acks above the pre-kill version; then a bench_shard smoke
+#      run must pass its ≥1.8× scale-out, zero-cross-tenant-cache-hit,
+#      and zero-acked-loss gates
 #
 # Every BENCH_*.json produced by the smoke runs is appended as one line
 # (run id, git rev, metric name→value map) to the committed
@@ -87,6 +95,8 @@ trap 'rm -rf "$SMOKE_DIR"
       [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null
       [[ -n "${REPLICA_PID:-}" ]] && kill "$REPLICA_PID" 2>/dev/null
       [[ -n "${NETFAULT_PID:-}" ]] && kill "$NETFAULT_PID" 2>/dev/null
+      [[ -n "${SHARD2_PID:-}" ]] && kill "$SHARD2_PID" 2>/dev/null
+      [[ -n "${ROUTER_PID:-}" ]] && kill "$ROUTER_PID" 2>/dev/null
       true' EXIT
 awk 'BEGIN { for (u = 0; u < 400; u++) for (d = 1; d <= 5; d++) print u, (u * 31 + d * 97) % 400 }' \
   > "$SMOKE_DIR/graph.txt"
@@ -464,6 +474,151 @@ echo "==> bench_router smoke (replica-kill, failover zero-loss, hedging gates)"
 # env knobs shrink the streams, the gates stay at full strictness.
 RESACC_BENCH_ROUTER_REQUESTS=160 RESACC_BENCH_ROUTER_HEDGE_REQUESTS=200 \
   target/release/bench_router "$SMOKE_DIR/BENCH_router.json" > /dev/null
+
+echo "==> sharding smoke (2 primaries, shard map, isolation, per-shard failover)"
+# Shard 1 (tenant t0): primary + replica so it can fail over. Shard 2:
+# solo primary hosting the catch-all (default + t1). The router owns the
+# shard map; every client request below goes through it unless the assert
+# is specifically about which backend a tenant landed on.
+req() {  # req <host:port> <json line> — prints the one-line response
+  local host=${1%:*} port=${1##*:} resp=
+  exec 5<>"/dev/tcp/$host/$port"
+  printf '%s\n' "$2" >&5
+  read -t 15 -r resp <&5
+  exec 5>&- 5<&-
+  printf '%s' "$resp"
+}
+# Applied version of one tenant, via namespaced stats. The anchor class
+# [,{] keeps the match off "applied_version".
+ns_version() {
+  req "$1" "{\"id\":1,\"op\":\"stats\",\"namespace\":\"$2\"}" \
+    | grep -o '[,{]"version":[0-9]*' | head -1 | grep -o '[0-9]*$'
+}
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$SMOKE_DIR/s1p" --replication-listen 127.0.0.1:0 \
+  > "$SMOKE_DIR/s1p.out" 2> "$SMOKE_DIR/s1p.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^listening on" "$SMOKE_DIR/s1p.out" 2>/dev/null && break
+  sleep 0.1
+done
+S1P_ADDR=$(awk '/^listening on/ { print $3 }' "$SMOKE_DIR/s1p.out")
+S1P_REPL=$(awk '/^replication listening on/ { print $4 }' "$SMOKE_DIR/s1p.out")
+[[ -n "$S1P_ADDR" && -n "$S1P_REPL" ]] || {
+  echo "sharding smoke: shard-1 primary never came up"; cat "$SMOKE_DIR/s1p.err"; exit 1; }
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$SMOKE_DIR/s1r" --replicate-from "$S1P_REPL" \
+  > "$SMOKE_DIR/s1r.out" 2> "$SMOKE_DIR/s1r.err" &
+REPLICA_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^listening on" "$SMOKE_DIR/s1r.out" 2>/dev/null && break
+  sleep 0.1
+done
+S1R_ADDR=$(awk '/^listening on/ { print $3 }' "$SMOKE_DIR/s1r.out")
+[[ -n "$S1R_ADDR" ]] || {
+  echo "sharding smoke: shard-1 replica never came up"; cat "$SMOKE_DIR/s1r.err"; exit 1; }
+target/release/rwr serve --graph "$SMOKE_DIR/graph.txt" --listen 127.0.0.1:0 \
+  --data-dir "$SMOKE_DIR/s2p" \
+  > "$SMOKE_DIR/s2p.out" 2> "$SMOKE_DIR/s2p.err" &
+SHARD2_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^listening on" "$SMOKE_DIR/s2p.out" 2>/dev/null && break
+  sleep 0.1
+done
+S2P_ADDR=$(awk '/^listening on/ { print $3 }' "$SMOKE_DIR/s2p.out")
+[[ -n "$S2P_ADDR" ]] || {
+  echo "sharding smoke: shard-2 primary never came up"; cat "$SMOKE_DIR/s2p.err"; exit 1; }
+target/release/rwr router --listen 127.0.0.1:0 \
+  --shard "t0=$S1P_ADDR,$S1R_ADDR" --shard "*=$S2P_ADDR" \
+  --probe-interval-ms 25 --breaker-cooldown-ms 100 --retry-budget 8 \
+  --park-ms 8000 --timeout-ms 5000 --sync-ack-timeout-ms 5000 \
+  > "$SMOKE_DIR/srouter.out" 2> "$SMOKE_DIR/srouter.err" &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "^listening on" "$SMOKE_DIR/srouter.out" 2>/dev/null && break
+  sleep 0.1
+done
+RT_ADDR=$(awk '/^listening on/ { print $3 }' "$SMOKE_DIR/srouter.out")
+[[ -n "$RT_ADDR" ]] || {
+  echo "sharding smoke: router never came up"; cat "$SMOKE_DIR/srouter.err"; exit 1; }
+# Namespace lifecycle routes by the shard map: t0 must land on shard 1's
+# primary, t1 on the catch-all, and the router merges the full list.
+for ns in t0 t1; do
+  CREATED=$(req "$RT_ADDR" "{\"id\":2,\"op\":\"create_namespace\",\"namespace\":\"$ns\"}")
+  grep -q '"ok":true' <<< "$CREATED" || {
+    echo "sharding smoke: create_namespace $ns failed: $CREATED"; exit 1; }
+done
+req "$S1P_ADDR" '{"id":3,"op":"list_namespaces"}' | grep -q '"t0"' || {
+  echo "sharding smoke: t0 missing from shard 1"; exit 1; }
+req "$S2P_ADDR" '{"id":3,"op":"list_namespaces"}' | grep -q '"t1"' || {
+  echo "sharding smoke: t1 missing from the catch-all shard"; exit 1; }
+MERGED=$(req "$RT_ADDR" '{"id":4,"op":"list_namespaces"}')
+for ns in default t0 t1; do
+  grep -q "\"$ns\"" <<< "$MERGED" || {
+    echo "sharding smoke: router list_namespaces lost $ns: $MERGED"; exit 1; }
+done
+# A fresh namespace is an empty graph — seed t1 so it has something to
+# answer queries from during shard 1's failover.
+T1_SEED=$(req "$RT_ADDR" '{"id":4,"op":"insert_edges","namespace":"t1","edges":[[0,1],[1,2],[2,0]]}')
+grep -q '"ok":true' <<< "$T1_SEED" || {
+  echo "sharding smoke: t1 seed via router failed: $T1_SEED"; exit 1; }
+# Cross-tenant isolation: a t0 write must not move t1's applied version.
+T1_VER=$(ns_version "$S2P_ADDR" t1)
+T0_ACK=$(req "$RT_ADDR" '{"id":5,"op":"insert_edges","namespace":"t0","edges":[[0,199],[5,6]]}')
+grep -q '"ok":true' <<< "$T0_ACK" || {
+  echo "sharding smoke: t0 write via router failed: $T0_ACK"; exit 1; }
+T0_VER=$(grep -o '[,{]"version":[0-9]*' <<< "$T0_ACK" | head -1 | grep -o '[0-9]*$')
+[[ "$(ns_version "$S2P_ADDR" t1)" == "$T1_VER" ]] || {
+  echo "sharding smoke: a t0 write moved t1's applied version"; exit 1; }
+# Shard 1's replica must mirror t0 and apply the acked write before the
+# kill — a failover target has to know every tenant it is about to lead.
+for _ in $(seq 1 100); do
+  req "$S1R_ADDR" '{"id":6,"op":"list_namespaces"}' | grep -q '"t0"' && break
+  sleep 0.1
+done
+req "$S1R_ADDR" '{"id":6,"op":"list_namespaces"}' | grep -q '"t0"' || {
+  echo "sharding smoke: replica never mirrored t0"; exit 1; }
+for _ in $(seq 1 100); do
+  [[ "$(ns_version "$S1R_ADDR" t0)" -ge "$T0_VER" ]] && break
+  sleep 0.1
+done
+[[ "$(ns_version "$S1R_ADDR" t0)" -ge "$T0_VER" ]] || {
+  echo "sharding smoke: replica never applied t0's acked write"; exit 1; }
+# SIGKILL shard 1's primary: shard 2 must answer t1 uninterrupted while
+# shard 1 fails over, and the next t0 write must ack above the pre-kill
+# version (no acked write lost, failover stayed shard-local).
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+for i in 1 2 3; do
+  T1_READ=$(req "$RT_ADDR" "{\"id\":1$i,\"op\":\"query\",\"namespace\":\"t1\",\"source\":0,\"seed\":3,\"k\":4}")
+  grep -q '"ok":true' <<< "$T1_READ" || {
+    echo "sharding smoke: t1 read $i failed during shard-1 failover: $T1_READ"; exit 1; }
+done
+T0_POST=$(req "$RT_ADDR" '{"id":20,"op":"insert_edges","namespace":"t0","edges":[[6,7]]}')
+grep -q '"ok":true' <<< "$T0_POST" || {
+  echo "sharding smoke: t0 write after failover failed: $T0_POST"; exit 1; }
+POST_VER=$(grep -o '[,{]"version":[0-9]*' <<< "$T0_POST" | head -1 | grep -o '[0-9]*$')
+[[ "$POST_VER" -gt "$T0_VER" ]] || {
+  echo "sharding smoke: post-failover t0 ack not above $T0_VER: $T0_POST"; exit 1; }
+[[ "$(ns_version "$S2P_ADDR" t1)" == "$T1_VER" ]] || {
+  echo "sharding smoke: shard-1 failover moved t1's applied version"; exit 1; }
+kill "$ROUTER_PID" 2>/dev/null; wait "$ROUTER_PID" 2>/dev/null || true
+ROUTER_PID=
+kill "$REPLICA_PID" 2>/dev/null; wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=
+kill "$SHARD2_PID" 2>/dev/null; wait "$SHARD2_PID" 2>/dev/null || true
+SHARD2_PID=
+
+echo "==> bench_shard smoke (scale-out, tenant-isolation, per-shard failover gates)"
+# bench_shard spawns its own 2-primary cluster behind a shard router; the
+# env knobs shrink the streams, the gates (≥1.8× aggregate mutation
+# scale-out under the metered commit device, zero cross-tenant cache
+# hits, zero acked loss across a per-shard kill) stay at full strictness.
+# The seed pins the deterministic tenant draw to a near-even shard split
+# at this scale, so the gate measures scaling rather than split luck.
+RESACC_BENCH_SHARD_REQUESTS=200 RESACC_BENCH_SHARD_COMMIT_MS=6 \
+RESACC_BENCH_SHARD_PROBES=4 RESACC_BENCH_SHARD_SEED=1 \
+  target/release/bench_shard "$SMOKE_DIR/BENCH_shard.json" > /dev/null
 
 echo "==> appending bench results to BENCH_HISTORY.jsonl"
 for f in "$SMOKE_DIR"/BENCH_*.json; do
