@@ -148,10 +148,23 @@ pub fn pair(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Rejects namespace names the server would not accept either, before
+/// they are interpolated into a JSON request line (a quote or backslash
+/// would otherwise produce a malformed request, and the server would
+/// report bad json instead of the real problem).
+fn checked_namespace(cli: &Cli) -> Result<Option<&str>, String> {
+    match cli.namespace.as_deref() {
+        Some(ns) if !resacc::durability::valid_namespace(ns) => Err(format!(
+            "invalid namespace {ns:?}: need 1-64 chars of [a-z0-9_-]"
+        )),
+        other => Ok(other),
+    }
+}
+
 /// Remote `rwr query --addr`: send the query over NDJSON, print top-k.
 fn remote_query(cli: &Cli) -> Result<(), String> {
     use resacc_service::json::Json;
-    let ns_field = match cli.namespace.as_deref() {
+    let ns_field = match checked_namespace(cli)? {
         Some(ns) => format!(",\"namespace\":\"{ns}\""),
         None => String::new(),
     };
@@ -193,7 +206,7 @@ fn remote_query(cli: &Cli) -> Result<(), String> {
 /// target is a router).
 fn remote_stats(cli: &Cli) -> Result<(), String> {
     use resacc_service::json::Json;
-    let request = match cli.namespace.as_deref() {
+    let request = match checked_namespace(cli)? {
         Some(ns) => format!("{{\"id\":1,\"op\":\"stats\",\"namespace\":\"{ns}\"}}\n"),
         None => "{\"id\":1,\"op\":\"stats\"}\n".to_string(),
     };
@@ -384,23 +397,30 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
         Some(root) => {
             Box::new(move |ns: &str| open_tenant(&durability::namespace_dir(&root, ns)))
         }
-        None => Box::new(move |_ns: &str| {
-            // In-memory tenants start as empty graphs that insert_edges
-            // grows, same as the service's own single-tenant factory.
-            let mut session =
-                resacc::RwrSession::new(resacc_graph::GraphBuilder::new(0).build());
-            let hub = want_hub.then(|| {
-                let hub = Arc::new(ReplicationHub::new(session.version()));
-                attach_hub(&mut session, hub.clone());
-                hub
-            });
-            Ok(TenantSeed {
-                session: Arc::new(session),
-                hub,
-                repl_stats: None,
-                recovery: RecoveryStats::default(),
+        None => {
+            let (alpha, epsilon) = (cli.alpha, cli.epsilon);
+            Box::new(move |_ns: &str| {
+                // In-memory tenants start as empty graphs that insert_edges
+                // grows, scoring with the same --alpha/--epsilon the durable
+                // factory and the default tenant apply.
+                let graph = resacc_graph::GraphBuilder::new(0).build();
+                let n = graph.num_nodes().max(2) as f64;
+                let params = RwrParams::new(alpha, epsilon, 1.0 / n, 1.0 / n);
+                let mut session =
+                    resacc::RwrSession::with_config(graph, params, ResAccConfig::default());
+                let hub = want_hub.then(|| {
+                    let hub = Arc::new(ReplicationHub::new(session.version()));
+                    attach_hub(&mut session, hub.clone());
+                    hub
+                });
+                Ok(TenantSeed {
+                    session: Arc::new(session),
+                    hub,
+                    repl_stats: None,
+                    recovery: RecoveryStats::default(),
+                })
             })
-        }),
+        }
     };
     let tenants = Arc::new(Tenants::new(
         config.scheduler_config(),
@@ -529,25 +549,27 @@ pub fn serve(cli: &Cli) -> Result<(), String> {
     }
     // A replica mirrors the primary's namespace *set*, not just its data:
     // tenants created or dropped on the primary after the streams started
-    // appear here too, each with its own replication stream.
+    // appear here too, each with its own replication stream. The thread
+    // exists whenever this process has a replication role at all — not
+    // just when it *started* as a replica — because an ex-primary that is
+    // fenced and demoted becomes a follower at runtime and must pick up
+    // tenants created on the new leader (it may be promoted back later).
+    // While the node is writable the loop just idles.
     let ns_poll_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let mut ns_poller = None;
-    if cli.replicate_from.is_some() {
+    if let Some(role) = replication.clone() {
         let tenants = tenants.clone();
-        let role = replication.clone().expect("replica role exists");
         let stop = ns_poll_stop.clone();
         ns_poller = std::thread::Builder::new()
             .name("ns-poll".into())
             .spawn(move || {
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    // Promotion ends the follower's lifecycle mirroring.
-                    if !role.is_read_only() {
-                        return;
-                    }
-                    let target = role.primary_addr();
-                    if !target.is_empty() {
-                        if let Ok(remote) = resacc::replication::fetch_ns_list(&target) {
-                            sync_tenant_set(&tenants, &role, &target, &remote);
+                    if role.is_read_only() {
+                        let target = role.primary_addr();
+                        if !target.is_empty() {
+                            if let Ok(remote) = resacc::replication::fetch_ns_list(&target) {
+                                sync_tenant_set(&tenants, &role, &target, &remote);
+                            }
                         }
                     }
                     for _ in 0..5 {

@@ -164,6 +164,13 @@ impl ReplicationRole {
     /// Returns `(namespace, version, epoch)` per tenant, sorted by name.
     /// Namespaces with no client (created after the follow started, or a
     /// never-streamed tenant) promote at their local applied version.
+    ///
+    /// Each tenant's client is taken out of the map only when its own
+    /// turn comes, so a failed epoch bump leaves every not-yet-promoted
+    /// tenant still streaming from the old primary and the node read-only.
+    /// Retrying `promote` is then safe: already-bumped tenants just bump
+    /// again (epochs only move forward), the failed tenant re-bumps, and
+    /// the untouched tenants drain their still-live clients normally.
     pub fn promote_tenants(
         &self,
         tenants: &crate::tenants::Tenants,
@@ -171,20 +178,27 @@ impl ReplicationRole {
         if !self.is_read_only() {
             return Err("already writable: this server is not a read replica".to_string());
         }
-        let mut clients = std::mem::take(&mut *self.client.lock());
         let mut promoted = Vec::new();
-        for tenant in tenants.all() {
+        let all = tenants.all();
+        let total = all.len();
+        for tenant in all {
             let session = tenant.scheduler.session();
-            let version = match clients.remove(&tenant.name) {
+            let version = match self.client.lock().remove(&tenant.name) {
                 Some(mut active) => active.promote(),
                 None => session.version(),
             };
-            let epoch = session.bump_epoch().map_err(|e| {
-                format!(
-                    "cannot persist the promotion epoch for namespace {:?}: {e}",
-                    tenant.name
-                )
-            })?;
+            let epoch = match session.bump_epoch() {
+                Ok(epoch) => epoch,
+                Err(e) => {
+                    return Err(format!(
+                        "cannot persist the promotion epoch for namespace {:?}: {e} \
+                         ({} of {total} tenant(s) had already bumped; node stays read-only, \
+                         remaining tenants keep replicating — retry promote)",
+                        tenant.name,
+                        promoted.len()
+                    ));
+                }
+            };
             promoted.push((tenant.name.clone(), version, epoch));
         }
         self.fenced_at.store(0, Ordering::SeqCst);

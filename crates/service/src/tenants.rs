@@ -32,7 +32,7 @@ use resacc::RwrSession;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// What the factory hands back for a freshly created (or recovered)
 /// namespace; [`Tenants`] wraps it in a scheduler.
@@ -89,6 +89,12 @@ pub struct Tenants {
     /// Data-dir root holding the namespace manifest; `None` for in-memory
     /// servers (lifecycle still works, nothing persists).
     manifest_dir: Option<PathBuf>,
+    /// Serializes create/drop end to end (existence check → factory →
+    /// manifest write → map update). Lifecycle ops run on whatever
+    /// connection thread the request arrived on; without this, two
+    /// concurrent creates each read a manifest list missing the other and
+    /// the losing write silently un-persists an already-acked namespace.
+    lifecycle: Mutex<()>,
 }
 
 impl Tenants {
@@ -100,6 +106,7 @@ impl Tenants {
             map: RwLock::new(BTreeMap::new()),
             factory,
             manifest_dir,
+            lifecycle: Mutex::new(()),
         }
     }
 
@@ -172,6 +179,7 @@ impl Tenants {
                 "invalid namespace {name:?}: need 1-64 chars of [a-z0-9_-]"
             ));
         }
+        let _lifecycle = self.lifecycle.lock().expect("lifecycle lock poisoned");
         if self.get(name).is_some() || name == durability::DEFAULT_NAMESPACE {
             return Err(format!("namespace {name:?} already exists"));
         }
@@ -192,6 +200,7 @@ impl Tenants {
         if name == durability::DEFAULT_NAMESPACE {
             return Err("the default namespace cannot be dropped".to_string());
         }
+        let _lifecycle = self.lifecycle.lock().expect("lifecycle lock poisoned");
         if self.get(name).is_none() {
             return Err(format!("unknown namespace {name:?}"));
         }
@@ -318,6 +327,56 @@ mod tests {
         assert!(again.cached, "cross-tenant mutation must not invalidate");
         assert_eq!(d.metrics().snapshot().cache_hits, 1);
         assert_eq!(a.metrics().snapshot().cache_hits, 0);
+    }
+
+    #[test]
+    fn concurrent_lifecycle_is_serialized() {
+        // Every acked create must survive in the manifest, and a racing
+        // double-create of one name must ack exactly once — regression
+        // test for the unsynchronized read-modify-write of the manifest.
+        let dir = std::env::temp_dir().join(format!(
+            "resacc-tenants-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mem_seed = || TenantSeed {
+            session: Arc::new(RwrSession::new(resacc_graph::GraphBuilder::new(0).build())),
+            hub: None,
+            repl_stats: None,
+            recovery: RecoveryStats::default(),
+        };
+        let t = Arc::new(Tenants::new(
+            SchedulerConfig::default(),
+            Box::new(move |_ns| Ok(mem_seed())),
+            Some(dir.clone()),
+        ));
+        t.install("default", mem_seed());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let mut acks = 0;
+                    if t.create(&format!("race-{i}")).is_ok() {
+                        acks += 1;
+                    }
+                    // All threads also race on one shared name.
+                    if t.create("contended").is_ok() {
+                        acks += 1;
+                    }
+                    acks
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 9, "8 distinct creates + exactly 1 contended ack");
+        let mut manifest = durability::read_manifest(&dir).unwrap();
+        manifest.sort();
+        let mut expect: Vec<String> = (0..8).map(|i| format!("race-{i}")).collect();
+        expect.push("contended".to_string());
+        expect.sort();
+        assert_eq!(manifest, expect, "no acked create may vanish from the manifest");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
